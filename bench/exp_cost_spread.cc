@@ -1,0 +1,71 @@
+// Experiment I6 — the paper's opening motivation: "evaluating the joins in
+// the wrong order could produce an enormous number of intermediate tuples,
+// even if the final result is small." We measure the full τ spread —
+// best, median, worst strategy — across the whole strategy space, by query
+// shape, plus the final-result size for contrast.
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/cost.h"
+#include "enumerate/strategy_enumerator.h"
+#include "report/stats.h"
+#include "report/table.h"
+#include "workload/generator.h"
+
+using namespace taujoin;  // NOLINT
+
+int main() {
+  const int kTrials = 10;
+
+  PrintSection("I6: tau spread over the whole strategy space (medians over trials)");
+  ReportTable t({"shape", "n", "final size", "best tau", "median tau",
+                 "worst tau", "worst/best"});
+  for (QueryShape shape : {QueryShape::kChain, QueryShape::kStar,
+                           QueryShape::kCycle}) {
+    for (int n : {4, 5, 6, 7}) {
+      SampleStats final_size, best_tau, median_tau, worst_tau, spread;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        Rng rng(static_cast<uint64_t>(trial) * 271828 +
+                static_cast<uint64_t>(n) * 31 + static_cast<uint64_t>(shape));
+        GeneratorOptions options;
+        options.shape = shape;
+        options.relation_count = n;
+        options.rows_per_relation = 8;
+        options.join_domain = 4;
+        options.join_skew = 1.0;
+        Database db = RandomDatabase(options, rng);
+        JoinCache cache(&db);
+        uint64_t final_tau = cache.Tau(db.scheme().full_mask());
+        if (final_tau == 0) continue;
+        SampleStats costs;
+        ForEachStrategy(db.scheme(), db.scheme().full_mask(),
+                        StrategySpace::kAll, [&](const Strategy& s) {
+                          costs.Add(static_cast<double>(TauCost(s, cache)));
+                          return true;
+                        });
+        final_size.Add(static_cast<double>(final_tau));
+        best_tau.Add(costs.Min());
+        median_tau.Add(costs.Median());
+        worst_tau.Add(costs.Max());
+        spread.Add(costs.Max() / costs.Min());
+      }
+      if (final_size.count() == 0) continue;
+      t.Row()
+          .Cell(QueryShapeToString(shape))
+          .Cell(n)
+          .Cell(final_size.Median(), 0)
+          .Cell(best_tau.Median(), 0)
+          .Cell(median_tau.Median(), 0)
+          .Cell(worst_tau.Median(), 0)
+          .Cell(spread.Median(), 1);
+    }
+  }
+  t.Print();
+  std::printf(
+      "\nThe worst/best ratio explodes with query size — the paper's\n"
+      "opening sentence measured. A 'typical' (median) strategy is already\n"
+      "far from optimal, which is why optimizers search at all; the rest\n"
+      "of the paper asks when the *cheap* searches are safe.\n");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Experiment I4 — the paper's second §1 critique: optimizers built on
+// uniformity + independence assumptions mis-estimate sizes on real
+// (skewed, correlated) data. We quantify (a) the estimator's error on
+// intermediate sizes and (b) the true-τ penalty of letting it drive plan
+// choice, as value skew grows — against the paper's exact-count measure.
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/cost.h"
+#include "optimize/dp.h"
+#include "report/stats.h"
+#include "report/table.h"
+#include "workload/generator.h"
+#include "workload/mini_tpch.h"
+
+using namespace taujoin;  // NOLINT
+
+int main() {
+  const int kTrials = 25;
+
+  PrintSection("I4a: estimation error on intermediate sizes, by skew");
+  {
+    ReportTable t({"skew", "databases", "median |est/true|-ratio",
+                   "p90 ratio", "max ratio"});
+    for (double skew : {0.0, 0.5, 1.0, 1.5, 2.0}) {
+      SampleStats ratio;
+      int sampled = 0;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        Rng rng(static_cast<uint64_t>(trial) * 424243 +
+                static_cast<uint64_t>(skew * 8));
+        GeneratorOptions options;
+        options.shape = static_cast<QueryShape>(trial % 4);
+        options.relation_count = 5;
+        options.rows_per_relation = 10;
+        options.join_domain = 5;
+        options.join_skew = skew;
+        Database db = RandomDatabase(options, rng);
+        JoinCache cache(&db);
+        IndependenceSizeModel estimator(&db);
+        ++sampled;
+        // Compare on every connected subset of ≥ 2 relations.
+        ForEachNonEmptySubmask(db.scheme().full_mask(), [&](RelMask mask) {
+          if (PopCount(mask) < 2 || !db.scheme().Connected(mask)) return;
+          uint64_t truth = cache.Tau(mask);
+          // Clamp zero estimates to 1 tuple so the symmetric error factor
+          // stays finite (the estimator rounding a small size to 0).
+          double est = std::max<double>(1.0, static_cast<double>(estimator.Tau(mask)));
+          if (truth == 0) return;
+          double r = est / static_cast<double>(truth);
+          ratio.Add(r >= 1 ? r : 1 / r);  // symmetric error factor
+        });
+      }
+      t.Row()
+          .Cell(skew, 1)
+          .Cell(sampled)
+          .Cell(ratio.Median(), 2)
+          .Cell(ratio.Percentile(90), 2)
+          .Cell(ratio.Max(), 2);
+    }
+    t.Print();
+  }
+
+  PrintSection("I4b: true tau of estimator-chosen plans vs exact-cost plans");
+  {
+    ReportTable t({"skew", "databases", "median penalty", "max penalty",
+                   "plans differ (%)"});
+    for (double skew : {0.0, 1.0, 2.0}) {
+      SampleStats penalty;
+      int differ = 0, sampled = 0;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        Rng rng(static_cast<uint64_t>(trial) * 78125 +
+                static_cast<uint64_t>(skew * 16) + 1);
+        GeneratorOptions options;
+        options.shape = static_cast<QueryShape>(trial % 4);
+        options.relation_count = 6;
+        options.rows_per_relation = 10;
+        options.join_domain = 5;
+        options.join_skew = skew;
+        Database db = RandomDatabase(options, rng);
+        JoinCache cache(&db);
+        ExactSizeModel exact(&cache);
+        IndependenceSizeModel estimator(&db);
+        auto exact_plan = OptimizeDp(db.scheme(), db.scheme().full_mask(),
+                                     exact, {SearchSpace::kBushy, true});
+        auto est_plan = OptimizeDp(db.scheme(), db.scheme().full_mask(),
+                                   estimator, {SearchSpace::kBushy, true});
+        if (!exact_plan || !est_plan || exact_plan->cost == 0) continue;
+        ++sampled;
+        uint64_t est_true = TauCost(est_plan->strategy, cache);
+        penalty.Add(static_cast<double>(est_true) /
+                    static_cast<double>(exact_plan->cost));
+        if (!est_plan->strategy.EquivalentTo(exact_plan->strategy)) ++differ;
+      }
+      t.Row()
+          .Cell(skew, 1)
+          .Cell(sampled)
+          .Cell(penalty.Median(), 3)
+          .Cell(penalty.Max(), 3)
+          .Cell(100.0 * differ / std::max(1, sampled), 0);
+    }
+    t.Print();
+  }
+
+  PrintSection("I4c: the same on the mini order-processing schema");
+  {
+    ReportTable t({"skew", "exact plan (tau)", "estimator plan (true tau)"});
+    for (double skew : {0.2, 0.8, 1.4}) {
+      Rng rng(777 + static_cast<uint64_t>(skew * 100));
+      MiniTpchOptions options;
+      options.lineitems = 60;
+      options.orders = 16;
+      options.customers = 5;
+      options.skew = skew;
+      MiniTpch tpch = MakeMiniTpch(options, rng);
+      JoinCache cache(&tpch.database);
+      ExactSizeModel exact(&cache);
+      IndependenceSizeModel estimator(&tpch.database);
+      auto exact_plan =
+          OptimizeDp(tpch.database.scheme(), tpch.database.scheme().full_mask(),
+                     exact, {SearchSpace::kBushy, true});
+      auto est_plan =
+          OptimizeDp(tpch.database.scheme(), tpch.database.scheme().full_mask(),
+                     estimator, {SearchSpace::kBushy, true});
+      t.Row()
+          .Cell(skew, 1)
+          .Cell(exact_plan->strategy.ToString(tpch.database) + "  tau=" +
+                std::to_string(exact_plan->cost))
+          .Cell(est_plan->strategy.ToString(tpch.database) + "  tau=" +
+                std::to_string(TauCost(est_plan->strategy, cache)));
+    }
+    t.Print();
+    std::printf(
+        "\nThe paper sidesteps all of this by defining optimality on exact\n"
+        "tuple counts and replacing statistical assumptions with semantic\n"
+        "conditions (C1-C4) — these tables measure the gap it sidesteps.\n");
+  }
+  return 0;
+}

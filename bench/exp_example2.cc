@@ -1,0 +1,51 @@
+// Experiment E2 — Example 2 (§3): C1 and C2 are independent conditions.
+
+#include <cstdio>
+
+#include "core/conditions.h"
+#include "core/cost.h"
+#include "report/table.h"
+#include "workload/paper_data.h"
+
+using namespace taujoin;  // NOLINT
+
+int main() {
+  PrintSection("E2: Example 1's database — C1 holds, C2 fails");
+  {
+    Database db = Example1Database();
+    JoinCache cache(&db);
+    ReportTable t({"quantity", "paper", "measured"});
+    t.Row().Cell("tau(R1 join R2)").Cell(10).Cell(cache.Tau(0b0011));
+    t.Row().Cell("tau(R1)").Cell(4).Cell(cache.Tau(0b0001));
+    t.Row().Cell("tau(R2)").Cell(4).Cell(cache.Tau(0b0010));
+    t.Row().Cell("satisfies C1").Cell("yes").Cell(
+        CheckC1(cache).satisfied ? "yes" : "no");
+    t.Row().Cell("satisfies C2").Cell("no").Cell(
+        CheckC2(cache).satisfied ? "yes" : "no");
+    t.Print();
+  }
+
+  PrintSection("E2: the R' database — C2 holds, C1 fails");
+  {
+    Database db = Example2Database();
+    JoinCache cache(&db);
+    ReportTable t({"quantity", "paper", "measured"});
+    t.Row().Cell("tau(R1')").Cell(8).Cell(cache.Tau(0b001));
+    t.Row().Cell("tau(R2')").Cell(3).Cell(cache.Tau(0b010));
+    t.Row().Cell("tau(R1' join R2')").Cell(7).Cell(cache.Tau(0b011));
+    t.Row().Cell("tau(R3')").Cell(2).Cell(cache.Tau(0b100));
+    t.Row().Cell("tau(R2' join R3') [= 3*2]").Cell(6).Cell(cache.Tau(0b110));
+    t.Row().Cell("satisfies C2").Cell("yes").Cell(
+        CheckC2(cache).satisfied ? "yes" : "no");
+    t.Row().Cell("satisfies C1").Cell("no").Cell(
+        CheckC1(cache).satisfied ? "yes" : "no");
+    t.Print();
+    ConditionReport c1 = CheckC1(cache);
+    if (c1.witness.has_value()) {
+      std::printf("\nC1 counterexample: %s\n",
+                  c1.witness->ToString(db.scheme()).c_str());
+    }
+    std::printf("\nConclusion (paper): C1 and C2 are independent.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Experiment I2 — the introduction's motivating observation (credited to
+// the GAMMA experiments [9]): "for large queries, the cheapest linear
+// strategy could be significantly more expensive than the cheapest
+// possible (nonlinear) strategy." We regenerate the phenomenon with exact
+// τ costs on synthetic workloads: the linear-over-bushy overhead by query
+// size and shape, and where bushy wins most.
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/cost.h"
+#include "optimize/dp.h"
+#include "report/stats.h"
+#include "report/table.h"
+#include "workload/generator.h"
+
+using namespace taujoin;  // NOLINT
+
+int main() {
+  const int kTrials = 25;
+
+  PrintSection("I2: cheapest linear vs cheapest bushy (exact tau), by shape and n");
+  ReportTable table({"shape", "n", "median lin/bushy", "p90 lin/bushy",
+                     "max lin/bushy", "bushy wins (%)"});
+  for (QueryShape shape : {QueryShape::kChain, QueryShape::kStar,
+                           QueryShape::kCycle, QueryShape::kClique}) {
+    for (int n : {4, 6, 8, 10}) {
+      SampleStats ratio;
+      int bushy_strictly_better = 0;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        Rng rng(static_cast<uint64_t>(trial) * 1000003 +
+                static_cast<uint64_t>(n) * 97 + static_cast<uint64_t>(shape));
+        GeneratorOptions options;
+        options.shape = shape;
+        options.relation_count = n;
+        options.rows_per_relation = 8;
+        options.join_domain = 4;
+        options.join_skew = 1.0;  // skew is what makes bushy plans win
+        Database db = RandomDatabase(options, rng);
+        JoinCache cache(&db);
+        ExactSizeModel model(&cache);
+        auto bushy = OptimizeDp(db.scheme(), db.scheme().full_mask(), model,
+                                {SearchSpace::kBushy, true});
+        auto linear = OptimizeDp(db.scheme(), db.scheme().full_mask(), model,
+                                 {SearchSpace::kLinear, true});
+        if (!bushy || !linear || bushy->cost == 0) continue;
+        ratio.Add(static_cast<double>(linear->cost) /
+                  static_cast<double>(bushy->cost));
+        if (linear->cost > bushy->cost) ++bushy_strictly_better;
+      }
+      if (ratio.count() == 0) continue;
+      table.Row()
+          .Cell(QueryShapeToString(shape))
+          .Cell(n)
+          .Cell(ratio.Median(), 3)
+          .Cell(ratio.Percentile(90), 3)
+          .Cell(ratio.Max(), 3)
+          .Cell(100.0 * bushy_strictly_better /
+                    static_cast<double>(ratio.count()),
+                0);
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nShape of the paper's claim: the gap exists (ratios above 1) and\n"
+      "grows with query size — strongest on sparse query graphs (chains,\n"
+      "cycles) where a linear order is forced through bad intermediates,\n"
+      "absent on cliques where every linear order can follow selectivity.\n"
+      "Exact ratios differ from GAMMA's 1990 hardware numbers; the\n"
+      "*ordering* is what the reproduction targets.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Experiment A4 — the full §4 pipeline made executable: start from a
+// universal relation satisfying FDs, BCNF-decompose (lossless by
+// construction), project the data, and observe that the resulting
+// database (a) has no lossy joins per the chase, (b) satisfies C2, and
+// (c) therefore enjoys Theorem 2: avoiding Cartesian products is safe.
+// Joining the fragments reproduces the universal relation exactly.
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/conditions.h"
+#include "core/cost.h"
+#include "fd/chase.h"
+#include "fd/normalize.h"
+#include "optimize/exhaustive.h"
+#include "report/table.h"
+#include "workload/decomposed.h"
+
+using namespace taujoin;  // NOLINT
+
+int main() {
+  const int kTrials = 30;
+
+  PrintSection("A4: universal relation -> BCNF fragments -> C2 -> Theorem 2");
+  {
+    int sampled = 0, bcnf = 0, lossless = 0, reassembles = 0, c2 = 0,
+        theorem2_applicable = 0, theorem2_holds = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      Rng rng(static_cast<uint64_t>(trial) * 333667 + 11);
+      DecomposedOptions options;
+      options.attribute_count = 4 + trial % 3;
+      options.universal_rows = 16 + trial % 8;
+      options.key_domain = 24;
+      options.dependent_domain = 3 + trial % 4;
+      DecomposedDatabase d = MakeDecomposedDatabase(options, rng);
+      JoinCache cache(&d.database);
+      if (cache.Tau(d.database.scheme().full_mask()) == 0) continue;
+      ++sampled;
+      if (IsBcnf(d.database.scheme(), d.fds)) ++bcnf;
+      if (HasNoLossyJoins(d.database.scheme(), d.fds)) ++lossless;
+      if (d.database.Evaluate() == d.universal) ++reassembles;
+      ConditionsSummary conditions = CheckAllConditions(cache);
+      if (conditions.c2.satisfied) ++c2;
+      if (conditions.c1.satisfied && conditions.c2.satisfied) {
+        ++theorem2_applicable;
+        auto all = OptimizeExhaustive(cache, d.database.scheme().full_mask(),
+                                      StrategySpace::kAll);
+        auto nocp = OptimizeExhaustive(cache, d.database.scheme().full_mask(),
+                                       StrategySpace::kNoCartesian);
+        if (nocp.has_value() && nocp->cost == all->cost) ++theorem2_holds;
+      }
+    }
+    ReportTable t({"quantity", "expected", "measured"});
+    t.Row().Cell("databases (non-empty join)").Cell("-").Cell(sampled);
+    t.Row().Cell("decomposition is BCNF").Cell(sampled).Cell(bcnf);
+    t.Row()
+        .Cell("chase: no lossy joins (Section 4 hypothesis)")
+        .Cell(sampled)
+        .Cell(lossless);
+    t.Row()
+        .Cell("join of fragments reproduces the universal relation")
+        .Cell(sampled)
+        .Cell(reassembles);
+    t.Row().Cell("C2 holds (Section 4 conclusion)").Cell(sampled).Cell(c2);
+    t.Row()
+        .Cell("Theorem 2 applicable (C1 also holds)")
+        .Cell("-")
+        .Cell(theorem2_applicable);
+    t.Row()
+        .Cell("Theorem 2 conclusion holds there")
+        .Cell(theorem2_applicable)
+        .Cell(theorem2_holds);
+    t.Print();
+    std::printf(
+        "\nThis is the paper's §4 argument run end-to-end on data: lossless\n"
+        "FD-based design ⇒ C2 ⇒ (with C1) optimizers may safely skip\n"
+        "Cartesian products.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,230 @@
+// Experiment I5 — the optimizer-algorithms landscape around the paper:
+// the polynomial algorithms the paper cites (Ibaraki–Kameda's IKKBZ [11],
+// greedy, Swami-style iterative improvement [21]) against the exact-τ
+// optima this library can compute, and the §4-driven condition-aware
+// policy that picks a provably safe restricted search.
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/cost.h"
+#include "core/properties.h"
+#include "optimize/condition_aware.h"
+#include "optimize/dp.h"
+#include "optimize/greedy.h"
+#include "optimize/ikkbz.h"
+#include "optimize/iterative.h"
+#include "report/stats.h"
+#include "report/table.h"
+#include "workload/generator.h"
+#include "workload/keyed_generator.h"
+#include "workload/mini_tpch.h"
+
+using namespace taujoin;  // NOLINT
+
+int main() {
+  const int kTrials = 25;
+
+  PrintSection("I5a: polynomial heuristics vs exact-tau optimum (ratio of true tau)");
+  {
+    ReportTable t({"shape", "n", "greedy median", "greedy max",
+                   "iterative median", "iterative max", "IKKBZ(ASI) median",
+                   "IKKBZ(ASI) max"});
+    for (QueryShape shape : {QueryShape::kChain, QueryShape::kStar}) {
+      for (int n : {5, 7, 9}) {
+        SampleStats greedy_ratio, iterative_ratio, ikkbz_ratio;
+        for (int trial = 0; trial < kTrials; ++trial) {
+          Rng rng(static_cast<uint64_t>(trial) * 104729 +
+                  static_cast<uint64_t>(n) * 13 + static_cast<uint64_t>(shape));
+          GeneratorOptions options;
+          options.shape = shape;
+          options.relation_count = n;
+          options.rows_per_relation = 8;
+          options.join_domain = 4;
+          options.join_skew = 0.8;
+          Database db = RandomDatabase(options, rng);
+          JoinCache cache(&db);
+          ExactSizeModel model(&cache);
+          auto optimum = OptimizeDp(db.scheme(), db.scheme().full_mask(),
+                                    model, {SearchSpace::kBushy, true});
+          if (!optimum || optimum->cost == 0) continue;
+          double base = static_cast<double>(optimum->cost);
+
+          PlanResult greedy =
+              OptimizeGreedy(db.scheme(), db.scheme().full_mask(), model);
+          greedy_ratio.Add(static_cast<double>(greedy.cost) / base);
+
+          Rng iter_rng = rng.Fork();
+          PlanResult iterative = OptimizeIterative(
+              db.scheme(), db.scheme().full_mask(), model, iter_rng);
+          iterative_ratio.Add(static_cast<double>(iterative.cost) / base);
+
+          AsiCostModel asi = AsiCostModel::FromDatabase(db);
+          auto ikkbz =
+              OptimizeIkkbz(db.scheme(), db.scheme().full_mask(), asi);
+          if (ikkbz.ok()) {
+            // Evaluate the IKKBZ order under the *true* τ measure.
+            Strategy s = Strategy::LeftDeep(ikkbz->order);
+            ikkbz_ratio.Add(static_cast<double>(TauCost(s, cache)) / base);
+          }
+        }
+        if (greedy_ratio.count() == 0) continue;
+        t.Row()
+            .Cell(QueryShapeToString(shape))
+            .Cell(n)
+            .Cell(greedy_ratio.Median(), 3)
+            .Cell(greedy_ratio.Max(), 3)
+            .Cell(iterative_ratio.Median(), 3)
+            .Cell(iterative_ratio.Max(), 3)
+            .Cell(ikkbz_ratio.Median(), 3)
+            .Cell(ikkbz_ratio.Max(), 3);
+      }
+    }
+    t.Print();
+    std::printf(
+        "\nIKKBZ is exactly optimal for its ASI objective (an\n"
+        "independence-model τ along tree edges); its gap above is the model\n"
+        "error, not search error — the same distinction the paper draws by\n"
+        "defining optimality on exact counts.\n");
+  }
+
+  PrintSection("I5b: the condition-aware policy in action");
+  {
+    ReportTable t({"workload", "chosen space", "plan tau",
+                   "exact optimum", "optimal?"});
+    // Keyed chain: superkeys declared → Theorem 3 branch.
+    {
+      Rng rng(12);
+      KeyedGeneratorOptions options;
+      options.relation_count = 5;
+      options.rows_per_relation = 6;
+      options.join_domain = 9;
+      Database db = KeyedDatabase(options, rng);
+      FdSet fds;
+      for (int i = 0; i < db.size(); ++i) {
+        for (const std::string& a : db.scheme().scheme(i)) {
+          int occurrences = 0;
+          for (int j = 0; j < db.size(); ++j) {
+            if (db.scheme().scheme(j).Contains(a)) ++occurrences;
+          }
+          if (occurrences > 1) {
+            fds.Add(FunctionalDependency{
+                Schema{a}, db.scheme().scheme(i).Minus(Schema{a})});
+          }
+        }
+      }
+      JoinCache cache(&db);
+      ExactSizeModel model(&cache);
+      ConditionAwarePlan plan = OptimizeConditionAware(
+          db.scheme(), db.scheme().full_mask(), fds, model);
+      auto optimum = OptimizeDp(db.scheme(), db.scheme().full_mask(), model,
+                                {SearchSpace::kBushy, true});
+      t.Row()
+          .Cell("keyed chain + key FDs")
+          .Cell(SpaceJustificationToString(plan.justification))
+          .Cell(plan.plan.cost)
+          .Cell(optimum->cost)
+          .Cell(plan.plan.cost == optimum->cost ? "yes" : "no");
+    }
+    // Mini order schema: FK FDs → Theorem 2 branch.
+    {
+      Rng rng(13);
+      MiniTpch tpch = MakeMiniTpch({}, rng);
+      JoinCache cache(&tpch.database);
+      ExactSizeModel model(&cache);
+      ConditionAwarePlan plan = OptimizeConditionAware(
+          tpch.database.scheme(), tpch.database.scheme().full_mask(),
+          tpch.fds, model);
+      auto optimum =
+          OptimizeDp(tpch.database.scheme(),
+                     tpch.database.scheme().full_mask(), model,
+                     {SearchSpace::kBushy, true});
+      t.Row()
+          .Cell("mini order schema + FK FDs")
+          .Cell(SpaceJustificationToString(plan.justification))
+          .Cell(plan.plan.cost)
+          .Cell(optimum->cost)
+          .Cell(plan.plan.cost == optimum->cost ? "yes" : "no");
+    }
+    // No FDs declared: full search.
+    {
+      Rng rng(14);
+      GeneratorOptions options;
+      options.shape = QueryShape::kCycle;
+      options.relation_count = 5;
+      options.rows_per_relation = 8;
+      options.join_domain = 4;
+      Database db = RandomDatabase(options, rng);
+      JoinCache cache(&db);
+      ExactSizeModel model(&cache);
+      ConditionAwarePlan plan = OptimizeConditionAware(
+          db.scheme(), db.scheme().full_mask(), FdSet{}, model);
+      auto optimum = OptimizeDp(db.scheme(), db.scheme().full_mask(), model,
+                                {SearchSpace::kBushy, true});
+      t.Row()
+          .Cell("random cycle, no FDs")
+          .Cell(SpaceJustificationToString(plan.justification))
+          .Cell(plan.plan.cost)
+          .Cell(optimum->cost)
+          .Cell(plan.plan.cost == optimum->cost ? "yes" : "no");
+    }
+    t.Print();
+    std::printf(
+        "\nThe policy is the paper §4 as engineering: semantic constraints\n"
+        "license a smaller search space with no optimality loss.\n");
+  }
+
+  PrintSection("I5c: the 'hundreds of joins' regime (n = 30, polynomial only)");
+  {
+    // The introduction's motivation for studying large strategy spaces:
+    // nontraditional systems "may have to evaluate expressions containing
+    // hundreds of joins". Exact DP is hopeless there; the polynomial
+    // algorithms still run. We optimize a 30-relation chain under the
+    // independence model and then measure each plan's *exact* τ (cheap for
+    // a single plan).
+    Rng rng(31);
+    GeneratorOptions options;
+    options.shape = QueryShape::kChain;
+    options.relation_count = 30;
+    // Selective joins (domain > rows) keep the 30-way chain's exact sizes
+    // materializable; a fan-out chain would have astronomically large
+    // intermediates for *every* plan.
+    options.rows_per_relation = 10;
+    options.join_domain = 14;
+    options.join_skew = 0.3;
+    Database db = RandomDatabase(options, rng);
+    JoinCache cache(&db);
+    IndependenceSizeModel estimator(&db);
+
+    ReportTable t({"algorithm", "exact tau of its plan"});
+    PlanResult greedy =
+        OptimizeGreedy(db.scheme(), db.scheme().full_mask(), estimator);
+    t.Row().Cell("greedy (GOO)").Cell(TauCost(greedy.strategy, cache));
+    PlanResult greedy_linear =
+        OptimizeGreedyLinear(db.scheme(), db.scheme().full_mask(), estimator);
+    t.Row().Cell("greedy linear").Cell(
+        TauCost(greedy_linear.strategy, cache));
+    Rng iter_rng = rng.Fork();
+    PlanResult iterative = OptimizeIterative(
+        db.scheme(), db.scheme().full_mask(), estimator, iter_rng);
+    t.Row().Cell("iterative improvement").Cell(
+        TauCost(iterative.strategy, cache));
+    Rng sa_rng = rng.Fork();
+    PlanResult annealed = OptimizeSimulatedAnnealing(
+        db.scheme(), db.scheme().full_mask(), estimator, sa_rng);
+    t.Row().Cell("simulated annealing").Cell(
+        TauCost(annealed.strategy, cache));
+    AsiCostModel asi = AsiCostModel::FromDatabase(db);
+    auto ikkbz = OptimizeIkkbz(db.scheme(), db.scheme().full_mask(), asi);
+    if (ikkbz.ok()) {
+      t.Row().Cell("IKKBZ (ASI-optimal)").Cell(
+          TauCost(Strategy::LeftDeep(ikkbz->order), cache));
+    }
+    t.Print();
+    std::printf(
+        "\nAt this size only polynomial search survives; the theorems tell\n"
+        "us when such restricted searches are safe in principle, and IKKBZ\n"
+        "shows what provable optimality under a *model* buys at scale.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Experiment I1 — the strategy-space arithmetic of the paper's
+// introduction ("3 orderings of the form (R1⋈R2)⋈(R3⋈R4) and 12 orderings
+// of the form ((R1⋈R2)⋈R3)⋈R4"), extended to the full table optimizer
+// papers sweep: |all| = (2n−3)!!, |linear| = n!/2, and the no-CP counts by
+// query-graph shape, which are what the avoid-products heuristic actually
+// buys.
+
+#include <cstdio>
+
+#include "enumerate/counting.h"
+#include "optimize/dpccp.h"
+#include "enumerate/strategy_enumerator.h"
+#include "report/table.h"
+#include "scheme/query_graph.h"
+
+using namespace taujoin;  // NOLINT
+
+int main() {
+  PrintSection("I1a: the introduction's n = 4 count (paper vs measured)");
+  {
+    DatabaseScheme scheme = MakeShapedScheme(QueryShape::kClique, 4);
+    uint64_t all =
+        CountStrategies(scheme, scheme.full_mask(), StrategySpace::kAll);
+    uint64_t linear =
+        CountStrategies(scheme, scheme.full_mask(), StrategySpace::kLinear);
+    ReportTable t({"quantity", "paper", "measured"});
+    t.Row().Cell("total strategies, 4 relations").Cell(15).Cell(all);
+    t.Row().Cell("linear ((R1 R2) R3) R4 form").Cell(12).Cell(linear);
+    t.Row().Cell("bushy (R1 R2)(R3 R4) form").Cell(3).Cell(all - linear);
+    t.Print();
+  }
+
+  PrintSection("I1b: strategy-space sizes vs closed forms");
+  {
+    ReportTable t({"n", "all (measured)", "(2n-3)!!", "linear (measured)",
+                   "n!/2"});
+    for (int n = 2; n <= 9; ++n) {
+      DatabaseScheme scheme = MakeShapedScheme(QueryShape::kClique, n);
+      t.Row()
+          .Cell(n)
+          .Cell(CountStrategies(scheme, scheme.full_mask(), StrategySpace::kAll))
+          .Cell(CountAllTrees(n))
+          .Cell(CountStrategies(scheme, scheme.full_mask(),
+                                StrategySpace::kLinear))
+          .Cell(CountLinearTrees(n));
+    }
+    t.Print();
+  }
+
+  PrintSection("I1c: what avoiding Cartesian products buys, by query shape");
+  {
+    ReportTable t({"shape", "n", "all", "no-CP", "linear", "linear+no-CP"});
+    for (QueryShape shape : {QueryShape::kChain, QueryShape::kStar,
+                             QueryShape::kCycle, QueryShape::kClique}) {
+      for (int n : {4, 6, 8, 10}) {
+        if (shape == QueryShape::kCycle && n < 3) continue;
+        DatabaseScheme scheme = MakeShapedScheme(shape, n);
+        RelMask full = scheme.full_mask();
+        t.Row()
+            .Cell(QueryShapeToString(shape))
+            .Cell(n)
+            .Cell(CountStrategies(scheme, full, StrategySpace::kAll))
+            .Cell(CountStrategies(scheme, full, StrategySpace::kNoCartesian))
+            .Cell(CountStrategies(scheme, full, StrategySpace::kLinear))
+            .Cell(CountStrategies(scheme, full,
+                                  StrategySpace::kLinearNoCartesian));
+      }
+    }
+    t.Print();
+    std::printf(
+        "\nChains collapse to Catalan-many CP-free trees; stars to linear\n"
+        "orders through the hub; cliques get no pruning at all — the\n"
+        "heuristics' value depends entirely on the query graph, which is\n"
+        "why the paper asks when they are *safe* rather than how much they\n"
+        "prune.\n");
+  }
+
+  PrintSection("I1d: csg-cmp pairs — the work of product-free DP, by shape");
+  {
+    ReportTable t({"shape", "n", "csg-cmp pairs", "subset splits (3^n scale)"});
+    for (QueryShape shape : {QueryShape::kChain, QueryShape::kStar,
+                             QueryShape::kCycle, QueryShape::kClique}) {
+      for (int n : {4, 8, 12}) {
+        DatabaseScheme scheme = MakeShapedScheme(shape, n);
+        // Splits DPsub would examine: sum over subsets of 2^{|S|-1}-1.
+        uint64_t splits = 0;
+        for (int k = 2; k <= n; ++k) {
+          uint64_t binom = 1;
+          for (int j = 0; j < k; ++j) binom = binom * (n - j) / (j + 1);
+          splits += binom * ((uint64_t{1} << (k - 1)) - 1);
+        }
+        t.Row()
+            .Cell(QueryShapeToString(shape))
+            .Cell(n)
+            .Cell(CountCsgCmpPairs(scheme, scheme.full_mask()))
+            .Cell(splits);
+      }
+    }
+    t.Print();
+    std::printf(
+        "\nProduct-free DP touches only realizable pairs: cubic on chains\n"
+        "versus the exponential subset-split count — the engineering payoff\n"
+        "of knowing (via the paper) that skipping products is safe.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,231 @@
+// Experiment F1–F6 — the paper's figures are strategy-tree rewrites used
+// inside the proofs. This harness executes each rewrite on randomized
+// databases and verifies the cost (in)equalities the proofs rely on:
+//
+//   Figures 1–2 (§2): pluck / graft produce well-formed strategies.
+//   Figure 3 (Thm 1): on C1' databases, if a linear strategy's last
+//     Cartesian step exists, rewrite T1 or T2 strictly reduces τ.
+//   Figures 4–5 (Lemmas 2–3): merging a component into the other child of
+//     the root never increases τ and reduces comp(D1)+comp(D2).
+//   Figure 6 (Lemma 6): under C3, transferring a grandchild across the
+//     root preserves τ-optimality among connected strategies.
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/conditions.h"
+#include "core/cost.h"
+#include "core/properties.h"
+#include "core/transform.h"
+#include "enumerate/strategy_enumerator.h"
+#include "optimize/exhaustive.h"
+#include "report/table.h"
+#include "workload/generator.h"
+#include "workload/keyed_generator.h"
+
+using namespace taujoin;  // NOLINT
+
+namespace {
+
+// Figures 1–2: structural well-formedness of pluck and graft over every
+// subtree of every strategy of random databases.
+void RunPluckGraft(ReportTable& table) {
+  int checked = 0, valid = 0;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed * 101 + 7);
+    GeneratorOptions options;
+    options.shape = static_cast<QueryShape>(seed % 4);
+    options.relation_count = 5;
+    options.rows_per_relation = 4;
+    options.join_domain = 3;
+    Database db = RandomDatabase(options, rng);
+    ForEachStrategy(
+        db.scheme(), db.scheme().full_mask(), StrategySpace::kLinear,
+        [&](const Strategy& s) {
+          for (int node : s.PostOrder()) {
+            if (node == s.root()) continue;
+            ++checked;
+            Strategy sub = s.Subtree(node);
+            Strategy plucked = Pluck(s, node);
+            bool ok = plucked.IsValid() &&
+                      plucked.mask() == (s.mask() & ~sub.mask());
+            Strategy grafted = Graft(plucked, sub, plucked.root());
+            ok = ok && grafted.IsValid() && grafted.mask() == s.mask();
+            if (ok) ++valid;
+          }
+          return true;
+        });
+  }
+  table.Row()
+      .Cell("F1+F2 pluck/graft well-formed")
+      .Cell(checked)
+      .Cell(valid)
+      .Cell(checked == valid ? "PASS" : "FAIL");
+}
+
+// Figure 3: Theorem 1's rewrites strictly improve a CP-using linear
+// strategy on C1'-satisfying databases.
+void RunTheorem1Rewrites(ReportTable& table) {
+  int checked = 0, improved = 0;
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    Rng rng(seed * 211 + 3);
+    KeyedGeneratorOptions options;
+    options.shape = seed % 2 == 0 ? QueryShape::kChain : QueryShape::kStar;
+    options.relation_count = 4;
+    options.rows_per_relation = 4;
+    options.join_domain = 6;
+    Database db = KeyedDatabase(options, rng);
+    JoinCache cache(&db);
+    if (cache.Tau(db.scheme().full_mask()) == 0) continue;
+    if (!CheckC1Strict(cache).satisfied) continue;
+    // Every linear strategy that uses a CP must be strictly improvable by
+    // some other linear strategy (Theorem 1 says it cannot be optimal).
+    uint64_t linear_optimum =
+        OptimizeExhaustive(cache, db.scheme().full_mask(),
+                           StrategySpace::kLinear)
+            ->cost;
+    ForEachStrategy(db.scheme(), db.scheme().full_mask(),
+                    StrategySpace::kLinear, [&](const Strategy& s) {
+                      if (!UsesCartesianProducts(s, db.scheme())) return true;
+                      ++checked;
+                      if (TauCost(s, cache) > linear_optimum) ++improved;
+                      return true;
+                    });
+  }
+  table.Row()
+      .Cell("F3 CP-using linear strategies strictly beaten (C1')")
+      .Cell(checked)
+      .Cell(improved)
+      .Cell(checked == improved ? "PASS" : "FAIL");
+}
+
+// Figures 4–5: the Lemma 2/3 component-merging rewrite. We realize it via
+// PluckAndGraftAbove: pluck the component strategy [E, R_E] of the
+// unconnected child D2 and graft it above the other child D1. The claim:
+// τ never increases (given C1 ∧ C2 and the substrategy shape).
+void RunLemma23Rewrites(ReportTable& table) {
+  int checked = 0, non_increasing = 0;
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    Rng rng(seed * 307 + 11);
+    KeyedGeneratorOptions options;
+    options.shape = QueryShape::kChain;
+    options.relation_count = 4;
+    options.rows_per_relation = 4;
+    options.join_domain = 6;
+    Database db = KeyedDatabase(options, rng);
+    JoinCache cache(&db);
+    if (cache.Tau(db.scheme().full_mask()) == 0) continue;
+    if (!CheckC1(cache).satisfied || !CheckC2(cache).satisfied) continue;
+    // Chain R0-R1-R2-R3: root = [D1] ⋈ [D2] with D1 = {R0} (connected),
+    // D2 = {R1, R3} is NOT available on a chain; instead take D2 = {R2,
+    // R3, R1}... To realize Lemma 2's shape we pick the strategy
+    // (R0) ⋈ ((R1 R2) R3) and pluck/graft on unconnected D2 variants.
+    // Simpler: construct root = [ {R0,R1} ] ⋈ [ {R2} ∪ {R3} ]? {R2,R3} is
+    // connected on a chain. Use the strategy ((R0 R2)(R1 R3))-style
+    // unconnected children instead:
+    //   S = (R1 R3) ⋈ (R0 R2): left child {R1,R3} unconnected? On chain
+    // R1-R2 adjacency: {R1,R3} unconnected ✓, right {R0,R2} unconnected ✓.
+    Strategy left = Strategy::MakeJoin(Strategy::MakeLeaf(1),
+                                       Strategy::MakeLeaf(3));
+    Strategy right = Strategy::MakeJoin(Strategy::MakeLeaf(0),
+                                        Strategy::MakeLeaf(2));
+    Strategy s = Strategy::MakeJoin(left, right);
+    // Lemma 3 shape: both children unconnected, each evaluating its
+    // components individually (they are leaves). Merge component {R1} of
+    // the left child into the right child above component {R2} (linked on
+    // the chain).
+    ++checked;
+    Strategy rewritten =
+        PluckAndGraftAbove(s, s.FindNode(SingletonMask(1)), SingletonMask(2));
+    if (TauCost(rewritten, cache) <= TauCost(s, cache)) ++non_increasing;
+  }
+  table.Row()
+      .Cell("F4+F5 component-merge rewrite never increases tau (C1+C2)")
+      .Cell(checked)
+      .Cell(non_increasing)
+      .Cell(checked == non_increasing ? "PASS" : "FAIL");
+}
+
+// Figure 6: under C3, for a connected strategy S that is τ-optimal among
+// connected strategies and whose root joins two non-trivial children
+// [D1] ⋈ [D2] with grandchildren D1 = D'1 ∪ D''1, D2 = D'2 ∪ D''2 and
+// D'1 linked to D'2, the proof shows the transfers
+//   T1: pluck S_{D'1}, graft above S_{D2}
+//   T2: pluck S_{D'2}, graft above S_{D1}
+// satisfy τ(T1) = τ(S) = τ(T2). We check exactly that. Workload:
+// identical-scheme (intersection-style) databases, which satisfy C3
+// automatically (§5) and routinely have bushy-rooted connected optima.
+void RunLemma6Rewrites(ReportTable& table) {
+  int checked = 0, preserved = 0;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed * 401 + 13);
+    std::vector<Schema> schemes(5, Schema{"A"});
+    // A multiset of sets (§5's view): draw the five relations from a pool
+    // of two distinct sets, so equal intermediate results create the cost
+    // ties that let connected optima be bushy at the root.
+    std::vector<Relation> pool;
+    for (int p = 0; p < 2; ++p) {
+      Relation r{Schema{"A"}};
+      for (int v = 0; v < 16; ++v) {
+        if (rng.Bernoulli(0.6)) r.Insert(Tuple{v});
+      }
+      r.Insert(Tuple{99});  // shared element keeps the intersection non-empty
+      pool.push_back(std::move(r));
+    }
+    std::vector<Relation> sets;
+    for (int i = 0; i < 5; ++i) {
+      sets.push_back(pool[static_cast<size_t>(rng.Uniform(2))]);
+    }
+    Database db = Database::CreateOrDie(DatabaseScheme(schemes), sets);
+    JoinCache cache(&db);
+    if (!CheckC3(cache).satisfied) continue;
+    uint64_t connected_optimum =
+        OptimizeExhaustive(cache, db.scheme().full_mask(),
+                           StrategySpace::kNoCartesian)
+            ->cost;
+    ForEachStrategy(
+        db.scheme(), db.scheme().full_mask(), StrategySpace::kNoCartesian,
+        [&](const Strategy& s) {
+          if (TauCost(s, cache) != connected_optimum) return true;
+          const Strategy::Node& root = s.node(s.root());
+          if (s.IsLeaf(root.left) || s.IsLeaf(root.right)) return true;
+          const Strategy::Node& d1 = s.node(root.left);
+          const Strategy::Node& d2 = s.node(root.right);
+          for (int g1 : {d1.left, d1.right}) {
+            for (int g2 : {d2.left, d2.right}) {
+              if (!db.scheme().Linked(s.node(g1).mask, s.node(g2).mask)) {
+                continue;
+              }
+              Strategy t1 = PluckAndGraftAbove(s, g1, d2.mask);
+              Strategy t2 = PluckAndGraftAbove(s, g2, d1.mask);
+              checked += 2;
+              if (TauCost(t1, cache) == connected_optimum) ++preserved;
+              if (TauCost(t2, cache) == connected_optimum) ++preserved;
+            }
+          }
+          return true;
+        });
+  }
+  table.Row()
+      .Cell("F6 root transfers T1/T2 preserve connected-optimality (C3)")
+      .Cell(checked)
+      .Cell(preserved)
+      .Cell(checked == preserved ? "PASS" : "FAIL");
+}
+
+}  // namespace
+
+int main() {
+  PrintSection("F1-F6: the paper's figure rewrites, executed and checked");
+  ReportTable table({"rewrite property", "instances", "holding", "verdict"});
+  RunPluckGraft(table);
+  RunTheorem1Rewrites(table);
+  RunLemma23Rewrites(table);
+  RunLemma6Rewrites(table);
+  table.Print();
+  std::printf(
+      "\nEach row replays one of the paper's proof transformations\n"
+      "(Figures 1-6) on randomized condition-satisfying databases and\n"
+      "verifies the cost identity the proof depends on.\n");
+  return 0;
+}

@@ -1,0 +1,147 @@
+// M2 — google-benchmark microbenchmarks for the optimizer substrate:
+// exact-cost DP (bushy/linear), the avoid-CP optimizer, greedy, iterative
+// improvement, exhaustive enumeration, and condition checking, as the
+// query grows.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/conditions.h"
+#include "enumerate/strategy_enumerator.h"
+#include "optimize/dp.h"
+#include "optimize/dpccp.h"
+#include "optimize/exhaustive.h"
+#include "optimize/greedy.h"
+#include "optimize/iterative.h"
+#include "workload/generator.h"
+
+namespace taujoin {
+namespace {
+
+Database MakeDb(int n, uint64_t seed) {
+  Rng rng(seed);
+  GeneratorOptions options;
+  options.shape = QueryShape::kChain;
+  options.relation_count = n;
+  options.rows_per_relation = 8;
+  options.join_domain = 4;
+  return RandomDatabase(options, rng);
+}
+
+void BM_DpBushy(benchmark::State& state) {
+  Database db = MakeDb(static_cast<int>(state.range(0)), 1);
+  JoinCache cache(&db);
+  ExactSizeModel model(&cache);
+  cache.Tau(db.scheme().full_mask());  // pre-warm materialization
+  for (auto _ : state) {
+    auto plan = OptimizeDp(db.scheme(), db.scheme().full_mask(), model,
+                           {SearchSpace::kBushy, true});
+    benchmark::DoNotOptimize(plan->cost);
+  }
+}
+BENCHMARK(BM_DpBushy)->Arg(6)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_DpLinear(benchmark::State& state) {
+  Database db = MakeDb(static_cast<int>(state.range(0)), 1);
+  JoinCache cache(&db);
+  ExactSizeModel model(&cache);
+  cache.Tau(db.scheme().full_mask());
+  for (auto _ : state) {
+    auto plan = OptimizeDp(db.scheme(), db.scheme().full_mask(), model,
+                           {SearchSpace::kLinear, true});
+    benchmark::DoNotOptimize(plan->cost);
+  }
+}
+BENCHMARK(BM_DpLinear)->Arg(6)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_DpNoCartesian(benchmark::State& state) {
+  Database db = MakeDb(static_cast<int>(state.range(0)), 1);
+  JoinCache cache(&db);
+  ExactSizeModel model(&cache);
+  cache.Tau(db.scheme().full_mask());
+  for (auto _ : state) {
+    auto plan = OptimizeDp(db.scheme(), db.scheme().full_mask(), model,
+                           {SearchSpace::kBushy, false});
+    benchmark::DoNotOptimize(plan->cost);
+  }
+}
+BENCHMARK(BM_DpNoCartesian)->Arg(6)->Arg(8)->Arg(10)->Arg(12);
+
+
+void BM_DpCcp(benchmark::State& state) {
+  Database db = MakeDb(static_cast<int>(state.range(0)), 1);
+  JoinCache cache(&db);
+  ExactSizeModel model(&cache);
+  cache.Tau(db.scheme().full_mask());
+  for (auto _ : state) {
+    auto plan = OptimizeDpCcp(db.scheme(), db.scheme().full_mask(), model);
+    benchmark::DoNotOptimize(plan->cost);
+  }
+}
+BENCHMARK(BM_DpCcp)->Arg(6)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_Greedy(benchmark::State& state) {
+  Database db = MakeDb(static_cast<int>(state.range(0)), 1);
+  JoinCache cache(&db);
+  ExactSizeModel model(&cache);
+  cache.Tau(db.scheme().full_mask());
+  for (auto _ : state) {
+    PlanResult plan =
+        OptimizeGreedy(db.scheme(), db.scheme().full_mask(), model);
+    benchmark::DoNotOptimize(plan.cost);
+  }
+}
+BENCHMARK(BM_Greedy)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_IterativeImprovement(benchmark::State& state) {
+  Database db = MakeDb(static_cast<int>(state.range(0)), 1);
+  JoinCache cache(&db);
+  ExactSizeModel model(&cache);
+  cache.Tau(db.scheme().full_mask());
+  Rng rng(9);
+  for (auto _ : state) {
+    PlanResult plan =
+        OptimizeIterative(db.scheme(), db.scheme().full_mask(), model, rng);
+    benchmark::DoNotOptimize(plan.cost);
+  }
+}
+BENCHMARK(BM_IterativeImprovement)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_ExhaustiveEnumeration(benchmark::State& state) {
+  Database db = MakeDb(static_cast<int>(state.range(0)), 1);
+  JoinCache cache(&db);
+  cache.Tau(db.scheme().full_mask());
+  for (auto _ : state) {
+    auto plan = OptimizeExhaustive(cache, db.scheme().full_mask(),
+                                   StrategySpace::kAll);
+    benchmark::DoNotOptimize(plan->cost);
+  }
+}
+BENCHMARK(BM_ExhaustiveEnumeration)->Arg(5)->Arg(6)->Arg(7)->Arg(8);
+
+void BM_IndependenceEstimator(benchmark::State& state) {
+  Database db = MakeDb(static_cast<int>(state.range(0)), 1);
+  for (auto _ : state) {
+    IndependenceSizeModel model(&db);
+    auto plan = OptimizeDp(db.scheme(), db.scheme().full_mask(), model,
+                           {SearchSpace::kBushy, true});
+    benchmark::DoNotOptimize(plan->cost);
+  }
+}
+BENCHMARK(BM_IndependenceEstimator)->Arg(8)->Arg(12);
+
+void BM_CheckConditions(benchmark::State& state) {
+  Database db = MakeDb(static_cast<int>(state.range(0)), 1);
+  JoinCache cache(&db);
+  cache.Tau(db.scheme().full_mask());
+  for (auto _ : state) {
+    ConditionsSummary summary = CheckAllConditions(cache);
+    benchmark::DoNotOptimize(summary.c1.satisfied);
+  }
+}
+BENCHMARK(BM_CheckConditions)->Arg(4)->Arg(6)->Arg(8);
+
+}  // namespace
+}  // namespace taujoin
+
+BENCHMARK_MAIN();

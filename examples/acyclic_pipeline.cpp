@@ -1,0 +1,95 @@
+// Acyclic-query pipeline — the §5 discussion end to end: classify a
+// scheme's degree of acyclicity, build a join tree, run the
+// Bernstein–Chiu full reducer, evaluate with Yannakakis' algorithm, and
+// observe C4 / monotone-increasing behaviour on the reduced database.
+//
+// Run:  build/examples/acyclic_pipeline
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/conditions.h"
+#include "core/cost.h"
+#include "core/properties.h"
+#include "report/table.h"
+#include "scheme/acyclicity.h"
+#include "scheme/hypergraph.h"
+#include "semijoin/consistency.h"
+#include "semijoin/full_reducer.h"
+#include "semijoin/yannakakis.h"
+#include "workload/generator.h"
+
+using namespace taujoin;  // NOLINT
+
+int main() {
+  Rng rng(7);
+  GeneratorOptions options;
+  options.shape = QueryShape::kChain;
+  options.relation_count = 5;
+  options.rows_per_relation = 10;
+  options.join_domain = 5;
+  Database db = RandomDatabase(options, rng);
+
+  PrintSection("Scheme classification");
+  {
+    ReportTable t({"property", "value"});
+    t.Row().Cell("scheme").Cell(db.scheme().ToString());
+    t.Row().Cell("Berge-acyclic").Cell(IsBergeAcyclic(db.scheme()) ? "yes" : "no");
+    t.Row().Cell("gamma-acyclic").Cell(IsGammaAcyclic(db.scheme()) ? "yes" : "no");
+    t.Row().Cell("beta-acyclic").Cell(IsBetaAcyclic(db.scheme()) ? "yes" : "no");
+    t.Row().Cell("alpha-acyclic (GYO)").Cell(
+        IsAlphaAcyclic(db.scheme()) ? "yes" : "no");
+    t.Print();
+  }
+
+  PrintSection("Join tree");
+  {
+    std::optional<JoinTree> tree = BuildJoinTree(db.scheme());
+    if (!tree) {
+      std::printf("no join tree (scheme is cyclic)\n");
+      return 1;
+    }
+    for (int i = 0; i < db.size(); ++i) {
+      int p = tree->parent[static_cast<size_t>(i)];
+      std::printf("  %s -> parent %s\n",
+                  db.scheme().scheme(i).ToString().c_str(),
+                  p < 0 ? "(root)" : db.scheme().scheme(p).ToString().c_str());
+    }
+  }
+
+  PrintSection("Semijoin reduction (Bernstein-Chiu full reducer)");
+  {
+    StatusOr<Database> reduced_or = FullReduce(db);
+    Database reduced = std::move(reduced_or).value();
+    ReportTable t({"relation", "before", "after", "consistent now"});
+    for (int i = 0; i < db.size(); ++i) {
+      t.Row()
+          .Cell(db.scheme().scheme(i).ToString())
+          .Cell(db.state(i).Tau())
+          .Cell(reduced.state(i).Tau())
+          .Cell("yes");
+    }
+    t.Print();
+    std::printf("pairwise consistent: %s\n",
+                IsPairwiseConsistent(reduced) ? "yes" : "no");
+
+    PrintSection("C4 and monotone-increasing evaluation on the reduced database");
+    JoinCache cache(&reduced);
+    std::printf("conditions on reduced database: %s\n",
+                CheckAllConditions(cache).ToString().c_str());
+    StatusOr<YannakakisResult> result = YannakakisEvaluate(reduced);
+    std::printf("\nYannakakis evaluation order: %s\n",
+                result->strategy.ToString(reduced).c_str());
+    std::printf("intermediate sizes:");
+    for (uint64_t s : result->step_sizes) {
+      std::printf(" %llu", static_cast<unsigned long long>(s));
+    }
+    std::printf("  (never shrinks: the strategy is monotone increasing)\n");
+    std::printf("final result: %llu tuples; equals naive join: %s\n",
+                static_cast<unsigned long long>(result->result.Tau()),
+                result->result == db.Evaluate() ? "yes" : "no");
+    std::printf("monotone increasing per the step test: %s\n",
+                IsMonotoneIncreasing(result->strategy, cache) ? "yes" : "no");
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// EXPLAIN-style walkthrough: build a small database fluently, let the
+// condition-aware optimizer justify its search space from the declared
+// FDs, execute the chosen strategy step by step, and compare with a
+// semijoin pre-pass — the paper's ideas as a debugging session.
+//
+// Run:  build/examples/explain
+
+#include <cstdio>
+
+#include "core/builder.h"
+#include "core/conditions.h"
+#include "core/cost.h"
+#include "core/trace.h"
+#include "optimize/condition_aware.h"
+#include "report/table.h"
+#include "semijoin/program.h"
+
+using namespace taujoin;  // NOLINT
+
+int main() {
+  // A tiny course catalog, declared fluently; join attributes key the
+  // "dimension" side (C keys courses, I keys instructors).
+  Database db = DatabaseBuilder()
+                    .Relation("Enroll", "S,C")
+                    .Row({"Mokhtar", "Phy101"})
+                    .Row({"Mokhtar", "Math200"})
+                    .Row({"Lin", "Math200"})
+                    .Row({"Katina", "Lit104"})
+                    .Row({"Sundram", "Phy101"})
+                    .Relation("Course", "C,I")
+                    .Row({"Phy101", "Newton"})
+                    .Row({"Math200", "Lorentz"})
+                    .Row({"Lit104", "Turing"})
+                    .Relation("Instr", "I,D")
+                    .Row({"Newton", "Phy"})
+                    .Row({"Lorentz", "Math"})
+                    .Row({"Turing", "CS"})
+                    .Build();
+  FdSet fds;
+  fds.Add(FunctionalDependency{Schema{"C"}, Schema{"I"}});
+  fds.Add(FunctionalDependency{Schema{"I"}, Schema{"D"}});
+
+  PrintSection("Optimizer decision");
+  JoinCache cache(&db);
+  ExactSizeModel model(&cache);
+  ConditionAwarePlan chosen = OptimizeConditionAware(
+      db.scheme(), db.scheme().full_mask(), fds, model);
+  std::printf("declared FDs:   %s\n", fds.ToString().c_str());
+  std::printf("justification:  %s\n",
+              SpaceJustificationToString(chosen.justification));
+  std::printf("chosen plan:    %s  (tau = %llu)\n",
+              chosen.plan.strategy.ToString(db).c_str(),
+              static_cast<unsigned long long>(chosen.plan.cost));
+  std::printf("conditions on the data: %s\n",
+              CheckAllConditions(cache).ToString().c_str());
+
+  PrintSection("EXPLAIN ANALYZE");
+  EvaluationTrace trace = ExecuteStrategy(db, chosen.plan.strategy);
+  std::printf("%s", trace.ToString(db).c_str());
+
+  PrintSection("Semijoin pre-pass (Bernstein-Chiu full reducer)");
+  StatusOr<SemijoinProgram> program =
+      SemijoinProgram::FullReducerFor(db.scheme());
+  if (program.ok()) {
+    std::printf("%s", program->ToString(db).c_str());
+    SemijoinProgram::RunResult run = program->Run(db);
+    ReportTable t({"relation", "before", "after reduction"});
+    for (int i = 0; i < db.size(); ++i) {
+      t.Row()
+          .Cell(db.name(i))
+          .Cell(db.state(i).Tau())
+          .Cell(run.database.state(i).Tau());
+    }
+    t.Print();
+    JoinCache reduced_cache(&run.database);
+    ExactSizeModel reduced_model(&reduced_cache);
+    ConditionAwarePlan after = OptimizeConditionAware(
+        run.database.scheme(), run.database.scheme().full_mask(), fds,
+        reduced_model);
+    std::printf(
+        "\ntau on raw data:      %llu\n"
+        "tau after reduction:  %llu (plus the reduction's own work)\n",
+        static_cast<unsigned long long>(chosen.plan.cost),
+        static_cast<unsigned long long>(after.plan.cost));
+  }
+
+  std::printf(
+      "\nEverything above is the paper in miniature: declared constraints\n"
+      "license a restricted search (Theorems 2-3), the trace shows the\n"
+      "τ measure the theorems optimize, and the semijoin pass is §5's\n"
+      "bridge to monotone strategies.\n");
+  return 0;
+}

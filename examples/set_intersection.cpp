@@ -1,0 +1,82 @@
+// Set-intersection ordering — §5's closing application. To minimize the
+// elements generated while intersecting n sets, a left-deep (linear) order
+// suffices: with ⋈ := ∩ over identical schemes, C3 holds automatically and
+// Theorem 3 applies. This example intersects keyword posting lists.
+//
+// Run:  build/examples/set_intersection
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/conditions.h"
+#include "core/cost.h"
+#include "core/properties.h"
+#include "optimize/exhaustive.h"
+#include "report/table.h"
+
+using namespace taujoin;  // NOLINT
+
+int main() {
+  // Posting lists: documents containing each keyword.
+  Rng rng(41);
+  const int kDocs = 60;
+  struct Keyword {
+    const char* word;
+    double density;
+  };
+  Keyword keywords[] = {{"database", 0.7}, {"join", 0.5},   {"optimal", 0.4},
+                        {"strategy", 0.6}, {"linear", 0.3}};
+  std::vector<Schema> schemes;
+  std::vector<Relation> lists;
+  std::vector<std::string> names;
+  for (const Keyword& k : keywords) {
+    Relation r{Schema{"Doc"}};
+    for (int d = 0; d < kDocs; ++d) {
+      if (rng.Bernoulli(k.density)) r.Insert(Tuple{d});
+    }
+    r.Insert(Tuple{kDocs});  // one document matches everything
+    schemes.push_back(Schema{"Doc"});
+    lists.push_back(std::move(r));
+    names.push_back(k.word);
+  }
+  Database db = Database::CreateOrDie(DatabaseScheme(schemes), lists, names);
+  JoinCache cache(&db);
+
+  PrintSection("Posting lists");
+  {
+    ReportTable t({"keyword", "documents"});
+    for (int i = 0; i < db.size(); ++i) {
+      t.Row().Cell(db.name(i)).Cell(db.state(i).Tau());
+    }
+    t.Print();
+  }
+
+  PrintSection("The paper's conditions with ⋈ = ∩");
+  std::printf("%s\n", CheckAllConditions(cache).ToString().c_str());
+  std::printf(
+      "Identical schemes make every pair linked and every intersection no\n"
+      "larger than its inputs, so C3 holds by construction (Section 5).\n");
+
+  PrintSection("Best orders");
+  {
+    auto all = OptimizeExhaustive(cache, db.scheme().full_mask(),
+                                  StrategySpace::kAll);
+    auto linear = OptimizeExhaustive(cache, db.scheme().full_mask(),
+                                     StrategySpace::kLinear);
+    ReportTable t({"space", "order", "elements generated"});
+    t.Row().Cell("all trees").Cell(all->strategy.ToString(db)).Cell(all->cost);
+    t.Row()
+        .Cell("linear only")
+        .Cell(linear->strategy.ToString(db))
+        .Cell(linear->cost);
+    t.Print();
+    std::printf(
+        "\nTheorem 3 in action: the linear row matches the global optimum —\n"
+        "an intersection engine never needs bushy plans under this measure.\n"
+        "(The winning order starts from the rarest keyword, the classic\n"
+        "smallest-first rule.)\n");
+    std::printf("optimum monotone decreasing: %s\n",
+                IsMonotoneDecreasing(linear->strategy, cache) ? "yes" : "no");
+  }
+  return 0;
+}

@@ -1,0 +1,105 @@
+// University registrar scenario — the paper's §4 examples as a user-facing
+// walkthrough. Three ad-hoc queries over a registrar database show how the
+// conditions C1'/C1/C2/C3 decide which optimizer shortcuts are safe.
+//
+// Run:  build/examples/university
+
+#include <cstdio>
+
+#include "core/conditions.h"
+#include "core/cost.h"
+#include "core/properties.h"
+#include "core/strategy_parser.h"
+#include "optimize/exhaustive.h"
+#include "report/table.h"
+#include "workload/paper_data.h"
+
+using namespace taujoin;  // NOLINT
+
+namespace {
+
+void ShowDatabase(const Database& db) {
+  for (int i = 0; i < db.size(); ++i) {
+    std::printf("-- %s over %s (%llu tuples)\n%s\n", db.name(i).c_str(),
+                db.scheme().scheme(i).ToString().c_str(),
+                static_cast<unsigned long long>(db.state(i).Tau()),
+                db.state(i).ToString().c_str());
+  }
+}
+
+void ShowAllStrategies(const Database& db, JoinCache& cache) {
+  ReportTable t({"strategy", "tau", "linear", "uses products"});
+  ForEachStrategy(db.scheme(), db.scheme().full_mask(), StrategySpace::kAll,
+                  [&](const Strategy& s) {
+                    t.Row()
+                        .Cell(s.ToString(db))
+                        .Cell(TauCost(s, cache))
+                        .Cell(IsLinear(s) ? "yes" : "no")
+                        .Cell(UsesCartesianProducts(s, db.scheme()) ? "yes"
+                                                                    : "no");
+                    return true;
+                  });
+  t.Print();
+}
+
+void ShowConditions(JoinCache& cache) {
+  std::printf("conditions: %s\n", CheckAllConditions(cache).ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  PrintSection("Query 1: do athletes avoid courses with laboratory work?");
+  {
+    Database db = Example3Database();
+    JoinCache cache(&db);
+    ShowDatabase(db);
+    ShowAllStrategies(db, cache);
+    ShowConditions(cache);
+    std::printf(
+        "\nEvery order ties here — even the Cartesian-product plan\n"
+        "(GS x CL) join SC. C1 holds but not strictly (C1'), so Theorem 1\n"
+        "cannot promise that optimal linear plans avoid products, and\n"
+        "indeed one optimal linear plan uses one.\n");
+  }
+
+  PrintSection("Query 2: the same question, a semester later");
+  {
+    Database db = Example4Database();
+    JoinCache cache(&db);
+    ShowAllStrategies(db, cache);
+    ShowConditions(cache);
+    auto optimum =
+        OptimizeExhaustive(cache, db.scheme().full_mask(), StrategySpace::kAll);
+    std::printf(
+        "\nNow the data is skewed: the Cartesian product GS x CL (6 tuples)\n"
+        "beats both real joins (9 and 7). The optimum %s costs %llu.\n"
+        "C1 fails, so a never-products optimizer would pick a worse plan —\n"
+        "exactly Example 4's point.\n",
+        optimum->strategy.ToString(db).c_str(),
+        static_cast<unsigned long long>(optimum->cost));
+  }
+
+  PrintSection("Query 3: how does each department serve the majors?");
+  {
+    Database db = Example5Database();
+    JoinCache cache(&db);
+    ShowDatabase(db);
+    ShowConditions(cache);
+    auto optimum =
+        OptimizeExhaustive(cache, db.scheme().full_mask(), StrategySpace::kAll);
+    auto system_r = OptimizeExhaustive(cache, db.scheme().full_mask(),
+                                       StrategySpace::kLinearNoCartesian);
+    std::printf(
+        "global optimum:         %s  (tau = %llu)\n"
+        "best linear, no-CP:     %s  (tau = %llu)\n\n"
+        "C1 and C2 hold but C3 fails (instructors teach many courses), so\n"
+        "Theorem 3's guarantee is gone: the unique optimum is bushy and a\n"
+        "System R-style search misses it — Example 5's point.\n",
+        optimum->strategy.ToString(db).c_str(),
+        static_cast<unsigned long long>(optimum->cost),
+        system_r->strategy.ToString(db).c_str(),
+        static_cast<unsigned long long>(system_r->cost));
+  }
+  return 0;
+}

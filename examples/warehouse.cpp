@@ -1,0 +1,137 @@
+// Data-warehouse scenario — §4 in practice. A star-schema database whose
+// dimension keys make every join lossless (C2 by the chase), and a fully
+// keyed pipeline where all joins are on superkeys (C3). The example shows
+// which optimizer restrictions each constraint licenses, and how far the
+// classic independence estimator drifts from exact τ.
+//
+// Run:  build/examples/warehouse
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/conditions.h"
+#include "core/cost.h"
+#include "core/properties.h"
+#include "fd/chase.h"
+#include "optimize/dp.h"
+#include "optimize/greedy.h"
+#include "report/table.h"
+#include "workload/keyed_generator.h"
+#include "workload/star_schema.h"
+
+using namespace taujoin;  // NOLINT
+
+int main() {
+  Rng rng(2026);
+
+  PrintSection("Star schema: fact + 3 dimensions with declared keys");
+  {
+    StarSchemaOptions options;
+    options.dimension_count = 3;
+    options.fact_rows = 24;
+    options.dimension_rows = 8;
+    options.dimension_domain = 12;  // a third of the FKs dangle
+    StarSchemaDatabase star = MakeStarSchema(options, rng);
+    Database& db = star.database;
+    std::printf("schemes: %s\nFDs: %s\n", db.scheme().ToString().c_str(),
+                star.fds.ToString().c_str());
+    std::printf("chase says no lossy joins: %s\n",
+                HasNoLossyJoins(db.scheme(), star.fds) ? "yes" : "no");
+
+    JoinCache cache(&db);
+    ConditionsSummary conditions = CheckAllConditions(cache);
+    std::printf("conditions: %s\n\n", conditions.ToString().c_str());
+
+    ExactSizeModel exact(&cache);
+    auto optimum = OptimizeDp(db.scheme(), db.scheme().full_mask(), exact,
+                              {SearchSpace::kBushy, true});
+    auto no_cp = OptimizeDp(db.scheme(), db.scheme().full_mask(), exact,
+                            {SearchSpace::kBushy, false});
+    ReportTable t({"search space", "plan", "tau"});
+    t.Row().Cell("all strategies").Cell(optimum->strategy.ToString(db)).Cell(
+        optimum->cost);
+    t.Row().Cell("no Cartesian products").Cell(no_cp->strategy.ToString(db))
+        .Cell(no_cp->cost);
+    t.Print();
+    std::printf(
+        "\nLossless FK joins give C2; with C1 they guarantee (Theorem 2)\n"
+        "that skipping Cartesian products loses nothing: both rows match.\n");
+  }
+
+  PrintSection("Fully keyed pipeline: every join on a superkey of both sides");
+  {
+    KeyedGeneratorOptions options;
+    options.shape = QueryShape::kChain;
+    options.relation_count = 6;
+    options.rows_per_relation = 10;
+    options.join_domain = 14;
+    Database db = KeyedDatabase(options, rng);
+    JoinCache cache(&db);
+    ConditionsSummary conditions = CheckAllConditions(cache);
+    std::printf("conditions: %s\n\n", conditions.ToString().c_str());
+
+    ExactSizeModel exact(&cache);
+    auto bushy = OptimizeDp(db.scheme(), db.scheme().full_mask(), exact,
+                            {SearchSpace::kBushy, true});
+    auto linear_nocp = OptimizeDp(db.scheme(), db.scheme().full_mask(), exact,
+                                  {SearchSpace::kLinear, false});
+    PlanResult greedy =
+        OptimizeGreedyLinear(db.scheme(), db.scheme().full_mask(), exact);
+    ReportTable t({"optimizer", "plan", "tau", "linear"});
+    t.Row()
+        .Cell("exhaustive DP (bushy, CP allowed)")
+        .Cell(bushy->strategy.ToString(db))
+        .Cell(bushy->cost)
+        .Cell(IsLinear(bushy->strategy) ? "yes" : "no");
+    t.Row()
+        .Cell("DP restricted: linear, no CP")
+        .Cell(linear_nocp->strategy.ToString(db))
+        .Cell(linear_nocp->cost)
+        .Cell("yes");
+    t.Row()
+        .Cell("greedy linear (polynomial)")
+        .Cell(greedy.strategy.ToString(db))
+        .Cell(greedy.cost)
+        .Cell("yes");
+    t.Print();
+    std::printf(
+        "\nC3 holds (all joins on superkeys), so by Theorem 3 the cheap\n"
+        "restricted search is *provably* optimal — the first two rows must\n"
+        "agree. The greedy row shows how close the polynomial heuristic\n"
+        "gets without the guarantee.\n");
+  }
+
+  PrintSection("Estimator drift: exact tau vs independence assumption");
+  {
+    KeyedGeneratorOptions options;
+    options.shape = QueryShape::kStar;
+    options.relation_count = 5;
+    options.rows_per_relation = 12;
+    options.join_domain = 18;
+    Database db = KeyedDatabase(options, rng);
+    JoinCache cache(&db);
+    ExactSizeModel exact(&cache);
+    IndependenceSizeModel independence(&db);
+    auto exact_plan = OptimizeDp(db.scheme(), db.scheme().full_mask(), exact,
+                                 {SearchSpace::kBushy, true});
+    auto estimated_plan =
+        OptimizeDp(db.scheme(), db.scheme().full_mask(), independence,
+                   {SearchSpace::kBushy, true});
+    uint64_t estimated_true_cost = TauCost(estimated_plan->strategy, cache);
+    ReportTable t({"optimizer", "plan", "true tau"});
+    t.Row()
+        .Cell("exact sizes (the paper's measure)")
+        .Cell(exact_plan->strategy.ToString(db))
+        .Cell(exact_plan->cost);
+    t.Row()
+        .Cell("independence estimates (System R)")
+        .Cell(estimated_plan->strategy.ToString(db))
+        .Cell(estimated_true_cost);
+    t.Print();
+    std::printf(
+        "\nThe paper's critique of uniformity+independence assumptions:\n"
+        "an estimator-driven optimizer can pick a different plan; its true\n"
+        "tau is shown above for comparison.\n");
+  }
+  return 0;
+}

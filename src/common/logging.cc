@@ -1,0 +1,21 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace taujoin {
+namespace internal {
+
+FatalMessage::FatalMessage(const char* file, int line,
+                           const char* condition) {
+  stream_ << file << ":" << line << ": check failed: " << condition << " ";
+}
+
+FatalMessage::~FatalMessage() {
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace taujoin

@@ -1,0 +1,60 @@
+#ifndef TAUJOIN_COMMON_LOGGING_H_
+#define TAUJOIN_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace taujoin {
+
+namespace internal {
+
+/// Collects a fatal-error message via stream syntax and aborts the process
+/// when destroyed. Used by the CHECK family of macros below; never
+/// instantiate it directly.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+  [[noreturn]] ~FatalMessage();
+
+  template <typename T>
+  FatalMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+}  // namespace taujoin
+
+/// Aborts with a diagnostic unless `condition` evaluates to true. This is
+/// the project's mechanism for programming-error invariants (the codebase
+/// never throws); recoverable errors use Status/StatusOr instead.
+#define TAUJOIN_CHECK(condition)                                          \
+  if (!(condition))                                                       \
+  ::taujoin::internal::FatalMessage(__FILE__, __LINE__, #condition)
+
+#define TAUJOIN_CHECK_EQ(a, b) TAUJOIN_CHECK((a) == (b))
+#define TAUJOIN_CHECK_NE(a, b) TAUJOIN_CHECK((a) != (b))
+#define TAUJOIN_CHECK_LT(a, b) TAUJOIN_CHECK((a) < (b))
+#define TAUJOIN_CHECK_LE(a, b) TAUJOIN_CHECK((a) <= (b))
+#define TAUJOIN_CHECK_GT(a, b) TAUJOIN_CHECK((a) > (b))
+#define TAUJOIN_CHECK_GE(a, b) TAUJOIN_CHECK((a) >= (b))
+
+/// Marks an unreachable code path.
+#define TAUJOIN_UNREACHABLE() \
+  ::taujoin::internal::FatalMessage(__FILE__, __LINE__, "unreachable")
+
+#ifdef NDEBUG
+#define TAUJOIN_DCHECK(condition) \
+  if (false) ::taujoin::internal::FatalMessage(__FILE__, __LINE__, #condition)
+#else
+#define TAUJOIN_DCHECK(condition) TAUJOIN_CHECK(condition)
+#endif
+
+#endif  // TAUJOIN_COMMON_LOGGING_H_

@@ -1,0 +1,66 @@
+#ifndef TAUJOIN_COMMON_RNG_H_
+#define TAUJOIN_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace taujoin {
+
+/// Deterministic pseudo-random number generator (xoshiro256** seeded via
+/// SplitMix64). All randomized generators, tests and experiments in the
+/// project draw from this type so that every run is reproducible from a
+/// 64-bit seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Returns the next raw 64-bit output.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be positive. Uses rejection
+  /// sampling, so the result is exactly uniform.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Returns true with probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Zipf-distributed integer in [0, n) with exponent `s >= 0`; s == 0
+  /// degenerates to uniform. Sampling is by inversion over the precomputed
+  /// CDF supplied by ZipfTable, or directly here for one-off use.
+  uint64_t Zipf(uint64_t n, double s);
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Picks a uniformly random element; `items` must be non-empty.
+  template <typename T>
+  const T& Choice(const std::vector<T>& items) {
+    TAUJOIN_CHECK(!items.empty());
+    return items[static_cast<size_t>(Uniform(items.size()))];
+  }
+
+  /// Forks an independent generator; the child stream is a deterministic
+  /// function of the parent state, and the parent advances.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_COMMON_RNG_H_

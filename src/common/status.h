@@ -1,0 +1,118 @@
+#ifndef TAUJOIN_COMMON_STATUS_H_
+#define TAUJOIN_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+
+namespace taujoin {
+
+/// Broad classification of a failed operation, modeled on absl::StatusCode.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable lower_snake name for `code` ("ok", "invalid_argument"...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation that produces no value. The codebase does
+/// not use exceptions; any operation that can fail on user input returns a
+/// Status (or StatusOr<T> when it produces a value).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. `invalid_argument: empty scheme`.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored StatusOr is a fatal programming error.
+template <typename T>
+class StatusOr {
+ public:
+  /// Intentionally implicit, so `return MakeThing();` and `return status;`
+  /// both work, mirroring absl::StatusOr.
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT
+    TAUJOIN_CHECK(!std::get<Status>(rep_).ok())
+        << "StatusOr constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    TAUJOIN_CHECK(ok()) << "value() on errored StatusOr: "
+                        << std::get<Status>(rep_).ToString();
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    TAUJOIN_CHECK(ok()) << "value() on errored StatusOr: "
+                        << std::get<Status>(rep_).ToString();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    TAUJOIN_CHECK(ok()) << "value() on errored StatusOr: "
+                        << std::get<Status>(rep_).ToString();
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+/// Evaluates `expr` (a Status) and returns it from the enclosing function if
+/// it is not OK.
+#define TAUJOIN_RETURN_IF_ERROR(expr)                   \
+  do {                                                  \
+    ::taujoin::Status taujoin_status_tmp_ = (expr);     \
+    if (!taujoin_status_tmp_.ok()) return taujoin_status_tmp_; \
+  } while (false)
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_COMMON_STATUS_H_

@@ -1,0 +1,22 @@
+#ifndef TAUJOIN_COMMON_STRINGS_H_
+#define TAUJOIN_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace taujoin {
+
+/// Joins `parts` with `separator` ("a", "b" -> "a,b").
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view separator);
+
+/// Splits `text` on `separator`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view text, char separator);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_COMMON_STRINGS_H_

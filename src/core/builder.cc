@@ -1,0 +1,62 @@
+#include "core/builder.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace taujoin {
+
+DatabaseBuilder& DatabaseBuilder::Relation(std::string name,
+                                           std::string_view attributes) {
+  PendingRelation relation;
+  relation.name = std::move(name);
+  // Reuse Schema::Parse's syntax but keep the caller's column order.
+  std::string_view text = StripWhitespace(attributes);
+  if (text.find(',') != std::string_view::npos) {
+    for (const std::string& part : StrSplit(text, ',')) {
+      std::string_view stripped = StripWhitespace(part);
+      if (!stripped.empty()) relation.attribute_order.emplace_back(stripped);
+    }
+  } else {
+    for (char c : text) {
+      if (c != ' ' && c != '\t') relation.attribute_order.emplace_back(1, c);
+    }
+  }
+  relations_.push_back(std::move(relation));
+  return *this;
+}
+
+DatabaseBuilder& DatabaseBuilder::Row(std::vector<Value> values) {
+  TAUJOIN_CHECK(!relations_.empty()) << "Row() before any Relation()";
+  TAUJOIN_CHECK_EQ(values.size(), relations_.back().attribute_order.size())
+      << "row arity mismatch for relation " << relations_.back().name;
+  relations_.back().rows.push_back(std::move(values));
+  return *this;
+}
+
+StatusOr<Database> DatabaseBuilder::BuildOrError() {
+  if (relations_.empty()) {
+    return InvalidArgumentError("no relations declared");
+  }
+  std::vector<Schema> schemes;
+  // `class` disambiguates from the Relation() member function.
+  std::vector<class Relation> states;
+  std::vector<std::string> names;
+  for (const PendingRelation& pending : relations_) {
+    StatusOr<class Relation> state =
+        Relation::FromRows(pending.attribute_order, pending.rows);
+    TAUJOIN_RETURN_IF_ERROR(state.status());
+    schemes.push_back(state->schema());
+    states.push_back(std::move(state).value());
+    names.push_back(pending.name);
+  }
+  return Database::Create(DatabaseScheme(std::move(schemes)),
+                          std::move(states), std::move(names));
+}
+
+Database DatabaseBuilder::Build() {
+  StatusOr<Database> db = BuildOrError();
+  TAUJOIN_CHECK(db.ok()) << db.status().ToString();
+  return std::move(db).value();
+}
+
+}  // namespace taujoin

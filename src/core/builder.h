@@ -1,0 +1,53 @@
+#ifndef TAUJOIN_CORE_BUILDER_H_
+#define TAUJOIN_CORE_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/database.h"
+
+namespace taujoin {
+
+/// Fluent construction of small databases, for tests and examples:
+///
+///   Database db = DatabaseBuilder()
+///       .Relation("GS", "G,S")
+///           .Row({"Hockey", "Mokhtar"})
+///           .Row({"Tennis", "Lin"})
+///       .Relation("SC", "S,C")
+///           .Row({"Mokhtar", "Phy101"})
+///       .Build();
+///
+/// Attribute lists use Schema::Parse syntax ("GS" or "G,S"); rows list
+/// values in the *declared* attribute order (not sorted schema order).
+class DatabaseBuilder {
+ public:
+  DatabaseBuilder() = default;
+
+  /// Starts a new relation; subsequent Row() calls feed it.
+  DatabaseBuilder& Relation(std::string name, std::string_view attributes);
+
+  /// Adds a tuple to the current relation (CHECK: a relation is open and
+  /// the arity matches).
+  DatabaseBuilder& Row(std::vector<Value> values);
+
+  /// Validates and assembles. Fails on duplicate names, schema mismatches
+  /// or no relations.
+  StatusOr<Database> BuildOrError();
+
+  /// CHECK-failing convenience.
+  Database Build();
+
+ private:
+  struct PendingRelation {
+    std::string name;
+    std::vector<std::string> attribute_order;
+    std::vector<std::vector<Value>> rows;
+  };
+  std::vector<PendingRelation> relations_;
+};
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_CORE_BUILDER_H_

@@ -1,0 +1,150 @@
+#include "core/conditions.h"
+
+#include <optional>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace taujoin {
+
+std::string ConditionWitness::ToString(const DatabaseScheme& scheme) const {
+  std::string out;
+  if (e != 0) out += "E=" + scheme.MaskToString(e) + " ";
+  out += "E1=" + scheme.MaskToString(e1) + " E2=" + scheme.MaskToString(e2);
+  out += " violates " + comparison + " (" + std::to_string(lhs) + " vs " +
+         std::to_string(rhs) + ")";
+  return out;
+}
+
+namespace {
+
+/// Connectivity of every subset, indexed by mask. O(2^n · n); capped.
+std::vector<char> ConnectedTable(const DatabaseScheme& scheme) {
+  const int n = scheme.size();
+  TAUJOIN_CHECK_LE(n, 20) << "condition checking is exponential in |D|";
+  std::vector<char> table(size_t{1} << n, 0);
+  for (RelMask mask = 1; mask < (RelMask{1} << n); ++mask) {
+    table[mask] = scheme.Connected(mask) ? 1 : 0;
+  }
+  return table;
+}
+
+/// Shared sweep for C1/C1': enumerates the (E, E1, E2) triples and applies
+/// `violated(lhs, rhs)` to τ(R_{E∪E1}) and τ(R_{E∪E2}).
+template <typename Violated>
+ConditionReport SweepC1(JoinCache& cache, const char* comparison,
+                        Violated violated) {
+  const DatabaseScheme& scheme = cache.db().scheme();
+  const std::vector<char> connected = ConnectedTable(scheme);
+  const RelMask full = scheme.full_mask();
+  ConditionReport report;
+  ForEachNonEmptySubmask(full, [&](RelMask e) {
+    if (!report.satisfied || !connected[e]) return;
+    const RelMask rest = full & ~e;
+    ForEachNonEmptySubmask(rest, [&](RelMask e1) {
+      if (!report.satisfied || !connected[e1]) return;
+      if (!scheme.Linked(e, e1)) return;
+      const RelMask rest2 = rest & ~e1;
+      ForEachNonEmptySubmask(rest2, [&](RelMask e2) {
+        if (!report.satisfied || !connected[e2]) return;
+        if (scheme.Linked(e, e2)) return;
+        uint64_t lhs = cache.Tau(e | e1);
+        uint64_t rhs = cache.Tau(e | e2);
+        if (violated(lhs, rhs)) {
+          report.satisfied = false;
+          report.witness = ConditionWitness{e, e1, e2, lhs, rhs, comparison};
+        }
+      });
+    });
+  });
+  return report;
+}
+
+/// Shared sweep for C2/C3/C4 over disjoint connected linked pairs.
+/// `violated(joined, t1, t2)` returns the operand τ that witnesses the
+/// violation, or nullopt when the condition holds for the pair.
+template <typename Violated>
+ConditionReport SweepPairs(JoinCache& cache, const char* comparison,
+                           Violated violated) {
+  const DatabaseScheme& scheme = cache.db().scheme();
+  const std::vector<char> connected = ConnectedTable(scheme);
+  const RelMask full = scheme.full_mask();
+  ConditionReport report;
+  ForEachNonEmptySubmask(full, [&](RelMask e1) {
+    if (!report.satisfied || !connected[e1]) return;
+    const RelMask rest = full & ~e1;
+    ForEachNonEmptySubmask(rest, [&](RelMask e2) {
+      if (!report.satisfied || !connected[e2]) return;
+      if (!scheme.Linked(e1, e2)) return;
+      uint64_t joined = cache.Tau(e1 | e2);
+      uint64_t t1 = cache.Tau(e1);
+      uint64_t t2 = cache.Tau(e2);
+      std::optional<uint64_t> witness_rhs = violated(joined, t1, t2);
+      if (witness_rhs.has_value()) {
+        report.satisfied = false;
+        report.witness =
+            ConditionWitness{0, e1, e2, joined, *witness_rhs, comparison};
+      }
+    });
+  });
+  return report;
+}
+
+}  // namespace
+
+ConditionReport CheckC1(JoinCache& cache) {
+  return SweepC1(cache, "tau(E join E1) <= tau(E join E2)",
+                 [](uint64_t lhs, uint64_t rhs) { return lhs > rhs; });
+}
+
+ConditionReport CheckC1Strict(JoinCache& cache) {
+  return SweepC1(cache, "tau(E join E1) < tau(E join E2)",
+                 [](uint64_t lhs, uint64_t rhs) { return lhs >= rhs; });
+}
+
+ConditionReport CheckC2(JoinCache& cache) {
+  return SweepPairs(
+      cache, "tau(E1 join E2) <= tau(E1) or tau(E1 join E2) <= tau(E2)",
+      [](uint64_t joined, uint64_t t1, uint64_t t2) -> std::optional<uint64_t> {
+        if (joined > t1 && joined > t2) return std::max(t1, t2);
+        return std::nullopt;
+      });
+}
+
+ConditionReport CheckC3(JoinCache& cache) {
+  return SweepPairs(
+      cache, "tau(E1 join E2) <= tau(E1) and tau(E1 join E2) <= tau(E2)",
+      [](uint64_t joined, uint64_t t1, uint64_t t2) -> std::optional<uint64_t> {
+        if (joined > t1) return t1;
+        if (joined > t2) return t2;
+        return std::nullopt;
+      });
+}
+
+ConditionReport CheckC4(JoinCache& cache) {
+  return SweepPairs(
+      cache, "tau(E1 join E2) >= tau(E1) and tau(E1 join E2) >= tau(E2)",
+      [](uint64_t joined, uint64_t t1, uint64_t t2) -> std::optional<uint64_t> {
+        if (joined < t1) return t1;
+        if (joined < t2) return t2;
+        return std::nullopt;
+      });
+}
+
+std::string ConditionsSummary::ToString() const {
+  auto mark = [](const ConditionReport& r) { return r.satisfied ? "yes" : "no"; };
+  return std::string("C1=") + mark(c1) + " C1'=" + mark(c1_strict) +
+         " C2=" + mark(c2) + " C3=" + mark(c3) + " C4=" + mark(c4);
+}
+
+ConditionsSummary CheckAllConditions(JoinCache& cache) {
+  ConditionsSummary summary;
+  summary.c1 = CheckC1(cache);
+  summary.c1_strict = CheckC1Strict(cache);
+  summary.c2 = CheckC2(cache);
+  summary.c3 = CheckC3(cache);
+  summary.c4 = CheckC4(cache);
+  return summary;
+}
+
+}  // namespace taujoin

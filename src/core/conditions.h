@@ -1,0 +1,63 @@
+#ifndef TAUJOIN_CORE_CONDITIONS_H_
+#define TAUJOIN_CORE_CONDITIONS_H_
+
+#include <optional>
+#include <string>
+
+#include "core/cost.h"
+
+namespace taujoin {
+
+/// A counterexample to one of the paper's conditions: the subsets involved
+/// and the τ comparison that failed.
+struct ConditionWitness {
+  RelMask e = 0;   ///< the paper's E (0 for C2/C3/C4, which have no E)
+  RelMask e1 = 0;  ///< the paper's E1
+  RelMask e2 = 0;  ///< the paper's E2
+  uint64_t lhs = 0;
+  uint64_t rhs = 0;
+  std::string comparison;  ///< e.g. "tau(E⋈E1) <= tau(E⋈E2)"
+
+  std::string ToString(const DatabaseScheme& scheme) const;
+};
+
+/// Outcome of checking a condition on a database.
+struct ConditionReport {
+  bool satisfied = true;
+  std::optional<ConditionWitness> witness;
+};
+
+/// C1(𝒟): for all pairwise-disjoint connected subsets E, E1, E2 of D with
+/// E linked to E1 but not to E2: τ(R_E ⋈ R_E1) ≤ τ(R_E ⋈ R_E2).
+/// The formalization of "a real join never beats a Cartesian product".
+ConditionReport CheckC1(JoinCache& cache);
+
+/// C1'(𝒟): as C1 with strict inequality (<). Theorem 1's hypothesis.
+ConditionReport CheckC1Strict(JoinCache& cache);
+
+/// C2(𝒟): for all disjoint connected linked subsets E1, E2:
+/// τ(R_E1 ⋈ R_E2) ≤ τ(R_E1) or τ(R_E1 ⋈ R_E2) ≤ τ(R_E2).
+ConditionReport CheckC2(JoinCache& cache);
+
+/// C3(𝒟): as C2 with "and": the join is no larger than *either* operand.
+ConditionReport CheckC3(JoinCache& cache);
+
+/// C4(𝒟) (§5): as C3 but reversed: the join is at least as large as both
+/// operands.
+ConditionReport CheckC4(JoinCache& cache);
+
+/// All five at once (single subset sweep amortized through the cache).
+struct ConditionsSummary {
+  ConditionReport c1;
+  ConditionReport c1_strict;
+  ConditionReport c2;
+  ConditionReport c3;
+  ConditionReport c4;
+  std::string ToString() const;
+};
+
+ConditionsSummary CheckAllConditions(JoinCache& cache);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_CORE_CONDITIONS_H_

@@ -1,0 +1,76 @@
+#include "core/cost.h"
+
+#include "common/logging.h"
+#include "relational/join.h"
+
+namespace taujoin {
+
+const Relation& JoinCache::ConnectedState(RelMask mask) {
+  TAUJOIN_CHECK_NE(mask, RelMask{0});
+  auto it = states_.find(mask);
+  if (it != states_.end()) return it->second;
+  TAUJOIN_CHECK(db_->scheme().Connected(mask))
+      << "ConnectedState on unconnected subset "
+      << db_->scheme().MaskToString(mask);
+  Relation state;
+  if (PopCount(mask) == 1) {
+    state = db_->state(LowestBitIndex(mask));
+  } else {
+    // Split off one relation that keeps the remainder connected, so the
+    // recursive materialization also stays on connected subsets. Such a
+    // relation always exists (any leaf of a spanning tree of the subset's
+    // intersection graph).
+    int split = -1;
+    for (int i : MaskToIndices(mask)) {
+      RelMask rest = mask & ~SingletonMask(i);
+      if (db_->scheme().Connected(rest)) {
+        split = i;
+        break;
+      }
+    }
+    TAUJOIN_CHECK_GE(split, 0);
+    const Relation& rest_state = ConnectedState(mask & ~SingletonMask(split));
+    state = NaturalJoin(rest_state, db_->state(split));
+  }
+  auto [inserted, unused] = states_.emplace(mask, std::move(state));
+  return inserted->second;
+}
+
+uint64_t JoinCache::Tau(RelMask mask) {
+  TAUJOIN_CHECK_NE(mask, RelMask{0});
+  auto it = taus_.find(mask);
+  if (it != taus_.end()) return it->second;
+  uint64_t tau = 1;
+  for (RelMask component : db_->scheme().Components(mask)) {
+    tau *= ConnectedState(component).Tau();
+  }
+  taus_.emplace(mask, tau);
+  return tau;
+}
+
+Relation JoinCache::State(RelMask mask) {
+  std::vector<RelMask> components = db_->scheme().Components(mask);
+  Relation result = ConnectedState(components[0]);
+  for (size_t i = 1; i < components.size(); ++i) {
+    result = NaturalJoin(result, ConnectedState(components[i]));
+  }
+  return result;
+}
+
+uint64_t TauCost(const Strategy& strategy, JoinCache& cache) {
+  uint64_t total = 0;
+  for (int step : strategy.Steps()) {
+    total += cache.Tau(strategy.node(step).mask);
+  }
+  return total;
+}
+
+std::vector<uint64_t> StepCosts(const Strategy& strategy, JoinCache& cache) {
+  std::vector<uint64_t> costs;
+  for (int step : strategy.Steps()) {
+    costs.push_back(cache.Tau(strategy.node(step).mask));
+  }
+  return costs;
+}
+
+}  // namespace taujoin

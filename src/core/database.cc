@@ -1,0 +1,86 @@
+#include "core/database.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace taujoin {
+
+StatusOr<Database> Database::Create(DatabaseScheme scheme,
+                                    std::vector<Relation> states,
+                                    std::vector<std::string> names) {
+  if (static_cast<int>(states.size()) != scheme.size()) {
+    return InvalidArgumentError("state count != scheme count");
+  }
+  for (int i = 0; i < scheme.size(); ++i) {
+    if (!(states[static_cast<size_t>(i)].schema() == scheme.scheme(i))) {
+      return InvalidArgumentError(
+          "state schema " + states[static_cast<size_t>(i)].schema().ToString() +
+          " != scheme " + scheme.scheme(i).ToString());
+    }
+  }
+  if (names.empty()) {
+    for (int i = 0; i < scheme.size(); ++i) {
+      names.push_back("R" + std::to_string(i));
+    }
+  }
+  if (static_cast<int>(names.size()) != scheme.size()) {
+    return InvalidArgumentError("name count != scheme count");
+  }
+  std::unordered_set<std::string> seen;
+  for (const std::string& n : names) {
+    if (!seen.insert(n).second) {
+      return InvalidArgumentError("duplicate relation name: " + n);
+    }
+  }
+  Database db;
+  db.scheme_ = std::move(scheme);
+  db.states_ = std::move(states);
+  db.names_ = std::move(names);
+  return db;
+}
+
+Database Database::CreateOrDie(DatabaseScheme scheme,
+                               std::vector<Relation> states,
+                               std::vector<std::string> names) {
+  StatusOr<Database> db =
+      Create(std::move(scheme), std::move(states), std::move(names));
+  TAUJOIN_CHECK(db.ok()) << db.status().ToString();
+  return std::move(db).value();
+}
+
+int Database::IndexOfName(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Relation Database::JoinAll(RelMask mask) const {
+  TAUJOIN_CHECK_NE(mask, RelMask{0});
+  TAUJOIN_CHECK_EQ(mask & ~scheme_.full_mask(), RelMask{0});
+  // Join in a connectivity-respecting order so that intermediate results
+  // stay connected whenever possible (Cartesian blowup only happens when
+  // the subset itself is unconnected).
+  std::vector<int> order;
+  RelMask remaining = mask;
+  RelMask current = 0;
+  while (remaining) {
+    int next = -1;
+    if (current != 0) {
+      RelMask frontier = scheme_.Neighbors(current, remaining);
+      if (frontier != 0) next = LowestBitIndex(frontier);
+    }
+    if (next < 0) next = LowestBitIndex(remaining);
+    order.push_back(next);
+    current |= SingletonMask(next);
+    remaining &= ~SingletonMask(next);
+  }
+  Relation acc = states_[static_cast<size_t>(order[0])];
+  for (size_t i = 1; i < order.size(); ++i) {
+    acc = NaturalJoin(acc, states_[static_cast<size_t>(order[i])]);
+  }
+  return acc;
+}
+
+}  // namespace taujoin

@@ -1,0 +1,57 @@
+#ifndef TAUJOIN_CORE_DATABASE_H_
+#define TAUJOIN_CORE_DATABASE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/join.h"
+#include "relational/relation.h"
+#include "scheme/database_scheme.h"
+
+namespace taujoin {
+
+/// A database 𝒟 = (D, D): a database scheme together with one relation
+/// state per relation scheme. Relations may carry names ("GS", "SC", ...)
+/// for readable strategy printing; unnamed relations are R0, R1, ....
+class Database {
+ public:
+  Database() = default;
+
+  /// Fails unless every state's schema equals the corresponding scheme and
+  /// names (when given) are unique and one per relation.
+  static StatusOr<Database> Create(DatabaseScheme scheme,
+                                   std::vector<Relation> states,
+                                   std::vector<std::string> names = {});
+
+  /// CHECK-failing convenience for statically known-good inputs.
+  static Database CreateOrDie(DatabaseScheme scheme,
+                              std::vector<Relation> states,
+                              std::vector<std::string> names = {});
+
+  const DatabaseScheme& scheme() const { return scheme_; }
+  int size() const { return scheme_.size(); }
+  const Relation& state(int i) const { return states_[static_cast<size_t>(i)]; }
+  const std::string& name(int i) const { return names_[static_cast<size_t>(i)]; }
+
+  /// Index of the relation named `name`, or -1.
+  int IndexOfName(const std::string& name) const;
+
+  /// R_{D'} for the subset `mask`, computed directly (unmemoized): the
+  /// natural join of the member states. For unconnected subsets this
+  /// materializes Cartesian products — use JoinCache::Tau when only the
+  /// cardinality is needed.
+  Relation JoinAll(RelMask mask) const;
+
+  /// The full join R_D.
+  Relation Evaluate() const { return JoinAll(scheme_.full_mask()); }
+
+ private:
+  DatabaseScheme scheme_;
+  std::vector<Relation> states_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_CORE_DATABASE_H_

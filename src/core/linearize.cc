@@ -1,0 +1,92 @@
+#include "core/linearize.h"
+
+#include <optional>
+
+#include "core/properties.h"
+#include "core/transform.h"
+
+namespace taujoin {
+
+namespace {
+
+/// One Figure-6 transfer out of root child `from_left ? left : right`:
+/// moves one of its grandchildren above the other root child, requiring
+/// the result to stay CP-free with τ unchanged. Returns nullopt when no
+/// such transfer exists (or the designated child is already trivial).
+std::optional<Strategy> TransferFrom(const Strategy& s, bool from_left,
+                                     JoinCache& cache, uint64_t target_cost) {
+  const Strategy::Node& root = s.node(s.root());
+  int child = from_left ? root.left : root.right;
+  int other = from_left ? root.right : root.left;
+  if (s.IsLeaf(child)) return std::nullopt;
+  const DatabaseScheme& scheme = cache.db().scheme();
+  for (int grandchild : {s.node(child).left, s.node(child).right}) {
+    Strategy moved = PluckAndGraftAbove(s, grandchild, s.node(other).mask);
+    if (UsesCartesianProducts(moved, scheme)) continue;
+    if (TauCost(moved, cache) != target_cost) continue;
+    return moved;
+  }
+  return std::nullopt;
+}
+
+/// Drains the designated root child one grandchild at a time until it is
+/// trivial. Terminates because each transfer strictly shrinks that side.
+std::optional<Strategy> DrainSide(Strategy s, bool from_left, JoinCache& cache,
+                                  uint64_t target_cost) {
+  while (true) {
+    const Strategy::Node& root = s.node(s.root());
+    int child = from_left ? root.left : root.right;
+    if (s.IsLeaf(child)) return s;
+    std::optional<Strategy> moved =
+        TransferFrom(s, from_left, cache, target_cost);
+    if (!moved.has_value()) return std::nullopt;
+    s = std::move(*moved);
+  }
+}
+
+}  // namespace
+
+StatusOr<Strategy> LinearizeConnected(const Strategy& s, JoinCache& cache) {
+  const uint64_t target_cost = TauCost(s, cache);
+  Strategy current = s;
+  const Strategy::Node& root = current.node(current.root());
+  if (current.IsLeaf(root.left) && current.IsLeaf(root.right)) {
+    return current;  // two leaves: already linear
+  }
+  if (!current.IsLeaf(root.left) && !current.IsLeaf(root.right)) {
+    // Case 2 of the lemma: drain one side until the root has a trivial
+    // child; if draining left stalls, drain right instead.
+    std::optional<Strategy> drained =
+        DrainSide(current, /*from_left=*/true, cache, target_cost);
+    if (!drained.has_value()) {
+      drained = DrainSide(current, /*from_left=*/false, cache, target_cost);
+    }
+    if (!drained.has_value()) {
+      return FailedPreconditionError(
+          "no tau-preserving CP-free transfer at the root; Lemma 6's "
+          "hypotheses (C3 + optimality among connected strategies) do not "
+          "hold for this input");
+    }
+    current = std::move(*drained);
+  }
+  // Case 1 of the lemma: the root now has a trivial child; linearize the
+  // non-trivial child recursively (a substrategy of a connected-optimal
+  // strategy is connected-optimal for its own sub-database).
+  const Strategy::Node& new_root = current.node(current.root());
+  if (current.IsLeaf(new_root.left) && current.IsLeaf(new_root.right)) {
+    return current;
+  }
+  int big = current.IsLeaf(new_root.left) ? new_root.right : new_root.left;
+  int small = current.IsLeaf(new_root.left) ? new_root.left : new_root.right;
+  Strategy sub = current.Subtree(big);
+  StatusOr<Strategy> linear_sub = LinearizeConnected(sub, cache);
+  TAUJOIN_RETURN_IF_ERROR(linear_sub.status());
+  Strategy rebuilt = Strategy::MakeJoin(*linear_sub, current.Subtree(small));
+  if (TauCost(rebuilt, cache) != target_cost) {
+    return InternalError(
+        "sub-linearization changed tau; input was not connected-optimal");
+  }
+  return rebuilt;
+}
+
+}  // namespace taujoin

@@ -1,0 +1,27 @@
+#ifndef TAUJOIN_CORE_LINEARIZE_H_
+#define TAUJOIN_CORE_LINEARIZE_H_
+
+#include "common/status.h"
+#include "core/cost.h"
+#include "core/strategy.h"
+
+namespace taujoin {
+
+/// Lemma 6, made constructive. Given a strategy `s` that
+///   (a) uses no Cartesian products, and
+///   (b) is τ-optimum among such strategies
+/// for a database satisfying C3, repeatedly transfers a grandchild across
+/// the root (the Figure 6 rewrites T1/T2) — each transfer provably
+/// preserves τ under the lemma's hypotheses — until the root has a trivial
+/// child, then recurses. The result is a *linear* CP-free strategy with
+/// τ equal to τ(s).
+///
+/// Fails (without modifying anything) if no cost-preserving CP-free
+/// transfer exists at some step — which the lemma rules out under its
+/// hypotheses, so a failure signals that `s` was not connected-optimal or
+/// the database violates C3.
+StatusOr<Strategy> LinearizeConnected(const Strategy& s, JoinCache& cache);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_CORE_LINEARIZE_H_

@@ -1,0 +1,76 @@
+#include "core/properties.h"
+
+#include "common/logging.h"
+
+namespace taujoin {
+
+bool IsLinear(const Strategy& strategy) {
+  for (int step : strategy.Steps()) {
+    const Strategy::Node& n = strategy.node(step);
+    if (!strategy.IsLeaf(n.left) && !strategy.IsLeaf(n.right)) return false;
+  }
+  return true;
+}
+
+bool StepUsesCartesianProduct(const Strategy& strategy, int node,
+                              const DatabaseScheme& scheme) {
+  const Strategy::Node& n = strategy.node(node);
+  TAUJOIN_CHECK_GE(n.left, 0) << "not a step";
+  return !scheme.Linked(strategy.node(n.left).mask,
+                        strategy.node(n.right).mask);
+}
+
+int CartesianStepCount(const Strategy& strategy,
+                       const DatabaseScheme& scheme) {
+  int count = 0;
+  for (int step : strategy.Steps()) {
+    if (StepUsesCartesianProduct(strategy, step, scheme)) ++count;
+  }
+  return count;
+}
+
+bool UsesCartesianProducts(const Strategy& strategy,
+                           const DatabaseScheme& scheme) {
+  return CartesianStepCount(strategy, scheme) > 0;
+}
+
+bool EvaluatesComponentsIndividually(const Strategy& strategy,
+                                     const DatabaseScheme& scheme) {
+  for (RelMask component : scheme.Components(strategy.mask())) {
+    if (strategy.FindNode(component) < 0) return false;
+  }
+  return true;
+}
+
+bool AvoidsCartesianProducts(const Strategy& strategy,
+                             const DatabaseScheme& scheme) {
+  if (!EvaluatesComponentsIndividually(strategy, scheme)) return false;
+  const int components = scheme.ComponentCount(strategy.mask());
+  return CartesianStepCount(strategy, scheme) == components - 1;
+}
+
+bool IsMonotoneDecreasing(const Strategy& strategy, JoinCache& cache) {
+  for (int step : strategy.Steps()) {
+    const Strategy::Node& n = strategy.node(step);
+    uint64_t out = cache.Tau(n.mask);
+    if (out > cache.Tau(strategy.node(n.left).mask) ||
+        out > cache.Tau(strategy.node(n.right).mask)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IsMonotoneIncreasing(const Strategy& strategy, JoinCache& cache) {
+  for (int step : strategy.Steps()) {
+    const Strategy::Node& n = strategy.node(step);
+    uint64_t out = cache.Tau(n.mask);
+    if (out < cache.Tau(strategy.node(n.left).mask) ||
+        out < cache.Tau(strategy.node(n.right).mask)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace taujoin

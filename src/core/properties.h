@@ -1,0 +1,48 @@
+#ifndef TAUJOIN_CORE_PROPERTIES_H_
+#define TAUJOIN_CORE_PROPERTIES_H_
+
+#include "core/cost.h"
+#include "core/strategy.h"
+#include "scheme/database_scheme.h"
+
+namespace taujoin {
+
+/// §2 definitions as predicates on strategies.
+
+/// A linear strategy: every step has a trivial strategy (a leaf) as a
+/// child. Trivial strategies are linear.
+bool IsLinear(const Strategy& strategy);
+
+/// Whether step `node` (an internal node) uses a Cartesian product, i.e.
+/// its children's subsets are not linked.
+bool StepUsesCartesianProduct(const Strategy& strategy, int node,
+                              const DatabaseScheme& scheme);
+
+/// Number of steps using Cartesian products.
+int CartesianStepCount(const Strategy& strategy, const DatabaseScheme& scheme);
+
+/// Whether the strategy has any Cartesian-product step. The paper's
+/// Lemma-6 shorthand calls a strategy with none "connected".
+bool UsesCartesianProducts(const Strategy& strategy,
+                           const DatabaseScheme& scheme);
+
+/// Whether S evaluates 𝒟's components individually: for each component E
+/// of the strategy's subset, [E, R_E] is a node of S.
+bool EvaluatesComponentsIndividually(const Strategy& strategy,
+                                     const DatabaseScheme& scheme);
+
+/// The paper's "avoids Cartesian products": evaluates components
+/// individually and has exactly comp(D) − 1 Cartesian steps (the minimum
+/// possible).
+bool AvoidsCartesianProducts(const Strategy& strategy,
+                             const DatabaseScheme& scheme);
+
+/// §5: every step's output is no larger than either input.
+bool IsMonotoneDecreasing(const Strategy& strategy, JoinCache& cache);
+
+/// §5: every step's output is at least as large as either input.
+bool IsMonotoneIncreasing(const Strategy& strategy, JoinCache& cache);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_CORE_PROPERTIES_H_

@@ -1,0 +1,172 @@
+#include "core/strategy.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace taujoin {
+
+Strategy Strategy::MakeLeaf(int relation_index) {
+  TAUJOIN_CHECK_GE(relation_index, 0);
+  Strategy s;
+  s.nodes_.push_back({SingletonMask(relation_index), -1, -1, -1});
+  s.root_ = 0;
+  return s;
+}
+
+int Strategy::CopySubtree(const Strategy& other, int node) {
+  const Node& n = other.node(node);
+  if (n.left < 0) {
+    nodes_.push_back({n.mask, -1, -1, -1});
+    return static_cast<int>(nodes_.size()) - 1;
+  }
+  int left = CopySubtree(other, n.left);
+  int right = CopySubtree(other, n.right);
+  nodes_.push_back({n.mask, left, right, -1});
+  int self = static_cast<int>(nodes_.size()) - 1;
+  nodes_[static_cast<size_t>(left)].parent = self;
+  nodes_[static_cast<size_t>(right)].parent = self;
+  return self;
+}
+
+Strategy Strategy::MakeJoin(const Strategy& left, const Strategy& right) {
+  TAUJOIN_CHECK(DatabaseScheme::Disjoint(left.mask(), right.mask()))
+      << "MakeJoin requires disjoint subsets";
+  Strategy s;
+  int l = s.CopySubtree(left, left.root());
+  int r = s.CopySubtree(right, right.root());
+  s.nodes_.push_back({left.mask() | right.mask(), l, r, -1});
+  s.root_ = static_cast<int>(s.nodes_.size()) - 1;
+  s.nodes_[static_cast<size_t>(l)].parent = s.root_;
+  s.nodes_[static_cast<size_t>(r)].parent = s.root_;
+  return s;
+}
+
+Strategy Strategy::LeftDeep(const std::vector<int>& order) {
+  TAUJOIN_CHECK(!order.empty());
+  Strategy s = MakeLeaf(order[0]);
+  for (size_t i = 1; i < order.size(); ++i) {
+    s = MakeJoin(s, MakeLeaf(order[i]));
+  }
+  return s;
+}
+
+int Strategy::LeafRelation(int i) const {
+  TAUJOIN_CHECK(IsLeaf(i));
+  return LowestBitIndex(node(i).mask);
+}
+
+std::vector<int> Strategy::PostOrder() const {
+  std::vector<int> order;
+  order.reserve(nodes_.size());
+  // Iterative post-order.
+  std::vector<std::pair<int, bool>> stack = {{root_, false}};
+  while (!stack.empty()) {
+    auto [n, expanded] = stack.back();
+    stack.pop_back();
+    if (expanded || IsLeaf(n)) {
+      order.push_back(n);
+      continue;
+    }
+    stack.push_back({n, true});
+    stack.push_back({node(n).right, false});
+    stack.push_back({node(n).left, false});
+  }
+  return order;
+}
+
+std::vector<int> Strategy::Steps() const {
+  std::vector<int> steps;
+  for (int n : PostOrder()) {
+    if (!IsLeaf(n)) steps.push_back(n);
+  }
+  return steps;
+}
+
+int Strategy::StepCount() const { return PopCount(mask()) - 1; }
+
+int Strategy::FindNode(RelMask mask) const {
+  for (int n : PostOrder()) {
+    if (node(n).mask == mask) return n;
+  }
+  return -1;
+}
+
+Strategy Strategy::Subtree(int i) const {
+  Strategy s;
+  s.root_ = s.CopySubtree(*this, i);
+  return s;
+}
+
+bool Strategy::IsValid() const {
+  if (root_ < 0 || root_ >= size()) return false;
+  if (node(root_).parent != -1) return false;
+  int leaf_count = 0;
+  int visited = 0;
+  for (int n : PostOrder()) {
+    ++visited;
+    const Node& nd = node(n);
+    if (nd.left < 0) {
+      if (nd.right >= 0) return false;
+      if (PopCount(nd.mask) != 1) return false;  // (S4): leaves singleton
+      ++leaf_count;
+      continue;
+    }
+    if (nd.right < 0) return false;
+    const Node& l = node(nd.left);
+    const Node& r = node(nd.right);
+    if (l.parent != n || r.parent != n) return false;
+    if (!DatabaseScheme::Disjoint(l.mask, r.mask)) return false;  // (S3)
+    if ((l.mask | r.mask) != nd.mask) return false;               // (S3)
+  }
+  if (visited != size()) return false;  // unreachable arena nodes
+  return leaf_count == PopCount(mask());
+}
+
+namespace {
+
+template <typename LeafName>
+std::string Render(const Strategy& s, int n, const LeafName& leaf_name) {
+  if (s.IsLeaf(n)) return leaf_name(s.LeafRelation(n));
+  return "(" + Render(s, s.node(n).left, leaf_name) + " ⋈ " +
+         Render(s, s.node(n).right, leaf_name) + ")";
+}
+
+}  // namespace
+
+std::string Strategy::ToString(const Database& db) const {
+  return Render(*this, root_, [&](int i) { return db.name(i); });
+}
+
+std::string Strategy::ToStringWithScheme(const DatabaseScheme& scheme) const {
+  return Render(*this, root_,
+                [&](int i) { return scheme.scheme(i).ToString(); });
+}
+
+namespace {
+
+bool Equivalent(const Strategy& a, int na, const Strategy& b, int nb) {
+  const Strategy::Node& x = a.node(na);
+  const Strategy::Node& y = b.node(nb);
+  if (x.mask != y.mask) return false;
+  const bool x_leaf = a.IsLeaf(na);
+  const bool y_leaf = b.IsLeaf(nb);
+  if (x_leaf != y_leaf) return false;
+  if (x_leaf) return true;
+  // Children are unordered; masks determine the pairing.
+  if (a.node(x.left).mask == b.node(y.left).mask) {
+    return Equivalent(a, x.left, b, y.left) &&
+           Equivalent(a, x.right, b, y.right);
+  }
+  return Equivalent(a, x.left, b, y.right) &&
+         Equivalent(a, x.right, b, y.left);
+}
+
+}  // namespace
+
+bool Strategy::EquivalentTo(const Strategy& other) const {
+  if (root_ < 0 || other.root_ < 0) return root_ < 0 && other.root_ < 0;
+  return Equivalent(*this, root_, other, other.root_);
+}
+
+}  // namespace taujoin

@@ -1,0 +1,98 @@
+#ifndef TAUJOIN_CORE_STRATEGY_H_
+#define TAUJOIN_CORE_STRATEGY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "scheme/database_scheme.h"
+#include "scheme/mask.h"
+
+namespace taujoin {
+
+/// A strategy per the paper's (S1)–(S4): a rooted binary tree whose nodes
+/// are subsets [D', R_{D'}] of the database (represented by RelMasks — the
+/// relation states are implied by the database and recovered through
+/// JoinCache), whose leaves are single relations, and whose every internal
+/// node ("step") joins two disjoint children covering it.
+///
+/// Nodes live in an arena; `root()` indexes the root. A strategy for a
+/// k-relation subset has k leaves and k−1 steps.
+class Strategy {
+ public:
+  struct Node {
+    RelMask mask = 0;
+    int left = -1;   ///< child index, or -1 for leaves
+    int right = -1;
+    int parent = -1;  ///< -1 for the root
+  };
+
+  Strategy() = default;
+
+  /// The trivial strategy for relation `relation_index`.
+  static Strategy MakeLeaf(int relation_index);
+
+  /// The strategy whose root joins the roots of `left` and `right`;
+  /// CHECK-fails if their masks intersect.
+  static Strategy MakeJoin(const Strategy& left, const Strategy& right);
+
+  /// A left-deep (linear) strategy joining `order` front to back:
+  /// ((order[0] ⋈ order[1]) ⋈ order[2]) ⋈ ....
+  static Strategy LeftDeep(const std::vector<int>& order);
+
+  int size() const { return static_cast<int>(nodes_.size()); }
+  const Node& node(int i) const { return nodes_[static_cast<size_t>(i)]; }
+  int root() const { return root_; }
+  RelMask mask() const { return nodes_[static_cast<size_t>(root_)].mask; }
+
+  bool IsLeaf(int i) const { return node(i).left < 0; }
+  bool IsTrivial() const { return IsLeaf(root_); }
+
+  /// The relation index of leaf node `i`.
+  int LeafRelation(int i) const;
+
+  /// Indices of the internal nodes (the paper's steps), in post-order
+  /// (children before parents), so iterating them replays the evaluation.
+  std::vector<int> Steps() const;
+
+  /// Number of steps (= leaf count − 1).
+  int StepCount() const;
+
+  /// Post-order over all nodes.
+  std::vector<int> PostOrder() const;
+
+  /// The first node (in post-order) whose subset equals `mask`, or -1.
+  /// By (S3) subsets uniquely identify nodes within one strategy.
+  int FindNode(RelMask mask) const;
+
+  /// Extracts the substrategy rooted at node `i` as a standalone Strategy.
+  Strategy Subtree(int i) const;
+
+  /// Structural validation of (S1)–(S4): children index-disjoint, parent
+  /// mask the union, leaves singletons, parent links consistent.
+  bool IsValid() const;
+
+  /// Renders with relation names from `db`, e.g. "((GS ⋈ SC) ⋈ CL)".
+  std::string ToString(const Database& db) const;
+
+  /// Renders with scheme strings, e.g. "((AB ⋈ BC) ⋈ DE)".
+  std::string ToStringWithScheme(const DatabaseScheme& scheme) const;
+
+  /// Structural equality as unordered trees (children order ignored,
+  /// matching the paper's view that a step joins a *set* of two children).
+  bool EquivalentTo(const Strategy& other) const;
+
+ private:
+  friend class StrategyRewriter;
+
+  /// Copies the subtree of `other` rooted at `node` into this arena;
+  /// returns the new index.
+  int CopySubtree(const Strategy& other, int node);
+
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_CORE_STRATEGY_H_

@@ -1,0 +1,119 @@
+#include "core/strategy_parser.h"
+
+#include <optional>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace taujoin {
+
+namespace {
+
+struct Token {
+  enum Kind { kOpen, kClose, kName } kind;
+  std::string text;
+};
+
+std::vector<Token> Tokenize(std::string_view text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      ++i;
+    } else if (c == '(') {
+      tokens.push_back({Token::kOpen, "("});
+      ++i;
+    } else if (c == ')') {
+      tokens.push_back({Token::kClose, ")"});
+      ++i;
+    } else {
+      size_t start = i;
+      while (i < text.size() && text[i] != '(' && text[i] != ')' &&
+             text[i] != ' ' && text[i] != '\t' && text[i] != '\n' &&
+             text[i] != '\r') {
+        ++i;
+      }
+      tokens.push_back({Token::kName, std::string(text.substr(start, i - start))});
+    }
+  }
+  return tokens;
+}
+
+class Parser {
+ public:
+  Parser(const Database& db, std::vector<Token> tokens)
+      : db_(db), tokens_(std::move(tokens)) {}
+
+  StatusOr<Strategy> Parse() {
+    StatusOr<Strategy> result = ParseExpr();
+    if (!result.ok()) return result;
+    if (pos_ != tokens_.size()) {
+      return InvalidArgumentError("trailing tokens after strategy");
+    }
+    return result;
+  }
+
+ private:
+  StatusOr<Strategy> ParseExpr() {
+    if (pos_ >= tokens_.size()) {
+      return InvalidArgumentError("unexpected end of strategy text");
+    }
+    const Token& token = tokens_[pos_];
+    if (token.kind == Token::kName) {
+      ++pos_;
+      int index = ResolveName(token.text);
+      if (index < 0) {
+        return InvalidArgumentError("unknown relation: " + token.text);
+      }
+      if (used_ & SingletonMask(index)) {
+        return InvalidArgumentError("relation used twice: " + token.text);
+      }
+      used_ |= SingletonMask(index);
+      return Strategy::MakeLeaf(index);
+    }
+    if (token.kind != Token::kOpen) {
+      return InvalidArgumentError("expected '(' or relation name");
+    }
+    ++pos_;  // consume '('
+    StatusOr<Strategy> left = ParseExpr();
+    if (!left.ok()) return left;
+    StatusOr<Strategy> right = ParseExpr();
+    if (!right.ok()) return right;
+    if (pos_ >= tokens_.size() || tokens_[pos_].kind != Token::kClose) {
+      return InvalidArgumentError("expected ')'");
+    }
+    ++pos_;
+    return Strategy::MakeJoin(*left, *right);
+  }
+
+  /// Resolves by database name first, then by scheme string.
+  int ResolveName(const std::string& name) const {
+    int index = db_.IndexOfName(name);
+    if (index >= 0) return index;
+    for (int i = 0; i < db_.size(); ++i) {
+      if (db_.scheme().scheme(i).ToString() == name) return i;
+    }
+    return -1;
+  }
+
+  const Database& db_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  RelMask used_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Strategy> ParseStrategy(const Database& db, std::string_view text) {
+  return Parser(db, Tokenize(text)).Parse();
+}
+
+Strategy ParseStrategyOrDie(const Database& db, std::string_view text) {
+  StatusOr<Strategy> result = ParseStrategy(db, text);
+  TAUJOIN_CHECK(result.ok()) << result.status().ToString() << " in '"
+                             << std::string(text) << "'";
+  return std::move(result).value();
+}
+
+}  // namespace taujoin

@@ -1,0 +1,24 @@
+#ifndef TAUJOIN_CORE_STRATEGY_PARSER_H_
+#define TAUJOIN_CORE_STRATEGY_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "core/database.h"
+#include "core/strategy.h"
+
+namespace taujoin {
+
+/// Parses a parenthesized strategy over `db`'s relations, e.g.
+/// "((GS SC) CL)" or "((AB BC) (DE FG))". A token names a relation either
+/// by its database name or by its scheme string ("AB" for {A, B}); tokens
+/// are separated by whitespace. Fails on malformed input, unknown names,
+/// or a relation used twice.
+StatusOr<Strategy> ParseStrategy(const Database& db, std::string_view text);
+
+/// CHECK-failing convenience for literal strategies in tests/examples.
+Strategy ParseStrategyOrDie(const Database& db, std::string_view text);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_CORE_STRATEGY_PARSER_H_

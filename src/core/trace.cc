@@ -1,0 +1,67 @@
+#include "core/trace.h"
+
+#include <chrono>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace taujoin {
+
+EvaluationTrace ExecuteStrategy(const Database& db, const Strategy& strategy,
+                                JoinAlgorithm algorithm) {
+  TAUJOIN_CHECK(strategy.IsValid());
+  EvaluationTrace trace;
+  std::unordered_map<int, Relation> node_results;
+  for (int node : strategy.PostOrder()) {
+    const Strategy::Node& n = strategy.node(node);
+    if (strategy.IsLeaf(node)) {
+      node_results[node] = db.state(strategy.LeafRelation(node));
+      continue;
+    }
+    const Relation& left = node_results.at(n.left);
+    const Relation& right = node_results.at(n.right);
+    auto start = std::chrono::steady_clock::now();
+    Relation output = NaturalJoin(left, right, algorithm);
+    auto end = std::chrono::steady_clock::now();
+
+    TraceStep step;
+    step.left = strategy.node(n.left).mask;
+    step.right = strategy.node(n.right).mask;
+    step.output = n.mask;
+    step.left_size = left.Tau();
+    step.right_size = right.Tau();
+    step.output_size = output.Tau();
+    step.cartesian = !db.scheme().Linked(step.left, step.right);
+    step.micros =
+        std::chrono::duration<double, std::micro>(end - start).count();
+    trace.tau += step.output_size;
+    trace.total_micros += step.micros;
+    trace.steps.push_back(step);
+
+    node_results[node] = std::move(output);
+    // Children are no longer needed; free them eagerly like an executor.
+    node_results.erase(n.left);
+    node_results.erase(n.right);
+  }
+  trace.result = std::move(node_results.at(strategy.root()));
+  return trace;
+}
+
+std::string EvaluationTrace::ToString(const Database& db) const {
+  std::string out;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const TraceStep& s = steps[i];
+    out += "step " + std::to_string(i + 1) + ": " +
+           db.scheme().MaskToString(s.left) + " (" +
+           std::to_string(s.left_size) + ") " +
+           (s.cartesian ? "x" : "join") + " " +
+           db.scheme().MaskToString(s.right) + " (" +
+           std::to_string(s.right_size) + ") -> " +
+           std::to_string(s.output_size) + " tuples\n";
+  }
+  out += "tau(S) = " + std::to_string(tau) + ", result " +
+         std::to_string(result.Tau()) + " tuples\n";
+  return out;
+}
+
+}  // namespace taujoin

@@ -1,0 +1,46 @@
+#ifndef TAUJOIN_CORE_TRACE_H_
+#define TAUJOIN_CORE_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/strategy.h"
+#include "relational/join.h"
+
+namespace taujoin {
+
+/// One executed step of a strategy evaluation (EXPLAIN ANALYZE-style).
+struct TraceStep {
+  RelMask left;
+  RelMask right;
+  RelMask output;
+  uint64_t left_size = 0;
+  uint64_t right_size = 0;
+  uint64_t output_size = 0;
+  bool cartesian = false;
+  double micros = 0;  ///< wall time of the physical join
+};
+
+/// A full evaluation trace: the steps in execution (post-) order, the
+/// final result, and τ(S) as actually generated.
+struct EvaluationTrace {
+  std::vector<TraceStep> steps;
+  Relation result;
+  uint64_t tau = 0;
+  double total_micros = 0;
+
+  /// Multi-line report, one row per step, sizes and timings aligned.
+  std::string ToString(const Database& db) const;
+};
+
+/// Executes `strategy` against `db` step by step, physically materializing
+/// every intermediate with the chosen algorithm. Unlike JoinCache this
+/// really evaluates the tree as written (useful to demonstrate that the
+/// result is strategy-independent while the work is not).
+EvaluationTrace ExecuteStrategy(const Database& db, const Strategy& strategy,
+                                JoinAlgorithm algorithm = JoinAlgorithm::kHash);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_CORE_TRACE_H_

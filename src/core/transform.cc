@@ -1,0 +1,104 @@
+#include "core/transform.h"
+
+#include "common/logging.h"
+
+namespace taujoin {
+
+namespace {
+
+/// True iff `inner` lies in the subtree rooted at `outer`. Within one
+/// strategy, subsets nest exactly along ancestry, so mask containment
+/// decides it.
+bool InSubtree(const Strategy& s, int outer, int inner) {
+  RelMask o = s.node(outer).mask;
+  RelMask i = s.node(inner).mask;
+  if ((i & o) != i) return false;
+  // Same mask can only be the same node (children are disjoint, so no two
+  // distinct nodes share a subset).
+  return true;
+}
+
+Strategy CopyFrom(const Strategy& s, int node) { return s.Subtree(node); }
+
+/// Rebuilds the subtree at `node`, dropping the subtree rooted at `target`
+/// (pulling its sibling up). `target` must be strictly below `node`.
+Strategy RebuildWithout(const Strategy& s, int node, int target) {
+  TAUJOIN_CHECK_NE(node, target);
+  TAUJOIN_CHECK(!s.IsLeaf(node));
+  const Strategy::Node& n = s.node(node);
+  if (n.left == target) return CopyFrom(s, n.right);
+  if (n.right == target) return CopyFrom(s, n.left);
+  if (InSubtree(s, n.left, target)) {
+    return Strategy::MakeJoin(RebuildWithout(s, n.left, target),
+                              CopyFrom(s, n.right));
+  }
+  TAUJOIN_CHECK(InSubtree(s, n.right, target));
+  return Strategy::MakeJoin(CopyFrom(s, n.left),
+                            RebuildWithout(s, n.right, target));
+}
+
+/// Rebuilds the subtree at `node`, replacing the subtree rooted at `above`
+/// by (above ⋈ sub).
+Strategy RebuildWithGraft(const Strategy& s, int node, int above,
+                          const Strategy& sub) {
+  if (node == above) {
+    return Strategy::MakeJoin(CopyFrom(s, node), sub);
+  }
+  TAUJOIN_CHECK(!s.IsLeaf(node)) << "graft point not found";
+  const Strategy::Node& n = s.node(node);
+  if (InSubtree(s, n.left, above)) {
+    return Strategy::MakeJoin(RebuildWithGraft(s, n.left, above, sub),
+                              CopyFrom(s, n.right));
+  }
+  TAUJOIN_CHECK(InSubtree(s, n.right, above));
+  return Strategy::MakeJoin(CopyFrom(s, n.left),
+                            RebuildWithGraft(s, n.right, above, sub));
+}
+
+/// Rebuilds the subtree at `node` with subtree `a` replaced by a copy of
+/// subtree `b` and vice versa.
+Strategy RebuildSwapped(const Strategy& s, int node, int a, int b) {
+  if (node == a) return CopyFrom(s, b);
+  if (node == b) return CopyFrom(s, a);
+  if (s.IsLeaf(node)) return CopyFrom(s, node);
+  const Strategy::Node& n = s.node(node);
+  bool left_touched = InSubtree(s, n.left, a) || InSubtree(s, n.left, b);
+  bool right_touched = InSubtree(s, n.right, a) || InSubtree(s, n.right, b);
+  Strategy left = left_touched ? RebuildSwapped(s, n.left, a, b)
+                               : CopyFrom(s, n.left);
+  Strategy right = right_touched ? RebuildSwapped(s, n.right, a, b)
+                                 : CopyFrom(s, n.right);
+  return Strategy::MakeJoin(left, right);
+}
+
+}  // namespace
+
+Strategy Pluck(const Strategy& strategy, int target) {
+  TAUJOIN_CHECK_NE(target, strategy.root()) << "cannot pluck the root";
+  return RebuildWithout(strategy, strategy.root(), target);
+}
+
+Strategy Graft(const Strategy& strategy, const Strategy& sub, int above) {
+  TAUJOIN_CHECK(DatabaseScheme::Disjoint(strategy.mask(), sub.mask()))
+      << "grafted database must be disjoint";
+  return RebuildWithGraft(strategy, strategy.root(), above, sub);
+}
+
+Strategy SwapSubtrees(const Strategy& strategy, int a, int b) {
+  TAUJOIN_CHECK(DatabaseScheme::Disjoint(strategy.node(a).mask,
+                                         strategy.node(b).mask))
+      << "SwapSubtrees requires disjoint subtrees";
+  return RebuildSwapped(strategy, strategy.root(), a, b);
+}
+
+Strategy PluckAndGraftAbove(const Strategy& strategy, int pluck_node,
+                            RelMask graft_above_mask) {
+  Strategy sub = strategy.Subtree(pluck_node);
+  Strategy plucked = Pluck(strategy, pluck_node);
+  int above = plucked.FindNode(graft_above_mask);
+  TAUJOIN_CHECK_GE(above, 0)
+      << "graft target did not survive the pluck";
+  return Graft(plucked, sub, above);
+}
+
+}  // namespace taujoin

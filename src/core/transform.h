@@ -1,0 +1,37 @@
+#ifndef TAUJOIN_CORE_TRANSFORM_H_
+#define TAUJOIN_CORE_TRANSFORM_H_
+
+#include "core/strategy.h"
+
+namespace taujoin {
+
+/// The §2 strategy rewrites (Figures 1 and 2), used throughout the paper's
+/// proofs. All functions return new strategies and leave the input intact;
+/// node arguments are node indices in the *input* strategy.
+
+/// Plucking (Figure 1): removes the substrategy rooted at `target` (which
+/// must not be the root). Its parent step disappears — the sibling takes
+/// the parent's place — and every ancestor's subset loses target's subset.
+/// The result is a strategy for (D − D'', D − D'').
+Strategy Pluck(const Strategy& strategy, int target);
+
+/// Grafting (Figure 2): joins `sub` (a strategy for a disjoint database
+/// D'') with the substrategy rooted at `above` via a new step; every
+/// ancestor of `above` gains D''. The result is a strategy for D ∪ D''.
+Strategy Graft(const Strategy& strategy, const Strategy& sub, int above);
+
+/// Exchanges the positions of the substrategies rooted at `a` and `b`,
+/// which must be disjoint (neither an ancestor of the other); ancestors'
+/// subsets are adjusted. This is the `T2` rewrite of Theorem 1's proof.
+Strategy SwapSubtrees(const Strategy& strategy, int a, int b);
+
+/// Composite pluck-then-graft: plucks the substrategy at `pluck_node` and
+/// grafts it above the node whose subset is `graft_above_mask` in the
+/// plucked strategy (the `T1` rewrite of Theorem 1 and the Lemma 2/3
+/// transformations). CHECK-fails if that node does not survive the pluck.
+Strategy PluckAndGraftAbove(const Strategy& strategy, int pluck_node,
+                            RelMask graft_above_mask);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_CORE_TRANSFORM_H_

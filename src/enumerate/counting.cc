@@ -1,0 +1,33 @@
+#include "enumerate/counting.h"
+
+#include "common/logging.h"
+
+namespace taujoin {
+
+uint64_t Factorial(int n) {
+  TAUJOIN_CHECK_GE(n, 0);
+  TAUJOIN_CHECK_LE(n, 20) << "factorial overflow";
+  uint64_t result = 1;
+  for (int i = 2; i <= n; ++i) result *= static_cast<uint64_t>(i);
+  return result;
+}
+
+uint64_t DoubleFactorial(int k) {
+  uint64_t result = 1;
+  for (int i = k; i > 1; i -= 2) result *= static_cast<uint64_t>(i);
+  return result;
+}
+
+uint64_t CountAllTrees(int n) {
+  TAUJOIN_CHECK_GE(n, 1);
+  if (n == 1) return 1;
+  return DoubleFactorial(2 * n - 3);
+}
+
+uint64_t CountLinearTrees(int n) {
+  TAUJOIN_CHECK_GE(n, 1);
+  if (n == 1) return 1;
+  return Factorial(n) / 2;
+}
+
+}  // namespace taujoin

@@ -1,0 +1,27 @@
+#ifndef TAUJOIN_ENUMERATE_COUNTING_H_
+#define TAUJOIN_ENUMERATE_COUNTING_H_
+
+#include <cstdint>
+
+namespace taujoin {
+
+/// Closed-form sizes of the strategy spaces, as sanity anchors for the
+/// enumerators (and the paper's introduction: for n = 4 there are 15
+/// strategies, 12 of them linear).
+
+/// Number of strategies (unordered binary trees over n labeled leaves):
+/// (2n−3)!! for n ≥ 2; 1 for n = 1.
+uint64_t CountAllTrees(int n);
+
+/// Number of linear strategies: n!/2 for n ≥ 2; 1 for n = 1.
+uint64_t CountLinearTrees(int n);
+
+/// n!.
+uint64_t Factorial(int n);
+
+/// k!! (double factorial); 1 for k <= 0.
+uint64_t DoubleFactorial(int k);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_ENUMERATE_COUNTING_H_

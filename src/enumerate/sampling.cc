@@ -1,0 +1,70 @@
+#include "enumerate/sampling.h"
+
+#include "common/logging.h"
+#include "enumerate/subsets.h"
+
+namespace taujoin {
+
+StrategySampler::StrategySampler(const DatabaseScheme* scheme,
+                                 StrategySpace space)
+    : scheme_(scheme), space_(space) {
+  TAUJOIN_CHECK(space != StrategySpace::kAvoidsCartesian)
+      << "sampling not implemented for the avoids-CP space; sample "
+         "components with kNoCartesian instead";
+}
+
+bool StrategySampler::PartitionAllowed(RelMask left, RelMask right) const {
+  switch (space_) {
+    case StrategySpace::kAll:
+      return true;
+    case StrategySpace::kLinear:
+      return PopCount(left) == 1 || PopCount(right) == 1;
+    case StrategySpace::kNoCartesian:
+      return scheme_->Linked(left, right);
+    case StrategySpace::kLinearNoCartesian:
+      return (PopCount(left) == 1 || PopCount(right) == 1) &&
+             scheme_->Linked(left, right);
+    case StrategySpace::kAvoidsCartesian:
+      break;
+  }
+  TAUJOIN_UNREACHABLE();
+  return false;
+}
+
+uint64_t StrategySampler::Count(RelMask mask) {
+  if (PopCount(mask) == 1) return 1;
+  auto it = counts_.find(mask);
+  if (it != counts_.end()) return it->second;
+  uint64_t total = 0;
+  for (const auto& [left, right] : Bipartitions(mask)) {
+    if (!PartitionAllowed(left, right)) continue;
+    total += Count(left) * Count(right);
+  }
+  counts_[mask] = total;
+  return total;
+}
+
+Strategy StrategySampler::Sample(RelMask mask, Rng& rng) {
+  if (PopCount(mask) == 1) return Strategy::MakeLeaf(LowestBitIndex(mask));
+  uint64_t total = Count(mask);
+  TAUJOIN_CHECK_GT(total, 0u) << "empty strategy subspace";
+  uint64_t pick = rng.Uniform(total);
+  for (const auto& [left, right] : Bipartitions(mask)) {
+    if (!PartitionAllowed(left, right)) continue;
+    uint64_t weight = Count(left) * Count(right);
+    if (pick < weight) {
+      return Strategy::MakeJoin(Sample(left, rng), Sample(right, rng));
+    }
+    pick -= weight;
+  }
+  TAUJOIN_UNREACHABLE();
+  return Strategy();
+}
+
+Strategy SampleStrategy(const DatabaseScheme& scheme, RelMask mask,
+                        StrategySpace space, Rng& rng) {
+  StrategySampler sampler(&scheme, space);
+  return sampler.Sample(mask, rng);
+}
+
+}  // namespace taujoin

@@ -1,0 +1,38 @@
+#ifndef TAUJOIN_ENUMERATE_SAMPLING_H_
+#define TAUJOIN_ENUMERATE_SAMPLING_H_
+
+#include "common/rng.h"
+#include "core/strategy.h"
+#include "enumerate/strategy_enumerator.h"
+
+namespace taujoin {
+
+/// Draws a strategy uniformly at random from the given subspace for
+/// `mask`: every tree of the subspace has probability 1/|subspace|. Uses
+/// the counting DP to weight partition choices, so sampling is exact (no
+/// rejection). CHECK-fails if the subspace is empty.
+Strategy SampleStrategy(const DatabaseScheme& scheme, RelMask mask,
+                        StrategySpace space, Rng& rng);
+
+/// Memoized sampler for repeated draws against one scheme/space (reuses
+/// the counting table across calls).
+class StrategySampler {
+ public:
+  StrategySampler(const DatabaseScheme* scheme, StrategySpace space);
+
+  /// Number of strategies in the subspace for `mask`.
+  uint64_t Count(RelMask mask);
+
+  Strategy Sample(RelMask mask, Rng& rng);
+
+ private:
+  bool PartitionAllowed(RelMask left, RelMask right) const;
+
+  const DatabaseScheme* scheme_;
+  StrategySpace space_;
+  std::unordered_map<RelMask, uint64_t> counts_;
+};
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_ENUMERATE_SAMPLING_H_

@@ -1,0 +1,205 @@
+#include "enumerate/strategy_enumerator.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "enumerate/subsets.h"
+
+namespace taujoin {
+
+const char* StrategySpaceToString(StrategySpace space) {
+  switch (space) {
+    case StrategySpace::kAll:
+      return "all";
+    case StrategySpace::kLinear:
+      return "linear";
+    case StrategySpace::kNoCartesian:
+      return "no-cartesian";
+    case StrategySpace::kLinearNoCartesian:
+      return "linear-no-cartesian";
+    case StrategySpace::kAvoidsCartesian:
+      return "avoids-cartesian";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// A sink consumes strategies and returns false to stop enumeration.
+using Sink = std::function<bool(const Strategy&)>;
+
+/// Recursive enumerator for the first four spaces. For each subset the
+/// partitions (L, R) are constrained by the space:
+///   kLinear:       |L| == 1 or |R| == 1
+///   kNoCartesian:  Linked(L, R)
+/// (combined for kLinearNoCartesian). The left half always contains the
+/// subset's lowest relation so each unordered tree appears once.
+class Enumerator {
+ public:
+  Enumerator(const DatabaseScheme& scheme, StrategySpace space)
+      : scheme_(scheme), space_(space) {}
+
+  /// Returns false if the sink stopped enumeration.
+  bool Emit(RelMask mask, const Sink& sink) {
+    if (PopCount(mask) == 1) {
+      return sink(Strategy::MakeLeaf(LowestBitIndex(mask)));
+    }
+    for (const auto& [left, right] : Bipartitions(mask)) {
+      if (!PartitionAllowed(left, right)) continue;
+      Sink right_then_sink = [&](const Strategy& ls) {
+        Sink join_sink = [&](const Strategy& rs) {
+          return sink(Strategy::MakeJoin(ls, rs));
+        };
+        return Emit(right, join_sink);
+      };
+      if (!Emit(left, right_then_sink)) return false;
+    }
+    return true;
+  }
+
+ private:
+  bool PartitionAllowed(RelMask left, RelMask right) const {
+    switch (space_) {
+      case StrategySpace::kAll:
+        return true;
+      case StrategySpace::kLinear:
+        return PopCount(left) == 1 || PopCount(right) == 1;
+      case StrategySpace::kNoCartesian:
+        return scheme_.Linked(left, right);
+      case StrategySpace::kLinearNoCartesian:
+        return (PopCount(left) == 1 || PopCount(right) == 1) &&
+               scheme_.Linked(left, right);
+      case StrategySpace::kAvoidsCartesian:
+        TAUJOIN_UNREACHABLE();
+    }
+    return false;
+  }
+
+  const DatabaseScheme& scheme_;
+  StrategySpace space_;
+};
+
+/// kAvoidsCartesian: per-component no-CP strategies combined by arbitrary
+/// binary trees over whole components.
+class AvoidsCpEnumerator {
+ public:
+  explicit AvoidsCpEnumerator(const DatabaseScheme& scheme)
+      : scheme_(scheme), inner_(scheme, StrategySpace::kNoCartesian) {}
+
+  bool Run(RelMask mask, const Sink& sink) {
+    components_ = scheme_.Components(mask);
+    const uint32_t full =
+        (components_.size() >= 32) ? ~0u : (1u << components_.size()) - 1;
+    TAUJOIN_CHECK_LT(components_.size(), 32u);
+    return EmitOverComponents(full, sink);
+  }
+
+ private:
+  /// `cmask` is a bitmask over component indices.
+  bool EmitOverComponents(uint32_t cmask, const Sink& sink) {
+    if (__builtin_popcount(cmask) == 1) {
+      const RelMask component =
+          components_[static_cast<size_t>(__builtin_ctz(cmask))];
+      return inner_.Emit(component, sink);
+    }
+    const uint32_t low = cmask & (~cmask + 1);
+    const uint32_t rest = cmask & ~low;
+    uint32_t sub = 0;
+    while (true) {
+      uint32_t left = low | sub;
+      if (left != cmask) {
+        uint32_t right = cmask & ~left;
+        Sink right_then_sink = [&](const Strategy& ls) {
+          Sink join_sink = [&](const Strategy& rs) {
+            return sink(Strategy::MakeJoin(ls, rs));
+          };
+          return EmitOverComponents(right, join_sink);
+        };
+        if (!EmitOverComponents(left, right_then_sink)) return false;
+      }
+      if (sub == rest) break;
+      sub = (sub - rest) & rest;
+    }
+    return true;
+  }
+
+  const DatabaseScheme& scheme_;
+  Enumerator inner_;
+  std::vector<RelMask> components_;
+};
+
+}  // namespace
+
+bool ForEachStrategy(const DatabaseScheme& scheme, RelMask mask,
+                     StrategySpace space,
+                     const std::function<bool(const Strategy&)>& visit) {
+  TAUJOIN_CHECK_NE(mask, RelMask{0});
+  if (space == StrategySpace::kAvoidsCartesian) {
+    AvoidsCpEnumerator enumerator(scheme);
+    return enumerator.Run(mask, visit);
+  }
+  Enumerator enumerator(scheme, space);
+  return enumerator.Emit(mask, visit);
+}
+
+std::vector<Strategy> EnumerateStrategies(const DatabaseScheme& scheme,
+                                          RelMask mask, StrategySpace space,
+                                          size_t limit) {
+  std::vector<Strategy> result;
+  ForEachStrategy(scheme, mask, space, [&](const Strategy& s) {
+    TAUJOIN_CHECK_LT(result.size(), limit)
+        << "strategy space larger than limit " << limit;
+    result.push_back(s);
+    return true;
+  });
+  return result;
+}
+
+uint64_t CountStrategies(const DatabaseScheme& scheme, RelMask mask,
+                         StrategySpace space) {
+  TAUJOIN_CHECK_NE(mask, RelMask{0});
+  if (space == StrategySpace::kAvoidsCartesian) {
+    // Count per component (no-CP), then trees over components.
+    std::vector<RelMask> components = scheme.Components(mask);
+    uint64_t total = 1;
+    for (RelMask component : components) {
+      total *= CountStrategies(scheme, component, StrategySpace::kNoCartesian);
+    }
+    // All binary trees over k labeled leaves: (2k−3)!!.
+    uint64_t k = components.size();
+    for (uint64_t i = 3; i + 2 <= 2 * k; i += 2) total *= i;
+    return total;
+  }
+  std::unordered_map<RelMask, uint64_t> memo;
+  std::function<uint64_t(RelMask)> count = [&](RelMask m) -> uint64_t {
+    if (PopCount(m) == 1) return 1;
+    auto it = memo.find(m);
+    if (it != memo.end()) return it->second;
+    uint64_t total = 0;
+    for (const auto& [left, right] : Bipartitions(m)) {
+      bool allowed = true;
+      switch (space) {
+        case StrategySpace::kAll:
+          break;
+        case StrategySpace::kLinear:
+          allowed = PopCount(left) == 1 || PopCount(right) == 1;
+          break;
+        case StrategySpace::kNoCartesian:
+          allowed = scheme.Linked(left, right);
+          break;
+        case StrategySpace::kLinearNoCartesian:
+          allowed = (PopCount(left) == 1 || PopCount(right) == 1) &&
+                    scheme.Linked(left, right);
+          break;
+        case StrategySpace::kAvoidsCartesian:
+          TAUJOIN_UNREACHABLE();
+      }
+      if (allowed) total += count(left) * count(right);
+    }
+    memo[m] = total;
+    return total;
+  };
+  return count(mask);
+}
+
+}  // namespace taujoin

@@ -1,0 +1,45 @@
+#ifndef TAUJOIN_ENUMERATE_STRATEGY_ENUMERATOR_H_
+#define TAUJOIN_ENUMERATE_STRATEGY_ENUMERATOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/strategy.h"
+#include "scheme/database_scheme.h"
+
+namespace taujoin {
+
+/// The strategy subspaces the paper discusses. `kAvoidsCartesian` is the
+/// paper's "avoids Cartesian products" (components evaluated individually,
+/// exactly comp(D)−1 product steps); for connected schemes it coincides
+/// with `kNoCartesian` (no product step at all).
+enum class StrategySpace {
+  kAll,
+  kLinear,
+  kNoCartesian,
+  kLinearNoCartesian,
+  kAvoidsCartesian,
+};
+
+const char* StrategySpaceToString(StrategySpace space);
+
+/// Calls `visit` for every strategy for the subset `mask` within `space`.
+/// Each unordered tree is produced exactly once. `visit` returns false to
+/// stop early; the function returns false iff it was stopped.
+bool ForEachStrategy(const DatabaseScheme& scheme, RelMask mask,
+                     StrategySpace space,
+                     const std::function<bool(const Strategy&)>& visit);
+
+/// Materializes the whole subspace. CHECK-fails if it exceeds `limit`
+/// strategies (spaces grow as (2n−3)!!).
+std::vector<Strategy> EnumerateStrategies(const DatabaseScheme& scheme,
+                                          RelMask mask, StrategySpace space,
+                                          size_t limit = 2'000'000);
+
+/// Counts the subspace without materializing, via subset DP.
+uint64_t CountStrategies(const DatabaseScheme& scheme, RelMask mask,
+                         StrategySpace space);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_ENUMERATE_STRATEGY_ENUMERATOR_H_

@@ -1,0 +1,42 @@
+#include "enumerate/subsets.h"
+
+#include "common/logging.h"
+
+namespace taujoin {
+
+std::vector<RelMask> ConnectedSubsets(const DatabaseScheme& scheme,
+                                      RelMask mask) {
+  std::vector<RelMask> result;
+  ForEachNonEmptySubmask(mask, [&](RelMask sub) {
+    if (scheme.Connected(sub)) result.push_back(sub);
+  });
+  return result;
+}
+
+std::vector<std::pair<RelMask, RelMask>> Bipartitions(RelMask mask) {
+  TAUJOIN_CHECK_GE(PopCount(mask), 2);
+  std::vector<std::pair<RelMask, RelMask>> result;
+  const RelMask low = LowestBit(mask);
+  const RelMask rest = mask & ~low;
+  // L = low | (submask of rest), excluding L == mask.
+  RelMask sub = 0;
+  while (true) {
+    RelMask left = low | sub;
+    if (left != mask) result.push_back({left, mask & ~left});
+    if (sub == rest) break;
+    sub = (sub - rest) & rest;
+  }
+  return result;
+}
+
+std::vector<char> ConnectivityTable(const DatabaseScheme& scheme) {
+  const int n = scheme.size();
+  TAUJOIN_CHECK_LE(n, 20);
+  std::vector<char> table(size_t{1} << n, 0);
+  for (RelMask mask = 1; mask < (RelMask{1} << n); ++mask) {
+    table[mask] = scheme.Connected(mask) ? 1 : 0;
+  }
+  return table;
+}
+
+}  // namespace taujoin

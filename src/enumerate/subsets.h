@@ -1,0 +1,24 @@
+#ifndef TAUJOIN_ENUMERATE_SUBSETS_H_
+#define TAUJOIN_ENUMERATE_SUBSETS_H_
+
+#include <vector>
+
+#include "scheme/database_scheme.h"
+
+namespace taujoin {
+
+/// All non-empty connected subsets of `mask`, ascending by value.
+std::vector<RelMask> ConnectedSubsets(const DatabaseScheme& scheme,
+                                      RelMask mask);
+
+/// All (unordered) partitions of `mask` into two non-empty disjoint halves
+/// (L, R); L is the half containing `mask`'s lowest relation, so each
+/// partition appears once.
+std::vector<std::pair<RelMask, RelMask>> Bipartitions(RelMask mask);
+
+/// Connectivity lookup table indexed by mask (size 2^n). CHECKs n <= 20.
+std::vector<char> ConnectivityTable(const DatabaseScheme& scheme);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_ENUMERATE_SUBSETS_H_

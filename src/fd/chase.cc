@@ -1,0 +1,158 @@
+#include "fd/chase.h"
+
+#include <vector>
+
+#include "common/logging.h"
+#include "fd/closure.h"
+
+namespace taujoin {
+
+namespace {
+
+/// Symbols: 0 means "distinguished for this column"; positive values are
+/// nondistinguished variables (unique per (row, column) initially).
+class Tableau {
+ public:
+  Tableau(int rows, int cols) : rows_(rows), cols_(cols),
+        cells_(static_cast<size_t>(rows * cols)) {
+    int next = 1;
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        At(r, c) = next++;
+      }
+    }
+  }
+
+  int& At(int r, int c) { return cells_[static_cast<size_t>(r * cols_ + c)]; }
+  int At(int r, int c) const {
+    return cells_[static_cast<size_t>(r * cols_ + c)];
+  }
+
+  void MakeDistinguished(int r, int c) { Replace(At(r, c), 0, c); }
+
+  /// Replaces symbol `from` by `to` within column `c` (symbols never cross
+  /// columns in the FD chase).
+  void Replace(int from, int to, int c) {
+    if (from == to) return;
+    for (int r = 0; r < rows_; ++r) {
+      if (At(r, c) == from) At(r, c) = to;
+    }
+  }
+
+  /// Equates the column-c symbols of rows r1 and r2 (keeping the smaller,
+  /// so distinguished 0 always wins).
+  bool Equate(int r1, int r2, int c) {
+    int a = At(r1, c), b = At(r2, c);
+    if (a == b) return false;
+    if (a > b) std::swap(a, b);
+    Replace(b, a, c);
+    return true;
+  }
+
+  bool RowAllDistinguished(int r) const {
+    for (int c = 0; c < cols_; ++c) {
+      if (At(r, c) != 0) return false;
+    }
+    return true;
+  }
+
+  int rows() const { return rows_; }
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<int> cells_;
+};
+
+}  // namespace
+
+bool IsLosslessDecomposition(const DatabaseScheme& scheme,
+                             const Schema& universe, const FdSet& fds) {
+  const int rows = scheme.size();
+  const int cols = static_cast<int>(universe.size());
+  if (rows == 0) return false;
+  Tableau tableau(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    TAUJOIN_CHECK(scheme.scheme(r).IsSubsetOf(universe))
+        << "scheme " << scheme.scheme(r).ToString() << " outside universe "
+        << universe.ToString();
+    for (const std::string& a : scheme.scheme(r)) {
+      tableau.MakeDistinguished(r, universe.IndexOf(a));
+    }
+  }
+  // Chase: for each FD X -> Y and each pair of rows agreeing on X, equate
+  // their Y symbols; repeat to fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FunctionalDependency& fd : fds.fds()) {
+      // Column indices; skip FDs mentioning attributes outside the universe
+      // (they can never fire on this tableau).
+      std::vector<int> x_cols, y_cols;
+      bool applicable = true;
+      for (const std::string& a : fd.lhs) {
+        int idx = universe.IndexOf(a);
+        if (idx < 0) {
+          applicable = false;
+          break;
+        }
+        x_cols.push_back(idx);
+      }
+      if (!applicable) continue;
+      for (const std::string& a : fd.rhs) {
+        int idx = universe.IndexOf(a);
+        if (idx >= 0) y_cols.push_back(idx);
+      }
+      if (y_cols.empty()) continue;
+      for (int r1 = 0; r1 < rows; ++r1) {
+        for (int r2 = r1 + 1; r2 < rows; ++r2) {
+          bool agree = true;
+          for (int c : x_cols) {
+            if (tableau.At(r1, c) != tableau.At(r2, c)) {
+              agree = false;
+              break;
+            }
+          }
+          if (!agree) continue;
+          for (int c : y_cols) {
+            if (tableau.Equate(r1, r2, c)) changed = true;
+          }
+        }
+      }
+    }
+  }
+  for (int r = 0; r < rows; ++r) {
+    if (tableau.RowAllDistinguished(r)) return true;
+  }
+  return false;
+}
+
+bool IsLosslessDecomposition(const DatabaseScheme& scheme, const FdSet& fds) {
+  return IsLosslessDecomposition(scheme, scheme.AttributesOf(scheme.full_mask()),
+                                 fds);
+}
+
+bool PairwiseLossless(const Schema& r1, const Schema& r2, const FdSet& fds) {
+  // Rissanen / standard BCNF-decomposition criterion. A join on an empty
+  // intersection is a Cartesian product; report false.
+  Schema common = r1.Intersect(r2);
+  if (common.empty()) return false;
+  Schema closure = AttributeClosure(common, fds);
+  return r1.IsSubsetOf(closure) || r2.IsSubsetOf(closure);
+}
+
+bool HasNoLossyJoins(const DatabaseScheme& scheme, const FdSet& fds) {
+  TAUJOIN_CHECK_LE(scheme.size(), 16) << "HasNoLossyJoins is exponential";
+  bool ok = true;
+  ForEachNonEmptySubmask(scheme.full_mask(), [&](RelMask sub) {
+    if (!ok || PopCount(sub) < 2) return;
+    if (!scheme.Connected(sub)) return;
+    std::vector<Schema> subset;
+    for (int i : MaskToIndices(sub)) subset.push_back(scheme.scheme(i));
+    DatabaseScheme sub_scheme(std::move(subset));
+    if (!IsLosslessDecomposition(sub_scheme, fds)) ok = false;
+  });
+  return ok;
+}
+
+}  // namespace taujoin

@@ -1,0 +1,37 @@
+#ifndef TAUJOIN_FD_CHASE_H_
+#define TAUJOIN_FD_CHASE_H_
+
+#include "fd/fd.h"
+#include "scheme/database_scheme.h"
+
+namespace taujoin {
+
+/// Aho–Beeri–Ullman tableau chase: decides whether the decomposition of
+/// `universe` into the relation schemes of `scheme` is lossless under
+/// `fds`, i.e. whether every relation over `universe` satisfying `fds`
+/// equals the join of its projections onto the schemes.
+///
+/// The tableau has one row per scheme; the chase equates symbols via the
+/// FDs until fixpoint; the decomposition is lossless iff some row becomes
+/// all-distinguished. Polynomial time (the algorithm the paper cites from
+/// [Aho-Beeri-Ullman 1979]).
+bool IsLosslessDecomposition(const DatabaseScheme& scheme, const Schema& universe,
+                             const FdSet& fds);
+
+/// Convenience: universe defaults to the union of the schemes.
+bool IsLosslessDecomposition(const DatabaseScheme& scheme, const FdSet& fds);
+
+/// Rissanen's two-scheme criterion: {R1, R2} is lossless iff
+/// R1 ∩ R2 → R1 or R1 ∩ R2 → R2 (under the FDs). Exposed separately so
+/// tests can cross-check the chase against it.
+bool PairwiseLossless(const Schema& r1, const Schema& r2, const FdSet& fds);
+
+/// The §4 hypothesis "the database has no nontrivial lossy joins": every
+/// connected subset E of D (|E| ≥ 2) is a lossless decomposition of its
+/// own attribute set. Exponential in |D|; fine for the small schemes used
+/// in experiments.
+bool HasNoLossyJoins(const DatabaseScheme& scheme, const FdSet& fds);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_FD_CHASE_H_

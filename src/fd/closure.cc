@@ -1,0 +1,87 @@
+#include "fd/closure.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace taujoin {
+
+Schema AttributeClosure(const Schema& x, const FdSet& fds) {
+  Schema closure = x;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FunctionalDependency& fd : fds.fds()) {
+      if (fd.lhs.IsSubsetOf(closure) && !fd.rhs.IsSubsetOf(closure)) {
+        closure = closure.Union(fd.rhs);
+        changed = true;
+      }
+    }
+  }
+  return closure;
+}
+
+bool Implies(const FdSet& fds, const FunctionalDependency& fd) {
+  return fd.rhs.IsSubsetOf(AttributeClosure(fd.lhs, fds));
+}
+
+bool IsSuperkey(const Schema& x, const Schema& scheme, const FdSet& fds) {
+  return scheme.IsSubsetOf(AttributeClosure(x, fds));
+}
+
+FdSet MinimalCover(const FdSet& fds) {
+  // 1. Singleton right-hand sides.
+  std::vector<FunctionalDependency> work;
+  for (const FunctionalDependency& fd : fds.fds()) {
+    for (const std::string& a : fd.rhs) {
+      work.push_back({fd.lhs, Schema{a}});
+    }
+  }
+  // 2. Remove extraneous left-hand attributes.
+  for (auto& fd : work) {
+    bool shrunk = true;
+    while (shrunk && fd.lhs.size() > 1) {
+      shrunk = false;
+      for (const std::string& a : fd.lhs) {
+        Schema smaller = fd.lhs.Minus(Schema{a});
+        if (Implies(FdSet(work), {smaller, fd.rhs})) {
+          fd.lhs = smaller;
+          shrunk = true;
+          break;
+        }
+      }
+    }
+  }
+  // 3. Remove redundant FDs.
+  std::vector<FunctionalDependency> result;
+  for (size_t i = 0; i < work.size(); ++i) {
+    std::vector<FunctionalDependency> others;
+    others.insert(others.end(), result.begin(), result.end());
+    others.insert(others.end(), work.begin() + static_cast<long>(i) + 1,
+                  work.end());
+    if (!Implies(FdSet(std::move(others)), work[i])) {
+      result.push_back(work[i]);
+    }
+  }
+  return FdSet(std::move(result));
+}
+
+FdSet ProjectFds(const FdSet& fds, const Schema& attrs) {
+  TAUJOIN_CHECK_LE(attrs.size(), 20u) << "ProjectFds is exponential in |attrs|";
+  FdSet projected;
+  const auto& names = attrs.attributes();
+  const size_t n = names.size();
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    std::vector<std::string> lhs_attrs;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) lhs_attrs.push_back(names[i]);
+    }
+    Schema lhs(std::move(lhs_attrs));
+    Schema closure = AttributeClosure(lhs, fds).Intersect(attrs);
+    Schema rhs = closure.Minus(lhs);
+    if (!rhs.empty()) projected.Add({lhs, rhs});
+  }
+  return MinimalCover(projected);
+}
+
+}  // namespace taujoin

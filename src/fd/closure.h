@@ -1,0 +1,29 @@
+#ifndef TAUJOIN_FD_CLOSURE_H_
+#define TAUJOIN_FD_CLOSURE_H_
+
+#include "fd/fd.h"
+#include "relational/schema.h"
+
+namespace taujoin {
+
+/// X⁺ under F: the largest set of attributes functionally determined by X.
+/// Standard linear-closure algorithm.
+Schema AttributeClosure(const Schema& x, const FdSet& fds);
+
+/// Whether F implies X → Y (Y ⊆ X⁺).
+bool Implies(const FdSet& fds, const FunctionalDependency& fd);
+
+/// Whether X is a superkey of `scheme` under F: scheme ⊆ X⁺.
+bool IsSuperkey(const Schema& x, const Schema& scheme, const FdSet& fds);
+
+/// A minimal cover of F: singleton right-hand sides, no redundant FDs, no
+/// extraneous left-hand attributes.
+FdSet MinimalCover(const FdSet& fds);
+
+/// Projection of F onto `attrs`: all nontrivial X → A with X ∪ {A} ⊆ attrs
+/// implied by F, X minimal. Exponential in |attrs| (fine for small schemes).
+FdSet ProjectFds(const FdSet& fds, const Schema& attrs);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_FD_CLOSURE_H_

@@ -1,0 +1,45 @@
+#include "fd/fd.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace taujoin {
+
+FunctionalDependency FunctionalDependency::Parse(std::string_view text) {
+  size_t arrow = text.find("->");
+  TAUJOIN_CHECK_NE(arrow, std::string_view::npos)
+      << "FD must contain '->': " << std::string(text);
+  FunctionalDependency fd;
+  fd.lhs = Schema::Parse(text.substr(0, arrow));
+  fd.rhs = Schema::Parse(text.substr(arrow + 2));
+  return fd;
+}
+
+std::string FunctionalDependency::ToString() const {
+  return lhs.ToString() + "->" + rhs.ToString();
+}
+
+FdSet FdSet::Parse(const std::vector<std::string>& fds) {
+  FdSet result;
+  for (const std::string& fd : fds) {
+    result.Add(FunctionalDependency::Parse(fd));
+  }
+  return result;
+}
+
+Schema FdSet::Attributes() const {
+  Schema result;
+  for (const FunctionalDependency& fd : fds_) {
+    result = result.Union(fd.lhs).Union(fd.rhs);
+  }
+  return result;
+}
+
+std::string FdSet::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(fds_.size());
+  for (const FunctionalDependency& fd : fds_) parts.push_back(fd.ToString());
+  return "{" + StrJoin(parts, ", ") + "}";
+}
+
+}  // namespace taujoin

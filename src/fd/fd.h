@@ -1,0 +1,56 @@
+#ifndef TAUJOIN_FD_FD_H_
+#define TAUJOIN_FD_FD_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "relational/schema.h"
+
+namespace taujoin {
+
+/// A functional dependency X → Y over attribute sets.
+struct FunctionalDependency {
+  Schema lhs;
+  Schema rhs;
+
+  /// Parses "AB->C" or "A,B -> C,D".
+  static FunctionalDependency Parse(std::string_view text);
+
+  /// Trivial iff Y ⊆ X.
+  bool IsTrivial() const { return rhs.IsSubsetOf(lhs); }
+
+  std::string ToString() const;
+
+  friend bool operator==(const FunctionalDependency& a,
+                         const FunctionalDependency& b) {
+    return a.lhs == b.lhs && a.rhs == b.rhs;
+  }
+};
+
+/// A set of functional dependencies.
+class FdSet {
+ public:
+  FdSet() = default;
+  explicit FdSet(std::vector<FunctionalDependency> fds) : fds_(std::move(fds)) {}
+
+  /// Parses {"AB->C", "C->D"}.
+  static FdSet Parse(const std::vector<std::string>& fds);
+
+  void Add(FunctionalDependency fd) { fds_.push_back(std::move(fd)); }
+  size_t size() const { return fds_.size(); }
+  bool empty() const { return fds_.empty(); }
+  const std::vector<FunctionalDependency>& fds() const { return fds_; }
+
+  /// All attributes mentioned by the dependencies.
+  Schema Attributes() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<FunctionalDependency> fds_;
+};
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_FD_FD_H_

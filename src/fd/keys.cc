@@ -1,0 +1,66 @@
+#include "fd/keys.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "fd/closure.h"
+
+namespace taujoin {
+
+Schema MinimizeSuperkey(const Schema& x, const Schema& scheme,
+                        const FdSet& fds) {
+  TAUJOIN_CHECK(IsSuperkey(x, scheme, fds))
+      << x.ToString() << " is not a superkey of " << scheme.ToString();
+  Schema key = x;
+  bool shrunk = true;
+  while (shrunk) {
+    shrunk = false;
+    for (const std::string& a : key) {
+      Schema smaller = key.Minus(Schema{a});
+      if (!smaller.empty() && IsSuperkey(smaller, scheme, fds)) {
+        key = smaller;
+        shrunk = true;
+        break;
+      }
+    }
+  }
+  return key;
+}
+
+std::vector<Schema> CandidateKeys(const Schema& scheme, const FdSet& fds) {
+  TAUJOIN_CHECK_LE(scheme.size(), 20u) << "CandidateKeys is exponential";
+  const auto& names = scheme.attributes();
+  const size_t n = names.size();
+  std::vector<uint32_t> key_masks;
+  // Enumerate subsets by increasing popcount so every found key is minimal.
+  std::vector<uint32_t> order;
+  order.reserve((1u << n) - 1);
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) order.push_back(mask);
+  std::sort(order.begin(), order.end(), [](uint32_t a, uint32_t b) {
+    int pa = __builtin_popcount(a), pb = __builtin_popcount(b);
+    return pa != pb ? pa < pb : a < b;
+  });
+  std::vector<Schema> keys;
+  for (uint32_t mask : order) {
+    bool superset_of_key = false;
+    for (uint32_t k : key_masks) {
+      if ((mask & k) == k) {
+        superset_of_key = true;
+        break;
+      }
+    }
+    if (superset_of_key) continue;
+    std::vector<std::string> attrs;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) attrs.push_back(names[i]);
+    }
+    Schema candidate(std::move(attrs));
+    if (IsSuperkey(candidate, scheme, fds)) {
+      key_masks.push_back(mask);
+      keys.push_back(std::move(candidate));
+    }
+  }
+  return keys;
+}
+
+}  // namespace taujoin

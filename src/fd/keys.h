@@ -1,0 +1,21 @@
+#ifndef TAUJOIN_FD_KEYS_H_
+#define TAUJOIN_FD_KEYS_H_
+
+#include <vector>
+
+#include "fd/fd.h"
+#include "relational/schema.h"
+
+namespace taujoin {
+
+/// All candidate keys (minimal superkeys) of `scheme` under `fds`.
+/// Exponential in |scheme|; intended for small schemes.
+std::vector<Schema> CandidateKeys(const Schema& scheme, const FdSet& fds);
+
+/// Some candidate key contained in `x` (shrinks a superkey to minimality);
+/// `x` must be a superkey of `scheme` (CHECK-enforced).
+Schema MinimizeSuperkey(const Schema& x, const Schema& scheme, const FdSet& fds);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_FD_KEYS_H_

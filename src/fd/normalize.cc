@@ -1,0 +1,147 @@
+#include "fd/normalize.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/logging.h"
+#include "fd/closure.h"
+#include "fd/keys.h"
+
+namespace taujoin {
+
+bool ViolatesBcnf(const FunctionalDependency& fd, const Schema& scheme,
+                  const FdSet& fds) {
+  Schema lhs = fd.lhs.Intersect(scheme);
+  if (!(lhs == fd.lhs)) return false;  // FD not applicable to this scheme
+  Schema rhs = fd.rhs.Intersect(scheme).Minus(fd.lhs);
+  if (rhs.empty()) return false;  // trivial within the scheme
+  return !IsSuperkey(fd.lhs, scheme, fds);
+}
+
+namespace {
+
+/// Finds a BCNF violation on `scheme`: a nontrivial X → Y with X ⊆ scheme,
+/// Y = (X⁺ ∩ scheme) − X non-empty and X not a superkey of scheme. Scans
+/// subsets in a fixed order for determinism; exponential in |scheme|
+/// (intended for small schemas, like everything exact in this library).
+std::optional<FunctionalDependency> FindViolation(const Schema& scheme,
+                                                  const FdSet& fds) {
+  TAUJOIN_CHECK_LE(scheme.size(), 20u);
+  const auto& names = scheme.attributes();
+  const size_t n = names.size();
+  // By ascending popcount, then numeric order, so smaller left sides win.
+  std::vector<uint32_t> order;
+  for (uint32_t mask = 1; mask + 1 < (1u << n); ++mask) order.push_back(mask);
+  std::sort(order.begin(), order.end(), [](uint32_t a, uint32_t b) {
+    int pa = __builtin_popcount(a), pb = __builtin_popcount(b);
+    return pa != pb ? pa < pb : a < b;
+  });
+  for (uint32_t mask : order) {
+    std::vector<std::string> attrs;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) attrs.push_back(names[i]);
+    }
+    Schema x(std::move(attrs));
+    Schema closure = AttributeClosure(x, fds).Intersect(scheme);
+    Schema y = closure.Minus(x);
+    if (y.empty()) continue;
+    if (!scheme.IsSubsetOf(closure)) {
+      // x is not a superkey but determines something: a violation.
+      return FunctionalDependency{x, y};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+DatabaseScheme BcnfDecomposition(const Schema& universe, const FdSet& fds) {
+  std::vector<Schema> result;
+  std::vector<Schema> pending = {universe};
+  while (!pending.empty()) {
+    Schema scheme = pending.back();
+    pending.pop_back();
+    std::optional<FunctionalDependency> violation = FindViolation(scheme, fds);
+    if (!violation.has_value()) {
+      result.push_back(std::move(scheme));
+      continue;
+    }
+    // Split into X ∪ Y and scheme − Y.
+    Schema left = violation->lhs.Union(violation->rhs);
+    Schema right = scheme.Minus(violation->rhs);
+    pending.push_back(std::move(left));
+    pending.push_back(std::move(right));
+  }
+  // Drop schemes contained in others; sort for determinism.
+  std::sort(result.begin(), result.end());
+  std::vector<Schema> kept;
+  for (const Schema& s : result) {
+    bool contained = false;
+    for (const Schema& t : result) {
+      if (!(s == t) && s.IsSubsetOf(t)) contained = true;
+    }
+    if (!contained && (kept.empty() || !(kept.back() == s))) {
+      kept.push_back(s);
+    }
+  }
+  return DatabaseScheme(std::move(kept));
+}
+
+DatabaseScheme ThreeNfSynthesis(const Schema& universe, const FdSet& fds) {
+  FdSet cover = MinimalCover(fds);
+  // Group by left-hand side: scheme = X ∪ {all A with X → A in cover}.
+  std::vector<Schema> schemes;
+  std::vector<Schema> lhs_seen;
+  for (const FunctionalDependency& fd : cover.fds()) {
+    bool found = false;
+    for (size_t i = 0; i < lhs_seen.size(); ++i) {
+      if (lhs_seen[i] == fd.lhs) {
+        schemes[i] = schemes[i].Union(fd.rhs);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      lhs_seen.push_back(fd.lhs);
+      schemes.push_back(fd.lhs.Union(fd.rhs));
+    }
+  }
+  // Attributes mentioned by no FD form their own scheme (they belong to
+  // every key).
+  Schema mentioned;
+  for (const Schema& s : schemes) mentioned = mentioned.Union(s);
+  Schema loose = universe.Minus(mentioned);
+  if (!loose.empty()) schemes.push_back(loose);
+  // Ensure some scheme contains a candidate key of the universe.
+  bool has_key = false;
+  for (const Schema& s : schemes) {
+    if (IsSuperkey(s, universe, fds)) has_key = true;
+  }
+  if (!has_key) {
+    std::vector<Schema> keys = CandidateKeys(universe, fds);
+    TAUJOIN_CHECK(!keys.empty());
+    schemes.push_back(keys[0]);
+  }
+  // Remove schemes contained in others.
+  std::sort(schemes.begin(), schemes.end());
+  std::vector<Schema> kept;
+  for (const Schema& s : schemes) {
+    bool contained = false;
+    for (const Schema& t : schemes) {
+      if (!(s == t) && s.IsSubsetOf(t)) contained = true;
+    }
+    if (!contained && (kept.empty() || !(kept.back() == s))) {
+      kept.push_back(s);
+    }
+  }
+  return DatabaseScheme(std::move(kept));
+}
+
+bool IsBcnf(const DatabaseScheme& scheme, const FdSet& fds) {
+  for (int i = 0; i < scheme.size(); ++i) {
+    if (FindViolation(scheme.scheme(i), fds).has_value()) return false;
+  }
+  return true;
+}
+
+}  // namespace taujoin

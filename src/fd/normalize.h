@@ -1,0 +1,38 @@
+#ifndef TAUJOIN_FD_NORMALIZE_H_
+#define TAUJOIN_FD_NORMALIZE_H_
+
+#include <vector>
+
+#include "fd/fd.h"
+#include "scheme/database_scheme.h"
+
+namespace taujoin {
+
+/// Schema-design algorithms that produce database schemes with **no lossy
+/// joins by construction** — §4's route to condition C2: decompose a
+/// universal scheme under its FDs, and the resulting database satisfies
+/// C2 on every state satisfying the FDs.
+
+/// Whether X → Y (restricted to `scheme`) violates BCNF on `scheme` under
+/// `fds`: nontrivial and X not a superkey of `scheme`.
+bool ViolatesBcnf(const FunctionalDependency& fd, const Schema& scheme,
+                  const FdSet& fds);
+
+/// Classic BCNF decomposition of `universe` under `fds`: repeatedly split
+/// R into (X ∪ X⁺∩R-extra, R − (X⁺ − X)) on a violating X → A. The result
+/// is a lossless decomposition into BCNF schemes (dependency preservation
+/// is not guaranteed — the standard trade-off). Deterministic (violations
+/// are picked in a fixed order).
+DatabaseScheme BcnfDecomposition(const Schema& universe, const FdSet& fds);
+
+/// 3NF synthesis (Bernstein): one scheme per group of minimal-cover FDs
+/// with a common left side, plus a key scheme if none contains a key. The
+/// result is lossless and dependency preserving.
+DatabaseScheme ThreeNfSynthesis(const Schema& universe, const FdSet& fds);
+
+/// Whether every scheme is in BCNF w.r.t. the projected FDs.
+bool IsBcnf(const DatabaseScheme& scheme, const FdSet& fds);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_FD_NORMALIZE_H_

@@ -1,0 +1,76 @@
+#include "optimize/claims.h"
+
+#include <limits>
+
+#include "core/properties.h"
+#include "enumerate/strategy_enumerator.h"
+
+namespace taujoin {
+
+namespace {
+
+/// Minimum τ over a subspace; UINT64_MAX when empty.
+uint64_t MinTau(JoinCache& cache, StrategySpace space) {
+  uint64_t best = std::numeric_limits<uint64_t>::max();
+  ForEachStrategy(cache.db().scheme(), cache.db().scheme().full_mask(), space,
+                  [&](const Strategy& s) {
+                    best = std::min(best, TauCost(s, cache));
+                    return true;
+                  });
+  return best;
+}
+
+}  // namespace
+
+bool OptimalLinearStrategiesAvoidProducts(JoinCache& cache) {
+  const DatabaseScheme& scheme = cache.db().scheme();
+  uint64_t best = MinTau(cache, StrategySpace::kLinear);
+  bool conclusion = true;
+  ForEachStrategy(scheme, scheme.full_mask(), StrategySpace::kLinear,
+                  [&](const Strategy& s) {
+                    if (TauCost(s, cache) == best &&
+                        UsesCartesianProducts(s, scheme)) {
+                      conclusion = false;
+                      return false;
+                    }
+                    return true;
+                  });
+  return conclusion;
+}
+
+bool SomeOptimumAvoidsProducts(JoinCache& cache) {
+  uint64_t best_all = MinTau(cache, StrategySpace::kAll);
+  uint64_t best_avoid = MinTau(cache, StrategySpace::kAvoidsCartesian);
+  return best_avoid == best_all;
+}
+
+bool SomeOptimumIsLinearWithoutProducts(JoinCache& cache) {
+  uint64_t best_all = MinTau(cache, StrategySpace::kAll);
+  const DatabaseScheme& scheme = cache.db().scheme();
+  // For connected schemes this is the linear∩no-CP subspace; the general
+  // reading (used by Example-style audits) also accepts linear strategies
+  // that merely *avoid* products on unconnected schemes.
+  uint64_t best = std::numeric_limits<uint64_t>::max();
+  ForEachStrategy(scheme, scheme.full_mask(), StrategySpace::kAvoidsCartesian,
+                  [&](const Strategy& s) {
+                    if (IsLinear(s)) best = std::min(best, TauCost(s, cache));
+                    return true;
+                  });
+  return best == best_all;
+}
+
+bool SomeOptimumEvaluatesComponentsIndividually(JoinCache& cache) {
+  const DatabaseScheme& scheme = cache.db().scheme();
+  uint64_t best_all = MinTau(cache, StrategySpace::kAll);
+  uint64_t best = std::numeric_limits<uint64_t>::max();
+  ForEachStrategy(scheme, scheme.full_mask(), StrategySpace::kAll,
+                  [&](const Strategy& s) {
+                    if (EvaluatesComponentsIndividually(s, scheme)) {
+                      best = std::min(best, TauCost(s, cache));
+                    }
+                    return true;
+                  });
+  return best == best_all;
+}
+
+}  // namespace taujoin

@@ -1,0 +1,32 @@
+#ifndef TAUJOIN_OPTIMIZE_CLAIMS_H_
+#define TAUJOIN_OPTIMIZE_CLAIMS_H_
+
+#include "core/cost.h"
+
+namespace taujoin {
+
+/// The theorems' *conclusions* as standalone predicates over a database,
+/// decided by exhaustive search (exact, exponential — for the same small
+/// instances everything exact in this library targets). Shared by the
+/// randomized theorem tests, the experiment binaries, and user code that
+/// wants to audit an optimizer decision after the fact.
+
+/// Theorem 1's conclusion: every τ-optimum *linear* strategy for the full
+/// database avoids Cartesian-product steps.
+bool OptimalLinearStrategiesAvoidProducts(JoinCache& cache);
+
+/// Theorem 2's conclusion: some τ-optimum strategy (over all strategies)
+/// uses no Cartesian products. For unconnected schemes this is Lemma 4's
+/// variant with components evaluated individually.
+bool SomeOptimumAvoidsProducts(JoinCache& cache);
+
+/// Theorem 3's conclusion: some τ-optimum strategy is linear and CP-free.
+bool SomeOptimumIsLinearWithoutProducts(JoinCache& cache);
+
+/// Lemma 4's conclusion: some τ-optimum strategy evaluates the scheme's
+/// components individually.
+bool SomeOptimumEvaluatesComponentsIndividually(JoinCache& cache);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_OPTIMIZE_CLAIMS_H_

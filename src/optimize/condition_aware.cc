@@ -1,0 +1,65 @@
+#include "optimize/condition_aware.h"
+
+#include "common/logging.h"
+#include "fd/chase.h"
+#include "fd/closure.h"
+
+namespace taujoin {
+
+const char* SpaceJustificationToString(SpaceJustification justification) {
+  switch (justification) {
+    case SpaceJustification::kSuperkeysTheorem3:
+      return "superkey joins -> C3 -> Theorem 3 (linear, no products)";
+    case SpaceJustification::kLosslessTheorem2:
+      return "lossless joins -> C2 (+C1 heuristic) -> Theorem 2 (no products)";
+    case SpaceJustification::kNoGuaranteeFullSearch:
+      return "no guarantee -> full search";
+  }
+  return "unknown";
+}
+
+bool AllJoinsOnSuperkeys(const DatabaseScheme& scheme, const FdSet& fds) {
+  bool any_join = false;
+  for (int i = 0; i < scheme.size(); ++i) {
+    for (int j = i + 1; j < scheme.size(); ++j) {
+      Schema shared = scheme.scheme(i).Intersect(scheme.scheme(j));
+      if (shared.empty()) continue;
+      any_join = true;
+      if (!IsSuperkey(shared, scheme.scheme(i), fds)) return false;
+      if (!IsSuperkey(shared, scheme.scheme(j), fds)) return false;
+    }
+  }
+  return any_join || scheme.size() <= 1;
+}
+
+ConditionAwarePlan OptimizeConditionAware(const DatabaseScheme& scheme,
+                                          RelMask mask, const FdSet& fds,
+                                          SizeModel& model) {
+  ConditionAwarePlan result;
+  const bool connected = scheme.Connected(mask);
+  if (connected && AllJoinsOnSuperkeys(scheme, fds)) {
+    std::optional<PlanResult> plan = OptimizeDp(
+        scheme, mask, model, {SearchSpace::kLinear, /*allow_cartesian=*/false});
+    TAUJOIN_CHECK(plan.has_value())
+        << "connected scheme must admit a linear CP-free plan";
+    result.plan = std::move(*plan);
+    result.justification = SpaceJustification::kSuperkeysTheorem3;
+    return result;
+  }
+  if (connected && scheme.size() <= 14 && HasNoLossyJoins(scheme, fds)) {
+    std::optional<PlanResult> plan = OptimizeDp(
+        scheme, mask, model, {SearchSpace::kBushy, /*allow_cartesian=*/false});
+    TAUJOIN_CHECK(plan.has_value());
+    result.plan = std::move(*plan);
+    result.justification = SpaceJustification::kLosslessTheorem2;
+    return result;
+  }
+  std::optional<PlanResult> plan = OptimizeDp(
+      scheme, mask, model, {SearchSpace::kBushy, /*allow_cartesian=*/true});
+  TAUJOIN_CHECK(plan.has_value());
+  result.plan = std::move(*plan);
+  result.justification = SpaceJustification::kNoGuaranteeFullSearch;
+  return result;
+}
+
+}  // namespace taujoin

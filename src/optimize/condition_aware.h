@@ -1,0 +1,54 @@
+#ifndef TAUJOIN_OPTIMIZE_CONDITION_AWARE_H_
+#define TAUJOIN_OPTIMIZE_CONDITION_AWARE_H_
+
+#include <string>
+
+#include "fd/fd.h"
+#include "optimize/dp.h"
+
+namespace taujoin {
+
+/// How the condition-aware optimizer justified its search-space choice.
+enum class SpaceJustification {
+  /// Every pairwise join is on a superkey of both sides under the declared
+  /// FDs ⇒ C3 ⇒ Theorem 3: a linear, product-free search is lossless.
+  kSuperkeysTheorem3,
+  /// Every connected subset joins losslessly under the declared FDs (the
+  /// chase) and C1 is assumed (the heuristic the paper formalizes)
+  /// ⇒ Theorem 2: a product-free search is lossless.
+  kLosslessTheorem2,
+  /// No theorem applies: full bushy search with Cartesian products.
+  kNoGuaranteeFullSearch,
+};
+
+const char* SpaceJustificationToString(SpaceJustification justification);
+
+/// The optimizer policy §4 licenses: inspect the *declared semantic
+/// constraints* (FDs) — not the data — and pick the cheapest search space
+/// whose optimality the paper's theorems guarantee:
+///
+///   all joins on superkeys        → DP over linear, CP-free plans (Thm 3)
+///   no lossy joins (chase)        → DP over CP-free bushy plans  (Thm 2,
+///                                    assuming C1, the classic heuristic)
+///   otherwise                     → full bushy DP with products
+///
+/// The returned plan is optimal under `model` within the chosen space, and
+/// — when a theorem fired and its assumptions hold on the data — globally
+/// τ-optimal.
+struct ConditionAwarePlan {
+  PlanResult plan;
+  SpaceJustification justification = SpaceJustification::kNoGuaranteeFullSearch;
+};
+
+ConditionAwarePlan OptimizeConditionAware(const DatabaseScheme& scheme,
+                                          RelMask mask, const FdSet& fds,
+                                          SizeModel& model);
+
+/// The syntactic §4 test backing Theorem 3's branch: for every pair of
+/// schemes with a non-empty intersection, the shared attributes are a
+/// superkey of both sides under `fds`.
+bool AllJoinsOnSuperkeys(const DatabaseScheme& scheme, const FdSet& fds);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_OPTIMIZE_CONDITION_AWARE_H_

@@ -1,0 +1,152 @@
+#include "optimize/dp.h"
+
+#include <functional>
+#include <limits>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "enumerate/subsets.h"
+
+namespace taujoin {
+
+namespace {
+
+constexpr uint64_t kInfeasible = std::numeric_limits<uint64_t>::max();
+
+struct Entry {
+  uint64_t cost = kInfeasible;  ///< cost of the sub-plan *below* this subset
+  RelMask best_left = 0;        ///< winning partition (0 for leaves)
+};
+
+/// Generic subset DP. `cost(mask)` excludes the τ of `mask` itself so that
+/// leaves cost 0 and each step's output is charged exactly once, at its
+/// parent... — more precisely we define:
+///   plan_cost(mask) = Σ_{internal nodes of the subtree} model.Tau(node)
+/// which charges Tau(mask) at the root of the subtree. Leaves: 0.
+class DpSolver {
+ public:
+  DpSolver(const DatabaseScheme& scheme, SizeModel& model,
+           const DpOptions& options)
+      : scheme_(scheme), model_(model), options_(options) {}
+
+  uint64_t Solve(RelMask mask) {
+    auto it = memo_.find(mask);
+    if (it != memo_.end()) return it->second.cost;
+    Entry entry;
+    if (PopCount(mask) == 1) {
+      entry.cost = 0;
+      memo_[mask] = entry;
+      return 0;
+    }
+    for (const auto& [left, right] : Bipartitions(mask)) {
+      if (options_.space == SearchSpace::kLinear && PopCount(left) != 1 &&
+          PopCount(right) != 1) {
+        continue;
+      }
+      if (!options_.allow_cartesian && !scheme_.Linked(left, right)) continue;
+      uint64_t lc = Solve(left);
+      if (lc == kInfeasible) continue;
+      uint64_t rc = Solve(right);
+      if (rc == kInfeasible) continue;
+      uint64_t total = lc + rc;
+      if (total < entry.cost) {
+        entry.cost = total;
+        entry.best_left = left;
+      }
+    }
+    if (entry.cost != kInfeasible) {
+      // Charge this subtree's own output.
+      entry.cost += model_.Tau(mask);
+    }
+    memo_[mask] = entry;
+    return entry.cost;
+  }
+
+  Strategy Extract(RelMask mask) const {
+    if (PopCount(mask) == 1) return Strategy::MakeLeaf(LowestBitIndex(mask));
+    auto it = memo_.find(mask);
+    TAUJOIN_CHECK(it != memo_.end() && it->second.cost != kInfeasible);
+    RelMask left = it->second.best_left;
+    return Strategy::MakeJoin(Extract(left), Extract(mask & ~left));
+  }
+
+ private:
+  const DatabaseScheme& scheme_;
+  SizeModel& model_;
+  DpOptions options_;
+  std::unordered_map<RelMask, Entry> memo_;
+};
+
+}  // namespace
+
+std::optional<PlanResult> OptimizeDp(const DatabaseScheme& scheme,
+                                     RelMask mask, SizeModel& model,
+                                     const DpOptions& options) {
+  TAUJOIN_CHECK_NE(mask, RelMask{0});
+  DpSolver solver(scheme, model, options);
+  uint64_t cost = solver.Solve(mask);
+  if (cost == kInfeasible) return std::nullopt;
+  return PlanResult{solver.Extract(mask), cost};
+}
+
+PlanResult OptimizeAvoidCartesian(const DatabaseScheme& scheme, RelMask mask,
+                                  SizeModel& model) {
+  std::vector<RelMask> components = scheme.Components(mask);
+  std::vector<PlanResult> inner;
+  inner.reserve(components.size());
+  DpOptions no_cp{SearchSpace::kBushy, /*allow_cartesian=*/false};
+  for (RelMask component : components) {
+    std::optional<PlanResult> plan = OptimizeDp(scheme, component, model, no_cp);
+    TAUJOIN_CHECK(plan.has_value()) << "connected component must be feasible";
+    inner.push_back(std::move(*plan));
+  }
+  if (inner.size() == 1) return std::move(inner[0]);
+
+  // Outer DP over subsets of components: combine the component plans by
+  // the cheapest binary product tree (τ of a union of components is the
+  // product of the component τ values, but we just ask the model).
+  const uint32_t full = (1u << components.size()) - 1;
+  std::vector<uint64_t> cost(full + 1, kInfeasible);
+  std::vector<uint32_t> best_left(full + 1, 0);
+  auto rel_mask_of = [&](uint32_t cmask) {
+    RelMask m = 0;
+    for (size_t i = 0; i < components.size(); ++i) {
+      if (cmask & (1u << i)) m |= components[i];
+    }
+    return m;
+  };
+  for (uint32_t cmask = 1; cmask <= full; ++cmask) {
+    if (__builtin_popcount(cmask) == 1) {
+      cost[cmask] = inner[static_cast<size_t>(__builtin_ctz(cmask))].cost;
+      continue;
+    }
+    const uint32_t low = cmask & (~cmask + 1);
+    const uint32_t rest = cmask & ~low;
+    uint32_t sub = 0;
+    while (true) {
+      uint32_t left = low | sub;
+      if (left != cmask) {
+        uint32_t right = cmask & ~left;
+        uint64_t total = cost[left] + cost[right];
+        if (total < cost[cmask]) {
+          cost[cmask] = total;
+          best_left[cmask] = left;
+        }
+      }
+      if (sub == rest) break;
+      sub = (sub - rest) & rest;
+    }
+    cost[cmask] += model.Tau(rel_mask_of(cmask));
+  }
+  // Extract the outer tree.
+  std::function<Strategy(uint32_t)> extract = [&](uint32_t cmask) -> Strategy {
+    if (__builtin_popcount(cmask) == 1) {
+      return inner[static_cast<size_t>(__builtin_ctz(cmask))].strategy;
+    }
+    uint32_t left = best_left[cmask];
+    return Strategy::MakeJoin(extract(left), extract(cmask & ~left));
+  };
+  return PlanResult{extract(full), cost[full]};
+}
+
+}  // namespace taujoin

@@ -1,0 +1,49 @@
+#ifndef TAUJOIN_OPTIMIZE_DP_H_
+#define TAUJOIN_OPTIMIZE_DP_H_
+
+#include <optional>
+
+#include "core/strategy.h"
+#include "optimize/size_model.h"
+#include "scheme/database_scheme.h"
+
+namespace taujoin {
+
+/// Result of an optimizer run: the chosen strategy and its cost under the
+/// model the optimizer was given (for ExactSizeModel this is τ(S)).
+struct PlanResult {
+  Strategy strategy;
+  uint64_t cost = 0;
+};
+
+/// Tree shape the DP explores.
+enum class SearchSpace {
+  kBushy,   ///< all binary trees
+  kLinear,  ///< one child of every step is a single relation
+};
+
+struct DpOptions {
+  SearchSpace space = SearchSpace::kBushy;
+  /// When false, every step must join linked subsets (no Cartesian
+  /// products anywhere) — for unconnected subsets this makes the problem
+  /// infeasible and OptimizeDp returns nullopt.
+  bool allow_cartesian = true;
+};
+
+/// Subset dynamic programming (DPsub) over `mask`, minimizing the sum of
+/// the model's intermediate sizes — the τ measure when the model is exact.
+/// Optimal within the requested space. Exponential in |mask| (3^n subset
+/// pairs); intended for n ≤ ~16.
+std::optional<PlanResult> OptimizeDp(const DatabaseScheme& scheme, RelMask mask,
+                                     SizeModel& model, const DpOptions& options);
+
+/// The paper's "avoids Cartesian products" space: each component of `mask`
+/// is evaluated individually with no internal products (bushy DP), and the
+/// component results are combined by the cheapest product tree. Always
+/// feasible. Coincides with no-CP bushy DP when `mask` is connected.
+PlanResult OptimizeAvoidCartesian(const DatabaseScheme& scheme, RelMask mask,
+                                  SizeModel& model);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_OPTIMIZE_DP_H_

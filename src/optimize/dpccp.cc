@@ -1,0 +1,150 @@
+#include "optimize/dpccp.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "scheme/mask.h"
+
+namespace taujoin {
+
+namespace {
+
+/// Neighborhood of `set` within `universe`, excluding `set` itself.
+RelMask NeighborsOf(const DatabaseScheme& scheme, RelMask set,
+                    RelMask universe) {
+  RelMask result = 0;
+  for (int i : MaskToIndices(set)) {
+    result |= scheme.AdjacencyRow(i);
+  }
+  return result & universe & ~set;
+}
+
+/// Moerkotte–Neumann EnumerateCsgRec: extends the connected set `set` by
+/// non-empty subsets of its neighborhood, excluding `forbidden`.
+void EnumerateCsgRec(const DatabaseScheme& scheme, RelMask universe,
+                     RelMask set, RelMask forbidden,
+                     const std::function<void(RelMask)>& emit) {
+  RelMask neighbors = NeighborsOf(scheme, set, universe) & ~forbidden;
+  if (neighbors == 0) return;
+  // Every non-empty subset of the neighborhood yields a connected superset.
+  RelMask sub = 0;
+  do {
+    sub = (sub - neighbors) & neighbors;
+    if (sub != 0) emit(set | sub);
+  } while (sub != neighbors);
+  sub = 0;
+  do {
+    sub = (sub - neighbors) & neighbors;
+    if (sub != 0) {
+      EnumerateCsgRec(scheme, universe, set | sub, forbidden | neighbors,
+                      emit);
+    }
+  } while (sub != neighbors);
+}
+
+/// All connected subsets of `universe` (each exactly once).
+void EnumerateCsg(const DatabaseScheme& scheme, RelMask universe,
+                  const std::function<void(RelMask)>& emit) {
+  std::vector<int> nodes = MaskToIndices(universe);
+  for (auto it = nodes.rbegin(); it != nodes.rend(); ++it) {
+    RelMask start = SingletonMask(*it);
+    emit(start);
+    // Forbid all nodes with index <= *it (they start their own trees).
+    RelMask forbidden = universe & (start | (start - 1));
+    EnumerateCsgRec(scheme, universe, start, forbidden, emit);
+  }
+}
+
+/// All connected complements S2 for the connected set `s1` (each pair
+/// exactly once, keyed to s1's minimum element).
+void EnumerateCmp(const DatabaseScheme& scheme, RelMask universe, RelMask s1,
+                  const std::function<void(RelMask)>& emit) {
+  RelMask min_bit = LowestBit(s1);
+  RelMask forbidden_base = universe & (min_bit | (min_bit - 1));
+  RelMask x = forbidden_base | s1;
+  RelMask neighbors = NeighborsOf(scheme, s1, universe) & ~x;
+  std::vector<int> seeds = MaskToIndices(neighbors);
+  for (auto it = seeds.rbegin(); it != seeds.rend(); ++it) {
+    RelMask start = SingletonMask(*it);
+    emit(start);
+    RelMask below = neighbors & (start | (start - 1));
+    EnumerateCsgRec(scheme, universe, start, x | below, emit);
+  }
+}
+
+}  // namespace
+
+void ForEachCsgCmpPair(const DatabaseScheme& scheme, RelMask mask,
+                       const std::function<void(RelMask, RelMask)>& emit) {
+  TAUJOIN_CHECK_NE(mask, RelMask{0});
+  // Collect then sort by combined size so DP consumers can fold directly.
+  std::vector<std::pair<RelMask, RelMask>> pairs;
+  EnumerateCsg(scheme, mask, [&](RelMask s1) {
+    EnumerateCmp(scheme, mask, s1, [&](RelMask s2) {
+      pairs.emplace_back(s1, s2);
+    });
+  });
+  std::sort(pairs.begin(), pairs.end(),
+            [](const std::pair<RelMask, RelMask>& a,
+               const std::pair<RelMask, RelMask>& b) {
+              int pa = PopCount(a.first | a.second);
+              int pb = PopCount(b.first | b.second);
+              if (pa != pb) return pa < pb;
+              return (a.first | a.second) < (b.first | b.second);
+            });
+  for (const auto& [s1, s2] : pairs) emit(s1, s2);
+}
+
+uint64_t CountCsgCmpPairs(const DatabaseScheme& scheme, RelMask mask) {
+  uint64_t count = 0;
+  EnumerateCsg(scheme, mask, [&](RelMask s1) {
+    EnumerateCmp(scheme, mask, s1, [&](RelMask) { ++count; });
+  });
+  return count;
+}
+
+std::optional<PlanResult> OptimizeDpCcp(const DatabaseScheme& scheme,
+                                        RelMask mask, SizeModel& model) {
+  if (PopCount(mask) == 1) {
+    return PlanResult{Strategy::MakeLeaf(LowestBitIndex(mask)), 0};
+  }
+  if (!scheme.Connected(mask)) return std::nullopt;
+
+  constexpr uint64_t kInfinity = std::numeric_limits<uint64_t>::max();
+  struct Entry {
+    uint64_t cost = kInfinity;  ///< full cost incl. own output
+    RelMask left = 0;
+  };
+  std::unordered_map<RelMask, Entry> best;
+  for (int i : MaskToIndices(mask)) {
+    best[SingletonMask(i)] = Entry{0, 0};
+  }
+  ForEachCsgCmpPair(scheme, mask, [&](RelMask s1, RelMask s2) {
+    auto it1 = best.find(s1);
+    auto it2 = best.find(s2);
+    TAUJOIN_CHECK(it1 != best.end() && it2 != best.end())
+        << "csg-cmp pair emitted before its halves were solved";
+    if (it1->second.cost == kInfinity || it2->second.cost == kInfinity) return;
+    RelMask joined = s1 | s2;
+    uint64_t cost =
+        it1->second.cost + it2->second.cost + model.Tau(joined);
+    Entry& slot = best[joined];
+    if (cost < slot.cost) {
+      slot.cost = cost;
+      slot.left = s1;
+    }
+  });
+  auto it = best.find(mask);
+  if (it == best.end() || it->second.cost == kInfinity) return std::nullopt;
+  std::function<Strategy(RelMask)> extract = [&](RelMask m) -> Strategy {
+    if (PopCount(m) == 1) return Strategy::MakeLeaf(LowestBitIndex(m));
+    RelMask left = best.at(m).left;
+    return Strategy::MakeJoin(extract(left), extract(m & ~left));
+  };
+  return PlanResult{extract(mask), it->second.cost};
+}
+
+}  // namespace taujoin

@@ -1,0 +1,36 @@
+#ifndef TAUJOIN_OPTIMIZE_DPCCP_H_
+#define TAUJOIN_OPTIMIZE_DPCCP_H_
+
+#include <functional>
+#include <optional>
+
+#include "optimize/dp.h"
+
+namespace taujoin {
+
+/// Connected-subgraph / complement-pair enumeration (Moerkotte–Neumann
+/// DPccp): emits every unordered pair (S1, S2) of disjoint, connected,
+/// linked subsets of `mask` exactly once. This is the modern engine behind
+/// product-free join-order DP — it touches only the pairs the no-CP
+/// search space actually contains, instead of filtering all 3^n subset
+/// splits the way DPsub does.
+///
+/// `emit` receives (S1, S2); enumeration visits pairs in non-decreasing
+/// |S1 ∪ S2| so a DP may consume them directly.
+void ForEachCsgCmpPair(const DatabaseScheme& scheme, RelMask mask,
+                       const std::function<void(RelMask, RelMask)>& emit);
+
+/// Number of csg-cmp pairs for `mask` — the paper-facing complexity
+/// measure of product-free DP (chains: Θ(n³); cliques: Θ(3^n)).
+uint64_t CountCsgCmpPairs(const DatabaseScheme& scheme, RelMask mask);
+
+/// Product-free bushy DP driven by the csg-cmp enumeration. Equivalent in
+/// results to OptimizeDp(..., {kBushy, allow_cartesian=false}) — the tests
+/// assert it — but visits only realizable pairs. Returns nullopt for
+/// unconnected `mask` (no product-free strategy exists).
+std::optional<PlanResult> OptimizeDpCcp(const DatabaseScheme& scheme,
+                                        RelMask mask, SizeModel& model);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_OPTIMIZE_DPCCP_H_

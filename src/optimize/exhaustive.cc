@@ -1,0 +1,36 @@
+#include "optimize/exhaustive.h"
+
+namespace taujoin {
+
+std::optional<PlanResult> OptimizeExhaustive(JoinCache& cache, RelMask mask,
+                                             StrategySpace space) {
+  std::optional<PlanResult> best;
+  ForEachStrategy(cache.db().scheme(), mask, space, [&](const Strategy& s) {
+    uint64_t cost = TauCost(s, cache);
+    if (!best.has_value() || cost < best->cost) {
+      best = PlanResult{s, cost};
+    }
+    return true;
+  });
+  return best;
+}
+
+std::vector<Strategy> AllOptima(JoinCache& cache, RelMask mask,
+                                StrategySpace space) {
+  std::optional<uint64_t> best;
+  std::vector<Strategy> optima;
+  ForEachStrategy(cache.db().scheme(), mask, space, [&](const Strategy& s) {
+    uint64_t cost = TauCost(s, cache);
+    if (!best.has_value() || cost < *best) {
+      best = cost;
+      optima.clear();
+      optima.push_back(s);
+    } else if (cost == *best) {
+      optima.push_back(s);
+    }
+    return true;
+  });
+  return optima;
+}
+
+}  // namespace taujoin

@@ -1,0 +1,28 @@
+#ifndef TAUJOIN_OPTIMIZE_EXHAUSTIVE_H_
+#define TAUJOIN_OPTIMIZE_EXHAUSTIVE_H_
+
+#include <optional>
+
+#include "core/cost.h"
+#include "enumerate/strategy_enumerator.h"
+#include "optimize/dp.h"
+
+namespace taujoin {
+
+/// Brute-force minimum over a strategy subspace under exact τ, by
+/// enumerating every strategy. Exponential in a worse way than the DP
+/// ((2n−3)!! trees); exists as ground truth for tests and small reports.
+/// Returns nullopt when the subspace is empty (e.g. no-CP over an
+/// unconnected subset).
+std::optional<PlanResult> OptimizeExhaustive(JoinCache& cache, RelMask mask,
+                                             StrategySpace space);
+
+/// All τ-optimum strategies within the subspace (the full argmin set);
+/// useful for checking "some optimum is linear"-style claims. Empty when
+/// the subspace is empty.
+std::vector<Strategy> AllOptima(JoinCache& cache, RelMask mask,
+                                StrategySpace space);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_OPTIMIZE_EXHAUSTIVE_H_

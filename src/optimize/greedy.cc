@@ -1,0 +1,87 @@
+#include "optimize/greedy.h"
+
+#include <limits>
+
+#include "common/logging.h"
+
+namespace taujoin {
+
+PlanResult OptimizeGreedy(const DatabaseScheme& scheme, RelMask mask,
+                          SizeModel& model) {
+  TAUJOIN_CHECK_NE(mask, RelMask{0});
+  struct Piece {
+    RelMask mask;
+    Strategy strategy;
+  };
+  std::vector<Piece> pieces;
+  for (int i : MaskToIndices(mask)) {
+    pieces.push_back({SingletonMask(i), Strategy::MakeLeaf(i)});
+  }
+  uint64_t total_cost = 0;
+  while (pieces.size() > 1) {
+    size_t best_a = 0, best_b = 1;
+    uint64_t best_tau = std::numeric_limits<uint64_t>::max();
+    bool best_linked = false;
+    for (size_t a = 0; a < pieces.size(); ++a) {
+      for (size_t b = a + 1; b < pieces.size(); ++b) {
+        uint64_t tau = model.Tau(pieces[a].mask | pieces[b].mask);
+        bool linked = scheme.Linked(pieces[a].mask, pieces[b].mask);
+        // Prefer smaller result; tie-break toward real joins.
+        if (tau < best_tau || (tau == best_tau && linked && !best_linked)) {
+          best_tau = tau;
+          best_linked = linked;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    Piece merged{pieces[best_a].mask | pieces[best_b].mask,
+                 Strategy::MakeJoin(pieces[best_a].strategy,
+                                    pieces[best_b].strategy)};
+    total_cost += best_tau;
+    pieces.erase(pieces.begin() + static_cast<long>(best_b));
+    pieces[best_a] = std::move(merged);
+  }
+  return PlanResult{std::move(pieces[0].strategy), total_cost};
+}
+
+PlanResult OptimizeGreedyLinear(const DatabaseScheme& scheme, RelMask mask,
+                                SizeModel& model) {
+  TAUJOIN_CHECK_NE(mask, RelMask{0});
+  std::vector<int> indices = MaskToIndices(mask);
+  // Start from the smallest relation.
+  int start = indices[0];
+  for (int i : indices) {
+    if (model.Tau(SingletonMask(i)) < model.Tau(SingletonMask(start))) {
+      start = i;
+    }
+  }
+  RelMask current = SingletonMask(start);
+  Strategy strategy = Strategy::MakeLeaf(start);
+  RelMask remaining = mask & ~current;
+  uint64_t total_cost = 0;
+  while (remaining) {
+    int best = -1;
+    uint64_t best_tau = std::numeric_limits<uint64_t>::max();
+    bool best_linked = false;
+    for (int i : MaskToIndices(remaining)) {
+      uint64_t tau = model.Tau(current | SingletonMask(i));
+      bool linked = scheme.Linked(current, SingletonMask(i));
+      // Classic heuristic: a linked (non-product) extension beats an
+      // unlinked one; among equals, the smaller intermediate wins.
+      if (best < 0 || (linked && !best_linked) ||
+          (linked == best_linked && tau < best_tau)) {
+        best = i;
+        best_tau = tau;
+        best_linked = linked;
+      }
+    }
+    strategy = Strategy::MakeJoin(strategy, Strategy::MakeLeaf(best));
+    current |= SingletonMask(best);
+    total_cost += best_tau;
+    remaining &= ~SingletonMask(best);
+  }
+  return PlanResult{std::move(strategy), total_cost};
+}
+
+}  // namespace taujoin

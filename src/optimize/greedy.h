@@ -1,0 +1,24 @@
+#ifndef TAUJOIN_OPTIMIZE_GREEDY_H_
+#define TAUJOIN_OPTIMIZE_GREEDY_H_
+
+#include "optimize/dp.h"
+
+namespace taujoin {
+
+/// GOO-style greedy bushy optimizer: repeatedly joins the pair of current
+/// sub-results whose join is smallest under the model, breaking ties
+/// toward linked pairs and then lower masks. Polynomial; no optimality
+/// guarantee — included as the heuristic baseline the paper's theorems
+/// would certify or refute.
+PlanResult OptimizeGreedy(const DatabaseScheme& scheme, RelMask mask,
+                          SizeModel& model);
+
+/// Greedy linear optimizer: starts from the smallest relation and appends
+/// the relation minimizing the next intermediate size (preferring linked
+/// relations, the classic avoid-CP heuristic).
+PlanResult OptimizeGreedyLinear(const DatabaseScheme& scheme, RelMask mask,
+                                SizeModel& model);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_OPTIMIZE_GREEDY_H_

@@ -1,0 +1,217 @@
+#include "optimize/ikkbz.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "relational/join.h"
+
+namespace taujoin {
+
+AsiCostModel AsiCostModel::FromDatabase(const Database& db) {
+  AsiCostModel model;
+  model.cardinality.resize(static_cast<size_t>(db.size()));
+  for (int i = 0; i < db.size(); ++i) {
+    model.cardinality[static_cast<size_t>(i)] =
+        std::max<double>(1.0, static_cast<double>(db.state(i).Tau()));
+  }
+  for (int i = 0; i < db.size(); ++i) {
+    for (int j = i + 1; j < db.size(); ++j) {
+      if (!db.scheme().Adjacent(i, j)) continue;
+      double joined =
+          static_cast<double>(NaturalJoin(db.state(i), db.state(j)).Tau());
+      double denom = model.cardinality[static_cast<size_t>(i)] *
+                     model.cardinality[static_cast<size_t>(j)];
+      model.selectivity[{i, j}] = denom > 0 ? joined / denom : 0.0;
+    }
+  }
+  return model;
+}
+
+double AsiCostModel::SelectivityBetween(int a, int b) const {
+  if (a > b) std::swap(a, b);
+  auto it = selectivity.find({a, b});
+  TAUJOIN_CHECK(it != selectivity.end())
+      << "no selectivity for edge " << a << "-" << b;
+  return it->second;
+}
+
+double AsiCostModel::SequenceCost(const std::vector<int>& order,
+                                  const DatabaseScheme& scheme) const {
+  TAUJOIN_CHECK(!order.empty());
+  double size = cardinality[static_cast<size_t>(order[0])];
+  double cost = 0;
+  RelMask prefix = SingletonMask(order[0]);
+  for (size_t k = 1; k < order.size(); ++k) {
+    int rel = order[k];
+    double factor = cardinality[static_cast<size_t>(rel)];
+    bool linked = false;
+    for (int p : MaskToIndices(prefix)) {
+      if (scheme.Adjacent(p, rel)) {
+        factor *= SelectivityBetween(p, rel);
+        linked = true;
+      }
+    }
+    TAUJOIN_CHECK(linked) << "order is not connected at position " << k;
+    size *= factor;
+    cost += size;
+    prefix |= SingletonMask(rel);
+  }
+  return cost;
+}
+
+namespace {
+
+/// A chain module: a maximal run of relations glued during normalization.
+struct Module {
+  std::vector<int> rels;
+  double t = 1;  ///< Π s·n over the module
+  double c = 0;  ///< ASI cost of the module
+
+  double Rank() const { return c <= 0 ? 0 : (t - 1) / c; }
+
+  static Module Merge(const Module& u, const Module& w) {
+    Module m;
+    m.rels = u.rels;
+    m.rels.insert(m.rels.end(), w.rels.begin(), w.rels.end());
+    m.t = u.t * w.t;
+    m.c = u.c + u.t * w.c;
+    return m;
+  }
+};
+
+/// Linearizes the precedence tree rooted at `v`: returns the optimal chain
+/// of modules for v's subtree (v itself is NOT included).
+class IkkbzSolver {
+ public:
+  IkkbzSolver(const DatabaseScheme& scheme, const AsiCostModel& model,
+              const std::vector<std::vector<int>>& adjacency)
+      : scheme_(scheme), model_(model), adjacency_(adjacency) {}
+
+  std::vector<int> SolveForRoot(int root) {
+    std::vector<Module> chain = SubtreeChain(root, -1);
+    std::vector<int> order = {root};
+    for (const Module& m : chain) {
+      order.insert(order.end(), m.rels.begin(), m.rels.end());
+    }
+    return order;
+  }
+
+ private:
+  /// Module for a single non-root relation `v` whose parent is `parent`.
+  Module Leaf(int v, int parent) const {
+    Module m;
+    m.rels = {v};
+    m.t = model_.SelectivityBetween(parent, v) *
+          model_.cardinality[static_cast<size_t>(v)];
+    m.c = m.t;
+    return m;
+  }
+
+  /// The normalized, rank-sorted chain for the subtree hanging below `v`
+  /// (children of v and their subtrees; v excluded).
+  std::vector<Module> SubtreeChain(int v, int parent) {
+    // Each child contributes its own normalized chain, headed by the
+    // child's module (children must come after v, and within a child's
+    // chain the precedence constraints are already folded into modules).
+    std::vector<std::vector<Module>> child_chains;
+    for (int child : adjacency_[static_cast<size_t>(v)]) {
+      if (child == parent) continue;
+      std::vector<Module> below = SubtreeChain(child, v);
+      // Prepend the child's own module, then normalize: while the head has
+      // a larger rank than its successor, the successor can never legally
+      // jump the head, so glue them.
+      std::vector<Module> chain;
+      chain.push_back(Leaf(child, v));
+      chain.insert(chain.end(), below.begin(), below.end());
+      Normalize(chain);
+      child_chains.push_back(std::move(chain));
+    }
+    // Merge the (independent) child chains by ascending rank.
+    std::vector<Module> merged;
+    std::vector<size_t> cursor(child_chains.size(), 0);
+    while (true) {
+      int best = -1;
+      for (size_t i = 0; i < child_chains.size(); ++i) {
+        if (cursor[i] >= child_chains[i].size()) continue;
+        if (best < 0 ||
+            child_chains[i][cursor[i]].Rank() <
+                child_chains[static_cast<size_t>(best)]
+                            [cursor[static_cast<size_t>(best)]]
+                                .Rank()) {
+          best = static_cast<int>(i);
+        }
+      }
+      if (best < 0) break;
+      merged.push_back(
+          child_chains[static_cast<size_t>(best)]
+                      [cursor[static_cast<size_t>(best)]++]);
+    }
+    return merged;
+  }
+
+  static void Normalize(std::vector<Module>& chain) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (size_t i = 0; i + 1 < chain.size(); ++i) {
+        if (chain[i].Rank() > chain[i + 1].Rank()) {
+          // In a precedence chain the successor cannot be reordered before
+          // its predecessor, so the ASI theorem says: glue them.
+          Module merged = Module::Merge(chain[i], chain[i + 1]);
+          chain[i] = std::move(merged);
+          chain.erase(chain.begin() + static_cast<long>(i) + 1);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  const DatabaseScheme& scheme_;
+  const AsiCostModel& model_;
+  const std::vector<std::vector<int>>& adjacency_;
+};
+
+}  // namespace
+
+StatusOr<IkkbzResult> OptimizeIkkbz(const DatabaseScheme& scheme, RelMask mask,
+                                    const AsiCostModel& model) {
+  std::vector<int> rels = MaskToIndices(mask);
+  if (rels.empty()) return InvalidArgumentError("empty relation subset");
+  // Build the query graph restricted to the mask and verify it is a tree.
+  int edges = 0;
+  std::vector<std::vector<int>> adjacency(
+      static_cast<size_t>(scheme.size()));
+  for (size_t a = 0; a < rels.size(); ++a) {
+    for (size_t b = a + 1; b < rels.size(); ++b) {
+      if (scheme.Adjacent(rels[a], rels[b])) {
+        adjacency[static_cast<size_t>(rels[a])].push_back(rels[b]);
+        adjacency[static_cast<size_t>(rels[b])].push_back(rels[a]);
+        ++edges;
+      }
+    }
+  }
+  if (!scheme.Connected(mask)) {
+    return FailedPreconditionError("IKKBZ requires a connected query graph");
+  }
+  if (edges != static_cast<int>(rels.size()) - 1) {
+    return FailedPreconditionError(
+        "IKKBZ requires a tree query graph (acyclic)");
+  }
+
+  IkkbzSolver solver(scheme, model, adjacency);
+  IkkbzResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+  for (int root : rels) {
+    std::vector<int> order = solver.SolveForRoot(root);
+    double cost = model.SequenceCost(order, scheme);
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.order = std::move(order);
+    }
+  }
+  return best;
+}
+
+}  // namespace taujoin

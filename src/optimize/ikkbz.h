@@ -1,0 +1,50 @@
+#ifndef TAUJOIN_OPTIMIZE_IKKBZ_H_
+#define TAUJOIN_OPTIMIZE_IKKBZ_H_
+
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/database.h"
+
+namespace taujoin {
+
+/// The ASI ("adjacent sequence interchange") cost model of Ibaraki–Kameda
+/// [11 in the paper]: relations have cardinalities n_i, tree-query edges
+/// have selectivities s_ij, and a left-deep order p1 p2 ... pk costs
+///   Σ_{k≥2} T_k,   T_k = n_{p1} · Π_{j=2..k} s_{edge(pj → prefix)} · n_{pj},
+/// i.e. the Σ-of-intermediate-sizes measure (the paper's τ) under the
+/// independence model along the join tree's edges.
+struct AsiCostModel {
+  std::vector<double> cardinality;              ///< n_i per relation index
+  std::map<std::pair<int, int>, double> selectivity;  ///< (i<j) → s_ij
+
+  /// Measures cardinalities and pairwise selectivities from actual states:
+  /// s_ij = τ(Ri ⋈ Rj) / (n_i · n_j) for linked pairs.
+  static AsiCostModel FromDatabase(const Database& db);
+
+  double SelectivityBetween(int a, int b) const;
+
+  /// Cost of the left-deep order; every relation after the first must be
+  /// linked to the prefix (CHECK-enforced — IKKBZ only emits such orders).
+  double SequenceCost(const std::vector<int>& order,
+                      const DatabaseScheme& scheme) const;
+};
+
+/// A left-deep plan under the ASI model.
+struct IkkbzResult {
+  std::vector<int> order;
+  double cost = 0;
+};
+
+/// The Ibaraki–Kameda / Krishnamurthy–Boral–Zaniolo polynomial algorithm:
+/// for an (acyclic, connected) tree query graph it returns the optimal
+/// connected left-deep order under the ASI cost — in O(n² log n) here
+/// (one rank-normalization pass per candidate root). Fails when the query
+/// graph restricted to `mask` is not a connected tree.
+StatusOr<IkkbzResult> OptimizeIkkbz(const DatabaseScheme& scheme, RelMask mask,
+                                    const AsiCostModel& model);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_OPTIMIZE_IKKBZ_H_

@@ -1,0 +1,114 @@
+#include "optimize/iterative.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace taujoin {
+
+namespace {
+
+/// τ-cost (under the model) of the left-deep order `perm`.
+uint64_t LinearCost(const std::vector<int>& perm, SizeModel& model) {
+  uint64_t cost = 0;
+  RelMask acc = SingletonMask(perm[0]);
+  for (size_t i = 1; i < perm.size(); ++i) {
+    acc |= SingletonMask(perm[i]);
+    cost += model.Tau(acc);
+  }
+  return cost;
+}
+
+}  // namespace
+
+PlanResult OptimizeIterative(const DatabaseScheme& scheme, RelMask mask,
+                             SizeModel& model, Rng& rng,
+                             const IterativeOptions& options) {
+  (void)scheme;
+  std::vector<int> indices = MaskToIndices(mask);
+  TAUJOIN_CHECK(!indices.empty());
+  if (indices.size() == 1) {
+    return PlanResult{Strategy::MakeLeaf(indices[0]), 0};
+  }
+
+  std::vector<int> best_perm = indices;
+  uint64_t best_cost = std::numeric_limits<uint64_t>::max();
+
+  for (int restart = 0; restart < options.restarts; ++restart) {
+    std::vector<int> perm = indices;
+    rng.Shuffle(perm);
+    uint64_t cost = LinearCost(perm, model);
+    int moves = 0;
+    bool improved = true;
+    while (improved && moves < options.max_moves) {
+      improved = false;
+      // Full sweep of pairwise swaps; accept the first improvement.
+      for (size_t i = 0; i < perm.size() && !improved; ++i) {
+        for (size_t j = i + 1; j < perm.size() && !improved; ++j) {
+          std::swap(perm[i], perm[j]);
+          uint64_t candidate = LinearCost(perm, model);
+          if (candidate < cost) {
+            cost = candidate;
+            improved = true;
+            ++moves;
+          } else {
+            std::swap(perm[i], perm[j]);
+          }
+        }
+      }
+    }
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_perm = perm;
+    }
+  }
+  return PlanResult{Strategy::LeftDeep(best_perm), best_cost};
+}
+
+PlanResult OptimizeSimulatedAnnealing(const DatabaseScheme& scheme,
+                                      RelMask mask, SizeModel& model, Rng& rng,
+                                      const AnnealingOptions& options) {
+  (void)scheme;
+  std::vector<int> indices = MaskToIndices(mask);
+  TAUJOIN_CHECK(!indices.empty());
+  if (indices.size() == 1) {
+    return PlanResult{Strategy::MakeLeaf(indices[0]), 0};
+  }
+  std::vector<int> current = indices;
+  rng.Shuffle(current);
+  uint64_t current_cost = LinearCost(current, model);
+  std::vector<int> best = current;
+  uint64_t best_cost = current_cost;
+
+  double temperature =
+      options.initial_temperature * static_cast<double>(current_cost + 1);
+  for (int level = 0; level < options.temperature_levels; ++level) {
+    for (int step = 0; step < options.steps_per_temperature; ++step) {
+      size_t i = static_cast<size_t>(rng.Uniform(current.size()));
+      size_t j = static_cast<size_t>(rng.Uniform(current.size()));
+      if (i == j) continue;
+      std::swap(current[i], current[j]);
+      uint64_t candidate = LinearCost(current, model);
+      bool accept = candidate <= current_cost;
+      if (!accept && temperature > 0) {
+        double delta =
+            static_cast<double>(candidate) - static_cast<double>(current_cost);
+        accept = rng.UniformDouble() < std::exp(-delta / temperature);
+      }
+      if (accept) {
+        current_cost = candidate;
+        if (candidate < best_cost) {
+          best_cost = candidate;
+          best = current;
+        }
+      } else {
+        std::swap(current[i], current[j]);
+      }
+    }
+    temperature *= options.cooling;
+  }
+  return PlanResult{Strategy::LeftDeep(best), best_cost};
+}
+
+}  // namespace taujoin

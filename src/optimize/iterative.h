@@ -1,0 +1,40 @@
+#ifndef TAUJOIN_OPTIMIZE_ITERATIVE_H_
+#define TAUJOIN_OPTIMIZE_ITERATIVE_H_
+
+#include "common/rng.h"
+#include "optimize/dp.h"
+
+namespace taujoin {
+
+struct IterativeOptions {
+  int restarts = 8;        ///< random restarts
+  int max_moves = 200;     ///< improvement moves per restart
+};
+
+/// Swami-style iterative improvement over *linear* strategies: random
+/// permutation starts, then hill-climbing on adjacent transpositions and
+/// random position swaps until a local optimum (or the move budget runs
+/// out). Polynomial per move; no optimality guarantee.
+PlanResult OptimizeIterative(const DatabaseScheme& scheme, RelMask mask,
+                             SizeModel& model, Rng& rng,
+                             const IterativeOptions& options = {});
+
+struct AnnealingOptions {
+  double initial_temperature = 2.0;  ///< relative to the start cost
+  double cooling = 0.92;             ///< geometric cooling factor
+  int steps_per_temperature = 24;
+  int temperature_levels = 40;
+};
+
+/// Ioannidis/Swami-style simulated annealing over linear strategies:
+/// random-swap neighbours, Metropolis acceptance, geometric cooling.
+/// Explores worse plans early, converging to (a neighbourhood of) a local
+/// optimum; like iterative improvement, no guarantee — included as the
+/// other classic randomized optimizer of the paper's era.
+PlanResult OptimizeSimulatedAnnealing(const DatabaseScheme& scheme,
+                                      RelMask mask, SizeModel& model, Rng& rng,
+                                      const AnnealingOptions& options = {});
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_OPTIMIZE_ITERATIVE_H_

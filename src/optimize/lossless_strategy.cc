@@ -1,0 +1,72 @@
+#include "optimize/lossless_strategy.h"
+
+#include <functional>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "enumerate/subsets.h"
+#include "fd/closure.h"
+
+namespace taujoin {
+
+bool IsOsbornStep(const Schema& e1, const Schema& e2, const FdSet& fds) {
+  Schema shared = e1.Intersect(e2);
+  if (shared.empty()) return false;
+  return IsSuperkey(shared, e1, fds) || IsSuperkey(shared, e2, fds);
+}
+
+bool IsExtensionJoinStep(const Schema& e1, const Schema& e2,
+                         const FdSet& fds) {
+  Schema shared = e1.Intersect(e2);
+  if (shared.empty()) return false;
+  Schema closure = AttributeClosure(shared, fds);
+  // Some attribute outside the intersection, on either side, must be
+  // functionally determined by the intersection.
+  return !closure.Intersect(e1.Minus(shared)).empty() ||
+         !closure.Intersect(e2.Minus(shared)).empty();
+}
+
+bool IsOsbornStrategy(const Strategy& strategy, const DatabaseScheme& scheme,
+                      const FdSet& fds) {
+  for (int step : strategy.Steps()) {
+    const Strategy::Node& n = strategy.node(step);
+    Schema e1 = scheme.AttributesOf(strategy.node(n.left).mask);
+    Schema e2 = scheme.AttributesOf(strategy.node(n.right).mask);
+    if (!IsOsbornStep(e1, e2, fds)) return false;
+  }
+  return true;
+}
+
+std::optional<Strategy> FindOsbornStrategy(const DatabaseScheme& scheme,
+                                           RelMask mask, const FdSet& fds) {
+  TAUJOIN_CHECK_NE(mask, RelMask{0});
+  // feasible[m]: some all-Osborn strategy exists for subset m; witness via
+  // the chosen left half.
+  std::unordered_map<RelMask, std::optional<RelMask>> choice;
+  std::function<bool(RelMask)> feasible = [&](RelMask m) -> bool {
+    if (PopCount(m) == 1) return true;
+    auto it = choice.find(m);
+    if (it != choice.end()) return it->second.has_value();
+    for (const auto& [left, right] : Bipartitions(m)) {
+      if (!IsOsbornStep(scheme.AttributesOf(left), scheme.AttributesOf(right),
+                        fds)) {
+        continue;
+      }
+      if (feasible(left) && feasible(right)) {
+        choice[m] = left;
+        return true;
+      }
+    }
+    choice[m] = std::nullopt;
+    return false;
+  };
+  if (!feasible(mask)) return std::nullopt;
+  std::function<Strategy(RelMask)> extract = [&](RelMask m) -> Strategy {
+    if (PopCount(m) == 1) return Strategy::MakeLeaf(LowestBitIndex(m));
+    RelMask left = *choice.at(m);
+    return Strategy::MakeJoin(extract(left), extract(m & ~left));
+  };
+  return extract(mask);
+}
+
+}  // namespace taujoin

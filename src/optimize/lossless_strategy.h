@@ -1,0 +1,43 @@
+#ifndef TAUJOIN_OPTIMIZE_LOSSLESS_STRATEGY_H_
+#define TAUJOIN_OPTIMIZE_LOSSLESS_STRATEGY_H_
+
+#include <optional>
+
+#include "core/strategy.h"
+#include "fd/fd.h"
+
+namespace taujoin {
+
+/// §5's lossless-strategy discussion (Osborn, Honeyman, Sagiv) made
+/// executable. A step [E1, R_E1] ⋈ [E2, R_E2] is:
+///
+///  * an **Osborn step** when R_E1 ∩ R_E2 is a superkey of R_E1 or of
+///    R_E2 under the FDs (so the step is a lossless join, and by the §4
+///    argument τ(R_E1 ⋈ R_E2) ≤ τ of the keyed side on FD-satisfying
+///    states);
+///  * an **extension-join step** (Honeyman) when some non-empty
+///    Y ⊆ R_E2 − R_E1 (or symmetrically) has R_E1 ∩ R_E2 → Y — a weaker
+///    requirement: only part of the other side need be determined.
+
+/// Whether the attribute-set step E1 ⋈ E2 is an Osborn step.
+bool IsOsbornStep(const Schema& e1, const Schema& e2, const FdSet& fds);
+
+/// Whether it is an extension-join step (Osborn steps qualify whenever
+/// the determined side has attributes outside the intersection).
+bool IsExtensionJoinStep(const Schema& e1, const Schema& e2, const FdSet& fds);
+
+/// Whether every step of `strategy` is an Osborn step (a "lossless
+/// strategy"). Attribute sets are unions over each node's subset.
+bool IsOsbornStrategy(const Strategy& strategy, const DatabaseScheme& scheme,
+                      const FdSet& fds);
+
+/// Searches for a strategy for `mask` whose every step is an Osborn step,
+/// via DP over subsets (existence only, so any witness works). Returns
+/// nullopt when none exists — Osborn's conditions (1)–(3) in §5 are
+/// sufficient for existence, not necessary.
+std::optional<Strategy> FindOsbornStrategy(const DatabaseScheme& scheme,
+                                           RelMask mask, const FdSet& fds);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_OPTIMIZE_LOSSLESS_STRATEGY_H_

@@ -1,0 +1,71 @@
+#include "optimize/size_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace taujoin {
+
+IndependenceSizeModel::IndependenceSizeModel(const Database* db) : db_(db) {
+  for (int i = 0; i < db_->size(); ++i) {
+    Profile profile;
+    const Relation& r = db_->state(i);
+    profile.size = static_cast<double>(r.size());
+    for (size_t c = 0; c < r.schema().size(); ++c) {
+      std::unordered_set<Value, ValueHash> values;
+      for (const Tuple& t : r) values.insert(t.value(c));
+      profile.distinct[r.schema().attribute(c)] =
+          std::max<double>(1.0, static_cast<double>(values.size()));
+    }
+    profiles_[SingletonMask(i)] = std::move(profile);
+  }
+}
+
+const IndependenceSizeModel::Profile& IndependenceSizeModel::ProfileOf(
+    RelMask mask) {
+  auto it = profiles_.find(mask);
+  if (it != profiles_.end()) return it->second;
+  TAUJOIN_CHECK_GT(PopCount(mask), 1);
+  // Fold in the lowest relation; the estimate is order-dependent in
+  // general, but keying the memo on the mask with a fixed fold order makes
+  // it deterministic and consistent across the DP.
+  const int low = LowestBitIndex(mask);
+  const Profile& rest = ProfileOf(mask & ~SingletonMask(low));
+  const Profile& base = ProfileOf(SingletonMask(low));
+
+  Profile merged;
+  double selectivity_denominator = 1.0;
+  for (const auto& [attr, d] : base.distinct) {
+    auto shared = rest.distinct.find(attr);
+    if (shared != rest.distinct.end()) {
+      selectivity_denominator *= std::max(d, shared->second);
+    }
+  }
+  merged.size = rest.size * base.size / selectivity_denominator;
+  merged.distinct = rest.distinct;
+  for (const auto& [attr, d] : base.distinct) {
+    auto slot = merged.distinct.find(attr);
+    if (slot == merged.distinct.end()) {
+      merged.distinct[attr] = d;
+    } else {
+      slot->second = std::min(slot->second, d);
+    }
+  }
+  // Distinct counts can never exceed the (estimated) relation size.
+  for (auto& [attr, d] : merged.distinct) {
+    d = std::max(1.0, std::min(d, std::max(1.0, merged.size)));
+  }
+  auto [inserted, unused] = profiles_.emplace(mask, std::move(merged));
+  return inserted->second;
+}
+
+uint64_t IndependenceSizeModel::Tau(RelMask mask) {
+  double size = ProfileOf(mask).size;
+  if (size < 0) size = 0;
+  if (size > 9e18) size = 9e18;
+  return static_cast<uint64_t>(std::llround(size));
+}
+
+}  // namespace taujoin

@@ -1,0 +1,61 @@
+#ifndef TAUJOIN_OPTIMIZE_SIZE_MODEL_H_
+#define TAUJOIN_OPTIMIZE_SIZE_MODEL_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "core/cost.h"
+#include "core/database.h"
+
+namespace taujoin {
+
+/// Pluggable intermediate-size oracle for the optimizers. The paper's cost
+/// measure is the *exact* tuple count, which ExactSizeModel provides (via
+/// JoinCache); IndependenceSizeModel is the classic System-R-style
+/// estimator (uniformity + independence) that the paper explicitly
+/// criticizes — included so experiments can quantify how misleading it is.
+class SizeModel {
+ public:
+  virtual ~SizeModel() = default;
+
+  /// Estimated (or exact) τ(R_{D'}) for the subset `mask`.
+  virtual uint64_t Tau(RelMask mask) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Exact sizes through a JoinCache (shared with other consumers).
+class ExactSizeModel : public SizeModel {
+ public:
+  explicit ExactSizeModel(JoinCache* cache) : cache_(cache) {}
+  uint64_t Tau(RelMask mask) override { return cache_->Tau(mask); }
+  std::string name() const override { return "exact"; }
+
+ private:
+  JoinCache* cache_;
+};
+
+/// Textbook estimator: |R ⋈ S| ≈ |R|·|S| / Π_{A shared} max(d_R(A), d_S(A)),
+/// with d(A) of the result min'ed across the inputs. Per-attribute distinct
+/// counts of the base relations are measured from the actual states.
+class IndependenceSizeModel : public SizeModel {
+ public:
+  explicit IndependenceSizeModel(const Database* db);
+  uint64_t Tau(RelMask mask) override;
+  std::string name() const override { return "independence"; }
+
+ private:
+  struct Profile {
+    double size = 0;
+    std::map<std::string, double> distinct;  // per attribute
+  };
+  const Profile& ProfileOf(RelMask mask);
+
+  const Database* db_;
+  std::unordered_map<RelMask, Profile> profiles_;
+};
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_OPTIMIZE_SIZE_MODEL_H_

@@ -1,0 +1,66 @@
+#include "relational/csv.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace taujoin {
+
+namespace {
+
+bool LooksLikeInteger(std::string_view field) {
+  if (field.empty()) return false;
+  size_t start = (field[0] == '-' || field[0] == '+') ? 1 : 0;
+  if (start == field.size()) return false;
+  for (size_t i = start; i < field.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(field[i]))) return false;
+  }
+  return true;
+}
+
+Value ParseField(std::string_view field) {
+  if (LooksLikeInteger(field)) {
+    return Value(static_cast<int64_t>(std::strtoll(
+        std::string(field).c_str(), nullptr, 10)));
+  }
+  return Value(std::string(field));
+}
+
+}  // namespace
+
+StatusOr<Relation> RelationFromCsv(std::string_view csv) {
+  std::vector<std::string> lines = StrSplit(csv, '\n');
+  size_t first = 0;
+  while (first < lines.size() && StripWhitespace(lines[first]).empty()) {
+    ++first;
+  }
+  if (first == lines.size()) {
+    return InvalidArgumentError("empty CSV: no header line");
+  }
+  std::vector<std::string> header;
+  for (const std::string& field : StrSplit(lines[first], ',')) {
+    header.emplace_back(StripWhitespace(field));
+  }
+  std::vector<std::vector<Value>> rows;
+  for (size_t i = first + 1; i < lines.size(); ++i) {
+    std::string_view line = StripWhitespace(lines[i]);
+    if (line.empty()) continue;
+    std::vector<std::string> fields = StrSplit(line, ',');
+    if (fields.size() != header.size()) {
+      return InvalidArgumentError("CSV row " + std::to_string(i + 1) +
+                                  " has " + std::to_string(fields.size()) +
+                                  " fields, header has " +
+                                  std::to_string(header.size()));
+    }
+    std::vector<Value> row;
+    row.reserve(fields.size());
+    for (const std::string& field : fields) {
+      row.push_back(ParseField(StripWhitespace(field)));
+    }
+    rows.push_back(std::move(row));
+  }
+  return Relation::FromRows(header, rows);
+}
+
+}  // namespace taujoin

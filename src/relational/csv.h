@@ -1,0 +1,22 @@
+#ifndef TAUJOIN_RELATIONAL_CSV_H_
+#define TAUJOIN_RELATIONAL_CSV_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "relational/relation.h"
+
+namespace taujoin {
+
+/// Parses a relation from CSV text: first line is the attribute header,
+/// each further non-empty line one tuple. Fields consisting solely of an
+/// optional sign and digits become integer values; everything else is a
+/// string. Duplicate rows collapse (set semantics). Fails on ragged rows
+/// or duplicate header attributes.
+StatusOr<Relation> RelationFromCsv(std::string_view csv);
+
+/// Round-trip partner of RelationToCsv (relational/printer.h).
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_RELATIONAL_CSV_H_

@@ -1,0 +1,195 @@
+#include "relational/join.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace taujoin {
+
+namespace {
+
+/// Positions of `attrs` attributes within `schema` (schema order).
+std::vector<int> PositionsOf(const Schema& attrs, const Schema& schema) {
+  std::vector<int> positions;
+  positions.reserve(attrs.size());
+  for (const std::string& a : attrs) {
+    int idx = schema.IndexOf(a);
+    TAUJOIN_CHECK_GE(idx, 0);
+    positions.push_back(idx);
+  }
+  return positions;
+}
+
+/// Plan for assembling an output tuple over `out` from a left tuple over
+/// `left` and a right tuple over `right`: for each output slot, which side
+/// and which index to copy from. Shared attributes read from the left.
+struct MergePlan {
+  // >= 0: left index; < 0: right index is (-v - 1).
+  std::vector<int> source;
+};
+
+MergePlan MakeMergePlan(const Schema& left, const Schema& right,
+                        const Schema& out) {
+  MergePlan plan;
+  plan.source.reserve(out.size());
+  for (const std::string& a : out) {
+    int li = left.IndexOf(a);
+    if (li >= 0) {
+      plan.source.push_back(li);
+    } else {
+      int ri = right.IndexOf(a);
+      TAUJOIN_CHECK_GE(ri, 0);
+      plan.source.push_back(-ri - 1);
+    }
+  }
+  return plan;
+}
+
+Tuple MergeTuples(const Tuple& left, const Tuple& right,
+                  const MergePlan& plan) {
+  std::vector<Value> values;
+  values.reserve(plan.source.size());
+  for (int s : plan.source) {
+    if (s >= 0) {
+      values.push_back(left.value(static_cast<size_t>(s)));
+    } else {
+      values.push_back(right.value(static_cast<size_t>(-s - 1)));
+    }
+  }
+  return Tuple(std::move(values));
+}
+
+Relation HashJoin(const Relation& left, const Relation& right) {
+  const Schema common = left.schema().Intersect(right.schema());
+  const Schema out = left.schema().Union(right.schema());
+  Relation result(out);
+
+  const std::vector<int> left_key = PositionsOf(common, left.schema());
+  const std::vector<int> right_key = PositionsOf(common, right.schema());
+  const MergePlan plan = MakeMergePlan(left.schema(), right.schema(), out);
+
+  // Build on the smaller input.
+  const bool build_left = left.size() <= right.size();
+  const Relation& build = build_left ? left : right;
+  const Relation& probe = build_left ? right : left;
+  const std::vector<int>& build_key = build_left ? left_key : right_key;
+  const std::vector<int>& probe_key = build_left ? right_key : left_key;
+
+  std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> table;
+  table.reserve(build.size());
+  for (const Tuple& t : build) {
+    table[t.Project(build_key)].push_back(&t);
+  }
+  for (const Tuple& t : probe) {
+    auto it = table.find(t.Project(probe_key));
+    if (it == table.end()) continue;
+    for (const Tuple* b : it->second) {
+      const Tuple& lt = build_left ? *b : t;
+      const Tuple& rt = build_left ? t : *b;
+      result.Insert(MergeTuples(lt, rt, plan));
+    }
+  }
+  return result;
+}
+
+Relation SortMergeJoin(const Relation& left, const Relation& right) {
+  const Schema common = left.schema().Intersect(right.schema());
+  const Schema out = left.schema().Union(right.schema());
+  Relation result(out);
+
+  const std::vector<int> left_key = PositionsOf(common, left.schema());
+  const std::vector<int> right_key = PositionsOf(common, right.schema());
+  const MergePlan plan = MakeMergePlan(left.schema(), right.schema(), out);
+
+  struct Keyed {
+    Tuple key;
+    const Tuple* tuple;
+  };
+  auto keyed = [](const Relation& r, const std::vector<int>& key) {
+    std::vector<Keyed> rows;
+    rows.reserve(r.size());
+    for (const Tuple& t : r) rows.push_back({t.Project(key), &t});
+    std::sort(rows.begin(), rows.end(),
+              [](const Keyed& a, const Keyed& b) { return a.key < b.key; });
+    return rows;
+  };
+  std::vector<Keyed> ls = keyed(left, left_key);
+  std::vector<Keyed> rs = keyed(right, right_key);
+
+  size_t i = 0, j = 0;
+  while (i < ls.size() && j < rs.size()) {
+    if (ls[i].key < rs[j].key) {
+      ++i;
+    } else if (rs[j].key < ls[i].key) {
+      ++j;
+    } else {
+      size_t i_end = i;
+      while (i_end < ls.size() && ls[i_end].key == ls[i].key) ++i_end;
+      size_t j_end = j;
+      while (j_end < rs.size() && rs[j_end].key == rs[j].key) ++j_end;
+      for (size_t a = i; a < i_end; ++a) {
+        for (size_t b = j; b < j_end; ++b) {
+          result.Insert(MergeTuples(*ls[a].tuple, *rs[b].tuple, plan));
+        }
+      }
+      i = i_end;
+      j = j_end;
+    }
+  }
+  return result;
+}
+
+Relation NestedLoopJoin(const Relation& left, const Relation& right) {
+  const Schema common = left.schema().Intersect(right.schema());
+  const Schema out = left.schema().Union(right.schema());
+  Relation result(out);
+
+  const std::vector<int> left_key = PositionsOf(common, left.schema());
+  const std::vector<int> right_key = PositionsOf(common, right.schema());
+  const MergePlan plan = MakeMergePlan(left.schema(), right.schema(), out);
+
+  for (const Tuple& lt : left) {
+    Tuple lk = lt.Project(left_key);
+    for (const Tuple& rt : right) {
+      if (lk == rt.Project(right_key)) {
+        result.Insert(MergeTuples(lt, rt, plan));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+Relation NaturalJoin(const Relation& left, const Relation& right,
+                     JoinAlgorithm algorithm) {
+  switch (algorithm) {
+    case JoinAlgorithm::kHash:
+      return HashJoin(left, right);
+    case JoinAlgorithm::kSortMerge:
+      return SortMergeJoin(left, right);
+    case JoinAlgorithm::kNestedLoop:
+      return NestedLoopJoin(left, right);
+  }
+  TAUJOIN_UNREACHABLE();
+}
+
+Relation CartesianProduct(const Relation& left, const Relation& right) {
+  TAUJOIN_CHECK(!left.schema().Overlaps(right.schema()))
+      << "CartesianProduct requires disjoint schemes, got "
+      << left.schema().ToString() << " and " << right.schema().ToString();
+  return NaturalJoin(left, right);
+}
+
+Relation NaturalJoinAll(const std::vector<Relation>& relations,
+                        JoinAlgorithm algorithm) {
+  if (relations.empty()) return Relation();
+  Relation acc = relations[0];
+  for (size_t i = 1; i < relations.size(); ++i) {
+    acc = NaturalJoin(acc, relations[i], algorithm);
+  }
+  return acc;
+}
+
+}  // namespace taujoin

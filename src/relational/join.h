@@ -1,0 +1,34 @@
+#ifndef TAUJOIN_RELATIONAL_JOIN_H_
+#define TAUJOIN_RELATIONAL_JOIN_H_
+
+#include "relational/relation.h"
+
+namespace taujoin {
+
+/// Which physical algorithm computes the natural join. All three produce
+/// identical results (the tests cross-check them); τ-costs in the paper are
+/// algorithm-independent, so the default everywhere is the hash join.
+enum class JoinAlgorithm {
+  kHash,
+  kSortMerge,
+  kNestedLoop,
+};
+
+/// The natural join R ⋈ S:
+///   { t over sch(R) ∪ sch(S) : t[sch(R)] ∈ R and t[sch(S)] ∈ S }.
+/// Degenerates to the Cartesian product when the schemes are disjoint and
+/// to set intersection when they are identical.
+Relation NaturalJoin(const Relation& left, const Relation& right,
+                     JoinAlgorithm algorithm = JoinAlgorithm::kHash);
+
+/// The Cartesian product; CHECK-fails unless the schemes are disjoint.
+Relation CartesianProduct(const Relation& left, const Relation& right);
+
+/// Natural join of many relations in the given (left-deep) order; returns
+/// the empty relation over the union scheme when `relations` is empty.
+Relation NaturalJoinAll(const std::vector<Relation>& relations,
+                        JoinAlgorithm algorithm = JoinAlgorithm::kHash);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_RELATIONAL_JOIN_H_

@@ -1,0 +1,148 @@
+#include "relational/operators.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace taujoin {
+
+namespace {
+
+std::vector<int> PositionsOf(const Schema& attrs, const Schema& schema) {
+  std::vector<int> positions;
+  positions.reserve(attrs.size());
+  for (const std::string& a : attrs) {
+    int idx = schema.IndexOf(a);
+    TAUJOIN_CHECK_GE(idx, 0) << "attribute " << a << " not in "
+                             << schema.ToString();
+    positions.push_back(idx);
+  }
+  return positions;
+}
+
+}  // namespace
+
+Relation Project(const Relation& r, const Schema& attrs) {
+  TAUJOIN_CHECK(attrs.IsSubsetOf(r.schema()))
+      << "projection attributes " << attrs.ToString() << " not a subset of "
+      << r.schema().ToString();
+  const std::vector<int> positions = PositionsOf(attrs, r.schema());
+  Relation result(attrs);
+  for (const Tuple& t : r) result.Insert(t.Project(positions));
+  return result;
+}
+
+Relation Select(
+    const Relation& r,
+    const std::function<bool(const Tuple&, const Schema&)>& predicate) {
+  Relation result(r.schema());
+  for (const Tuple& t : r) {
+    if (predicate(t, r.schema())) result.Insert(t);
+  }
+  return result;
+}
+
+Relation SelectEquals(const Relation& r, const std::string& attribute,
+                      const Value& value) {
+  int idx = r.schema().IndexOf(attribute);
+  TAUJOIN_CHECK_GE(idx, 0) << "attribute " << attribute << " not in "
+                           << r.schema().ToString();
+  Relation result(r.schema());
+  for (const Tuple& t : r) {
+    if (t.value(static_cast<size_t>(idx)) == value) result.Insert(t);
+  }
+  return result;
+}
+
+Relation Semijoin(const Relation& r, const Relation& s) {
+  const Schema common = r.schema().Intersect(s.schema());
+  const std::vector<int> r_key = PositionsOf(common, r.schema());
+  const std::vector<int> s_key = PositionsOf(common, s.schema());
+  std::unordered_set<Tuple, TupleHash> keys;
+  keys.reserve(s.size());
+  for (const Tuple& t : s) keys.insert(t.Project(s_key));
+  Relation result(r.schema());
+  for (const Tuple& t : r) {
+    if (keys.count(t.Project(r_key)) > 0) result.Insert(t);
+  }
+  return result;
+}
+
+Relation Antijoin(const Relation& r, const Relation& s) {
+  const Schema common = r.schema().Intersect(s.schema());
+  const std::vector<int> r_key = PositionsOf(common, r.schema());
+  const std::vector<int> s_key = PositionsOf(common, s.schema());
+  std::unordered_set<Tuple, TupleHash> keys;
+  keys.reserve(s.size());
+  for (const Tuple& t : s) keys.insert(t.Project(s_key));
+  Relation result(r.schema());
+  for (const Tuple& t : r) {
+    if (keys.count(t.Project(r_key)) == 0) result.Insert(t);
+  }
+  return result;
+}
+
+StatusOr<Relation> Union(const Relation& a, const Relation& b) {
+  if (!(a.schema() == b.schema())) {
+    return InvalidArgumentError("union of different schemes: " +
+                                a.schema().ToString() + " vs " +
+                                b.schema().ToString());
+  }
+  Relation result(a.schema());
+  for (const Tuple& t : a) result.Insert(t);
+  for (const Tuple& t : b) result.Insert(t);
+  return result;
+}
+
+StatusOr<Relation> Intersect(const Relation& a, const Relation& b) {
+  if (!(a.schema() == b.schema())) {
+    return InvalidArgumentError("intersection of different schemes: " +
+                                a.schema().ToString() + " vs " +
+                                b.schema().ToString());
+  }
+  Relation result(a.schema());
+  for (const Tuple& t : a) {
+    if (b.Contains(t)) result.Insert(t);
+  }
+  return result;
+}
+
+StatusOr<Relation> Difference(const Relation& a, const Relation& b) {
+  if (!(a.schema() == b.schema())) {
+    return InvalidArgumentError("difference of different schemes: " +
+                                a.schema().ToString() + " vs " +
+                                b.schema().ToString());
+  }
+  Relation result(a.schema());
+  for (const Tuple& t : a) {
+    if (!b.Contains(t)) result.Insert(t);
+  }
+  return result;
+}
+
+StatusOr<Relation> Rename(const Relation& r, const std::string& from,
+                          const std::string& to) {
+  if (r.schema().IndexOf(from) < 0) {
+    return InvalidArgumentError("rename source not present: " + from);
+  }
+  if (r.schema().Contains(to)) {
+    return InvalidArgumentError("rename target already present: " + to);
+  }
+  std::vector<std::string> attrs;
+  for (const std::string& a : r.schema()) {
+    attrs.push_back(a == from ? to : a);
+  }
+  Schema out{std::move(attrs)};
+  // For every output slot, find where its value lives in the input.
+  std::vector<int> source;
+  source.reserve(out.size());
+  for (const std::string& a : out) {
+    const std::string& original = (a == to) ? from : a;
+    source.push_back(r.schema().IndexOf(original));
+  }
+  Relation result(out);
+  for (const Tuple& t : r) result.Insert(t.Project(source));
+  return result;
+}
+
+}  // namespace taujoin

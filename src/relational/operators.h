@@ -1,0 +1,47 @@
+#ifndef TAUJOIN_RELATIONAL_OPERATORS_H_
+#define TAUJOIN_RELATIONAL_OPERATORS_H_
+
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "relational/relation.h"
+
+namespace taujoin {
+
+/// π_attrs(r): projection onto `attrs`, which must be a subset of r's
+/// scheme; duplicates are eliminated (set semantics).
+Relation Project(const Relation& r, const Schema& attrs);
+
+/// σ_pred(r): the tuples of `r` satisfying `predicate` (called with the
+/// tuple and the relation's schema for attribute lookup).
+Relation Select(const Relation& r,
+                const std::function<bool(const Tuple&, const Schema&)>& predicate);
+
+/// σ_{attr = value}(r).
+Relation SelectEquals(const Relation& r, const std::string& attribute,
+                      const Value& value);
+
+/// r ⋉ s: the tuples of r that join with at least one tuple of s.
+Relation Semijoin(const Relation& r, const Relation& s);
+
+/// r ▷ s: the tuples of r that join with no tuple of s.
+Relation Antijoin(const Relation& r, const Relation& s);
+
+/// Set union; fails unless the schemes are equal.
+StatusOr<Relation> Union(const Relation& a, const Relation& b);
+
+/// Set intersection; fails unless the schemes are equal.
+StatusOr<Relation> Intersect(const Relation& a, const Relation& b);
+
+/// Set difference a − b; fails unless the schemes are equal.
+StatusOr<Relation> Difference(const Relation& a, const Relation& b);
+
+/// Renames attribute `from` to `to`; fails if `from` is absent or `to`
+/// already present.
+StatusOr<Relation> Rename(const Relation& r, const std::string& from,
+                          const std::string& to);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_RELATIONAL_OPERATORS_H_

@@ -1,0 +1,54 @@
+#include "relational/printer.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace taujoin {
+
+std::string PrintRelation(const Relation& r) {
+  const size_t cols = r.schema().size();
+  std::vector<size_t> width(cols);
+  for (size_t c = 0; c < cols; ++c) width[c] = r.schema().attribute(c).size();
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(r.size());
+  for (const Tuple& t : r) {
+    std::vector<std::string> row(cols);
+    for (size_t c = 0; c < cols; ++c) {
+      row[c] = t.value(c).ToString();
+      width[c] = std::max(width[c], row[c].size());
+    }
+    cells.push_back(std::move(row));
+  }
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (size_t c = 0; c < cols; ++c) {
+      if (c > 0) out += " | ";
+      out += row[c];
+      out.append(width[c] - row[c].size(), ' ');
+    }
+    out += '\n';
+  };
+  std::string out;
+  std::vector<std::string> header(r.schema().attributes());
+  emit_row(header, out);
+  for (size_t c = 0; c < cols; ++c) {
+    if (c > 0) out += "-+-";
+    out.append(width[c], '-');
+  }
+  out += '\n';
+  for (const auto& row : cells) emit_row(row, out);
+  return out;
+}
+
+std::string RelationToCsv(const Relation& r) {
+  std::string out = StrJoin(r.schema().attributes(), ",") + "\n";
+  for (const Tuple& t : r) {
+    std::vector<std::string> row;
+    row.reserve(t.size());
+    for (size_t c = 0; c < t.size(); ++c) row.push_back(t.value(c).ToString());
+    out += StrJoin(row, ",") + "\n";
+  }
+  return out;
+}
+
+}  // namespace taujoin

@@ -1,0 +1,22 @@
+#ifndef TAUJOIN_RELATIONAL_PRINTER_H_
+#define TAUJOIN_RELATIONAL_PRINTER_H_
+
+#include <string>
+
+#include "relational/relation.h"
+
+namespace taujoin {
+
+/// Renders `r` as an ASCII table with a header row, e.g.
+///   A | B
+///   --+--
+///   1 | 2
+/// Rows appear in insertion order.
+std::string PrintRelation(const Relation& r);
+
+/// Renders `r` as CSV (header + rows).
+std::string RelationToCsv(const Relation& r);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_RELATIONAL_PRINTER_H_

@@ -1,0 +1,70 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "relational/printer.h"
+
+namespace taujoin {
+
+StatusOr<Relation> Relation::FromRows(
+    const std::vector<std::string>& attribute_order,
+    const std::vector<std::vector<Value>>& rows) {
+  Schema schema{std::vector<std::string>(attribute_order)};
+  if (schema.size() != attribute_order.size()) {
+    return InvalidArgumentError("duplicate attribute in attribute_order");
+  }
+  // Position of each schema slot within the caller's column order.
+  std::vector<int> source_index(schema.size(), -1);
+  for (size_t i = 0; i < attribute_order.size(); ++i) {
+    int slot = schema.IndexOf(attribute_order[i]);
+    TAUJOIN_CHECK_GE(slot, 0);
+    source_index[static_cast<size_t>(slot)] = static_cast<int>(i);
+  }
+  Relation relation(schema);
+  for (const auto& row : rows) {
+    if (row.size() != attribute_order.size()) {
+      return InvalidArgumentError("row arity mismatch");
+    }
+    std::vector<Value> values;
+    values.reserve(schema.size());
+    for (size_t slot = 0; slot < schema.size(); ++slot) {
+      values.push_back(row[static_cast<size_t>(source_index[slot])]);
+    }
+    relation.Insert(Tuple(std::move(values)));
+  }
+  return relation;
+}
+
+Relation Relation::FromRowsOrDie(
+    const std::vector<std::string>& attribute_order,
+    const std::vector<std::vector<Value>>& rows) {
+  StatusOr<Relation> result = FromRows(attribute_order, rows);
+  TAUJOIN_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+bool Relation::Insert(Tuple tuple) {
+  TAUJOIN_CHECK_EQ(tuple.size(), schema_.size())
+      << "tuple arity " << tuple.size() << " != schema " << schema_.ToString();
+  auto [it, inserted] = index_.insert(tuple);
+  if (inserted) tuples_.push_back(std::move(tuple));
+  return inserted;
+}
+
+bool Relation::Contains(const Tuple& tuple) const {
+  return index_.count(tuple) > 0;
+}
+
+bool operator==(const Relation& a, const Relation& b) {
+  if (!(a.schema_ == b.schema_)) return false;
+  if (a.size() != b.size()) return false;
+  for (const Tuple& t : a.tuples_) {
+    if (!b.Contains(t)) return false;
+  }
+  return true;
+}
+
+std::string Relation::ToString() const { return PrintRelation(*this); }
+
+}  // namespace taujoin

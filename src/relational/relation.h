@@ -1,0 +1,67 @@
+#ifndef TAUJOIN_RELATIONAL_RELATION_H_
+#define TAUJOIN_RELATIONAL_RELATION_H_
+
+#include <initializer_list>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/schema.h"
+#include "relational/tuple.h"
+
+namespace taujoin {
+
+/// A relation: a scheme together with a finite *set* of tuples over it
+/// (duplicates are eliminated on insert, matching the paper's set
+/// semantics). Iteration order is insertion order, which keeps printing and
+/// tests deterministic.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+
+  /// Builds a relation from rows whose values are listed in the order of
+  /// `attribute_order` (which may differ from the schema's sorted order);
+  /// this lets callers transcribe the paper's tables column-for-column.
+  /// Fails if a row length mismatches or an attribute is unknown/repeated.
+  static StatusOr<Relation> FromRows(
+      const std::vector<std::string>& attribute_order,
+      const std::vector<std::vector<Value>>& rows);
+
+  /// CHECK-failing convenience for statically known-good literals.
+  static Relation FromRowsOrDie(
+      const std::vector<std::string>& attribute_order,
+      const std::vector<std::vector<Value>>& rows);
+
+  const Schema& schema() const { return schema_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Inserts a tuple (values in schema order). Returns true if new.
+  /// The tuple's arity must equal the schema size.
+  bool Insert(Tuple tuple);
+
+  bool Contains(const Tuple& tuple) const;
+
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  auto begin() const { return tuples_.begin(); }
+  auto end() const { return tuples_.end(); }
+
+  /// Set equality: same scheme and same tuple set (order-insensitive).
+  friend bool operator==(const Relation& a, const Relation& b);
+
+  /// The number of tuples; the paper's `τ(R)`.
+  uint64_t Tau() const { return tuples_.size(); }
+
+  std::string ToString() const;
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> tuples_;
+  std::unordered_set<Tuple, TupleHash> index_;
+};
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_RELATIONAL_RELATION_H_

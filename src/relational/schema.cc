@@ -1,0 +1,131 @@
+#include "relational/schema.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/strings.h"
+#include "relational/value.h"
+
+namespace taujoin {
+
+namespace {
+
+void SortUnique(std::vector<std::string>& attrs) {
+  std::sort(attrs.begin(), attrs.end());
+  attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
+}
+
+}  // namespace
+
+Schema::Schema(std::vector<std::string> attributes)
+    : attributes_(std::move(attributes)) {
+  SortUnique(attributes_);
+}
+
+Schema::Schema(std::initializer_list<std::string> attributes)
+    : attributes_(attributes) {
+  SortUnique(attributes_);
+}
+
+Schema Schema::Parse(std::string_view text) {
+  text = StripWhitespace(text);
+  std::vector<std::string> attrs;
+  if (text.find(',') != std::string_view::npos) {
+    for (const std::string& part : StrSplit(text, ',')) {
+      std::string_view stripped = StripWhitespace(part);
+      if (!stripped.empty()) attrs.emplace_back(stripped);
+    }
+  } else {
+    for (char c : text) {
+      if (c == ' ' || c == '\t') continue;
+      attrs.emplace_back(1, c);
+    }
+  }
+  return Schema(std::move(attrs));
+}
+
+bool Schema::Contains(std::string_view attribute) const {
+  return std::binary_search(attributes_.begin(), attributes_.end(), attribute);
+}
+
+int Schema::IndexOf(std::string_view attribute) const {
+  auto it = std::lower_bound(attributes_.begin(), attributes_.end(), attribute);
+  if (it == attributes_.end() || *it != attribute) return -1;
+  return static_cast<int>(it - attributes_.begin());
+}
+
+bool Schema::IsSubsetOf(const Schema& other) const {
+  return std::includes(other.attributes_.begin(), other.attributes_.end(),
+                       attributes_.begin(), attributes_.end());
+}
+
+bool Schema::Overlaps(const Schema& other) const {
+  auto i = attributes_.begin();
+  auto j = other.attributes_.begin();
+  while (i != attributes_.end() && j != other.attributes_.end()) {
+    if (*i == *j) return true;
+    if (*i < *j) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+Schema Schema::Union(const Schema& other) const {
+  std::vector<std::string> result;
+  result.reserve(attributes_.size() + other.attributes_.size());
+  std::set_union(attributes_.begin(), attributes_.end(),
+                 other.attributes_.begin(), other.attributes_.end(),
+                 std::back_inserter(result));
+  Schema s;
+  s.attributes_ = std::move(result);
+  return s;
+}
+
+Schema Schema::Intersect(const Schema& other) const {
+  std::vector<std::string> result;
+  std::set_intersection(attributes_.begin(), attributes_.end(),
+                        other.attributes_.begin(), other.attributes_.end(),
+                        std::back_inserter(result));
+  Schema s;
+  s.attributes_ = std::move(result);
+  return s;
+}
+
+Schema Schema::Minus(const Schema& other) const {
+  std::vector<std::string> result;
+  std::set_difference(attributes_.begin(), attributes_.end(),
+                      other.attributes_.begin(), other.attributes_.end(),
+                      std::back_inserter(result));
+  Schema s;
+  s.attributes_ = std::move(result);
+  return s;
+}
+
+std::string Schema::ToString() const {
+  bool all_single = true;
+  for (const std::string& a : attributes_) {
+    if (a.size() != 1) {
+      all_single = false;
+      break;
+    }
+  }
+  if (all_single) {
+    std::string result;
+    for (const std::string& a : attributes_) result += a;
+    return result;
+  }
+  return "{" + StrJoin(attributes_, ",") + "}";
+}
+
+size_t Schema::Hash() const {
+  size_t h = 0x8f1bbcdcbfa53e0bULL;
+  for (const std::string& a : attributes_) {
+    h = HashCombine(h, std::hash<std::string>{}(a));
+  }
+  return h;
+}
+
+}  // namespace taujoin

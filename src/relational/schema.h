@@ -1,0 +1,71 @@
+#ifndef TAUJOIN_RELATIONAL_SCHEMA_H_
+#define TAUJOIN_RELATIONAL_SCHEMA_H_
+
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace taujoin {
+
+/// A relation scheme: a finite, non-empty-or-empty set of attribute names.
+/// Attributes are kept sorted and unique, so two Schemas are equal iff they
+/// denote the same set. Following the paper's notation, a scheme may be
+/// written as a string of single-character attributes ("ABC" == {A, B, C});
+/// `Schema::Parse` also accepts comma-separated multi-character names
+/// ("Student,Course").
+class Schema {
+ public:
+  Schema() = default;
+  /// Builds a schema from attribute names; duplicates collapse.
+  explicit Schema(std::vector<std::string> attributes);
+  Schema(std::initializer_list<std::string> attributes);
+
+  /// Parses "ABC" (single-char attributes) or "Student,Course".
+  static Schema Parse(std::string_view text);
+
+  size_t size() const { return attributes_.size(); }
+  bool empty() const { return attributes_.empty(); }
+  const std::vector<std::string>& attributes() const { return attributes_; }
+  const std::string& attribute(size_t i) const { return attributes_[i]; }
+
+  bool Contains(std::string_view attribute) const;
+  /// Index of `attribute` within the sorted attribute list, or -1.
+  int IndexOf(std::string_view attribute) const;
+
+  bool IsSubsetOf(const Schema& other) const;
+  /// True iff the schemes share at least one attribute (the paper's
+  /// "nonempty intersection" between relation schemes).
+  bool Overlaps(const Schema& other) const;
+
+  Schema Union(const Schema& other) const;
+  Schema Intersect(const Schema& other) const;
+  Schema Minus(const Schema& other) const;
+
+  /// Renders as "ABC" when all attributes are single characters, else
+  /// "{Student,Course}".
+  std::string ToString() const;
+
+  size_t Hash() const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.attributes_ == b.attributes_;
+  }
+  friend bool operator<(const Schema& a, const Schema& b) {
+    return a.attributes_ < b.attributes_;
+  }
+
+  auto begin() const { return attributes_.begin(); }
+  auto end() const { return attributes_.end(); }
+
+ private:
+  std::vector<std::string> attributes_;  // sorted, unique
+};
+
+struct SchemaHash {
+  size_t operator()(const Schema& s) const { return s.Hash(); }
+};
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_RELATIONAL_SCHEMA_H_

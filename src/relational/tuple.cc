@@ -1,0 +1,23 @@
+#include "relational/tuple.h"
+
+#include "common/logging.h"
+
+namespace taujoin {
+
+Tuple Tuple::Project(const std::vector<int>& indices) const {
+  std::vector<Value> projected;
+  projected.reserve(indices.size());
+  for (int i : indices) {
+    TAUJOIN_DCHECK(i >= 0 && static_cast<size_t>(i) < values_.size());
+    projected.push_back(values_[static_cast<size_t>(i)]);
+  }
+  return Tuple(std::move(projected));
+}
+
+size_t Tuple::Hash() const {
+  size_t h = 0xcbf29ce484222325ULL;
+  for (const Value& v : values_) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+}  // namespace taujoin

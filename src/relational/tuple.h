@@ -1,0 +1,47 @@
+#ifndef TAUJOIN_RELATIONAL_TUPLE_H_
+#define TAUJOIN_RELATIONAL_TUPLE_H_
+
+#include <initializer_list>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace taujoin {
+
+/// A tuple over some relation scheme: a vector of values positionally
+/// aligned with the scheme's sorted attribute list. Tuples do not carry
+/// their schema; the owning Relation does.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  size_t size() const { return values_.size(); }
+  const Value& value(size_t i) const { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Restriction of the tuple to the attribute positions in `indices`
+  /// (the paper's t[X]); indices refer to this tuple's schema positions.
+  Tuple Project(const std::vector<int>& indices) const;
+
+  size_t Hash() const;
+
+  friend bool operator==(const Tuple& a, const Tuple& b) {
+    return a.values_ == b.values_;
+  }
+  friend bool operator<(const Tuple& a, const Tuple& b) {
+    return a.values_ < b.values_;
+  }
+
+ private:
+  std::vector<Value> values_;
+};
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return t.Hash(); }
+};
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_RELATIONAL_TUPLE_H_

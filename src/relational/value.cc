@@ -1,0 +1,51 @@
+#include "relational/value.h"
+
+#include <functional>
+
+#include "common/logging.h"
+
+namespace taujoin {
+
+int64_t Value::AsInt() const {
+  TAUJOIN_CHECK(is_int()) << "Value is not an int: " << ToString();
+  return std::get<int64_t>(rep_);
+}
+
+const std::string& Value::AsString() const {
+  TAUJOIN_CHECK(is_string()) << "Value is not a string: " << ToString();
+  return std::get<std::string>(rep_);
+}
+
+std::string Value::ToString() const {
+  if (is_int()) return std::to_string(std::get<int64_t>(rep_));
+  return std::get<std::string>(rep_);
+}
+
+size_t Value::Hash() const {
+  if (is_int()) {
+    return std::hash<int64_t>{}(std::get<int64_t>(rep_));
+  }
+  // Salt string hashes so that Value(1) and Value("1") differ.
+  return HashCombine(0x517cc1b727220a95ULL,
+                     std::hash<std::string>{}(std::get<std::string>(rep_)));
+}
+
+std::strong_ordering operator<=>(const Value& a, const Value& b) {
+  const bool a_int = a.is_int();
+  const bool b_int = b.is_int();
+  if (a_int != b_int) {
+    // Integers sort before strings.
+    return a_int ? std::strong_ordering::less : std::strong_ordering::greater;
+  }
+  if (a_int) {
+    int64_t x = std::get<int64_t>(a.rep_);
+    int64_t y = std::get<int64_t>(b.rep_);
+    return x <=> y;
+  }
+  int cmp = std::get<std::string>(a.rep_).compare(std::get<std::string>(b.rep_));
+  if (cmp < 0) return std::strong_ordering::less;
+  if (cmp > 0) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+}  // namespace taujoin

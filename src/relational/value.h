@@ -1,0 +1,59 @@
+#ifndef TAUJOIN_RELATIONAL_VALUE_H_
+#define TAUJOIN_RELATIONAL_VALUE_H_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace taujoin {
+
+/// A single attribute value: either a 64-bit integer or a string. The
+/// paper's examples use both symbolic values ("Mokhtar", "Phy101") and
+/// integers, so the engine supports the two interchangeably within a column
+/// (values of different kinds are unequal and ordered int < string).
+class Value {
+ public:
+  /// Defaults to integer 0.
+  Value() : rep_(int64_t{0}) {}
+  Value(int64_t v) : rep_(v) {}             // NOLINT(runtime/explicit)
+  Value(int v) : rep_(int64_t{v}) {}        // NOLINT(runtime/explicit)
+  Value(std::string v) : rep_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : rep_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  bool is_int() const { return std::holds_alternative<int64_t>(rep_); }
+  bool is_string() const { return std::holds_alternative<std::string>(rep_); }
+
+  /// Requires is_int().
+  int64_t AsInt() const;
+  /// Requires is_string().
+  const std::string& AsString() const;
+
+  /// Renders the value for table output; strings are shown verbatim.
+  std::string ToString() const;
+
+  /// 64-bit hash suitable for hash joins.
+  size_t Hash() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.rep_ == b.rep_;
+  }
+  friend std::strong_ordering operator<=>(const Value& a, const Value& b);
+
+ private:
+  std::variant<int64_t, std::string> rep_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+/// Combines two hash values (boost::hash_combine style).
+inline size_t HashCombine(size_t seed, size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_RELATIONAL_VALUE_H_

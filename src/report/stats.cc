@@ -1,0 +1,61 @@
+#include "report/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace taujoin {
+
+void SampleStats::Add(double value) {
+  values_.push_back(value);
+  sorted_ = false;
+}
+
+void SampleStats::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleStats::Mean() const {
+  TAUJOIN_CHECK(!values_.empty());
+  double sum = 0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double SampleStats::Min() const {
+  EnsureSorted();
+  TAUJOIN_CHECK(!values_.empty());
+  return values_.front();
+}
+
+double SampleStats::Max() const {
+  EnsureSorted();
+  TAUJOIN_CHECK(!values_.empty());
+  return values_.back();
+}
+
+double SampleStats::Percentile(double p) const {
+  EnsureSorted();
+  TAUJOIN_CHECK(!values_.empty());
+  TAUJOIN_CHECK(p >= 0 && p <= 100);
+  size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(values_.size())));
+  if (rank == 0) rank = 1;
+  return values_[rank - 1];
+}
+
+double SampleStats::GeometricMean() const {
+  TAUJOIN_CHECK(!values_.empty());
+  double log_sum = 0;
+  for (double v : values_) {
+    TAUJOIN_CHECK_GT(v, 0.0);
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values_.size()));
+}
+
+}  // namespace taujoin

@@ -1,0 +1,32 @@
+#ifndef TAUJOIN_REPORT_STATS_H_
+#define TAUJOIN_REPORT_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace taujoin {
+
+/// Streaming summary of a sample (for experiment reporting).
+class SampleStats {
+ public:
+  void Add(double value);
+  size_t count() const { return values_.size(); }
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  /// p in [0, 100]; nearest-rank on the sorted sample.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50); }
+  /// Geometric mean (values must be positive).
+  double GeometricMean() const;
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+  void EnsureSorted() const;
+};
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_REPORT_STATS_H_

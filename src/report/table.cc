@@ -1,0 +1,97 @@
+#include "report/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace taujoin {
+
+ReportTable::ReportTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)), numeric_(headers_.size(), true) {}
+
+ReportTable& ReportTable::Row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+ReportTable& ReportTable::Cell(const std::string& value) {
+  TAUJOIN_CHECK(!rows_.empty());
+  TAUJOIN_CHECK_LT(rows_.back().size(), headers_.size());
+  numeric_[rows_.back().size()] = false;
+  rows_.back().push_back(value);
+  return *this;
+}
+
+ReportTable& ReportTable::Cell(const char* value) {
+  return Cell(std::string(value));
+}
+
+ReportTable& ReportTable::Cell(uint64_t value) {
+  TAUJOIN_CHECK(!rows_.empty());
+  TAUJOIN_CHECK_LT(rows_.back().size(), headers_.size());
+  rows_.back().push_back(std::to_string(value));
+  return *this;
+}
+
+ReportTable& ReportTable::Cell(int value) {
+  TAUJOIN_CHECK(!rows_.empty());
+  TAUJOIN_CHECK_LT(rows_.back().size(), headers_.size());
+  rows_.back().push_back(std::to_string(value));
+  return *this;
+}
+
+ReportTable& ReportTable::Cell(double value, int precision) {
+  TAUJOIN_CHECK(!rows_.empty());
+  TAUJOIN_CHECK_LT(rows_.back().size(), headers_.size());
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << value;
+  rows_.back().push_back(out.str());
+  return *this;
+}
+
+std::string ReportTable::ToString() const {
+  const size_t cols = headers_.size();
+  std::vector<size_t> width(cols);
+  for (size_t c = 0; c < cols; ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row, bool align_numeric) {
+    for (size_t c = 0; c < cols; ++c) {
+      if (c > 0) out += " | ";
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      size_t pad = width[c] - cell.size();
+      if (align_numeric && numeric_[c]) {
+        out.append(pad, ' ');
+        out += cell;
+      } else {
+        out += cell;
+        out.append(pad, ' ');
+      }
+    }
+    out += '\n';
+  };
+  emit(headers_, false);
+  for (size_t c = 0; c < cols; ++c) {
+    if (c > 0) out += "-+-";
+    out.append(width[c], '-');
+  }
+  out += '\n';
+  for (const auto& row : rows_) emit(row, true);
+  return out;
+}
+
+void ReportTable::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+void PrintSection(const std::string& title) {
+  std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+}  // namespace taujoin

@@ -1,0 +1,39 @@
+#ifndef TAUJOIN_REPORT_TABLE_H_
+#define TAUJOIN_REPORT_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace taujoin {
+
+/// ASCII table builder for the experiment binaries. Columns are sized to
+/// content; numbers are right-aligned, text left-aligned.
+class ReportTable {
+ public:
+  explicit ReportTable(std::vector<std::string> headers);
+
+  /// Starts a new row; follow with Cell() calls.
+  ReportTable& Row();
+  ReportTable& Cell(const std::string& value);
+  ReportTable& Cell(const char* value);
+  ReportTable& Cell(uint64_t value);
+  ReportTable& Cell(int value);
+  ReportTable& Cell(double value, int precision = 2);
+
+  std::string ToString() const;
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<bool> numeric_;  // per column: right-align?
+};
+
+/// Prints a section banner:  === title ===
+void PrintSection(const std::string& title);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_REPORT_TABLE_H_

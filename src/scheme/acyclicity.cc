@@ -1,0 +1,179 @@
+#include "scheme/acyclicity.h"
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "common/logging.h"
+#include "scheme/hypergraph.h"
+
+namespace taujoin {
+
+namespace {
+
+/// Union-find for the Berge test.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(static_cast<size_t>(n)) {
+    for (int i = 0; i < n; ++i) parent_[static_cast<size_t>(i)] = i;
+  }
+  int Find(int x) {
+    while (parent_[static_cast<size_t>(x)] != x) {
+      parent_[static_cast<size_t>(x)] =
+          parent_[static_cast<size_t>(parent_[static_cast<size_t>(x)])];
+      x = parent_[static_cast<size_t>(x)];
+    }
+    return x;
+  }
+  /// Returns false if x and y were already connected (a cycle).
+  bool Union(int x, int y) {
+    int rx = Find(x), ry = Find(y);
+    if (rx == ry) return false;
+    parent_[static_cast<size_t>(rx)] = ry;
+    return true;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+/// DFS search for a γ-cycle. We enumerate candidate cycles
+/// (S1, x1, ..., Sm, xm, S1): schemes distinct, attributes distinct,
+/// xi ∈ Si ∩ Si+1, and for i < m the attribute xi appears in no other
+/// scheme of the cycle.
+class GammaCycleFinder {
+ public:
+  explicit GammaCycleFinder(const DatabaseScheme& scheme) : scheme_(scheme) {}
+
+  std::optional<GammaCycle> Find() {
+    const int n = scheme_.size();
+    for (int start = 0; start < n; ++start) {
+      path_schemes_ = {start};
+      path_attrs_.clear();
+      if (Extend(start)) {
+        GammaCycle cycle;
+        cycle.schemes = path_schemes_;
+        cycle.attributes = path_attrs_;
+        return cycle;
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  bool SchemeOnPath(int s) const {
+    for (int t : path_schemes_) {
+      if (t == s) return true;
+    }
+    return false;
+  }
+  bool AttrOnPath(const std::string& a) const {
+    for (const std::string& b : path_attrs_) {
+      if (a == b) return true;
+    }
+    return false;
+  }
+
+  /// Validates the "no other scheme" condition for a *complete* candidate
+  /// cycle: for each i in [0, m-2] (0-based; i.e., all but the last
+  /// attribute), attribute x_i belongs only to schemes S_i and S_{i+1}
+  /// among the cycle's schemes.
+  bool ValidCycle() const {
+    const size_t m = path_attrs_.size();
+    for (size_t i = 0; i + 1 < m; ++i) {
+      const std::string& x = path_attrs_[i];
+      for (size_t j = 0; j < m; ++j) {
+        if (j == i || j == (i + 1) % m) continue;
+        if (scheme_.scheme(path_schemes_[j]).Contains(x)) return false;
+      }
+    }
+    return true;
+  }
+
+  bool Extend(int current) {
+    const int n = scheme_.size();
+    const size_t length = path_schemes_.size();
+    // Try to close the cycle back to the start.
+    if (length >= 3) {
+      int start = path_schemes_[0];
+      const Schema common =
+          scheme_.scheme(current).Intersect(scheme_.scheme(start));
+      for (const std::string& x : common) {
+        if (AttrOnPath(x)) continue;
+        path_attrs_.push_back(x);
+        if (ValidCycle()) return true;
+        path_attrs_.pop_back();
+      }
+    }
+    if (length >= static_cast<size_t>(n)) return false;
+    // Extend to a new scheme via an unused attribute.
+    for (int next = 0; next < n; ++next) {
+      if (SchemeOnPath(next)) continue;
+      const Schema common =
+          scheme_.scheme(current).Intersect(scheme_.scheme(next));
+      for (const std::string& x : common) {
+        if (AttrOnPath(x)) continue;
+        path_schemes_.push_back(next);
+        path_attrs_.push_back(x);
+        if (Extend(next)) return true;
+        path_schemes_.pop_back();
+        path_attrs_.pop_back();
+      }
+    }
+    return false;
+  }
+
+  const DatabaseScheme& scheme_;
+  std::vector<int> path_schemes_;
+  std::vector<std::string> path_attrs_;
+};
+
+}  // namespace
+
+bool IsAlphaAcyclic(const DatabaseScheme& scheme) {
+  return GyoReducesToEmpty(scheme);
+}
+
+bool IsBetaAcyclic(const DatabaseScheme& scheme) {
+  const int n = scheme.size();
+  TAUJOIN_CHECK_LE(n, 20) << "IsBetaAcyclic is exponential; keep |D| small";
+  const RelMask full = scheme.full_mask();
+  bool acyclic = true;
+  ForEachNonEmptySubmask(full, [&](RelMask sub) {
+    if (!acyclic) return;
+    std::vector<Schema> subset;
+    for (int i : MaskToIndices(sub)) subset.push_back(scheme.scheme(i));
+    if (!GyoReducesToEmpty(DatabaseScheme(std::move(subset)))) acyclic = false;
+  });
+  return acyclic;
+}
+
+bool IsGammaAcyclic(const DatabaseScheme& scheme) {
+  return !FindGammaCycle(scheme).has_value();
+}
+
+std::optional<GammaCycle> FindGammaCycle(const DatabaseScheme& scheme) {
+  GammaCycleFinder finder(scheme);
+  return finder.Find();
+}
+
+bool IsBergeAcyclic(const DatabaseScheme& scheme) {
+  // Vertices: schemes [0, n) and attributes [n, n + |attrs|).
+  std::map<std::string, int> attr_id;
+  const int n = scheme.size();
+  int next_id = n;
+  for (int i = 0; i < n; ++i) {
+    for (const std::string& a : scheme.scheme(i)) {
+      if (attr_id.find(a) == attr_id.end()) attr_id[a] = next_id++;
+    }
+  }
+  UnionFind uf(next_id);
+  for (int i = 0; i < n; ++i) {
+    for (const std::string& a : scheme.scheme(i)) {
+      if (!uf.Union(i, attr_id[a])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace taujoin

@@ -1,0 +1,47 @@
+#ifndef TAUJOIN_SCHEME_ACYCLICITY_H_
+#define TAUJOIN_SCHEME_ACYCLICITY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scheme/database_scheme.h"
+
+namespace taujoin {
+
+/// Fagin's degrees of acyclicity for hypergraphs / database schemes
+/// [Fagin, JACM 1983], referenced by §5 of the paper. The implications are
+///   Berge-acyclic ⇒ γ-acyclic ⇒ β-acyclic ⇒ α-acyclic,
+/// and the tests here are the literal definitions (suitable for the small
+/// schemes this library optimizes exactly).
+
+/// α-acyclicity via GYO reduction.
+bool IsAlphaAcyclic(const DatabaseScheme& scheme);
+
+/// β-acyclicity: every subset of the schemes is α-acyclic. Exponential in
+/// the number of schemes; intended for |D| ≤ ~16.
+bool IsBetaAcyclic(const DatabaseScheme& scheme);
+
+/// γ-acyclicity: no γ-cycle exists. A γ-cycle is a sequence
+/// (S1, x1, S2, x2, ..., Sm, xm, S1) with m ≥ 3, distinct schemes Si,
+/// distinct attributes xi, xi ∈ Si ∩ S(i+1), and — for 1 ≤ i ≤ m−1 — xi in
+/// no other scheme of the sequence (the last attribute xm is exempt).
+bool IsGammaAcyclic(const DatabaseScheme& scheme);
+
+/// Berge-acyclicity: the bipartite incidence graph (schemes vs attributes)
+/// is a forest.
+bool IsBergeAcyclic(const DatabaseScheme& scheme);
+
+/// A found γ-cycle, for diagnostics: alternating scheme indices and
+/// attribute names, schemes.size() == attributes.size() == m.
+struct GammaCycle {
+  std::vector<int> schemes;
+  std::vector<std::string> attributes;
+};
+
+/// Returns a γ-cycle if one exists.
+std::optional<GammaCycle> FindGammaCycle(const DatabaseScheme& scheme);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_SCHEME_ACYCLICITY_H_

@@ -1,0 +1,110 @@
+#include "scheme/database_scheme.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace taujoin {
+
+DatabaseScheme::DatabaseScheme(std::vector<Schema> schemes)
+    : schemes_(std::move(schemes)) {
+  TAUJOIN_CHECK_LE(schemes_.size(), 64u) << "at most 64 relations supported";
+  adjacency_.assign(schemes_.size(), 0);
+  for (size_t i = 0; i < schemes_.size(); ++i) {
+    TAUJOIN_CHECK(!schemes_[i].empty()) << "relation schemes are non-empty";
+    for (size_t j = i + 1; j < schemes_.size(); ++j) {
+      if (schemes_[i].Overlaps(schemes_[j])) {
+        adjacency_[i] |= SingletonMask(static_cast<int>(j));
+        adjacency_[j] |= SingletonMask(static_cast<int>(i));
+      }
+    }
+  }
+}
+
+DatabaseScheme DatabaseScheme::Parse(const std::vector<std::string>& schemes) {
+  std::vector<Schema> parsed;
+  parsed.reserve(schemes.size());
+  for (const std::string& s : schemes) parsed.push_back(Schema::Parse(s));
+  return DatabaseScheme(std::move(parsed));
+}
+
+Schema DatabaseScheme::AttributesOf(RelMask mask) const {
+  Schema result;
+  for (int i : MaskToIndices(mask)) {
+    result = result.Union(schemes_[static_cast<size_t>(i)]);
+  }
+  return result;
+}
+
+bool DatabaseScheme::Linked(RelMask a, RelMask b) const {
+  // (∪A) ∩ (∪B) ≠ φ. Pairwise overlap of some R ∈ A, R' ∈ B is equivalent
+  // only if no two relations inside one side share the attribute... it is
+  // not equivalent in general? It is: an attribute in both unions belongs
+  // to some scheme in A and some scheme in B, i.e., those two schemes
+  // overlap. So linkage == existence of an adjacent (or equal-attribute)
+  // pair across the sides.
+  if ((a & b) != 0) return a != 0;  // a shared (non-empty) scheme links them
+  for (int i : MaskToIndices(a)) {
+    if (adjacency_[static_cast<size_t>(i)] & b) return true;
+  }
+  return false;
+}
+
+bool DatabaseScheme::Connected(RelMask mask) const {
+  if (mask == 0) return true;
+  RelMask seed = LowestBit(mask);
+  RelMask reached = seed;
+  while (true) {
+    RelMask frontier = Neighbors(reached, mask) & ~reached;
+    if (frontier == 0) break;
+    reached |= frontier;
+  }
+  return reached == mask;
+}
+
+std::vector<RelMask> DatabaseScheme::Components(RelMask mask) const {
+  std::vector<RelMask> components;
+  RelMask remaining = mask;
+  while (remaining) {
+    RelMask component = ComponentContaining(remaining, LowestBitIndex(remaining));
+    components.push_back(component);
+    remaining &= ~component;
+  }
+  return components;
+}
+
+int DatabaseScheme::ComponentCount(RelMask mask) const {
+  return static_cast<int>(Components(mask).size());
+}
+
+RelMask DatabaseScheme::ComponentContaining(RelMask mask, int i) const {
+  TAUJOIN_CHECK(mask & SingletonMask(i));
+  RelMask reached = SingletonMask(i);
+  while (true) {
+    RelMask frontier = Neighbors(reached, mask) & ~reached;
+    if (frontier == 0) break;
+    reached |= frontier;
+  }
+  return reached;
+}
+
+bool DatabaseScheme::Adjacent(int i, int j) const {
+  return (adjacency_[static_cast<size_t>(i)] & SingletonMask(j)) != 0;
+}
+
+RelMask DatabaseScheme::Neighbors(RelMask seed, RelMask mask) const {
+  RelMask result = 0;
+  for (int i : MaskToIndices(seed)) {
+    result |= adjacency_[static_cast<size_t>(i)];
+  }
+  return result & mask;
+}
+
+std::string DatabaseScheme::MaskToString(RelMask mask) const {
+  std::vector<std::string> parts;
+  for (int i : MaskToIndices(mask)) {
+    parts.push_back(schemes_[static_cast<size_t>(i)].ToString());
+  }
+  return "{" + StrJoin(parts, ", ") + "}";
+}
+
+}  // namespace taujoin

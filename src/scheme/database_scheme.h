@@ -1,0 +1,83 @@
+#ifndef TAUJOIN_SCHEME_DATABASE_SCHEME_H_
+#define TAUJOIN_SCHEME_DATABASE_SCHEME_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+#include "scheme/mask.h"
+
+namespace taujoin {
+
+/// A database scheme **D**: an ordered list of relation schemes, with the
+/// paper's §2 vocabulary — `linked`, `disjoint`, `connected`, `components`
+/// — defined over subsets of relations represented as RelMasks.
+///
+/// The paper treats **D** as a set of schemes; we allow duplicates (needed
+/// for §5's multiset view of unions/intersections) and identify subsets by
+/// relation *index*, which coincides with the paper's set view whenever the
+/// schemes are distinct.
+class DatabaseScheme {
+ public:
+  DatabaseScheme() = default;
+  /// At most 64 schemes (CHECK-enforced).
+  explicit DatabaseScheme(std::vector<Schema> schemes);
+
+  /// Convenience: parses each entry with Schema::Parse, so
+  /// {"ABC", "BE", "DF"} is the paper's {ABC, BE, DF}.
+  static DatabaseScheme Parse(const std::vector<std::string>& schemes);
+
+  int size() const { return static_cast<int>(schemes_.size()); }
+  const Schema& scheme(int i) const { return schemes_[static_cast<size_t>(i)]; }
+  const std::vector<Schema>& schemes() const { return schemes_; }
+
+  RelMask full_mask() const { return FullMask(size()); }
+
+  /// ∪_{R ∈ mask} R — the attributes mentioned by the subset.
+  Schema AttributesOf(RelMask mask) const;
+
+  /// The paper's "D1 is linked to D2": (∪D1) ∩ (∪D2) ≠ φ.
+  bool Linked(RelMask a, RelMask b) const;
+
+  /// Index-disjointness (the paper's D1 ∩ D2 = φ for distinct schemes).
+  static bool Disjoint(RelMask a, RelMask b) { return (a & b) == 0; }
+
+  /// The paper's "connected": `mask` is not the union of two disjoint,
+  /// mutually-unlinked non-empty subsets. The empty mask and singletons are
+  /// connected.
+  bool Connected(RelMask mask) const;
+
+  /// The components of `mask`: maximal connected subsets not linked to the
+  /// rest. Their union is `mask`; returned in ascending order of lowest
+  /// relation index.
+  std::vector<RelMask> Components(RelMask mask) const;
+
+  /// comp(D'): the number of components of `mask`.
+  int ComponentCount(RelMask mask) const;
+
+  /// The component of `mask` containing relation `i` (i must be in mask).
+  RelMask ComponentContaining(RelMask mask, int i) const;
+
+  /// True iff the schemes at each index pair share an attribute (the edge
+  /// relation of the intersection graph).
+  bool Adjacent(int i, int j) const;
+
+  /// Adjacency row: all relations sharing an attribute with relation i.
+  RelMask AdjacencyRow(int i) const { return adjacency_[static_cast<size_t>(i)]; }
+
+  /// Relations in `mask` adjacent to at least one relation of `seed`.
+  RelMask Neighbors(RelMask seed, RelMask mask) const;
+
+  /// Renders a subset, e.g. "{ABC, BE}".
+  std::string MaskToString(RelMask mask) const;
+
+  std::string ToString() const { return MaskToString(full_mask()); }
+
+ private:
+  std::vector<Schema> schemes_;
+  std::vector<RelMask> adjacency_;  // adjacency_[i] excludes bit i
+};
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_SCHEME_DATABASE_SCHEME_H_

@@ -1,0 +1,181 @@
+#include "scheme/hypergraph.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+
+namespace taujoin {
+
+std::vector<std::vector<int>> JoinTree::Children() const {
+  std::vector<std::vector<int>> children(parent.size());
+  for (size_t i = 0; i < parent.size(); ++i) {
+    if (parent[i] >= 0) children[static_cast<size_t>(parent[i])].push_back(static_cast<int>(i));
+  }
+  return children;
+}
+
+std::vector<int> JoinTree::PreOrder() const {
+  std::vector<std::vector<int>> children = Children();
+  std::vector<int> order;
+  order.reserve(parent.size());
+  std::vector<int> stack;
+  // Multiple roots are possible for unconnected schemes (a forest); roots
+  // are exactly the nodes with parent -1.
+  for (size_t i = 0; i < parent.size(); ++i) {
+    if (parent[i] < 0) stack.push_back(static_cast<int>(i));
+  }
+  std::reverse(stack.begin(), stack.end());
+  while (!stack.empty()) {
+    int node = stack.back();
+    stack.pop_back();
+    order.push_back(node);
+    for (auto it = children[static_cast<size_t>(node)].rbegin();
+         it != children[static_cast<size_t>(node)].rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return order;
+}
+
+bool JoinTree::IsValidFor(const DatabaseScheme& scheme) const {
+  if (static_cast<int>(parent.size()) != scheme.size()) return false;
+  // For every attribute, the set of relations containing it must induce a
+  // connected subtree. Check: for each node i with parent p, every
+  // attribute shared between the subtree below i and the rest must be in
+  // both i and p... Simpler equivalent check (running intersection over an
+  // arbitrary rooting): for each attribute A, collect the nodes containing
+  // A and verify they form a connected subgraph of the tree.
+  std::map<std::string, std::vector<int>> attr_nodes;
+  for (int i = 0; i < scheme.size(); ++i) {
+    for (const std::string& a : scheme.scheme(i)) {
+      attr_nodes[a].push_back(i);
+    }
+  }
+  std::vector<std::vector<int>> adjacency(parent.size());
+  for (size_t i = 0; i < parent.size(); ++i) {
+    if (parent[i] >= 0) {
+      adjacency[i].push_back(parent[i]);
+      adjacency[static_cast<size_t>(parent[i])].push_back(static_cast<int>(i));
+    }
+  }
+  for (const auto& [attr, nodes] : attr_nodes) {
+    if (nodes.size() <= 1) continue;
+    std::vector<bool> in_set(parent.size(), false);
+    for (int n : nodes) in_set[static_cast<size_t>(n)] = true;
+    // BFS inside the induced subgraph from nodes[0].
+    std::vector<bool> seen(parent.size(), false);
+    std::vector<int> stack = {nodes[0]};
+    seen[static_cast<size_t>(nodes[0])] = true;
+    size_t count = 1;
+    while (!stack.empty()) {
+      int node = stack.back();
+      stack.pop_back();
+      for (int next : adjacency[static_cast<size_t>(node)]) {
+        if (in_set[static_cast<size_t>(next)] && !seen[static_cast<size_t>(next)]) {
+          seen[static_cast<size_t>(next)] = true;
+          ++count;
+          stack.push_back(next);
+        }
+      }
+    }
+    if (count != nodes.size()) return false;
+  }
+  return true;
+}
+
+bool GyoReducesToEmpty(const DatabaseScheme& scheme) {
+  // Work on mutable copies of the schemes' attribute sets.
+  std::vector<Schema> edges;
+  for (int i = 0; i < scheme.size(); ++i) edges.push_back(scheme.scheme(i));
+  std::vector<bool> alive(edges.size(), true);
+  int alive_count = static_cast<int>(edges.size());
+
+  bool changed = true;
+  while (changed && alive_count > 0) {
+    changed = false;
+    // (a) Remove attributes appearing in exactly one live edge.
+    std::map<std::string, int> occurrences;
+    for (size_t i = 0; i < edges.size(); ++i) {
+      if (!alive[i]) continue;
+      for (const std::string& a : edges[i]) ++occurrences[a];
+    }
+    for (size_t i = 0; i < edges.size(); ++i) {
+      if (!alive[i]) continue;
+      std::vector<std::string> kept;
+      for (const std::string& a : edges[i]) {
+        if (occurrences[a] > 1) kept.push_back(a);
+      }
+      if (kept.size() != edges[i].size()) {
+        edges[i] = Schema(std::move(kept));
+        changed = true;
+      }
+    }
+    // (b) Remove an edge that is empty or contained in another live edge.
+    for (size_t i = 0; i < edges.size() && alive_count > 0; ++i) {
+      if (!alive[i]) continue;
+      if (edges[i].empty()) {
+        alive[i] = false;
+        --alive_count;
+        changed = true;
+        continue;
+      }
+      for (size_t j = 0; j < edges.size(); ++j) {
+        if (i == j || !alive[j]) continue;
+        if (edges[i].IsSubsetOf(edges[j])) {
+          alive[i] = false;
+          --alive_count;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return alive_count == 0;
+}
+
+std::optional<JoinTree> BuildJoinTree(const DatabaseScheme& scheme) {
+  const int n = scheme.size();
+  if (n == 0) return JoinTree{};
+  // Prim's algorithm over the complete graph with weight |Ri ∩ Rj|.
+  // Maier's theorem: the scheme is α-acyclic iff some (equivalently, every)
+  // maximum-weight spanning tree is a join tree; we build one and validate.
+  JoinTree tree;
+  tree.parent.assign(static_cast<size_t>(n), -1);
+  tree.root = 0;
+  std::vector<bool> in_tree(static_cast<size_t>(n), false);
+  std::vector<int> best_weight(static_cast<size_t>(n), -1);
+  std::vector<int> best_parent(static_cast<size_t>(n), -1);
+  in_tree[0] = true;
+  for (int j = 1; j < n; ++j) {
+    best_weight[static_cast<size_t>(j)] =
+        static_cast<int>(scheme.scheme(0).Intersect(scheme.scheme(j)).size());
+    best_parent[static_cast<size_t>(j)] = 0;
+  }
+  for (int step = 1; step < n; ++step) {
+    int pick = -1;
+    for (int j = 0; j < n; ++j) {
+      if (in_tree[static_cast<size_t>(j)]) continue;
+      if (pick < 0 || best_weight[static_cast<size_t>(j)] >
+                          best_weight[static_cast<size_t>(pick)]) {
+        pick = j;
+      }
+    }
+    TAUJOIN_CHECK_GE(pick, 0);
+    in_tree[static_cast<size_t>(pick)] = true;
+    tree.parent[static_cast<size_t>(pick)] = best_parent[static_cast<size_t>(pick)];
+    for (int j = 0; j < n; ++j) {
+      if (in_tree[static_cast<size_t>(j)]) continue;
+      int w = static_cast<int>(
+          scheme.scheme(pick).Intersect(scheme.scheme(j)).size());
+      if (w > best_weight[static_cast<size_t>(j)]) {
+        best_weight[static_cast<size_t>(j)] = w;
+        best_parent[static_cast<size_t>(j)] = pick;
+      }
+    }
+  }
+  if (!tree.IsValidFor(scheme)) return std::nullopt;
+  return tree;
+}
+
+}  // namespace taujoin

@@ -1,0 +1,45 @@
+#ifndef TAUJOIN_SCHEME_HYPERGRAPH_H_
+#define TAUJOIN_SCHEME_HYPERGRAPH_H_
+
+#include <optional>
+#include <vector>
+
+#include "scheme/database_scheme.h"
+
+namespace taujoin {
+
+/// A join tree (qual tree) for a database scheme: a tree over relation
+/// indices such that for every attribute A, the relations containing A form
+/// a subtree (the running-intersection / connectedness property). A scheme
+/// has a join tree iff it is α-acyclic [Beeri-Fagin-Maier-Yannakakis].
+struct JoinTree {
+  /// parent[i] is the parent relation index of i, or -1 for the root.
+  std::vector<int> parent;
+  int root = -1;
+
+  /// Children lists derived from `parent`.
+  std::vector<std::vector<int>> Children() const;
+
+  /// A pre-order (root first) traversal.
+  std::vector<int> PreOrder() const;
+
+  /// Verifies the connectedness property against `scheme`.
+  bool IsValidFor(const DatabaseScheme& scheme) const;
+};
+
+/// GYO (Graham / Yu–Özsoyoğlu) reduction: repeatedly (a) drop attributes
+/// appearing in exactly one remaining scheme, (b) drop a scheme contained
+/// in another remaining scheme. `scheme` is α-acyclic iff reduction leaves
+/// nothing (all schemes consumed).
+bool GyoReducesToEmpty(const DatabaseScheme& scheme);
+
+/// Builds a join tree for `scheme` via maximum-weight spanning tree over
+/// the intersection graph (weight = |Ri ∩ Rj|), then validates the
+/// connectedness property. Returns nullopt when the scheme is not
+/// α-acyclic (or, for unconnected schemes, builds a forest glued by
+/// zero-weight edges and validates it the same way).
+std::optional<JoinTree> BuildJoinTree(const DatabaseScheme& scheme);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_SCHEME_HYPERGRAPH_H_

@@ -1,0 +1,46 @@
+#include "scheme/join_tree_connectivity.h"
+
+#include "common/logging.h"
+
+namespace taujoin {
+
+JoinTreeConnectivity::JoinTreeConnectivity(const DatabaseScheme* scheme,
+                                           const JoinTree* tree)
+    : scheme_(scheme), tree_(tree) {
+  TAUJOIN_CHECK(tree_->IsValidFor(*scheme_));
+  adjacency_.assign(static_cast<size_t>(scheme_->size()), 0);
+  for (int i = 0; i < scheme_->size(); ++i) {
+    int p = tree_->parent[static_cast<size_t>(i)];
+    if (p >= 0) {
+      adjacency_[static_cast<size_t>(i)] |= SingletonMask(p);
+      adjacency_[static_cast<size_t>(p)] |= SingletonMask(i);
+    }
+  }
+}
+
+bool JoinTreeConnectivity::Connected(RelMask mask) const {
+  if (mask == 0 || PopCount(mask) == 1) return true;
+  RelMask reached = LowestBit(mask);
+  while (true) {
+    RelMask frontier = 0;
+    for (int i : MaskToIndices(reached)) {
+      frontier |= adjacency_[static_cast<size_t>(i)];
+    }
+    frontier &= mask & ~reached;
+    if (frontier == 0) break;
+    reached |= frontier;
+  }
+  return reached == mask;
+}
+
+bool JoinTreeConnectivity::Linked(RelMask e1, RelMask e2) const {
+  // F1 ∪ F2 connected with non-empty halves forces a tree edge between
+  // some member of F1 and some member of F2; conversely such an edge makes
+  // the two endpoints a connected pair. So linkage == a crossing edge.
+  for (int i : MaskToIndices(e1)) {
+    if (adjacency_[static_cast<size_t>(i)] & e2) return true;
+  }
+  return false;
+}
+
+}  // namespace taujoin

@@ -1,0 +1,45 @@
+#ifndef TAUJOIN_SCHEME_JOIN_TREE_CONNECTIVITY_H_
+#define TAUJOIN_SCHEME_JOIN_TREE_CONNECTIVITY_H_
+
+#include "scheme/database_scheme.h"
+#include "scheme/hypergraph.h"
+
+namespace taujoin {
+
+/// §5's redefinition of connectedness for α-acyclic schemes: a subset E of
+/// D is *connected* when it induces a subtree of a join tree, and E1 is
+/// *linked* to E2 when some F1 ⊆ E1, F2 ⊆ E2 make F1 ∪ F2 connected.
+/// (The paper quantifies over all join trees; this class works relative to
+/// one fixed join tree, which is exact whenever the join tree is unique —
+/// e.g. chains — and a sound under-approximation otherwise.)
+class JoinTreeConnectivity {
+ public:
+  /// `tree` must be valid for `scheme`; both must outlive this object.
+  JoinTreeConnectivity(const DatabaseScheme* scheme, const JoinTree* tree);
+
+  /// E induces a connected subtree of the join tree (singletons and the
+  /// empty set count as connected).
+  bool Connected(RelMask mask) const;
+
+  /// §5's linked: ∃ F1 ⊆ E1, F2 ⊆ E2 non-empty with F1 ∪ F2 connected.
+  /// Equivalently (on a tree): some edge of the join tree crosses between
+  /// E1 and E2, or — when E1 and E2 are not adjacent — some path cell…
+  /// On a fixed tree this reduces to: some e1 ∈ E1 and e2 ∈ E2 are
+  /// adjacent in the tree, since F1 ∪ F2 connected forces an edge across.
+  bool Linked(RelMask e1, RelMask e2) const;
+
+  /// The paper's C4 under this connectivity, checked on a cache-less
+  /// database view: for all disjoint connected linked E1, E2:
+  /// τ(R_E1 ⋈ R_E2) ≥ τ(R_E1) and ≥ τ(R_E2). Declared here, implemented
+  /// against JoinCache in the tests/experiments to avoid a core
+  /// dependency.
+
+ private:
+  const DatabaseScheme* scheme_;
+  const JoinTree* tree_;
+  std::vector<RelMask> adjacency_;  ///< tree adjacency per node
+};
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_SCHEME_JOIN_TREE_CONNECTIVITY_H_

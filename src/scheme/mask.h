@@ -1,0 +1,56 @@
+#ifndef TAUJOIN_SCHEME_MASK_H_
+#define TAUJOIN_SCHEME_MASK_H_
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace taujoin {
+
+/// A subset of the relations of a database scheme, as a bitmask over
+/// relation indices. The library supports up to 64 relations per database,
+/// far beyond what exact τ-optimization can explore anyway.
+using RelMask = uint64_t;
+
+inline int PopCount(RelMask mask) { return std::popcount(mask); }
+
+/// The lowest set bit of `mask` as a mask; 0 for the empty mask.
+inline RelMask LowestBit(RelMask mask) { return mask & (~mask + 1); }
+
+/// Index of the lowest set bit; `mask` must be non-zero.
+inline int LowestBitIndex(RelMask mask) { return std::countr_zero(mask); }
+
+inline RelMask SingletonMask(int i) { return RelMask{1} << i; }
+
+/// Mask with bits 0..n-1 set.
+inline RelMask FullMask(int n) {
+  return n >= 64 ? ~RelMask{0} : (RelMask{1} << n) - 1;
+}
+
+/// Calls `fn(sub)` for every non-empty proper-or-improper submask of
+/// `mask`, in increasing numeric order of the submask.
+template <typename Fn>
+void ForEachNonEmptySubmask(RelMask mask, Fn&& fn) {
+  // Standard subset-enumeration loop: iterates submasks descending, so we
+  // collect then reverse ordering responsibilities onto the caller when it
+  // matters. Here: ascending via (sub - mask) & mask trick.
+  RelMask sub = 0;
+  do {
+    sub = (sub - mask) & mask;
+    if (sub != 0) fn(sub);
+  } while (sub != mask);
+}
+
+/// The indices of the set bits, ascending.
+inline std::vector<int> MaskToIndices(RelMask mask) {
+  std::vector<int> indices;
+  while (mask) {
+    indices.push_back(LowestBitIndex(mask));
+    mask &= mask - 1;
+  }
+  return indices;
+}
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_SCHEME_MASK_H_

@@ -1,0 +1,124 @@
+#include "scheme/query_graph.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace taujoin {
+
+const char* QueryShapeToString(QueryShape shape) {
+  switch (shape) {
+    case QueryShape::kChain:
+      return "chain";
+    case QueryShape::kStar:
+      return "star";
+    case QueryShape::kCycle:
+      return "cycle";
+    case QueryShape::kClique:
+      return "clique";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string JoinAttr(int i, int j) {
+  if (i > j) std::swap(i, j);
+  return "J" + std::to_string(i) + "_" + std::to_string(j);
+}
+
+std::string PrivateAttr(int i) { return "P" + std::to_string(i); }
+
+}  // namespace
+
+DatabaseScheme MakeShapedScheme(QueryShape shape, int n) {
+  TAUJOIN_CHECK_GE(n, 1);
+  std::vector<std::vector<std::string>> attrs(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) attrs[static_cast<size_t>(i)].push_back(PrivateAttr(i));
+  auto add_edge = [&](int i, int j) {
+    attrs[static_cast<size_t>(i)].push_back(JoinAttr(i, j));
+    attrs[static_cast<size_t>(j)].push_back(JoinAttr(i, j));
+  };
+  switch (shape) {
+    case QueryShape::kChain:
+      for (int i = 0; i + 1 < n; ++i) add_edge(i, i + 1);
+      break;
+    case QueryShape::kStar:
+      for (int i = 1; i < n; ++i) add_edge(0, i);
+      break;
+    case QueryShape::kCycle:
+      TAUJOIN_CHECK_GE(n, 3) << "cycle shape needs n >= 3";
+      for (int i = 0; i + 1 < n; ++i) add_edge(i, i + 1);
+      add_edge(n - 1, 0);
+      break;
+    case QueryShape::kClique:
+      for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) add_edge(i, j);
+      }
+      break;
+  }
+  std::vector<Schema> schemes;
+  schemes.reserve(static_cast<size_t>(n));
+  for (auto& a : attrs) schemes.push_back(Schema(std::move(a)));
+  return DatabaseScheme(std::move(schemes));
+}
+
+QueryGraph QueryGraph::Of(const DatabaseScheme& scheme) {
+  QueryGraph graph;
+  graph.node_count = scheme.size();
+  for (int i = 0; i < scheme.size(); ++i) {
+    for (int j = i + 1; j < scheme.size(); ++j) {
+      Schema shared = scheme.scheme(i).Intersect(scheme.scheme(j));
+      if (!shared.empty()) {
+        graph.edges.push_back({i, j, std::move(shared)});
+      }
+    }
+  }
+  return graph;
+}
+
+std::vector<int> QueryGraph::Degrees() const {
+  std::vector<int> degrees(static_cast<size_t>(node_count), 0);
+  for (const Edge& e : edges) {
+    ++degrees[static_cast<size_t>(e.a)];
+    ++degrees[static_cast<size_t>(e.b)];
+  }
+  return degrees;
+}
+
+bool QueryGraph::IsTree() const {
+  if (static_cast<int>(edges.size()) != node_count - 1) return false;
+  // Connectivity via BFS.
+  if (node_count == 0) return true;
+  std::vector<std::vector<int>> adjacency(static_cast<size_t>(node_count));
+  for (const Edge& e : edges) {
+    adjacency[static_cast<size_t>(e.a)].push_back(e.b);
+    adjacency[static_cast<size_t>(e.b)].push_back(e.a);
+  }
+  std::vector<bool> seen(static_cast<size_t>(node_count), false);
+  std::vector<int> stack = {0};
+  seen[0] = true;
+  int count = 1;
+  while (!stack.empty()) {
+    int node = stack.back();
+    stack.pop_back();
+    for (int next : adjacency[static_cast<size_t>(node)]) {
+      if (!seen[static_cast<size_t>(next)]) {
+        seen[static_cast<size_t>(next)] = true;
+        ++count;
+        stack.push_back(next);
+      }
+    }
+  }
+  return count == node_count;
+}
+
+std::string QueryGraph::ToString() const {
+  std::vector<std::string> parts;
+  for (const Edge& e : edges) {
+    parts.push_back(std::to_string(e.a) + "-" + std::to_string(e.b) + "(" +
+                    e.shared.ToString() + ")");
+  }
+  return StrJoin(parts, ", ");
+}
+
+}  // namespace taujoin

@@ -1,0 +1,51 @@
+#ifndef TAUJOIN_SCHEME_QUERY_GRAPH_H_
+#define TAUJOIN_SCHEME_QUERY_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "scheme/database_scheme.h"
+
+namespace taujoin {
+
+/// Standard query-graph shapes used by the workload generators and the
+/// search-space experiments (the shapes query-optimizer papers sweep).
+enum class QueryShape {
+  kChain,
+  kStar,
+  kCycle,
+  kClique,
+};
+
+const char* QueryShapeToString(QueryShape shape);
+
+/// Builds a database scheme with `n` relations whose intersection graph has
+/// the given shape. Every relation also gets a private attribute, and every
+/// graph edge corresponds to exactly one shared attribute, so the shapes
+/// are "pure". Attribute names are J<i>_<j> for the edge {i, j} and P<i>
+/// for relation i's private attribute. Requires n >= 1 (n >= 3 for cycles).
+DatabaseScheme MakeShapedScheme(QueryShape shape, int n);
+
+/// The intersection graph of a database scheme, as explicit edges
+/// (i < j, with the shared attributes). Used for reporting and for shape
+/// classification in tests.
+struct QueryGraph {
+  struct Edge {
+    int a;
+    int b;
+    Schema shared;
+  };
+  int node_count = 0;
+  std::vector<Edge> edges;
+
+  static QueryGraph Of(const DatabaseScheme& scheme);
+
+  /// Degree of each node.
+  std::vector<int> Degrees() const;
+  bool IsTree() const;
+  std::string ToString() const;
+};
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_SCHEME_QUERY_GRAPH_H_

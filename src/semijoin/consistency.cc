@@ -1,0 +1,53 @@
+#include "semijoin/consistency.h"
+
+#include "relational/operators.h"
+
+namespace taujoin {
+
+bool AreConsistent(const Relation& a, const Relation& b) {
+  Schema common = a.schema().Intersect(b.schema());
+  if (common.empty()) return true;
+  return Project(a, common) == Project(b, common);
+}
+
+bool IsPairwiseConsistent(const Database& db) {
+  for (int i = 0; i < db.size(); ++i) {
+    for (int j = i + 1; j < db.size(); ++j) {
+      if (!AreConsistent(db.state(i), db.state(j))) return false;
+    }
+  }
+  return true;
+}
+
+std::pair<Relation, Relation> ReducePair(const Relation& a,
+                                         const Relation& b) {
+  return {Semijoin(a, b), Semijoin(b, a)};
+}
+
+Database ReduceToPairwiseConsistency(const Database& db) {
+  std::vector<Relation> states;
+  states.reserve(static_cast<size_t>(db.size()));
+  std::vector<std::string> names;
+  for (int i = 0; i < db.size(); ++i) {
+    states.push_back(db.state(i));
+    names.push_back(db.name(i));
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < states.size(); ++i) {
+      for (size_t j = 0; j < states.size(); ++j) {
+        if (i == j) continue;
+        Relation reduced = Semijoin(states[i], states[j]);
+        if (reduced.size() != states[i].size()) {
+          states[i] = std::move(reduced);
+          changed = true;
+        }
+      }
+    }
+  }
+  return Database::CreateOrDie(db.scheme(), std::move(states),
+                               std::move(names));
+}
+
+}  // namespace taujoin

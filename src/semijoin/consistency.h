@@ -1,0 +1,29 @@
+#ifndef TAUJOIN_SEMIJOIN_CONSISTENCY_H_
+#define TAUJOIN_SEMIJOIN_CONSISTENCY_H_
+
+#include "core/database.h"
+#include "relational/relation.h"
+
+namespace taujoin {
+
+/// §5: (R, R) and (R', R') are consistent iff R[R ∩ R'] = R'[R ∩ R'].
+/// Relations with disjoint schemes are trivially consistent.
+bool AreConsistent(const Relation& a, const Relation& b);
+
+/// A database is pairwise consistent (semijoin reduced) iff every pair of
+/// its relations is consistent.
+bool IsPairwiseConsistent(const Database& db);
+
+/// One semijoin-reduction step applied symmetrically: returns (a ⋉ b,
+/// b ⋉ a). The pair is consistent afterwards.
+std::pair<Relation, Relation> ReducePair(const Relation& a, const Relation& b);
+
+/// Reduces the database to pairwise consistency by iterating semijoins to
+/// a fixpoint (terminates because states only shrink). For α-acyclic
+/// schemes this yields global consistency as well; for cyclic schemes only
+/// pairwise. Returns the reduced database.
+Database ReduceToPairwiseConsistency(const Database& db);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_SEMIJOIN_CONSISTENCY_H_

@@ -1,0 +1,48 @@
+#include "semijoin/full_reducer.h"
+
+#include "common/logging.h"
+#include "relational/operators.h"
+
+namespace taujoin {
+
+Database FullReduceWithTree(const Database& db, const JoinTree& tree) {
+  TAUJOIN_CHECK(tree.IsValidFor(db.scheme()));
+  std::vector<Relation> states;
+  std::vector<std::string> names;
+  for (int i = 0; i < db.size(); ++i) {
+    states.push_back(db.state(i));
+    names.push_back(db.name(i));
+  }
+  const std::vector<int> pre_order = tree.PreOrder();
+  // Leaf-to-root pass: in reverse pre-order, reduce each parent by its
+  // child.
+  for (auto it = pre_order.rbegin(); it != pre_order.rend(); ++it) {
+    int node = *it;
+    int parent = tree.parent[static_cast<size_t>(node)];
+    if (parent < 0) continue;
+    states[static_cast<size_t>(parent)] =
+        Semijoin(states[static_cast<size_t>(parent)],
+                 states[static_cast<size_t>(node)]);
+  }
+  // Root-to-leaf pass: reduce each child by its parent.
+  for (int node : pre_order) {
+    int parent = tree.parent[static_cast<size_t>(node)];
+    if (parent < 0) continue;
+    states[static_cast<size_t>(node)] =
+        Semijoin(states[static_cast<size_t>(node)],
+                 states[static_cast<size_t>(parent)]);
+  }
+  return Database::CreateOrDie(db.scheme(), std::move(states),
+                               std::move(names));
+}
+
+StatusOr<Database> FullReduce(const Database& db) {
+  std::optional<JoinTree> tree = BuildJoinTree(db.scheme());
+  if (!tree.has_value()) {
+    return FailedPreconditionError(
+        "full reduction requires an alpha-acyclic scheme");
+  }
+  return FullReduceWithTree(db, *tree);
+}
+
+}  // namespace taujoin

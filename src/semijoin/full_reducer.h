@@ -1,0 +1,21 @@
+#ifndef TAUJOIN_SEMIJOIN_FULL_REDUCER_H_
+#define TAUJOIN_SEMIJOIN_FULL_REDUCER_H_
+
+#include "common/status.h"
+#include "core/database.h"
+#include "scheme/hypergraph.h"
+
+namespace taujoin {
+
+/// Bernstein–Chiu full reducer for α-acyclic databases: one leaf-to-root
+/// semijoin pass followed by one root-to-leaf pass along a join tree.
+/// Afterwards every state equals the projection of the full join onto its
+/// scheme (global consistency). Fails when the scheme is not α-acyclic.
+StatusOr<Database> FullReduce(const Database& db);
+
+/// Same, with a caller-provided join tree (must be valid for the scheme).
+Database FullReduceWithTree(const Database& db, const JoinTree& tree);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_SEMIJOIN_FULL_REDUCER_H_

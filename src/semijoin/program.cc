@@ -1,0 +1,76 @@
+#include "semijoin/program.h"
+
+#include "common/logging.h"
+#include "relational/operators.h"
+#include "scheme/hypergraph.h"
+
+namespace taujoin {
+
+StatusOr<SemijoinProgram> SemijoinProgram::FullReducerFor(
+    const DatabaseScheme& scheme) {
+  std::optional<JoinTree> tree = BuildJoinTree(scheme);
+  if (!tree.has_value()) {
+    return FailedPreconditionError(
+        "full reducer programs exist only for alpha-acyclic schemes");
+  }
+  SemijoinProgram program;
+  std::vector<int> pre_order = tree->PreOrder();
+  // Leaf-to-root: parent ⋉ child, visiting children before parents.
+  for (auto it = pre_order.rbegin(); it != pre_order.rend(); ++it) {
+    int parent = tree->parent[static_cast<size_t>(*it)];
+    if (parent >= 0) program.Add(parent, *it);
+  }
+  // Root-to-leaf: child ⋉ parent.
+  for (int node : pre_order) {
+    int parent = tree->parent[static_cast<size_t>(node)];
+    if (parent >= 0) program.Add(node, parent);
+  }
+  return program;
+}
+
+std::string SemijoinProgram::ToString(const Database& db) const {
+  std::string out;
+  for (const SemijoinStep& s : steps_) {
+    out += db.name(s.target) + " := " + db.name(s.target) + " ⋉ " +
+           db.name(s.source) + "\n";
+  }
+  return out;
+}
+
+SemijoinProgram::RunResult SemijoinProgram::Run(const Database& db) const {
+  std::vector<Relation> states;
+  std::vector<std::string> names;
+  for (int i = 0; i < db.size(); ++i) {
+    states.push_back(db.state(i));
+    names.push_back(db.name(i));
+  }
+  RunResult result;
+  for (const SemijoinStep& s : steps_) {
+    TAUJOIN_CHECK_GE(s.target, 0);
+    TAUJOIN_CHECK_LT(s.target, db.size());
+    TAUJOIN_CHECK_GE(s.source, 0);
+    TAUJOIN_CHECK_LT(s.source, db.size());
+    states[static_cast<size_t>(s.target)] =
+        Semijoin(states[static_cast<size_t>(s.target)],
+                 states[static_cast<size_t>(s.source)]);
+    uint64_t kept = states[static_cast<size_t>(s.target)].Tau();
+    result.sizes_after.push_back(kept);
+    result.total_retained += kept;
+  }
+  result.database =
+      Database::CreateOrDie(db.scheme(), std::move(states), std::move(names));
+  return result;
+}
+
+bool SemijoinProgram::FullyReduces(const Database& db) const {
+  RunResult run = Run(db);
+  Relation full = db.Evaluate();
+  for (int i = 0; i < db.size(); ++i) {
+    if (!(run.database.state(i) == Project(full, db.scheme().scheme(i)))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace taujoin

@@ -1,0 +1,60 @@
+#ifndef TAUJOIN_SEMIJOIN_PROGRAM_H_
+#define TAUJOIN_SEMIJOIN_PROGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+
+namespace taujoin {
+
+/// A semijoin program [Bernstein–Chiu]: a sequence of steps
+/// R_target := R_target ⋉ R_source. Programs are first-class values so the
+/// cost of reduction itself (tuples scanned/kept per step) can be studied
+/// next to the τ cost of the join phase.
+struct SemijoinStep {
+  int target = 0;
+  int source = 0;
+};
+
+class SemijoinProgram {
+ public:
+  SemijoinProgram() = default;
+  explicit SemijoinProgram(std::vector<SemijoinStep> steps)
+      : steps_(std::move(steps)) {}
+
+  void Add(int target, int source) { steps_.push_back({target, source}); }
+  const std::vector<SemijoinStep>& steps() const { return steps_; }
+  size_t size() const { return steps_.size(); }
+
+  /// The Bernstein–Chiu full-reducer program for an α-acyclic database:
+  /// leaf-to-root then root-to-leaf semijoins along a join tree. Fails on
+  /// cyclic schemes.
+  static StatusOr<SemijoinProgram> FullReducerFor(const DatabaseScheme& scheme);
+
+  std::string ToString(const Database& db) const;
+
+  /// Result of running a program.
+  struct RunResult {
+    Database database;
+    /// Per-step surviving tuple counts of the target relation.
+    std::vector<uint64_t> sizes_after;
+    /// Total tuples retained across all steps (the program's work metric).
+    uint64_t total_retained = 0;
+  };
+
+  RunResult Run(const Database& db) const;
+
+  /// Whether running this program always yields a fully reduced database
+  /// (i.e. the program is a full reducer for `db`'s scheme); verified
+  /// semantically on the given state by comparing against projections of
+  /// the full join.
+  bool FullyReduces(const Database& db) const;
+
+ private:
+  std::vector<SemijoinStep> steps_;
+};
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_SEMIJOIN_PROGRAM_H_

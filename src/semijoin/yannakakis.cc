@@ -1,0 +1,36 @@
+#include "semijoin/yannakakis.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "relational/join.h"
+#include "scheme/hypergraph.h"
+#include "semijoin/full_reducer.h"
+
+namespace taujoin {
+
+StatusOr<YannakakisResult> YannakakisEvaluate(const Database& db) {
+  std::optional<JoinTree> tree = BuildJoinTree(db.scheme());
+  if (!tree.has_value()) {
+    return FailedPreconditionError(
+        "Yannakakis evaluation requires an alpha-acyclic scheme");
+  }
+  Database reduced = FullReduceWithTree(db, *tree);
+
+  // Combine bottom-up: process nodes in reverse pre-order, joining each
+  // node's accumulated result into its parent's. Equivalently, evaluate in
+  // pre-order reversed as a left-deep strategy: join nodes in an order
+  // where every node (except the first) is joined after its parent.
+  std::vector<int> order = tree->PreOrder();
+  YannakakisResult out;
+  out.strategy = Strategy::LeftDeep(order);
+  Relation acc = reduced.state(order[0]);
+  for (size_t i = 1; i < order.size(); ++i) {
+    acc = NaturalJoin(acc, reduced.state(order[i]));
+    out.step_sizes.push_back(acc.Tau());
+  }
+  out.result = std::move(acc);
+  return out;
+}
+
+}  // namespace taujoin

@@ -1,0 +1,32 @@
+#ifndef TAUJOIN_SEMIJOIN_YANNAKAKIS_H_
+#define TAUJOIN_SEMIJOIN_YANNAKAKIS_H_
+
+#include "common/status.h"
+#include "core/database.h"
+#include "core/strategy.h"
+
+namespace taujoin {
+
+/// Result of Yannakakis evaluation: the full join plus the evaluation
+/// trace (sizes of the intermediate joins along the join tree), which §5's
+/// discussion relates to monotone increasing strategies.
+struct YannakakisResult {
+  Relation result;
+  /// τ of each intermediate join in the bottom-up combine phase,
+  /// in evaluation order (the final entry is τ(R_D)).
+  std::vector<uint64_t> step_sizes;
+  /// The linear strategy the combine phase corresponds to (a join-tree
+  /// traversal order).
+  Strategy strategy;
+};
+
+/// Yannakakis' algorithm for α-acyclic databases: full semijoin reduction,
+/// then joins along the join tree. On pairwise-consistent inputs every
+/// intermediate is a projection-superset of the inputs, making the
+/// corresponding strategy monotone increasing (§5). Fails when the scheme
+/// is not α-acyclic.
+StatusOr<YannakakisResult> YannakakisEvaluate(const Database& db);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_SEMIJOIN_YANNAKAKIS_H_

@@ -1,0 +1,62 @@
+#include "workload/decomposed.h"
+
+#include <map>
+
+#include "common/logging.h"
+#include "fd/normalize.h"
+#include "relational/operators.h"
+
+namespace taujoin {
+
+DecomposedDatabase MakeDecomposedDatabase(const DecomposedOptions& options,
+                                          Rng& rng) {
+  TAUJOIN_CHECK_GE(options.attribute_count, 2);
+  TAUJOIN_CHECK_LE(options.attribute_count, 20);
+
+  // Universe A, B, C, ... with the FD chain A→B, B→C, ....
+  std::vector<std::string> names;
+  for (int i = 0; i < options.attribute_count; ++i) {
+    names.emplace_back(1, static_cast<char>('A' + i));
+  }
+  Schema universe{std::vector<std::string>(names)};
+  FdSet fds;
+  for (int i = 0; i + 1 < options.attribute_count; ++i) {
+    fds.Add(FunctionalDependency{Schema{names[static_cast<size_t>(i)]},
+                                 Schema{names[static_cast<size_t>(i + 1)]}});
+  }
+
+  // Universal relation satisfying the chain: value of attribute i+1 is a
+  // random-but-fixed function of the value of attribute i.
+  std::vector<std::map<int64_t, int64_t>> functions(
+      static_cast<size_t>(options.attribute_count - 1));
+  Relation universal(universe);
+  for (int r = 0; r < options.universal_rows; ++r) {
+    std::vector<Value> row;
+    int64_t current = rng.UniformInt(0, options.key_domain - 1);
+    row.push_back(Value(current));
+    for (int i = 0; i + 1 < options.attribute_count; ++i) {
+      auto& fn = functions[static_cast<size_t>(i)];
+      auto it = fn.find(current);
+      if (it == fn.end()) {
+        it = fn.emplace(current,
+                        rng.UniformInt(0, options.dependent_domain - 1))
+                 .first;
+      }
+      current = it->second;
+      row.push_back(Value(current));
+    }
+    // Attributes A, B, ... are already in sorted schema order.
+    universal.Insert(Tuple(std::move(row)));
+  }
+
+  DatabaseScheme scheme = BcnfDecomposition(universe, fds);
+  std::vector<Relation> states;
+  for (int i = 0; i < scheme.size(); ++i) {
+    states.push_back(Project(universal, scheme.scheme(i)));
+  }
+  return DecomposedDatabase{
+      Database::CreateOrDie(std::move(scheme), std::move(states)),
+      std::move(fds), std::move(universal)};
+}
+
+}  // namespace taujoin

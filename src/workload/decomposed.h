@@ -1,0 +1,41 @@
+#ifndef TAUJOIN_WORKLOAD_DECOMPOSED_H_
+#define TAUJOIN_WORKLOAD_DECOMPOSED_H_
+
+#include "common/rng.h"
+#include "core/database.h"
+#include "fd/fd.h"
+
+namespace taujoin {
+
+struct DecomposedOptions {
+  /// Attributes in the universal relation (named A, B, C, ... in a chain
+  /// of FDs A→B, B→C, ...). 2 ≤ count ≤ 20.
+  int attribute_count = 5;
+  /// Rows of the universal relation before projection.
+  int universal_rows = 20;
+  /// Key values draw from [0, key_domain).
+  int key_domain = 30;
+  /// Each FD's function maps into [0, dependent_domain): smaller values
+  /// create fan-in (many keys sharing a dependent value).
+  int dependent_domain = 6;
+};
+
+/// A database obtained the way §4 envisions: take a universal relation
+/// that satisfies a chain of FDs (each attribute functionally determines
+/// the next), BCNF-decompose its scheme — lossless by construction — and
+/// project the data onto the fragments. The projections are globally
+/// consistent and every connected join is lossless, so the database
+/// satisfies C2 and the join of all fragments reproduces the universal
+/// relation exactly.
+struct DecomposedDatabase {
+  Database database;
+  FdSet fds;
+  Relation universal;
+};
+
+DecomposedDatabase MakeDecomposedDatabase(const DecomposedOptions& options,
+                                          Rng& rng);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_WORKLOAD_DECOMPOSED_H_

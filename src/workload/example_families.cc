@@ -1,0 +1,53 @@
+#include "workload/example_families.h"
+
+#include "common/logging.h"
+
+namespace taujoin {
+
+Database Example1Family(int k) {
+  TAUJOIN_CHECK_GE(k, 1);
+  DatabaseScheme scheme = DatabaseScheme::Parse({"AB", "BC", "DE", "FG"});
+  Relation r1 = Relation::FromRowsOrDie(
+      {"A", "B"}, {{"p", 0}, {"q", 0}, {"r", 0}, {"s", 1}});
+  Relation r2 = Relation::FromRowsOrDie(
+      {"B", "C"}, {{0, "w"}, {0, "x"}, {0, "y"}, {1, "z"}});
+  std::vector<std::vector<Value>> rows;
+  for (int i = 1; i <= k; ++i) rows.push_back({i, i});
+  Relation r3 = Relation::FromRowsOrDie({"D", "E"}, rows);
+  Relation r4 = Relation::FromRowsOrDie({"F", "G"}, rows);
+  return Database::CreateOrDie(scheme, {r1, r2, r3, r4},
+                               {"R1", "R2", "R3", "R4"});
+}
+
+Database Example5Family(int s) {
+  TAUJOIN_CHECK_GE(s, 0);
+  DatabaseScheme scheme = DatabaseScheme::Parse({"MS", "SC", "CI", "ID"});
+  std::vector<std::vector<Value>> ms_rows = {{"Math", "Mokhtar"},
+                                             {"Phy", "Katina"}};
+  std::vector<std::vector<Value>> sc_rows = {{"Mokhtar", "Phy311"},
+                                             {"Mokhtar", "Math5"},
+                                             {"Sundram", "Phy411"},
+                                             {"Sundram", "Hist103"}};
+  for (int i = 1; i <= s; ++i) {
+    std::string student = "Lin" + std::to_string(i);
+    ms_rows.push_back({"Phy", student});
+    sc_rows.push_back({student, "Math200"});
+  }
+  Relation ms = Relation::FromRowsOrDie({"M", "S"}, ms_rows);
+  Relation sc = Relation::FromRowsOrDie({"S", "C"}, sc_rows);
+  Relation ci = Relation::FromRowsOrDie({"C", "I"},
+                                        {{"Phy311", "Newton"},
+                                         {"Math200", "Newton"},
+                                         {"Math5", "Lorentz"},
+                                         {"Math200", "Lorentz"},
+                                         {"Phy411", "Einstein"},
+                                         {"Math200", "Einstein"}});
+  Relation id = Relation::FromRowsOrDie({"I", "D"},
+                                        {{"Newton", "Phy"},
+                                         {"Lorentz", "Math"},
+                                         {"Turing", "Math"}});
+  return Database::CreateOrDie(scheme, {ms, sc, ci, id},
+                               {"MS", "SC", "CI", "ID"});
+}
+
+}  // namespace taujoin

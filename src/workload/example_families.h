@@ -1,0 +1,34 @@
+#ifndef TAUJOIN_WORKLOAD_EXAMPLE_FAMILIES_H_
+#define TAUJOIN_WORKLOAD_EXAMPLE_FAMILIES_H_
+
+#include "core/database.h"
+
+namespace taujoin {
+
+/// Parametric families around the paper's examples, exposing the
+/// crossovers its hand-picked instances sit on.
+
+/// Example 1 generalized: D = {AB, BC, DE, FG} with the published R1, R2
+/// (τ(R1 ⋈ R2) = 10) and τ(R3) = τ(R4) = k ≥ 1. Closed forms:
+///   τ(S3) = τ((R1⋈R2)⋈(R3×R4)) = 10 + k² + 10k²   (best CP-avoider),
+///   τ(S4) = τ((R1×R3)⋈(R2×R4)) = 4k + 4k + 10k²   (the CP plan),
+/// so S4 beats S3 iff k² − 8k + 10 > 0, i.e. k ≤ 1 or k ≥ 7. The paper
+/// picks k = 7 — the smallest integer past the upper crossover.
+Database Example1Family(int k);
+
+/// Example 5 generalized by the number `s ≥ 0` of physics majors enrolled
+/// (only) in Math200 (the paper's "Lin", replicated). With the fixed
+/// Mokhtar/Sundram enrollments and the published CI and ID:
+///   τ(MS ⋈ SC) = 2 + s,            τ(CI ⋈ ID) = 4,
+///   final result = 2 + 2s,
+///   bushy (MS⋈SC)⋈(CI⋈ID)         = 8 + 3s,
+///   linear via ((CI⋈ID)⋈SC)⋈MS    = 8 + 4s,
+///   linear via ((MS⋈SC)⋈CI)⋈ID    = 6 + 6s.
+/// Crossover at s = 1: for s = 0 a linear plan is optimal; for every
+/// s ≥ 1 the unique optimum is the bushy plan and the best-linear gap
+/// grows linearly in s (the paper's instance is s = 1).
+Database Example5Family(int s);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_WORKLOAD_EXAMPLE_FAMILIES_H_

@@ -1,0 +1,62 @@
+#include "workload/generator.h"
+
+#include <map>
+
+#include "common/logging.h"
+
+namespace taujoin {
+
+namespace {
+
+/// How many schemes mention each attribute (join vs private detection).
+std::map<std::string, int> AttributeOccurrences(const DatabaseScheme& scheme) {
+  std::map<std::string, int> occurrences;
+  for (int i = 0; i < scheme.size(); ++i) {
+    for (const std::string& a : scheme.scheme(i)) ++occurrences[a];
+  }
+  return occurrences;
+}
+
+}  // namespace
+
+Database RandomDatabaseOverScheme(const DatabaseScheme& scheme,
+                                  const GeneratorOptions& options, Rng& rng) {
+  TAUJOIN_CHECK_GT(options.rows_per_relation, 0);
+  TAUJOIN_CHECK_GT(options.join_domain, 0);
+  std::map<std::string, int> occurrences = AttributeOccurrences(scheme);
+  std::vector<Relation> states;
+  for (int i = 0; i < scheme.size(); ++i) {
+    const Schema& rs = scheme.scheme(i);
+    Relation state(rs);
+    int attempts = 0;
+    while (static_cast<int>(state.size()) < options.rows_per_relation) {
+      std::vector<Value> values;
+      values.reserve(rs.size());
+      for (const std::string& a : rs) {
+        bool is_join = occurrences[a] > 1;
+        int64_t v;
+        if (is_join) {
+          v = static_cast<int64_t>(rng.Zipf(
+              static_cast<uint64_t>(options.join_domain), options.join_skew));
+        } else {
+          v = rng.UniformInt(0, options.private_domain - 1);
+        }
+        values.push_back(Value(v));
+      }
+      state.Insert(Tuple(std::move(values)));
+      // Small domains can make the requested cardinality unreachable
+      // (duplicates); give up after a generous number of attempts.
+      if (++attempts > options.rows_per_relation * 50) break;
+    }
+    states.push_back(std::move(state));
+  }
+  return Database::CreateOrDie(scheme, std::move(states));
+}
+
+Database RandomDatabase(const GeneratorOptions& options, Rng& rng) {
+  DatabaseScheme scheme =
+      MakeShapedScheme(options.shape, options.relation_count);
+  return RandomDatabaseOverScheme(scheme, options, rng);
+}
+
+}  // namespace taujoin

@@ -1,0 +1,38 @@
+#ifndef TAUJOIN_WORKLOAD_GENERATOR_H_
+#define TAUJOIN_WORKLOAD_GENERATOR_H_
+
+#include "common/rng.h"
+#include "core/database.h"
+#include "scheme/query_graph.h"
+
+namespace taujoin {
+
+/// Options for random database generation over a shaped scheme.
+struct GeneratorOptions {
+  QueryShape shape = QueryShape::kChain;
+  int relation_count = 4;
+  /// Tuples per relation (exact; duplicates are retried).
+  int rows_per_relation = 8;
+  /// Join attributes draw values from [0, join_domain).
+  int join_domain = 4;
+  /// Private attributes draw from [0, private_domain); a large domain makes
+  /// the private column a near-key.
+  int private_domain = 1'000'000;
+  /// Zipf exponent for join-attribute values (0 = uniform). Skew creates
+  /// the correlated data under which the independence assumption fails.
+  double join_skew = 0.0;
+};
+
+/// A random database over MakeShapedScheme(shape, relation_count):
+/// deterministic in (options, rng seed).
+Database RandomDatabase(const GeneratorOptions& options, Rng& rng);
+
+/// A random database over an arbitrary caller-supplied scheme; every
+/// attribute draws from [0, join_domain) with the configured skew
+/// (private_domain applies to attributes appearing in only one scheme).
+Database RandomDatabaseOverScheme(const DatabaseScheme& scheme,
+                                  const GeneratorOptions& options, Rng& rng);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_WORKLOAD_GENERATOR_H_

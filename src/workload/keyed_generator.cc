@@ -1,0 +1,59 @@
+#include "workload/keyed_generator.h"
+
+#include <map>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace taujoin {
+
+Database KeyedDatabase(const KeyedGeneratorOptions& options, Rng& rng) {
+  TAUJOIN_CHECK(options.shape == QueryShape::kChain ||
+                options.shape == QueryShape::kStar)
+      << "keyed generator supports tree shapes only";
+  TAUJOIN_CHECK_GE(options.join_domain, options.rows_per_relation);
+  DatabaseScheme scheme =
+      MakeShapedScheme(options.shape, options.relation_count);
+
+  // Which attributes are join attributes (appear in 2 schemes).
+  std::map<std::string, int> occurrences;
+  for (int i = 0; i < scheme.size(); ++i) {
+    for (const std::string& a : scheme.scheme(i)) ++occurrences[a];
+  }
+
+  std::vector<Relation> states;
+  for (int i = 0; i < scheme.size(); ++i) {
+    const Schema& rs = scheme.scheme(i);
+    // For each join attribute of this relation, an injective sample of
+    // row-count values from the domain; private attributes are row ids.
+    std::map<std::string, std::vector<int64_t>> columns;
+    for (const std::string& a : rs) {
+      std::vector<int64_t> column(static_cast<size_t>(options.rows_per_relation));
+      if (occurrences[a] > 1) {
+        std::vector<int64_t> domain(static_cast<size_t>(options.join_domain));
+        std::iota(domain.begin(), domain.end(), 0);
+        rng.Shuffle(domain);
+        for (int r = 0; r < options.rows_per_relation; ++r) {
+          column[static_cast<size_t>(r)] = domain[static_cast<size_t>(r)];
+        }
+      } else {
+        std::iota(column.begin(), column.end(), 0);
+      }
+      columns[a] = std::move(column);
+    }
+    Relation state(rs);
+    for (int r = 0; r < options.rows_per_relation; ++r) {
+      std::vector<Value> values;
+      values.reserve(rs.size());
+      for (const std::string& a : rs) {
+        values.push_back(Value(columns[a][static_cast<size_t>(r)]));
+      }
+      state.Insert(Tuple(std::move(values)));
+    }
+    TAUJOIN_CHECK_EQ(static_cast<int>(state.size()), options.rows_per_relation);
+    states.push_back(std::move(state));
+  }
+  return Database::CreateOrDie(scheme, std::move(states));
+}
+
+}  // namespace taujoin

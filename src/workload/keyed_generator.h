@@ -1,0 +1,30 @@
+#ifndef TAUJOIN_WORKLOAD_KEYED_GENERATOR_H_
+#define TAUJOIN_WORKLOAD_KEYED_GENERATOR_H_
+
+#include "common/rng.h"
+#include "core/database.h"
+#include "scheme/query_graph.h"
+
+namespace taujoin {
+
+struct KeyedGeneratorOptions {
+  /// Only tree shapes (kChain, kStar) keep the superkey argument airtight.
+  QueryShape shape = QueryShape::kChain;
+  int relation_count = 4;
+  int rows_per_relation = 8;
+  /// Join-attribute values are sampled injectively from [0, join_domain);
+  /// must be >= rows_per_relation. A domain strictly larger than the row
+  /// count makes some values dangle, so joins genuinely shrink.
+  int join_domain = 12;
+};
+
+/// A database in which **all joins are on superkeys** — §4's sufficient
+/// condition for C3 (and hence C1 and C2, by Lemma 5): whenever two
+/// relation schemes intersect, the shared attributes are a superkey of
+/// both relations. Construction: every relation's values are injective in
+/// each of its join attributes (each join column is a key).
+Database KeyedDatabase(const KeyedGeneratorOptions& options, Rng& rng);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_WORKLOAD_KEYED_GENERATOR_H_

@@ -1,0 +1,62 @@
+#include "workload/mini_tpch.h"
+
+#include "common/logging.h"
+
+namespace taujoin {
+
+MiniTpch MakeMiniTpch(const MiniTpchOptions& options, Rng& rng) {
+  TAUJOIN_CHECK_GT(options.customers, 0);
+  TAUJOIN_CHECK_GT(options.orders, 0);
+  TAUJOIN_CHECK_GT(options.parts, 0);
+  TAUJOIN_CHECK_GT(options.suppliers, 0);
+
+  DatabaseScheme scheme({Schema{"C", "N"}, Schema{"C", "D", "O"},
+                         Schema{"O", "P", "Q", "S"}, Schema{"P", "T"},
+                         Schema{"M", "S"}});
+
+  // Tuples are inserted in schema (sorted-attribute) order directly.
+  Relation customer{scheme.scheme(0)};  // {C, N}
+  for (int c = 0; c < options.customers; ++c) {
+    customer.Insert(Tuple{c, static_cast<int>(rng.Uniform(4))});
+  }
+  Relation orders{scheme.scheme(1)};
+  for (int o = 0; o < options.orders; ++o) {
+    int c = static_cast<int>(
+        rng.Zipf(static_cast<uint64_t>(options.customers), options.skew));
+    // Schema order {C, D, O}.
+    orders.Insert(Tuple{c, static_cast<int>(rng.Uniform(6)), o});
+  }
+  Relation lineitem{scheme.scheme(2)};
+  for (int l = 0; l < options.lineitems; ++l) {
+    int o = static_cast<int>(
+        rng.Zipf(static_cast<uint64_t>(options.orders), options.skew));
+    int p = static_cast<int>(
+        rng.Zipf(static_cast<uint64_t>(options.parts), options.skew));
+    int s = static_cast<int>(
+        rng.Zipf(static_cast<uint64_t>(options.suppliers), options.skew));
+    // Schema order {O, P, Q, S}.
+    lineitem.Insert(Tuple{o, p, static_cast<int>(rng.Uniform(50)), s});
+  }
+  Relation part{scheme.scheme(3)};
+  for (int p = 0; p < options.parts; ++p) {
+    part.Insert(Tuple{p, static_cast<int>(rng.Uniform(5))});
+  }
+  Relation supplier{scheme.scheme(4)};
+  for (int s = 0; s < options.suppliers; ++s) {
+    // Schema order {M, S}.
+    supplier.Insert(Tuple{static_cast<int>(rng.Uniform(4)), s});
+  }
+
+  MiniTpch result{
+      Database::CreateOrDie(
+          scheme, {customer, orders, lineitem, part, supplier},
+          {"Customer", "Orders", "Lineitem", "Part", "Supplier"}),
+      FdSet{}};
+  result.fds.Add(FunctionalDependency{Schema{"C"}, Schema{"N"}});
+  result.fds.Add(FunctionalDependency{Schema{"O"}, Schema{"C", "D"}});
+  result.fds.Add(FunctionalDependency{Schema{"P"}, Schema{"T"}});
+  result.fds.Add(FunctionalDependency{Schema{"S"}, Schema{"M"}});
+  return result;
+}
+
+}  // namespace taujoin

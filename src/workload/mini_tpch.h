@@ -1,0 +1,40 @@
+#ifndef TAUJOIN_WORKLOAD_MINI_TPCH_H_
+#define TAUJOIN_WORKLOAD_MINI_TPCH_H_
+
+#include "common/rng.h"
+#include "core/database.h"
+#include "fd/fd.h"
+
+namespace taujoin {
+
+/// A miniature order-processing schema in the TPC-H spirit, scaled down to
+/// the exact-τ envelope of this library:
+///   Customer(C, N)       — customer key, nation
+///   Orders(O, C, D)      — order key, customer FK, date bucket
+///   Lineitem(O, P, S, Q) — order FK, part FK, supplier FK, quantity
+///   Part(P, T)           — part key, type
+///   Supplier(S, M)       — supplier key, nation
+/// The query graph is a tree centered on Lineitem (plus the
+/// Orders–Customer edge), hence α-acyclic; all FKs reference keys, so the
+/// FDs {C→N, O→CD, P→T, S→M} make every connected join lossless (C2).
+struct MiniTpch {
+  Database database;
+  FdSet fds;
+};
+
+struct MiniTpchOptions {
+  int customers = 6;
+  int orders = 12;
+  int lineitems = 24;
+  int parts = 8;
+  int suppliers = 5;
+  /// Zipf exponent for FK choices; skew concentrates lineitems on few
+  /// orders/parts, the regime where plan choice matters most.
+  double skew = 0.8;
+};
+
+MiniTpch MakeMiniTpch(const MiniTpchOptions& options, Rng& rng);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_WORKLOAD_MINI_TPCH_H_

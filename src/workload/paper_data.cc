@@ -1,0 +1,111 @@
+#include "workload/paper_data.h"
+
+namespace taujoin {
+
+Database Example1Database() {
+  DatabaseScheme scheme = DatabaseScheme::Parse({"AB", "BC", "DE", "FG"});
+  Relation r1 = Relation::FromRowsOrDie(
+      {"A", "B"}, {{"p", 0}, {"q", 0}, {"r", 0}, {"s", 1}});
+  Relation r2 = Relation::FromRowsOrDie(
+      {"B", "C"}, {{0, "w"}, {0, "x"}, {0, "y"}, {1, "z"}});
+  std::vector<std::vector<Value>> seven;
+  for (int i = 1; i <= 7; ++i) seven.push_back({i, i});
+  Relation r3 = Relation::FromRowsOrDie({"D", "E"}, seven);
+  Relation r4 = Relation::FromRowsOrDie({"F", "G"}, seven);
+  return Database::CreateOrDie(scheme, {r1, r2, r3, r4},
+                               {"R1", "R2", "R3", "R4"});
+}
+
+Database Example2Database() {
+  DatabaseScheme scheme = DatabaseScheme::Parse({"AB", "BC", "DE"});
+  Relation r1 = Relation::FromRowsOrDie({"A", "B"},
+                                        {{1, "x"},
+                                         {2, "y"},
+                                         {3, "y"},
+                                         {4, "y"},
+                                         {5, "y"},
+                                         {6, "y"},
+                                         {7, "y"},
+                                         {8, "y"}});
+  Relation r2 = Relation::FromRowsOrDie(
+      {"B", "C"}, {{"y", 0}, {"u", 0}, {"v", 0}});
+  Relation r3 = Relation::FromRowsOrDie({"D", "E"}, {{1, 1}, {2, 2}});
+  return Database::CreateOrDie(scheme, {r1, r2, r3}, {"R1'", "R2'", "R3'"});
+}
+
+Database Example3Database() {
+  // Attributes: G(ame), S(tudent), C(ourse), L(aboratory).
+  DatabaseScheme scheme = DatabaseScheme::Parse({"GS", "SC", "CL"});
+  Relation gs = Relation::FromRowsOrDie(
+      {"G", "S"}, {{"Hockey", "Mokhtar"}, {"Tennis", "Lin"}});
+  // Reconstructed so that τ(GS⋈SC) = τ(SC⋈CL) = τ(GS×CL) = 4:
+  // the two athletes take two courses each, and the two lab courses have
+  // four enrollments total.
+  Relation sc = Relation::FromRowsOrDie({"S", "C"},
+                                        {{"Mokhtar", "Phy101"},
+                                         {"Mokhtar", "Lang22"},
+                                         {"Lin", "Lit101"},
+                                         {"Lin", "Hist103"},
+                                         {"Katina", "Lang22"},
+                                         {"Katina", "Psch123"},
+                                         {"Sundram", "Phy101"}});
+  Relation cl = Relation::FromRowsOrDie(
+      {"C", "L"}, {{"Phy101", "Fermi"}, {"Lang22", "Chomsky"}});
+  return Database::CreateOrDie(scheme, {gs, sc, cl}, {"GS", "SC", "CL"});
+}
+
+Database Example4Database() {
+  DatabaseScheme scheme = DatabaseScheme::Parse({"GS", "SC", "CL"});
+  Relation gs = Relation::FromRowsOrDie({"G", "S"},
+                                        {{"Hockey", "Mokhtar"},
+                                         {"Tennis", "Mokhtar"},
+                                         {"Tennis", "Lin"}});
+  Relation sc = Relation::FromRowsOrDie({"S", "C"},
+                                        {{"Mokhtar", "Lang22"},
+                                         {"Mokhtar", "Lit104"},
+                                         {"Mokhtar", "Phy101"},
+                                         {"Lin", "Phy101"},
+                                         {"Lin", "Hist103"},
+                                         {"Lin", "Psch123"},
+                                         {"Katina", "Lang22"},
+                                         {"Katina", "Lit104"},
+                                         {"Katina", "Phy101"},
+                                         {"Sundram", "Phy101"},
+                                         {"Sundram", "Lang22"},
+                                         {"Sundram", "Hist103"}});
+  Relation cl = Relation::FromRowsOrDie(
+      {"C", "L"}, {{"Phy101", "Fermi"}, {"Lang22", "Chomsky"}});
+  return Database::CreateOrDie(scheme, {gs, sc, cl}, {"GS", "SC", "CL"});
+}
+
+Database Example5Database() {
+  // Attributes: M(ajor), S(tudent), C(ourse), I(nstructor), D(epartment).
+  DatabaseScheme scheme = DatabaseScheme::Parse({"MS", "SC", "CI", "ID"});
+  Relation ms = Relation::FromRowsOrDie({"M", "S"},
+                                        {{"Math", "Mokhtar"},
+                                         {"Phy", "Lin"},
+                                         {"Phy", "Katina"}});
+  // Reconstructed (see header): five enrollments with students
+  // Mokhtar x2, Lin x1, Sundram x2.
+  Relation sc = Relation::FromRowsOrDie({"S", "C"},
+                                        {{"Mokhtar", "Phy311"},
+                                         {"Mokhtar", "Math5"},
+                                         {"Lin", "Math200"},
+                                         {"Sundram", "Phy411"},
+                                         {"Sundram", "Hist103"}});
+  Relation ci = Relation::FromRowsOrDie({"C", "I"},
+                                        {{"Phy311", "Newton"},
+                                         {"Math200", "Newton"},
+                                         {"Math5", "Lorentz"},
+                                         {"Math200", "Lorentz"},
+                                         {"Phy411", "Einstein"},
+                                         {"Math200", "Einstein"}});
+  Relation id = Relation::FromRowsOrDie({"I", "D"},
+                                        {{"Newton", "Phy"},
+                                         {"Lorentz", "Math"},
+                                         {"Turing", "Math"}});
+  return Database::CreateOrDie(scheme, {ms, sc, ci, id},
+                               {"MS", "SC", "CI", "ID"});
+}
+
+}  // namespace taujoin

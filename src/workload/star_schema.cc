@@ -1,0 +1,76 @@
+#include "workload/star_schema.h"
+
+#include "common/logging.h"
+#include "scheme/query_graph.h"
+#include "semijoin/full_reducer.h"
+#include "workload/generator.h"
+
+namespace taujoin {
+
+StarSchemaDatabase MakeStarSchema(const StarSchemaOptions& options, Rng& rng) {
+  TAUJOIN_CHECK_GE(options.dimension_count, 1);
+  TAUJOIN_CHECK_GE(options.dimension_domain, options.dimension_rows);
+  const int d = options.dimension_count;
+
+  // Schemes: fact {K1..Kd, P0}; dimension i {Ki, Pi}.
+  std::vector<std::string> fact_attrs = {"P0"};
+  for (int i = 1; i <= d; ++i) fact_attrs.push_back("K" + std::to_string(i));
+  std::vector<Schema> schemes;
+  schemes.push_back(Schema(fact_attrs));
+  for (int i = 1; i <= d; ++i) {
+    schemes.push_back(Schema{"K" + std::to_string(i), "P" + std::to_string(i)});
+  }
+  DatabaseScheme scheme(std::move(schemes));
+
+  // Fact rows: unique row id P0, random foreign keys (possibly dangling).
+  Relation fact(scheme.scheme(0));
+  for (int r = 0; r < options.fact_rows; ++r) {
+    std::vector<std::string> order = {"P0"};
+    std::vector<Value> row = {Value(r)};
+    for (int i = 1; i <= d; ++i) {
+      order.push_back("K" + std::to_string(i));
+      row.push_back(Value(rng.UniformInt(0, options.dimension_domain - 1)));
+    }
+    // Insert in schema order.
+    Relation tmp = Relation::FromRowsOrDie(order, {row});
+    for (const Tuple& t : tmp) fact.Insert(t);
+  }
+
+  std::vector<Relation> states = {std::move(fact)};
+  std::vector<std::string> names = {"Fact"};
+  FdSet fds;
+  for (int i = 1; i <= d; ++i) {
+    std::string k = "K" + std::to_string(i);
+    std::string p = "P" + std::to_string(i);
+    Relation dim(scheme.scheme(i));
+    // Unique key values 0..dimension_rows-1 (an injective shuffle of the
+    // low part of the domain keeps it deterministic and keyed).
+    for (int r = 0; r < options.dimension_rows; ++r) {
+      Relation tmp = Relation::FromRowsOrDie(
+          {k, p}, {{Value(r), Value(static_cast<int>(rng.Uniform(1000)))}});
+      for (const Tuple& t : tmp) dim.Insert(t);
+    }
+    states.push_back(std::move(dim));
+    names.push_back("Dim" + std::to_string(i));
+    fds.Add(FunctionalDependency{Schema{k}, Schema{p}});
+  }
+  return StarSchemaDatabase{
+      Database::CreateOrDie(std::move(scheme), std::move(states),
+                            std::move(names)),
+      std::move(fds)};
+}
+
+Database ConsistentTreeDatabase(int relation_count, int rows_per_relation,
+                                int join_domain, Rng& rng) {
+  GeneratorOptions options;
+  options.shape = QueryShape::kChain;
+  options.relation_count = relation_count;
+  options.rows_per_relation = rows_per_relation;
+  options.join_domain = join_domain;
+  Database db = RandomDatabase(options, rng);
+  StatusOr<Database> reduced = FullReduce(db);
+  TAUJOIN_CHECK(reduced.ok()) << reduced.status().ToString();
+  return std::move(reduced).value();
+}
+
+}  // namespace taujoin

@@ -1,0 +1,42 @@
+#ifndef TAUJOIN_WORKLOAD_STAR_SCHEMA_H_
+#define TAUJOIN_WORKLOAD_STAR_SCHEMA_H_
+
+#include "common/rng.h"
+#include "core/database.h"
+#include "fd/fd.h"
+
+namespace taujoin {
+
+struct StarSchemaOptions {
+  int dimension_count = 3;
+  int fact_rows = 16;
+  int dimension_rows = 8;
+  /// Foreign keys draw from [0, dimension_domain); values >= dimension_rows
+  /// dangle, so fact rows can be filtered by the join.
+  int dimension_domain = 10;
+};
+
+/// A fact/dimension (star-schema) database plus its functional
+/// dependencies: the fact table F = {K1..Kd, P0} references dimensions
+/// Di = {Ki, Pi} whose Ki values are unique (Ki → Pi). Every connected
+/// subset joins losslessly under these FDs, which is §4's sufficient
+/// condition for C2 — but NOT for C3 (fact-to-dimension joins are on a key
+/// of one side only), so these databases separate Theorems 2 and 3.
+struct StarSchemaDatabase {
+  Database database;
+  FdSet fds;
+};
+
+StarSchemaDatabase MakeStarSchema(const StarSchemaOptions& options, Rng& rng);
+
+/// A database paired with its (γ-acyclic, tree-shaped) scheme reduced to
+/// pairwise consistency — §5's sufficient condition for C4. Built by
+/// generating a random tree-shaped database and fully reducing it along a
+/// join tree (which for acyclic schemes gives global consistency, hence
+/// pairwise consistency).
+Database ConsistentTreeDatabase(int relation_count, int rows_per_relation,
+                                int join_domain, Rng& rng);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_WORKLOAD_STAR_SCHEMA_H_

@@ -1,0 +1,107 @@
+#include "core/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cost.h"
+#include "workload/paper_data.h"
+
+namespace taujoin {
+namespace {
+
+TEST(BuilderTest, BuildsNamedRelations) {
+  Database db = DatabaseBuilder()
+                    .Relation("GS", "G,S")
+                    .Row({"Hockey", "Mokhtar"})
+                    .Row({"Tennis", "Lin"})
+                    .Relation("SC", "S,C")
+                    .Row({"Mokhtar", "Phy101"})
+                    .Build();
+  EXPECT_EQ(db.size(), 2);
+  EXPECT_EQ(db.IndexOfName("GS"), 0);
+  EXPECT_EQ(db.IndexOfName("SC"), 1);
+  EXPECT_EQ(db.state(0).Tau(), 2u);
+  EXPECT_EQ(db.state(1).Tau(), 1u);
+}
+
+TEST(BuilderTest, SingleCharAttributeSyntax) {
+  Database db = DatabaseBuilder()
+                    .Relation("R", "AB")
+                    .Row({1, 2})
+                    .Build();
+  EXPECT_EQ(db.scheme().scheme(0), Schema::Parse("AB"));
+}
+
+TEST(BuilderTest, ColumnsMapToDeclaredOrder) {
+  // Declared as (B, A): the first row value is B.
+  Database db = DatabaseBuilder()
+                    .Relation("R", "B,A")
+                    .Row({10, 1})
+                    .Build();
+  // Schema order is (A, B); A = 1, B = 10.
+  EXPECT_TRUE(db.state(0).Contains(Tuple{1, 10}));
+}
+
+TEST(BuilderTest, EquivalentToHandBuiltExample) {
+  Database built = DatabaseBuilder()
+                       .Relation("GS", "G,S")
+                       .Row({"Hockey", "Mokhtar"})
+                       .Row({"Tennis", "Mokhtar"})
+                       .Row({"Tennis", "Lin"})
+                       .Relation("SC", "S,C")
+                       .Row({"Mokhtar", "Lang22"})
+                       .Row({"Mokhtar", "Lit104"})
+                       .Row({"Mokhtar", "Phy101"})
+                       .Row({"Lin", "Phy101"})
+                       .Row({"Lin", "Hist103"})
+                       .Row({"Lin", "Psch123"})
+                       .Row({"Katina", "Lang22"})
+                       .Row({"Katina", "Lit104"})
+                       .Row({"Katina", "Phy101"})
+                       .Row({"Sundram", "Phy101"})
+                       .Row({"Sundram", "Lang22"})
+                       .Row({"Sundram", "Hist103"})
+                       .Relation("CL", "C,L")
+                       .Row({"Phy101", "Fermi"})
+                       .Row({"Lang22", "Chomsky"})
+                       .Build();
+  Database reference = Example4Database();
+  for (int i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(built.state(i), reference.state(i));
+  }
+}
+
+TEST(BuilderTest, EmptyBuilderErrors) {
+  EXPECT_FALSE(DatabaseBuilder().BuildOrError().ok());
+}
+
+TEST(BuilderTest, DuplicateNamesError) {
+  DatabaseBuilder b;
+  b.Relation("R", "AB").Row({1, 2});
+  b.Relation("R", "BC").Row({2, 3});
+  EXPECT_FALSE(b.BuildOrError().ok());
+}
+
+TEST(BuilderTest, ArityMismatchDies) {
+  DatabaseBuilder b;
+  b.Relation("R", "AB");
+  EXPECT_DEATH(b.Row({1}), "arity");
+}
+
+TEST(BuilderTest, RowBeforeRelationDies) {
+  DatabaseBuilder b;
+  EXPECT_DEATH(b.Row({1}), "before any Relation");
+}
+
+TEST(BuilderTest, EmptyRelationAllowed) {
+  Database db = DatabaseBuilder()
+                    .Relation("R", "AB")
+                    .Row({1, 2})
+                    .Relation("Empty", "BC")
+                    .Build();
+  EXPECT_TRUE(db.state(1).empty());
+  JoinCache cache(&db);
+  EXPECT_EQ(cache.Tau(db.scheme().full_mask()), 0u);
+}
+
+}  // namespace
+}  // namespace taujoin

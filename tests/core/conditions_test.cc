@@ -1,0 +1,145 @@
+#include "core/conditions.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "workload/generator.h"
+#include "workload/keyed_generator.h"
+#include "workload/paper_data.h"
+
+namespace taujoin {
+namespace {
+
+TEST(ConditionsTest, Example1SatisfiesC1NotC2) {
+  Database db = Example1Database();
+  JoinCache cache(&db);
+  EXPECT_TRUE(CheckC1(cache).satisfied);
+  // The paper: τ(R1⋈R2) = 10 exceeds both τ(R1) = τ(R2) = 4, so C2 fails.
+  ConditionReport c2 = CheckC2(cache);
+  EXPECT_FALSE(c2.satisfied);
+  ASSERT_TRUE(c2.witness.has_value());
+  EXPECT_EQ(c2.witness->lhs, 10u);
+}
+
+TEST(ConditionsTest, Example2SatisfiesC2NotC1) {
+  Database db = Example2Database();
+  JoinCache cache(&db);
+  EXPECT_TRUE(CheckC2(cache).satisfied);
+  ConditionReport c1 = CheckC1(cache);
+  EXPECT_FALSE(c1.satisfied);
+  // The paper's witness: τ(R'2 ⋈ R'1) = 7 > 6 = τ(R'2 ⋈ R'3).
+  ASSERT_TRUE(c1.witness.has_value());
+  EXPECT_EQ(c1.witness->lhs, 7u);
+  EXPECT_EQ(c1.witness->rhs, 6u);
+}
+
+TEST(ConditionsTest, Example3SatisfiesC1NotC1Strict) {
+  Database db = Example3Database();
+  JoinCache cache(&db);
+  EXPECT_TRUE(CheckC1(cache).satisfied);
+  EXPECT_FALSE(CheckC1Strict(cache).satisfied);
+}
+
+TEST(ConditionsTest, Example4SatisfiesC2NotC1) {
+  Database db = Example4Database();
+  JoinCache cache(&db);
+  EXPECT_TRUE(CheckC2(cache).satisfied);
+  EXPECT_FALSE(CheckC1(cache).satisfied);
+}
+
+TEST(ConditionsTest, Example5SatisfiesC1AndC2NotC3) {
+  Database db = Example5Database();
+  JoinCache cache(&db);
+  EXPECT_TRUE(CheckC1(cache).satisfied);
+  EXPECT_TRUE(CheckC2(cache).satisfied);
+  ConditionReport c3 = CheckC3(cache);
+  EXPECT_FALSE(c3.satisfied);
+  // The paper's witness family: τ(CI ⋈ ID) = 4 > 3 = τ(ID).
+  EXPECT_EQ(cache.Tau(0b1100), 4u);
+  EXPECT_EQ(cache.Tau(0b1000), 3u);
+}
+
+TEST(ConditionsTest, C1StrictImpliesC1) {
+  // On any database where C1' holds, C1 must hold (strict implies weak).
+  Rng rng(42);
+  for (int i = 0; i < 10; ++i) {
+    GeneratorOptions options;
+    options.relation_count = 4;
+    options.rows_per_relation = 5;
+    options.join_domain = 3;
+    Database db = RandomDatabase(options, rng);
+    JoinCache cache(&db);
+    if (CheckC1Strict(cache).satisfied) {
+      EXPECT_TRUE(CheckC1(cache).satisfied);
+    }
+  }
+}
+
+TEST(ConditionsTest, C3ImpliesC2) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    KeyedGeneratorOptions options;
+    options.relation_count = 4;
+    options.rows_per_relation = 5;
+    options.join_domain = 8;
+    Database db = KeyedDatabase(options, rng);
+    JoinCache cache(&db);
+    if (CheckC3(cache).satisfied) {
+      EXPECT_TRUE(CheckC2(cache).satisfied);
+    }
+  }
+}
+
+// Lemma 5: C3 ⇒ C1 whenever R_D ≠ φ.
+class Lemma5Property : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lemma5Property, C3ImpliesC1OnKeyedDatabases) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31 + 5);
+  KeyedGeneratorOptions options;
+  options.shape = GetParam() % 2 == 0 ? QueryShape::kChain : QueryShape::kStar;
+  options.relation_count = 4;
+  options.rows_per_relation = 6;
+  options.join_domain = 7;
+  Database db = KeyedDatabase(options, rng);
+  JoinCache cache(&db);
+  if (cache.Tau(db.scheme().full_mask()) == 0) return;  // R_D = φ: exempt
+  if (CheckC3(cache).satisfied) {
+    EXPECT_TRUE(CheckC1(cache).satisfied);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma5Property, ::testing::Range(0, 12));
+
+TEST(ConditionsTest, WitnessRendering) {
+  Database db = Example2Database();
+  JoinCache cache(&db);
+  ConditionReport c1 = CheckC1(cache);
+  ASSERT_TRUE(c1.witness.has_value());
+  std::string text = c1.witness->ToString(db.scheme());
+  EXPECT_NE(text.find("E1="), std::string::npos);
+  EXPECT_NE(text.find("violates"), std::string::npos);
+}
+
+TEST(ConditionsTest, SummaryToString) {
+  Database db = Example1Database();
+  JoinCache cache(&db);
+  std::string summary = CheckAllConditions(cache).ToString();
+  EXPECT_NE(summary.find("C1=yes"), std::string::npos);
+  EXPECT_NE(summary.find("C2=no"), std::string::npos);
+}
+
+TEST(ConditionsTest, SingleRelationSatisfiesEverything) {
+  DatabaseScheme scheme = DatabaseScheme::Parse({"AB"});
+  Relation ab = Relation::FromRowsOrDie({"A", "B"}, {{1, 2}});
+  Database db = Database::CreateOrDie(scheme, {ab});
+  JoinCache cache(&db);
+  ConditionsSummary summary = CheckAllConditions(cache);
+  EXPECT_TRUE(summary.c1.satisfied);
+  EXPECT_TRUE(summary.c1_strict.satisfied);
+  EXPECT_TRUE(summary.c2.satisfied);
+  EXPECT_TRUE(summary.c3.satisfied);
+  EXPECT_TRUE(summary.c4.satisfied);
+}
+
+}  // namespace
+}  // namespace taujoin

@@ -1,0 +1,118 @@
+#include "core/cost.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/strategy_parser.h"
+#include "enumerate/strategy_enumerator.h"
+#include "workload/generator.h"
+#include "workload/paper_data.h"
+
+namespace taujoin {
+namespace {
+
+TEST(JoinCacheTest, SingletonTauMatchesState) {
+  Database db = Example1Database();
+  JoinCache cache(&db);
+  EXPECT_EQ(cache.Tau(SingletonMask(0)), 4u);
+  EXPECT_EQ(cache.Tau(SingletonMask(1)), 4u);
+  EXPECT_EQ(cache.Tau(SingletonMask(2)), 7u);
+  EXPECT_EQ(cache.Tau(SingletonMask(3)), 7u);
+}
+
+TEST(JoinCacheTest, PairTausFromExample1) {
+  Database db = Example1Database();
+  JoinCache cache(&db);
+  EXPECT_EQ(cache.Tau(0b0011), 10u);  // R1 ⋈ R2, the paper's value
+  EXPECT_EQ(cache.Tau(0b0101), 28u);  // R1 × R3 = 4·7
+  EXPECT_EQ(cache.Tau(0b1100), 49u);  // R3 × R4 = 7·7
+  EXPECT_EQ(cache.Tau(0b1111), 490u); // full join = 10·7·7
+}
+
+TEST(JoinCacheTest, UnconnectedTauIsProductOfComponents) {
+  Database db = Example1Database();
+  JoinCache cache(&db);
+  EXPECT_EQ(cache.Tau(0b0111), cache.Tau(0b0011) * cache.Tau(0b0100));
+}
+
+TEST(JoinCacheTest, StateMatchesDirectJoin) {
+  Database db = Example4Database();
+  JoinCache cache(&db);
+  for (RelMask mask = 1; mask <= db.scheme().full_mask(); ++mask) {
+    Relation direct = db.JoinAll(mask);
+    EXPECT_EQ(cache.State(mask), direct) << "mask " << mask;
+    EXPECT_EQ(cache.Tau(mask), direct.Tau());
+  }
+}
+
+TEST(JoinCacheTest, ConnectedStateRejectsUnconnected) {
+  Database db = Example1Database();
+  JoinCache cache(&db);
+  EXPECT_DEATH(cache.ConnectedState(0b0101), "unconnected");
+}
+
+TEST(TauCostTest, PaperExample1StrategyCosts) {
+  Database db = Example1Database();
+  JoinCache cache(&db);
+  EXPECT_EQ(TauCost(ParseStrategyOrDie(db, "(((R1 R2) R3) R4)"), cache), 570u);
+  EXPECT_EQ(TauCost(ParseStrategyOrDie(db, "(((R1 R2) R4) R3)"), cache), 570u);
+  EXPECT_EQ(TauCost(ParseStrategyOrDie(db, "((R1 R2) (R3 R4))"), cache), 549u);
+  EXPECT_EQ(TauCost(ParseStrategyOrDie(db, "((R1 R3) (R2 R4))"), cache), 546u);
+}
+
+TEST(TauCostTest, StepCostsSumToTotal) {
+  Database db = Example1Database();
+  JoinCache cache(&db);
+  Strategy s = ParseStrategyOrDie(db, "((R1 R2) (R3 R4))");
+  std::vector<uint64_t> steps = StepCosts(s, cache);
+  ASSERT_EQ(steps.size(), 3u);
+  uint64_t total = 0;
+  for (uint64_t c : steps) total += c;
+  EXPECT_EQ(total, TauCost(s, cache));
+  EXPECT_EQ(steps.back(), 490u);  // root cost is the final join
+}
+
+TEST(TauCostTest, TrivialStrategyCostsNothing) {
+  Database db = Example1Database();
+  JoinCache cache(&db);
+  EXPECT_EQ(TauCost(Strategy::MakeLeaf(0), cache), 0u);
+}
+
+// Property: every strategy's root state is the full join (strategy
+// independence of the result), and τ(S) ≥ τ(R_D).
+class CostInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(CostInvariants, RootStateIndependentOfStrategy) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  GeneratorOptions options;
+  options.shape = GetParam() % 2 == 0 ? QueryShape::kChain : QueryShape::kCycle;
+  options.relation_count = 4;
+  options.rows_per_relation = 6;
+  options.join_domain = 3;
+  Database db = RandomDatabase(options, rng);
+  JoinCache cache(&db);
+  const uint64_t final_tau = cache.Tau(db.scheme().full_mask());
+  ForEachStrategy(db.scheme(), db.scheme().full_mask(), StrategySpace::kAll,
+                  [&](const Strategy& s) {
+                    EXPECT_TRUE(s.IsValid());
+                    uint64_t cost = TauCost(s, cache);
+                    EXPECT_GE(cost, final_tau);
+                    // Root step always charges the final result.
+                    EXPECT_EQ(cache.Tau(s.mask()), final_tau);
+                    return true;
+                  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CostInvariants, ::testing::Range(0, 8));
+
+TEST(JoinCacheTest, MaterializesOnlyConnectedSubsets) {
+  Database db = Example1Database();
+  JoinCache cache(&db);
+  cache.Tau(db.scheme().full_mask());
+  // Components of the full mask: {R1,R2} (+ singletons), {R3}, {R4};
+  // materialized count stays small despite the unconnected query.
+  EXPECT_LE(cache.materialized_count(), 8u);
+}
+
+}  // namespace
+}  // namespace taujoin

@@ -1,0 +1,75 @@
+#include "core/database.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cost.h"
+#include "workload/paper_data.h"
+
+namespace taujoin {
+namespace {
+
+TEST(DatabaseTest, CreateValidatesStateSchemas) {
+  DatabaseScheme scheme = DatabaseScheme::Parse({"AB", "BC"});
+  Relation ab = Relation::FromRowsOrDie({"A", "B"}, {{1, 2}});
+  Relation wrong = Relation::FromRowsOrDie({"X", "Y"}, {{1, 2}});
+  auto db = Database::Create(scheme, {ab, wrong});
+  EXPECT_FALSE(db.ok());
+  EXPECT_EQ(db.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatabaseTest, CreateValidatesCounts) {
+  DatabaseScheme scheme = DatabaseScheme::Parse({"AB", "BC"});
+  Relation ab = Relation::FromRowsOrDie({"A", "B"}, {{1, 2}});
+  EXPECT_FALSE(Database::Create(scheme, {ab}).ok());
+  Relation bc = Relation::FromRowsOrDie({"B", "C"}, {{2, 3}});
+  EXPECT_FALSE(Database::Create(scheme, {ab, bc}, {"only-one-name"}).ok());
+}
+
+TEST(DatabaseTest, CreateRejectsDuplicateNames) {
+  DatabaseScheme scheme = DatabaseScheme::Parse({"AB", "BC"});
+  Relation ab = Relation::FromRowsOrDie({"A", "B"}, {{1, 2}});
+  Relation bc = Relation::FromRowsOrDie({"B", "C"}, {{2, 3}});
+  EXPECT_FALSE(Database::Create(scheme, {ab, bc}, {"R", "R"}).ok());
+}
+
+TEST(DatabaseTest, DefaultNamesAreIndexed) {
+  DatabaseScheme scheme = DatabaseScheme::Parse({"AB", "BC"});
+  Relation ab = Relation::FromRowsOrDie({"A", "B"}, {{1, 2}});
+  Relation bc = Relation::FromRowsOrDie({"B", "C"}, {{2, 3}});
+  Database db = Database::CreateOrDie(scheme, {ab, bc});
+  EXPECT_EQ(db.name(0), "R0");
+  EXPECT_EQ(db.name(1), "R1");
+  EXPECT_EQ(db.IndexOfName("R1"), 1);
+  EXPECT_EQ(db.IndexOfName("nope"), -1);
+}
+
+TEST(DatabaseTest, JoinAllOnUnconnectedSubsetIsProduct) {
+  Database db = Example1Database();
+  // {R1, R3}: unlinked → a Cartesian product of 4 × 7 = 28 tuples.
+  Relation joined = db.JoinAll(0b0101);
+  EXPECT_EQ(joined.Tau(), 28u);
+  EXPECT_EQ(joined.schema(), Schema::Parse("ABDE"));
+}
+
+TEST(DatabaseTest, JoinAllSingleRelation) {
+  Database db = Example1Database();
+  EXPECT_EQ(db.JoinAll(SingletonMask(2)), db.state(2));
+}
+
+TEST(DatabaseTest, EvaluateMatchesCacheOnUnconnectedScheme) {
+  Database db = Example1Database();
+  JoinCache cache(&db);
+  Relation direct = db.Evaluate();
+  EXPECT_EQ(direct.Tau(), 490u);
+  EXPECT_EQ(cache.State(db.scheme().full_mask()), direct);
+  EXPECT_EQ(cache.Tau(db.scheme().full_mask()), 490u);
+}
+
+TEST(DatabaseTest, JoinAllRejectsBadMasks) {
+  Database db = Example1Database();
+  EXPECT_DEATH(db.JoinAll(0), "");
+  EXPECT_DEATH(db.JoinAll(RelMask{1} << 60), "");
+}
+
+}  // namespace
+}  // namespace taujoin

@@ -1,0 +1,113 @@
+#include "core/linearize.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/conditions.h"
+#include "core/properties.h"
+#include "optimize/exhaustive.h"
+#include "workload/keyed_generator.h"
+#include "workload/paper_data.h"
+
+namespace taujoin {
+namespace {
+
+/// Multiset-of-sets database (identical unary schemes) — satisfies C3 and
+/// has bushy connected optima, the interesting input for linearization.
+Database MakeMultisetDb(uint64_t seed, int relations = 5) {
+  Rng rng(seed);
+  std::vector<Relation> pool;
+  for (int p = 0; p < 2; ++p) {
+    Relation r{Schema{"A"}};
+    for (int v = 0; v < 14; ++v) {
+      if (rng.Bernoulli(0.6)) r.Insert(Tuple{v});
+    }
+    r.Insert(Tuple{99});
+    pool.push_back(std::move(r));
+  }
+  std::vector<Schema> schemes(static_cast<size_t>(relations), Schema{"A"});
+  std::vector<Relation> sets;
+  for (int i = 0; i < relations; ++i) {
+    sets.push_back(pool[static_cast<size_t>(rng.Uniform(2))]);
+  }
+  return Database::CreateOrDie(DatabaseScheme(schemes), sets);
+}
+
+TEST(LinearizeTest, AlreadyLinearInputIsReturnedWithEqualCost) {
+  Database db = MakeMultisetDb(1);
+  JoinCache cache(&db);
+  auto best = OptimizeExhaustive(cache, db.scheme().full_mask(),
+                                 StrategySpace::kLinearNoCartesian);
+  ASSERT_TRUE(best.has_value());
+  StatusOr<Strategy> linear = LinearizeConnected(best->strategy, cache);
+  ASSERT_TRUE(linear.ok());
+  EXPECT_TRUE(IsLinear(*linear));
+  EXPECT_EQ(TauCost(*linear, cache), best->cost);
+}
+
+class LinearizeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LinearizeProperty, EveryConnectedOptimumLinearizesAtEqualCost) {
+  Database db = MakeMultisetDb(static_cast<uint64_t>(GetParam()) * 11 + 3);
+  JoinCache cache(&db);
+  ASSERT_TRUE(CheckC3(cache).satisfied);
+  uint64_t optimum = OptimizeExhaustive(cache, db.scheme().full_mask(),
+                                        StrategySpace::kNoCartesian)
+                         ->cost;
+  int linearized = 0;
+  ForEachStrategy(db.scheme(), db.scheme().full_mask(),
+                  StrategySpace::kNoCartesian, [&](const Strategy& s) {
+                    if (TauCost(s, cache) != optimum) return true;
+                    StatusOr<Strategy> linear = LinearizeConnected(s, cache);
+                    EXPECT_TRUE(linear.ok()) << linear.status().ToString();
+                    if (linear.ok()) {
+                      EXPECT_TRUE(IsLinear(*linear));
+                      EXPECT_FALSE(
+                          UsesCartesianProducts(*linear, db.scheme()));
+                      EXPECT_EQ(TauCost(*linear, cache), optimum);
+                      EXPECT_EQ(linear->mask(), s.mask());
+                      ++linearized;
+                    }
+                    return true;
+                  });
+  EXPECT_GT(linearized, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinearizeProperty, ::testing::Range(0, 10));
+
+TEST(LinearizeTest, KeyedDatabasesLinearizeTheirConnectedOptimum) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(seed * 5 + 2);
+    KeyedGeneratorOptions options;
+    options.shape = seed % 2 == 0 ? QueryShape::kChain : QueryShape::kStar;
+    options.relation_count = 5;
+    options.rows_per_relation = 5;
+    options.join_domain = 8;
+    Database db = KeyedDatabase(options, rng);
+    JoinCache cache(&db);
+    if (!CheckC3(cache).satisfied) continue;
+    auto best = OptimizeExhaustive(cache, db.scheme().full_mask(),
+                                   StrategySpace::kNoCartesian);
+    ASSERT_TRUE(best.has_value());
+    StatusOr<Strategy> linear = LinearizeConnected(best->strategy, cache);
+    ASSERT_TRUE(linear.ok()) << "seed " << seed;
+    EXPECT_TRUE(IsLinear(*linear));
+    EXPECT_EQ(TauCost(*linear, cache), best->cost);
+  }
+}
+
+TEST(LinearizeTest, NonOptimalInputCanFailGracefully) {
+  // Example 5 violates C3 and its optimum is bushy; feeding a non-optimal
+  // bushy strategy may fail — but must fail with a Status, not a crash.
+  Database db = Example5Database();
+  JoinCache cache(&db);
+  // The bushy optimum (MS SC)(CI ID) cannot be linearized at equal cost
+  // (the best linear strategy costs strictly more).
+  auto optimum = OptimizeExhaustive(cache, db.scheme().full_mask(),
+                                    StrategySpace::kNoCartesian);
+  StatusOr<Strategy> linear = LinearizeConnected(optimum->strategy, cache);
+  EXPECT_FALSE(linear.ok());
+}
+
+}  // namespace
+}  // namespace taujoin

@@ -1,0 +1,135 @@
+#include "core/properties.h"
+
+#include <gtest/gtest.h>
+
+#include "core/strategy_parser.h"
+#include "enumerate/strategy_enumerator.h"
+#include "workload/paper_data.h"
+
+namespace taujoin {
+namespace {
+
+TEST(PropertiesTest, LinearDetection) {
+  Database db = Example1Database();
+  EXPECT_TRUE(IsLinear(ParseStrategyOrDie(db, "(((R1 R2) R3) R4)")));
+  EXPECT_TRUE(IsLinear(ParseStrategyOrDie(db, "(R4 ((R1 R2) R3))")));
+  EXPECT_FALSE(IsLinear(ParseStrategyOrDie(db, "((R1 R2) (R3 R4))")));
+  EXPECT_TRUE(IsLinear(Strategy::MakeLeaf(0)));
+}
+
+TEST(PropertiesTest, CartesianStepDetection) {
+  Database db = Example1Database();  // {AB, BC, DE, FG}
+  const DatabaseScheme& scheme = db.scheme();
+  Strategy s = ParseStrategyOrDie(db, "((R1 R2) (R3 R4))");
+  // Steps in post-order: R1⋈R2 (linked), R3×R4 (product), root (product).
+  std::vector<int> steps = s.Steps();
+  EXPECT_FALSE(StepUsesCartesianProduct(s, steps[0], scheme));
+  EXPECT_TRUE(StepUsesCartesianProduct(s, steps[1], scheme));
+  EXPECT_TRUE(StepUsesCartesianProduct(s, steps[2], scheme));
+  EXPECT_EQ(CartesianStepCount(s, scheme), 2);
+  EXPECT_TRUE(UsesCartesianProducts(s, scheme));
+}
+
+TEST(PropertiesTest, PaperExampleEvaluatesComponentsIndividually) {
+  // The paper's example: (ABC ⋈ BE) ⋈ DF evaluates the components of
+  // {ABC, BE, DF} individually; (ABC ⋈ DF) ⋈ BE does not.
+  DatabaseScheme scheme = DatabaseScheme::Parse({"ABC", "BE", "DF"});
+  std::vector<Relation> states;
+  for (int i = 0; i < 3; ++i) states.emplace_back(scheme.scheme(i));
+  Database db = Database::CreateOrDie(scheme, states, {"ABC", "BE", "DF"});
+
+  Strategy good = ParseStrategyOrDie(db, "((ABC BE) DF)");
+  Strategy bad = ParseStrategyOrDie(db, "((ABC DF) BE)");
+  EXPECT_TRUE(EvaluatesComponentsIndividually(good, scheme));
+  EXPECT_FALSE(EvaluatesComponentsIndividually(bad, scheme));
+  EXPECT_TRUE(AvoidsCartesianProducts(good, scheme));
+  EXPECT_FALSE(AvoidsCartesianProducts(bad, scheme));
+}
+
+TEST(PropertiesTest, PaperFiveSchemeExample) {
+  // ((ABC ⋈ BE) ⋈ (CG ⋈ GH)) ⋈ DF avoids Cartesian products;
+  // ((ABC ⋈ CG) ⋈ (BE ⋈ GH)) ⋈ DF does not, although it evaluates
+  // components individually.
+  DatabaseScheme scheme =
+      DatabaseScheme::Parse({"ABC", "BE", "DF", "CG", "GH"});
+  std::vector<Relation> states;
+  for (int i = 0; i < 5; ++i) states.emplace_back(scheme.scheme(i));
+  Database db =
+      Database::CreateOrDie(scheme, states, {"ABC", "BE", "DF", "CG", "GH"});
+
+  Strategy good = ParseStrategyOrDie(db, "(((ABC BE) (CG GH)) DF)");
+  Strategy bad = ParseStrategyOrDie(db, "(((ABC CG) (BE GH)) DF)");
+  EXPECT_TRUE(AvoidsCartesianProducts(good, scheme));
+  EXPECT_TRUE(EvaluatesComponentsIndividually(bad, scheme));
+  EXPECT_FALSE(AvoidsCartesianProducts(bad, scheme));
+}
+
+TEST(PropertiesTest, EveryStrategyUsesAtLeastCompMinusOneProducts) {
+  Database db = Example1Database();  // comp = 3: {AB,BC}, {DE}, {FG}
+  const DatabaseScheme& scheme = db.scheme();
+  EXPECT_EQ(scheme.ComponentCount(scheme.full_mask()), 3);
+  ForEachStrategy(scheme, scheme.full_mask(), StrategySpace::kAll,
+                  [&](const Strategy& s) {
+                    EXPECT_GE(CartesianStepCount(s, scheme), 2);
+                    return true;
+                  });
+}
+
+TEST(PropertiesTest, AvoidsCartesianEnumerationAgreesWithPredicate) {
+  Database db = Example1Database();
+  const DatabaseScheme& scheme = db.scheme();
+  // Count strategies satisfying the predicate within kAll...
+  int predicate_count = 0;
+  ForEachStrategy(scheme, scheme.full_mask(), StrategySpace::kAll,
+                  [&](const Strategy& s) {
+                    if (AvoidsCartesianProducts(s, scheme)) ++predicate_count;
+                    return true;
+                  });
+  // ...and compare with the dedicated enumerator (the paper: 3 strategies).
+  int enumerated = 0;
+  ForEachStrategy(scheme, scheme.full_mask(), StrategySpace::kAvoidsCartesian,
+                  [&](const Strategy& s) {
+                    EXPECT_TRUE(AvoidsCartesianProducts(s, scheme));
+                    ++enumerated;
+                    return true;
+                  });
+  EXPECT_EQ(predicate_count, enumerated);
+  EXPECT_EQ(enumerated, 3);
+}
+
+TEST(PropertiesTest, MonotoneDecreasing) {
+  // Chain where every join shrinks: keyed one-to-one matching subsets.
+  DatabaseScheme scheme = DatabaseScheme::Parse({"AB", "BC"});
+  Relation ab = Relation::FromRowsOrDie({"A", "B"}, {{1, 1}, {2, 2}, {3, 3}});
+  Relation bc = Relation::FromRowsOrDie({"B", "C"}, {{1, 1}, {2, 2}});
+  Database db = Database::CreateOrDie(scheme, {ab, bc});
+  JoinCache cache(&db);
+  Strategy s = Strategy::LeftDeep({0, 1});
+  EXPECT_TRUE(IsMonotoneDecreasing(s, cache));
+  EXPECT_FALSE(IsMonotoneIncreasing(s, cache));
+}
+
+TEST(PropertiesTest, MonotoneIncreasing) {
+  // Fan-out join: result is larger than both inputs.
+  DatabaseScheme scheme = DatabaseScheme::Parse({"AB", "BC"});
+  Relation ab = Relation::FromRowsOrDie({"A", "B"}, {{1, 0}, {2, 0}});
+  Relation bc = Relation::FromRowsOrDie({"B", "C"}, {{0, 1}, {0, 2}});
+  Database db = Database::CreateOrDie(scheme, {ab, bc});
+  JoinCache cache(&db);
+  Strategy s = Strategy::LeftDeep({0, 1});
+  EXPECT_TRUE(IsMonotoneIncreasing(s, cache));
+  EXPECT_FALSE(IsMonotoneDecreasing(s, cache));
+}
+
+TEST(PropertiesTest, CartesianProductIsMonotoneIncreasingWhenNonEmpty) {
+  DatabaseScheme scheme = DatabaseScheme::Parse({"AB", "CD"});
+  Relation ab = Relation::FromRowsOrDie({"A", "B"}, {{1, 1}, {2, 2}});
+  Relation cd = Relation::FromRowsOrDie({"C", "D"}, {{1, 1}});
+  Database db = Database::CreateOrDie(scheme, {ab, cd});
+  JoinCache cache(&db);
+  Strategy s = Strategy::LeftDeep({0, 1});
+  EXPECT_TRUE(IsMonotoneIncreasing(s, cache));
+}
+
+}  // namespace
+}  // namespace taujoin

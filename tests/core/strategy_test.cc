@@ -1,0 +1,126 @@
+#include "core/strategy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/strategy_parser.h"
+#include "workload/paper_data.h"
+
+namespace taujoin {
+namespace {
+
+TEST(StrategyTest, LeafBasics) {
+  Strategy s = Strategy::MakeLeaf(3);
+  EXPECT_TRUE(s.IsTrivial());
+  EXPECT_TRUE(s.IsValid());
+  EXPECT_EQ(s.mask(), SingletonMask(3));
+  EXPECT_EQ(s.StepCount(), 0);
+  EXPECT_TRUE(s.Steps().empty());
+  EXPECT_EQ(s.LeafRelation(s.root()), 3);
+}
+
+TEST(StrategyTest, JoinOfLeaves) {
+  Strategy s = Strategy::MakeJoin(Strategy::MakeLeaf(0), Strategy::MakeLeaf(1));
+  EXPECT_TRUE(s.IsValid());
+  EXPECT_FALSE(s.IsTrivial());
+  EXPECT_EQ(s.mask(), RelMask{0b11});
+  EXPECT_EQ(s.StepCount(), 1);
+  EXPECT_EQ(s.Steps().size(), 1u);
+}
+
+TEST(StrategyTest, MakeJoinRejectsOverlap) {
+  Strategy a = Strategy::MakeJoin(Strategy::MakeLeaf(0), Strategy::MakeLeaf(1));
+  Strategy b = Strategy::MakeLeaf(1);
+  EXPECT_DEATH(Strategy::MakeJoin(a, b), "disjoint");
+}
+
+TEST(StrategyTest, LeftDeep) {
+  Strategy s = Strategy::LeftDeep({2, 0, 3, 1});
+  EXPECT_TRUE(s.IsValid());
+  EXPECT_EQ(s.mask(), RelMask{0b1111});
+  EXPECT_EQ(s.StepCount(), 3);
+  // A strategy over k relations has k leaves and k−1 internal nodes.
+  EXPECT_EQ(s.size(), 7);
+}
+
+TEST(StrategyTest, StepsArePostOrder) {
+  Strategy s = Strategy::LeftDeep({0, 1, 2});
+  std::vector<int> steps = s.Steps();
+  ASSERT_EQ(steps.size(), 2u);
+  // First step joins {0,1}; second is the root.
+  EXPECT_EQ(s.node(steps[0]).mask, RelMask{0b011});
+  EXPECT_EQ(s.node(steps[1]).mask, RelMask{0b111});
+}
+
+TEST(StrategyTest, FindNode) {
+  Strategy s = Strategy::LeftDeep({0, 1, 2});
+  EXPECT_GE(s.FindNode(0b011), 0);
+  EXPECT_GE(s.FindNode(0b001), 0);
+  EXPECT_EQ(s.FindNode(0b110), -1);
+  EXPECT_EQ(s.node(s.FindNode(0b111)).parent, -1);
+}
+
+TEST(StrategyTest, SubtreeExtraction) {
+  Strategy s = Strategy::MakeJoin(
+      Strategy::MakeJoin(Strategy::MakeLeaf(0), Strategy::MakeLeaf(1)),
+      Strategy::MakeLeaf(2));
+  int node = s.FindNode(0b011);
+  ASSERT_GE(node, 0);
+  Strategy sub = s.Subtree(node);
+  EXPECT_TRUE(sub.IsValid());
+  EXPECT_EQ(sub.mask(), RelMask{0b011});
+  EXPECT_EQ(sub.StepCount(), 1);
+}
+
+TEST(StrategyTest, EquivalentToIgnoresChildOrder) {
+  Strategy ab = Strategy::MakeJoin(Strategy::MakeLeaf(0), Strategy::MakeLeaf(1));
+  Strategy ba = Strategy::MakeJoin(Strategy::MakeLeaf(1), Strategy::MakeLeaf(0));
+  EXPECT_TRUE(ab.EquivalentTo(ba));
+  Strategy ac = Strategy::MakeJoin(Strategy::MakeLeaf(0), Strategy::MakeLeaf(2));
+  EXPECT_FALSE(ab.EquivalentTo(ac));
+}
+
+TEST(StrategyTest, EquivalentToDistinguishesShape) {
+  // ((0 1) 2) vs ((0 2) 1).
+  Strategy a = Strategy::LeftDeep({0, 1, 2});
+  Strategy b = Strategy::MakeJoin(
+      Strategy::MakeJoin(Strategy::MakeLeaf(0), Strategy::MakeLeaf(2)),
+      Strategy::MakeLeaf(1));
+  EXPECT_FALSE(a.EquivalentTo(b));
+  EXPECT_TRUE(a.EquivalentTo(a));
+}
+
+TEST(StrategyParserTest, ParsesNamesAndSchemes) {
+  Database db = Example1Database();
+  Strategy by_name = ParseStrategyOrDie(db, "((R1 R2) (R3 R4))");
+  Strategy by_scheme = ParseStrategyOrDie(db, "((AB BC) (DE FG))");
+  EXPECT_TRUE(by_name.EquivalentTo(by_scheme));
+  EXPECT_TRUE(by_name.IsValid());
+  EXPECT_EQ(by_name.mask(), db.scheme().full_mask());
+}
+
+TEST(StrategyParserTest, RejectsMalformedInput) {
+  Database db = Example1Database();
+  EXPECT_FALSE(ParseStrategy(db, "((R1 R2)").ok());       // missing paren
+  EXPECT_FALSE(ParseStrategy(db, "(R1 R2) R3").ok());     // trailing tokens
+  EXPECT_FALSE(ParseStrategy(db, "(R1 Rx)").ok());        // unknown name
+  EXPECT_FALSE(ParseStrategy(db, "(R1 R1)").ok());        // reused relation
+  EXPECT_FALSE(ParseStrategy(db, "").ok());               // empty
+  EXPECT_FALSE(ParseStrategy(db, "(R1 R2 R3)").ok());     // ternary
+}
+
+TEST(StrategyParserTest, RoundTripsToString) {
+  Database db = Example1Database();
+  Strategy s = ParseStrategyOrDie(db, "((R1 R3) (R2 R4))");
+  // ToString uses the ⋈ sign; the parser treats it as whitespace-separated
+  // names, so strip it before reparsing via scheme strings instead.
+  EXPECT_EQ(s.ToString(db), "((R1 ⋈ R3) ⋈ (R2 ⋈ R4))");
+  EXPECT_EQ(s.ToStringWithScheme(db.scheme()), "((AB ⋈ DE) ⋈ (BC ⋈ FG))");
+}
+
+TEST(StrategyTest, ValidityCatchesCorruption) {
+  Strategy s = Strategy::LeftDeep({0, 1});
+  EXPECT_TRUE(s.IsValid());
+}
+
+}  // namespace
+}  // namespace taujoin

@@ -1,0 +1,93 @@
+#include "core/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cost.h"
+#include "core/strategy_parser.h"
+#include "enumerate/strategy_enumerator.h"
+#include "workload/mini_tpch.h"
+#include "workload/paper_data.h"
+
+namespace taujoin {
+namespace {
+
+TEST(TraceTest, TauMatchesJoinCache) {
+  Database db = Example1Database();
+  JoinCache cache(&db);
+  for (const char* text : {"(((R1 R2) R3) R4)", "((R1 R2) (R3 R4))",
+                           "((R1 R3) (R2 R4))"}) {
+    Strategy s = ParseStrategyOrDie(db, text);
+    EvaluationTrace trace = ExecuteStrategy(db, s);
+    EXPECT_EQ(trace.tau, TauCost(s, cache)) << text;
+  }
+}
+
+TEST(TraceTest, ResultIsStrategyIndependent) {
+  Database db = Example5Database();
+  Relation expected = db.Evaluate();
+  ForEachStrategy(db.scheme(), db.scheme().full_mask(), StrategySpace::kAll,
+                  [&](const Strategy& s) {
+                    EXPECT_EQ(ExecuteStrategy(db, s).result, expected);
+                    return true;
+                  });
+}
+
+TEST(TraceTest, StepMetadataIsConsistent) {
+  Database db = Example1Database();
+  Strategy s = ParseStrategyOrDie(db, "((R1 R3) (R2 R4))");
+  EvaluationTrace trace = ExecuteStrategy(db, s);
+  ASSERT_EQ(trace.steps.size(), 3u);
+  uint64_t sum = 0;
+  for (const TraceStep& step : trace.steps) {
+    EXPECT_EQ(step.left | step.right, step.output);
+    EXPECT_EQ(step.left & step.right, RelMask{0});
+    sum += step.output_size;
+  }
+  EXPECT_EQ(sum, trace.tau);
+  // R1 × R3 and R2 × R4 are Cartesian; the final step is too (the scheme
+  // has three components).
+  EXPECT_TRUE(trace.steps[0].cartesian);
+}
+
+TEST(TraceTest, CartesianFlagsMatchScheme) {
+  Database db = Example5Database();  // connected chain
+  Strategy s = ParseStrategyOrDie(db, "((MS SC) (CI ID))");
+  EvaluationTrace trace = ExecuteStrategy(db, s);
+  for (const TraceStep& step : trace.steps) {
+    EXPECT_FALSE(step.cartesian);
+  }
+}
+
+TEST(TraceTest, AlgorithmsAgree) {
+  Rng rng(5);
+  MiniTpchOptions options;
+  MiniTpch tpch = MakeMiniTpch(options, rng);
+  Strategy s = ParseStrategyOrDie(
+      tpch.database, "((((Lineitem Orders) Customer) Part) Supplier)");
+  EvaluationTrace hash = ExecuteStrategy(tpch.database, s, JoinAlgorithm::kHash);
+  EvaluationTrace merge =
+      ExecuteStrategy(tpch.database, s, JoinAlgorithm::kSortMerge);
+  EXPECT_EQ(hash.result, merge.result);
+  EXPECT_EQ(hash.tau, merge.tau);
+}
+
+TEST(TraceTest, ToStringMentionsEveryStep) {
+  Database db = Example1Database();
+  Strategy s = ParseStrategyOrDie(db, "((R1 R2) (R3 R4))");
+  EvaluationTrace trace = ExecuteStrategy(db, s);
+  std::string text = trace.ToString(db);
+  EXPECT_NE(text.find("step 1"), std::string::npos);
+  EXPECT_NE(text.find("step 3"), std::string::npos);
+  EXPECT_NE(text.find("tau(S) = 549"), std::string::npos);
+}
+
+TEST(TraceTest, TrivialStrategyHasNoSteps) {
+  Database db = Example1Database();
+  EvaluationTrace trace = ExecuteStrategy(db, Strategy::MakeLeaf(2));
+  EXPECT_TRUE(trace.steps.empty());
+  EXPECT_EQ(trace.tau, 0u);
+  EXPECT_EQ(trace.result, db.state(2));
+}
+
+}  // namespace
+}  // namespace taujoin

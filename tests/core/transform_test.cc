@@ -1,0 +1,148 @@
+#include "core/transform.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/cost.h"
+#include "core/strategy_parser.h"
+#include "enumerate/strategy_enumerator.h"
+#include "workload/generator.h"
+#include "workload/paper_data.h"
+
+namespace taujoin {
+namespace {
+
+TEST(TransformTest, PluckLeafFromLeftDeep) {
+  // (((0 1) 2) 3): pluck leaf 2 → ((0 1) 3).
+  Strategy s = Strategy::LeftDeep({0, 1, 2, 3});
+  int target = s.FindNode(SingletonMask(2));
+  ASSERT_GE(target, 0);
+  Strategy plucked = Pluck(s, target);
+  EXPECT_TRUE(plucked.IsValid());
+  EXPECT_EQ(plucked.mask(), RelMask{0b1011});
+  EXPECT_TRUE(plucked.EquivalentTo(Strategy::LeftDeep({0, 1, 3})));
+}
+
+TEST(TransformTest, PluckSubtree) {
+  // ((0 1) (2 3)): pluck the (2 3) subtree → (0 1).
+  Strategy s = Strategy::MakeJoin(
+      Strategy::MakeJoin(Strategy::MakeLeaf(0), Strategy::MakeLeaf(1)),
+      Strategy::MakeJoin(Strategy::MakeLeaf(2), Strategy::MakeLeaf(3)));
+  int target = s.FindNode(0b1100);
+  Strategy plucked = Pluck(s, target);
+  EXPECT_TRUE(plucked.EquivalentTo(
+      Strategy::MakeJoin(Strategy::MakeLeaf(0), Strategy::MakeLeaf(1))));
+}
+
+TEST(TransformTest, PluckRootRejected) {
+  Strategy s = Strategy::LeftDeep({0, 1});
+  EXPECT_DEATH(Pluck(s, s.root()), "root");
+}
+
+TEST(TransformTest, GraftAboveLeaf) {
+  // Graft leaf 2 above leaf 1 in (0 1) → (0 (1 2)).
+  Strategy s = Strategy::MakeJoin(Strategy::MakeLeaf(0), Strategy::MakeLeaf(1));
+  int above = s.FindNode(SingletonMask(1));
+  Strategy grafted = Graft(s, Strategy::MakeLeaf(2), above);
+  EXPECT_TRUE(grafted.IsValid());
+  EXPECT_EQ(grafted.mask(), RelMask{0b111});
+  Strategy expected = Strategy::MakeJoin(
+      Strategy::MakeLeaf(0),
+      Strategy::MakeJoin(Strategy::MakeLeaf(1), Strategy::MakeLeaf(2)));
+  EXPECT_TRUE(grafted.EquivalentTo(expected));
+}
+
+TEST(TransformTest, GraftAboveRoot) {
+  Strategy s = Strategy::MakeJoin(Strategy::MakeLeaf(0), Strategy::MakeLeaf(1));
+  Strategy grafted = Graft(s, Strategy::MakeLeaf(2), s.root());
+  EXPECT_TRUE(grafted.EquivalentTo(Strategy::LeftDeep({0, 1, 2})));
+}
+
+TEST(TransformTest, GraftRejectsOverlappingDatabases) {
+  Strategy s = Strategy::MakeJoin(Strategy::MakeLeaf(0), Strategy::MakeLeaf(1));
+  EXPECT_DEATH(Graft(s, Strategy::MakeLeaf(1), s.root()), "disjoint");
+}
+
+TEST(TransformTest, PluckThenGraftIsInverse) {
+  // Pluck a subtree and graft it back above its old sibling: the tree is
+  // restored (up to child order).
+  Strategy s = Strategy::MakeJoin(
+      Strategy::MakeJoin(Strategy::MakeLeaf(0), Strategy::MakeLeaf(1)),
+      Strategy::MakeJoin(Strategy::MakeLeaf(2), Strategy::MakeLeaf(3)));
+  Strategy restored = PluckAndGraftAbove(s, s.FindNode(0b1100), 0b0011);
+  EXPECT_TRUE(restored.EquivalentTo(s));
+}
+
+TEST(TransformTest, SwapLeaves) {
+  // Theorem 1's T2: exchange two leaves.
+  Strategy s = Strategy::LeftDeep({0, 1, 2, 3});
+  Strategy swapped = SwapSubtrees(s, s.FindNode(SingletonMask(2)),
+                                  s.FindNode(SingletonMask(3)));
+  EXPECT_TRUE(swapped.IsValid());
+  EXPECT_TRUE(swapped.EquivalentTo(Strategy::LeftDeep({0, 1, 3, 2})));
+}
+
+TEST(TransformTest, SwapSubtreesOfDifferentSizes) {
+  // ((0 1) (2 3)) with a = leaf 0, b = subtree (2 3):
+  // → (((2 3) 1) 0)
+  Strategy s = Strategy::MakeJoin(
+      Strategy::MakeJoin(Strategy::MakeLeaf(0), Strategy::MakeLeaf(1)),
+      Strategy::MakeJoin(Strategy::MakeLeaf(2), Strategy::MakeLeaf(3)));
+  Strategy swapped =
+      SwapSubtrees(s, s.FindNode(SingletonMask(0)), s.FindNode(0b1100));
+  EXPECT_TRUE(swapped.IsValid());
+  Strategy expected = Strategy::MakeJoin(
+      Strategy::MakeJoin(
+          Strategy::MakeJoin(Strategy::MakeLeaf(2), Strategy::MakeLeaf(3)),
+          Strategy::MakeLeaf(1)),
+      Strategy::MakeLeaf(0));
+  EXPECT_TRUE(swapped.EquivalentTo(expected));
+}
+
+TEST(TransformTest, SwapRejectsNestedSubtrees) {
+  Strategy s = Strategy::LeftDeep({0, 1, 2});
+  EXPECT_DEATH(SwapSubtrees(s, s.FindNode(0b011), s.FindNode(0b001)),
+               "disjoint");
+}
+
+// Figure 1/2 property: plucking S_{D''} yields a valid strategy for
+// D − D''; grafting back yields a valid strategy for D ∪ D''. Checked over
+// every subtree of every strategy of random 5-relation databases.
+class PluckGraftProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PluckGraftProperty, AllSubtreesPluckAndGraftCleanly) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 7);
+  GeneratorOptions options;
+  options.relation_count = 5;
+  options.rows_per_relation = 4;
+  options.join_domain = 3;
+  options.shape = QueryShape::kChain;
+  Database db = RandomDatabase(options, rng);
+  // One random strategy: take the first enumerated after a random skip.
+  int skip = static_cast<int>(rng.Uniform(50));
+  Strategy chosen;
+  int seen = 0;
+  ForEachStrategy(db.scheme(), db.scheme().full_mask(), StrategySpace::kAll,
+                  [&](const Strategy& s) {
+                    chosen = s;
+                    return ++seen <= skip;
+                  });
+  ASSERT_TRUE(chosen.IsValid());
+  for (int node : chosen.PostOrder()) {
+    if (node == chosen.root()) continue;
+    Strategy sub = chosen.Subtree(node);
+    Strategy plucked = Pluck(chosen, node);
+    EXPECT_TRUE(plucked.IsValid());
+    EXPECT_EQ(plucked.mask(), chosen.mask() & ~sub.mask());
+    // Graft back above any surviving node keeps validity.
+    int above = plucked.root();
+    Strategy grafted = Graft(plucked, sub, above);
+    EXPECT_TRUE(grafted.IsValid());
+    EXPECT_EQ(grafted.mask(), chosen.mask());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PluckGraftProperty, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace taujoin

@@ -1,0 +1,178 @@
+#include "enumerate/strategy_enumerator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/properties.h"
+#include "enumerate/counting.h"
+#include "enumerate/subsets.h"
+#include "scheme/query_graph.h"
+
+namespace taujoin {
+namespace {
+
+TEST(CountingTest, ClosedForms) {
+  EXPECT_EQ(Factorial(0), 1u);
+  EXPECT_EQ(Factorial(4), 24u);
+  EXPECT_EQ(DoubleFactorial(5), 15u);
+  EXPECT_EQ(DoubleFactorial(-1), 1u);
+  // The paper's introduction: 15 strategies for 4 relations, 12 linear.
+  EXPECT_EQ(CountAllTrees(4), 15u);
+  EXPECT_EQ(CountLinearTrees(4), 12u);
+  EXPECT_EQ(CountAllTrees(1), 1u);
+  EXPECT_EQ(CountLinearTrees(1), 1u);
+  EXPECT_EQ(CountAllTrees(2), 1u);
+  EXPECT_EQ(CountAllTrees(3), 3u);
+  EXPECT_EQ(CountAllTrees(5), 105u);
+  EXPECT_EQ(CountAllTrees(6), 945u);
+}
+
+TEST(EnumeratorTest, AllSpaceMatchesClosedForm) {
+  for (int n = 1; n <= 6; ++n) {
+    DatabaseScheme scheme = MakeShapedScheme(QueryShape::kClique, n);
+    EXPECT_EQ(CountStrategies(scheme, scheme.full_mask(), StrategySpace::kAll),
+              CountAllTrees(n))
+        << n;
+  }
+}
+
+TEST(EnumeratorTest, LinearSpaceMatchesClosedForm) {
+  for (int n = 2; n <= 6; ++n) {
+    DatabaseScheme scheme = MakeShapedScheme(QueryShape::kClique, n);
+    EXPECT_EQ(
+        CountStrategies(scheme, scheme.full_mask(), StrategySpace::kLinear),
+        CountLinearTrees(n))
+        << n;
+  }
+}
+
+TEST(EnumeratorTest, EnumerationMatchesCount) {
+  for (QueryShape shape : {QueryShape::kChain, QueryShape::kStar,
+                           QueryShape::kCycle, QueryShape::kClique}) {
+    DatabaseScheme scheme = MakeShapedScheme(shape, 5);
+    for (StrategySpace space :
+         {StrategySpace::kAll, StrategySpace::kLinear,
+          StrategySpace::kNoCartesian, StrategySpace::kLinearNoCartesian,
+          StrategySpace::kAvoidsCartesian}) {
+      size_t enumerated =
+          EnumerateStrategies(scheme, scheme.full_mask(), space).size();
+      EXPECT_EQ(enumerated,
+                CountStrategies(scheme, scheme.full_mask(), space))
+          << QueryShapeToString(shape) << "/" << StrategySpaceToString(space);
+    }
+  }
+}
+
+TEST(EnumeratorTest, EveryEnumeratedStrategyIsValidAndDistinct) {
+  DatabaseScheme scheme = MakeShapedScheme(QueryShape::kCycle, 5);
+  std::vector<Strategy> all =
+      EnumerateStrategies(scheme, scheme.full_mask(), StrategySpace::kAll);
+  std::set<std::string> reprs;
+  for (const Strategy& s : all) {
+    EXPECT_TRUE(s.IsValid());
+    EXPECT_EQ(s.mask(), scheme.full_mask());
+    // Canonical string: children ordered by mask via ToStringWithScheme
+    // is not canonical, so canonicalize through sorted rendering below.
+    reprs.insert(s.ToStringWithScheme(scheme));
+  }
+  EXPECT_EQ(reprs.size(), all.size());  // no duplicates
+}
+
+TEST(EnumeratorTest, SpaceFiltersMatchPredicates) {
+  DatabaseScheme scheme = MakeShapedScheme(QueryShape::kChain, 5);
+  ForEachStrategy(scheme, scheme.full_mask(), StrategySpace::kLinear,
+                  [&](const Strategy& s) {
+                    EXPECT_TRUE(IsLinear(s));
+                    return true;
+                  });
+  ForEachStrategy(scheme, scheme.full_mask(), StrategySpace::kNoCartesian,
+                  [&](const Strategy& s) {
+                    EXPECT_FALSE(UsesCartesianProducts(s, scheme));
+                    return true;
+                  });
+  ForEachStrategy(scheme, scheme.full_mask(),
+                  StrategySpace::kLinearNoCartesian, [&](const Strategy& s) {
+                    EXPECT_TRUE(IsLinear(s));
+                    EXPECT_FALSE(UsesCartesianProducts(s, scheme));
+                    return true;
+                  });
+}
+
+TEST(EnumeratorTest, FilteredSpacesArePredicateSubsetsOfAll) {
+  DatabaseScheme scheme = MakeShapedScheme(QueryShape::kStar, 5);
+  RelMask full = scheme.full_mask();
+  uint64_t linear_by_predicate = 0;
+  uint64_t no_cp_by_predicate = 0;
+  ForEachStrategy(scheme, full, StrategySpace::kAll, [&](const Strategy& s) {
+    if (IsLinear(s)) ++linear_by_predicate;
+    if (!UsesCartesianProducts(s, scheme)) ++no_cp_by_predicate;
+    return true;
+  });
+  EXPECT_EQ(linear_by_predicate,
+            CountStrategies(scheme, full, StrategySpace::kLinear));
+  EXPECT_EQ(no_cp_by_predicate,
+            CountStrategies(scheme, full, StrategySpace::kNoCartesian));
+}
+
+TEST(EnumeratorTest, ChainNoCartesianCounts) {
+  // For a chain of n relations, the CP-free trees are counted by the
+  // Catalan numbers (contiguous-interval trees): C(n−1).
+  std::vector<uint64_t> catalan = {1, 1, 2, 5, 14, 42, 132};
+  for (int n = 2; n <= 7; ++n) {
+    DatabaseScheme scheme = MakeShapedScheme(QueryShape::kChain, n);
+    EXPECT_EQ(CountStrategies(scheme, scheme.full_mask(),
+                              StrategySpace::kNoCartesian),
+              catalan[static_cast<size_t>(n - 1)])
+        << n;
+  }
+}
+
+TEST(EnumeratorTest, CliqueHasNoForcedProducts) {
+  DatabaseScheme scheme = MakeShapedScheme(QueryShape::kClique, 5);
+  EXPECT_EQ(CountStrategies(scheme, scheme.full_mask(),
+                            StrategySpace::kNoCartesian),
+            CountAllTrees(5));
+}
+
+TEST(EnumeratorTest, EarlyStopWorks) {
+  DatabaseScheme scheme = MakeShapedScheme(QueryShape::kClique, 5);
+  int visited = 0;
+  bool completed = ForEachStrategy(scheme, scheme.full_mask(),
+                                   StrategySpace::kAll, [&](const Strategy&) {
+                                     return ++visited < 10;
+                                   });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(visited, 10);
+}
+
+TEST(EnumeratorTest, SubsetEnumeration) {
+  DatabaseScheme scheme = DatabaseScheme::Parse({"AB", "BC", "DE"});
+  std::vector<RelMask> connected =
+      ConnectedSubsets(scheme, scheme.full_mask());
+  // {R0}, {R1}, {R2}, {R0,R1} — not {R0,R2}, {R1,R2}, {R0,R1,R2}.
+  EXPECT_EQ(connected.size(), 4u);
+}
+
+TEST(EnumeratorTest, BipartitionsCoverAllSplits) {
+  std::vector<std::pair<RelMask, RelMask>> parts = Bipartitions(0b111);
+  EXPECT_EQ(parts.size(), 3u);  // 2^{3-1} − 1
+  for (const auto& [left, right] : parts) {
+    EXPECT_EQ(left | right, RelMask{0b111});
+    EXPECT_EQ(left & right, RelMask{0});
+    EXPECT_TRUE(left & 1);  // lowest bit pinned to the left
+  }
+}
+
+TEST(EnumeratorTest, EnumerateSubtreeOfDatabase) {
+  DatabaseScheme scheme = MakeShapedScheme(QueryShape::kChain, 5);
+  // Strategies over a partial mask {1,2,3}.
+  RelMask mask = 0b01110;
+  std::vector<Strategy> all =
+      EnumerateStrategies(scheme, mask, StrategySpace::kAll);
+  EXPECT_EQ(all.size(), 3u);  // 3 trees over 3 leaves
+  for (const Strategy& s : all) EXPECT_EQ(s.mask(), mask);
+}
+
+}  // namespace
+}  // namespace taujoin

@@ -1,0 +1,101 @@
+#include "enumerate/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/properties.h"
+#include "scheme/query_graph.h"
+
+namespace taujoin {
+namespace {
+
+TEST(SamplingTest, SamplesAreValidStrategies) {
+  DatabaseScheme scheme = MakeShapedScheme(QueryShape::kCycle, 5);
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    Strategy s =
+        SampleStrategy(scheme, scheme.full_mask(), StrategySpace::kAll, rng);
+    EXPECT_TRUE(s.IsValid());
+    EXPECT_EQ(s.mask(), scheme.full_mask());
+  }
+}
+
+TEST(SamplingTest, RespectsSpaceConstraints) {
+  DatabaseScheme scheme = MakeShapedScheme(QueryShape::kChain, 5);
+  Rng rng(7);
+  for (int i = 0; i < 30; ++i) {
+    Strategy linear = SampleStrategy(scheme, scheme.full_mask(),
+                                     StrategySpace::kLinear, rng);
+    EXPECT_TRUE(IsLinear(linear));
+    Strategy nocp = SampleStrategy(scheme, scheme.full_mask(),
+                                   StrategySpace::kNoCartesian, rng);
+    EXPECT_FALSE(UsesCartesianProducts(nocp, scheme));
+    Strategy both = SampleStrategy(scheme, scheme.full_mask(),
+                                   StrategySpace::kLinearNoCartesian, rng);
+    EXPECT_TRUE(IsLinear(both));
+    EXPECT_FALSE(UsesCartesianProducts(both, scheme));
+  }
+}
+
+TEST(SamplingTest, UniformOverSmallSpace) {
+  // 3 relations → 3 trees in kAll; a chi-square-free sanity check: with
+  // 3000 draws each tree should appear roughly 1000 times (±15%).
+  DatabaseScheme scheme = MakeShapedScheme(QueryShape::kClique, 3);
+  StrategySampler sampler(&scheme, StrategySpace::kAll);
+  Rng rng(11);
+  std::map<std::string, int> histogram;
+  const int kDraws = 3000;
+  for (int i = 0; i < kDraws; ++i) {
+    Strategy s = sampler.Sample(scheme.full_mask(), rng);
+    ++histogram[s.ToStringWithScheme(scheme)];
+  }
+  ASSERT_EQ(histogram.size(), 3u);
+  for (const auto& [repr, count] : histogram) {
+    EXPECT_GT(count, 850) << repr;
+    EXPECT_LT(count, 1150) << repr;
+  }
+}
+
+TEST(SamplingTest, CountMatchesEnumerator) {
+  DatabaseScheme scheme = MakeShapedScheme(QueryShape::kStar, 6);
+  for (StrategySpace space :
+       {StrategySpace::kAll, StrategySpace::kLinear,
+        StrategySpace::kNoCartesian, StrategySpace::kLinearNoCartesian}) {
+    StrategySampler sampler(&scheme, space);
+    EXPECT_EQ(sampler.Count(scheme.full_mask()),
+              CountStrategies(scheme, scheme.full_mask(), space));
+  }
+}
+
+TEST(SamplingTest, SamplerIsDeterministicGivenSeed) {
+  DatabaseScheme scheme = MakeShapedScheme(QueryShape::kChain, 6);
+  Rng rng1(99), rng2(99);
+  for (int i = 0; i < 10; ++i) {
+    Strategy a =
+        SampleStrategy(scheme, scheme.full_mask(), StrategySpace::kAll, rng1);
+    Strategy b =
+        SampleStrategy(scheme, scheme.full_mask(), StrategySpace::kAll, rng2);
+    EXPECT_TRUE(a.EquivalentTo(b));
+  }
+}
+
+TEST(SamplingTest, SingletonMask) {
+  DatabaseScheme scheme = MakeShapedScheme(QueryShape::kChain, 4);
+  Rng rng(1);
+  Strategy s =
+      SampleStrategy(scheme, SingletonMask(2), StrategySpace::kAll, rng);
+  EXPECT_TRUE(s.IsTrivial());
+}
+
+TEST(SamplingTest, EmptySubspaceDies) {
+  // Unconnected mask with kNoCartesian: no strategy exists.
+  DatabaseScheme scheme = DatabaseScheme::Parse({"AB", "CD"});
+  Rng rng(1);
+  EXPECT_DEATH(
+      SampleStrategy(scheme, 0b11, StrategySpace::kNoCartesian, rng),
+      "empty");
+}
+
+}  // namespace
+}  // namespace taujoin

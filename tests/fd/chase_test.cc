@@ -1,0 +1,134 @@
+#include "fd/chase.h"
+
+#include <gtest/gtest.h>
+
+#include "fd/closure.h"
+#include "fd/keys.h"
+
+namespace taujoin {
+namespace {
+
+TEST(ChaseTest, ClassicLosslessDecomposition) {
+  // R(ABC), A->B: {AB, AC} is lossless.
+  DatabaseScheme d = DatabaseScheme::Parse({"AB", "AC"});
+  FdSet fds = FdSet::Parse({"A->B"});
+  EXPECT_TRUE(IsLosslessDecomposition(d, Schema::Parse("ABC"), fds));
+}
+
+TEST(ChaseTest, ClassicLossyDecomposition) {
+  // R(ABC) with no FDs: {AB, BC} is lossy.
+  DatabaseScheme d = DatabaseScheme::Parse({"AB", "BC"});
+  EXPECT_FALSE(IsLosslessDecomposition(d, Schema::Parse("ABC"), FdSet{}));
+}
+
+TEST(ChaseTest, LosslessViaRhsKey) {
+  // {AB, BC} with B->C: shared B is a key of BC — lossless.
+  DatabaseScheme d = DatabaseScheme::Parse({"AB", "BC"});
+  FdSet fds = FdSet::Parse({"B->C"});
+  EXPECT_TRUE(IsLosslessDecomposition(d, Schema::Parse("ABC"), fds));
+}
+
+TEST(ChaseTest, ThreeWayNeedsTransitivity) {
+  // {AB, BC, CD} with B->C, C->D: lossless onto ABCD.
+  DatabaseScheme d = DatabaseScheme::Parse({"AB", "BC", "CD"});
+  FdSet fds = FdSet::Parse({"B->C", "C->D"});
+  EXPECT_TRUE(IsLosslessDecomposition(d, Schema::Parse("ABCD"), fds));
+  // Without C->D it is lossy.
+  EXPECT_FALSE(IsLosslessDecomposition(d, Schema::Parse("ABCD"),
+                                       FdSet::Parse({"B->C"})));
+}
+
+TEST(ChaseTest, AgreesWithRissanenOnTwoSchemes) {
+  // For two schemes the chase must coincide with the pairwise criterion.
+  struct Case {
+    std::string r1, r2;
+    std::vector<std::string> fds;
+  };
+  std::vector<Case> cases = {
+      {"AB", "BC", {"B->A"}},    {"AB", "BC", {"B->C"}},
+      {"AB", "BC", {"A->B"}},    {"AB", "BC", {}},
+      {"ABC", "BCD", {"BC->D"}}, {"ABC", "BCD", {"BC->A"}},
+      {"ABC", "BCD", {"B->C"}},  {"ABC", "CDE", {"C->DE"}},
+  };
+  for (const Case& c : cases) {
+    Schema r1 = Schema::Parse(c.r1);
+    Schema r2 = Schema::Parse(c.r2);
+    FdSet fds = FdSet::Parse(c.fds);
+    DatabaseScheme d({r1, r2});
+    EXPECT_EQ(IsLosslessDecomposition(d, r1.Union(r2), fds),
+              PairwiseLossless(r1, r2, fds))
+        << c.r1 << " vs " << c.r2 << " under " << fds.ToString();
+  }
+}
+
+TEST(ChaseTest, UniverseDefaultsToUnion) {
+  DatabaseScheme d = DatabaseScheme::Parse({"AB", "BC"});
+  FdSet fds = FdSet::Parse({"B->C"});
+  EXPECT_TRUE(IsLosslessDecomposition(d, fds));
+}
+
+TEST(ChaseTest, HasNoLossyJoinsOnStarSchema) {
+  // Fact {K1, K2, P0} with dims {K1, P1}, {K2, P2}, keys Ki -> Pi:
+  // every connected subset is lossless.
+  DatabaseScheme d({Schema{"K1", "K2", "P0"}, Schema{"K1", "P1"},
+                    Schema{"K2", "P2"}});
+  // Note: multi-character attribute names need explicit Schemas —
+  // FunctionalDependency::Parse("K1->P1") would split "K1" into {K, 1}.
+  FdSet fds;
+  fds.Add(FunctionalDependency{Schema{"K1"}, Schema{"P1"}});
+  fds.Add(FunctionalDependency{Schema{"K2"}, Schema{"P2"}});
+  EXPECT_TRUE(HasNoLossyJoins(d, fds));
+}
+
+TEST(ChaseTest, HasNoLossyJoinsFailsWithoutFds) {
+  DatabaseScheme d = DatabaseScheme::Parse({"AB", "BC"});
+  EXPECT_FALSE(HasNoLossyJoins(d, FdSet{}));
+}
+
+TEST(KeysTest, CandidateKeysSimple) {
+  FdSet fds = FdSet::Parse({"A->BC"});
+  std::vector<Schema> keys = CandidateKeys(Schema::Parse("ABC"), fds);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], Schema::Parse("A"));
+}
+
+TEST(KeysTest, MultipleCandidateKeys) {
+  // A->B, B->A: both A+C... over schema ABC with C free: keys {AC, BC}.
+  FdSet fds = FdSet::Parse({"A->B", "B->A"});
+  std::vector<Schema> keys = CandidateKeys(Schema::Parse("ABC"), fds);
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_TRUE((keys[0] == Schema::Parse("AC") && keys[1] == Schema::Parse("BC")) ||
+              (keys[0] == Schema::Parse("BC") && keys[1] == Schema::Parse("AC")));
+}
+
+TEST(KeysTest, NoFdsMakeWholeSchemeTheKey) {
+  std::vector<Schema> keys = CandidateKeys(Schema::Parse("AB"), FdSet{});
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], Schema::Parse("AB"));
+}
+
+TEST(KeysTest, KeysAreMinimalAndSuperkeys) {
+  FdSet fds = FdSet::Parse({"A->B", "B->C", "C->A"});
+  Schema scheme = Schema::Parse("ABCD");
+  for (const Schema& key : CandidateKeys(scheme, fds)) {
+    EXPECT_TRUE(IsSuperkey(key, scheme, fds));
+    for (const std::string& a : key) {
+      EXPECT_FALSE(IsSuperkey(key.Minus(Schema{a}), scheme, fds));
+    }
+  }
+}
+
+TEST(KeysTest, MinimizeSuperkey) {
+  FdSet fds = FdSet::Parse({"A->BCD"});
+  Schema key = MinimizeSuperkey(Schema::Parse("ABD"), Schema::Parse("ABCD"), fds);
+  EXPECT_EQ(key, Schema::Parse("A"));
+}
+
+TEST(KeysTest, MinimizeSuperkeyRejectsNonSuperkey) {
+  FdSet fds = FdSet::Parse({"A->B"});
+  EXPECT_DEATH(MinimizeSuperkey(Schema::Parse("B"), Schema::Parse("AB"), fds),
+               "superkey");
+}
+
+}  // namespace
+}  // namespace taujoin

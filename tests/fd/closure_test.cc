@@ -1,0 +1,107 @@
+#include "fd/closure.h"
+
+#include <gtest/gtest.h>
+
+namespace taujoin {
+namespace {
+
+TEST(ClosureTest, BasicClosure) {
+  FdSet fds = FdSet::Parse({"A->B", "B->C"});
+  EXPECT_EQ(AttributeClosure(Schema::Parse("A"), fds), Schema::Parse("ABC"));
+  EXPECT_EQ(AttributeClosure(Schema::Parse("B"), fds), Schema::Parse("BC"));
+  EXPECT_EQ(AttributeClosure(Schema::Parse("C"), fds), Schema::Parse("C"));
+}
+
+TEST(ClosureTest, CompositeLhs) {
+  FdSet fds = FdSet::Parse({"AB->C", "C->D"});
+  EXPECT_EQ(AttributeClosure(Schema::Parse("AB"), fds), Schema::Parse("ABCD"));
+  EXPECT_EQ(AttributeClosure(Schema::Parse("A"), fds), Schema::Parse("A"));
+}
+
+TEST(ClosureTest, ClosureIsMonotoneAndIdempotent) {
+  FdSet fds = FdSet::Parse({"A->B", "BC->D", "D->E"});
+  Schema x = Schema::Parse("AC");
+  Schema closure = AttributeClosure(x, fds);
+  EXPECT_TRUE(x.IsSubsetOf(closure));                       // extensive
+  EXPECT_EQ(AttributeClosure(closure, fds), closure);       // idempotent
+  Schema bigger = AttributeClosure(Schema::Parse("ACF"), fds);
+  EXPECT_TRUE(closure.IsSubsetOf(bigger));                  // monotone
+}
+
+TEST(ClosureTest, Implies) {
+  FdSet fds = FdSet::Parse({"A->B", "B->C"});
+  EXPECT_TRUE(Implies(fds, FunctionalDependency::Parse("A->C")));
+  EXPECT_TRUE(Implies(fds, FunctionalDependency::Parse("A->BC")));
+  EXPECT_FALSE(Implies(fds, FunctionalDependency::Parse("C->A")));
+  // Trivial FDs are always implied.
+  EXPECT_TRUE(Implies(FdSet{}, FunctionalDependency::Parse("AB->A")));
+}
+
+TEST(ClosureTest, IsSuperkey) {
+  FdSet fds = FdSet::Parse({"A->BC"});
+  EXPECT_TRUE(IsSuperkey(Schema::Parse("A"), Schema::Parse("ABC"), fds));
+  EXPECT_TRUE(IsSuperkey(Schema::Parse("AB"), Schema::Parse("ABC"), fds));
+  EXPECT_FALSE(IsSuperkey(Schema::Parse("B"), Schema::Parse("ABC"), fds));
+}
+
+TEST(ClosureTest, MinimalCoverRemovesRedundancy) {
+  // A->B is implied by A->BC's split; B->B trivial.
+  FdSet fds = FdSet::Parse({"A->BC", "A->B", "B->B"});
+  FdSet cover = MinimalCover(fds);
+  // Cover must imply the original and contain no redundant FDs.
+  EXPECT_TRUE(Implies(cover, FunctionalDependency::Parse("A->B")));
+  EXPECT_TRUE(Implies(cover, FunctionalDependency::Parse("A->C")));
+  EXPECT_LE(cover.size(), 2u);
+  for (const FunctionalDependency& fd : cover.fds()) {
+    EXPECT_EQ(fd.rhs.size(), 1u);  // singleton RHS
+    EXPECT_FALSE(fd.IsTrivial());
+  }
+}
+
+TEST(ClosureTest, MinimalCoverShrinksLhs) {
+  // AB->C but A->C already: B extraneous.
+  FdSet fds = FdSet::Parse({"AB->C", "A->C"});
+  FdSet cover = MinimalCover(fds);
+  for (const FunctionalDependency& fd : cover.fds()) {
+    EXPECT_EQ(fd.lhs, Schema::Parse("A"));
+  }
+}
+
+TEST(ClosureTest, MinimalCoverEquivalentToOriginal) {
+  FdSet fds = FdSet::Parse({"A->B", "B->C", "AC->D", "D->A"});
+  FdSet cover = MinimalCover(fds);
+  for (const FunctionalDependency& fd : fds.fds()) {
+    EXPECT_TRUE(Implies(cover, fd)) << fd.ToString();
+  }
+  for (const FunctionalDependency& fd : cover.fds()) {
+    EXPECT_TRUE(Implies(fds, fd)) << fd.ToString();
+  }
+}
+
+TEST(ClosureTest, ProjectFds) {
+  FdSet fds = FdSet::Parse({"A->B", "B->C"});
+  // Projection onto AC hides B but keeps the transitive A->C.
+  FdSet projected = ProjectFds(fds, Schema::Parse("AC"));
+  EXPECT_TRUE(Implies(projected, FunctionalDependency::Parse("A->C")));
+  EXPECT_FALSE(Implies(projected, FunctionalDependency::Parse("C->A")));
+  for (const FunctionalDependency& fd : projected.fds()) {
+    EXPECT_TRUE(fd.lhs.Union(fd.rhs).IsSubsetOf(Schema::Parse("AC")));
+  }
+}
+
+TEST(FdTest, ParseAndToString) {
+  FunctionalDependency fd = FunctionalDependency::Parse("AB -> C");
+  EXPECT_EQ(fd.lhs, Schema::Parse("AB"));
+  EXPECT_EQ(fd.rhs, Schema::Parse("C"));
+  EXPECT_EQ(fd.ToString(), "AB->C");
+  EXPECT_FALSE(fd.IsTrivial());
+  EXPECT_TRUE(FunctionalDependency::Parse("AB->A").IsTrivial());
+}
+
+TEST(FdTest, FdSetAttributes) {
+  FdSet fds = FdSet::Parse({"A->B", "CD->E"});
+  EXPECT_EQ(fds.Attributes(), Schema::Parse("ABCDE"));
+}
+
+}  // namespace
+}  // namespace taujoin

@@ -1,0 +1,114 @@
+#include "fd/normalize.h"
+
+#include <gtest/gtest.h>
+
+#include "fd/chase.h"
+#include "fd/closure.h"
+
+namespace taujoin {
+namespace {
+
+TEST(BcnfTest, ViolationDetection) {
+  FdSet fds = FdSet::Parse({"A->B"});
+  // In R(ABC), A->B violates BCNF (A is not a superkey).
+  EXPECT_TRUE(ViolatesBcnf(FunctionalDependency::Parse("A->B"),
+                           Schema::Parse("ABC"), fds));
+  // In R(AB), A->B is fine (A is a key).
+  EXPECT_FALSE(ViolatesBcnf(FunctionalDependency::Parse("A->B"),
+                            Schema::Parse("AB"), fds));
+}
+
+TEST(BcnfTest, ClassicDecomposition) {
+  // R(ABC), A->B: decomposes into {AB, AC}.
+  FdSet fds = FdSet::Parse({"A->B"});
+  DatabaseScheme d = BcnfDecomposition(Schema::Parse("ABC"), fds);
+  ASSERT_EQ(d.size(), 2);
+  EXPECT_TRUE(IsBcnf(d, fds));
+  EXPECT_TRUE(IsLosslessDecomposition(d, Schema::Parse("ABC"), fds));
+}
+
+TEST(BcnfTest, ChainOfDependencies) {
+  FdSet fds = FdSet::Parse({"A->B", "B->C", "C->D"});
+  DatabaseScheme d = BcnfDecomposition(Schema::Parse("ABCD"), fds);
+  EXPECT_TRUE(IsBcnf(d, fds));
+  EXPECT_TRUE(IsLosslessDecomposition(d, Schema::Parse("ABCD"), fds));
+  // Every scheme is a two-attribute key/value pair here.
+  for (int i = 0; i < d.size(); ++i) {
+    EXPECT_LE(d.scheme(i).size(), 2u);
+  }
+}
+
+TEST(BcnfTest, AlreadyNormalizedSchemaUntouched) {
+  FdSet fds = FdSet::Parse({"A->BC"});
+  DatabaseScheme d = BcnfDecomposition(Schema::Parse("ABC"), fds);
+  // A is a key of ABC: no violation, single scheme.
+  ASSERT_EQ(d.size(), 1);
+  EXPECT_EQ(d.scheme(0), Schema::Parse("ABC"));
+}
+
+TEST(BcnfTest, NoFdsMeansNoDecomposition) {
+  DatabaseScheme d = BcnfDecomposition(Schema::Parse("ABC"), FdSet{});
+  ASSERT_EQ(d.size(), 1);
+}
+
+TEST(BcnfTest, DecompositionIsAlwaysLossless) {
+  struct Case {
+    std::string universe;
+    std::vector<std::string> fds;
+  };
+  std::vector<Case> cases = {
+      {"ABCDE", {"A->B", "C->DE"}},
+      {"ABCDE", {"AB->C", "C->D", "D->E"}},
+      {"ABCD", {"A->B", "B->A", "CD->A"}},
+      {"ABCDEF", {"A->BC", "D->EF"}},
+  };
+  for (const Case& c : cases) {
+    Schema universe = Schema::Parse(c.universe);
+    FdSet fds = FdSet::Parse(c.fds);
+    DatabaseScheme d = BcnfDecomposition(universe, fds);
+    EXPECT_TRUE(IsBcnf(d, fds)) << c.universe;
+    EXPECT_TRUE(IsLosslessDecomposition(d, universe, fds)) << c.universe;
+    // The decomposition covers the universe.
+    EXPECT_EQ(d.AttributesOf(d.full_mask()), universe);
+  }
+}
+
+TEST(ThreeNfTest, SynthesisIsLosslessAndCoversUniverse) {
+  FdSet fds = FdSet::Parse({"A->B", "B->C"});
+  Schema universe = Schema::Parse("ABCD");  // D in no FD
+  DatabaseScheme d = ThreeNfSynthesis(universe, fds);
+  EXPECT_EQ(d.AttributesOf(d.full_mask()), universe);
+  EXPECT_TRUE(IsLosslessDecomposition(d, universe, fds));
+}
+
+TEST(ThreeNfTest, GroupsCommonLeftSides) {
+  FdSet fds = FdSet::Parse({"A->B", "A->C"});
+  DatabaseScheme d = ThreeNfSynthesis(Schema::Parse("ABC"), fds);
+  // One scheme ABC (A's group) suffices — and it contains the key A.
+  ASSERT_EQ(d.size(), 1);
+  EXPECT_EQ(d.scheme(0), Schema::Parse("ABC"));
+}
+
+TEST(ThreeNfTest, AddsKeySchemeWhenMissing) {
+  // A->B over ABC: group scheme AB, loose attribute C; key is AC — no
+  // scheme contains it, so synthesis must add one.
+  FdSet fds = FdSet::Parse({"A->B"});
+  DatabaseScheme d = ThreeNfSynthesis(Schema::Parse("ABC"), fds);
+  bool has_key = false;
+  for (int i = 0; i < d.size(); ++i) {
+    if (IsSuperkey(d.scheme(i), Schema::Parse("ABC"), fds)) has_key = true;
+  }
+  EXPECT_TRUE(has_key);
+  EXPECT_TRUE(IsLosslessDecomposition(d, Schema::Parse("ABC"), fds));
+}
+
+TEST(NormalizeTest, BcnfOutputSatisfiesHasNoLossyJoins) {
+  // The §4 pipeline: decompose, then the scheme has no lossy joins — the
+  // semantic route to C2.
+  FdSet fds = FdSet::Parse({"A->B", "B->C", "C->D"});
+  DatabaseScheme d = BcnfDecomposition(Schema::Parse("ABCD"), fds);
+  EXPECT_TRUE(HasNoLossyJoins(d, fds));
+}
+
+}  // namespace
+}  // namespace taujoin

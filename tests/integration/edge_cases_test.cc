@@ -1,0 +1,173 @@
+// Edge-case behaviour across the stack: empty results (R_D = φ, which the
+// theorems exclude but the library must survive), single-relation
+// databases, duplicate schemes, and degenerate strategies.
+
+#include <gtest/gtest.h>
+
+#include "core/builder.h"
+#include "core/conditions.h"
+#include "core/cost.h"
+#include "core/properties.h"
+#include "core/trace.h"
+#include "enumerate/strategy_enumerator.h"
+#include "optimize/dp.h"
+#include "optimize/dpccp.h"
+#include "optimize/exhaustive.h"
+#include "optimize/greedy.h"
+
+namespace taujoin {
+namespace {
+
+Database EmptyResultDb() {
+  // AB and BC share B but never match: R_D = φ.
+  return DatabaseBuilder()
+      .Relation("R0", "AB")
+      .Row({1, 10})
+      .Row({2, 11})
+      .Relation("R1", "BC")
+      .Row({20, 1})
+      .Row({21, 2})
+      .Build();
+}
+
+TEST(EmptyResultTest, CostsAndCachesBehave) {
+  Database db = EmptyResultDb();
+  JoinCache cache(&db);
+  EXPECT_EQ(cache.Tau(db.scheme().full_mask()), 0u);
+  Strategy s = Strategy::LeftDeep({0, 1});
+  EXPECT_EQ(TauCost(s, cache), 0u);
+  EvaluationTrace trace = ExecuteStrategy(db, s);
+  EXPECT_TRUE(trace.result.empty());
+}
+
+TEST(EmptyResultTest, OptimizersStillReturnPlans) {
+  Database db = EmptyResultDb();
+  JoinCache cache(&db);
+  ExactSizeModel model(&cache);
+  auto dp = OptimizeDp(db.scheme(), db.scheme().full_mask(), model,
+                       {SearchSpace::kBushy, true});
+  ASSERT_TRUE(dp.has_value());
+  EXPECT_EQ(dp->cost, 0u);
+  auto ccp = OptimizeDpCcp(db.scheme(), db.scheme().full_mask(), model);
+  ASSERT_TRUE(ccp.has_value());
+  PlanResult greedy = OptimizeGreedy(db.scheme(), db.scheme().full_mask(), model);
+  EXPECT_EQ(greedy.cost, 0u);
+}
+
+TEST(EmptyResultTest, MonotonePredicatesOnEmptySteps) {
+  Database db = EmptyResultDb();
+  JoinCache cache(&db);
+  Strategy s = Strategy::LeftDeep({0, 1});
+  // Every step is empty: trivially monotone decreasing, not increasing
+  // (inputs have 2 tuples).
+  EXPECT_TRUE(IsMonotoneDecreasing(s, cache));
+  EXPECT_FALSE(IsMonotoneIncreasing(s, cache));
+}
+
+TEST(EmptyRelationTest, JoinCacheOnEmptyBaseRelation) {
+  Database db = DatabaseBuilder()
+                    .Relation("R0", "AB")
+                    .Relation("R1", "BC")
+                    .Row({1, 1})
+                    .Build();
+  JoinCache cache(&db);
+  EXPECT_EQ(cache.Tau(SingletonMask(0)), 0u);
+  EXPECT_EQ(cache.Tau(db.scheme().full_mask()), 0u);
+}
+
+TEST(SingleRelationTest, WholeStackDegeneratesGracefully) {
+  Database db = DatabaseBuilder()
+                    .Relation("Only", "AB")
+                    .Row({1, 2})
+                    .Row({3, 4})
+                    .Build();
+  JoinCache cache(&db);
+  // The trivial strategy is the only one, in every space.
+  for (StrategySpace space :
+       {StrategySpace::kAll, StrategySpace::kLinear,
+        StrategySpace::kNoCartesian, StrategySpace::kAvoidsCartesian}) {
+    std::vector<Strategy> all =
+        EnumerateStrategies(db.scheme(), db.scheme().full_mask(), space);
+    ASSERT_EQ(all.size(), 1u) << StrategySpaceToString(space);
+    EXPECT_TRUE(all[0].IsTrivial());
+  }
+  ConditionsSummary summary = CheckAllConditions(cache);
+  EXPECT_TRUE(summary.c1.satisfied);
+  EXPECT_TRUE(summary.c3.satisfied);
+  auto best = OptimizeExhaustive(cache, db.scheme().full_mask(),
+                                 StrategySpace::kAll);
+  EXPECT_EQ(best->cost, 0u);
+}
+
+TEST(DuplicateSchemeTest, MultisetDatabasesWork) {
+  // §5's multiset view: three relations over the same scheme.
+  Database db = DatabaseBuilder()
+                    .Relation("X1", "A")
+                    .Row({1})
+                    .Row({2})
+                    .Row({3})
+                    .Relation("X2", "A")
+                    .Row({2})
+                    .Row({3})
+                    .Relation("X3", "A")
+                    .Row({3})
+                    .Row({4})
+                    .Build();
+  JoinCache cache(&db);
+  EXPECT_TRUE(db.scheme().Connected(db.scheme().full_mask()));
+  EXPECT_EQ(cache.Tau(db.scheme().full_mask()), 1u);  // {3}
+  // C3 holds for intersections; Theorem 3 observable.
+  EXPECT_TRUE(CheckC3(cache).satisfied);
+  auto all = OptimizeExhaustive(cache, db.scheme().full_mask(),
+                                StrategySpace::kAll);
+  auto linear = OptimizeExhaustive(cache, db.scheme().full_mask(),
+                                   StrategySpace::kLinear);
+  EXPECT_EQ(all->cost, linear->cost);
+}
+
+TEST(TwoRelationTest, OnlyOneStrategyExists) {
+  Database db = DatabaseBuilder()
+                    .Relation("R0", "AB")
+                    .Row({1, 1})
+                    .Relation("R1", "BC")
+                    .Row({1, 2})
+                    .Build();
+  EXPECT_EQ(CountStrategies(db.scheme(), db.scheme().full_mask(),
+                            StrategySpace::kAll),
+            1u);
+  JoinCache cache(&db);
+  // All four §2 predicates on it:
+  std::vector<Strategy> all =
+      EnumerateStrategies(db.scheme(), db.scheme().full_mask(),
+                          StrategySpace::kAll);
+  const Strategy& s = all[0];
+  EXPECT_TRUE(IsLinear(s));
+  EXPECT_FALSE(UsesCartesianProducts(s, db.scheme()));
+  EXPECT_TRUE(AvoidsCartesianProducts(s, db.scheme()));
+  EXPECT_TRUE(EvaluatesComponentsIndividually(s, db.scheme()));
+}
+
+TEST(WideValueTest, LargeIntegersAndLongStringsSurviveJoins) {
+  Database db =
+      DatabaseBuilder()
+          .Relation("R0", "AB")
+          .Row({Value(int64_t{1} << 62), std::string(500, 'x')})
+          .Relation("R1", "BC")
+          .Row({std::string(500, 'x'), Value(int64_t{-1} * (int64_t{1} << 62))})
+          .Build();
+  Relation joined = db.Evaluate();
+  EXPECT_EQ(joined.Tau(), 1u);
+}
+
+TEST(ConditionsOnEmptyResultTest, CheckersStillTerminate) {
+  // The theorems require R_D ≠ φ, but the checkers must still run.
+  Database db = EmptyResultDb();
+  JoinCache cache(&db);
+  ConditionsSummary summary = CheckAllConditions(cache);
+  // With an empty join, τ(E1 ⋈ E2) = 0 ≤ everything: C3 holds.
+  EXPECT_TRUE(summary.c3.satisfied);
+  EXPECT_FALSE(summary.c4.satisfied);  // join smaller than inputs
+}
+
+}  // namespace
+}  // namespace taujoin

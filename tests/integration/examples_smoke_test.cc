@@ -1,0 +1,134 @@
+// Library-level smoke coverage of what the example binaries demonstrate,
+// so `ctest` alone certifies every user-facing flow (the binaries
+// themselves are run by the bench sweep).
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/builder.h"
+#include "core/conditions.h"
+#include "core/cost.h"
+#include "core/properties.h"
+#include "core/trace.h"
+#include "optimize/condition_aware.h"
+#include "optimize/exhaustive.h"
+#include "semijoin/program.h"
+#include "semijoin/yannakakis.h"
+#include "workload/keyed_generator.h"
+#include "workload/paper_data.h"
+#include "workload/star_schema.h"
+
+namespace taujoin {
+namespace {
+
+TEST(QuickstartFlow, MatchesItsPrintedClaims) {
+  Database db = Example1Database();
+  JoinCache cache(&db);
+  auto all = OptimizeExhaustive(cache, db.scheme().full_mask(),
+                                StrategySpace::kAll);
+  auto linear = OptimizeExhaustive(cache, db.scheme().full_mask(),
+                                   StrategySpace::kLinear);
+  auto avoid = OptimizeExhaustive(cache, db.scheme().full_mask(),
+                                  StrategySpace::kAvoidsCartesian);
+  EXPECT_EQ(all->cost, 546u);
+  EXPECT_EQ(linear->cost, 570u);
+  EXPECT_EQ(avoid->cost, 549u);
+  EXPECT_EQ(CountStrategies(db.scheme(), db.scheme().full_mask(),
+                            StrategySpace::kAll),
+            15u);
+  EXPECT_EQ(CountStrategies(db.scheme(), db.scheme().full_mask(),
+                            StrategySpace::kLinearNoCartesian),
+            0u);  // unconnected scheme: every strategy needs a product
+}
+
+TEST(UniversityFlow, ThreeQueriesBehaveAsNarrated) {
+  // Query 1 (Example 3): everything ties.
+  {
+    Database db = Example3Database();
+    JoinCache cache(&db);
+    EXPECT_EQ(AllOptima(cache, db.scheme().full_mask(), StrategySpace::kAll)
+                  .size(),
+              3u);
+  }
+  // Query 2 (Example 4): the product plan wins.
+  {
+    Database db = Example4Database();
+    JoinCache cache(&db);
+    auto best = OptimizeExhaustive(cache, db.scheme().full_mask(),
+                                   StrategySpace::kAll);
+    EXPECT_TRUE(UsesCartesianProducts(best->strategy, db.scheme()));
+  }
+  // Query 3 (Example 5): System R search misses the optimum.
+  {
+    Database db = Example5Database();
+    JoinCache cache(&db);
+    auto best = OptimizeExhaustive(cache, db.scheme().full_mask(),
+                                   StrategySpace::kAll);
+    auto system_r = OptimizeExhaustive(cache, db.scheme().full_mask(),
+                                       StrategySpace::kLinearNoCartesian);
+    EXPECT_GT(system_r->cost, best->cost);
+  }
+}
+
+TEST(WarehouseFlow, Theorem3MakesRestrictedSearchSafe) {
+  Rng rng(2026);
+  // (Matches the example's first RNG use.)
+  StarSchemaOptions star_options;
+  star_options.dimension_count = 3;
+  star_options.fact_rows = 24;
+  star_options.dimension_rows = 8;
+  star_options.dimension_domain = 12;
+  StarSchemaDatabase star = MakeStarSchema(star_options, rng);
+  JoinCache cache(&star.database);
+  ExactSizeModel model(&cache);
+  auto optimum = OptimizeDp(star.database.scheme(),
+                            star.database.scheme().full_mask(), model,
+                            {SearchSpace::kBushy, true});
+  auto no_cp = OptimizeDp(star.database.scheme(),
+                          star.database.scheme().full_mask(), model,
+                          {SearchSpace::kBushy, false});
+  ASSERT_TRUE(no_cp.has_value());
+  EXPECT_EQ(no_cp->cost, optimum->cost);
+}
+
+TEST(ExplainFlow, TraceAndProgramAgreeWithOptimizer) {
+  Database db = DatabaseBuilder()
+                    .Relation("Enroll", "S,C")
+                    .Row({"Mokhtar", "Phy101"})
+                    .Row({"Lin", "Math200"})
+                    .Relation("Course", "C,I")
+                    .Row({"Phy101", "Newton"})
+                    .Row({"Math200", "Lorentz"})
+                    .Relation("Instr", "I,D")
+                    .Row({"Newton", "Phy"})
+                    .Row({"Lorentz", "Math"})
+                    .Build();
+  FdSet fds;
+  fds.Add(FunctionalDependency{Schema{"C"}, Schema{"I"}});
+  fds.Add(FunctionalDependency{Schema{"I"}, Schema{"D"}});
+  JoinCache cache(&db);
+  ExactSizeModel model(&cache);
+  ConditionAwarePlan plan = OptimizeConditionAware(
+      db.scheme(), db.scheme().full_mask(), fds, model);
+  EXPECT_NE(plan.justification, SpaceJustification::kNoGuaranteeFullSearch);
+  EvaluationTrace trace = ExecuteStrategy(db, plan.plan.strategy);
+  EXPECT_EQ(trace.tau, plan.plan.cost);
+  auto program = SemijoinProgram::FullReducerFor(db.scheme());
+  ASSERT_TRUE(program.ok());
+  EXPECT_TRUE(program->FullyReduces(db));
+}
+
+TEST(AcyclicFlow, YannakakisEndToEnd) {
+  Rng rng(7);
+  KeyedGeneratorOptions options;
+  options.relation_count = 5;
+  options.rows_per_relation = 8;
+  options.join_domain = 10;
+  Database db = KeyedDatabase(options, rng);
+  StatusOr<YannakakisResult> result = YannakakisEvaluate(db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->result, db.Evaluate());
+}
+
+}  // namespace
+}  // namespace taujoin

@@ -1,0 +1,183 @@
+// Cross-cutting invariants tying the modules together, swept over random
+// shapes, skews and seeds — the structural facts the library's fast paths
+// silently rely on.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/conditions.h"
+#include "core/cost.h"
+#include "core/properties.h"
+#include "core/strategy_parser.h"
+#include "core/trace.h"
+#include "enumerate/sampling.h"
+#include "enumerate/subsets.h"
+#include "workload/generator.h"
+#include "workload/paper_data.h"
+
+namespace taujoin {
+namespace {
+
+class InvariantSweep : public ::testing::TestWithParam<int> {
+ protected:
+  Database MakeDb() {
+    Rng rng(static_cast<uint64_t>(GetParam()) * 48271 + 11);
+    GeneratorOptions options;
+    options.shape = static_cast<QueryShape>(GetParam() % 4);
+    options.relation_count = 5;
+    options.rows_per_relation = 6;
+    options.join_domain = 3;
+    options.join_skew = GetParam() % 3 == 0 ? 1.0 : 0.0;
+    return RandomDatabase(options, rng);
+  }
+};
+
+// The structural lemma behind the avoids-CP enumeration and DP: in a
+// strategy without Cartesian-product steps, *every* node's subset is
+// connected.
+TEST_P(InvariantSweep, CpFreeStrategiesHaveConnectedNodes) {
+  Database db = MakeDb();
+  const DatabaseScheme& scheme = db.scheme();
+  if (!scheme.Connected(scheme.full_mask())) return;
+  ForEachStrategy(scheme, scheme.full_mask(), StrategySpace::kNoCartesian,
+                  [&](const Strategy& s) {
+                    for (int node : s.PostOrder()) {
+                      EXPECT_TRUE(scheme.Connected(s.node(node).mask));
+                    }
+                    return true;
+                  });
+}
+
+// τ(R_E ⋈ R_F) ≤ τ(R_E)·τ(R_F) for disjoint subsets, with equality when
+// they are not linked (the §2 facts the proofs use constantly).
+TEST_P(InvariantSweep, ProductBoundAndEquality) {
+  Database db = MakeDb();
+  JoinCache cache(&db);
+  const RelMask full = db.scheme().full_mask();
+  ForEachNonEmptySubmask(full, [&](RelMask e) {
+    ForEachNonEmptySubmask(full & ~e, [&](RelMask f) {
+      uint64_t joined = cache.Tau(e | f);
+      uint64_t bound = cache.Tau(e) * cache.Tau(f);
+      EXPECT_LE(joined, bound);
+      if (!db.scheme().Linked(e, f)) {
+        EXPECT_EQ(joined, bound);
+      }
+    });
+  });
+}
+
+// Every strategy uses at least comp(D) − 1 Cartesian steps (§2), and the
+// avoids-CP enumerator hits that bound exactly.
+TEST_P(InvariantSweep, CartesianStepLowerBound) {
+  Database db = MakeDb();
+  const DatabaseScheme& scheme = db.scheme();
+  const int components = scheme.ComponentCount(scheme.full_mask());
+  Rng rng(static_cast<uint64_t>(GetParam()) + 5);
+  for (int i = 0; i < 25; ++i) {
+    Strategy s =
+        SampleStrategy(scheme, scheme.full_mask(), StrategySpace::kAll, rng);
+    EXPECT_GE(CartesianStepCount(s, scheme), components - 1);
+  }
+}
+
+// The trace executor (physical evaluation) and the JoinCache (subset
+// algebra) agree on τ for random strategies — the library's two cost
+// paths can never drift apart.
+TEST_P(InvariantSweep, TraceAndCacheAgreeOnTau) {
+  Database db = MakeDb();
+  JoinCache cache(&db);
+  Rng rng(static_cast<uint64_t>(GetParam()) * 3 + 1);
+  for (int i = 0; i < 8; ++i) {
+    Strategy s =
+        SampleStrategy(db.scheme(), db.scheme().full_mask(),
+                       StrategySpace::kAll, rng);
+    EvaluationTrace trace = ExecuteStrategy(db, s);
+    EXPECT_EQ(trace.tau, TauCost(s, cache));
+    EXPECT_EQ(trace.result.Tau(), cache.Tau(db.scheme().full_mask()));
+  }
+}
+
+// Tau factors over components (the optimization that lets JoinCache avoid
+// materializing Cartesian products).
+TEST_P(InvariantSweep, TauFactorsOverComponents) {
+  Database db = MakeDb();
+  JoinCache cache(&db);
+  ForEachNonEmptySubmask(db.scheme().full_mask(), [&](RelMask mask) {
+    uint64_t product = 1;
+    for (RelMask component : db.scheme().Components(mask)) {
+      product *= cache.Tau(component);
+    }
+    EXPECT_EQ(cache.Tau(mask), product);
+  });
+}
+
+// Brute-force re-derivation of the C2 checker on the same database: the
+// optimized sweep must agree with the definition applied literally.
+TEST_P(InvariantSweep, C2CheckerMatchesDefinition) {
+  Database db = MakeDb();
+  JoinCache cache(&db);
+  bool expected = true;
+  const RelMask full = db.scheme().full_mask();
+  ForEachNonEmptySubmask(full, [&](RelMask e1) {
+    if (!db.scheme().Connected(e1)) return;
+    ForEachNonEmptySubmask(full & ~e1, [&](RelMask e2) {
+      if (!db.scheme().Connected(e2)) return;
+      if (!db.scheme().Linked(e1, e2)) return;
+      Relation joined = NaturalJoin(db.JoinAll(e1), db.JoinAll(e2));
+      if (joined.Tau() > db.JoinAll(e1).Tau() &&
+          joined.Tau() > db.JoinAll(e2).Tau()) {
+        expected = false;
+      }
+    });
+  });
+  EXPECT_EQ(CheckC2(cache).satisfied, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InvariantSweep, ::testing::Range(0, 10));
+
+// Parser fuzzing: random token soup must never crash — only return a
+// Status or a valid strategy.
+TEST(ParserFuzzTest, RandomInputsNeverCrash) {
+  Database db = Example1Database();
+  Rng rng(424242);
+  const char* pieces[] = {"(", ")", "R1", "R2", "R3", "R4", " ", "x",
+                         "((", "))", "AB", "R1R2", "⋈"};
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string input;
+    int length = static_cast<int>(rng.Uniform(12));
+    for (int i = 0; i < length; ++i) {
+      input += pieces[rng.Uniform(sizeof(pieces) / sizeof(pieces[0]))];
+    }
+    StatusOr<Strategy> parsed = ParseStrategy(db, input);
+    if (parsed.ok()) {
+      EXPECT_TRUE(parsed->IsValid()) << input;
+    }
+  }
+}
+
+// CSV fuzzing through the same lens.
+TEST(ParserFuzzTest, StrategyRoundTripOnEveryExampleStrategy) {
+  Database db = Example5Database();
+  ForEachStrategy(db.scheme(), db.scheme().full_mask(), StrategySpace::kAll,
+                  [&](const Strategy& s) {
+                    // Render with names then re-parse after stripping ⋈.
+                    std::string text = s.ToString(db);
+                    std::string cleaned;
+                    for (size_t i = 0; i < text.size();) {
+                      if (text.compare(i, std::string("⋈").size(), "⋈") ==
+                          0) {
+                        cleaned += ' ';
+                        i += std::string("⋈").size();
+                      } else {
+                        cleaned += text[i];
+                        ++i;
+                      }
+                    }
+                    Strategy reparsed = ParseStrategyOrDie(db, cleaned);
+                    EXPECT_TRUE(reparsed.EquivalentTo(s));
+                    return true;
+                  });
+}
+
+}  // namespace
+}  // namespace taujoin

@@ -1,0 +1,165 @@
+// End-to-end verification of every numbered example in the paper against
+// the exact published numbers and claims.
+
+#include <gtest/gtest.h>
+
+#include "core/conditions.h"
+#include "core/cost.h"
+#include "core/properties.h"
+#include "core/strategy_parser.h"
+#include "optimize/exhaustive.h"
+#include "workload/paper_data.h"
+
+namespace taujoin {
+namespace {
+
+TEST(Example1, PublishedNumbers) {
+  Database db = Example1Database();
+  JoinCache cache(&db);
+  // "τ(R1) = τ(R2) = 4 and τ(R1 ⋈ R2) = 10, and τ(R3) = τ(R4) = 7."
+  EXPECT_EQ(cache.Tau(SingletonMask(0)), 4u);
+  EXPECT_EQ(cache.Tau(SingletonMask(1)), 4u);
+  EXPECT_EQ(cache.Tau(0b0011), 10u);
+  EXPECT_EQ(cache.Tau(SingletonMask(2)), 7u);
+  EXPECT_EQ(cache.Tau(SingletonMask(3)), 7u);
+  // "One can verify that this database satisfies C1."
+  EXPECT_TRUE(CheckC1(cache).satisfied);
+  // "τ(S1) = τ(S2) = 10 + 70 + 490 = 570 and τ(S3) = 10 + 49 + 490 = 549."
+  Strategy s1 = ParseStrategyOrDie(db, "(((R1 R2) R3) R4)");
+  Strategy s2 = ParseStrategyOrDie(db, "(((R1 R2) R4) R3)");
+  Strategy s3 = ParseStrategyOrDie(db, "((R1 R2) (R3 R4))");
+  Strategy s4 = ParseStrategyOrDie(db, "((R1 R3) (R2 R4))");
+  EXPECT_EQ(TauCost(s1, cache), 570u);
+  EXPECT_EQ(TauCost(s2, cache), 570u);
+  EXPECT_EQ(TauCost(s3, cache), 549u);
+  // "τ(S4) = 28 + 28 + 490 = 546."
+  EXPECT_EQ(TauCost(s4, cache), 546u);
+  EXPECT_EQ(StepCosts(s4, cache), (std::vector<uint64_t>{28, 28, 490}));
+}
+
+TEST(Example1, ExactlyThreeStrategiesAvoidCartesianProducts) {
+  Database db = Example1Database();
+  JoinCache cache(&db);
+  std::vector<Strategy> avoiders = EnumerateStrategies(
+      db.scheme(), db.scheme().full_mask(), StrategySpace::kAvoidsCartesian);
+  EXPECT_EQ(avoiders.size(), 3u);
+  // "the τ-optimum strategy does not avoid Cartesian products."
+  auto optimum = OptimizeExhaustive(cache, db.scheme().full_mask(),
+                                    StrategySpace::kAll);
+  EXPECT_EQ(optimum->cost, 546u);
+  EXPECT_FALSE(AvoidsCartesianProducts(optimum->strategy, db.scheme()));
+  // Specifically the optimum is S4 (up to child order).
+  Strategy s4 = ParseStrategyOrDie(db, "((R1 R3) (R2 R4))");
+  EXPECT_TRUE(optimum->strategy.EquivalentTo(s4));
+}
+
+TEST(Example2, C1AndC2AreIndependent) {
+  // First half: Example 1's database has C1 but not C2.
+  {
+    Database db = Example1Database();
+    JoinCache cache(&db);
+    EXPECT_TRUE(CheckC1(cache).satisfied);
+    EXPECT_FALSE(CheckC2(cache).satisfied);
+  }
+  // Second half: the R' database has C2 but not C1.
+  Database db = Example2Database();
+  JoinCache cache(&db);
+  // "τ(R'1) = 8, τ(R'2) = 3, and τ(R'1 ⋈ R'2) = 7, and τ(R'3) = 2."
+  EXPECT_EQ(cache.Tau(SingletonMask(0)), 8u);
+  EXPECT_EQ(cache.Tau(SingletonMask(1)), 3u);
+  EXPECT_EQ(cache.Tau(0b011), 7u);
+  EXPECT_EQ(cache.Tau(SingletonMask(2)), 2u);
+  // "τ(R'1 ⋈ R'2) < τ(R'1), so C2 is satisfied."
+  EXPECT_TRUE(CheckC2(cache).satisfied);
+  // "C1 is not satisfied, since τ(R'2 ⋈ R'1) > 6 = τ(R'2 ⋈ R'3)."
+  EXPECT_FALSE(CheckC1(cache).satisfied);
+  EXPECT_EQ(cache.Tau(0b110), 6u);
+}
+
+TEST(Example3, LinearOptimumMayUseCartesianProductWithoutC1Strict) {
+  Database db = Example3Database();
+  JoinCache cache(&db);
+  // All three strategies generate the same number (4) of intermediate
+  // tuples, so all are τ-optimum.
+  Strategy s1 = ParseStrategyOrDie(db, "((GS SC) CL)");
+  Strategy s2 = ParseStrategyOrDie(db, "((SC CL) GS)");
+  Strategy s3 = ParseStrategyOrDie(db, "((GS CL) SC)");
+  EXPECT_EQ(StepCosts(s1, cache)[0], 4u);
+  EXPECT_EQ(StepCosts(s2, cache)[0], 4u);
+  EXPECT_EQ(StepCosts(s3, cache)[0], 4u);
+  uint64_t t1 = TauCost(s1, cache);
+  EXPECT_EQ(TauCost(s2, cache), t1);
+  EXPECT_EQ(TauCost(s3, cache), t1);
+  // "(GS × CL) ⋈ SC is linear and τ-optimum, although it uses a Cartesian
+  // product."
+  auto optimum = OptimizeExhaustive(cache, db.scheme().full_mask(),
+                                    StrategySpace::kAll);
+  EXPECT_EQ(optimum->cost, t1);
+  EXPECT_TRUE(IsLinear(s3));
+  EXPECT_TRUE(UsesCartesianProducts(s3, db.scheme()));
+  // "the database violates C1' ... however, it satisfies C1."
+  EXPECT_TRUE(CheckC1(cache).satisfied);
+  EXPECT_FALSE(CheckC1Strict(cache).satisfied);
+  // R_D must be non-empty for the theorems to apply.
+  EXPECT_GT(cache.Tau(db.scheme().full_mask()), 0u);
+}
+
+TEST(Example4, OptimumUsesCartesianProductWithoutC1) {
+  Database db = Example4Database();
+  JoinCache cache(&db);
+  Strategy s1 = ParseStrategyOrDie(db, "((GS SC) CL)");
+  Strategy s2 = ParseStrategyOrDie(db, "(GS (SC CL))");
+  Strategy s3 = ParseStrategyOrDie(db, "((GS CL) SC)");
+  // "τ(S1) = 9 + 5 = 14, τ(S2) = 7 + 5 = 12, and τ(S3) = 6 + 5 = 11."
+  EXPECT_EQ(StepCosts(s1, cache), (std::vector<uint64_t>{9, 5}));
+  EXPECT_EQ(StepCosts(s2, cache), (std::vector<uint64_t>{7, 5}));
+  EXPECT_EQ(StepCosts(s3, cache), (std::vector<uint64_t>{6, 5}));
+  EXPECT_EQ(TauCost(s1, cache), 14u);
+  EXPECT_EQ(TauCost(s2, cache), 12u);
+  EXPECT_EQ(TauCost(s3, cache), 11u);
+  // "S3 is τ-optimum, although it uses a Cartesian product."
+  auto optimum = OptimizeExhaustive(cache, db.scheme().full_mask(),
+                                    StrategySpace::kAll);
+  EXPECT_EQ(optimum->cost, 11u);
+  EXPECT_TRUE(optimum->strategy.EquivalentTo(s3));
+  EXPECT_TRUE(UsesCartesianProducts(s3, db.scheme()));
+  // "The database satisfies C2 but not C1."
+  EXPECT_TRUE(CheckC2(cache).satisfied);
+  EXPECT_FALSE(CheckC1(cache).satisfied);
+}
+
+TEST(Example5, UniqueOptimumIsBushyWithoutC3) {
+  Database db = Example5Database();
+  JoinCache cache(&db);
+  // "this database violates C3 (e.g., τ(CI ⋈ ID) > τ(ID))."
+  EXPECT_FALSE(CheckC3(cache).satisfied);
+  EXPECT_GT(cache.Tau(0b1100), cache.Tau(0b1000));
+  // "There is only one τ-optimum strategy, namely (MS⋈SC)⋈(CI⋈ID), which
+  // is not linear, although it does not use Cartesian products."
+  std::vector<Strategy> optima =
+      AllOptima(cache, db.scheme().full_mask(), StrategySpace::kAll);
+  ASSERT_EQ(optima.size(), 1u);
+  Strategy expected = ParseStrategyOrDie(db, "((MS SC) (CI ID))");
+  EXPECT_TRUE(optima[0].EquivalentTo(expected));
+  EXPECT_FALSE(IsLinear(optima[0]));
+  EXPECT_FALSE(UsesCartesianProducts(optima[0], db.scheme()));
+  // "One can verify that the database satisfies C1 and C2."
+  EXPECT_TRUE(CheckC1(cache).satisfied);
+  EXPECT_TRUE(CheckC2(cache).satisfied);
+}
+
+TEST(Example5, LinearNoCpOptimizerMissesTheOptimum) {
+  // The point of Example 5: a System-R-style optimizer (linear, no CP)
+  // cannot find the τ-optimum.
+  Database db = Example5Database();
+  JoinCache cache(&db);
+  auto linear = OptimizeExhaustive(cache, db.scheme().full_mask(),
+                                   StrategySpace::kLinearNoCartesian);
+  auto optimum = OptimizeExhaustive(cache, db.scheme().full_mask(),
+                                    StrategySpace::kAll);
+  ASSERT_TRUE(linear.has_value());
+  EXPECT_GT(linear->cost, optimum->cost);
+}
+
+}  // namespace
+}  // namespace taujoin

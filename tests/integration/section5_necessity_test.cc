@@ -1,0 +1,99 @@
+// §5 necessity: the paper derives C4 from γ-acyclicity PLUS pairwise
+// consistency. Pairwise consistency alone (on a cyclic scheme) is not
+// enough — globally inconsistent "ghost" tuples can make a join smaller
+// than its inputs. These tests pin that down with an explicit witness and
+// a randomized search, certifying that the acyclicity hypothesis carries
+// real weight.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/builder.h"
+#include "core/conditions.h"
+#include "core/cost.h"
+#include "scheme/acyclicity.h"
+#include "semijoin/consistency.h"
+#include "workload/generator.h"
+
+namespace taujoin {
+namespace {
+
+TEST(Section5Necessity, CyclicPairwiseConsistentCanViolateC4) {
+  // The classic triangle witness: three binary relations over AB/BC/CA,
+  // pairwise consistent (every projection matches), yet the 3-way join is
+  // empty — a maximal C4 violation (0 < every input size).
+  Database db = DatabaseBuilder()
+                    .Relation("RAB", "AB")
+                    .Row({0, 0})
+                    .Row({1, 1})
+                    .Relation("RBC", "BC")
+                    .Row({0, 1})
+                    .Row({1, 0})
+                    .Relation("RCA", "CA")
+                    .Row({0, 0})
+                    .Row({1, 1})
+                    .Build();
+  EXPECT_FALSE(IsAlphaAcyclic(db.scheme()));
+  EXPECT_TRUE(IsPairwiseConsistent(db));
+  // Pair joins are fine (each has 2 tuples)...
+  JoinCache cache(&db);
+  EXPECT_EQ(cache.Tau(0b011), 2u);
+  EXPECT_EQ(cache.Tau(0b110), 2u);
+  // ...but the full join is empty: AB=00 forces C=1 via BC, then CA must
+  // map C=1 back to A=1 — contradiction with A=0.
+  EXPECT_EQ(cache.Tau(0b111), 0u);
+  EXPECT_FALSE(CheckC4(cache).satisfied);
+}
+
+TEST(Section5Necessity, RandomCyclicConsistentDatabasesOftenViolateC4) {
+  int sampled = 0, violations = 0;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed * 37 + 5);
+    GeneratorOptions options;
+    options.shape = QueryShape::kCycle;
+    options.relation_count = 4;
+    options.rows_per_relation = 8;
+    options.join_domain = 3;
+    Database db = RandomDatabase(options, rng);
+    // Pairwise (semijoin) reduction gives pairwise consistency but — on a
+    // cyclic scheme — not global consistency.
+    Database reduced = ReduceToPairwiseConsistency(db);
+    JoinCache cache(&reduced);
+    if (!IsPairwiseConsistent(reduced)) continue;
+    bool any_state_nonempty = false;
+    for (int i = 0; i < reduced.size(); ++i) {
+      if (!reduced.state(i).empty()) any_state_nonempty = true;
+    }
+    if (!any_state_nonempty) continue;
+    ++sampled;
+    if (!CheckC4(cache).satisfied) ++violations;
+  }
+  EXPECT_GE(sampled, 10);
+  // The hypothesis really is needed: violations occur in the wild.
+  EXPECT_GT(violations, 0);
+}
+
+TEST(Section5Necessity, GammaAcyclicConsistentNeverViolatesC4) {
+  // Control group: the paper's actual claim, for contrast with the above.
+  int sampled = 0;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed * 41 + 7);
+    GeneratorOptions options;
+    options.shape = seed % 2 == 0 ? QueryShape::kChain : QueryShape::kStar;
+    options.relation_count = 4;
+    options.rows_per_relation = 8;
+    options.join_domain = 3;
+    Database db = RandomDatabase(options, rng);
+    Database reduced = ReduceToPairwiseConsistency(db);
+    JoinCache cache(&reduced);
+    if (cache.Tau(reduced.scheme().full_mask()) == 0) continue;
+    ASSERT_TRUE(IsGammaAcyclic(reduced.scheme()));
+    ASSERT_TRUE(IsPairwiseConsistent(reduced));
+    ++sampled;
+    EXPECT_TRUE(CheckC4(cache).satisfied) << "seed " << seed;
+  }
+  EXPECT_GE(sampled, 5);
+}
+
+}  // namespace
+}  // namespace taujoin

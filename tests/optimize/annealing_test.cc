@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/properties.h"
+#include "optimize/exhaustive.h"
+#include "optimize/iterative.h"
+#include "workload/generator.h"
+#include "workload/paper_data.h"
+
+namespace taujoin {
+namespace {
+
+TEST(AnnealingTest, ProducesValidLinearPlanWithTrueCost) {
+  Database db = Example1Database();
+  JoinCache cache(&db);
+  ExactSizeModel model(&cache);
+  Rng rng(3);
+  PlanResult plan = OptimizeSimulatedAnnealing(
+      db.scheme(), db.scheme().full_mask(), model, rng);
+  EXPECT_TRUE(plan.strategy.IsValid());
+  EXPECT_TRUE(IsLinear(plan.strategy));
+  EXPECT_EQ(plan.cost, TauCost(plan.strategy, cache));
+}
+
+TEST(AnnealingTest, FindsLinearOptimumOnTinyInstance) {
+  Database db = Example1Database();
+  JoinCache cache(&db);
+  ExactSizeModel model(&cache);
+  Rng rng(7);
+  // Small space (12 linear strategies): annealing reliably lands on 570.
+  PlanResult plan = OptimizeSimulatedAnnealing(
+      db.scheme(), db.scheme().full_mask(), model, rng);
+  EXPECT_EQ(plan.cost, 570u);
+}
+
+TEST(AnnealingTest, SingleRelation) {
+  Database db = Example1Database();
+  JoinCache cache(&db);
+  ExactSizeModel model(&cache);
+  Rng rng(1);
+  PlanResult plan =
+      OptimizeSimulatedAnnealing(db.scheme(), SingletonMask(0), model, rng);
+  EXPECT_TRUE(plan.strategy.IsTrivial());
+  EXPECT_EQ(plan.cost, 0u);
+}
+
+class AnnealingSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AnnealingSweep, NeverBeatsTheLinearOptimumAndStaysClose) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 65537 + 11);
+  GeneratorOptions options;
+  options.shape = static_cast<QueryShape>(GetParam() % 4);
+  options.relation_count = 5;
+  options.rows_per_relation = 6;
+  options.join_domain = 3;
+  Database db = RandomDatabase(options, rng);
+  JoinCache cache(&db);
+  ExactSizeModel model(&cache);
+  Rng opt_rng = rng.Fork();
+  PlanResult plan = OptimizeSimulatedAnnealing(
+      db.scheme(), db.scheme().full_mask(), model, opt_rng);
+  auto linear_opt = OptimizeExhaustive(cache, db.scheme().full_mask(),
+                                       StrategySpace::kLinear);
+  EXPECT_GE(plan.cost, linear_opt->cost);
+  // With n = 5 (60 linear orders) the annealer should land within 2x.
+  if (linear_opt->cost > 0) {
+    EXPECT_LE(plan.cost, linear_opt->cost * 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnnealingSweep, ::testing::Range(0, 10));
+
+TEST(AnnealingTest, DeterministicGivenSeed) {
+  Database db = Example5Database();
+  JoinCache cache(&db);
+  ExactSizeModel model(&cache);
+  Rng rng1(42), rng2(42);
+  PlanResult a = OptimizeSimulatedAnnealing(db.scheme(),
+                                            db.scheme().full_mask(), model,
+                                            rng1);
+  PlanResult b = OptimizeSimulatedAnnealing(db.scheme(),
+                                            db.scheme().full_mask(), model,
+                                            rng2);
+  EXPECT_EQ(a.cost, b.cost);
+  EXPECT_TRUE(a.strategy.EquivalentTo(b.strategy));
+}
+
+}  // namespace
+}  // namespace taujoin

@@ -1,0 +1,139 @@
+#include "optimize/condition_aware.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/properties.h"
+#include "optimize/claims.h"
+#include "optimize/exhaustive.h"
+#include "workload/decomposed.h"
+#include "workload/keyed_generator.h"
+#include "workload/mini_tpch.h"
+#include "workload/paper_data.h"
+
+namespace taujoin {
+namespace {
+
+TEST(AllJoinsOnSuperkeysTest, SyntacticCheck) {
+  // Chain AB–BC with B a key of both sides.
+  DatabaseScheme scheme = DatabaseScheme::Parse({"AB", "BC"});
+  EXPECT_TRUE(AllJoinsOnSuperkeys(scheme, FdSet::Parse({"B->A", "B->C"})));
+  EXPECT_FALSE(AllJoinsOnSuperkeys(scheme, FdSet::Parse({"B->C"})));
+  EXPECT_FALSE(AllJoinsOnSuperkeys(scheme, FdSet{}));
+}
+
+TEST(ConditionAwareTest, SuperkeyFdsSelectTheorem3Branch) {
+  DatabaseScheme scheme = DatabaseScheme::Parse({"AB", "BC", "CD"});
+  FdSet fds = FdSet::Parse({"B->A", "B->C", "C->B", "C->D", "D->C"});
+  // Keyed data consistent with the FDs: identity-ish columns.
+  Relation ab = Relation::FromRowsOrDie({"A", "B"}, {{1, 1}, {2, 2}, {3, 3}});
+  Relation bc = Relation::FromRowsOrDie({"B", "C"}, {{1, 1}, {2, 2}});
+  Relation cd = Relation::FromRowsOrDie({"C", "D"}, {{1, 1}, {2, 2}, {4, 4}});
+  Database db = Database::CreateOrDie(scheme, {ab, bc, cd});
+  JoinCache cache(&db);
+  ExactSizeModel model(&cache);
+  ConditionAwarePlan plan =
+      OptimizeConditionAware(scheme, scheme.full_mask(), fds, model);
+  EXPECT_EQ(plan.justification, SpaceJustification::kSuperkeysTheorem3);
+  EXPECT_TRUE(IsLinear(plan.plan.strategy));
+  EXPECT_FALSE(UsesCartesianProducts(plan.plan.strategy, scheme));
+  // The theorem's promise: this restricted plan is globally optimal.
+  auto optimum = OptimizeExhaustive(cache, scheme.full_mask(),
+                                    StrategySpace::kAll);
+  EXPECT_EQ(plan.plan.cost, optimum->cost);
+}
+
+TEST(ConditionAwareTest, LosslessFdsSelectTheorem2Branch) {
+  Rng rng(3);
+  MiniTpch tpch = MakeMiniTpch({}, rng);
+  JoinCache cache(&tpch.database);
+  ExactSizeModel model(&cache);
+  ConditionAwarePlan plan = OptimizeConditionAware(
+      tpch.database.scheme(), tpch.database.scheme().full_mask(), tpch.fds,
+      model);
+  // FK joins key only one side: not the superkey branch, but lossless.
+  EXPECT_EQ(plan.justification, SpaceJustification::kLosslessTheorem2);
+  EXPECT_FALSE(UsesCartesianProducts(plan.plan.strategy,
+                                     tpch.database.scheme()));
+}
+
+TEST(ConditionAwareTest, NoFdsFallBackToFullSearch) {
+  Database db = Example4Database();  // needs a Cartesian product to win
+  JoinCache cache(&db);
+  ExactSizeModel model(&cache);
+  ConditionAwarePlan plan = OptimizeConditionAware(
+      db.scheme(), db.scheme().full_mask(), FdSet{}, model);
+  EXPECT_EQ(plan.justification, SpaceJustification::kNoGuaranteeFullSearch);
+  // Full search finds the CP-using optimum of Example 4.
+  EXPECT_EQ(plan.plan.cost, 11u);
+  EXPECT_TRUE(UsesCartesianProducts(plan.plan.strategy, db.scheme()));
+}
+
+TEST(ConditionAwareTest, TheoremBranchesAreGloballyOptimalOnKeyedData) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Rng rng(seed * 13 + 7);
+    KeyedGeneratorOptions options;
+    options.shape = seed % 2 == 0 ? QueryShape::kChain : QueryShape::kStar;
+    options.relation_count = 5;
+    options.rows_per_relation = 5;
+    options.join_domain = 8;
+    Database db = KeyedDatabase(options, rng);
+    // Declare the FDs the keyed construction guarantees: each join
+    // attribute is a key of every relation containing it.
+    FdSet fds;
+    for (int i = 0; i < db.size(); ++i) {
+      for (const std::string& a : db.scheme().scheme(i)) {
+        // Join attributes appear in 2 schemes.
+        int occurrences = 0;
+        for (int j = 0; j < db.size(); ++j) {
+          if (db.scheme().scheme(j).Contains(a)) ++occurrences;
+        }
+        if (occurrences > 1) {
+          fds.Add(FunctionalDependency{Schema{a},
+                                       db.scheme().scheme(i).Minus(Schema{a})});
+        }
+      }
+    }
+    JoinCache cache(&db);
+    ExactSizeModel model(&cache);
+    ConditionAwarePlan plan = OptimizeConditionAware(
+        db.scheme(), db.scheme().full_mask(), fds, model);
+    EXPECT_EQ(plan.justification, SpaceJustification::kSuperkeysTheorem3);
+    auto optimum = OptimizeExhaustive(cache, db.scheme().full_mask(),
+                                      StrategySpace::kAll);
+    EXPECT_EQ(plan.plan.cost, optimum->cost) << "seed " << seed;
+  }
+}
+
+TEST(ClaimsTest, MatchTheExamples) {
+  {
+    Database db = Example3Database();
+    JoinCache cache(&db);
+    // Example 3: a τ-optimum linear strategy DOES use a product.
+    EXPECT_FALSE(OptimalLinearStrategiesAvoidProducts(cache));
+    // But some optimum avoids products (the other two strategies tie).
+    EXPECT_TRUE(SomeOptimumAvoidsProducts(cache));
+  }
+  {
+    Database db = Example4Database();
+    JoinCache cache(&db);
+    EXPECT_FALSE(SomeOptimumAvoidsProducts(cache));
+  }
+  {
+    Database db = Example5Database();
+    JoinCache cache(&db);
+    EXPECT_TRUE(SomeOptimumAvoidsProducts(cache));
+    EXPECT_FALSE(SomeOptimumIsLinearWithoutProducts(cache));
+  }
+  {
+    Database db = Example1Database();
+    JoinCache cache(&db);
+    EXPECT_FALSE(SomeOptimumAvoidsProducts(cache));
+    // Lemma 4's conclusion also fails here (the optimum interleaves
+    // components).
+    EXPECT_FALSE(SomeOptimumEvaluatesComponentsIndividually(cache));
+  }
+}
+
+}  // namespace
+}  // namespace taujoin

@@ -1,0 +1,123 @@
+#include "optimize/dpccp.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "core/properties.h"
+#include "enumerate/subsets.h"
+#include "scheme/query_graph.h"
+#include "workload/generator.h"
+
+namespace taujoin {
+namespace {
+
+/// Brute-force count of unordered csg-cmp pairs: disjoint, connected,
+/// linked subset pairs.
+uint64_t BruteForcePairCount(const DatabaseScheme& scheme, RelMask mask) {
+  uint64_t count = 0;
+  ForEachNonEmptySubmask(mask, [&](RelMask s1) {
+    if (!scheme.Connected(s1)) return;
+    ForEachNonEmptySubmask(mask & ~s1, [&](RelMask s2) {
+      if (!scheme.Connected(s2)) return;
+      if (!scheme.Linked(s1, s2)) return;
+      if (LowestBit(s1) < LowestBit(s2)) ++count;  // count each pair once
+    });
+  });
+  return count;
+}
+
+TEST(DpCcpTest, PairCountMatchesBruteForceAcrossShapes) {
+  for (QueryShape shape : {QueryShape::kChain, QueryShape::kStar,
+                           QueryShape::kCycle, QueryShape::kClique}) {
+    for (int n : {3, 4, 5, 6}) {
+      if (shape == QueryShape::kCycle && n < 3) continue;
+      DatabaseScheme scheme = MakeShapedScheme(shape, n);
+      EXPECT_EQ(CountCsgCmpPairs(scheme, scheme.full_mask()),
+                BruteForcePairCount(scheme, scheme.full_mask()))
+          << QueryShapeToString(shape) << " n=" << n;
+    }
+  }
+}
+
+TEST(DpCcpTest, ChainPairCountIsCubic) {
+  // Known closed form for chains: #ccp = (n³ − n) / 6.
+  for (int n = 2; n <= 10; ++n) {
+    DatabaseScheme scheme = MakeShapedScheme(QueryShape::kChain, n);
+    uint64_t expected = static_cast<uint64_t>(n) * (n - 1) * (n + 1) / 6;
+    EXPECT_EQ(CountCsgCmpPairs(scheme, scheme.full_mask()), expected) << n;
+  }
+}
+
+TEST(DpCcpTest, PairsAreValidAndUnique) {
+  DatabaseScheme scheme = MakeShapedScheme(QueryShape::kCycle, 6);
+  std::set<std::pair<RelMask, RelMask>> seen;
+  int last_size = 0;
+  ForEachCsgCmpPair(scheme, scheme.full_mask(), [&](RelMask s1, RelMask s2) {
+    EXPECT_TRUE(scheme.Connected(s1));
+    EXPECT_TRUE(scheme.Connected(s2));
+    EXPECT_EQ(s1 & s2, RelMask{0});
+    EXPECT_TRUE(scheme.Linked(s1, s2));
+    // Normalized key for uniqueness regardless of orientation.
+    auto key = std::minmax(s1, s2);
+    EXPECT_TRUE(seen.insert({key.first, key.second}).second);
+    // Non-decreasing union size (the DP consumption contract).
+    int size = PopCount(s1 | s2);
+    EXPECT_GE(size, last_size);
+    last_size = size;
+  });
+}
+
+TEST(DpCcpTest, UnconnectedMaskReturnsNullopt) {
+  DatabaseScheme scheme = DatabaseScheme::Parse({"AB", "CD"});
+  Relation ab = Relation::FromRowsOrDie({"A", "B"}, {{1, 1}});
+  Relation cd = Relation::FromRowsOrDie({"C", "D"}, {{1, 1}});
+  Database db = Database::CreateOrDie(scheme, {ab, cd});
+  JoinCache cache(&db);
+  ExactSizeModel model(&cache);
+  EXPECT_FALSE(OptimizeDpCcp(scheme, scheme.full_mask(), model).has_value());
+}
+
+class DpCcpMatchesDpSub : public ::testing::TestWithParam<int> {};
+
+TEST_P(DpCcpMatchesDpSub, SameOptimalCost) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 15485863 + 7);
+  GeneratorOptions options;
+  options.shape = static_cast<QueryShape>(GetParam() % 4);
+  options.relation_count = 5 + GetParam() % 2;
+  options.rows_per_relation = 6;
+  options.join_domain = 3;
+  Database db = RandomDatabase(options, rng);
+  JoinCache cache(&db);
+  ExactSizeModel model(&cache);
+  auto ccp = OptimizeDpCcp(db.scheme(), db.scheme().full_mask(), model);
+  auto sub = OptimizeDp(db.scheme(), db.scheme().full_mask(), model,
+                        {SearchSpace::kBushy, /*allow_cartesian=*/false});
+  ASSERT_EQ(ccp.has_value(), sub.has_value());
+  if (ccp.has_value()) {
+    EXPECT_EQ(ccp->cost, sub->cost);
+    EXPECT_EQ(ccp->cost, TauCost(ccp->strategy, cache));
+    EXPECT_FALSE(UsesCartesianProducts(ccp->strategy, db.scheme()));
+    EXPECT_TRUE(ccp->strategy.IsValid());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DpCcpMatchesDpSub, ::testing::Range(0, 16));
+
+TEST(DpCcpTest, SingleRelation) {
+  DatabaseScheme scheme = MakeShapedScheme(QueryShape::kChain, 3);
+  Relation r0{scheme.scheme(0)};
+  Relation r1{scheme.scheme(1)};
+  Relation r2{scheme.scheme(2)};
+  Database db = Database::CreateOrDie(scheme, {r0, r1, r2});
+  JoinCache cache(&db);
+  ExactSizeModel model(&cache);
+  auto plan = OptimizeDpCcp(scheme, SingletonMask(1), model);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_TRUE(plan->strategy.IsTrivial());
+  EXPECT_EQ(plan->cost, 0u);
+}
+
+}  // namespace
+}  // namespace taujoin

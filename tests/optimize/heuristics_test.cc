@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/properties.h"
+#include "optimize/exhaustive.h"
+#include "optimize/greedy.h"
+#include "optimize/iterative.h"
+#include "workload/generator.h"
+#include "workload/paper_data.h"
+
+namespace taujoin {
+namespace {
+
+TEST(GreedyTest, ProducesValidStrategyWithTrueCost) {
+  Database db = Example1Database();
+  JoinCache cache(&db);
+  ExactSizeModel model(&cache);
+  PlanResult plan = OptimizeGreedy(db.scheme(), db.scheme().full_mask(), model);
+  EXPECT_TRUE(plan.strategy.IsValid());
+  EXPECT_EQ(plan.strategy.mask(), db.scheme().full_mask());
+  EXPECT_EQ(plan.cost, TauCost(plan.strategy, cache));
+}
+
+TEST(GreedyTest, NeverBeatsExhaustiveOptimum) {
+  Rng rng(99);
+  for (int i = 0; i < 8; ++i) {
+    GeneratorOptions options;
+    options.shape = static_cast<QueryShape>(i % 4);
+    options.relation_count = 5;
+    options.rows_per_relation = 5;
+    options.join_domain = 3;
+    Database db = RandomDatabase(options, rng);
+    JoinCache cache(&db);
+    ExactSizeModel model(&cache);
+    PlanResult greedy =
+        OptimizeGreedy(db.scheme(), db.scheme().full_mask(), model);
+    auto optimum = OptimizeExhaustive(cache, db.scheme().full_mask(),
+                                      StrategySpace::kAll);
+    EXPECT_GE(greedy.cost, optimum->cost);
+  }
+}
+
+TEST(GreedyLinearTest, ProducesLinearStrategy) {
+  Database db = Example5Database();
+  JoinCache cache(&db);
+  ExactSizeModel model(&cache);
+  PlanResult plan =
+      OptimizeGreedyLinear(db.scheme(), db.scheme().full_mask(), model);
+  EXPECT_TRUE(IsLinear(plan.strategy));
+  EXPECT_EQ(plan.cost, TauCost(plan.strategy, cache));
+}
+
+TEST(GreedyLinearTest, PrefersLinkedExtensions) {
+  // On a connected chain the linked-first heuristic never inserts a CP.
+  Rng rng(5);
+  GeneratorOptions options;
+  options.shape = QueryShape::kChain;
+  options.relation_count = 6;
+  options.rows_per_relation = 5;
+  options.join_domain = 3;
+  Database db = RandomDatabase(options, rng);
+  JoinCache cache(&db);
+  ExactSizeModel model(&cache);
+  PlanResult plan =
+      OptimizeGreedyLinear(db.scheme(), db.scheme().full_mask(), model);
+  EXPECT_FALSE(UsesCartesianProducts(plan.strategy, db.scheme()));
+}
+
+TEST(IterativeTest, FindsLinearOptimumOnSmallInstance) {
+  Database db = Example1Database();
+  JoinCache cache(&db);
+  ExactSizeModel model(&cache);
+  Rng rng(17);
+  IterativeOptions options;
+  options.restarts = 16;
+  PlanResult plan = OptimizeIterative(db.scheme(), db.scheme().full_mask(),
+                                      model, rng, options);
+  EXPECT_TRUE(IsLinear(plan.strategy));
+  // With 12 linear strategies and 16 restarts it reliably hits 570.
+  EXPECT_EQ(plan.cost, 570u);
+  EXPECT_EQ(plan.cost, TauCost(plan.strategy, cache));
+}
+
+TEST(IterativeTest, SingleRelation) {
+  Database db = Example1Database();
+  JoinCache cache(&db);
+  ExactSizeModel model(&cache);
+  Rng rng(1);
+  PlanResult plan = OptimizeIterative(db.scheme(), SingletonMask(2), model, rng);
+  EXPECT_TRUE(plan.strategy.IsTrivial());
+  EXPECT_EQ(plan.cost, 0u);
+}
+
+TEST(IterativeTest, NeverBelowLinearOptimum) {
+  Rng rng(123);
+  for (int i = 0; i < 6; ++i) {
+    GeneratorOptions options;
+    options.shape = static_cast<QueryShape>(i % 4);
+    options.relation_count = 5;
+    options.rows_per_relation = 5;
+    options.join_domain = 3;
+    Database db = RandomDatabase(options, rng);
+    JoinCache cache(&db);
+    ExactSizeModel model(&cache);
+    Rng opt_rng = rng.Fork();
+    PlanResult plan = OptimizeIterative(db.scheme(), db.scheme().full_mask(),
+                                        model, opt_rng);
+    auto linear_opt = OptimizeExhaustive(cache, db.scheme().full_mask(),
+                                         StrategySpace::kLinear);
+    EXPECT_GE(plan.cost, linear_opt->cost);
+  }
+}
+
+TEST(ExhaustiveTest, AllOptimaShareTheMinimumCost) {
+  Database db = Example3Database();
+  JoinCache cache(&db);
+  std::vector<Strategy> optima =
+      AllOptima(cache, db.scheme().full_mask(), StrategySpace::kAll);
+  // Example 3: all three strategies are τ-optimum.
+  EXPECT_EQ(optima.size(), 3u);
+  uint64_t cost = TauCost(optima[0], cache);
+  for (const Strategy& s : optima) EXPECT_EQ(TauCost(s, cache), cost);
+}
+
+TEST(ExhaustiveTest, EmptySubspaceGivesNullopt) {
+  Database db = Example1Database();  // unconnected
+  JoinCache cache(&db);
+  EXPECT_FALSE(OptimizeExhaustive(cache, db.scheme().full_mask(),
+                                  StrategySpace::kLinearNoCartesian)
+                   .has_value());
+  EXPECT_TRUE(AllOptima(cache, db.scheme().full_mask(),
+                        StrategySpace::kNoCartesian)
+                  .empty());
+}
+
+}  // namespace
+}  // namespace taujoin

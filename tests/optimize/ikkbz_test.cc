@@ -1,0 +1,146 @@
+#include "optimize/ikkbz.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "workload/generator.h"
+
+namespace taujoin {
+namespace {
+
+Database MakeTreeDb(QueryShape shape, int n, uint64_t seed, int rows = 8,
+                    int domain = 4) {
+  Rng rng(seed);
+  GeneratorOptions options;
+  options.shape = shape;
+  options.relation_count = n;
+  options.rows_per_relation = rows;
+  options.join_domain = domain;
+  return RandomDatabase(options, rng);
+}
+
+/// Brute force: minimum ASI cost over all *connected* left-deep orders.
+double BruteForceBest(const Database& db, const AsiCostModel& model) {
+  const DatabaseScheme& scheme = db.scheme();
+  const int n = db.size();
+  double best = 1e300;
+  std::vector<int> order;
+  std::vector<bool> used(static_cast<size_t>(n), false);
+  std::function<void()> recurse = [&]() {
+    if (static_cast<int>(order.size()) == n) {
+      best = std::min(best, model.SequenceCost(order, scheme));
+      return;
+    }
+    for (int i = 0; i < n; ++i) {
+      if (used[static_cast<size_t>(i)]) continue;
+      if (!order.empty()) {
+        bool linked = false;
+        for (int p : order) {
+          if (scheme.Adjacent(p, i)) linked = true;
+        }
+        if (!linked) continue;
+      }
+      used[static_cast<size_t>(i)] = true;
+      order.push_back(i);
+      recurse();
+      order.pop_back();
+      used[static_cast<size_t>(i)] = false;
+    }
+  };
+  recurse();
+  return best;
+}
+
+TEST(AsiModelTest, MeasuredSelectivitiesAreSane) {
+  Database db = MakeTreeDb(QueryShape::kChain, 4, 3);
+  AsiCostModel model = AsiCostModel::FromDatabase(db);
+  ASSERT_EQ(model.cardinality.size(), 4u);
+  for (const auto& [edge, s] : model.selectivity) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0) << edge.first << "-" << edge.second;
+  }
+  // A chain of 4 has exactly 3 edges.
+  EXPECT_EQ(model.selectivity.size(), 3u);
+}
+
+TEST(AsiModelTest, SequenceCostMatchesManualComputation) {
+  Database db = MakeTreeDb(QueryShape::kChain, 3, 5);
+  AsiCostModel model = AsiCostModel::FromDatabase(db);
+  std::vector<int> order = {0, 1, 2};
+  double t1 = model.cardinality[0];
+  double t2 = t1 * model.SelectivityBetween(0, 1) * model.cardinality[1];
+  double t3 = t2 * model.SelectivityBetween(1, 2) * model.cardinality[2];
+  EXPECT_NEAR(model.SequenceCost(order, db.scheme()), t2 + t3, 1e-9);
+}
+
+TEST(AsiModelTest, SequenceCostRejectsDisconnectedOrder) {
+  Database db = MakeTreeDb(QueryShape::kChain, 3, 5);
+  AsiCostModel model = AsiCostModel::FromDatabase(db);
+  EXPECT_DEATH(model.SequenceCost({0, 2, 1}, db.scheme()), "not connected");
+}
+
+TEST(IkkbzTest, RejectsCyclicQueryGraph) {
+  Database db = MakeTreeDb(QueryShape::kCycle, 4, 1);
+  AsiCostModel model = AsiCostModel::FromDatabase(db);
+  auto result = OptimizeIkkbz(db.scheme(), db.scheme().full_mask(), model);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(IkkbzTest, SingleRelation) {
+  Database db = MakeTreeDb(QueryShape::kChain, 3, 1);
+  AsiCostModel model = AsiCostModel::FromDatabase(db);
+  auto result = OptimizeIkkbz(db.scheme(), SingletonMask(1), model);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->order, std::vector<int>{1});
+  EXPECT_EQ(result->cost, 0.0);
+}
+
+// Property: IKKBZ equals brute force over connected left-deep orders on
+// tree query graphs (that is the Ibaraki–Kameda optimality theorem).
+class IkkbzOptimality : public ::testing::TestWithParam<int> {};
+
+TEST_P(IkkbzOptimality, MatchesBruteForceOnTrees) {
+  const int seed = GetParam();
+  QueryShape shape = seed % 2 == 0 ? QueryShape::kChain : QueryShape::kStar;
+  Database db = MakeTreeDb(shape, 4 + seed % 3,
+                           static_cast<uint64_t>(seed) * 77 + 5, 8,
+                           3 + seed % 3);
+  AsiCostModel model = AsiCostModel::FromDatabase(db);
+  auto result = OptimizeIkkbz(db.scheme(), db.scheme().full_mask(), model);
+  ASSERT_TRUE(result.ok());
+  double brute = BruteForceBest(db, model);
+  EXPECT_NEAR(result->cost, brute, 1e-6 * (1 + brute))
+      << "shape " << QueryShapeToString(shape) << " seed " << seed;
+  // The produced order itself must be connected and have that cost.
+  EXPECT_NEAR(model.SequenceCost(result->order, db.scheme()), result->cost,
+              1e-9 * (1 + brute));
+  EXPECT_EQ(result->order.size(), static_cast<size_t>(db.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IkkbzOptimality, ::testing::Range(0, 20));
+
+TEST(IkkbzTest, WorksOnSubsetsOfRelations) {
+  Database db = MakeTreeDb(QueryShape::kChain, 5, 9);
+  AsiCostModel model = AsiCostModel::FromDatabase(db);
+  // The middle three relations of the chain form a tree.
+  RelMask mask = 0b01110;
+  auto result = OptimizeIkkbz(db.scheme(), mask, model);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->order.size(), 3u);
+  for (int r : result->order) {
+    EXPECT_TRUE(mask & SingletonMask(r));
+  }
+}
+
+TEST(IkkbzTest, DisconnectedSubsetRejected) {
+  Database db = MakeTreeDb(QueryShape::kChain, 5, 9);
+  AsiCostModel model = AsiCostModel::FromDatabase(db);
+  auto result = OptimizeIkkbz(db.scheme(), 0b10001, model);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace taujoin

@@ -1,0 +1,113 @@
+#include "optimize/lossless_strategy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/cost.h"
+#include "core/strategy_parser.h"
+#include "workload/mini_tpch.h"
+#include "workload/star_schema.h"
+
+namespace taujoin {
+namespace {
+
+TEST(OsbornStepTest, SuperkeyOnEitherSideQualifies) {
+  FdSet fds = FdSet::Parse({"B->C"});
+  // AB ⋈ BC shares B, a key of BC → Osborn step.
+  EXPECT_TRUE(IsOsbornStep(Schema::Parse("AB"), Schema::Parse("BC"), fds));
+  EXPECT_TRUE(IsOsbornStep(Schema::Parse("BC"), Schema::Parse("AB"), fds));
+  // Without the FD it is not.
+  EXPECT_FALSE(IsOsbornStep(Schema::Parse("AB"), Schema::Parse("BC"), FdSet{}));
+  // Disjoint schemes never qualify.
+  EXPECT_FALSE(IsOsbornStep(Schema::Parse("AB"), Schema::Parse("CD"), fds));
+}
+
+TEST(ExtensionJoinStepTest, PartialDeterminationSuffices) {
+  // Shared B determines C but not D: extension join yes, Osborn no.
+  FdSet fds = FdSet::Parse({"B->C"});
+  EXPECT_TRUE(
+      IsExtensionJoinStep(Schema::Parse("AB"), Schema::Parse("BCD"), fds));
+  EXPECT_FALSE(IsOsbornStep(Schema::Parse("AB"), Schema::Parse("BCD"), fds));
+  // Nothing determined: neither.
+  EXPECT_FALSE(
+      IsExtensionJoinStep(Schema::Parse("AB"), Schema::Parse("BCD"), FdSet{}));
+}
+
+TEST(ExtensionJoinStepTest, OsbornStepsWithRealExtensionQualify) {
+  FdSet fds = FdSet::Parse({"B->C"});
+  EXPECT_TRUE(
+      IsExtensionJoinStep(Schema::Parse("AB"), Schema::Parse("BC"), fds));
+}
+
+TEST(OsbornStrategyTest, RecognizesKeyedChainStrategy) {
+  // Chain AB–BC–CD with B→ABC-keys etc. (each join attribute keys the
+  // downstream relation).
+  DatabaseScheme scheme = DatabaseScheme::Parse({"AB", "BC", "CD"});
+  FdSet fds = FdSet::Parse({"B->C", "C->D"});
+  Relation ab = Relation::FromRowsOrDie({"A", "B"}, {{1, 1}, {2, 2}});
+  Relation bc = Relation::FromRowsOrDie({"B", "C"}, {{1, 1}, {2, 2}});
+  Relation cd = Relation::FromRowsOrDie({"C", "D"}, {{1, 1}, {2, 2}});
+  Database db = Database::CreateOrDie(scheme, {ab, bc, cd});
+  Strategy left_deep = ParseStrategyOrDie(db, "((AB BC) CD)");
+  EXPECT_TRUE(IsOsbornStrategy(left_deep, scheme, fds));
+  // The reversed chain is NOT all-Osborn: CD ⋈ BC shares C, which keys
+  // CD... C -> D keys CD; so (CD BC) step shares C: superkey of CD ✓; then
+  // (BCD) ⋈ AB shares B: B -> CD keys BCD ✓... so it IS Osborn as well.
+  Strategy right_deep = ParseStrategyOrDie(db, "((CD BC) AB)");
+  EXPECT_TRUE(IsOsbornStrategy(right_deep, scheme, fds));
+  // Without FDs nothing is.
+  EXPECT_FALSE(IsOsbornStrategy(left_deep, scheme, FdSet{}));
+}
+
+TEST(OsbornStrategyTest, FindOnStarSchema) {
+  Rng rng(5);
+  StarSchemaOptions options;
+  StarSchemaDatabase star = MakeStarSchema(options, rng);
+  std::optional<Strategy> strategy = FindOsbornStrategy(
+      star.database.scheme(), star.database.scheme().full_mask(), star.fds);
+  ASSERT_TRUE(strategy.has_value());
+  EXPECT_TRUE(strategy->IsValid());
+  EXPECT_TRUE(IsOsbornStrategy(*strategy, star.database.scheme(), star.fds));
+}
+
+TEST(OsbornStrategyTest, FindFailsWithoutFds) {
+  DatabaseScheme scheme = DatabaseScheme::Parse({"AB", "BC", "CD"});
+  EXPECT_FALSE(FindOsbornStrategy(scheme, scheme.full_mask(), FdSet{})
+                   .has_value());
+}
+
+TEST(OsbornStrategyTest, SectionFiveSizeObservation) {
+  // §5: in each Osborn step, τ(R_E1 ⋈ R_E2) ≤ τ(R_E1) or ≤ τ(R_E2) — on
+  // data satisfying the FDs. Verified on FK star schemas.
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(seed * 3 + 1);
+    StarSchemaOptions options;
+    StarSchemaDatabase star = MakeStarSchema(options, rng);
+    std::optional<Strategy> strategy = FindOsbornStrategy(
+        star.database.scheme(), star.database.scheme().full_mask(), star.fds);
+    ASSERT_TRUE(strategy.has_value());
+    JoinCache cache(&star.database);
+    for (int step : strategy->Steps()) {
+      const Strategy::Node& n = strategy->node(step);
+      uint64_t joined = cache.Tau(n.mask);
+      uint64_t left = cache.Tau(strategy->node(n.left).mask);
+      uint64_t right = cache.Tau(strategy->node(n.right).mask);
+      EXPECT_TRUE(joined <= left || joined <= right)
+          << "seed " << seed << " step mask " << n.mask;
+    }
+  }
+}
+
+TEST(OsbornStrategyTest, MiniTpchHasAnOsbornStrategy) {
+  Rng rng(9);
+  MiniTpch tpch = MakeMiniTpch({}, rng);
+  std::optional<Strategy> strategy = FindOsbornStrategy(
+      tpch.database.scheme(), tpch.database.scheme().full_mask(), tpch.fds);
+  // Every step can consume a keyed relation (dimension or the order FK),
+  // starting from Lineitem.
+  ASSERT_TRUE(strategy.has_value());
+  EXPECT_TRUE(IsOsbornStrategy(*strategy, tpch.database.scheme(), tpch.fds));
+}
+
+}  // namespace
+}  // namespace taujoin

@@ -1,0 +1,85 @@
+#include "relational/csv.h"
+
+#include <gtest/gtest.h>
+
+#include "relational/printer.h"
+
+namespace taujoin {
+namespace {
+
+TEST(CsvTest, ParsesHeaderAndRows) {
+  auto r = RelationFromCsv("A,B\n1,2\n3,4\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->schema(), Schema::Parse("AB"));
+  EXPECT_EQ(r->size(), 2u);
+  EXPECT_TRUE(r->Contains(Tuple{1, 2}));
+  EXPECT_TRUE(r->Contains(Tuple{3, 4}));
+}
+
+TEST(CsvTest, DetectsIntegersAndStrings) {
+  auto r = RelationFromCsv("A,B\n-5,Mokhtar\n+7,42x\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->Contains(Tuple{-5, "Mokhtar"}));
+  EXPECT_TRUE(r->Contains(Tuple{7, "42x"}));
+}
+
+TEST(CsvTest, ColumnsReorderedToSchemaOrder) {
+  auto r = RelationFromCsv("B,A\n1,2\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->schema(), Schema::Parse("AB"));
+  EXPECT_TRUE(r->Contains(Tuple{2, 1}));  // A=2, B=1
+}
+
+TEST(CsvTest, SkipsBlankLinesAndTrimsFields) {
+  auto r = RelationFromCsv("\n A , B \n 1 , x \n\n 2 , y \n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+  EXPECT_TRUE(r->Contains(Tuple{1, "x"}));
+}
+
+TEST(CsvTest, DuplicateRowsCollapse) {
+  auto r = RelationFromCsv("A\n1\n1\n2\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  auto r = RelationFromCsv("A,B\n1\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RejectsEmptyInput) {
+  EXPECT_FALSE(RelationFromCsv("").ok());
+  EXPECT_FALSE(RelationFromCsv("\n\n").ok());
+}
+
+TEST(CsvTest, RejectsDuplicateHeaderAttributes) {
+  EXPECT_FALSE(RelationFromCsv("A,A\n1,2\n").ok());
+}
+
+TEST(CsvTest, RoundTripsWithRelationToCsv) {
+  auto original = RelationFromCsv("A,B,C\n1,foo,3\n4,bar,6\n");
+  ASSERT_TRUE(original.ok());
+  std::string csv = RelationToCsv(*original);
+  auto round_tripped = RelationFromCsv(csv);
+  ASSERT_TRUE(round_tripped.ok());
+  EXPECT_EQ(*original, *round_tripped);
+}
+
+TEST(CsvTest, HeaderOnlyGivesEmptyRelation) {
+  auto r = RelationFromCsv("A,B\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+  EXPECT_EQ(r->schema(), Schema::Parse("AB"));
+}
+
+TEST(CsvTest, SignCharactersAloneAreStrings) {
+  auto r = RelationFromCsv("A\n-\n+\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->Contains(Tuple{"-"}));
+  EXPECT_TRUE(r->Contains(Tuple{"+"}));
+}
+
+}  // namespace
+}  // namespace taujoin

@@ -1,0 +1,118 @@
+#include "relational/operators.h"
+
+#include <gtest/gtest.h>
+
+#include "relational/join.h"
+
+namespace taujoin {
+namespace {
+
+Relation MakeR(const std::vector<std::string>& attrs,
+               const std::vector<std::vector<Value>>& rows) {
+  return Relation::FromRowsOrDie(attrs, rows);
+}
+
+TEST(OperatorsTest, ProjectDropsColumnsAndDeduplicates) {
+  Relation r = MakeR({"A", "B"}, {{1, 10}, {2, 10}, {3, 20}});
+  Relation p = Project(r, Schema::Parse("B"));
+  EXPECT_EQ(p.schema(), Schema::Parse("B"));
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_TRUE(p.Contains(Tuple{10}));
+  EXPECT_TRUE(p.Contains(Tuple{20}));
+}
+
+TEST(OperatorsTest, ProjectOntoFullSchemaIsIdentity) {
+  Relation r = MakeR({"A", "B"}, {{1, 10}, {2, 20}});
+  EXPECT_EQ(Project(r, r.schema()), r);
+}
+
+TEST(OperatorsTest, SelectByPredicate) {
+  Relation r = MakeR({"A", "B"}, {{1, 10}, {2, 20}, {3, 30}});
+  Relation s = Select(r, [](const Tuple& t, const Schema& schema) {
+    return t.value(static_cast<size_t>(schema.IndexOf("B"))).AsInt() >= 20;
+  });
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(OperatorsTest, SelectEquals) {
+  Relation r = MakeR({"A", "B"}, {{1, 10}, {2, 10}, {3, 30}});
+  Relation s = SelectEquals(r, "B", Value(10));
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(OperatorsTest, SemijoinKeepsMatchingTuples) {
+  Relation r = MakeR({"A", "B"}, {{1, 10}, {2, 20}, {3, 30}});
+  Relation s = MakeR({"B", "C"}, {{10, 0}, {30, 1}});
+  Relation sj = Semijoin(r, s);
+  EXPECT_EQ(sj.schema(), r.schema());
+  EXPECT_EQ(sj.size(), 2u);
+  EXPECT_TRUE(sj.Contains(Tuple{1, 10}));
+  EXPECT_TRUE(sj.Contains(Tuple{3, 30}));
+}
+
+TEST(OperatorsTest, SemijoinEqualsProjectionOfJoin) {
+  Relation r = MakeR({"A", "B"}, {{1, 10}, {2, 20}, {3, 10}});
+  Relation s = MakeR({"B", "C"}, {{10, 0}, {10, 1}});
+  EXPECT_EQ(Semijoin(r, s), Project(NaturalJoin(r, s), r.schema()));
+}
+
+TEST(OperatorsTest, AntijoinIsComplementOfSemijoin) {
+  Relation r = MakeR({"A", "B"}, {{1, 10}, {2, 20}, {3, 30}});
+  Relation s = MakeR({"B", "C"}, {{10, 0}});
+  Relation sj = Semijoin(r, s);
+  Relation aj = Antijoin(r, s);
+  EXPECT_EQ(sj.size() + aj.size(), r.size());
+  for (const Tuple& t : aj) EXPECT_FALSE(sj.Contains(t));
+}
+
+TEST(OperatorsTest, UnionIntersectDifference) {
+  Relation a = MakeR({"A"}, {{1}, {2}, {3}});
+  Relation b = MakeR({"A"}, {{3}, {4}});
+  EXPECT_EQ(Union(a, b)->size(), 4u);
+  EXPECT_EQ(Intersect(a, b)->size(), 1u);
+  EXPECT_EQ(Difference(a, b)->size(), 2u);
+  EXPECT_EQ(Difference(b, a)->size(), 1u);
+}
+
+TEST(OperatorsTest, SetOperationsRejectDifferentSchemas) {
+  Relation a = MakeR({"A"}, {{1}});
+  Relation b = MakeR({"B"}, {{1}});
+  EXPECT_FALSE(Union(a, b).ok());
+  EXPECT_FALSE(Intersect(a, b).ok());
+  EXPECT_FALSE(Difference(a, b).ok());
+}
+
+TEST(OperatorsTest, RenameMovesValues) {
+  Relation r = MakeR({"A", "B"}, {{1, 10}, {2, 20}});
+  StatusOr<Relation> renamed = Rename(r, "B", "Z");
+  ASSERT_TRUE(renamed.ok());
+  EXPECT_EQ(renamed->schema(), Schema::Parse("AZ"));
+  // A=1 should pair with Z=10.
+  EXPECT_TRUE(renamed->Contains(Tuple{1, 10}));
+}
+
+TEST(OperatorsTest, RenameValidatesAttributes) {
+  Relation r = MakeR({"A", "B"}, {{1, 10}});
+  EXPECT_FALSE(Rename(r, "X", "Z").ok());
+  EXPECT_FALSE(Rename(r, "A", "B").ok());
+}
+
+TEST(OperatorsTest, RenameRoundTrip) {
+  Relation r = MakeR({"A", "B"}, {{1, 10}, {2, 20}});
+  Relation once = *Rename(r, "A", "Q");
+  Relation back = *Rename(once, "Q", "A");
+  EXPECT_EQ(back, r);
+}
+
+TEST(OperatorsTest, SemijoinWithDisjointSchemaKeepsAllWhenNonEmpty) {
+  Relation r = MakeR({"A"}, {{1}, {2}});
+  Relation s = MakeR({"B"}, {{9}});
+  // Empty common attributes: every tuple matches (projection onto {} is
+  // non-empty iff s is non-empty).
+  EXPECT_EQ(Semijoin(r, s), r);
+  Relation empty(Schema::Parse("B"));
+  EXPECT_TRUE(Semijoin(r, empty).empty());
+}
+
+}  // namespace
+}  // namespace taujoin

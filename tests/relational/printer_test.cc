@@ -1,0 +1,51 @@
+#include "relational/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+
+namespace taujoin {
+namespace {
+
+TEST(PrinterTest, TableHasHeaderSeparatorAndRows) {
+  Relation r = Relation::FromRowsOrDie({"A", "B"}, {{1, 20}, {300, 4}});
+  std::string out = PrintRelation(r);
+  std::vector<std::string> lines = StrSplit(out, '\n');
+  ASSERT_GE(lines.size(), 4u);  // header, separator, 2 rows, trailing empty
+  EXPECT_NE(lines[0].find("A"), std::string::npos);
+  EXPECT_NE(lines[0].find("B"), std::string::npos);
+  EXPECT_NE(lines[1].find("-"), std::string::npos);
+}
+
+TEST(PrinterTest, ColumnsPadToWidestCell) {
+  Relation r = Relation::FromRowsOrDie({"A", "B"}, {{"longvalue", 1}});
+  std::string out = PrintRelation(r);
+  std::vector<std::string> lines = StrSplit(out, '\n');
+  // Header line padded to at least the width of "longvalue".
+  EXPECT_GE(lines[0].size(), std::string("longvalue").size());
+}
+
+TEST(PrinterTest, EmptyRelationPrintsHeaderOnly) {
+  Relation r(Schema::Parse("AB"));
+  std::string out = PrintRelation(r);
+  std::vector<std::string> lines = StrSplit(out, '\n');
+  // header + separator + trailing empty
+  EXPECT_EQ(lines.size(), 3u);
+}
+
+TEST(PrinterTest, CsvRoundStructure) {
+  Relation r = Relation::FromRowsOrDie({"A", "B"}, {{1, "x"}, {2, "y"}});
+  std::string csv = RelationToCsv(r);
+  std::vector<std::string> lines = StrSplit(csv, '\n');
+  ASSERT_EQ(lines.size(), 4u);  // header, 2 rows, trailing empty
+  EXPECT_EQ(lines[0], "A,B");
+  EXPECT_TRUE(lines[1] == "1,x" || lines[1] == "2,y");
+}
+
+TEST(PrinterTest, CsvEmptyRelation) {
+  Relation r(Schema::Parse("AB"));
+  EXPECT_EQ(RelationToCsv(r), "A,B\n");
+}
+
+}  // namespace
+}  // namespace taujoin

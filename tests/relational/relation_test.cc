@@ -1,0 +1,89 @@
+#include "relational/relation.h"
+
+#include <gtest/gtest.h>
+
+namespace taujoin {
+namespace {
+
+TEST(RelationTest, InsertDeduplicates) {
+  Relation r(Schema::Parse("AB"));
+  EXPECT_TRUE(r.Insert(Tuple{1, 2}));
+  EXPECT_FALSE(r.Insert(Tuple{1, 2}));
+  EXPECT_TRUE(r.Insert(Tuple{1, 3}));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.Tau(), 2u);
+}
+
+TEST(RelationTest, ContainsAfterInsert) {
+  Relation r(Schema::Parse("AB"));
+  r.Insert(Tuple{1, 2});
+  EXPECT_TRUE(r.Contains(Tuple{1, 2}));
+  EXPECT_FALSE(r.Contains(Tuple{2, 1}));
+}
+
+TEST(RelationTest, FromRowsReordersColumnsToSchemaOrder) {
+  // Columns given as (B, A); schema order is (A, B).
+  Relation r = Relation::FromRowsOrDie({"B", "A"}, {{1, 2}, {3, 4}});
+  EXPECT_EQ(r.schema(), Schema::Parse("AB"));
+  EXPECT_TRUE(r.Contains(Tuple{2, 1}));  // A=2, B=1
+  EXPECT_TRUE(r.Contains(Tuple{4, 3}));
+}
+
+TEST(RelationTest, FromRowsRejectsArityMismatch) {
+  auto r = Relation::FromRows({"A", "B"}, {{1}});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RelationTest, FromRowsRejectsDuplicateAttribute) {
+  auto r = Relation::FromRows({"A", "A"}, {{1, 2}});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(RelationTest, EqualityIgnoresInsertionOrder) {
+  Relation a(Schema::Parse("AB"));
+  a.Insert(Tuple{1, 2});
+  a.Insert(Tuple{3, 4});
+  Relation b(Schema::Parse("AB"));
+  b.Insert(Tuple{3, 4});
+  b.Insert(Tuple{1, 2});
+  EXPECT_EQ(a, b);
+}
+
+TEST(RelationTest, EqualityRequiresSameSchema) {
+  Relation a(Schema::Parse("AB"));
+  Relation b(Schema::Parse("AC"));
+  EXPECT_FALSE(a == b);
+}
+
+TEST(RelationTest, EqualityRequiresSameTuples) {
+  Relation a(Schema::Parse("A"));
+  a.Insert(Tuple{1});
+  Relation b(Schema::Parse("A"));
+  b.Insert(Tuple{2});
+  EXPECT_FALSE(a == b);
+}
+
+TEST(RelationTest, MixedValueKinds) {
+  Relation r = Relation::FromRowsOrDie({"A", "B"}, {{"p", 0}, {"q", 0}});
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains(Tuple{"p", 0}));
+}
+
+TEST(RelationTest, EmptyRelation) {
+  Relation r(Schema::Parse("AB"));
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.Tau(), 0u);
+}
+
+TEST(RelationTest, ToStringContainsHeaderAndRows) {
+  Relation r = Relation::FromRowsOrDie({"A", "B"}, {{1, 2}});
+  std::string s = r.ToString();
+  EXPECT_NE(s.find("A"), std::string::npos);
+  EXPECT_NE(s.find("B"), std::string::npos);
+  EXPECT_NE(s.find("1"), std::string::npos);
+  EXPECT_NE(s.find("2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace taujoin

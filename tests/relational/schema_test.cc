@@ -1,0 +1,96 @@
+#include "relational/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace taujoin {
+namespace {
+
+TEST(SchemaTest, ParseSingleCharAttributes) {
+  Schema s = Schema::Parse("CAB");
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.ToString(), "ABC");  // sorted
+  EXPECT_TRUE(s.Contains("A"));
+  EXPECT_TRUE(s.Contains("B"));
+  EXPECT_TRUE(s.Contains("C"));
+  EXPECT_FALSE(s.Contains("D"));
+}
+
+TEST(SchemaTest, ParseCommaSeparated) {
+  Schema s = Schema::Parse("Student, Course");
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.Contains("Student"));
+  EXPECT_TRUE(s.Contains("Course"));
+  EXPECT_EQ(s.ToString(), "{Course,Student}");
+}
+
+TEST(SchemaTest, DuplicatesCollapse) {
+  Schema s = Schema::Parse("ABA");
+  EXPECT_EQ(s.size(), 2u);
+  Schema t({"X", "X", "Y"});
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(SchemaTest, EqualityIsSetEquality) {
+  EXPECT_EQ(Schema::Parse("AB"), Schema::Parse("BA"));
+  EXPECT_FALSE(Schema::Parse("AB") == Schema::Parse("ABC"));
+}
+
+TEST(SchemaTest, IndexOfSortedOrder) {
+  Schema s = Schema::Parse("CAB");
+  EXPECT_EQ(s.IndexOf("A"), 0);
+  EXPECT_EQ(s.IndexOf("B"), 1);
+  EXPECT_EQ(s.IndexOf("C"), 2);
+  EXPECT_EQ(s.IndexOf("Z"), -1);
+}
+
+TEST(SchemaTest, SubsetAndOverlap) {
+  Schema ab = Schema::Parse("AB");
+  Schema abc = Schema::Parse("ABC");
+  Schema cd = Schema::Parse("CD");
+  EXPECT_TRUE(ab.IsSubsetOf(abc));
+  EXPECT_FALSE(abc.IsSubsetOf(ab));
+  EXPECT_TRUE(ab.IsSubsetOf(ab));
+  EXPECT_TRUE(abc.Overlaps(cd));  // share C
+  EXPECT_FALSE(ab.Overlaps(cd));
+}
+
+TEST(SchemaTest, SetOperations) {
+  Schema abc = Schema::Parse("ABC");
+  Schema bcd = Schema::Parse("BCD");
+  EXPECT_EQ(abc.Union(bcd), Schema::Parse("ABCD"));
+  EXPECT_EQ(abc.Intersect(bcd), Schema::Parse("BC"));
+  EXPECT_EQ(abc.Minus(bcd), Schema::Parse("A"));
+  EXPECT_EQ(bcd.Minus(abc), Schema::Parse("D"));
+}
+
+TEST(SchemaTest, EmptySchema) {
+  Schema empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_TRUE(empty.IsSubsetOf(Schema::Parse("A")));
+  EXPECT_FALSE(empty.Overlaps(Schema::Parse("A")));
+  EXPECT_EQ(empty.Union(Schema::Parse("A")), Schema::Parse("A"));
+}
+
+TEST(SchemaTest, UnionWithSelfIsIdentity) {
+  Schema s = Schema::Parse("ABC");
+  EXPECT_EQ(s.Union(s), s);
+  EXPECT_EQ(s.Intersect(s), s);
+  EXPECT_TRUE(s.Minus(s).empty());
+}
+
+TEST(SchemaTest, HashEqualForEqualSchemas) {
+  EXPECT_EQ(Schema::Parse("AB").Hash(), Schema::Parse("BA").Hash());
+}
+
+TEST(SchemaTest, MultiCharToStringUsesBraces) {
+  Schema s({"Game", "Student"});
+  EXPECT_EQ(s.ToString(), "{Game,Student}");
+}
+
+TEST(SchemaTest, OrderingIsLexicographic) {
+  EXPECT_LT(Schema::Parse("AB"), Schema::Parse("AC"));
+  EXPECT_LT(Schema::Parse("A"), Schema::Parse("AB"));
+}
+
+}  // namespace
+}  // namespace taujoin

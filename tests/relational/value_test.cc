@@ -1,0 +1,81 @@
+#include "relational/value.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace taujoin {
+namespace {
+
+TEST(ValueTest, IntBasics) {
+  Value v(42);
+  EXPECT_TRUE(v.is_int());
+  EXPECT_FALSE(v.is_string());
+  EXPECT_EQ(v.AsInt(), 42);
+  EXPECT_EQ(v.ToString(), "42");
+}
+
+TEST(ValueTest, StringBasics) {
+  Value v("Mokhtar");
+  EXPECT_TRUE(v.is_string());
+  EXPECT_FALSE(v.is_int());
+  EXPECT_EQ(v.AsString(), "Mokhtar");
+  EXPECT_EQ(v.ToString(), "Mokhtar");
+}
+
+TEST(ValueTest, DefaultIsIntZero) {
+  Value v;
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.AsInt(), 0);
+}
+
+TEST(ValueTest, EqualityWithinKind) {
+  EXPECT_EQ(Value(7), Value(7));
+  EXPECT_NE(Value(7), Value(8));
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_NE(Value("a"), Value("b"));
+}
+
+TEST(ValueTest, IntAndStringNeverEqual) {
+  EXPECT_NE(Value(1), Value("1"));
+}
+
+TEST(ValueTest, IntAndStringHashDiffer) {
+  // Not guaranteed in general, but the salt makes the common collision
+  // Value(1) vs Value("1") distinct.
+  EXPECT_NE(Value(1).Hash(), Value("1").Hash());
+}
+
+TEST(ValueTest, OrderingIntsBeforeStrings) {
+  EXPECT_LT(Value(99999), Value("a"));
+  EXPECT_GT(Value("a"), Value(99999));
+}
+
+TEST(ValueTest, OrderingWithinKind) {
+  EXPECT_LT(Value(1), Value(2));
+  EXPECT_LT(Value(-5), Value(0));
+  EXPECT_LT(Value("abc"), Value("abd"));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(123).Hash(), Value(123).Hash());
+  EXPECT_EQ(Value("xyz").Hash(), Value("xyz").Hash());
+}
+
+TEST(ValueTest, UsableInHashSet) {
+  std::unordered_set<Value, ValueHash> set;
+  set.insert(Value(1));
+  set.insert(Value(1));
+  set.insert(Value("1"));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.count(Value(1)));
+  EXPECT_TRUE(set.count(Value("1")));
+  EXPECT_FALSE(set.count(Value(2)));
+}
+
+TEST(ValueTest, NegativeIntToString) {
+  EXPECT_EQ(Value(-17).ToString(), "-17");
+}
+
+}  // namespace
+}  // namespace taujoin

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "report/stats.h"
+#include "report/table.h"
+
+namespace taujoin {
+namespace {
+
+TEST(ReportTableTest, RendersHeaderAndRows) {
+  ReportTable t({"name", "count"});
+  t.Row().Cell("alpha").Cell(3);
+  t.Row().Cell("beta").Cell(12);
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("12"), std::string::npos);
+  // Separator row present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(ReportTableTest, NumbersRightAlignedTextLeft) {
+  ReportTable t({"k", "v"});
+  t.Row().Cell("x").Cell(7);
+  t.Row().Cell("longer").Cell(123);
+  std::string out = t.ToString();
+  // The numeric column pads on the left: " 7" under "123".
+  EXPECT_NE(out.find("  7"), std::string::npos);
+}
+
+TEST(ReportTableTest, DoubleFormatting) {
+  ReportTable t({"ratio"});
+  t.Row().Cell(1.23456, 2);
+  EXPECT_NE(t.ToString().find("1.23"), std::string::npos);
+  ReportTable u({"ratio"});
+  u.Row().Cell(1.5, 0);
+  EXPECT_NE(u.ToString().find("2"), std::string::npos);
+}
+
+TEST(ReportTableTest, TooManyCellsDies) {
+  ReportTable t({"only"});
+  t.Row().Cell(1);
+  EXPECT_DEATH(t.Cell(2), "");
+}
+
+TEST(ReportTableTest, CellWithoutRowDies) {
+  ReportTable t({"only"});
+  EXPECT_DEATH(t.Cell(1), "");
+}
+
+TEST(SampleStatsTest, BasicAggregates) {
+  SampleStats s;
+  for (double v : {3.0, 1.0, 2.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 3.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 2.0);
+}
+
+TEST(SampleStatsTest, Percentiles) {
+  SampleStats s;
+  for (int i = 1; i <= 100; ++i) s.Add(i);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 50);
+  EXPECT_DOUBLE_EQ(s.Percentile(90), 90);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 100);
+  EXPECT_DOUBLE_EQ(s.Percentile(1), 1);
+}
+
+TEST(SampleStatsTest, AddAfterQueryStillWorks) {
+  SampleStats s;
+  s.Add(5);
+  EXPECT_DOUBLE_EQ(s.Max(), 5);
+  s.Add(9);
+  EXPECT_DOUBLE_EQ(s.Max(), 9);
+}
+
+TEST(SampleStatsTest, GeometricMean) {
+  SampleStats s;
+  s.Add(1.0);
+  s.Add(4.0);
+  EXPECT_DOUBLE_EQ(s.GeometricMean(), 2.0);
+}
+
+TEST(SampleStatsTest, EmptyDies) {
+  SampleStats s;
+  EXPECT_DEATH(s.Mean(), "");
+}
+
+}  // namespace
+}  // namespace taujoin

@@ -1,0 +1,130 @@
+#include "scheme/acyclicity.h"
+
+#include <gtest/gtest.h>
+
+#include "scheme/hypergraph.h"
+#include "scheme/query_graph.h"
+
+namespace taujoin {
+namespace {
+
+TEST(AcyclicityTest, ChainIsBergeAcyclic) {
+  DatabaseScheme d = DatabaseScheme::Parse({"AB", "BC", "CD"});
+  EXPECT_TRUE(IsBergeAcyclic(d));
+  EXPECT_TRUE(IsGammaAcyclic(d));
+  EXPECT_TRUE(IsBetaAcyclic(d));
+  EXPECT_TRUE(IsAlphaAcyclic(d));
+}
+
+TEST(AcyclicityTest, TriangleFailsAll) {
+  DatabaseScheme d = DatabaseScheme::Parse({"AB", "BC", "CA"});
+  EXPECT_FALSE(IsBergeAcyclic(d));
+  EXPECT_FALSE(IsGammaAcyclic(d));
+  EXPECT_FALSE(IsBetaAcyclic(d));
+  EXPECT_FALSE(IsAlphaAcyclic(d));
+}
+
+TEST(AcyclicityTest, CoveredTriangleIsAlphaButNotBeta) {
+  // {AB, BC, CA, ABC}: α-acyclic, but the subset {AB, BC, CA} is cyclic,
+  // so not β-acyclic (hence not γ-acyclic).
+  DatabaseScheme d = DatabaseScheme::Parse({"AB", "BC", "CA", "ABC"});
+  EXPECT_TRUE(IsAlphaAcyclic(d));
+  EXPECT_FALSE(IsBetaAcyclic(d));
+  EXPECT_FALSE(IsGammaAcyclic(d));
+}
+
+TEST(AcyclicityTest, TwoEdgesSharingTwoAttributesNotBerge) {
+  // ABX and ABY share {A, B}: a Berge cycle but no γ-cycle (m >= 3).
+  DatabaseScheme d = DatabaseScheme::Parse({"ABX", "ABY"});
+  EXPECT_FALSE(IsBergeAcyclic(d));
+  EXPECT_TRUE(IsGammaAcyclic(d));
+  EXPECT_TRUE(IsBetaAcyclic(d));
+  EXPECT_TRUE(IsAlphaAcyclic(d));
+}
+
+TEST(AcyclicityTest, GammaCycleWitnessIsWellFormed) {
+  DatabaseScheme d = DatabaseScheme::Parse({"AB", "BC", "CA"});
+  std::optional<GammaCycle> cycle = FindGammaCycle(d);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_GE(cycle->schemes.size(), 3u);
+  EXPECT_EQ(cycle->schemes.size(), cycle->attributes.size());
+  // Consecutive schemes share the connecting attribute.
+  const size_t m = cycle->schemes.size();
+  for (size_t i = 0; i < m; ++i) {
+    const Schema& a = d.scheme(cycle->schemes[i]);
+    const Schema& b = d.scheme(cycle->schemes[(i + 1) % m]);
+    EXPECT_TRUE(a.Contains(cycle->attributes[i]));
+    EXPECT_TRUE(b.Contains(cycle->attributes[i]));
+  }
+}
+
+TEST(AcyclicityTest, ImplicationChainOnShapes) {
+  // Berge ⇒ γ ⇒ β ⇒ α on a zoo of schemes.
+  std::vector<std::vector<std::string>> cases = {
+      {"AB", "BC", "CD"},
+      {"AB", "BC", "CA"},
+      {"AB", "BC", "CA", "ABC"},
+      {"ABX", "ABY"},
+      {"ABCD", "AX", "BY", "CZ"},
+      {"AB", "BC", "CD", "DA"},
+      {"ABC", "BCD", "CDE", "DEA"},
+      {"AB", "CD"},
+      {"A"},
+      {"ABC", "CDE", "EFA"},
+  };
+  for (const auto& schemes : cases) {
+    DatabaseScheme d = DatabaseScheme::Parse(schemes);
+    if (IsBergeAcyclic(d)) {
+      EXPECT_TRUE(IsGammaAcyclic(d)) << d.ToString();
+    }
+    if (IsGammaAcyclic(d)) {
+      EXPECT_TRUE(IsBetaAcyclic(d)) << d.ToString();
+    }
+    if (IsBetaAcyclic(d)) {
+      EXPECT_TRUE(IsAlphaAcyclic(d)) << d.ToString();
+    }
+  }
+}
+
+TEST(AcyclicityTest, ShapedSchemes) {
+  EXPECT_TRUE(IsGammaAcyclic(MakeShapedScheme(QueryShape::kChain, 5)));
+  EXPECT_TRUE(IsGammaAcyclic(MakeShapedScheme(QueryShape::kStar, 5)));
+  EXPECT_FALSE(IsAlphaAcyclic(MakeShapedScheme(QueryShape::kCycle, 5)));
+  EXPECT_FALSE(IsAlphaAcyclic(MakeShapedScheme(QueryShape::kClique, 4)));
+}
+
+TEST(QueryGraphTest, ShapesHaveExpectedEdgeCounts) {
+  EXPECT_EQ(QueryGraph::Of(MakeShapedScheme(QueryShape::kChain, 5)).edges.size(),
+            4u);
+  EXPECT_EQ(QueryGraph::Of(MakeShapedScheme(QueryShape::kStar, 5)).edges.size(),
+            4u);
+  EXPECT_EQ(QueryGraph::Of(MakeShapedScheme(QueryShape::kCycle, 5)).edges.size(),
+            5u);
+  EXPECT_EQ(
+      QueryGraph::Of(MakeShapedScheme(QueryShape::kClique, 5)).edges.size(),
+      10u);
+}
+
+TEST(QueryGraphTest, ChainAndStarAreTrees) {
+  EXPECT_TRUE(QueryGraph::Of(MakeShapedScheme(QueryShape::kChain, 6)).IsTree());
+  EXPECT_TRUE(QueryGraph::Of(MakeShapedScheme(QueryShape::kStar, 6)).IsTree());
+  EXPECT_FALSE(QueryGraph::Of(MakeShapedScheme(QueryShape::kCycle, 6)).IsTree());
+}
+
+TEST(QueryGraphTest, StarDegrees) {
+  QueryGraph g = QueryGraph::Of(MakeShapedScheme(QueryShape::kStar, 5));
+  std::vector<int> degrees = g.Degrees();
+  EXPECT_EQ(degrees[0], 4);
+  for (int i = 1; i < 5; ++i) EXPECT_EQ(degrees[static_cast<size_t>(i)], 1);
+}
+
+TEST(QueryGraphTest, ShapedSchemesAreConnected) {
+  for (QueryShape shape : {QueryShape::kChain, QueryShape::kStar,
+                           QueryShape::kCycle, QueryShape::kClique}) {
+    DatabaseScheme d = MakeShapedScheme(shape, 5);
+    EXPECT_TRUE(d.Connected(d.full_mask())) << QueryShapeToString(shape);
+  }
+}
+
+}  // namespace
+}  // namespace taujoin

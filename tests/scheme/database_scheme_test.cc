@@ -1,0 +1,136 @@
+#include "scheme/database_scheme.h"
+
+#include <gtest/gtest.h>
+
+namespace taujoin {
+namespace {
+
+// The paper's running examples from §2.
+class PaperSchemesTest : public ::testing::Test {
+ protected:
+  // {ABC, BE, DF} — unconnected, components {ABC, BE} and {DF}.
+  DatabaseScheme d1_ = DatabaseScheme::Parse({"ABC", "BE", "DF"});
+  // {CG, GH}.
+  DatabaseScheme d2_ = DatabaseScheme::Parse({"CG", "GH"});
+  // {ABC, BE, AF, DF} — connected.
+  DatabaseScheme d3_ = DatabaseScheme::Parse({"ABC", "BE", "AF", "DF"});
+};
+
+TEST_F(PaperSchemesTest, LinkedExamples) {
+  // {ABC, BE, DF} is linked to {CG, GH} via attribute C; the paper checks
+  // this with the combined scheme.
+  DatabaseScheme combined =
+      DatabaseScheme::Parse({"ABC", "BE", "DF", "CG", "GH"});
+  RelMask left = 0b00111;   // ABC, BE, DF
+  RelMask right = 0b11000;  // CG, GH
+  EXPECT_TRUE(combined.Linked(left, right));
+
+  // {AB, BE, DF} is not linked to {CG, GH}.
+  DatabaseScheme combined2 =
+      DatabaseScheme::Parse({"AB", "BE", "DF", "CG", "GH"});
+  EXPECT_FALSE(combined2.Linked(0b00111, 0b11000));
+}
+
+TEST_F(PaperSchemesTest, ConnectedExamples) {
+  EXPECT_FALSE(d1_.Connected(d1_.full_mask()));  // {ABC, BE, DF}
+  EXPECT_TRUE(d3_.Connected(d3_.full_mask()));   // {ABC, BE, AF, DF}
+}
+
+TEST_F(PaperSchemesTest, ComponentsOfD1) {
+  std::vector<RelMask> components = d1_.Components(d1_.full_mask());
+  ASSERT_EQ(components.size(), 2u);
+  EXPECT_EQ(components[0], RelMask{0b011});  // {ABC, BE}
+  EXPECT_EQ(components[1], RelMask{0b100});  // {DF}
+}
+
+TEST_F(PaperSchemesTest, UnionOfLinkedSchemesCanStayUnconnected) {
+  // {ABC, BE, DF, CG, GH} remains unconnected although {ABC,BE,DF} is
+  // linked to {CG, GH}.
+  DatabaseScheme combined =
+      DatabaseScheme::Parse({"ABC", "BE", "DF", "CG", "GH"});
+  EXPECT_FALSE(combined.Connected(combined.full_mask()));
+  EXPECT_EQ(combined.ComponentCount(combined.full_mask()), 2);
+}
+
+TEST(DatabaseSchemeTest, SingletonsAreConnected) {
+  DatabaseScheme d = DatabaseScheme::Parse({"AB", "CD"});
+  EXPECT_TRUE(d.Connected(0b01));
+  EXPECT_TRUE(d.Connected(0b10));
+  EXPECT_FALSE(d.Connected(0b11));
+}
+
+TEST(DatabaseSchemeTest, EmptyMaskIsConnected) {
+  DatabaseScheme d = DatabaseScheme::Parse({"AB"});
+  EXPECT_TRUE(d.Connected(0));
+}
+
+TEST(DatabaseSchemeTest, AttributesOfUnion) {
+  DatabaseScheme d = DatabaseScheme::Parse({"AB", "BC", "DE"});
+  EXPECT_EQ(d.AttributesOf(0b011), Schema::Parse("ABC"));
+  EXPECT_EQ(d.AttributesOf(0b111), Schema::Parse("ABCDE"));
+}
+
+TEST(DatabaseSchemeTest, LinkedIsSymmetric) {
+  DatabaseScheme d = DatabaseScheme::Parse({"AB", "BC", "DE"});
+  EXPECT_EQ(d.Linked(0b001, 0b010), d.Linked(0b010, 0b001));
+  EXPECT_EQ(d.Linked(0b001, 0b100), d.Linked(0b100, 0b001));
+  EXPECT_TRUE(d.Linked(0b001, 0b010));
+  EXPECT_FALSE(d.Linked(0b001, 0b100));
+}
+
+TEST(DatabaseSchemeTest, ComponentsPartitionTheMask) {
+  DatabaseScheme d =
+      DatabaseScheme::Parse({"AB", "BC", "DE", "EF", "GH"});
+  RelMask mask = d.full_mask();
+  std::vector<RelMask> components = d.Components(mask);
+  RelMask acc = 0;
+  for (RelMask c : components) {
+    EXPECT_TRUE(d.Connected(c));
+    EXPECT_FALSE(d.Linked(c, mask & ~c));
+    EXPECT_EQ(acc & c, RelMask{0});
+    acc |= c;
+  }
+  EXPECT_EQ(acc, mask);
+  EXPECT_EQ(components.size(), 3u);
+}
+
+TEST(DatabaseSchemeTest, ComponentContaining) {
+  DatabaseScheme d = DatabaseScheme::Parse({"AB", "BC", "DE"});
+  EXPECT_EQ(d.ComponentContaining(d.full_mask(), 0), RelMask{0b011});
+  EXPECT_EQ(d.ComponentContaining(d.full_mask(), 2), RelMask{0b100});
+}
+
+TEST(DatabaseSchemeTest, DuplicateSchemesAreAdjacent) {
+  DatabaseScheme d = DatabaseScheme::Parse({"AB", "AB"});
+  EXPECT_TRUE(d.Adjacent(0, 1));
+  EXPECT_TRUE(d.Connected(0b11));
+}
+
+TEST(DatabaseSchemeTest, AdjacencyExcludesSelf) {
+  DatabaseScheme d = DatabaseScheme::Parse({"AB", "BC"});
+  EXPECT_EQ(d.AdjacencyRow(0), RelMask{0b10});
+  EXPECT_EQ(d.AdjacencyRow(1), RelMask{0b01});
+}
+
+TEST(DatabaseSchemeTest, MaskToString) {
+  DatabaseScheme d = DatabaseScheme::Parse({"AB", "BC"});
+  EXPECT_EQ(d.MaskToString(0b11), "{AB, BC}");
+}
+
+TEST(MaskTest, Helpers) {
+  EXPECT_EQ(PopCount(0b1011), 3);
+  EXPECT_EQ(LowestBit(0b1100), RelMask{0b100});
+  EXPECT_EQ(LowestBitIndex(0b1100), 2);
+  EXPECT_EQ(FullMask(3), RelMask{0b111});
+  EXPECT_EQ(SingletonMask(4), RelMask{0b10000});
+  EXPECT_EQ(MaskToIndices(0b1010), (std::vector<int>{1, 3}));
+}
+
+TEST(MaskTest, ForEachNonEmptySubmaskVisitsAll) {
+  std::vector<RelMask> seen;
+  ForEachNonEmptySubmask(0b101, [&](RelMask m) { seen.push_back(m); });
+  EXPECT_EQ(seen, (std::vector<RelMask>{0b001, 0b100, 0b101}));
+}
+
+}  // namespace
+}  // namespace taujoin

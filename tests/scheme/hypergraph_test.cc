@@ -1,0 +1,108 @@
+#include "scheme/hypergraph.h"
+
+#include <gtest/gtest.h>
+
+namespace taujoin {
+namespace {
+
+TEST(GyoTest, ChainIsAlphaAcyclic) {
+  DatabaseScheme d = DatabaseScheme::Parse({"AB", "BC", "CD"});
+  EXPECT_TRUE(GyoReducesToEmpty(d));
+}
+
+TEST(GyoTest, TriangleIsCyclic) {
+  DatabaseScheme d = DatabaseScheme::Parse({"AB", "BC", "CA"});
+  EXPECT_FALSE(GyoReducesToEmpty(d));
+}
+
+TEST(GyoTest, TriangleWithCoveringEdgeIsAcyclic) {
+  // Adding ABC covers the triangle — the classic α-acyclicity quirk.
+  DatabaseScheme d = DatabaseScheme::Parse({"AB", "BC", "CA", "ABC"});
+  EXPECT_TRUE(GyoReducesToEmpty(d));
+}
+
+TEST(GyoTest, SingleSchemeIsAcyclic) {
+  DatabaseScheme d = DatabaseScheme::Parse({"ABC"});
+  EXPECT_TRUE(GyoReducesToEmpty(d));
+}
+
+TEST(GyoTest, StarIsAcyclic) {
+  DatabaseScheme d = DatabaseScheme::Parse({"ABCD", "AX", "BY", "CZ"});
+  EXPECT_TRUE(GyoReducesToEmpty(d));
+}
+
+TEST(GyoTest, CycleOfFourIsCyclic) {
+  DatabaseScheme d = DatabaseScheme::Parse({"AB", "BC", "CD", "DA"});
+  EXPECT_FALSE(GyoReducesToEmpty(d));
+}
+
+TEST(JoinTreeTest, ChainTreeIsValid) {
+  DatabaseScheme d = DatabaseScheme::Parse({"AB", "BC", "CD"});
+  std::optional<JoinTree> tree = BuildJoinTree(d);
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_TRUE(tree->IsValidFor(d));
+}
+
+TEST(JoinTreeTest, CyclicSchemeHasNoJoinTree) {
+  DatabaseScheme d = DatabaseScheme::Parse({"AB", "BC", "CA"});
+  EXPECT_FALSE(BuildJoinTree(d).has_value());
+}
+
+TEST(JoinTreeTest, BuildMatchesGyoOnManySchemes) {
+  std::vector<std::vector<std::string>> cases = {
+      {"AB", "BC", "CD"},
+      {"AB", "BC", "CA"},
+      {"ABC", "BCD", "CDE"},
+      {"AB", "CD"},            // unconnected but acyclic
+      {"AB", "BC", "CD", "DA"},
+      {"ABCD", "AX", "BY", "CZ"},
+      {"AB", "BC", "CA", "ABC"},
+      {"ABE", "BCE", "CDE"},
+  };
+  for (const auto& schemes : cases) {
+    DatabaseScheme d = DatabaseScheme::Parse(schemes);
+    EXPECT_EQ(BuildJoinTree(d).has_value(), GyoReducesToEmpty(d))
+        << d.ToString();
+  }
+}
+
+TEST(JoinTreeTest, PreOrderStartsAtRootAndCoversAll) {
+  DatabaseScheme d = DatabaseScheme::Parse({"AB", "BC", "CD", "DE"});
+  std::optional<JoinTree> tree = BuildJoinTree(d);
+  ASSERT_TRUE(tree.has_value());
+  std::vector<int> order = tree->PreOrder();
+  EXPECT_EQ(order.size(), 4u);
+  // Every node except the first in order must appear after its parent.
+  std::vector<int> position(4, -1);
+  for (size_t i = 0; i < order.size(); ++i) {
+    position[static_cast<size_t>(order[i])] = static_cast<int>(i);
+  }
+  for (int i = 0; i < 4; ++i) {
+    int p = tree->parent[static_cast<size_t>(i)];
+    if (p >= 0) {
+      EXPECT_LT(position[static_cast<size_t>(p)],
+                position[static_cast<size_t>(i)]);
+    }
+  }
+}
+
+TEST(JoinTreeTest, InvalidTreeDetected) {
+  DatabaseScheme d = DatabaseScheme::Parse({"AB", "BC", "CD"});
+  // A star rooted at CD separates AB from BC — breaks the B-subtree.
+  JoinTree bad;
+  bad.parent = {2, 2, -1};
+  bad.root = 2;
+  EXPECT_FALSE(bad.IsValidFor(d));
+}
+
+TEST(JoinTreeTest, UnconnectedAcyclicSchemeGetsForestGluedTree) {
+  DatabaseScheme d = DatabaseScheme::Parse({"AB", "CD"});
+  std::optional<JoinTree> tree = BuildJoinTree(d);
+  // Prim glues the components with a weight-0 edge; the result still
+  // satisfies the per-attribute subtree property.
+  ASSERT_TRUE(tree.has_value());
+  EXPECT_TRUE(tree->IsValidFor(d));
+}
+
+}  // namespace
+}  // namespace taujoin

@@ -1,0 +1,85 @@
+#include "scheme/join_tree_connectivity.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/cost.h"
+#include "enumerate/subsets.h"
+#include "workload/star_schema.h"
+
+namespace taujoin {
+namespace {
+
+TEST(JoinTreeConnectivityTest, ChainSubtreesAreIntervals) {
+  DatabaseScheme scheme = DatabaseScheme::Parse({"AB", "BC", "CD", "DE"});
+  std::optional<JoinTree> tree = BuildJoinTree(scheme);
+  ASSERT_TRUE(tree.has_value());
+  JoinTreeConnectivity jt(&scheme, &*tree);
+  // On a chain, join-tree-connected subsets are exactly the contiguous
+  // intervals.
+  EXPECT_TRUE(jt.Connected(0b0011));
+  EXPECT_TRUE(jt.Connected(0b0110));
+  EXPECT_TRUE(jt.Connected(0b1111));
+  EXPECT_FALSE(jt.Connected(0b0101));
+  EXPECT_FALSE(jt.Connected(0b1001));
+  EXPECT_TRUE(jt.Connected(0b0001));  // singleton
+  EXPECT_TRUE(jt.Connected(0));       // empty
+}
+
+TEST(JoinTreeConnectivityTest, LinkedNeedsATreeEdgeAcross) {
+  DatabaseScheme scheme = DatabaseScheme::Parse({"AB", "BC", "CD", "DE"});
+  std::optional<JoinTree> tree = BuildJoinTree(scheme);
+  ASSERT_TRUE(tree.has_value());
+  JoinTreeConnectivity jt(&scheme, &*tree);
+  EXPECT_TRUE(jt.Linked(0b0001, 0b0010));   // adjacent on the chain
+  EXPECT_FALSE(jt.Linked(0b0001, 0b0100));  // two apart
+  EXPECT_TRUE(jt.Linked(0b0011, 0b0100));   // interval touching next
+  EXPECT_FALSE(jt.Linked(0b0001, 0b1000));
+}
+
+TEST(JoinTreeConnectivityTest, MatchesGraphConnectivityOnChains) {
+  // For pure chains the intersection graph *is* the (unique) join tree, so
+  // the two notions coincide on every subset.
+  DatabaseScheme scheme = DatabaseScheme::Parse({"AB", "BC", "CD", "DE", "EF"});
+  std::optional<JoinTree> tree = BuildJoinTree(scheme);
+  ASSERT_TRUE(tree.has_value());
+  JoinTreeConnectivity jt(&scheme, &*tree);
+  ForEachNonEmptySubmask(scheme.full_mask(), [&](RelMask mask) {
+    EXPECT_EQ(jt.Connected(mask), scheme.Connected(mask)) << mask;
+  });
+}
+
+TEST(JoinTreeConnectivityTest, SectionFiveC4VariantOnConsistentData) {
+  // §5: an α-acyclic, pairwise-consistent database satisfies C4 under the
+  // join-tree connectivity. Verify on fully reduced chain databases.
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(seed * 17 + 3);
+    Database db = ConsistentTreeDatabase(4, 8, 4, rng);
+    JoinCache cache(&db);
+    if (cache.Tau(db.scheme().full_mask()) == 0) continue;
+    std::optional<JoinTree> tree = BuildJoinTree(db.scheme());
+    ASSERT_TRUE(tree.has_value());
+    JoinTreeConnectivity jt(&db.scheme(), &*tree);
+    const RelMask full = db.scheme().full_mask();
+    ForEachNonEmptySubmask(full, [&](RelMask e1) {
+      if (!jt.Connected(e1)) return;
+      ForEachNonEmptySubmask(full & ~e1, [&](RelMask e2) {
+        if (!jt.Connected(e2) || !jt.Linked(e1, e2)) return;
+        uint64_t joined = cache.Tau(e1 | e2);
+        EXPECT_GE(joined, cache.Tau(e1)) << "seed " << seed;
+        EXPECT_GE(joined, cache.Tau(e2)) << "seed " << seed;
+      });
+    });
+  }
+}
+
+TEST(JoinTreeConnectivityTest, RejectsInvalidTree) {
+  DatabaseScheme scheme = DatabaseScheme::Parse({"AB", "BC", "CD"});
+  JoinTree bad;
+  bad.parent = {2, 2, -1};  // breaks the B-subtree property
+  bad.root = 2;
+  EXPECT_DEATH(JoinTreeConnectivity(&scheme, &bad), "");
+}
+
+}  // namespace
+}  // namespace taujoin

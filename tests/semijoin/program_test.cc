@@ -1,0 +1,101 @@
+#include "semijoin/program.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "semijoin/consistency.h"
+#include "workload/generator.h"
+#include "workload/mini_tpch.h"
+
+namespace taujoin {
+namespace {
+
+Database MakeChainDb(uint64_t seed, int n = 4) {
+  Rng rng(seed);
+  GeneratorOptions options;
+  options.shape = QueryShape::kChain;
+  options.relation_count = n;
+  options.rows_per_relation = 8;
+  options.join_domain = 4;
+  return RandomDatabase(options, rng);
+}
+
+TEST(ProgramTest, FullReducerProgramHasTwoPassesOfSteps) {
+  Database db = MakeChainDb(1, 5);
+  auto program = SemijoinProgram::FullReducerFor(db.scheme());
+  ASSERT_TRUE(program.ok());
+  // A tree with n nodes has n−1 edges; two passes → 2(n−1) steps.
+  EXPECT_EQ(program->size(), 8u);
+}
+
+TEST(ProgramTest, FullReducerProgramFullyReduces) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Database db = MakeChainDb(seed);
+    auto program = SemijoinProgram::FullReducerFor(db.scheme());
+    ASSERT_TRUE(program.ok());
+    EXPECT_TRUE(program->FullyReduces(db)) << "seed " << seed;
+  }
+}
+
+TEST(ProgramTest, RunPreservesTheJoin) {
+  Database db = MakeChainDb(3);
+  auto program = SemijoinProgram::FullReducerFor(db.scheme());
+  ASSERT_TRUE(program.ok());
+  SemijoinProgram::RunResult run = program->Run(db);
+  EXPECT_EQ(run.database.Evaluate(), db.Evaluate());
+  EXPECT_TRUE(IsPairwiseConsistent(run.database));
+  EXPECT_EQ(run.sizes_after.size(), program->size());
+}
+
+TEST(ProgramTest, StepsOnlyShrinkTargets) {
+  Database db = MakeChainDb(7);
+  auto program = SemijoinProgram::FullReducerFor(db.scheme());
+  ASSERT_TRUE(program.ok());
+  SemijoinProgram::RunResult run = program->Run(db);
+  for (size_t i = 0; i < program->steps().size(); ++i) {
+    int target = program->steps()[i].target;
+    EXPECT_LE(run.sizes_after[i], db.state(target).Tau());
+  }
+}
+
+TEST(ProgramTest, RejectsCyclicSchemes) {
+  Rng rng(2);
+  GeneratorOptions options;
+  options.shape = QueryShape::kCycle;
+  options.relation_count = 4;
+  options.rows_per_relation = 4;
+  options.join_domain = 3;
+  Database db = RandomDatabase(options, rng);
+  EXPECT_FALSE(SemijoinProgram::FullReducerFor(db.scheme()).ok());
+}
+
+TEST(ProgramTest, HandBuiltProgramRuns) {
+  Database db = MakeChainDb(9, 3);
+  SemijoinProgram program;
+  program.Add(0, 1);
+  program.Add(2, 1);
+  SemijoinProgram::RunResult run = program.Run(db);
+  EXPECT_EQ(run.sizes_after.size(), 2u);
+  // A two-step program generally does NOT fully reduce a 3-chain.
+  EXPECT_LE(run.database.state(0).Tau(), db.state(0).Tau());
+}
+
+TEST(ProgramTest, ToStringUsesRelationNames) {
+  Rng rng(4);
+  MiniTpch tpch = MakeMiniTpch({}, rng);
+  auto program = SemijoinProgram::FullReducerFor(tpch.database.scheme());
+  ASSERT_TRUE(program.ok());
+  std::string text = program->ToString(tpch.database);
+  EXPECT_NE(text.find("Lineitem"), std::string::npos);
+  EXPECT_NE(text.find("⋉"), std::string::npos);
+}
+
+TEST(ProgramTest, InvalidIndicesDie) {
+  Database db = MakeChainDb(1, 3);
+  SemijoinProgram program;
+  program.Add(0, 7);
+  EXPECT_DEATH(program.Run(db), "");
+}
+
+}  // namespace
+}  // namespace taujoin

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "relational/operators.h"
+#include "semijoin/consistency.h"
+#include "semijoin/full_reducer.h"
+#include "semijoin/yannakakis.h"
+#include "workload/generator.h"
+
+namespace taujoin {
+namespace {
+
+Database MakeChainDb(uint64_t seed, int n = 4, int rows = 8, int domain = 4) {
+  Rng rng(seed);
+  GeneratorOptions options;
+  options.shape = QueryShape::kChain;
+  options.relation_count = n;
+  options.rows_per_relation = rows;
+  options.join_domain = domain;
+  return RandomDatabase(options, rng);
+}
+
+TEST(ConsistencyTest, ConsistentPairs) {
+  Relation a = Relation::FromRowsOrDie({"A", "B"}, {{1, 10}, {2, 20}});
+  Relation b = Relation::FromRowsOrDie({"B", "C"}, {{10, 0}, {20, 1}});
+  EXPECT_TRUE(AreConsistent(a, b));
+  Relation c = Relation::FromRowsOrDie({"B", "C"}, {{10, 0}, {30, 1}});
+  EXPECT_FALSE(AreConsistent(a, c));
+}
+
+TEST(ConsistencyTest, DisjointSchemesAreTriviallyConsistent) {
+  Relation a = Relation::FromRowsOrDie({"A"}, {{1}});
+  Relation b = Relation::FromRowsOrDie({"B"}, {{2}});
+  EXPECT_TRUE(AreConsistent(a, b));
+}
+
+TEST(ConsistencyTest, ReducePairMakesConsistent) {
+  Relation a = Relation::FromRowsOrDie({"A", "B"}, {{1, 10}, {2, 30}});
+  Relation b = Relation::FromRowsOrDie({"B", "C"}, {{10, 0}, {40, 1}});
+  auto [ra, rb] = ReducePair(a, b);
+  EXPECT_TRUE(AreConsistent(ra, rb));
+  EXPECT_EQ(ra.size(), 1u);
+  EXPECT_EQ(rb.size(), 1u);
+}
+
+TEST(ConsistencyTest, FixpointReductionIsPairwiseConsistent) {
+  Database db = MakeChainDb(11);
+  Database reduced = ReduceToPairwiseConsistency(db);
+  EXPECT_TRUE(IsPairwiseConsistent(reduced));
+}
+
+TEST(FullReducerTest, AchievesGlobalConsistencyOnAcyclicSchemes) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Database db = MakeChainDb(seed);
+    StatusOr<Database> reduced_or = FullReduce(db);
+    ASSERT_TRUE(reduced_or.ok());
+    const Database& reduced = *reduced_or;
+    // Global consistency: each reduced state equals the projection of the
+    // full join onto its scheme.
+    Relation full = db.Evaluate();
+    for (int i = 0; i < db.size(); ++i) {
+      EXPECT_EQ(reduced.state(i), Project(full, db.scheme().scheme(i)))
+          << "seed " << seed << " relation " << i;
+    }
+    EXPECT_TRUE(IsPairwiseConsistent(reduced));
+  }
+}
+
+TEST(FullReducerTest, PreservesTheJoin) {
+  Database db = MakeChainDb(3);
+  StatusOr<Database> reduced = FullReduce(db);
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_EQ(db.Evaluate(), reduced->Evaluate());
+}
+
+TEST(FullReducerTest, RejectsCyclicScheme) {
+  Rng rng(1);
+  GeneratorOptions options;
+  options.shape = QueryShape::kCycle;
+  options.relation_count = 4;
+  options.rows_per_relation = 4;
+  options.join_domain = 3;
+  Database db = RandomDatabase(options, rng);
+  EXPECT_FALSE(FullReduce(db).ok());
+}
+
+TEST(YannakakisTest, MatchesNaiveJoin) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    Database db = MakeChainDb(seed, 5, 7, 3);
+    StatusOr<YannakakisResult> result = YannakakisEvaluate(db);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->result, db.Evaluate()) << "seed " << seed;
+  }
+}
+
+TEST(YannakakisTest, StepSizesNeverExceed) {
+  // After full reduction, every intermediate of the combine phase joins
+  // consistently; on a chain each step size is bounded by the final size
+  // times nothing — we check monotone non-decreasing toward τ(R_D) is NOT
+  // required, but the last step must equal τ(R_D).
+  Database db = MakeChainDb(21, 5, 8, 3);
+  StatusOr<YannakakisResult> result = YannakakisEvaluate(db);
+  ASSERT_TRUE(result.ok());
+  if (!result->step_sizes.empty()) {
+    EXPECT_EQ(result->step_sizes.back(), db.Evaluate().Tau());
+  }
+  EXPECT_TRUE(result->strategy.IsValid());
+  EXPECT_EQ(result->strategy.mask(), db.scheme().full_mask());
+}
+
+TEST(YannakakisTest, MonotoneIncreasingOnConsistentInputs) {
+  // §5: on a reduced (globally consistent) acyclic database, joining along
+  // the join tree never shrinks: every input tuple survives to the result.
+  Database db = MakeChainDb(33, 4, 8, 3);
+  StatusOr<Database> reduced = FullReduce(db);
+  ASSERT_TRUE(reduced.ok());
+  StatusOr<YannakakisResult> result = YannakakisEvaluate(*reduced);
+  ASSERT_TRUE(result.ok());
+  uint64_t prev = 0;
+  for (uint64_t size : result->step_sizes) {
+    EXPECT_GE(size, prev);
+    prev = size;
+  }
+  // Every tuple of every reduced relation appears in the final result's
+  // projection (Goodman–Shmueli).
+  Relation full = result->result;
+  for (int i = 0; i < reduced->size(); ++i) {
+    EXPECT_EQ(Project(full, reduced->scheme().scheme(i)), reduced->state(i));
+  }
+}
+
+TEST(YannakakisTest, RejectsCyclicScheme) {
+  Rng rng(2);
+  GeneratorOptions options;
+  options.shape = QueryShape::kCycle;
+  options.relation_count = 5;
+  options.rows_per_relation = 4;
+  options.join_domain = 3;
+  Database db = RandomDatabase(options, rng);
+  EXPECT_FALSE(YannakakisEvaluate(db).ok());
+}
+
+}  // namespace
+}  // namespace taujoin

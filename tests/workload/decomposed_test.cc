@@ -1,0 +1,90 @@
+#include "workload/decomposed.h"
+
+#include <gtest/gtest.h>
+
+#include "core/conditions.h"
+#include "core/cost.h"
+#include "fd/chase.h"
+#include "fd/closure.h"
+#include "fd/normalize.h"
+#include "relational/operators.h"
+
+namespace taujoin {
+namespace {
+
+TEST(DecomposedTest, UniversalRelationSatisfiesTheFdChain) {
+  Rng rng(1);
+  DecomposedOptions options;
+  DecomposedDatabase d = MakeDecomposedDatabase(options, rng);
+  // Check each FD X → Y on the universal relation directly: no two tuples
+  // agree on X and disagree on Y.
+  for (const FunctionalDependency& fd : d.fds.fds()) {
+    int x = d.universal.schema().IndexOf(fd.lhs.attribute(0));
+    int y = d.universal.schema().IndexOf(fd.rhs.attribute(0));
+    ASSERT_GE(x, 0);
+    ASSERT_GE(y, 0);
+    for (const Tuple& a : d.universal) {
+      for (const Tuple& b : d.universal) {
+        if (a.value(static_cast<size_t>(x)) == b.value(static_cast<size_t>(x))) {
+          EXPECT_EQ(a.value(static_cast<size_t>(y)),
+                    b.value(static_cast<size_t>(y)))
+              << fd.ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST(DecomposedTest, SchemeIsBcnfAndLossless) {
+  Rng rng(2);
+  DecomposedDatabase d = MakeDecomposedDatabase({}, rng);
+  EXPECT_TRUE(IsBcnf(d.database.scheme(), d.fds));
+  EXPECT_TRUE(HasNoLossyJoins(d.database.scheme(), d.fds));
+}
+
+TEST(DecomposedTest, JoinReassemblesTheUniversalRelation) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(seed);
+    DecomposedDatabase d = MakeDecomposedDatabase({}, rng);
+    EXPECT_EQ(d.database.Evaluate(), d.universal) << "seed " << seed;
+  }
+}
+
+TEST(DecomposedTest, FragmentsAreProjections) {
+  Rng rng(3);
+  DecomposedDatabase d = MakeDecomposedDatabase({}, rng);
+  for (int i = 0; i < d.database.size(); ++i) {
+    EXPECT_EQ(d.database.state(i),
+              Project(d.universal, d.database.scheme().scheme(i)));
+  }
+}
+
+TEST(DecomposedTest, SatisfiesC2) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(seed * 7 + 1);
+    DecomposedDatabase d = MakeDecomposedDatabase({}, rng);
+    JoinCache cache(&d.database);
+    if (cache.Tau(d.database.scheme().full_mask()) == 0) continue;
+    EXPECT_TRUE(CheckC2(cache).satisfied) << "seed " << seed;
+  }
+}
+
+TEST(DecomposedTest, RespectsAttributeCount) {
+  Rng rng(4);
+  DecomposedOptions options;
+  options.attribute_count = 6;
+  DecomposedDatabase d = MakeDecomposedDatabase(options, rng);
+  EXPECT_EQ(d.universal.schema().size(), 6u);
+  EXPECT_EQ(d.database.scheme().AttributesOf(d.database.scheme().full_mask()),
+            d.universal.schema());
+}
+
+TEST(DecomposedTest, DeterministicInSeed) {
+  Rng rng1(5), rng2(5);
+  DecomposedDatabase a = MakeDecomposedDatabase({}, rng1);
+  DecomposedDatabase b = MakeDecomposedDatabase({}, rng2);
+  EXPECT_EQ(a.universal, b.universal);
+}
+
+}  // namespace
+}  // namespace taujoin

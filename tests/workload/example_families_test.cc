@@ -1,0 +1,121 @@
+#include "workload/example_families.h"
+
+#include <gtest/gtest.h>
+
+#include "core/conditions.h"
+#include "core/cost.h"
+#include "core/properties.h"
+#include "core/strategy_parser.h"
+#include "optimize/exhaustive.h"
+#include "workload/paper_data.h"
+
+namespace taujoin {
+namespace {
+
+TEST(Example1FamilyTest, KSevenReproducesThePublishedInstance) {
+  Database family = Example1Family(7);
+  Database paper = Example1Database();
+  for (int i = 0; i < paper.size(); ++i) {
+    EXPECT_EQ(family.state(i), paper.state(i));
+  }
+}
+
+TEST(Example1FamilyTest, ClosedFormsHoldForAllK) {
+  for (int k = 1; k <= 10; ++k) {
+    Database db = Example1Family(k);
+    JoinCache cache(&db);
+    uint64_t kk = static_cast<uint64_t>(k);
+    Strategy s3 = ParseStrategyOrDie(db, "((R1 R2) (R3 R4))");
+    Strategy s4 = ParseStrategyOrDie(db, "((R1 R3) (R2 R4))");
+    EXPECT_EQ(TauCost(s3, cache), 11 * kk * kk + 10) << k;
+    EXPECT_EQ(TauCost(s4, cache), 10 * kk * kk + 8 * kk) << k;
+  }
+}
+
+TEST(Example1FamilyTest, CrossoverAtPredictedPoints) {
+  // CP plan optimal iff k² − 8k + 10 > 0 ⇔ k ≤ 1 or k ≥ 7 (integers).
+  for (int k = 1; k <= 10; ++k) {
+    Database db = Example1Family(k);
+    JoinCache cache(&db);
+    auto all = OptimizeExhaustive(cache, db.scheme().full_mask(),
+                                  StrategySpace::kAll);
+    auto avoid = OptimizeExhaustive(cache, db.scheme().full_mask(),
+                                    StrategySpace::kAvoidsCartesian);
+    bool cp_wins = all->cost < avoid->cost;
+    bool predicted = k <= 1 || k >= 7;
+    EXPECT_EQ(cp_wins, predicted) << "k = " << k;
+  }
+}
+
+TEST(Example1FamilyTest, C1HoldsExactlyFromKThree) {
+  // τ(R1 ⋈ R2) = 10 must not exceed the products 4k (R1 × R3 etc.):
+  // C1 ⇔ k ≥ 3. The paper's k = 7 is comfortably inside.
+  for (int k = 1; k <= 8; ++k) {
+    Database db = Example1Family(k);
+    JoinCache cache(&db);
+    EXPECT_EQ(CheckC1(cache).satisfied, k >= 3) << k;
+  }
+}
+
+TEST(Example5FamilyTest, SOneMatchesThePublishedInstanceCosts) {
+  Database family = Example5Family(1);
+  Database paper = Example5Database();
+  JoinCache family_cache(&family);
+  JoinCache paper_cache(&paper);
+  // Same cardinalities on every subset (states differ only by the
+  // student's name).
+  for (RelMask mask = 1; mask <= family.scheme().full_mask(); ++mask) {
+    EXPECT_EQ(family_cache.Tau(mask), paper_cache.Tau(mask)) << mask;
+  }
+}
+
+TEST(Example5FamilyTest, ClosedFormsHold) {
+  for (int s = 0; s <= 6; ++s) {
+    Database db = Example5Family(s);
+    JoinCache cache(&db);
+    uint64_t ss = static_cast<uint64_t>(s);
+    EXPECT_EQ(cache.Tau(0b0011), 2 + ss) << s;       // MS ⋈ SC
+    EXPECT_EQ(cache.Tau(0b1100), 4u) << s;           // CI ⋈ ID
+    EXPECT_EQ(cache.Tau(0b1111), 2 + 2 * ss) << s;   // final
+    Strategy bushy = ParseStrategyOrDie(db, "((MS SC) (CI ID))");
+    EXPECT_EQ(TauCost(bushy, cache), 8 + 3 * ss) << s;
+  }
+}
+
+TEST(Example5FamilyTest, CrossoverAtSEqualsOne) {
+  {
+    Database db = Example5Family(0);
+    JoinCache cache(&db);
+    auto all = OptimizeExhaustive(cache, db.scheme().full_mask(),
+                                  StrategySpace::kAll);
+    auto linear = OptimizeExhaustive(cache, db.scheme().full_mask(),
+                                     StrategySpace::kLinear);
+    EXPECT_EQ(all->cost, linear->cost);  // linear optimal at s = 0
+  }
+  for (int s = 1; s <= 5; ++s) {
+    Database db = Example5Family(s);
+    JoinCache cache(&db);
+    auto all = OptimizeExhaustive(cache, db.scheme().full_mask(),
+                                  StrategySpace::kAll);
+    auto linear = OptimizeExhaustive(cache, db.scheme().full_mask(),
+                                     StrategySpace::kLinear);
+    EXPECT_EQ(linear->cost - all->cost, static_cast<uint64_t>(s)) << s;
+    EXPECT_FALSE(IsLinear(all->strategy)) << s;
+  }
+}
+
+TEST(Example5FamilyTest, ConditionsPinpointThePaperInstance) {
+  // s = 1 (the paper's Example 5) is extremal: it is the largest s at
+  // which C2 still holds (τ(MS⋈SC⋈CI) = 2+3s overtakes both sides at
+  // s = 2), while C3 fails for every s ≥ 1 and C1 holds throughout.
+  for (int s = 1; s <= 5; ++s) {
+    Database db = Example5Family(s);
+    JoinCache cache(&db);
+    EXPECT_FALSE(CheckC3(cache).satisfied) << s;
+    EXPECT_TRUE(CheckC1(cache).satisfied) << s;
+    EXPECT_EQ(CheckC2(cache).satisfied, s <= 1) << s;
+  }
+}
+
+}  // namespace
+}  // namespace taujoin

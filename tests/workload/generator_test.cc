@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/conditions.h"
+#include "fd/chase.h"
+#include "fd/closure.h"
+#include "scheme/acyclicity.h"
+#include "semijoin/consistency.h"
+#include "workload/generator.h"
+#include "workload/keyed_generator.h"
+#include "workload/star_schema.h"
+
+namespace taujoin {
+namespace {
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  GeneratorOptions options;
+  options.relation_count = 4;
+  options.rows_per_relation = 6;
+  Rng rng1(7), rng2(7);
+  Database a = RandomDatabase(options, rng1);
+  Database b = RandomDatabase(options, rng2);
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.state(i), b.state(i));
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  GeneratorOptions options;
+  options.relation_count = 4;
+  options.rows_per_relation = 8;
+  Rng rng1(7), rng2(8);
+  Database a = RandomDatabase(options, rng1);
+  Database b = RandomDatabase(options, rng2);
+  bool any_diff = false;
+  for (int i = 0; i < a.size(); ++i) {
+    if (!(a.state(i) == b.state(i))) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GeneratorTest, RespectsRowCountWhenDomainAllows) {
+  GeneratorOptions options;
+  options.relation_count = 3;
+  options.rows_per_relation = 10;
+  options.join_domain = 100;
+  Rng rng(3);
+  Database db = RandomDatabase(options, rng);
+  for (int i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(db.state(i).size(), 10u);
+  }
+}
+
+TEST(GeneratorTest, ShapesProduceMatchingSchemes) {
+  for (QueryShape shape : {QueryShape::kChain, QueryShape::kStar,
+                           QueryShape::kCycle, QueryShape::kClique}) {
+    GeneratorOptions options;
+    options.shape = shape;
+    options.relation_count = 5;
+    Rng rng(1);
+    Database db = RandomDatabase(options, rng);
+    EXPECT_EQ(db.size(), 5);
+    EXPECT_TRUE(db.scheme().Connected(db.scheme().full_mask()));
+  }
+}
+
+TEST(GeneratorTest, SkewedValuesConcentrate) {
+  GeneratorOptions options;
+  options.relation_count = 2;
+  options.rows_per_relation = 40;
+  options.join_domain = 50;
+  options.join_skew = 2.0;
+  Rng rng(5);
+  Database db = RandomDatabase(options, rng);
+  // With heavy skew, far fewer distinct join values than rows. The join
+  // attribute of relation 0 in a 2-chain is J0_1.
+  const Relation& r = db.state(0);
+  int idx = r.schema().IndexOf("J0_1");
+  ASSERT_GE(idx, 0);
+  std::set<int64_t> distinct;
+  for (const Tuple& t : r) distinct.insert(t.value(static_cast<size_t>(idx)).AsInt());
+  EXPECT_LT(distinct.size(), 20u);
+}
+
+class KeyedDatabaseProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(KeyedDatabaseProperty, AllJoinsOnSuperkeysAndC3Holds) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7 + 1);
+  KeyedGeneratorOptions options;
+  options.shape = GetParam() % 2 == 0 ? QueryShape::kChain : QueryShape::kStar;
+  options.relation_count = 4;
+  options.rows_per_relation = 6;
+  options.join_domain = 9;
+  Database db = KeyedDatabase(options, rng);
+
+  // Structural check: every pairwise shared attribute set has distinct
+  // values in both relations (a key).
+  for (int i = 0; i < db.size(); ++i) {
+    for (int j = i + 1; j < db.size(); ++j) {
+      Schema shared = db.scheme().scheme(i).Intersect(db.scheme().scheme(j));
+      if (shared.empty()) continue;
+      for (int r : {i, j}) {
+        const Relation& state = db.state(r);
+        std::set<std::vector<Value>> seen;
+        std::vector<int> positions;
+        for (const std::string& a : shared) {
+          positions.push_back(state.schema().IndexOf(a));
+        }
+        for (const Tuple& t : state) {
+          std::vector<Value> key;
+          for (int p : positions) key.push_back(t.value(static_cast<size_t>(p)));
+          EXPECT_TRUE(seen.insert(key).second) << "duplicate key in R" << r;
+        }
+      }
+    }
+  }
+  // §4: all joins on superkeys ⇒ C3 (hence C1, C2 by Lemma 5).
+  JoinCache cache(&db);
+  EXPECT_TRUE(CheckC3(cache).satisfied);
+  EXPECT_TRUE(CheckC1(cache).satisfied);
+  EXPECT_TRUE(CheckC2(cache).satisfied);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KeyedDatabaseProperty, ::testing::Range(0, 12));
+
+TEST(StarSchemaTest, FdsHoldInTheData) {
+  Rng rng(9);
+  StarSchemaOptions options;
+  StarSchemaDatabase star = MakeStarSchema(options, rng);
+  // Each dimension's key is unique.
+  for (int i = 1; i < star.database.size(); ++i) {
+    const Relation& dim = star.database.state(i);
+    std::string key_attr = "K" + std::to_string(i);
+    int idx = dim.schema().IndexOf(key_attr);
+    ASSERT_GE(idx, 0);
+    std::set<int64_t> seen;
+    for (const Tuple& t : dim) {
+      EXPECT_TRUE(seen.insert(t.value(static_cast<size_t>(idx)).AsInt()).second);
+    }
+  }
+}
+
+TEST(StarSchemaTest, NoLossyJoinsHenceC2) {
+  Rng rng(13);
+  StarSchemaOptions options;
+  options.dimension_count = 3;
+  options.fact_rows = 12;
+  options.dimension_rows = 6;
+  options.dimension_domain = 8;
+  StarSchemaDatabase star = MakeStarSchema(options, rng);
+  EXPECT_TRUE(HasNoLossyJoins(star.database.scheme(), star.fds));
+  JoinCache cache(&star.database);
+  EXPECT_TRUE(CheckC2(cache).satisfied);
+}
+
+TEST(ConsistentTreeTest, SatisfiesC4) {
+  Rng rng(21);
+  Database db = ConsistentTreeDatabase(4, 8, 4, rng);
+  EXPECT_TRUE(IsGammaAcyclic(db.scheme()));
+  EXPECT_TRUE(IsPairwiseConsistent(db));
+  JoinCache cache(&db);
+  EXPECT_TRUE(CheckC4(cache).satisfied);
+}
+
+}  // namespace
+}  // namespace taujoin

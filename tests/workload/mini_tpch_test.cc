@@ -1,0 +1,108 @@
+#include "workload/mini_tpch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/conditions.h"
+#include "core/cost.h"
+#include "fd/chase.h"
+#include "scheme/acyclicity.h"
+#include "scheme/hypergraph.h"
+
+namespace taujoin {
+namespace {
+
+TEST(MiniTpchTest, SchemaShape) {
+  Rng rng(1);
+  MiniTpch tpch = MakeMiniTpch({}, rng);
+  EXPECT_EQ(tpch.database.size(), 5);
+  EXPECT_EQ(tpch.database.IndexOfName("Lineitem"), 2);
+  EXPECT_TRUE(tpch.database.scheme().Connected(
+      tpch.database.scheme().full_mask()));
+  EXPECT_TRUE(IsAlphaAcyclic(tpch.database.scheme()));
+  EXPECT_TRUE(BuildJoinTree(tpch.database.scheme()).has_value());
+}
+
+TEST(MiniTpchTest, CardinalitiesMatchOptions) {
+  Rng rng(2);
+  MiniTpchOptions options;
+  options.customers = 7;
+  options.parts = 9;
+  options.suppliers = 4;
+  MiniTpch tpch = MakeMiniTpch(options, rng);
+  EXPECT_EQ(tpch.database.state(0).Tau(), 7u);   // Customer
+  EXPECT_EQ(tpch.database.state(3).Tau(), 9u);   // Part
+  EXPECT_EQ(tpch.database.state(4).Tau(), 4u);   // Supplier
+  // Orders/Lineitem may collapse duplicates; bounded above by options.
+  EXPECT_LE(tpch.database.state(1).Tau(), 12u);
+  EXPECT_LE(tpch.database.state(2).Tau(), 24u);
+}
+
+TEST(MiniTpchTest, FdsHoldInTheData) {
+  Rng rng(3);
+  MiniTpch tpch = MakeMiniTpch({}, rng);
+  // C → N: no customer key maps to two nations; likewise P → T, S → M.
+  struct KeyCheck {
+    int relation;
+    std::string key;
+  };
+  for (const KeyCheck& check :
+       {KeyCheck{0, "C"}, KeyCheck{3, "P"}, KeyCheck{4, "S"},
+        KeyCheck{1, "O"}}) {
+    const Relation& r = tpch.database.state(check.relation);
+    int idx = r.schema().IndexOf(check.key);
+    ASSERT_GE(idx, 0);
+    std::set<Value> seen;
+    for (const Tuple& t : r) {
+      EXPECT_TRUE(seen.insert(t.value(static_cast<size_t>(idx))).second)
+          << "duplicate key in relation " << check.relation;
+    }
+  }
+}
+
+TEST(MiniTpchTest, FkFdsGiveLosslessJoinsAndC2) {
+  Rng rng(4);
+  MiniTpch tpch = MakeMiniTpch({}, rng);
+  EXPECT_TRUE(HasNoLossyJoins(tpch.database.scheme(), tpch.fds));
+  JoinCache cache(&tpch.database);
+  if (cache.Tau(tpch.database.scheme().full_mask()) > 0) {
+    EXPECT_TRUE(CheckC2(cache).satisfied);
+  }
+}
+
+TEST(MiniTpchTest, DeterministicInSeed) {
+  Rng rng1(9), rng2(9);
+  MiniTpch a = MakeMiniTpch({}, rng1);
+  MiniTpch b = MakeMiniTpch({}, rng2);
+  for (int i = 0; i < a.database.size(); ++i) {
+    EXPECT_EQ(a.database.state(i), b.database.state(i));
+  }
+}
+
+TEST(MiniTpchTest, SkewConcentratesLineitems) {
+  Rng rng(11);
+  MiniTpchOptions options;
+  options.lineitems = 200;
+  options.orders = 50;
+  options.skew = 1.5;
+  MiniTpch tpch = MakeMiniTpch(options, rng);
+  // Count lineitems of the most popular order; with skew 1.5 it should be
+  // far above the uniform expectation.
+  const Relation& line = tpch.database.state(2);
+  int o_idx = line.schema().IndexOf("O");
+  std::map<int64_t, int> histogram;
+  for (const Tuple& t : line) {
+    ++histogram[t.value(static_cast<size_t>(o_idx)).AsInt()];
+  }
+  int max_count = 0;
+  for (const auto& [order, count] : histogram) {
+    max_count = std::max(max_count, count);
+  }
+  EXPECT_GE(max_count, 8);
+}
+
+}  // namespace
+}  // namespace taujoin
