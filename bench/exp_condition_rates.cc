@@ -3,12 +3,17 @@
 // skews we measure (a) how often each condition holds, and (b) the τ
 // penalty of the no-CP and linear-no-CP restrictions relative to the true
 // optimum, split by whether the relevant condition held.
+//
+// Each trial builds its own database + CostEngine, so trials fan out over
+// a ParallelSweep; seeds are fixed per-trial formulas, keeping the output
+// identical for any thread count.
 
 #include <cstdio>
 
 #include "common/rng.h"
 #include "core/conditions.h"
 #include "core/cost.h"
+#include "enumerate/parallel_sweep.h"
 #include "optimize/dp.h"
 #include "report/stats.h"
 #include "report/table.h"
@@ -41,36 +46,51 @@ int main() {
          {Family{"random uniform", false, 0.0},
           Family{"random skewed", false, 1.5},
           Family{"keyed (joins on superkeys)", true, 0.0}}) {
+      struct TrialConditions {
+        bool sampled = false;
+        bool c1 = false, c1s = false, c2 = false, c3 = false, c4 = false;
+      };
+      std::vector<TrialConditions> verdicts =
+          ParallelSweep(kTrials, [&](int trial) {
+            TrialConditions v;
+            Rng rng(static_cast<uint64_t>(trial) * 7349 + 31);
+            Database db;
+            if (family.keyed) {
+              KeyedGeneratorOptions options;
+              options.shape =
+                  trial % 2 == 0 ? QueryShape::kChain : QueryShape::kStar;
+              options.relation_count = 4;
+              options.rows_per_relation = 5;
+              options.join_domain = 7;
+              db = KeyedDatabase(options, rng);
+            } else {
+              GeneratorOptions options;
+              options.shape = static_cast<QueryShape>(trial % 4);
+              options.relation_count = 4;
+              options.rows_per_relation = 6;
+              options.join_domain = 3;
+              options.join_skew = family.skew;
+              db = RandomDatabase(options, rng);
+            }
+            CostEngine engine(&db);
+            if (engine.Tau(db.scheme().full_mask()) == 0) return v;
+            v.sampled = true;
+            ConditionsSummary s = CheckAllConditions(engine);
+            v.c1 = s.c1.satisfied;
+            v.c1s = s.c1_strict.satisfied;
+            v.c2 = s.c2.satisfied;
+            v.c3 = s.c3.satisfied;
+            v.c4 = s.c4.satisfied;
+            return v;
+          });
       int sampled = 0, c1 = 0, c1s = 0, c2 = 0, c3 = 0, c4 = 0;
-      for (int trial = 0; trial < kTrials; ++trial) {
-        Rng rng(static_cast<uint64_t>(trial) * 7349 + 31);
-        Database db;
-        if (family.keyed) {
-          KeyedGeneratorOptions options;
-          options.shape =
-              trial % 2 == 0 ? QueryShape::kChain : QueryShape::kStar;
-          options.relation_count = 4;
-          options.rows_per_relation = 5;
-          options.join_domain = 7;
-          db = KeyedDatabase(options, rng);
-        } else {
-          GeneratorOptions options;
-          options.shape = static_cast<QueryShape>(trial % 4);
-          options.relation_count = 4;
-          options.rows_per_relation = 6;
-          options.join_domain = 3;
-          options.join_skew = family.skew;
-          db = RandomDatabase(options, rng);
-        }
-        JoinCache cache(&db);
-        if (cache.Tau(db.scheme().full_mask()) == 0) continue;
-        ++sampled;
-        ConditionsSummary s = CheckAllConditions(cache);
-        c1 += s.c1.satisfied;
-        c1s += s.c1_strict.satisfied;
-        c2 += s.c2.satisfied;
-        c3 += s.c3.satisfied;
-        c4 += s.c4.satisfied;
+      for (const TrialConditions& v : verdicts) {
+        sampled += v.sampled;
+        c1 += v.c1;
+        c1s += v.c1s;
+        c2 += v.c2;
+        c3 += v.c3;
+        c4 += v.c4;
       }
       t.Row()
           .Cell(family.name)
@@ -86,48 +106,66 @@ int main() {
 
   PrintSection("I3b: heuristic tau penalty vs the conditions");
   {
+    struct TrialPenalty {
+      bool sampled = false;
+      bool conditions_hold = false;
+      double nocp = 0.0;
+      bool has_linear = false;
+      double linear = 0.0;
+    };
+    std::vector<TrialPenalty> verdicts =
+        ParallelSweep(kTrials * 2, [&](int trial) {
+          TrialPenalty v;
+          Rng rng(static_cast<uint64_t>(trial) * 10007 + 3);
+          Database db;
+          if (trial % 2 == 0) {
+            KeyedGeneratorOptions options;
+            options.shape =
+                trial % 4 == 0 ? QueryShape::kChain : QueryShape::kStar;
+            options.relation_count = 5;
+            options.rows_per_relation = 5;
+            options.join_domain = 7;
+            db = KeyedDatabase(options, rng);
+          } else {
+            GeneratorOptions options;
+            options.shape = static_cast<QueryShape>(trial % 4);
+            options.relation_count = 5;
+            options.rows_per_relation = 6;
+            options.join_domain = 3;
+            options.join_skew = 1.0;
+            db = RandomDatabase(options, rng);
+          }
+          CostEngine engine(&db);
+          if (engine.Tau(db.scheme().full_mask()) == 0) return v;
+          if (!db.scheme().Connected(db.scheme().full_mask())) return v;
+          auto optimum =
+              OptimizeDp(engine, db.scheme().full_mask(),
+                         {SearchSpace::kBushy, true});
+          auto nocp = OptimizeDp(engine, db.scheme().full_mask(),
+                                 {SearchSpace::kBushy, false});
+          auto linear_nocp = OptimizeDp(engine, db.scheme().full_mask(),
+                                        {SearchSpace::kLinear, false});
+          if (!optimum || optimum->cost == 0 || !nocp) return v;
+          v.sampled = true;
+          ConditionsSummary s = CheckAllConditions(engine);
+          v.conditions_hold = s.c1.satisfied && s.c2.satisfied;
+          v.nocp = static_cast<double>(nocp->cost) /
+                   static_cast<double>(optimum->cost);
+          if (linear_nocp) {
+            v.has_linear = true;
+            v.linear = static_cast<double>(linear_nocp->cost) /
+                       static_cast<double>(optimum->cost);
+          }
+          return v;
+        });
     Bucket with_conditions, without_conditions;
     int with_count = 0, without_count = 0;
-    for (int trial = 0; trial < kTrials * 2; ++trial) {
-      Rng rng(static_cast<uint64_t>(trial) * 10007 + 3);
-      Database db;
-      if (trial % 2 == 0) {
-        KeyedGeneratorOptions options;
-        options.shape = trial % 4 == 0 ? QueryShape::kChain : QueryShape::kStar;
-        options.relation_count = 5;
-        options.rows_per_relation = 5;
-        options.join_domain = 7;
-        db = KeyedDatabase(options, rng);
-      } else {
-        GeneratorOptions options;
-        options.shape = static_cast<QueryShape>(trial % 4);
-        options.relation_count = 5;
-        options.rows_per_relation = 6;
-        options.join_domain = 3;
-        options.join_skew = 1.0;
-        db = RandomDatabase(options, rng);
-      }
-      JoinCache cache(&db);
-      if (cache.Tau(db.scheme().full_mask()) == 0) continue;
-      if (!db.scheme().Connected(db.scheme().full_mask())) continue;
-      ExactSizeModel model(&cache);
-      auto optimum = OptimizeDp(db.scheme(), db.scheme().full_mask(), model,
-                                {SearchSpace::kBushy, true});
-      auto nocp = OptimizeDp(db.scheme(), db.scheme().full_mask(), model,
-                             {SearchSpace::kBushy, false});
-      auto linear_nocp = OptimizeDp(db.scheme(), db.scheme().full_mask(),
-                                    model, {SearchSpace::kLinear, false});
-      if (!optimum || optimum->cost == 0 || !nocp) continue;
-      ConditionsSummary s = CheckAllConditions(cache);
-      Bucket& bucket = (s.c1.satisfied && s.c2.satisfied) ? with_conditions
-                                                          : without_conditions;
-      ((s.c1.satisfied && s.c2.satisfied) ? with_count : without_count)++;
-      bucket.nocp_penalty.Add(static_cast<double>(nocp->cost) /
-                              static_cast<double>(optimum->cost));
-      if (linear_nocp) {
-        bucket.linear_penalty.Add(static_cast<double>(linear_nocp->cost) /
-                                  static_cast<double>(optimum->cost));
-      }
+    for (const TrialPenalty& v : verdicts) {
+      if (!v.sampled) continue;
+      Bucket& bucket = v.conditions_hold ? with_conditions : without_conditions;
+      (v.conditions_hold ? with_count : without_count)++;
+      bucket.nocp_penalty.Add(v.nocp);
+      if (v.has_linear) bucket.linear_penalty.Add(v.linear);
     }
     ReportTable t({"condition C1+C2", "databases", "no-CP penalty (median)",
                    "no-CP penalty (max)", "linear+no-CP penalty (median)",

@@ -1,6 +1,11 @@
 // Experiment T1–T3 — randomized machine-verification of Theorems 1–3 on
 // condition-satisfying databases, plus the necessity side: how often each
 // theorem's conclusion *fails* once its condition is dropped.
+//
+// Trials are independent (one database + one CostEngine each), so every
+// section fans out over a ParallelSweep; per-trial seeds are fixed
+// functions of the trial index, making the output identical for any
+// thread count.
 
 #include <cstdio>
 
@@ -8,6 +13,7 @@
 #include "core/conditions.h"
 #include "core/cost.h"
 #include "core/properties.h"
+#include "enumerate/parallel_sweep.h"
 #include "optimize/exhaustive.h"
 #include "report/table.h"
 #include "workload/generator.h"
@@ -23,33 +29,33 @@ struct Tally {
   int conclusion = 0;   ///< ... where the conclusion holds
 };
 
-bool NonEmpty(JoinCache& cache, const Database& db) {
-  return cache.Tau(db.scheme().full_mask()) > 0;
+bool NonEmpty(CostEngine& engine, const Database& db) {
+  return engine.Tau(db.scheme().full_mask()) > 0;
 }
 
 // Theorem 1 conclusion: every τ-optimum linear strategy avoids CPs.
-bool Theorem1Holds(JoinCache& cache, const Database& db) {
+bool Theorem1Holds(CostEngine& engine, const Database& db) {
   for (const Strategy& s :
-       AllOptima(cache, db.scheme().full_mask(), StrategySpace::kLinear)) {
+       AllOptima(engine, db.scheme().full_mask(), StrategySpace::kLinear)) {
     if (UsesCartesianProducts(s, db.scheme())) return false;
   }
   return true;
 }
 
 // Theorem 2 conclusion: some τ-optimum strategy uses no CPs.
-bool Theorem2Holds(JoinCache& cache, const Database& db) {
-  auto all = OptimizeExhaustive(cache, db.scheme().full_mask(),
+bool Theorem2Holds(CostEngine& engine, const Database& db) {
+  auto all = OptimizeExhaustive(engine, db.scheme().full_mask(),
                                 StrategySpace::kAll);
-  auto nocp = OptimizeExhaustive(cache, db.scheme().full_mask(),
+  auto nocp = OptimizeExhaustive(engine, db.scheme().full_mask(),
                                  StrategySpace::kNoCartesian);
   return nocp.has_value() && nocp->cost == all->cost;
 }
 
 // Theorem 3 conclusion: some τ-optimum strategy is linear and CP-free.
-bool Theorem3Holds(JoinCache& cache, const Database& db) {
-  auto all = OptimizeExhaustive(cache, db.scheme().full_mask(),
+bool Theorem3Holds(CostEngine& engine, const Database& db) {
+  auto all = OptimizeExhaustive(engine, db.scheme().full_mask(),
                                 StrategySpace::kAll);
-  auto lin = OptimizeExhaustive(cache, db.scheme().full_mask(),
+  auto lin = OptimizeExhaustive(engine, db.scheme().full_mask(),
                                 StrategySpace::kLinearNoCartesian);
   return lin.has_value() && lin->cost == all->cost;
 }
@@ -61,50 +67,80 @@ int main() {
 
   PrintSection("T1-T3: conclusions on condition-satisfying databases");
   {
+    // Per-trial verdicts, computed in parallel and tallied in trial order.
+    struct TrialVerdict {
+      bool sampled_t1 = false, holds_t1 = false;
+      bool sampled_t2 = false, holds_t2 = false;
+      bool sampled_t3 = false, holds_t3 = false;
+    };
+    std::vector<TrialVerdict> verdicts =
+        ParallelSweep(kTrials, [&](int trial) {
+          TrialVerdict v;
+          Rng rng(static_cast<uint64_t>(trial) * 6364136223846793005ULL + 1);
+          KeyedGeneratorOptions options;
+          options.shape =
+              trial % 2 == 0 ? QueryShape::kChain : QueryShape::kStar;
+          options.relation_count = 4 + trial % 2;
+          options.rows_per_relation = 3 + trial % 4;
+          options.join_domain = options.rows_per_relation + 1 + trial % 3;
+          Database db = KeyedDatabase(options, rng);
+          CostEngine engine(&db);
+          if (!NonEmpty(engine, db)) return v;
+          ConditionsSummary conditions = CheckAllConditions(engine);
+          if (conditions.c1_strict.satisfied) {
+            v.sampled_t1 = true;
+            v.holds_t1 = Theorem1Holds(engine, db);
+          }
+          if (conditions.c1.satisfied && conditions.c2.satisfied) {
+            v.sampled_t2 = true;
+            v.holds_t2 = Theorem2Holds(engine, db);
+          }
+          if (conditions.c3.satisfied) {
+            v.sampled_t3 = true;
+            v.holds_t3 = Theorem3Holds(engine, db);
+          }
+          return v;
+        });
     Tally t1, t2, t3;
-    for (int trial = 0; trial < kTrials; ++trial) {
-      Rng rng(static_cast<uint64_t>(trial) * 6364136223846793005ULL + 1);
-      KeyedGeneratorOptions options;
-      options.shape = trial % 2 == 0 ? QueryShape::kChain : QueryShape::kStar;
-      options.relation_count = 4 + trial % 2;
-      options.rows_per_relation = 3 + trial % 4;
-      options.join_domain = options.rows_per_relation + 1 + trial % 3;
-      Database db = KeyedDatabase(options, rng);
-      JoinCache cache(&db);
-      if (!NonEmpty(cache, db)) continue;
-      ConditionsSummary conditions = CheckAllConditions(cache);
-      if (conditions.c1_strict.satisfied) {
-        ++t1.sampled;
-        if (Theorem1Holds(cache, db)) ++t1.conclusion;
-      }
-      if (conditions.c1.satisfied && conditions.c2.satisfied) {
-        ++t2.sampled;
-        if (Theorem2Holds(cache, db)) ++t2.conclusion;
-      }
-      if (conditions.c3.satisfied) {
-        ++t3.sampled;
-        if (Theorem3Holds(cache, db)) ++t3.conclusion;
-      }
+    for (const TrialVerdict& v : verdicts) {
+      t1.sampled += v.sampled_t1;
+      t1.conclusion += v.holds_t1;
+      t2.sampled += v.sampled_t2;
+      t2.conclusion += v.holds_t2;
+      t3.sampled += v.sampled_t3;
+      t3.conclusion += v.holds_t3;
     }
+
     // Star schemas exercise Theorem 2 beyond the keyed family (C2 via
     // lossless FK joins, C3 typically failing).
+    struct StarVerdict {
+      bool sampled = false, holds = false;
+    };
+    std::vector<StarVerdict> star_verdicts =
+        ParallelSweep(kTrials / 2, [&](int trial) {
+          StarVerdict v;
+          Rng rng(static_cast<uint64_t>(trial) * 2862933555777941757ULL + 5);
+          StarSchemaOptions options;
+          options.dimension_count = 3;
+          options.fact_rows = 8 + trial % 8;
+          options.dimension_rows = 4 + trial % 4;
+          options.dimension_domain = options.dimension_rows + 2;
+          StarSchemaDatabase star = MakeStarSchema(options, rng);
+          CostEngine engine(&star.database);
+          if (!NonEmpty(engine, star.database)) return v;
+          ConditionsSummary conditions = CheckAllConditions(engine);
+          if (conditions.c1.satisfied && conditions.c2.satisfied) {
+            v.sampled = true;
+            v.holds = Theorem2Holds(engine, star.database);
+          }
+          return v;
+        });
     Tally t2_star;
-    for (int trial = 0; trial < kTrials / 2; ++trial) {
-      Rng rng(static_cast<uint64_t>(trial) * 2862933555777941757ULL + 5);
-      StarSchemaOptions options;
-      options.dimension_count = 3;
-      options.fact_rows = 8 + trial % 8;
-      options.dimension_rows = 4 + trial % 4;
-      options.dimension_domain = options.dimension_rows + 2;
-      StarSchemaDatabase star = MakeStarSchema(options, rng);
-      JoinCache cache(&star.database);
-      if (!NonEmpty(cache, star.database)) continue;
-      ConditionsSummary conditions = CheckAllConditions(cache);
-      if (conditions.c1.satisfied && conditions.c2.satisfied) {
-        ++t2_star.sampled;
-        if (Theorem2Holds(cache, star.database)) ++t2_star.conclusion;
-      }
+    for (const StarVerdict& v : star_verdicts) {
+      t2_star.sampled += v.sampled;
+      t2_star.conclusion += v.holds;
     }
+
     ReportTable table({"theorem", "hypothesis", "workload", "databases",
                        "conclusion holds", "verdict"});
     table.Row()
@@ -144,28 +180,45 @@ int main() {
     // often each conclusion then fails — nonzero rates demonstrate the
     // conditions carry real weight (the paper's Examples 3-5 are specific
     // witnesses of the same phenomenon).
+    struct NecessityVerdict {
+      bool sampled = false;
+      bool c1s = false, c12 = false, c3 = false;
+      bool t1_fail = false, t2_fail = false, t3_fail = false;
+    };
+    std::vector<NecessityVerdict> verdicts =
+        ParallelSweep(kTrials, [&](int trial) {
+          NecessityVerdict v;
+          Rng rng(static_cast<uint64_t>(trial) * 88172645463325252ULL + 9);
+          GeneratorOptions options;
+          options.shape = static_cast<QueryShape>(trial % 4);
+          options.relation_count = 4 + trial % 2;
+          options.rows_per_relation = 6;
+          options.join_domain = 3;
+          options.join_skew = trial % 3 == 0 ? 1.0 : 0.0;
+          Database db = RandomDatabase(options, rng);
+          CostEngine engine(&db);
+          if (!NonEmpty(engine, db)) return v;
+          v.sampled = true;
+          ConditionsSummary conditions = CheckAllConditions(engine);
+          v.c1s = conditions.c1_strict.satisfied;
+          if (!v.c1s) v.t1_fail = !Theorem1Holds(engine, db);
+          v.c12 = conditions.c1.satisfied && conditions.c2.satisfied;
+          if (!v.c12) v.t2_fail = !Theorem2Holds(engine, db);
+          v.c3 = conditions.c3.satisfied;
+          if (!v.c3) v.t3_fail = !Theorem3Holds(engine, db);
+          return v;
+        });
     int sampled = 0;
     int t1_fail = 0, t2_fail = 0, t3_fail = 0;
     int c1s_holds = 0, c12_holds = 0, c3_holds = 0;
-    for (int trial = 0; trial < kTrials; ++trial) {
-      Rng rng(static_cast<uint64_t>(trial) * 88172645463325252ULL + 9);
-      GeneratorOptions options;
-      options.shape = static_cast<QueryShape>(trial % 4);
-      options.relation_count = 4 + trial % 2;
-      options.rows_per_relation = 6;
-      options.join_domain = 3;
-      options.join_skew = trial % 3 == 0 ? 1.0 : 0.0;
-      Database db = RandomDatabase(options, rng);
-      JoinCache cache(&db);
-      if (!NonEmpty(cache, db)) continue;
-      ++sampled;
-      ConditionsSummary conditions = CheckAllConditions(cache);
-      if (conditions.c1_strict.satisfied) ++c1s_holds;
-      else if (!Theorem1Holds(cache, db)) ++t1_fail;
-      if (conditions.c1.satisfied && conditions.c2.satisfied) ++c12_holds;
-      else if (!Theorem2Holds(cache, db)) ++t2_fail;
-      if (conditions.c3.satisfied) ++c3_holds;
-      else if (!Theorem3Holds(cache, db)) ++t3_fail;
+    for (const NecessityVerdict& v : verdicts) {
+      sampled += v.sampled;
+      c1s_holds += v.c1s;
+      c12_holds += v.c12;
+      c3_holds += v.c3;
+      t1_fail += v.t1_fail;
+      t2_fail += v.t2_fail;
+      t3_fail += v.t3_fail;
     }
     ReportTable necessity_table({"conclusion", "condition held",
                                  "condition dropped", "conclusion failed"});
@@ -199,28 +252,38 @@ int main() {
     ReportTable table({"n", "databases (C3 holds)", "DP(all) == DP(linear,no-CP)",
                        "verdict"});
     for (int n : {8, 9, 10}) {
+      struct ScaleVerdict {
+        bool sampled = false, equal = false;
+      };
+      std::vector<ScaleVerdict> verdicts =
+          ParallelSweep(12, [&](int trial) {
+            ScaleVerdict v;
+            Rng rng(static_cast<uint64_t>(trial) * 524287 +
+                    static_cast<uint64_t>(n));
+            KeyedGeneratorOptions options;
+            options.shape =
+                trial % 2 == 0 ? QueryShape::kChain : QueryShape::kStar;
+            options.relation_count = n;
+            // High per-edge match rate (7/8) so the 10-way join stays
+            // non-empty often enough to sample.
+            options.rows_per_relation = 7;
+            options.join_domain = 8;
+            Database db = KeyedDatabase(options, rng);
+            CostEngine engine(&db);
+            if (engine.Tau(db.scheme().full_mask()) == 0) return v;
+            if (!CheckC3(engine).satisfied) return v;
+            v.sampled = true;
+            auto all = OptimizeDp(engine, db.scheme().full_mask(),
+                                  {SearchSpace::kBushy, true});
+            auto restricted = OptimizeDp(engine, db.scheme().full_mask(),
+                                         {SearchSpace::kLinear, false});
+            v.equal = all && restricted && all->cost == restricted->cost;
+            return v;
+          });
       int sampled = 0, equal = 0;
-      for (int trial = 0; trial < 12; ++trial) {
-        Rng rng(static_cast<uint64_t>(trial) * 524287 +
-                static_cast<uint64_t>(n));
-        KeyedGeneratorOptions options;
-        options.shape = trial % 2 == 0 ? QueryShape::kChain : QueryShape::kStar;
-        options.relation_count = n;
-        // High per-edge match rate (7/8) so the 10-way join stays
-        // non-empty often enough to sample.
-        options.rows_per_relation = 7;
-        options.join_domain = 8;
-        Database db = KeyedDatabase(options, rng);
-        JoinCache cache(&db);
-        if (cache.Tau(db.scheme().full_mask()) == 0) continue;
-        if (!CheckC3(cache).satisfied) continue;
-        ++sampled;
-        ExactSizeModel model(&cache);
-        auto all = OptimizeDp(db.scheme(), db.scheme().full_mask(), model,
-                              {SearchSpace::kBushy, true});
-        auto restricted = OptimizeDp(db.scheme(), db.scheme().full_mask(),
-                                     model, {SearchSpace::kLinear, false});
-        if (all && restricted && all->cost == restricted->cost) ++equal;
+      for (const ScaleVerdict& v : verdicts) {
+        sampled += v.sampled;
+        equal += v.equal;
       }
       table.Row()
           .Cell(n)

@@ -1,13 +1,22 @@
 // M2 — google-benchmark microbenchmarks for the optimizer substrate:
 // exact-cost DP (bushy/linear), the avoid-CP optimizer, greedy, iterative
-// improvement, exhaustive enumeration, and condition checking, as the
-// query grows.
+// improvement, exhaustive enumeration, condition checking, and the
+// CostEngine's counting τ fast path against forced materialization, as
+// the query grows.
+//
+// Unless the caller passes its own --benchmark_out, results are also
+// written to BENCH_optimizer.json in the working directory so runs leave
+// a machine-readable artifact.
 
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "core/conditions.h"
 #include "enumerate/strategy_enumerator.h"
+#include "enumerate/subsets.h"
 #include "optimize/dp.h"
 #include "optimize/dpccp.h"
 #include "optimize/exhaustive.h"
@@ -30,9 +39,9 @@ Database MakeDb(int n, uint64_t seed) {
 
 void BM_DpBushy(benchmark::State& state) {
   Database db = MakeDb(static_cast<int>(state.range(0)), 1);
-  JoinCache cache(&db);
-  ExactSizeModel model(&cache);
-  cache.Tau(db.scheme().full_mask());  // pre-warm materialization
+  CostEngine engine(&db);
+  ExactSizeModel model(&engine);
+  engine.Tau(db.scheme().full_mask());  // pre-warm the memo table
   for (auto _ : state) {
     auto plan = OptimizeDp(db.scheme(), db.scheme().full_mask(), model,
                            {SearchSpace::kBushy, true});
@@ -43,9 +52,9 @@ BENCHMARK(BM_DpBushy)->Arg(6)->Arg(8)->Arg(10)->Arg(12);
 
 void BM_DpLinear(benchmark::State& state) {
   Database db = MakeDb(static_cast<int>(state.range(0)), 1);
-  JoinCache cache(&db);
-  ExactSizeModel model(&cache);
-  cache.Tau(db.scheme().full_mask());
+  CostEngine engine(&db);
+  ExactSizeModel model(&engine);
+  engine.Tau(db.scheme().full_mask());
   for (auto _ : state) {
     auto plan = OptimizeDp(db.scheme(), db.scheme().full_mask(), model,
                            {SearchSpace::kLinear, true});
@@ -56,9 +65,9 @@ BENCHMARK(BM_DpLinear)->Arg(6)->Arg(8)->Arg(10)->Arg(12);
 
 void BM_DpNoCartesian(benchmark::State& state) {
   Database db = MakeDb(static_cast<int>(state.range(0)), 1);
-  JoinCache cache(&db);
-  ExactSizeModel model(&cache);
-  cache.Tau(db.scheme().full_mask());
+  CostEngine engine(&db);
+  ExactSizeModel model(&engine);
+  engine.Tau(db.scheme().full_mask());
   for (auto _ : state) {
     auto plan = OptimizeDp(db.scheme(), db.scheme().full_mask(), model,
                            {SearchSpace::kBushy, false});
@@ -70,9 +79,9 @@ BENCHMARK(BM_DpNoCartesian)->Arg(6)->Arg(8)->Arg(10)->Arg(12);
 
 void BM_DpCcp(benchmark::State& state) {
   Database db = MakeDb(static_cast<int>(state.range(0)), 1);
-  JoinCache cache(&db);
-  ExactSizeModel model(&cache);
-  cache.Tau(db.scheme().full_mask());
+  CostEngine engine(&db);
+  ExactSizeModel model(&engine);
+  engine.Tau(db.scheme().full_mask());
   for (auto _ : state) {
     auto plan = OptimizeDpCcp(db.scheme(), db.scheme().full_mask(), model);
     benchmark::DoNotOptimize(plan->cost);
@@ -82,9 +91,9 @@ BENCHMARK(BM_DpCcp)->Arg(6)->Arg(8)->Arg(10)->Arg(12);
 
 void BM_Greedy(benchmark::State& state) {
   Database db = MakeDb(static_cast<int>(state.range(0)), 1);
-  JoinCache cache(&db);
-  ExactSizeModel model(&cache);
-  cache.Tau(db.scheme().full_mask());
+  CostEngine engine(&db);
+  ExactSizeModel model(&engine);
+  engine.Tau(db.scheme().full_mask());
   for (auto _ : state) {
     PlanResult plan =
         OptimizeGreedy(db.scheme(), db.scheme().full_mask(), model);
@@ -95,9 +104,9 @@ BENCHMARK(BM_Greedy)->Arg(6)->Arg(10)->Arg(14);
 
 void BM_IterativeImprovement(benchmark::State& state) {
   Database db = MakeDb(static_cast<int>(state.range(0)), 1);
-  JoinCache cache(&db);
-  ExactSizeModel model(&cache);
-  cache.Tau(db.scheme().full_mask());
+  CostEngine engine(&db);
+  ExactSizeModel model(&engine);
+  engine.Tau(db.scheme().full_mask());
   Rng rng(9);
   for (auto _ : state) {
     PlanResult plan =
@@ -109,15 +118,48 @@ BENCHMARK(BM_IterativeImprovement)->Arg(6)->Arg(10)->Arg(14);
 
 void BM_ExhaustiveEnumeration(benchmark::State& state) {
   Database db = MakeDb(static_cast<int>(state.range(0)), 1);
-  JoinCache cache(&db);
-  cache.Tau(db.scheme().full_mask());
+  CostEngine engine(&db);
+  engine.Tau(db.scheme().full_mask());
   for (auto _ : state) {
-    auto plan = OptimizeExhaustive(cache, db.scheme().full_mask(),
+    auto plan = OptimizeExhaustive(engine, db.scheme().full_mask(),
                                    StrategySpace::kAll);
     benchmark::DoNotOptimize(plan->cost);
   }
 }
 BENCHMARK(BM_ExhaustiveEnumeration)->Arg(5)->Arg(6)->Arg(7)->Arg(8);
+
+// Exhaustive τ-costing of every connected subset of an n-relation chain,
+// cold engine each iteration. The counting variant resolves each subset's
+// τ by counting the final join (the subset's own output is never built);
+// the materializing variant forces ConnectedState() first — what every
+// caller paid before the counting fast path existed.
+void BM_ExhaustiveTauCounting(benchmark::State& state) {
+  Database db = MakeDb(static_cast<int>(state.range(0)), 1);
+  std::vector<RelMask> subsets =
+      ConnectedSubsets(db.scheme(), db.scheme().full_mask());
+  for (auto _ : state) {
+    CostEngine engine(&db);
+    uint64_t total = 0;
+    for (RelMask mask : subsets) total += engine.Tau(mask);
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["subsets"] = static_cast<double>(subsets.size());
+}
+BENCHMARK(BM_ExhaustiveTauCounting)->Arg(8)->Arg(10);
+
+void BM_ExhaustiveTauMaterializing(benchmark::State& state) {
+  Database db = MakeDb(static_cast<int>(state.range(0)), 1);
+  std::vector<RelMask> subsets =
+      ConnectedSubsets(db.scheme(), db.scheme().full_mask());
+  for (auto _ : state) {
+    CostEngine engine(&db);
+    uint64_t total = 0;
+    for (RelMask mask : subsets) total += engine.ConnectedState(mask).Tau();
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["subsets"] = static_cast<double>(subsets.size());
+}
+BENCHMARK(BM_ExhaustiveTauMaterializing)->Arg(8)->Arg(10);
 
 void BM_IndependenceEstimator(benchmark::State& state) {
   Database db = MakeDb(static_cast<int>(state.range(0)), 1);
@@ -132,10 +174,10 @@ BENCHMARK(BM_IndependenceEstimator)->Arg(8)->Arg(12);
 
 void BM_CheckConditions(benchmark::State& state) {
   Database db = MakeDb(static_cast<int>(state.range(0)), 1);
-  JoinCache cache(&db);
-  cache.Tau(db.scheme().full_mask());
+  CostEngine engine(&db);
+  engine.Tau(db.scheme().full_mask());
   for (auto _ : state) {
-    ConditionsSummary summary = CheckAllConditions(cache);
+    ConditionsSummary summary = CheckAllConditions(engine);
     benchmark::DoNotOptimize(summary.c1.satisfied);
   }
 }
@@ -144,4 +186,23 @@ BENCHMARK(BM_CheckConditions)->Arg(4)->Arg(6)->Arg(8);
 }  // namespace
 }  // namespace taujoin
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Default to emitting a JSON artifact; an explicit --benchmark_out wins.
+  std::vector<char*> args(argv, argv + argc);
+  std::string out = "--benchmark_out=BENCH_optimizer.json";
+  std::string format = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out.data());
+    args.push_back(format.data());
+  }
+  int arg_count = static_cast<int>(args.size());
+  benchmark::Initialize(&arg_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(arg_count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,35 @@
+#ifndef TAUJOIN_COMMON_CHECKED_MATH_H_
+#define TAUJOIN_COMMON_CHECKED_MATH_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace taujoin {
+
+/// Saturating arithmetic for τ values. τ counts combine multiplicatively
+/// across unconnected components (Cartesian products) and additively across
+/// strategy steps; a wide scheme can push either past 2^64. Wrapping would
+/// silently report a tiny cost for an astronomically expensive plan, so
+/// every τ combination in the library saturates at UINT64_MAX instead.
+///
+/// UINT64_MAX therefore reads as "at least 2^64 − 1 tuples": still ordered
+/// correctly above every representable cost, which is all the optimizers
+/// and condition checkers need.
+
+inline constexpr uint64_t kTauSaturated = std::numeric_limits<uint64_t>::max();
+
+inline uint64_t CheckedMulSat(uint64_t a, uint64_t b) {
+  uint64_t result;
+  if (__builtin_mul_overflow(a, b, &result)) return kTauSaturated;
+  return result;
+}
+
+inline uint64_t CheckedAddSat(uint64_t a, uint64_t b) {
+  uint64_t result;
+  if (__builtin_add_overflow(a, b, &result)) return kTauSaturated;
+  return result;
+}
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_COMMON_CHECKED_MATH_H_

@@ -32,9 +32,9 @@ std::vector<char> ConnectedTable(const DatabaseScheme& scheme) {
 /// Shared sweep for C1/C1': enumerates the (E, E1, E2) triples and applies
 /// `violated(lhs, rhs)` to τ(R_{E∪E1}) and τ(R_{E∪E2}).
 template <typename Violated>
-ConditionReport SweepC1(JoinCache& cache, const char* comparison,
+ConditionReport SweepC1(CostEngine& engine, const char* comparison,
                         Violated violated) {
-  const DatabaseScheme& scheme = cache.db().scheme();
+  const DatabaseScheme& scheme = engine.db().scheme();
   const std::vector<char> connected = ConnectedTable(scheme);
   const RelMask full = scheme.full_mask();
   ConditionReport report;
@@ -48,8 +48,8 @@ ConditionReport SweepC1(JoinCache& cache, const char* comparison,
       ForEachNonEmptySubmask(rest2, [&](RelMask e2) {
         if (!report.satisfied || !connected[e2]) return;
         if (scheme.Linked(e, e2)) return;
-        uint64_t lhs = cache.Tau(e | e1);
-        uint64_t rhs = cache.Tau(e | e2);
+        uint64_t lhs = engine.Tau(e | e1);
+        uint64_t rhs = engine.Tau(e | e2);
         if (violated(lhs, rhs)) {
           report.satisfied = false;
           report.witness = ConditionWitness{e, e1, e2, lhs, rhs, comparison};
@@ -64,9 +64,9 @@ ConditionReport SweepC1(JoinCache& cache, const char* comparison,
 /// `violated(joined, t1, t2)` returns the operand τ that witnesses the
 /// violation, or nullopt when the condition holds for the pair.
 template <typename Violated>
-ConditionReport SweepPairs(JoinCache& cache, const char* comparison,
+ConditionReport SweepPairs(CostEngine& engine, const char* comparison,
                            Violated violated) {
-  const DatabaseScheme& scheme = cache.db().scheme();
+  const DatabaseScheme& scheme = engine.db().scheme();
   const std::vector<char> connected = ConnectedTable(scheme);
   const RelMask full = scheme.full_mask();
   ConditionReport report;
@@ -76,9 +76,9 @@ ConditionReport SweepPairs(JoinCache& cache, const char* comparison,
     ForEachNonEmptySubmask(rest, [&](RelMask e2) {
       if (!report.satisfied || !connected[e2]) return;
       if (!scheme.Linked(e1, e2)) return;
-      uint64_t joined = cache.Tau(e1 | e2);
-      uint64_t t1 = cache.Tau(e1);
-      uint64_t t2 = cache.Tau(e2);
+      uint64_t joined = engine.Tau(e1 | e2);
+      uint64_t t1 = engine.Tau(e1);
+      uint64_t t2 = engine.Tau(e2);
       std::optional<uint64_t> witness_rhs = violated(joined, t1, t2);
       if (witness_rhs.has_value()) {
         report.satisfied = false;
@@ -92,28 +92,28 @@ ConditionReport SweepPairs(JoinCache& cache, const char* comparison,
 
 }  // namespace
 
-ConditionReport CheckC1(JoinCache& cache) {
-  return SweepC1(cache, "tau(E join E1) <= tau(E join E2)",
+ConditionReport CheckC1(CostEngine& engine) {
+  return SweepC1(engine, "tau(E join E1) <= tau(E join E2)",
                  [](uint64_t lhs, uint64_t rhs) { return lhs > rhs; });
 }
 
-ConditionReport CheckC1Strict(JoinCache& cache) {
-  return SweepC1(cache, "tau(E join E1) < tau(E join E2)",
+ConditionReport CheckC1Strict(CostEngine& engine) {
+  return SweepC1(engine, "tau(E join E1) < tau(E join E2)",
                  [](uint64_t lhs, uint64_t rhs) { return lhs >= rhs; });
 }
 
-ConditionReport CheckC2(JoinCache& cache) {
+ConditionReport CheckC2(CostEngine& engine) {
   return SweepPairs(
-      cache, "tau(E1 join E2) <= tau(E1) or tau(E1 join E2) <= tau(E2)",
+      engine, "tau(E1 join E2) <= tau(E1) or tau(E1 join E2) <= tau(E2)",
       [](uint64_t joined, uint64_t t1, uint64_t t2) -> std::optional<uint64_t> {
         if (joined > t1 && joined > t2) return std::max(t1, t2);
         return std::nullopt;
       });
 }
 
-ConditionReport CheckC3(JoinCache& cache) {
+ConditionReport CheckC3(CostEngine& engine) {
   return SweepPairs(
-      cache, "tau(E1 join E2) <= tau(E1) and tau(E1 join E2) <= tau(E2)",
+      engine, "tau(E1 join E2) <= tau(E1) and tau(E1 join E2) <= tau(E2)",
       [](uint64_t joined, uint64_t t1, uint64_t t2) -> std::optional<uint64_t> {
         if (joined > t1) return t1;
         if (joined > t2) return t2;
@@ -121,9 +121,9 @@ ConditionReport CheckC3(JoinCache& cache) {
       });
 }
 
-ConditionReport CheckC4(JoinCache& cache) {
+ConditionReport CheckC4(CostEngine& engine) {
   return SweepPairs(
-      cache, "tau(E1 join E2) >= tau(E1) and tau(E1 join E2) >= tau(E2)",
+      engine, "tau(E1 join E2) >= tau(E1) and tau(E1 join E2) >= tau(E2)",
       [](uint64_t joined, uint64_t t1, uint64_t t2) -> std::optional<uint64_t> {
         if (joined < t1) return t1;
         if (joined < t2) return t2;
@@ -137,13 +137,13 @@ std::string ConditionsSummary::ToString() const {
          " C2=" + mark(c2) + " C3=" + mark(c3) + " C4=" + mark(c4);
 }
 
-ConditionsSummary CheckAllConditions(JoinCache& cache) {
+ConditionsSummary CheckAllConditions(CostEngine& engine) {
   ConditionsSummary summary;
-  summary.c1 = CheckC1(cache);
-  summary.c1_strict = CheckC1Strict(cache);
-  summary.c2 = CheckC2(cache);
-  summary.c3 = CheckC3(cache);
-  summary.c4 = CheckC4(cache);
+  summary.c1 = CheckC1(engine);
+  summary.c1_strict = CheckC1Strict(engine);
+  summary.c2 = CheckC2(engine);
+  summary.c3 = CheckC3(engine);
+  summary.c4 = CheckC4(engine);
   return summary;
 }
 

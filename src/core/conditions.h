@@ -30,23 +30,23 @@ struct ConditionReport {
 /// C1(𝒟): for all pairwise-disjoint connected subsets E, E1, E2 of D with
 /// E linked to E1 but not to E2: τ(R_E ⋈ R_E1) ≤ τ(R_E ⋈ R_E2).
 /// The formalization of "a real join never beats a Cartesian product".
-ConditionReport CheckC1(JoinCache& cache);
+ConditionReport CheckC1(CostEngine& engine);
 
 /// C1'(𝒟): as C1 with strict inequality (<). Theorem 1's hypothesis.
-ConditionReport CheckC1Strict(JoinCache& cache);
+ConditionReport CheckC1Strict(CostEngine& engine);
 
 /// C2(𝒟): for all disjoint connected linked subsets E1, E2:
 /// τ(R_E1 ⋈ R_E2) ≤ τ(R_E1) or τ(R_E1 ⋈ R_E2) ≤ τ(R_E2).
-ConditionReport CheckC2(JoinCache& cache);
+ConditionReport CheckC2(CostEngine& engine);
 
 /// C3(𝒟): as C2 with "and": the join is no larger than *either* operand.
-ConditionReport CheckC3(JoinCache& cache);
+ConditionReport CheckC3(CostEngine& engine);
 
 /// C4(𝒟) (§5): as C3 but reversed: the join is at least as large as both
 /// operands.
-ConditionReport CheckC4(JoinCache& cache);
+ConditionReport CheckC4(CostEngine& engine);
 
-/// All five at once (single subset sweep amortized through the cache).
+/// All five at once (single subset sweep amortized through the engine).
 struct ConditionsSummary {
   ConditionReport c1;
   ConditionReport c1_strict;
@@ -56,7 +56,7 @@ struct ConditionsSummary {
   std::string ToString() const;
 };
 
-ConditionsSummary CheckAllConditions(JoinCache& cache);
+ConditionsSummary CheckAllConditions(CostEngine& engine);
 
 }  // namespace taujoin
 

@@ -1,54 +1,115 @@
 #include "core/cost.h"
 
+#include "common/checked_math.h"
 #include "common/logging.h"
+#include "relational/count_join.h"
 #include "relational/join.h"
 
 namespace taujoin {
 
-const Relation& JoinCache::ConnectedState(RelMask mask) {
+int CostEngine::SpanningTreeLeaf(RelMask mask) const {
+  // BFS over the intersection graph restricted to `mask`, one whole layer
+  // per step. Any vertex of the final layer is reachable from the root
+  // without passing through any other final-layer vertex, so removing it
+  // keeps the rest connected (it is a leaf of the BFS spanning tree).
+  const DatabaseScheme& scheme = db_->scheme();
+  RelMask visited = LowestBit(mask);
+  RelMask frontier = visited;
+  while (visited != mask) {
+    RelMask next = scheme.Neighbors(frontier, mask) & ~visited;
+    TAUJOIN_CHECK_NE(next, RelMask{0})
+        << "SpanningTreeLeaf on unconnected subset "
+        << scheme.MaskToString(mask);
+    visited |= next;
+    frontier = next;
+  }
+  return LowestBitIndex(frontier);
+}
+
+const Relation& CostEngine::ConnectedState(RelMask mask) {
   TAUJOIN_CHECK_NE(mask, RelMask{0});
-  auto it = states_.find(mask);
-  if (it != states_.end()) return it->second;
+  // Singletons live in the database itself; no need to copy them into the
+  // memo, and the reference is just as stable.
+  if (PopCount(mask) == 1) return db_->state(LowestBitIndex(mask));
+
+  Shard& shard = ShardOf(mask);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.states.find(mask);
+    if (it != shard.states.end()) {
+      stats_.hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  stats_.misses.fetch_add(1, std::memory_order_relaxed);
   TAUJOIN_CHECK(db_->scheme().Connected(mask))
       << "ConnectedState on unconnected subset "
       << db_->scheme().MaskToString(mask);
-  Relation state;
-  if (PopCount(mask) == 1) {
-    state = db_->state(LowestBitIndex(mask));
-  } else {
-    // Split off one relation that keeps the remainder connected, so the
-    // recursive materialization also stays on connected subsets. Such a
-    // relation always exists (any leaf of a spanning tree of the subset's
-    // intersection graph).
-    int split = -1;
-    for (int i : MaskToIndices(mask)) {
-      RelMask rest = mask & ~SingletonMask(i);
-      if (db_->scheme().Connected(rest)) {
-        split = i;
-        break;
-      }
-    }
-    TAUJOIN_CHECK_GE(split, 0);
-    const Relation& rest_state = ConnectedState(mask & ~SingletonMask(split));
-    state = NaturalJoin(rest_state, db_->state(split));
+
+  // Split off a spanning-tree leaf so the recursive materialization also
+  // stays on connected subsets. Computed outside the shard lock: the
+  // recursion takes other shard locks, and the join may be expensive.
+  const int split = SpanningTreeLeaf(mask);
+  const Relation& rest_state = ConnectedState(mask & ~SingletonMask(split));
+  Relation state = NaturalJoin(rest_state, db_->state(split));
+
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [it, inserted] = shard.states.emplace(mask, std::move(state));
+  if (inserted) {
+    stats_.materialized_count.fetch_add(1, std::memory_order_relaxed);
+    // Approximate footprint: per-tuple value slots + tuple headers. (Heap
+    // payloads of string values are not tracked.)
+    stats_.materialized_bytes.fetch_add(
+        it->second.size() * (it->second.schema().size() * sizeof(Value) +
+                             sizeof(Tuple)),
+        std::memory_order_relaxed);
+    // The state's cardinality is its τ — record it for free.
+    shard.taus.emplace(mask, it->second.Tau());
   }
-  auto [inserted, unused] = states_.emplace(mask, std::move(state));
-  return inserted->second;
+  return it->second;
 }
 
-uint64_t JoinCache::Tau(RelMask mask) {
-  TAUJOIN_CHECK_NE(mask, RelMask{0});
-  auto it = taus_.find(mask);
-  if (it != taus_.end()) return it->second;
-  uint64_t tau = 1;
-  for (RelMask component : db_->scheme().Components(mask)) {
-    tau *= ConnectedState(component).Tau();
+uint64_t CostEngine::ConnectedTau(RelMask mask) {
+  if (PopCount(mask) == 1) return db_->state(LowestBitIndex(mask)).Tau();
+
+  Shard& shard = ShardOf(mask);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.taus.find(mask);
+    if (it != shard.taus.end()) {
+      stats_.hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
   }
-  taus_.emplace(mask, tau);
+  stats_.misses.fetch_add(1, std::memory_order_relaxed);
+  TAUJOIN_CHECK(db_->scheme().Connected(mask))
+      << "Tau on unconnected component " << db_->scheme().MaskToString(mask);
+
+  // Counting fast path: materialize the subset minus one spanning-tree
+  // leaf (recursively shared through the memo), then *count* the final
+  // join — the subset's own output is never built.
+  const int split = SpanningTreeLeaf(mask);
+  const Relation& rest_state = ConnectedState(mask & ~SingletonMask(split));
+  const uint64_t tau = CountNaturalJoin(rest_state, db_->state(split));
+  stats_.counted.fetch_add(1, std::memory_order_relaxed);
+
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.taus.emplace(mask, tau);
   return tau;
 }
 
-Relation JoinCache::State(RelMask mask) {
+uint64_t CostEngine::Tau(RelMask mask) {
+  TAUJOIN_CHECK_NE(mask, RelMask{0});
+  // τ factors over components (Cartesian products are counted, never
+  // materialized); a wide unconnected subset saturates instead of wrapping.
+  uint64_t tau = 1;
+  for (RelMask component : db_->scheme().Components(mask)) {
+    tau = CheckedMulSat(tau, ConnectedTau(component));
+  }
+  return tau;
+}
+
+Relation CostEngine::State(RelMask mask) {
   std::vector<RelMask> components = db_->scheme().Components(mask);
   Relation result = ConnectedState(components[0]);
   for (size_t i = 1; i < components.size(); ++i) {
@@ -57,18 +118,30 @@ Relation JoinCache::State(RelMask mask) {
   return result;
 }
 
-uint64_t TauCost(const Strategy& strategy, JoinCache& cache) {
+CostEngineStats CostEngine::stats() const {
+  CostEngineStats s;
+  s.hits = stats_.hits.load(std::memory_order_relaxed);
+  s.misses = stats_.misses.load(std::memory_order_relaxed);
+  s.counted = stats_.counted.load(std::memory_order_relaxed);
+  s.materialized_count =
+      stats_.materialized_count.load(std::memory_order_relaxed);
+  s.materialized_bytes =
+      stats_.materialized_bytes.load(std::memory_order_relaxed);
+  return s;
+}
+
+uint64_t TauCost(const Strategy& strategy, CostEngine& engine) {
   uint64_t total = 0;
   for (int step : strategy.Steps()) {
-    total += cache.Tau(strategy.node(step).mask);
+    total = CheckedAddSat(total, engine.Tau(strategy.node(step).mask));
   }
   return total;
 }
 
-std::vector<uint64_t> StepCosts(const Strategy& strategy, JoinCache& cache) {
+std::vector<uint64_t> StepCosts(const Strategy& strategy, CostEngine& engine) {
   std::vector<uint64_t> costs;
   for (int step : strategy.Steps()) {
-    costs.push_back(cache.Tau(strategy.node(step).mask));
+    costs.push_back(engine.Tau(strategy.node(step).mask));
   }
   return costs;
 }

@@ -1,6 +1,10 @@
 #ifndef TAUJOIN_CORE_COST_H_
 #define TAUJOIN_CORE_COST_H_
 
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
 #include <unordered_map>
 
 #include "core/database.h"
@@ -8,29 +12,60 @@
 
 namespace taujoin {
 
-/// Memoized exact evaluation of R_{D'} and τ(R_{D'}) for subsets of one
-/// database. Because a step's output state depends only on the *union* of
-/// its children's subsets, τ(S) = Σ over internal nodes of Tau(node.mask),
-/// and the cache makes exhaustive search and condition checking feasible.
+/// Aggregate counters of one CostEngine (for reporting / experiments).
+struct CostEngineStats {
+  uint64_t hits = 0;                ///< memo lookups answered from cache
+  uint64_t misses = 0;              ///< memo lookups that had to compute
+  uint64_t counted = 0;             ///< τ values produced by counting kernels
+  uint64_t materialized_count = 0;  ///< connected subsets materialized
+  uint64_t materialized_bytes = 0;  ///< approx. bytes held by those states
+};
+
+/// The shared costing oracle of the library: memoized exact τ(R_{D'}) and
+/// R_{D'} for subsets of one database, safe for concurrent use from many
+/// threads. Every optimizer, condition checker and experiment draws from
+/// one engine per database, so all of them share one memo table.
 ///
-/// For unconnected subsets, τ factors into the product of the components'
-/// τ values (a Cartesian product of the component states), so the cache
-/// only ever materializes connected subsets — an essential optimization:
-/// unconnected subsets would otherwise materialize huge products just to be
-/// counted.
-class JoinCache {
+/// Two paths produce τ:
+///
+///  * **Counting fast path** (`Tau`). τ(R_{D'}) is computed by the counting
+///    join kernels (count_join.h): the subset's state minus one
+///    spanning-tree leaf is materialized (recursively), and the final join
+///    against the leaf is only *counted* — the subset's own output tuples
+///    are never built. The largest intermediate of every τ query is thus
+///    never materialized, which is what makes exhaustive τ-costing cheap.
+///  * **Materializing path** (`ConnectedState` / `State`), for callers
+///    that need the actual tuples (condition witnesses, EXPLAIN traces,
+///    Yannakakis cross-checks). Results are memoized and shared.
+///
+/// For unconnected subsets τ factors into the product of the components'
+/// τ values (saturating at UINT64_MAX — see checked_math.h), so products
+/// are counted without ever being materialized.
+///
+/// Thread-safety contract: all public methods may be called concurrently.
+/// The memo table is sharded by mask hash; each shard is guarded by its
+/// own mutex. Joins are computed *outside* any lock (two threads may race
+/// to compute the same subset; the first insert wins and the loser's work
+/// is discarded — wasteful but correct). References returned by
+/// `ConnectedState` stay valid for the engine's lifetime: entries are
+/// node-based and never erased. Counters are atomics and may be read at
+/// any time; a concurrent reader sees a consistent-enough snapshot for
+/// reporting purposes.
+class CostEngine {
  public:
-  /// `db` must outlive the cache.
-  explicit JoinCache(const Database* db) : db_(db) {}
-  JoinCache(const JoinCache&) = delete;
-  JoinCache& operator=(const JoinCache&) = delete;
+  /// `db` must outlive the engine.
+  explicit CostEngine(const Database* db) : db_(db) {}
+  CostEngine(const CostEngine&) = delete;
+  CostEngine& operator=(const CostEngine&) = delete;
 
   const Database& db() const { return *db_; }
 
-  /// τ(R_{D'}) for the subset `mask` (exact).
+  /// τ(R_{D'}) for the subset `mask` (exact; saturates at UINT64_MAX).
+  /// Counting-only: never materializes `mask`'s own state.
   uint64_t Tau(RelMask mask);
 
   /// R_{D'} for a *connected* subset `mask` (CHECK-fails otherwise).
+  /// Materializing path; the reference is stable for the engine's lifetime.
   const Relation& ConnectedState(RelMask mask);
 
   /// R_{D'} for any subset; materializes Cartesian products of the
@@ -38,20 +73,60 @@ class JoinCache {
   Relation State(RelMask mask);
 
   /// Number of materialized connected subsets so far (for reporting).
-  size_t materialized_count() const { return states_.size(); }
+  size_t materialized_count() const {
+    return static_cast<size_t>(
+        stats_.materialized_count.load(std::memory_order_relaxed));
+  }
+
+  CostEngineStats stats() const;
 
  private:
+  // 16 shards: enough that a ParallelSweep's worth of threads rarely
+  // collides, small enough to keep the engine cheap to construct.
+  static constexpr size_t kShardCount = 16;
+
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<RelMask, uint64_t> taus;
+    std::unordered_map<RelMask, Relation> states;  // connected masks only
+  };
+
+  Shard& ShardOf(RelMask mask) {
+    // Cheap integer mix; masks of nearby subsets differ in low bits.
+    return shards_[(mask * 0x9E3779B97F4A7C15ULL) >> 60];
+  }
+
+  /// τ of a *connected* subset via the counting kernels.
+  uint64_t ConnectedTau(RelMask mask);
+
+  /// A relation whose removal keeps `mask` connected: the last layer of a
+  /// BFS over the intersection graph (a spanning-tree leaf). One O(n)
+  /// bitmask sweep per mask. `mask` must be connected with ≥ 2 members.
+  int SpanningTreeLeaf(RelMask mask) const;
+
   const Database* db_;
-  std::unordered_map<RelMask, Relation> states_;  // connected masks only
-  std::unordered_map<RelMask, uint64_t> taus_;
+  std::array<Shard, kShardCount> shards_;
+
+  struct AtomicStats {
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> counted{0};
+    std::atomic<uint64_t> materialized_count{0};
+    std::atomic<uint64_t> materialized_bytes{0};
+  };
+  mutable AtomicStats stats_;
 };
 
+/// Transitional alias: the pre-CostEngine name, kept so existing callers
+/// (tests, examples) keep compiling. New code should say CostEngine.
+using JoinCache = CostEngine;
+
 /// τ(S) = Σ_{steps s} τ(s): the paper's cost of a strategy — the number of
-/// tuples generated by all intermediate and final joins.
-uint64_t TauCost(const Strategy& strategy, JoinCache& cache);
+/// tuples generated by all intermediate and final joins. Saturating.
+uint64_t TauCost(const Strategy& strategy, CostEngine& engine);
 
 /// τ of each step (post-order), for reporting.
-std::vector<uint64_t> StepCosts(const Strategy& strategy, JoinCache& cache);
+std::vector<uint64_t> StepCosts(const Strategy& strategy, CostEngine& engine);
 
 }  // namespace taujoin
 

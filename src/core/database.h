@@ -39,7 +39,7 @@ class Database {
 
   /// R_{D'} for the subset `mask`, computed directly (unmemoized): the
   /// natural join of the member states. For unconnected subsets this
-  /// materializes Cartesian products — use JoinCache::Tau when only the
+  /// materializes Cartesian products — use CostEngine::Tau when only the
   /// cardinality is needed.
   Relation JoinAll(RelMask mask) const;
 

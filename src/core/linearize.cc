@@ -14,16 +14,16 @@ namespace {
 /// the result to stay CP-free with τ unchanged. Returns nullopt when no
 /// such transfer exists (or the designated child is already trivial).
 std::optional<Strategy> TransferFrom(const Strategy& s, bool from_left,
-                                     JoinCache& cache, uint64_t target_cost) {
+                                     CostEngine& engine, uint64_t target_cost) {
   const Strategy::Node& root = s.node(s.root());
   int child = from_left ? root.left : root.right;
   int other = from_left ? root.right : root.left;
   if (s.IsLeaf(child)) return std::nullopt;
-  const DatabaseScheme& scheme = cache.db().scheme();
+  const DatabaseScheme& scheme = engine.db().scheme();
   for (int grandchild : {s.node(child).left, s.node(child).right}) {
     Strategy moved = PluckAndGraftAbove(s, grandchild, s.node(other).mask);
     if (UsesCartesianProducts(moved, scheme)) continue;
-    if (TauCost(moved, cache) != target_cost) continue;
+    if (TauCost(moved, engine) != target_cost) continue;
     return moved;
   }
   return std::nullopt;
@@ -31,14 +31,14 @@ std::optional<Strategy> TransferFrom(const Strategy& s, bool from_left,
 
 /// Drains the designated root child one grandchild at a time until it is
 /// trivial. Terminates because each transfer strictly shrinks that side.
-std::optional<Strategy> DrainSide(Strategy s, bool from_left, JoinCache& cache,
+std::optional<Strategy> DrainSide(Strategy s, bool from_left, CostEngine& engine,
                                   uint64_t target_cost) {
   while (true) {
     const Strategy::Node& root = s.node(s.root());
     int child = from_left ? root.left : root.right;
     if (s.IsLeaf(child)) return s;
     std::optional<Strategy> moved =
-        TransferFrom(s, from_left, cache, target_cost);
+        TransferFrom(s, from_left, engine, target_cost);
     if (!moved.has_value()) return std::nullopt;
     s = std::move(*moved);
   }
@@ -46,8 +46,8 @@ std::optional<Strategy> DrainSide(Strategy s, bool from_left, JoinCache& cache,
 
 }  // namespace
 
-StatusOr<Strategy> LinearizeConnected(const Strategy& s, JoinCache& cache) {
-  const uint64_t target_cost = TauCost(s, cache);
+StatusOr<Strategy> LinearizeConnected(const Strategy& s, CostEngine& engine) {
+  const uint64_t target_cost = TauCost(s, engine);
   Strategy current = s;
   const Strategy::Node& root = current.node(current.root());
   if (current.IsLeaf(root.left) && current.IsLeaf(root.right)) {
@@ -57,9 +57,9 @@ StatusOr<Strategy> LinearizeConnected(const Strategy& s, JoinCache& cache) {
     // Case 2 of the lemma: drain one side until the root has a trivial
     // child; if draining left stalls, drain right instead.
     std::optional<Strategy> drained =
-        DrainSide(current, /*from_left=*/true, cache, target_cost);
+        DrainSide(current, /*from_left=*/true, engine, target_cost);
     if (!drained.has_value()) {
-      drained = DrainSide(current, /*from_left=*/false, cache, target_cost);
+      drained = DrainSide(current, /*from_left=*/false, engine, target_cost);
     }
     if (!drained.has_value()) {
       return FailedPreconditionError(
@@ -79,10 +79,10 @@ StatusOr<Strategy> LinearizeConnected(const Strategy& s, JoinCache& cache) {
   int big = current.IsLeaf(new_root.left) ? new_root.right : new_root.left;
   int small = current.IsLeaf(new_root.left) ? new_root.left : new_root.right;
   Strategy sub = current.Subtree(big);
-  StatusOr<Strategy> linear_sub = LinearizeConnected(sub, cache);
+  StatusOr<Strategy> linear_sub = LinearizeConnected(sub, engine);
   TAUJOIN_RETURN_IF_ERROR(linear_sub.status());
   Strategy rebuilt = Strategy::MakeJoin(*linear_sub, current.Subtree(small));
-  if (TauCost(rebuilt, cache) != target_cost) {
+  if (TauCost(rebuilt, engine) != target_cost) {
     return InternalError(
         "sub-linearization changed tau; input was not connected-optimal");
   }

@@ -20,7 +20,7 @@ namespace taujoin {
 /// transfer exists at some step — which the lemma rules out under its
 /// hypotheses, so a failure signals that `s` was not connected-optimal or
 /// the database violates C3.
-StatusOr<Strategy> LinearizeConnected(const Strategy& s, JoinCache& cache);
+StatusOr<Strategy> LinearizeConnected(const Strategy& s, CostEngine& engine);
 
 }  // namespace taujoin
 

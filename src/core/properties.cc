@@ -49,24 +49,24 @@ bool AvoidsCartesianProducts(const Strategy& strategy,
   return CartesianStepCount(strategy, scheme) == components - 1;
 }
 
-bool IsMonotoneDecreasing(const Strategy& strategy, JoinCache& cache) {
+bool IsMonotoneDecreasing(const Strategy& strategy, CostEngine& engine) {
   for (int step : strategy.Steps()) {
     const Strategy::Node& n = strategy.node(step);
-    uint64_t out = cache.Tau(n.mask);
-    if (out > cache.Tau(strategy.node(n.left).mask) ||
-        out > cache.Tau(strategy.node(n.right).mask)) {
+    uint64_t out = engine.Tau(n.mask);
+    if (out > engine.Tau(strategy.node(n.left).mask) ||
+        out > engine.Tau(strategy.node(n.right).mask)) {
       return false;
     }
   }
   return true;
 }
 
-bool IsMonotoneIncreasing(const Strategy& strategy, JoinCache& cache) {
+bool IsMonotoneIncreasing(const Strategy& strategy, CostEngine& engine) {
   for (int step : strategy.Steps()) {
     const Strategy::Node& n = strategy.node(step);
-    uint64_t out = cache.Tau(n.mask);
-    if (out < cache.Tau(strategy.node(n.left).mask) ||
-        out < cache.Tau(strategy.node(n.right).mask)) {
+    uint64_t out = engine.Tau(n.mask);
+    if (out < engine.Tau(strategy.node(n.left).mask) ||
+        out < engine.Tau(strategy.node(n.right).mask)) {
       return false;
     }
   }

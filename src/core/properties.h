@@ -38,10 +38,10 @@ bool AvoidsCartesianProducts(const Strategy& strategy,
                              const DatabaseScheme& scheme);
 
 /// §5: every step's output is no larger than either input.
-bool IsMonotoneDecreasing(const Strategy& strategy, JoinCache& cache);
+bool IsMonotoneDecreasing(const Strategy& strategy, CostEngine& engine);
 
 /// §5: every step's output is at least as large as either input.
-bool IsMonotoneIncreasing(const Strategy& strategy, JoinCache& cache);
+bool IsMonotoneIncreasing(const Strategy& strategy, CostEngine& engine);
 
 }  // namespace taujoin
 

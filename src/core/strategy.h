@@ -13,7 +13,7 @@ namespace taujoin {
 /// A strategy per the paper's (S1)–(S4): a rooted binary tree whose nodes
 /// are subsets [D', R_{D'}] of the database (represented by RelMasks — the
 /// relation states are implied by the database and recovered through
-/// JoinCache), whose leaves are single relations, and whose every internal
+/// CostEngine), whose leaves are single relations, and whose every internal
 /// node ("step") joins two disjoint children covering it.
 ///
 /// Nodes live in an arena; `root()` indexes the root. A strategy for a

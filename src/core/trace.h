@@ -35,7 +35,7 @@ struct EvaluationTrace {
 };
 
 /// Executes `strategy` against `db` step by step, physically materializing
-/// every intermediate with the chosen algorithm. Unlike JoinCache this
+/// every intermediate with the chosen algorithm. Unlike CostEngine this
 /// really evaluates the tree as written (useful to demonstrate that the
 /// result is strategy-independent while the work is not).
 EvaluationTrace ExecuteStrategy(const Database& db, const Strategy& strategy,

@@ -1,0 +1,27 @@
+#include "enumerate/parallel_sweep.h"
+
+#include <cstdlib>
+
+namespace taujoin {
+
+int ResolveSweepThreads(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("TAUJOIN_SWEEP_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+uint64_t SweepSeed(uint64_t base_seed, int trial) {
+  // SplitMix64 finalizer over (base_seed, trial): adjacent trials land in
+  // unrelated parts of the stream, and base_seed 0 is fine.
+  uint64_t z = base_seed + 0x9E3779B97F4A7C15ULL *
+                               (static_cast<uint64_t>(trial) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace taujoin

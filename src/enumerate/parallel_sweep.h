@@ -1,0 +1,94 @@
+#ifndef TAUJOIN_ENUMERATE_PARALLEL_SWEEP_H_
+#define TAUJOIN_ENUMERATE_PARALLEL_SWEEP_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace taujoin {
+
+/// Options for ParallelSweep. `threads == 0` means "one per hardware
+/// thread". The environment variable TAUJOIN_SWEEP_THREADS, when set,
+/// overrides the default (useful for pinning experiments or forcing
+/// single-threaded runs in CI).
+struct ParallelSweepOptions {
+  int threads = 0;
+};
+
+/// Number of worker threads a sweep will actually use.
+int ResolveSweepThreads(int requested);
+
+/// Deterministic per-trial seed: a SplitMix64-style mix of (base_seed,
+/// trial), so trial i's RNG stream is independent of every other trial and
+/// of how trials are scheduled across threads.
+uint64_t SweepSeed(uint64_t base_seed, int trial);
+
+/// Runs `fn(trial)` for every trial in [0, count) across a pool of
+/// std::threads and returns the results in trial order.
+///
+/// Determinism contract: `fn` must derive all randomness from its trial
+/// index (e.g. `Rng rng(SweepSeed(seed, trial))` or any fixed per-trial
+/// formula) and must not touch shared mutable state other than
+/// thread-safe components (CostEngine is safe). Then the result vector is
+/// bit-for-bit identical for every thread count, including 1 — the tests
+/// assert this.
+///
+/// Work is distributed by an atomic trial counter, so uneven trials load-
+/// balance automatically; results are written into a pre-sized vector slot
+/// per trial, so no ordering is imposed by the scheduler.
+template <typename Fn>
+auto ParallelSweep(int count, Fn&& fn, const ParallelSweepOptions& options = {})
+    -> std::vector<std::invoke_result_t<Fn&, int>> {
+  using Result = std::invoke_result_t<Fn&, int>;
+  static_assert(!std::is_void_v<Result>,
+                "ParallelSweep trials must return a value; return a struct "
+                "of per-trial measurements and aggregate after the sweep");
+  std::vector<Result> results(static_cast<size_t>(count > 0 ? count : 0));
+  if (count <= 0) return results;
+
+  const int threads = std::min(ResolveSweepThreads(options.threads), count);
+  if (threads <= 1) {
+    for (int trial = 0; trial < count; ++trial) {
+      results[static_cast<size_t>(trial)] = fn(trial);
+    }
+    return results;
+  }
+
+  std::atomic<int> next{0};
+  auto worker = [&]() {
+    while (true) {
+      const int trial = next.fetch_add(1, std::memory_order_relaxed);
+      if (trial >= count) return;
+      results[static_cast<size_t>(trial)] = fn(trial);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return results;
+}
+
+/// Convenience variant handing each trial a ready-made deterministic Rng
+/// seeded with SweepSeed(base_seed, trial).
+template <typename Fn>
+auto ParallelSweepSeeded(int count, uint64_t base_seed, Fn&& fn,
+                         const ParallelSweepOptions& options = {})
+    -> std::vector<std::invoke_result_t<Fn&, int, Rng&>> {
+  return ParallelSweep(
+      count,
+      [&](int trial) {
+        Rng rng(SweepSeed(base_seed, trial));
+        return fn(trial, rng);
+      },
+      options);
+}
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_ENUMERATE_PARALLEL_SWEEP_H_

@@ -10,11 +10,11 @@ namespace taujoin {
 namespace {
 
 /// Minimum τ over a subspace; UINT64_MAX when empty.
-uint64_t MinTau(JoinCache& cache, StrategySpace space) {
+uint64_t MinTau(CostEngine& engine, StrategySpace space) {
   uint64_t best = std::numeric_limits<uint64_t>::max();
-  ForEachStrategy(cache.db().scheme(), cache.db().scheme().full_mask(), space,
+  ForEachStrategy(engine.db().scheme(), engine.db().scheme().full_mask(), space,
                   [&](const Strategy& s) {
-                    best = std::min(best, TauCost(s, cache));
+                    best = std::min(best, TauCost(s, engine));
                     return true;
                   });
   return best;
@@ -22,13 +22,13 @@ uint64_t MinTau(JoinCache& cache, StrategySpace space) {
 
 }  // namespace
 
-bool OptimalLinearStrategiesAvoidProducts(JoinCache& cache) {
-  const DatabaseScheme& scheme = cache.db().scheme();
-  uint64_t best = MinTau(cache, StrategySpace::kLinear);
+bool OptimalLinearStrategiesAvoidProducts(CostEngine& engine) {
+  const DatabaseScheme& scheme = engine.db().scheme();
+  uint64_t best = MinTau(engine, StrategySpace::kLinear);
   bool conclusion = true;
   ForEachStrategy(scheme, scheme.full_mask(), StrategySpace::kLinear,
                   [&](const Strategy& s) {
-                    if (TauCost(s, cache) == best &&
+                    if (TauCost(s, engine) == best &&
                         UsesCartesianProducts(s, scheme)) {
                       conclusion = false;
                       return false;
@@ -38,35 +38,35 @@ bool OptimalLinearStrategiesAvoidProducts(JoinCache& cache) {
   return conclusion;
 }
 
-bool SomeOptimumAvoidsProducts(JoinCache& cache) {
-  uint64_t best_all = MinTau(cache, StrategySpace::kAll);
-  uint64_t best_avoid = MinTau(cache, StrategySpace::kAvoidsCartesian);
+bool SomeOptimumAvoidsProducts(CostEngine& engine) {
+  uint64_t best_all = MinTau(engine, StrategySpace::kAll);
+  uint64_t best_avoid = MinTau(engine, StrategySpace::kAvoidsCartesian);
   return best_avoid == best_all;
 }
 
-bool SomeOptimumIsLinearWithoutProducts(JoinCache& cache) {
-  uint64_t best_all = MinTau(cache, StrategySpace::kAll);
-  const DatabaseScheme& scheme = cache.db().scheme();
+bool SomeOptimumIsLinearWithoutProducts(CostEngine& engine) {
+  uint64_t best_all = MinTau(engine, StrategySpace::kAll);
+  const DatabaseScheme& scheme = engine.db().scheme();
   // For connected schemes this is the linear∩no-CP subspace; the general
   // reading (used by Example-style audits) also accepts linear strategies
   // that merely *avoid* products on unconnected schemes.
   uint64_t best = std::numeric_limits<uint64_t>::max();
   ForEachStrategy(scheme, scheme.full_mask(), StrategySpace::kAvoidsCartesian,
                   [&](const Strategy& s) {
-                    if (IsLinear(s)) best = std::min(best, TauCost(s, cache));
+                    if (IsLinear(s)) best = std::min(best, TauCost(s, engine));
                     return true;
                   });
   return best == best_all;
 }
 
-bool SomeOptimumEvaluatesComponentsIndividually(JoinCache& cache) {
-  const DatabaseScheme& scheme = cache.db().scheme();
-  uint64_t best_all = MinTau(cache, StrategySpace::kAll);
+bool SomeOptimumEvaluatesComponentsIndividually(CostEngine& engine) {
+  const DatabaseScheme& scheme = engine.db().scheme();
+  uint64_t best_all = MinTau(engine, StrategySpace::kAll);
   uint64_t best = std::numeric_limits<uint64_t>::max();
   ForEachStrategy(scheme, scheme.full_mask(), StrategySpace::kAll,
                   [&](const Strategy& s) {
                     if (EvaluatesComponentsIndividually(s, scheme)) {
-                      best = std::min(best, TauCost(s, cache));
+                      best = std::min(best, TauCost(s, engine));
                     }
                     return true;
                   });

@@ -13,19 +13,19 @@ namespace taujoin {
 
 /// Theorem 1's conclusion: every τ-optimum *linear* strategy for the full
 /// database avoids Cartesian-product steps.
-bool OptimalLinearStrategiesAvoidProducts(JoinCache& cache);
+bool OptimalLinearStrategiesAvoidProducts(CostEngine& engine);
 
 /// Theorem 2's conclusion: some τ-optimum strategy (over all strategies)
 /// uses no Cartesian products. For unconnected schemes this is Lemma 4's
 /// variant with components evaluated individually.
-bool SomeOptimumAvoidsProducts(JoinCache& cache);
+bool SomeOptimumAvoidsProducts(CostEngine& engine);
 
 /// Theorem 3's conclusion: some τ-optimum strategy is linear and CP-free.
-bool SomeOptimumIsLinearWithoutProducts(JoinCache& cache);
+bool SomeOptimumIsLinearWithoutProducts(CostEngine& engine);
 
 /// Lemma 4's conclusion: some τ-optimum strategy evaluates the scheme's
 /// components individually.
-bool SomeOptimumEvaluatesComponentsIndividually(JoinCache& cache);
+bool SomeOptimumEvaluatesComponentsIndividually(CostEngine& engine);
 
 }  // namespace taujoin
 

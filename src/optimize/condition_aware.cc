@@ -62,4 +62,10 @@ ConditionAwarePlan OptimizeConditionAware(const DatabaseScheme& scheme,
   return result;
 }
 
+ConditionAwarePlan OptimizeConditionAware(CostEngine& engine, RelMask mask,
+                                          const FdSet& fds) {
+  ExactSizeModel model(&engine);
+  return OptimizeConditionAware(engine.db().scheme(), mask, fds, model);
+}
+
 }  // namespace taujoin

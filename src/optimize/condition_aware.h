@@ -44,6 +44,10 @@ ConditionAwarePlan OptimizeConditionAware(const DatabaseScheme& scheme,
                                           RelMask mask, const FdSet& fds,
                                           SizeModel& model);
 
+/// Exact-τ convenience overload over a shared CostEngine.
+ConditionAwarePlan OptimizeConditionAware(CostEngine& engine, RelMask mask,
+                                          const FdSet& fds);
+
 /// The syntactic §4 test backing Theorem 3's branch: for every pair of
 /// schemes with a non-empty intersection, the shared attributes are a
 /// superkey of both sides under `fds`.

@@ -4,6 +4,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "common/checked_math.h"
 #include "common/logging.h"
 #include "enumerate/subsets.h"
 
@@ -48,15 +49,16 @@ class DpSolver {
       if (lc == kInfeasible) continue;
       uint64_t rc = Solve(right);
       if (rc == kInfeasible) continue;
-      uint64_t total = lc + rc;
+      uint64_t total = CheckedAddSat(lc, rc);
       if (total < entry.cost) {
         entry.cost = total;
         entry.best_left = left;
       }
     }
     if (entry.cost != kInfeasible) {
-      // Charge this subtree's own output.
-      entry.cost += model_.Tau(mask);
+      // Charge this subtree's own output (saturating: a plan past 2^64
+      // tuples must stay ordered above every representable cost).
+      entry.cost = CheckedAddSat(entry.cost, model_.Tau(mask));
     }
     memo_[mask] = entry;
     return entry.cost;
@@ -78,6 +80,17 @@ class DpSolver {
 };
 
 }  // namespace
+
+std::optional<PlanResult> OptimizeDp(CostEngine& engine, RelMask mask,
+                                     const DpOptions& options) {
+  ExactSizeModel model(&engine);
+  return OptimizeDp(engine.db().scheme(), mask, model, options);
+}
+
+PlanResult OptimizeAvoidCartesian(CostEngine& engine, RelMask mask) {
+  ExactSizeModel model(&engine);
+  return OptimizeAvoidCartesian(engine.db().scheme(), mask, model);
+}
 
 std::optional<PlanResult> OptimizeDp(const DatabaseScheme& scheme,
                                      RelMask mask, SizeModel& model,
@@ -127,7 +140,7 @@ PlanResult OptimizeAvoidCartesian(const DatabaseScheme& scheme, RelMask mask,
       uint32_t left = low | sub;
       if (left != cmask) {
         uint32_t right = cmask & ~left;
-        uint64_t total = cost[left] + cost[right];
+        uint64_t total = CheckedAddSat(cost[left], cost[right]);
         if (total < cost[cmask]) {
           cost[cmask] = total;
           best_left[cmask] = left;
@@ -136,7 +149,7 @@ PlanResult OptimizeAvoidCartesian(const DatabaseScheme& scheme, RelMask mask,
       if (sub == rest) break;
       sub = (sub - rest) & rest;
     }
-    cost[cmask] += model.Tau(rel_mask_of(cmask));
+    cost[cmask] = CheckedAddSat(cost[cmask], model.Tau(rel_mask_of(cmask)));
   }
   // Extract the outer tree.
   std::function<Strategy(uint32_t)> extract = [&](uint32_t cmask) -> Strategy {

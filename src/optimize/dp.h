@@ -37,12 +37,21 @@ struct DpOptions {
 std::optional<PlanResult> OptimizeDp(const DatabaseScheme& scheme, RelMask mask,
                                      SizeModel& model, const DpOptions& options);
 
+/// Exact-τ convenience overload: runs the DP against a shared CostEngine
+/// (counting fast path), so every optimizer in an experiment reuses one
+/// memo table.
+std::optional<PlanResult> OptimizeDp(CostEngine& engine, RelMask mask,
+                                     const DpOptions& options);
+
 /// The paper's "avoids Cartesian products" space: each component of `mask`
 /// is evaluated individually with no internal products (bushy DP), and the
 /// component results are combined by the cheapest product tree. Always
 /// feasible. Coincides with no-CP bushy DP when `mask` is connected.
 PlanResult OptimizeAvoidCartesian(const DatabaseScheme& scheme, RelMask mask,
                                   SizeModel& model);
+
+/// Exact-τ convenience overload over a shared CostEngine.
+PlanResult OptimizeAvoidCartesian(CostEngine& engine, RelMask mask);
 
 }  // namespace taujoin
 

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/checked_math.h"
 #include "common/logging.h"
 #include "scheme/mask.h"
 
@@ -129,8 +130,8 @@ std::optional<PlanResult> OptimizeDpCcp(const DatabaseScheme& scheme,
         << "csg-cmp pair emitted before its halves were solved";
     if (it1->second.cost == kInfinity || it2->second.cost == kInfinity) return;
     RelMask joined = s1 | s2;
-    uint64_t cost =
-        it1->second.cost + it2->second.cost + model.Tau(joined);
+    uint64_t cost = CheckedAddSat(
+        CheckedAddSat(it1->second.cost, it2->second.cost), model.Tau(joined));
     Entry& slot = best[joined];
     if (cost < slot.cost) {
       slot.cost = cost;
@@ -145,6 +146,11 @@ std::optional<PlanResult> OptimizeDpCcp(const DatabaseScheme& scheme,
     return Strategy::MakeJoin(extract(left), extract(m & ~left));
   };
   return PlanResult{extract(mask), it->second.cost};
+}
+
+std::optional<PlanResult> OptimizeDpCcp(CostEngine& engine, RelMask mask) {
+  ExactSizeModel model(&engine);
+  return OptimizeDpCcp(engine.db().scheme(), mask, model);
 }
 
 }  // namespace taujoin

@@ -31,6 +31,9 @@ uint64_t CountCsgCmpPairs(const DatabaseScheme& scheme, RelMask mask);
 std::optional<PlanResult> OptimizeDpCcp(const DatabaseScheme& scheme,
                                         RelMask mask, SizeModel& model);
 
+/// Exact-τ convenience overload over a shared CostEngine.
+std::optional<PlanResult> OptimizeDpCcp(CostEngine& engine, RelMask mask);
+
 }  // namespace taujoin
 
 #endif  // TAUJOIN_OPTIMIZE_DPCCP_H_

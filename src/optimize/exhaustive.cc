@@ -2,11 +2,11 @@
 
 namespace taujoin {
 
-std::optional<PlanResult> OptimizeExhaustive(JoinCache& cache, RelMask mask,
+std::optional<PlanResult> OptimizeExhaustive(CostEngine& engine, RelMask mask,
                                              StrategySpace space) {
   std::optional<PlanResult> best;
-  ForEachStrategy(cache.db().scheme(), mask, space, [&](const Strategy& s) {
-    uint64_t cost = TauCost(s, cache);
+  ForEachStrategy(engine.db().scheme(), mask, space, [&](const Strategy& s) {
+    uint64_t cost = TauCost(s, engine);
     if (!best.has_value() || cost < best->cost) {
       best = PlanResult{s, cost};
     }
@@ -15,12 +15,12 @@ std::optional<PlanResult> OptimizeExhaustive(JoinCache& cache, RelMask mask,
   return best;
 }
 
-std::vector<Strategy> AllOptima(JoinCache& cache, RelMask mask,
+std::vector<Strategy> AllOptima(CostEngine& engine, RelMask mask,
                                 StrategySpace space) {
   std::optional<uint64_t> best;
   std::vector<Strategy> optima;
-  ForEachStrategy(cache.db().scheme(), mask, space, [&](const Strategy& s) {
-    uint64_t cost = TauCost(s, cache);
+  ForEachStrategy(engine.db().scheme(), mask, space, [&](const Strategy& s) {
+    uint64_t cost = TauCost(s, engine);
     if (!best.has_value() || cost < *best) {
       best = cost;
       optima.clear();

@@ -14,13 +14,13 @@ namespace taujoin {
 /// ((2n−3)!! trees); exists as ground truth for tests and small reports.
 /// Returns nullopt when the subspace is empty (e.g. no-CP over an
 /// unconnected subset).
-std::optional<PlanResult> OptimizeExhaustive(JoinCache& cache, RelMask mask,
+std::optional<PlanResult> OptimizeExhaustive(CostEngine& engine, RelMask mask,
                                              StrategySpace space);
 
 /// All τ-optimum strategies within the subspace (the full argmin set);
 /// useful for checking "some optimum is linear"-style claims. Empty when
 /// the subspace is empty.
-std::vector<Strategy> AllOptima(JoinCache& cache, RelMask mask,
+std::vector<Strategy> AllOptima(CostEngine& engine, RelMask mask,
                                 StrategySpace space);
 
 }  // namespace taujoin

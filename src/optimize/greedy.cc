@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "common/checked_math.h"
 #include "common/logging.h"
 
 namespace taujoin {
@@ -38,7 +39,7 @@ PlanResult OptimizeGreedy(const DatabaseScheme& scheme, RelMask mask,
     Piece merged{pieces[best_a].mask | pieces[best_b].mask,
                  Strategy::MakeJoin(pieces[best_a].strategy,
                                     pieces[best_b].strategy)};
-    total_cost += best_tau;
+    total_cost = CheckedAddSat(total_cost, best_tau);
     pieces.erase(pieces.begin() + static_cast<long>(best_b));
     pieces[best_a] = std::move(merged);
   }
@@ -78,10 +79,20 @@ PlanResult OptimizeGreedyLinear(const DatabaseScheme& scheme, RelMask mask,
     }
     strategy = Strategy::MakeJoin(strategy, Strategy::MakeLeaf(best));
     current |= SingletonMask(best);
-    total_cost += best_tau;
+    total_cost = CheckedAddSat(total_cost, best_tau);
     remaining &= ~SingletonMask(best);
   }
   return PlanResult{std::move(strategy), total_cost};
+}
+
+PlanResult OptimizeGreedy(CostEngine& engine, RelMask mask) {
+  ExactSizeModel model(&engine);
+  return OptimizeGreedy(engine.db().scheme(), mask, model);
+}
+
+PlanResult OptimizeGreedyLinear(CostEngine& engine, RelMask mask) {
+  ExactSizeModel model(&engine);
+  return OptimizeGreedyLinear(engine.db().scheme(), mask, model);
 }
 
 }  // namespace taujoin

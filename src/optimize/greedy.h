@@ -13,11 +13,17 @@ namespace taujoin {
 PlanResult OptimizeGreedy(const DatabaseScheme& scheme, RelMask mask,
                           SizeModel& model);
 
+/// Exact-τ convenience overload over a shared CostEngine.
+PlanResult OptimizeGreedy(CostEngine& engine, RelMask mask);
+
 /// Greedy linear optimizer: starts from the smallest relation and appends
 /// the relation minimizing the next intermediate size (preferring linked
 /// relations, the classic avoid-CP heuristic).
 PlanResult OptimizeGreedyLinear(const DatabaseScheme& scheme, RelMask mask,
                                 SizeModel& model);
+
+/// Exact-τ convenience overload over a shared CostEngine.
+PlanResult OptimizeGreedyLinear(CostEngine& engine, RelMask mask);
 
 }  // namespace taujoin
 

@@ -28,6 +28,27 @@ AsiCostModel AsiCostModel::FromDatabase(const Database& db) {
   return model;
 }
 
+AsiCostModel AsiCostModel::FromEngine(CostEngine& engine) {
+  const Database& db = engine.db();
+  AsiCostModel model;
+  model.cardinality.resize(static_cast<size_t>(db.size()));
+  for (int i = 0; i < db.size(); ++i) {
+    model.cardinality[static_cast<size_t>(i)] =
+        std::max<double>(1.0, static_cast<double>(db.state(i).Tau()));
+  }
+  for (int i = 0; i < db.size(); ++i) {
+    for (int j = i + 1; j < db.size(); ++j) {
+      if (!db.scheme().Adjacent(i, j)) continue;
+      double joined = static_cast<double>(
+          engine.Tau(SingletonMask(i) | SingletonMask(j)));
+      double denom = model.cardinality[static_cast<size_t>(i)] *
+                     model.cardinality[static_cast<size_t>(j)];
+      model.selectivity[{i, j}] = denom > 0 ? joined / denom : 0.0;
+    }
+  }
+  return model;
+}
+
 double AsiCostModel::SelectivityBetween(int a, int b) const {
   if (a > b) std::swap(a, b);
   auto it = selectivity.find({a, b});

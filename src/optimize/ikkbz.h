@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/cost.h"
 #include "core/database.h"
 
 namespace taujoin {
@@ -22,6 +23,11 @@ struct AsiCostModel {
   /// Measures cardinalities and pairwise selectivities from actual states:
   /// s_ij = τ(Ri ⋈ Rj) / (n_i · n_j) for linked pairs.
   static AsiCostModel FromDatabase(const Database& db);
+
+  /// As FromDatabase, but the pairwise τ values come from a shared
+  /// CostEngine (counting path, memoized), so the measurement is free when
+  /// the engine has already costed the pairs — and warms the memo when not.
+  static AsiCostModel FromEngine(CostEngine& engine);
 
   double SelectivityBetween(int a, int b) const;
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/checked_math.h"
 #include "common/logging.h"
 
 namespace taujoin {
@@ -15,7 +16,7 @@ uint64_t LinearCost(const std::vector<int>& perm, SizeModel& model) {
   RelMask acc = SingletonMask(perm[0]);
   for (size_t i = 1; i < perm.size(); ++i) {
     acc |= SingletonMask(perm[i]);
-    cost += model.Tau(acc);
+    cost = CheckedAddSat(cost, model.Tau(acc));
   }
   return cost;
 }
@@ -109,6 +110,20 @@ PlanResult OptimizeSimulatedAnnealing(const DatabaseScheme& scheme,
     temperature *= options.cooling;
   }
   return PlanResult{Strategy::LeftDeep(best), best_cost};
+}
+
+PlanResult OptimizeIterative(CostEngine& engine, RelMask mask, Rng& rng,
+                             const IterativeOptions& options) {
+  ExactSizeModel model(&engine);
+  return OptimizeIterative(engine.db().scheme(), mask, model, rng, options);
+}
+
+PlanResult OptimizeSimulatedAnnealing(CostEngine& engine, RelMask mask,
+                                      Rng& rng,
+                                      const AnnealingOptions& options) {
+  ExactSizeModel model(&engine);
+  return OptimizeSimulatedAnnealing(engine.db().scheme(), mask, model, rng,
+                                    options);
 }
 
 }  // namespace taujoin

@@ -19,6 +19,10 @@ PlanResult OptimizeIterative(const DatabaseScheme& scheme, RelMask mask,
                              SizeModel& model, Rng& rng,
                              const IterativeOptions& options = {});
 
+/// Exact-τ convenience overload over a shared CostEngine.
+PlanResult OptimizeIterative(CostEngine& engine, RelMask mask, Rng& rng,
+                             const IterativeOptions& options = {});
+
 struct AnnealingOptions {
   double initial_temperature = 2.0;  ///< relative to the start cost
   double cooling = 0.92;             ///< geometric cooling factor
@@ -33,6 +37,11 @@ struct AnnealingOptions {
 /// other classic randomized optimizer of the paper's era.
 PlanResult OptimizeSimulatedAnnealing(const DatabaseScheme& scheme,
                                       RelMask mask, SizeModel& model, Rng& rng,
+                                      const AnnealingOptions& options = {});
+
+/// Exact-τ convenience overload over a shared CostEngine.
+PlanResult OptimizeSimulatedAnnealing(CostEngine& engine, RelMask mask,
+                                      Rng& rng,
                                       const AnnealingOptions& options = {});
 
 }  // namespace taujoin

@@ -12,7 +12,7 @@ namespace taujoin {
 
 /// Pluggable intermediate-size oracle for the optimizers. The paper's cost
 /// measure is the *exact* tuple count, which ExactSizeModel provides (via
-/// JoinCache); IndependenceSizeModel is the classic System-R-style
+/// CostEngine); IndependenceSizeModel is the classic System-R-style
 /// estimator (uniformity + independence) that the paper explicitly
 /// criticizes — included so experiments can quantify how misleading it is.
 class SizeModel {
@@ -25,15 +25,15 @@ class SizeModel {
   virtual std::string name() const = 0;
 };
 
-/// Exact sizes through a JoinCache (shared with other consumers).
+/// Exact sizes through a CostEngine (shared with other consumers).
 class ExactSizeModel : public SizeModel {
  public:
-  explicit ExactSizeModel(JoinCache* cache) : cache_(cache) {}
-  uint64_t Tau(RelMask mask) override { return cache_->Tau(mask); }
+  explicit ExactSizeModel(CostEngine* engine) : engine_(engine) {}
+  uint64_t Tau(RelMask mask) override { return engine_->Tau(mask); }
   std::string name() const override { return "exact"; }
 
  private:
-  JoinCache* cache_;
+  CostEngine* engine_;
 };
 
 /// Textbook estimator: |R ⋈ S| ≈ |R|·|S| / Π_{A shared} max(d_R(A), d_S(A)),

@@ -1,0 +1,77 @@
+#include "relational/count_join.h"
+
+#include "common/checked_math.h"
+#include "common/logging.h"
+
+namespace taujoin {
+
+namespace {
+
+/// Positions of `attrs` attributes within `schema` (schema order).
+std::vector<int> PositionsOf(const Schema& attrs, const Schema& schema) {
+  std::vector<int> positions;
+  positions.reserve(attrs.size());
+  for (const std::string& a : attrs) {
+    int idx = schema.IndexOf(a);
+    TAUJOIN_CHECK_GE(idx, 0);
+    positions.push_back(idx);
+  }
+  return positions;
+}
+
+}  // namespace
+
+JoinKeyHistogram GroupSizes(const Relation& r,
+                            const std::vector<int>& key_positions) {
+  JoinKeyHistogram histogram;
+  histogram.reserve(r.size());
+  for (const Tuple& t : r) {
+    ++histogram[t.Project(key_positions)];
+  }
+  return histogram;
+}
+
+JoinKeyHistogram GroupSizesByAttributes(const Relation& r, const Schema& key) {
+  return GroupSizes(r, PositionsOf(key, r.schema()));
+}
+
+uint64_t CountJoinFromHistograms(const JoinKeyHistogram& a,
+                                 const JoinKeyHistogram& b) {
+  const JoinKeyHistogram& probe = a.size() <= b.size() ? a : b;
+  const JoinKeyHistogram& table = a.size() <= b.size() ? b : a;
+  uint64_t count = 0;
+  for (const auto& [key, groups] : probe) {
+    auto it = table.find(key);
+    if (it == table.end()) continue;
+    count = CheckedAddSat(count, CheckedMulSat(groups, it->second));
+  }
+  return count;
+}
+
+uint64_t CountNaturalJoin(const Relation& left, const Relation& right) {
+  const Schema common = left.schema().Intersect(right.schema());
+  if (common.size() == 0) {
+    // Cartesian product: every pair matches.
+    return CheckedMulSat(left.size(), right.size());
+  }
+  const std::vector<int> left_key = PositionsOf(common, left.schema());
+  const std::vector<int> right_key = PositionsOf(common, right.schema());
+
+  // Hash-group the smaller side, then stream the larger side against it —
+  // the larger input never needs its own histogram.
+  const bool build_left = left.size() <= right.size();
+  const JoinKeyHistogram table =
+      GroupSizes(build_left ? left : right, build_left ? left_key : right_key);
+  const Relation& probe = build_left ? right : left;
+  const std::vector<int>& probe_key = build_left ? right_key : left_key;
+
+  uint64_t count = 0;
+  for (const Tuple& t : probe) {
+    auto it = table.find(t.Project(probe_key));
+    if (it == table.end()) continue;
+    count = CheckedAddSat(count, it->second);
+  }
+  return count;
+}
+
+}  // namespace taujoin

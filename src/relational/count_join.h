@@ -1,0 +1,46 @@
+#ifndef TAUJOIN_RELATIONAL_COUNT_JOIN_H_
+#define TAUJOIN_RELATIONAL_COUNT_JOIN_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "relational/relation.h"
+
+namespace taujoin {
+
+/// Counting join kernels: compute |R ⋈ S| without building the output
+/// tuple vector. Because relations are tuple *sets*, every matching
+/// (t_R, t_S) pair produces a distinct output tuple (the pair is
+/// recoverable from the output's projections), so
+///   |R ⋈ S| = Σ_{key k} |R group k| · |S group k|
+/// over the shared-attribute join key. The kernels only hash-group the
+/// inputs and sum products — no merged tuples, no output hash set — which
+/// is what makes τ-only costing cheap relative to materialization.
+
+/// Per-join-key group sizes of one input: key tuple → number of tuples of
+/// the relation sharing that key projection.
+using JoinKeyHistogram = std::unordered_map<Tuple, uint64_t, TupleHash>;
+
+/// Group sizes of `r` under the projection onto `key_positions` (indices
+/// into r's schema). An empty key yields one group holding all tuples.
+JoinKeyHistogram GroupSizes(const Relation& r,
+                            const std::vector<int>& key_positions);
+
+/// Group sizes of `r` keyed on the attributes of `key` (each must exist in
+/// r's schema).
+JoinKeyHistogram GroupSizesByAttributes(const Relation& r, const Schema& key);
+
+/// |R ⋈ S| from the two inputs' histograms over the *same* join key:
+/// Σ_k a[k]·b[k], saturating at UINT64_MAX.
+uint64_t CountJoinFromHistograms(const JoinKeyHistogram& a,
+                                 const JoinKeyHistogram& b);
+
+/// |left ⋈ right| (the natural join on the shared attributes) without
+/// materializing the output. Degenerates to |left|·|right| (saturating)
+/// when the schemes are disjoint. Agrees exactly with
+/// NaturalJoin(left, right).Tau() — the tests sweep this.
+uint64_t CountNaturalJoin(const Relation& left, const Relation& right);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_RELATIONAL_COUNT_JOIN_H_

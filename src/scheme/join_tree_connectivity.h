@@ -31,7 +31,7 @@ class JoinTreeConnectivity {
   /// The paper's C4 under this connectivity, checked on a cache-less
   /// database view: for all disjoint connected linked E1, E2:
   /// τ(R_E1 ⋈ R_E2) ≥ τ(R_E1) and ≥ τ(R_E2). Declared here, implemented
-  /// against JoinCache in the tests/experiments to avoid a core
+  /// against CostEngine in the tests/experiments to avoid a core
   /// dependency.
 
  private:

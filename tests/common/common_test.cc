@@ -2,12 +2,48 @@
 
 #include <set>
 
+#include "common/checked_math.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/strings.h"
 
 namespace taujoin {
 namespace {
+
+TEST(CheckedMathTest, MulInRange) {
+  EXPECT_EQ(CheckedMulSat(0, 12), 0u);
+  EXPECT_EQ(CheckedMulSat(6, 7), 42u);
+  EXPECT_EQ(CheckedMulSat(1u << 31, 1u << 31), uint64_t{1} << 62);
+}
+
+TEST(CheckedMathTest, MulSaturates) {
+  EXPECT_EQ(CheckedMulSat(uint64_t{1} << 32, uint64_t{1} << 32), kTauSaturated);
+  EXPECT_EQ(CheckedMulSat(kTauSaturated, 2), kTauSaturated);
+  EXPECT_EQ(CheckedMulSat(kTauSaturated, kTauSaturated), kTauSaturated);
+  // Identity never saturates, even at the ceiling.
+  EXPECT_EQ(CheckedMulSat(kTauSaturated, 1), kTauSaturated);
+}
+
+TEST(CheckedMathTest, AddInRange) {
+  EXPECT_EQ(CheckedAddSat(0, 0), 0u);
+  EXPECT_EQ(CheckedAddSat(40, 2), 42u);
+  EXPECT_EQ(CheckedAddSat(kTauSaturated - 1, 1), kTauSaturated);
+}
+
+TEST(CheckedMathTest, AddSaturates) {
+  EXPECT_EQ(CheckedAddSat(kTauSaturated, 1), kTauSaturated);
+  EXPECT_EQ(CheckedAddSat(kTauSaturated - 1, 2), kTauSaturated);
+  EXPECT_EQ(CheckedAddSat(kTauSaturated, kTauSaturated), kTauSaturated);
+}
+
+TEST(CheckedMathTest, SaturationIsSticky) {
+  // A chain of combines that overflows once stays at the ceiling instead
+  // of wrapping back into plausible-looking values.
+  uint64_t tau = uint64_t{1} << 60;
+  for (int i = 0; i < 8; ++i) tau = CheckedMulSat(tau, 1u << 20);
+  EXPECT_EQ(tau, kTauSaturated);
+  EXPECT_EQ(CheckedAddSat(tau, 5), kTauSaturated);
+}
 
 TEST(RngTest, DeterministicInSeed) {
   Rng a(42), b(42);
