@@ -1,0 +1,89 @@
+// Shared main() plumbing for the microbenchmark binaries: build-type
+// provenance stamping and the Release gate for JSON artifacts.
+//
+// Background: the checked-in BENCH_*.json artifacts were once recorded
+// from a Debug build (the google-benchmark context advertises the
+// *library's* build type, not ours, so nothing flagged it). To keep that
+// from happening again, every artifact now carries an explicit
+// `taujoin_build_type` context entry, and a non-Release binary refuses
+// to write the default JSON artifact at all (stderr timings are still
+// printed for quick local iteration). Set TAUJOIN_ALLOW_NONRELEASE_JSON=1
+// to override the gate when a debug-mode artifact is genuinely wanted.
+
+#ifndef TAUJOIN_BENCH_BENCH_MAIN_H_
+#define TAUJOIN_BENCH_BENCH_MAIN_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace taujoin {
+namespace bench {
+
+#ifdef NDEBUG
+inline constexpr bool kReleaseBuild = true;
+inline constexpr const char* kBuildType = "release";
+#else
+inline constexpr bool kReleaseBuild = false;
+inline constexpr const char* kBuildType = "debug";
+#endif
+
+/// Runs all registered benchmarks with shared provenance handling:
+///  * stamps `taujoin_build_type` into the benchmark context (and thus
+///    into every JSON artifact);
+///  * appends `--benchmark_out=<default_out>` (JSON) unless the caller
+///    passed an explicit --benchmark_out;
+///  * in a non-Release build, refuses to write the default artifact and
+///    prints a loud warning instead of silently recording debug numbers.
+inline int RunBenchmarks(int argc, char** argv, const char* default_out) {
+  benchmark::AddCustomContext("taujoin_build_type", kBuildType);
+
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  }
+
+  const char* allow = std::getenv("TAUJOIN_ALLOW_NONRELEASE_JSON");
+  const bool allow_nonrelease = allow != nullptr && allow[0] != '\0' &&
+                                std::string(allow) != "0";
+
+  std::vector<char*> args(argv, argv + argc);
+  std::string out = std::string("--benchmark_out=") + default_out;
+  std::string format = "--benchmark_out_format=json";
+  if (!has_out) {
+    if (kReleaseBuild || allow_nonrelease) {
+      args.push_back(out.data());
+      args.push_back(format.data());
+    } else {
+      std::fprintf(stderr,
+                   "\n*** TAUJOIN WARNING ***\n"
+                   "This benchmark binary was built without NDEBUG (a "
+                   "non-Release build).\nRefusing to write %s: debug-mode "
+                   "numbers must not masquerade as artifacts.\nRebuild with "
+                   "-DCMAKE_BUILD_TYPE=Release, or set "
+                   "TAUJOIN_ALLOW_NONRELEASE_JSON=1 to override.\n\n",
+                   default_out);
+    }
+  } else if (!kReleaseBuild && !allow_nonrelease) {
+    std::fprintf(stderr,
+                 "\n*** TAUJOIN WARNING ***\n"
+                 "Writing a benchmark artifact from a non-Release build; it "
+                 "will carry\n\"taujoin_build_type\": \"debug\" in its "
+                 "context. Do not check it in.\n\n");
+  }
+
+  int arg_count = static_cast<int>(args.size());
+  benchmark::Initialize(&arg_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(arg_count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace taujoin
+
+#endif  // TAUJOIN_BENCH_BENCH_MAIN_H_

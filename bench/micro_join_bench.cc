@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_main.h"
 #include "common/rng.h"
 #include "relational/count_join.h"
 #include "relational/join.h"
@@ -19,6 +20,22 @@
 
 namespace taujoin {
 namespace {
+
+/// Input-side throughput counters: tuples consumed and columnar bytes
+/// scanned per second of benchmark time. Iteration-invariant rates, so
+/// google-benchmark divides by elapsed time itself.
+void SetThroughputCounters(benchmark::State& state,
+                           std::initializer_list<const Relation*> inputs) {
+  double tuples = 0, bytes = 0;
+  for (const Relation* r : inputs) {
+    tuples += static_cast<double>(r->size());
+    bytes += static_cast<double>(r->size() * r->stride() * sizeof(uint32_t));
+  }
+  state.counters["tuples_per_second"] = benchmark::Counter(
+      tuples, benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["bytes_per_second"] = benchmark::Counter(
+      bytes, benchmark::Counter::kIsIterationInvariantRate);
+}
 
 Relation MakeRelation(const Schema& schema, int rows, int domain,
                       uint64_t seed) {
@@ -45,6 +62,7 @@ void BM_HashJoin(benchmark::State& state) {
     benchmark::DoNotOptimize(result.size());
   }
   state.SetItemsProcessed(state.iterations() * rows * 2);
+  SetThroughputCounters(state, {&left, &right});
 }
 BENCHMARK(BM_HashJoin)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
 
@@ -57,6 +75,7 @@ void BM_SortMergeJoin(benchmark::State& state) {
     benchmark::DoNotOptimize(result.size());
   }
   state.SetItemsProcessed(state.iterations() * rows * 2);
+  SetThroughputCounters(state, {&left, &right});
 }
 BENCHMARK(BM_SortMergeJoin)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
 
@@ -69,6 +88,7 @@ void BM_NestedLoopJoin(benchmark::State& state) {
     benchmark::DoNotOptimize(result.size());
   }
   state.SetItemsProcessed(state.iterations() * rows * 2);
+  SetThroughputCounters(state, {&left, &right});
 }
 BENCHMARK(BM_NestedLoopJoin)->Arg(64)->Arg(256)->Arg(1024);
 
@@ -81,6 +101,7 @@ void BM_HighFanoutJoin(benchmark::State& state) {
     Relation result = NaturalJoin(left, right);
     benchmark::DoNotOptimize(result.size());
   }
+  SetThroughputCounters(state, {&left, &right});
 }
 BENCHMARK(BM_HighFanoutJoin)->Arg(64)->Arg(256);
 
@@ -95,6 +116,7 @@ void BM_CountHighFanoutJoin(benchmark::State& state) {
     uint64_t count = CountNaturalJoin(left, right);
     benchmark::DoNotOptimize(count);
   }
+  SetThroughputCounters(state, {&left, &right});
 }
 BENCHMARK(BM_CountHighFanoutJoin)->Arg(64)->Arg(256);
 
@@ -107,6 +129,7 @@ void BM_MaterializeThenCount(benchmark::State& state) {
     uint64_t count = NaturalJoin(left, right).Tau();
     benchmark::DoNotOptimize(count);
   }
+  SetThroughputCounters(state, {&left, &right});
 }
 BENCHMARK(BM_MaterializeThenCount)->Arg(64)->Arg(256);
 
@@ -120,6 +143,7 @@ void BM_GroupSizeHistogram(benchmark::State& state) {
     JoinKeyHistogram h = GroupSizesByAttributes(r, key);
     benchmark::DoNotOptimize(h.size());
   }
+  SetThroughputCounters(state, {&r});
 }
 BENCHMARK(BM_GroupSizeHistogram)->Arg(256)->Arg(4096);
 
@@ -131,6 +155,7 @@ void BM_Semijoin(benchmark::State& state) {
     Relation result = Semijoin(left, right);
     benchmark::DoNotOptimize(result.size());
   }
+  SetThroughputCounters(state, {&left, &right});
 }
 BENCHMARK(BM_Semijoin)->Arg(256)->Arg(4096);
 
@@ -142,6 +167,7 @@ void BM_Project(benchmark::State& state) {
     Relation result = Project(r, target);
     benchmark::DoNotOptimize(result.size());
   }
+  SetThroughputCounters(state, {&r});
 }
 BENCHMARK(BM_Project)->Arg(256)->Arg(4096);
 
@@ -149,23 +175,5 @@ BENCHMARK(BM_Project)->Arg(256)->Arg(4096);
 }  // namespace taujoin
 
 int main(int argc, char** argv) {
-  // Default to emitting a JSON artifact next to the binary's working
-  // directory; an explicit --benchmark_out on the command line wins.
-  std::vector<char*> args(argv, argv + argc);
-  std::string out = "--benchmark_out=BENCH_join.json";
-  std::string format = "--benchmark_out_format=json";
-  bool has_out = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
-  }
-  if (!has_out) {
-    args.push_back(out.data());
-    args.push_back(format.data());
-  }
-  int arg_count = static_cast<int>(args.size());
-  benchmark::Initialize(&arg_count, args.data());
-  if (benchmark::ReportUnrecognizedArguments(arg_count, args.data())) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return taujoin::bench::RunBenchmarks(argc, argv, "BENCH_join.json");
 }

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_main.h"
 #include "common/rng.h"
 #include "core/conditions.h"
 #include "enumerate/strategy_enumerator.h"
@@ -187,22 +188,5 @@ BENCHMARK(BM_CheckConditions)->Arg(4)->Arg(6)->Arg(8);
 }  // namespace taujoin
 
 int main(int argc, char** argv) {
-  // Default to emitting a JSON artifact; an explicit --benchmark_out wins.
-  std::vector<char*> args(argv, argv + argc);
-  std::string out = "--benchmark_out=BENCH_optimizer.json";
-  std::string format = "--benchmark_out_format=json";
-  bool has_out = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
-  }
-  if (!has_out) {
-    args.push_back(out.data());
-    args.push_back(format.data());
-  }
-  int arg_count = static_cast<int>(args.size());
-  benchmark::Initialize(&arg_count, args.data());
-  if (benchmark::ReportUnrecognizedArguments(arg_count, args.data())) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return taujoin::bench::RunBenchmarks(argc, argv, "BENCH_optimizer.json");
 }

@@ -57,12 +57,10 @@ const Relation& CostEngine::ConnectedState(RelMask mask) {
   auto [it, inserted] = shard.states.emplace(mask, std::move(state));
   if (inserted) {
     stats_.materialized_count.fetch_add(1, std::memory_order_relaxed);
-    // Approximate footprint: per-tuple value slots + tuple headers. (Heap
-    // payloads of string values are not tracked.)
-    stats_.materialized_bytes.fetch_add(
-        it->second.size() * (it->second.schema().size() * sizeof(Value) +
-                             sizeof(Tuple)),
-        std::memory_order_relaxed);
+    // Exact columnar footprint of the state (codes + row hashes + dedup
+    // index); the shared dictionary is reported separately in stats().
+    stats_.materialized_bytes.fetch_add(it->second.StorageBytes(),
+                                        std::memory_order_relaxed);
     // The state's cardinality is its τ — record it for free.
     shard.taus.emplace(mask, it->second.Tau());
   }
@@ -127,6 +125,7 @@ CostEngineStats CostEngine::stats() const {
       stats_.materialized_count.load(std::memory_order_relaxed);
   s.materialized_bytes =
       stats_.materialized_bytes.load(std::memory_order_relaxed);
+  s.dictionary_bytes = db_->dictionary()->FootprintBytes();
   return s;
 }
 

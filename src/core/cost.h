@@ -18,7 +18,13 @@ struct CostEngineStats {
   uint64_t misses = 0;              ///< memo lookups that had to compute
   uint64_t counted = 0;             ///< τ values produced by counting kernels
   uint64_t materialized_count = 0;  ///< connected subsets materialized
-  uint64_t materialized_bytes = 0;  ///< approx. bytes held by those states
+  /// Exact heap bytes of the materialized states' columnar storage
+  /// (code arena + row hashes + dedup index; Relation::StorageBytes).
+  /// Interned value payloads live in the shared dictionary and are
+  /// reported once, as dictionary_bytes.
+  uint64_t materialized_bytes = 0;
+  /// Footprint of the database's value dictionary at snapshot time.
+  uint64_t dictionary_bytes = 0;
 };
 
 /// The shared costing oracle of the library: memoized exact τ(R_{D'}) and

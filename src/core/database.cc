@@ -49,6 +49,11 @@ Database Database::CreateOrDie(DatabaseScheme scheme,
   return std::move(db).value();
 }
 
+const std::shared_ptr<ValueDictionary>& Database::dictionary() const {
+  return states_.empty() ? ValueDictionary::Global()
+                         : states_.front().dictionary();
+}
+
 int Database::IndexOfName(const std::string& name) const {
   for (size_t i = 0; i < names_.size(); ++i) {
     if (names_[i] == name) return static_cast<int>(i);

@@ -34,6 +34,13 @@ class Database {
   const Relation& state(int i) const { return states_[static_cast<size_t>(i)]; }
   const std::string& name(int i) const { return names_[static_cast<size_t>(i)]; }
 
+  /// The value dictionary this database's states intern into (the states'
+  /// shared dictionary; `ValueDictionary::Global()` unless the states were
+  /// built over an explicit one, or when the database is empty). Every
+  /// state joined or counted within the database resolves codes here, and
+  /// its footprint is what CostEngineStats reports as dictionary_bytes.
+  const std::shared_ptr<ValueDictionary>& dictionary() const;
+
   /// Index of the relation named `name`, or -1.
   int IndexOfName(const std::string& name) const;
 

@@ -1,33 +1,47 @@
 #include "relational/count_join.h"
 
+#include <algorithm>
+
 #include "common/checked_math.h"
 #include "common/logging.h"
+#include "relational/kernel_util.h"
+#include "relational/reference_kernels.h"
 
 namespace taujoin {
 
 namespace {
 
-/// Positions of `attrs` attributes within `schema` (schema order).
-std::vector<int> PositionsOf(const Schema& attrs, const Schema& schema) {
-  std::vector<int> positions;
-  positions.reserve(attrs.size());
-  for (const std::string& a : attrs) {
-    int idx = schema.IndexOf(a);
-    TAUJOIN_CHECK_GE(idx, 0);
-    positions.push_back(idx);
+/// Per-key counts over packed codes: one CodeKeyMap slot per distinct key,
+/// no per-row allocation.
+CodeKeyMap CodeGroupSizes(const Relation& r,
+                          const std::vector<int>& key_positions) {
+  const size_t k = key_positions.size();
+  CodeKeyMap counts(k, r.size());
+  std::vector<uint32_t> key_buf(std::max<size_t>(k, 1));
+  for (size_t i = 0; i < r.size(); ++i) {
+    const uint32_t* row = r.row(i);
+    for (size_t c = 0; c < k; ++c) key_buf[c] = row[key_positions[c]];
+    ++counts.FindOrInsert(key_buf.data());
   }
-  return positions;
+  return counts;
 }
 
 }  // namespace
 
 JoinKeyHistogram GroupSizes(const Relation& r,
                             const std::vector<int>& key_positions) {
+  const CodeKeyMap counts = CodeGroupSizes(r, key_positions);
   JoinKeyHistogram histogram;
-  histogram.reserve(r.size());
-  for (const Tuple& t : r) {
-    ++histogram[t.Project(key_positions)];
-  }
+  histogram.reserve(counts.size());
+  const ValueDictionary& dict = *r.dictionary();
+  counts.ForEach([&](const uint32_t* key, uint64_t count) {
+    std::vector<Value> values;
+    values.reserve(key_positions.size());
+    for (size_t c = 0; c < key_positions.size(); ++c) {
+      values.push_back(dict.ValueOf(key[c]));
+    }
+    histogram.emplace(Tuple(std::move(values)), count);
+  });
   return histogram;
 }
 
@@ -54,22 +68,30 @@ uint64_t CountNaturalJoin(const Relation& left, const Relation& right) {
     // Cartesian product: every pair matches.
     return CheckedMulSat(left.size(), right.size());
   }
+  if (left.dictionary() != right.dictionary()) {
+    return ReferenceCountNaturalJoin(left, right);
+  }
   const std::vector<int> left_key = PositionsOf(common, left.schema());
   const std::vector<int> right_key = PositionsOf(common, right.schema());
 
-  // Hash-group the smaller side, then stream the larger side against it —
-  // the larger input never needs its own histogram.
+  // Hash-group the smaller side on its packed key, then stream the larger
+  // side against it — the larger input never needs its own histogram, and
+  // the probe loop touches only code spans (no Tuple, no std::vector).
   const bool build_left = left.size() <= right.size();
-  const JoinKeyHistogram table =
-      GroupSizes(build_left ? left : right, build_left ? left_key : right_key);
+  const CodeKeyMap table = CodeGroupSizes(
+      build_left ? left : right, build_left ? left_key : right_key);
   const Relation& probe = build_left ? right : left;
   const std::vector<int>& probe_key = build_left ? right_key : left_key;
 
+  const size_t k = probe_key.size();
+  std::vector<uint32_t> key_buf(k);
   uint64_t count = 0;
-  for (const Tuple& t : probe) {
-    auto it = table.find(t.Project(probe_key));
-    if (it == table.end()) continue;
-    count = CheckedAddSat(count, it->second);
+  for (size_t i = 0; i < probe.size(); ++i) {
+    const uint32_t* row = probe.row(i);
+    for (size_t c = 0; c < k; ++c) key_buf[c] = row[probe_key[c]];
+    const uint64_t* group = table.Find(key_buf.data());
+    if (group == nullptr) continue;
+    count = CheckedAddSat(count, *group);
   }
   return count;
 }

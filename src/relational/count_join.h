@@ -13,9 +13,12 @@ namespace taujoin {
 /// (t_R, t_S) pair produces a distinct output tuple (the pair is
 /// recoverable from the output's projections), so
 ///   |R ⋈ S| = Σ_{key k} |R group k| · |S group k|
-/// over the shared-attribute join key. The kernels only hash-group the
-/// inputs and sum products — no merged tuples, no output hash set — which
-/// is what makes τ-only costing cheap relative to materialization.
+/// over the shared-attribute join key. The kernels group and probe packed
+/// dictionary-code keys straight out of the relations' columnar arenas:
+/// join keys of ≤ 2 attributes pack into a single uint64, wider keys hash
+/// their code span in one pass — the probe loop builds no Tuple and no
+/// std::vector, which is what makes τ-only costing cheap relative to
+/// materialization.
 
 /// Per-join-key group sizes of one input: key tuple → number of tuples of
 /// the relation sharing that key projection.
@@ -23,6 +26,8 @@ using JoinKeyHistogram = std::unordered_map<Tuple, uint64_t, TupleHash>;
 
 /// Group sizes of `r` under the projection onto `key_positions` (indices
 /// into r's schema). An empty key yields one group holding all tuples.
+/// (Grouping runs on packed codes; the returned histogram materializes
+/// one key Tuple per *distinct* key, not per row.)
 JoinKeyHistogram GroupSizes(const Relation& r,
                             const std::vector<int>& key_positions);
 
@@ -38,7 +43,7 @@ uint64_t CountJoinFromHistograms(const JoinKeyHistogram& a,
 /// |left ⋈ right| (the natural join on the shared attributes) without
 /// materializing the output. Degenerates to |left|·|right| (saturating)
 /// when the schemes are disjoint. Agrees exactly with
-/// NaturalJoin(left, right).Tau() — the tests sweep this.
+/// NaturalJoin(left, right).Tau() — the differential tests sweep this.
 uint64_t CountNaturalJoin(const Relation& left, const Relation& right);
 
 }  // namespace taujoin

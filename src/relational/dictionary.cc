@@ -1,0 +1,68 @@
+#include "relational/dictionary.h"
+
+#include <mutex>
+
+#include "common/logging.h"
+
+namespace taujoin {
+
+const std::shared_ptr<ValueDictionary>& ValueDictionary::Global() {
+  static const std::shared_ptr<ValueDictionary>* global =
+      new std::shared_ptr<ValueDictionary>(std::make_shared<ValueDictionary>());
+  return *global;
+}
+
+uint32_t ValueDictionary::Intern(const Value& v) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = index_.find(v);
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto [it, inserted] = index_.try_emplace(v, 0);
+  if (!inserted) return it->second;  // lost the race to another interner
+  TAUJOIN_CHECK_LT(values_.size(), static_cast<size_t>(kInvalidCode))
+      << "ValueDictionary overflow";
+  const uint32_t code = static_cast<uint32_t>(values_.size());
+  it->second = code;
+  values_.push_back(v);
+  if (v.is_string()) string_bytes_ += v.AsString().size();
+  return code;
+}
+
+uint32_t ValueDictionary::Find(const Value& v) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = index_.find(v);
+  return it == index_.end() ? kInvalidCode : it->second;
+}
+
+const Value& ValueDictionary::ValueOf(uint32_t code) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  TAUJOIN_DCHECK(code < values_.size());
+  // Entries are append-only and deque references never move, so the
+  // reference stays valid after the lock is released.
+  return values_[code];
+}
+
+size_t ValueDictionary::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return values_.size();
+}
+
+std::strong_ordering ValueDictionary::Compare(uint32_t a, uint32_t b) const {
+  if (a == b) return std::strong_ordering::equal;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  TAUJOIN_DCHECK(a < values_.size() && b < values_.size());
+  return values_[a] <=> values_[b];
+}
+
+size_t ValueDictionary::FootprintBytes() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  // Per entry: the deque slot plus the index's value/code pair and a node
+  // pointer's worth of bucket overhead; strings add their payload once.
+  return values_.size() * (2 * sizeof(Value) + sizeof(uint32_t) +
+                           2 * sizeof(void*)) +
+         string_bytes_;
+}
+
+}  // namespace taujoin

@@ -1,0 +1,83 @@
+#ifndef TAUJOIN_RELATIONAL_DICTIONARY_H_
+#define TAUJOIN_RELATIONAL_DICTIONARY_H_
+
+#include <compare>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "relational/value.h"
+
+namespace taujoin {
+
+/// Interns `Value`s (ints and strings alike) to dense `uint32_t` codes so
+/// relations can store rows as flat code arrays and join kernels can hash
+/// and compare fixed-width integers instead of variant values.
+///
+/// Codes are assigned in arrival order, so code order does NOT follow value
+/// order; `Compare`/`Less` tie back to the underlying values (preserving
+/// the engine-wide `int < string` ordering contract) for the few callers
+/// that need order, while equality is exact on codes: two codes from the
+/// same dictionary are equal iff their values are.
+///
+/// Thread-safety: all methods may be called concurrently (shared_mutex;
+/// lookups take a shared lock, interning a new value an exclusive one).
+/// Entries are append-only and never move, so `ValueOf` references stay
+/// valid for the dictionary's lifetime.
+///
+/// By default every `Relation` interns into the process-wide `Global()`
+/// dictionary, which makes all relations code-compatible: kernels can
+/// compare codes across any two relations built through the default path.
+/// A `Database` exposes the dictionary its states share (see
+/// `Database::dictionary()`); kernels fall back to the row-at-a-time
+/// reference implementations when handed relations over different
+/// dictionaries.
+class ValueDictionary {
+ public:
+  /// Returned by `Find` when the value has never been interned.
+  static constexpr uint32_t kInvalidCode = 0xFFFFFFFFu;
+
+  ValueDictionary() = default;
+  ValueDictionary(const ValueDictionary&) = delete;
+  ValueDictionary& operator=(const ValueDictionary&) = delete;
+
+  /// The process-wide default dictionary.
+  static const std::shared_ptr<ValueDictionary>& Global();
+
+  /// The code for `v`, interning it if new. CHECK-fails if the dictionary
+  /// would exceed kInvalidCode entries.
+  uint32_t Intern(const Value& v);
+
+  /// The code for `v`, or kInvalidCode if `v` was never interned. Never
+  /// grows the dictionary — probes against a relation can reject values
+  /// without polluting the dictionary.
+  uint32_t Find(const Value& v) const;
+
+  /// The value behind `code`. The reference stays valid for the
+  /// dictionary's lifetime. `code` must have been returned by Intern/Find.
+  const Value& ValueOf(uint32_t code) const;
+
+  /// Number of distinct interned values.
+  size_t size() const;
+
+  /// Order of the *values* behind two codes (the order-preserving
+  /// tie-back): ints before strings, then natural order within a kind.
+  std::strong_ordering Compare(uint32_t a, uint32_t b) const;
+  bool Less(uint32_t a, uint32_t b) const { return Compare(a, b) < 0; }
+
+  /// Approximate heap footprint: per-entry storage plus interned string
+  /// payload bytes (for CostEngineStats reporting).
+  size_t FootprintBytes() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::deque<Value> values_;  // code → value; append-only, stable refs
+  std::unordered_map<Value, uint32_t, ValueHash> index_;
+  size_t string_bytes_ = 0;  // payload bytes of interned strings
+};
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_RELATIONAL_DICTIONARY_H_

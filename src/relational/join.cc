@@ -1,136 +1,158 @@
 #include "relational/join.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <cstring>
+#include <numeric>
 
 #include "common/logging.h"
+#include "relational/kernel_util.h"
+#include "relational/reference_kernels.h"
 
 namespace taujoin {
 
 namespace {
 
-/// Positions of `attrs` attributes within `schema` (schema order).
-std::vector<int> PositionsOf(const Schema& attrs, const Schema& schema) {
-  std::vector<int> positions;
-  positions.reserve(attrs.size());
-  for (const std::string& a : attrs) {
-    int idx = schema.IndexOf(a);
-    TAUJOIN_CHECK_GE(idx, 0);
-    positions.push_back(idx);
-  }
-  return positions;
+/// Gathers the codes at `positions` of `row` into `out`.
+inline void GatherKey(const uint32_t* row, const std::vector<int>& positions,
+                      uint32_t* out) {
+  for (size_t i = 0; i < positions.size(); ++i) out[i] = row[positions[i]];
 }
 
-/// Plan for assembling an output tuple over `out` from a left tuple over
-/// `left` and a right tuple over `right`: for each output slot, which side
-/// and which index to copy from. Shared attributes read from the left.
-struct MergePlan {
-  // >= 0: left index; < 0: right index is (-v - 1).
-  std::vector<int> source;
+/// Shared setup of the columnar join kernels: key positions, merge plan,
+/// and the output relation over the same dictionary as the inputs.
+struct JoinPlan {
+  Schema common;
+  Schema out;
+  std::vector<int> left_key;
+  std::vector<int> right_key;
+  std::vector<int> merge;  // MergeSources(left, right, out)
 };
 
-MergePlan MakeMergePlan(const Schema& left, const Schema& right,
-                        const Schema& out) {
-  MergePlan plan;
-  plan.source.reserve(out.size());
-  for (const std::string& a : out) {
-    int li = left.IndexOf(a);
-    if (li >= 0) {
-      plan.source.push_back(li);
-    } else {
-      int ri = right.IndexOf(a);
-      TAUJOIN_CHECK_GE(ri, 0);
-      plan.source.push_back(-ri - 1);
-    }
-  }
+JoinPlan MakeJoinPlan(const Relation& left, const Relation& right) {
+  JoinPlan plan;
+  plan.common = left.schema().Intersect(right.schema());
+  plan.out = left.schema().Union(right.schema());
+  plan.left_key = PositionsOf(plan.common, left.schema());
+  plan.right_key = PositionsOf(plan.common, right.schema());
+  plan.merge = MergeSources(left.schema(), right.schema(), plan.out);
   return plan;
 }
 
-Tuple MergeTuples(const Tuple& left, const Tuple& right,
-                  const MergePlan& plan) {
-  std::vector<Value> values;
-  values.reserve(plan.source.size());
-  for (int s : plan.source) {
-    if (s >= 0) {
-      values.push_back(left.value(static_cast<size_t>(s)));
-    } else {
-      values.push_back(right.value(static_cast<size_t>(-s - 1)));
-    }
-  }
-  return Tuple(std::move(values));
-}
-
 Relation HashJoin(const Relation& left, const Relation& right) {
-  const Schema common = left.schema().Intersect(right.schema());
-  const Schema out = left.schema().Union(right.schema());
-  Relation result(out);
+  if (left.dictionary() != right.dictionary()) {
+    return ReferenceNaturalJoin(left, right);
+  }
+  const JoinPlan plan = MakeJoinPlan(left, right);
+  Relation result(plan.out, left.dictionary());
 
-  const std::vector<int> left_key = PositionsOf(common, left.schema());
-  const std::vector<int> right_key = PositionsOf(common, right.schema());
-  const MergePlan plan = MakeMergePlan(left.schema(), right.schema(), out);
-
-  // Build on the smaller input.
+  // Build on the smaller input; chain rows per key through `next` so the
+  // build side needs one map slot per distinct key and zero per-row
+  // allocations.
   const bool build_left = left.size() <= right.size();
   const Relation& build = build_left ? left : right;
   const Relation& probe = build_left ? right : left;
-  const std::vector<int>& build_key = build_left ? left_key : right_key;
-  const std::vector<int>& probe_key = build_left ? right_key : left_key;
+  const std::vector<int>& build_key = build_left ? plan.left_key : plan.right_key;
+  const std::vector<int>& probe_key = build_left ? plan.right_key : plan.left_key;
 
-  std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> table;
-  table.reserve(build.size());
-  for (const Tuple& t : build) {
-    table[t.Project(build_key)].push_back(&t);
+  const size_t k = plan.common.size();
+  std::vector<uint32_t> key_buf(std::max<size_t>(k, 1));
+  CodeKeyMap heads(k, build.size());
+  std::vector<uint32_t> next(build.size(), 0);  // row index + 1, 0 ends
+  for (size_t r = 0; r < build.size(); ++r) {
+    GatherKey(build.row(r), build_key, key_buf.data());
+    uint64_t& head = heads.FindOrInsert(key_buf.data());
+    next[r] = static_cast<uint32_t>(head);
+    head = r + 1;
   }
-  for (const Tuple& t : probe) {
-    auto it = table.find(t.Project(probe_key));
-    if (it == table.end()) continue;
-    for (const Tuple* b : it->second) {
-      const Tuple& lt = build_left ? *b : t;
-      const Tuple& rt = build_left ? t : *b;
-      result.Insert(MergeTuples(lt, rt, plan));
+
+  std::vector<uint32_t> out_row(plan.out.size());
+  for (size_t p = 0; p < probe.size(); ++p) {
+    const uint32_t* prow = probe.row(p);
+    GatherKey(prow, probe_key, key_buf.data());
+    const uint64_t* head = heads.Find(key_buf.data());
+    if (head == nullptr) continue;
+    for (uint32_t chain = static_cast<uint32_t>(*head); chain != 0;
+         chain = next[chain - 1]) {
+      const uint32_t* brow = build.row(chain - 1);
+      const uint32_t* lrow = build_left ? brow : prow;
+      const uint32_t* rrow = build_left ? prow : brow;
+      MergeCodes(lrow, rrow, plan.merge, out_row.data());
+      result.AppendRow(out_row.data());
     }
   }
   return result;
 }
 
 Relation SortMergeJoin(const Relation& left, const Relation& right) {
-  const Schema common = left.schema().Intersect(right.schema());
-  const Schema out = left.schema().Union(right.schema());
-  Relation result(out);
+  if (left.dictionary() != right.dictionary()) {
+    return ReferenceNaturalJoin(left, right);
+  }
+  const JoinPlan plan = MakeJoinPlan(left, right);
+  Relation result(plan.out, left.dictionary());
+  const size_t k = plan.common.size();
 
-  const std::vector<int> left_key = PositionsOf(common, left.schema());
-  const std::vector<int> right_key = PositionsOf(common, right.schema());
-  const MergePlan plan = MakeMergePlan(left.schema(), right.schema(), out);
-
-  struct Keyed {
-    Tuple key;
-    const Tuple* tuple;
+  // Sort row indices by their key codes. Codes are only grouping keys —
+  // any total order works for the merge, so the lexicographic *code*
+  // order is used directly (no dictionary tie-back needed: equal keys
+  // have equal codes).
+  auto key_less = [k](const Relation& rel, const std::vector<int>& key) {
+    return [&rel, &key, k](uint32_t a, uint32_t b) {
+      const uint32_t* ra = rel.row(a);
+      const uint32_t* rb = rel.row(b);
+      for (size_t i = 0; i < k; ++i) {
+        const uint32_t ca = ra[key[i]];
+        const uint32_t cb = rb[key[i]];
+        if (ca != cb) return ca < cb;
+      }
+      return false;
+    };
   };
-  auto keyed = [](const Relation& r, const std::vector<int>& key) {
-    std::vector<Keyed> rows;
-    rows.reserve(r.size());
-    for (const Tuple& t : r) rows.push_back({t.Project(key), &t});
-    std::sort(rows.begin(), rows.end(),
-              [](const Keyed& a, const Keyed& b) { return a.key < b.key; });
-    return rows;
+  auto sorted_indices = [&](const Relation& rel, const std::vector<int>& key) {
+    std::vector<uint32_t> idx(rel.size());
+    std::iota(idx.begin(), idx.end(), 0u);
+    std::sort(idx.begin(), idx.end(), key_less(rel, key));
+    return idx;
   };
-  std::vector<Keyed> ls = keyed(left, left_key);
-  std::vector<Keyed> rs = keyed(right, right_key);
+  const std::vector<uint32_t> ls = sorted_indices(left, plan.left_key);
+  const std::vector<uint32_t> rs = sorted_indices(right, plan.right_key);
 
+  auto key_compare = [&](uint32_t li, uint32_t ri) {
+    const uint32_t* lrow = left.row(li);
+    const uint32_t* rrow = right.row(ri);
+    for (size_t i = 0; i < k; ++i) {
+      const uint32_t cl = lrow[plan.left_key[i]];
+      const uint32_t cr = rrow[plan.right_key[i]];
+      if (cl != cr) return cl < cr ? -1 : 1;
+    }
+    return 0;
+  };
+
+  std::vector<uint32_t> out_row(plan.out.size());
   size_t i = 0, j = 0;
   while (i < ls.size() && j < rs.size()) {
-    if (ls[i].key < rs[j].key) {
+    const int cmp = key_compare(ls[i], rs[j]);
+    if (cmp < 0) {
       ++i;
-    } else if (rs[j].key < ls[i].key) {
+    } else if (cmp > 0) {
       ++j;
     } else {
+      auto same_left_key = [&](uint32_t a, uint32_t b) {
+        const uint32_t* ra = left.row(a);
+        const uint32_t* rb = left.row(b);
+        for (size_t c = 0; c < k; ++c) {
+          if (ra[plan.left_key[c]] != rb[plan.left_key[c]]) return false;
+        }
+        return true;
+      };
       size_t i_end = i;
-      while (i_end < ls.size() && ls[i_end].key == ls[i].key) ++i_end;
+      while (i_end < ls.size() && same_left_key(ls[i], ls[i_end])) ++i_end;
       size_t j_end = j;
-      while (j_end < rs.size() && rs[j_end].key == rs[j].key) ++j_end;
+      while (j_end < rs.size() && key_compare(ls[i], rs[j_end]) == 0) ++j_end;
       for (size_t a = i; a < i_end; ++a) {
         for (size_t b = j; b < j_end; ++b) {
-          result.Insert(MergeTuples(*ls[a].tuple, *rs[b].tuple, plan));
+          MergeCodes(left.row(ls[a]), right.row(rs[b]), plan.merge,
+                     out_row.data());
+          result.AppendRow(out_row.data());
         }
       }
       i = i_end;
@@ -141,20 +163,28 @@ Relation SortMergeJoin(const Relation& left, const Relation& right) {
 }
 
 Relation NestedLoopJoin(const Relation& left, const Relation& right) {
-  const Schema common = left.schema().Intersect(right.schema());
-  const Schema out = left.schema().Union(right.schema());
-  Relation result(out);
+  if (left.dictionary() != right.dictionary()) {
+    return ReferenceNaturalJoin(left, right);
+  }
+  const JoinPlan plan = MakeJoinPlan(left, right);
+  Relation result(plan.out, left.dictionary());
+  const size_t k = plan.common.size();
 
-  const std::vector<int> left_key = PositionsOf(common, left.schema());
-  const std::vector<int> right_key = PositionsOf(common, right.schema());
-  const MergePlan plan = MakeMergePlan(left.schema(), right.schema(), out);
-
-  for (const Tuple& lt : left) {
-    Tuple lk = lt.Project(left_key);
-    for (const Tuple& rt : right) {
-      if (lk == rt.Project(right_key)) {
-        result.Insert(MergeTuples(lt, rt, plan));
+  std::vector<uint32_t> out_row(plan.out.size());
+  for (size_t i = 0; i < left.size(); ++i) {
+    const uint32_t* lrow = left.row(i);
+    for (size_t j = 0; j < right.size(); ++j) {
+      const uint32_t* rrow = right.row(j);
+      bool match = true;
+      for (size_t c = 0; c < k; ++c) {
+        if (lrow[plan.left_key[c]] != rrow[plan.right_key[c]]) {
+          match = false;
+          break;
+        }
       }
+      if (!match) continue;
+      MergeCodes(lrow, rrow, plan.merge, out_row.data());
+      result.AppendRow(out_row.data());
     }
   }
   return result;

@@ -1,0 +1,107 @@
+#include "relational/kernel_util.h"
+
+#include "common/logging.h"
+
+namespace taujoin {
+
+std::vector<int> PositionsOf(const Schema& attrs, const Schema& schema) {
+  std::vector<int> positions;
+  positions.reserve(attrs.size());
+  for (const std::string& a : attrs) {
+    int idx = schema.IndexOf(a);
+    TAUJOIN_CHECK_GE(idx, 0) << "attribute " << a << " not in "
+                             << schema.ToString();
+    positions.push_back(idx);
+  }
+  return positions;
+}
+
+std::vector<int> MergeSources(const Schema& left, const Schema& right,
+                              const Schema& out) {
+  std::vector<int> plan;
+  plan.reserve(out.size());
+  for (const std::string& a : out) {
+    int li = left.IndexOf(a);
+    if (li >= 0) {
+      plan.push_back(li);
+    } else {
+      int ri = right.IndexOf(a);
+      TAUJOIN_CHECK_GE(ri, 0);
+      plan.push_back(-ri - 1);
+    }
+  }
+  return plan;
+}
+
+namespace {
+
+size_t NextPow2(size_t n) {
+  size_t p = 16;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+CodeKeyMap::CodeKeyMap(size_t key_width, size_t expected_keys)
+    : width_(key_width), packed_(key_width <= 2) {
+  // Size for ~2/3 max load.
+  slots_.resize(NextPow2(expected_keys + expected_keys / 2 + 1));
+  growth_limit_ = slots_.size() - slots_.size() / 3;
+  if (!packed_) arena_.reserve(expected_keys * width_);
+}
+
+void CodeKeyMap::Grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  growth_limit_ = slots_.size() - slots_.size() / 3;
+  const size_t mask = slots_.size() - 1;
+  for (const Slot& s : old) {
+    if (s.hash == 0) continue;
+    size_t i = s.hash & mask;
+    while (slots_[i].hash != 0) i = (i + 1) & mask;
+    slots_[i] = s;
+  }
+}
+
+uint64_t& CodeKeyMap::FindOrInsert(const uint32_t* key) {
+  const uint64_t h = KeyHash(key);
+  const size_t mask = slots_.size() - 1;
+  size_t i = h & mask;
+  while (true) {
+    Slot& slot = slots_[i];
+    if (slot.hash == 0) break;
+    if (slot.hash == h && KeyEquals(slot, key)) return slot.payload;
+    i = (i + 1) & mask;
+  }
+  if (count_ + 1 > growth_limit_) {
+    Grow();
+    const size_t mask2 = slots_.size() - 1;
+    i = h & mask2;
+    while (slots_[i].hash != 0) i = (i + 1) & mask2;
+  }
+  Slot& slot = slots_[i];
+  slot.hash = h;
+  if (packed_) {
+    slot.key = PackKey2(key, width_);
+  } else {
+    slot.key = arena_.size();
+    arena_.insert(arena_.end(), key, key + width_);
+  }
+  ++count_;
+  return slot.payload;
+}
+
+const uint64_t* CodeKeyMap::Find(const uint32_t* key) const {
+  const uint64_t h = KeyHash(key);
+  const size_t mask = slots_.size() - 1;
+  size_t i = h & mask;
+  while (true) {
+    const Slot& slot = slots_[i];
+    if (slot.hash == 0) return nullptr;
+    if (slot.hash == h && KeyEquals(slot, key)) return &slot.payload;
+    i = (i + 1) & mask;
+  }
+}
+
+}  // namespace taujoin

@@ -1,0 +1,140 @@
+#ifndef TAUJOIN_RELATIONAL_KERNEL_UTIL_H_
+#define TAUJOIN_RELATIONAL_KERNEL_UTIL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "relational/schema.h"
+
+namespace taujoin {
+
+/// Positions of `attrs` attributes within `schema` (both in schema order).
+/// CHECK-fails if an attribute is absent. Shared by the join, counting,
+/// and set-operator kernels (it used to be copy-pasted into each).
+std::vector<int> PositionsOf(const Schema& attrs, const Schema& schema);
+
+/// 64-bit finalization mix (murmur3 fmix64): avalanche a packed key.
+inline uint64_t MixU64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Hash of a span of dictionary codes (one FNV-style pass plus a final
+/// avalanche). The same function hashes relation rows and wide join keys,
+/// so per-row hashes can be reused as key hashes when the spans coincide.
+inline uint64_t HashCodes(const uint32_t* codes, size_t n) {
+  uint64_t h = 0xcbf29ce484222325ULL ^ (n * 0x9e3779b97f4a7c15ULL);
+  for (size_t i = 0; i < n; ++i) {
+    h = (h ^ codes[i]) * 0x100000001b3ULL;
+  }
+  return MixU64(h);
+}
+
+/// Packs a join key of width ≤ 2 codes into one uint64 (exact, collision
+/// free): the map key IS the code pair, so no re-comparison is needed.
+inline uint64_t PackKey2(const uint32_t* codes, size_t width) {
+  switch (width) {
+    case 0:
+      return 0;
+    case 1:
+      return codes[0];
+    default:
+      return (static_cast<uint64_t>(codes[0]) << 32) | codes[1];
+  }
+}
+
+/// Open-addressed hash map from a fixed-width join key (a span of
+/// dictionary codes) to a uint64 payload. Keys of width ≤ 2 pack into the
+/// slot itself and compare as single integers; wider keys are copied once
+/// into a shared arena (one allocation amortized over all keys, none per
+/// key) and compare by span. Probing (`Find`) never allocates — this is
+/// what keeps the counting-join probe path allocation free.
+class CodeKeyMap {
+ public:
+  /// `key_width` codes per key; `expected_keys` pre-sizes the table.
+  CodeKeyMap(size_t key_width, size_t expected_keys);
+
+  /// Payload slot for `key` (zero-initialized on first touch). The
+  /// reference is valid until the next FindOrInsert call.
+  uint64_t& FindOrInsert(const uint32_t* key);
+
+  /// Payload slot for `key`, or nullptr if absent. Never allocates.
+  const uint64_t* Find(const uint32_t* key) const;
+
+  size_t size() const { return count_; }
+
+  /// Visits every (key span, payload) pair. The key pointer is valid only
+  /// during the callback.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    uint32_t unpacked[2];
+    for (const Slot& slot : slots_) {
+      if (slot.hash == 0) continue;
+      const uint32_t* key;
+      if (packed_) {
+        unpacked[0] = width_ == 2 ? static_cast<uint32_t>(slot.key >> 32)
+                                  : static_cast<uint32_t>(slot.key);
+        unpacked[1] = static_cast<uint32_t>(slot.key);
+        key = unpacked;
+      } else {
+        key = arena_.data() + slot.key;
+      }
+      fn(key, slot.payload);
+    }
+  }
+
+ private:
+  struct Slot {
+    uint64_t hash = 0;  // 0 = empty (nonzero is forced on insert)
+    uint64_t key = 0;   // packed codes, or offset into arena_
+    uint64_t payload = 0;
+  };
+
+  uint64_t KeyHash(const uint32_t* key) const {
+    uint64_t h = packed_ ? MixU64(PackKey2(key, width_))
+                         : HashCodes(key, width_);
+    return h == 0 ? 1 : h;  // reserve 0 as the empty marker
+  }
+
+  bool KeyEquals(const Slot& slot, const uint32_t* key) const {
+    if (packed_) return slot.key == PackKey2(key, width_);
+    return std::memcmp(arena_.data() + slot.key, key,
+                       width_ * sizeof(uint32_t)) == 0;
+  }
+
+  void Grow();
+
+  size_t width_;
+  bool packed_;
+  size_t count_ = 0;
+  size_t growth_limit_;
+  std::vector<Slot> slots_;    // power-of-two size
+  std::vector<uint32_t> arena_;  // wide keys, width_ codes each
+};
+
+/// Plan for assembling an output row over `out` from a left row over
+/// `left` and a right row over `right`: for each output slot, which side
+/// and which index to copy from (>= 0: left index; < 0: right index is
+/// -v - 1). Shared attributes read from the left. Works identically for
+/// code spans and Tuples.
+std::vector<int> MergeSources(const Schema& left, const Schema& right,
+                              const Schema& out);
+
+/// Executes a MergeSources plan over two code spans into `out_row`
+/// (pre-sized to plan.size()).
+inline void MergeCodes(const uint32_t* left_row, const uint32_t* right_row,
+                       const std::vector<int>& plan, uint32_t* out_row) {
+  for (size_t i = 0; i < plan.size(); ++i) {
+    const int s = plan[i];
+    out_row[i] = s >= 0 ? left_row[s] : right_row[-s - 1];
+  }
+}
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_RELATIONAL_KERNEL_UTIL_H_

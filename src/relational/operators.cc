@@ -1,23 +1,30 @@
 #include "relational/operators.h"
 
-#include <unordered_set>
+#include <algorithm>
 
 #include "common/logging.h"
+#include "relational/kernel_util.h"
+#include "relational/reference_kernels.h"
 
 namespace taujoin {
 
 namespace {
 
-std::vector<int> PositionsOf(const Schema& attrs, const Schema& schema) {
-  std::vector<int> positions;
-  positions.reserve(attrs.size());
-  for (const std::string& a : attrs) {
-    int idx = schema.IndexOf(a);
-    TAUJOIN_CHECK_GE(idx, 0) << "attribute " << a << " not in "
-                             << schema.ToString();
-    positions.push_back(idx);
+/// Gathers `positions` of every row of `r` into a fresh relation over
+/// `out` (shared dictionary), deduplicating as it goes. Shared by
+/// Project and Rename, which differ only in how `positions` is computed.
+Relation GatherRows(const Relation& r, const Schema& out,
+                    const std::vector<int>& positions) {
+  Relation result(out, r.dictionary());
+  std::vector<uint32_t> out_row(std::max<size_t>(positions.size(), 1));
+  for (size_t i = 0; i < r.size(); ++i) {
+    const uint32_t* row = r.row(i);
+    for (size_t c = 0; c < positions.size(); ++c) {
+      out_row[c] = row[positions[c]];
+    }
+    result.AppendRow(out_row.data());
   }
-  return positions;
+  return result;
 }
 
 }  // namespace
@@ -26,18 +33,18 @@ Relation Project(const Relation& r, const Schema& attrs) {
   TAUJOIN_CHECK(attrs.IsSubsetOf(r.schema()))
       << "projection attributes " << attrs.ToString() << " not a subset of "
       << r.schema().ToString();
-  const std::vector<int> positions = PositionsOf(attrs, r.schema());
-  Relation result(attrs);
-  for (const Tuple& t : r) result.Insert(t.Project(positions));
-  return result;
+  return GatherRows(r, attrs, PositionsOf(attrs, r.schema()));
 }
 
 Relation Select(
     const Relation& r,
     const std::function<bool(const Tuple&, const Schema&)>& predicate) {
-  Relation result(r.schema());
-  for (const Tuple& t : r) {
-    if (predicate(t, r.schema())) result.Insert(t);
+  Relation result(r.schema(), r.dictionary());
+  // The predicate sees materialized Tuples; matched rows are copied as
+  // code spans (no re-interning).
+  const std::vector<Tuple>& rows = r.tuples();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (predicate(rows[i], r.schema())) result.AppendRow(r.row(i));
   }
   return result;
 }
@@ -47,39 +54,55 @@ Relation SelectEquals(const Relation& r, const std::string& attribute,
   int idx = r.schema().IndexOf(attribute);
   TAUJOIN_CHECK_GE(idx, 0) << "attribute " << attribute << " not in "
                            << r.schema().ToString();
-  Relation result(r.schema());
-  for (const Tuple& t : r) {
-    if (t.value(static_cast<size_t>(idx)) == value) result.Insert(t);
+  Relation result(r.schema(), r.dictionary());
+  // A value the dictionary has never seen cannot appear in any row.
+  const uint32_t code = r.dictionary()->Find(value);
+  if (code == ValueDictionary::kInvalidCode) return result;
+  for (size_t i = 0; i < r.size(); ++i) {
+    if (r.row(i)[idx] == code) result.AppendRow(r.row(i));
   }
   return result;
 }
 
-Relation Semijoin(const Relation& r, const Relation& s) {
+namespace {
+
+/// r ⋉ s (keep = true) or r ▷ s (keep = false) over packed code keys.
+Relation SemiAntiJoin(const Relation& r, const Relation& s, bool keep) {
+  if (r.dictionary() != s.dictionary()) {
+    return keep ? ReferenceSemijoin(r, s) : ReferenceAntijoin(r, s);
+  }
   const Schema common = r.schema().Intersect(s.schema());
   const std::vector<int> r_key = PositionsOf(common, r.schema());
   const std::vector<int> s_key = PositionsOf(common, s.schema());
-  std::unordered_set<Tuple, TupleHash> keys;
-  keys.reserve(s.size());
-  for (const Tuple& t : s) keys.insert(t.Project(s_key));
-  Relation result(r.schema());
-  for (const Tuple& t : r) {
-    if (keys.count(t.Project(r_key)) > 0) result.Insert(t);
+  const size_t k = common.size();
+
+  CodeKeyMap keys(k, s.size());
+  std::vector<uint32_t> key_buf(std::max<size_t>(k, 1));
+  for (size_t i = 0; i < s.size(); ++i) {
+    const uint32_t* row = s.row(i);
+    for (size_t c = 0; c < k; ++c) key_buf[c] = row[s_key[c]];
+    keys.FindOrInsert(key_buf.data());
+  }
+
+  Relation result(r.schema(), r.dictionary());
+  for (size_t i = 0; i < r.size(); ++i) {
+    const uint32_t* row = r.row(i);
+    for (size_t c = 0; c < k; ++c) key_buf[c] = row[r_key[c]];
+    if ((keys.Find(key_buf.data()) != nullptr) == keep) {
+      result.AppendRow(row);
+    }
   }
   return result;
+}
+
+}  // namespace
+
+Relation Semijoin(const Relation& r, const Relation& s) {
+  return SemiAntiJoin(r, s, /*keep=*/true);
 }
 
 Relation Antijoin(const Relation& r, const Relation& s) {
-  const Schema common = r.schema().Intersect(s.schema());
-  const std::vector<int> r_key = PositionsOf(common, r.schema());
-  const std::vector<int> s_key = PositionsOf(common, s.schema());
-  std::unordered_set<Tuple, TupleHash> keys;
-  keys.reserve(s.size());
-  for (const Tuple& t : s) keys.insert(t.Project(s_key));
-  Relation result(r.schema());
-  for (const Tuple& t : r) {
-    if (keys.count(t.Project(r_key)) == 0) result.Insert(t);
-  }
-  return result;
+  return SemiAntiJoin(r, s, /*keep=*/false);
 }
 
 StatusOr<Relation> Union(const Relation& a, const Relation& b) {
@@ -88,9 +111,14 @@ StatusOr<Relation> Union(const Relation& a, const Relation& b) {
                                 a.schema().ToString() + " vs " +
                                 b.schema().ToString());
   }
-  Relation result(a.schema());
-  for (const Tuple& t : a) result.Insert(t);
-  for (const Tuple& t : b) result.Insert(t);
+  Relation result(a.schema(), a.dictionary());
+  result.Reserve(a.size() + b.size());
+  for (size_t i = 0; i < a.size(); ++i) result.AppendRow(a.row(i));
+  if (b.dictionary() == a.dictionary()) {
+    for (size_t i = 0; i < b.size(); ++i) result.AppendRow(b.row(i));
+  } else {
+    for (const Tuple& t : b) result.Insert(t);
+  }
   return result;
 }
 
@@ -100,9 +128,15 @@ StatusOr<Relation> Intersect(const Relation& a, const Relation& b) {
                                 a.schema().ToString() + " vs " +
                                 b.schema().ToString());
   }
-  Relation result(a.schema());
-  for (const Tuple& t : a) {
-    if (b.Contains(t)) result.Insert(t);
+  Relation result(a.schema(), a.dictionary());
+  if (b.dictionary() == a.dictionary()) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (b.ContainsRow(a.row(i))) result.AppendRow(a.row(i));
+    }
+  } else {
+    for (const Tuple& t : a) {
+      if (b.Contains(t)) result.Insert(t);
+    }
   }
   return result;
 }
@@ -113,9 +147,15 @@ StatusOr<Relation> Difference(const Relation& a, const Relation& b) {
                                 a.schema().ToString() + " vs " +
                                 b.schema().ToString());
   }
-  Relation result(a.schema());
-  for (const Tuple& t : a) {
-    if (!b.Contains(t)) result.Insert(t);
+  Relation result(a.schema(), a.dictionary());
+  if (b.dictionary() == a.dictionary()) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!b.ContainsRow(a.row(i))) result.AppendRow(a.row(i));
+    }
+  } else {
+    for (const Tuple& t : a) {
+      if (!b.Contains(t)) result.Insert(t);
+    }
   }
   return result;
 }
@@ -140,9 +180,7 @@ StatusOr<Relation> Rename(const Relation& r, const std::string& from,
     const std::string& original = (a == to) ? from : a;
     source.push_back(r.schema().IndexOf(original));
   }
-  Relation result(out);
-  for (const Tuple& t : r) result.Insert(t.Project(source));
-  return result;
+  return GatherRows(r, out, source);
 }
 
 }  // namespace taujoin

@@ -1,0 +1,134 @@
+#include "relational/reference_kernels.h"
+
+#include <unordered_set>
+
+#include "common/checked_math.h"
+#include "common/logging.h"
+#include "relational/kernel_util.h"
+
+namespace taujoin {
+
+namespace {
+
+Tuple MergeTuples(const Tuple& left, const Tuple& right,
+                  const std::vector<int>& plan) {
+  std::vector<Value> values;
+  values.reserve(plan.size());
+  for (int s : plan) {
+    if (s >= 0) {
+      values.push_back(left.value(static_cast<size_t>(s)));
+    } else {
+      values.push_back(right.value(static_cast<size_t>(-s - 1)));
+    }
+  }
+  return Tuple(std::move(values));
+}
+
+}  // namespace
+
+Relation ReferenceNaturalJoin(const Relation& left, const Relation& right) {
+  const Schema common = left.schema().Intersect(right.schema());
+  const Schema out = left.schema().Union(right.schema());
+  Relation result(out);
+
+  const std::vector<int> left_key = PositionsOf(common, left.schema());
+  const std::vector<int> right_key = PositionsOf(common, right.schema());
+  const std::vector<int> plan =
+      MergeSources(left.schema(), right.schema(), out);
+
+  // Build on the smaller input.
+  const bool build_left = left.size() <= right.size();
+  const Relation& build = build_left ? left : right;
+  const Relation& probe = build_left ? right : left;
+  const std::vector<int>& build_key = build_left ? left_key : right_key;
+  const std::vector<int>& probe_key = build_left ? right_key : left_key;
+
+  std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> table;
+  table.reserve(build.size());
+  for (const Tuple& t : build) {
+    table[t.Project(build_key)].push_back(&t);
+  }
+  for (const Tuple& t : probe) {
+    auto it = table.find(t.Project(probe_key));
+    if (it == table.end()) continue;
+    for (const Tuple* b : it->second) {
+      const Tuple& lt = build_left ? *b : t;
+      const Tuple& rt = build_left ? t : *b;
+      result.Insert(MergeTuples(lt, rt, plan));
+    }
+  }
+  return result;
+}
+
+std::unordered_map<Tuple, uint64_t, TupleHash> ReferenceGroupSizes(
+    const Relation& r, const std::vector<int>& key_positions) {
+  std::unordered_map<Tuple, uint64_t, TupleHash> histogram;
+  histogram.reserve(r.size());
+  for (const Tuple& t : r) {
+    ++histogram[t.Project(key_positions)];
+  }
+  return histogram;
+}
+
+uint64_t ReferenceCountNaturalJoin(const Relation& left,
+                                   const Relation& right) {
+  const Schema common = left.schema().Intersect(right.schema());
+  if (common.size() == 0) {
+    return CheckedMulSat(left.size(), right.size());
+  }
+  const std::vector<int> left_key = PositionsOf(common, left.schema());
+  const std::vector<int> right_key = PositionsOf(common, right.schema());
+
+  const bool build_left = left.size() <= right.size();
+  const std::unordered_map<Tuple, uint64_t, TupleHash> table =
+      ReferenceGroupSizes(build_left ? left : right,
+                          build_left ? left_key : right_key);
+  const Relation& probe = build_left ? right : left;
+  const std::vector<int>& probe_key = build_left ? right_key : left_key;
+
+  uint64_t count = 0;
+  for (const Tuple& t : probe) {
+    auto it = table.find(t.Project(probe_key));
+    if (it == table.end()) continue;
+    count = CheckedAddSat(count, it->second);
+  }
+  return count;
+}
+
+namespace {
+
+Relation ReferenceSemiAnti(const Relation& r, const Relation& s, bool keep) {
+  const Schema common = r.schema().Intersect(s.schema());
+  const std::vector<int> r_key = PositionsOf(common, r.schema());
+  const std::vector<int> s_key = PositionsOf(common, s.schema());
+  std::unordered_set<Tuple, TupleHash> keys;
+  keys.reserve(s.size());
+  for (const Tuple& t : s) keys.insert(t.Project(s_key));
+  Relation result(r.schema());
+  for (const Tuple& t : r) {
+    if ((keys.count(t.Project(r_key)) > 0) == keep) result.Insert(t);
+  }
+  return result;
+}
+
+}  // namespace
+
+Relation ReferenceSemijoin(const Relation& r, const Relation& s) {
+  return ReferenceSemiAnti(r, s, /*keep=*/true);
+}
+
+Relation ReferenceAntijoin(const Relation& r, const Relation& s) {
+  return ReferenceSemiAnti(r, s, /*keep=*/false);
+}
+
+Relation ReferenceProject(const Relation& r, const Schema& attrs) {
+  TAUJOIN_CHECK(attrs.IsSubsetOf(r.schema()))
+      << "projection attributes " << attrs.ToString() << " not a subset of "
+      << r.schema().ToString();
+  const std::vector<int> positions = PositionsOf(attrs, r.schema());
+  Relation result(attrs);
+  for (const Tuple& t : r) result.Insert(t.Project(positions));
+  return result;
+}
+
+}  // namespace taujoin

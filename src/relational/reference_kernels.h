@@ -1,0 +1,45 @@
+#ifndef TAUJOIN_RELATIONAL_REFERENCE_KERNELS_H_
+#define TAUJOIN_RELATIONAL_REFERENCE_KERNELS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "relational/relation.h"
+
+namespace taujoin {
+
+/// Row-at-a-time reference implementations of the relational kernels,
+/// retained verbatim from the pre-columnar engine. They operate on
+/// materialized `Tuple`s only — no dictionary codes — so they serve two
+/// purposes:
+///
+///  1. Ground truth for the randomized differential tests: the columnar
+///     kernels must agree with these row-for-row on every input.
+///  2. Fallback for the (rare) case of joining relations over *different*
+///     value dictionaries, where code comparison is meaningless.
+///
+/// They are deliberately slow; nothing on a hot path should call them
+/// directly.
+
+/// Reference natural join (hash join over projected Tuple keys).
+Relation ReferenceNaturalJoin(const Relation& left, const Relation& right);
+
+/// Reference |left ⋈ right| via Tuple-keyed histograms (saturating).
+uint64_t ReferenceCountNaturalJoin(const Relation& left,
+                                   const Relation& right);
+
+/// Reference per-join-key group sizes (Tuple-keyed).
+std::unordered_map<Tuple, uint64_t, TupleHash> ReferenceGroupSizes(
+    const Relation& r, const std::vector<int>& key_positions);
+
+/// Reference r ⋉ s and r ▷ s.
+Relation ReferenceSemijoin(const Relation& r, const Relation& s);
+Relation ReferenceAntijoin(const Relation& r, const Relation& s);
+
+/// Reference π_attrs(r).
+Relation ReferenceProject(const Relation& r, const Schema& attrs);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_RELATIONAL_REFERENCE_KERNELS_H_

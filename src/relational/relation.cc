@@ -1,11 +1,77 @@
 #include "relational/relation.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
+#include "relational/kernel_util.h"
 #include "relational/printer.h"
 
 namespace taujoin {
+
+Relation::Relation(Schema schema, std::shared_ptr<ValueDictionary> dictionary)
+    : schema_(std::move(schema)),
+      dict_(dictionary ? std::move(dictionary) : ValueDictionary::Global()),
+      stride_(schema_.size()) {}
+
+Relation::Relation(const Relation& other)
+    : schema_(other.schema_),
+      dict_(other.dict_),
+      stride_(other.stride_),
+      rows_(other.rows_),
+      codes_(other.codes_),
+      hashes_(other.hashes_),
+      slots_(other.slots_) {
+  // The Tuple view is rebuilt on demand; copying it would race with a
+  // concurrent lazy build in `other`.
+  row_cache_valid_.store(rows_ == 0, std::memory_order_release);
+}
+
+Relation::Relation(Relation&& other) noexcept
+    : schema_(std::move(other.schema_)),
+      dict_(std::move(other.dict_)),
+      stride_(other.stride_),
+      rows_(other.rows_),
+      codes_(std::move(other.codes_)),
+      hashes_(std::move(other.hashes_)),
+      slots_(std::move(other.slots_)),
+      row_cache_(std::move(other.row_cache_)),
+      row_cache_valid_(other.row_cache_valid_.load(std::memory_order_acquire)) {
+  other.rows_ = 0;
+  other.row_cache_valid_.store(true, std::memory_order_release);
+}
+
+Relation& Relation::operator=(const Relation& other) {
+  if (this == &other) return *this;
+  schema_ = other.schema_;
+  dict_ = other.dict_;
+  stride_ = other.stride_;
+  rows_ = other.rows_;
+  codes_ = other.codes_;
+  hashes_ = other.hashes_;
+  slots_ = other.slots_;
+  row_cache_.clear();
+  row_cache_valid_.store(rows_ == 0, std::memory_order_release);
+  return *this;
+}
+
+Relation& Relation::operator=(Relation&& other) noexcept {
+  if (this == &other) return *this;
+  schema_ = std::move(other.schema_);
+  dict_ = std::move(other.dict_);
+  stride_ = other.stride_;
+  rows_ = other.rows_;
+  codes_ = std::move(other.codes_);
+  hashes_ = std::move(other.hashes_);
+  slots_ = std::move(other.slots_);
+  row_cache_ = std::move(other.row_cache_);
+  row_cache_valid_.store(
+      other.row_cache_valid_.load(std::memory_order_acquire),
+      std::memory_order_release);
+  other.rows_ = 0;
+  other.row_cache_valid_.store(true, std::memory_order_release);
+  return *this;
+}
 
 StatusOr<Relation> Relation::FromRows(
     const std::vector<std::string>& attribute_order,
@@ -22,6 +88,7 @@ StatusOr<Relation> Relation::FromRows(
     source_index[static_cast<size_t>(slot)] = static_cast<int>(i);
   }
   Relation relation(schema);
+  relation.Reserve(rows.size());
   for (const auto& row : rows) {
     if (row.size() != attribute_order.size()) {
       return InvalidArgumentError("row arity mismatch");
@@ -44,22 +111,147 @@ Relation Relation::FromRowsOrDie(
   return std::move(result).value();
 }
 
+void Relation::Reserve(size_t expected_rows) {
+  codes_.reserve(expected_rows * stride_);
+  hashes_.reserve(expected_rows);
+  GrowIndex(expected_rows);
+}
+
+void Relation::GrowIndex(size_t min_rows) {
+  size_t target = 16;
+  while (target < min_rows * 2) target *= 2;
+  if (target <= slots_.size()) return;
+  slots_.assign(target, 0);
+  const size_t mask = slots_.size() - 1;
+  for (size_t r = 0; r < rows_; ++r) {
+    size_t i = hashes_[r] & mask;
+    while (slots_[i] != 0) i = (i + 1) & mask;
+    slots_[i] = static_cast<uint32_t>(r) + 1;
+  }
+}
+
+bool Relation::FindRow(const uint32_t* row_codes, uint64_t hash) const {
+  if (slots_.empty()) return false;
+  const size_t mask = slots_.size() - 1;
+  size_t i = hash & mask;
+  while (true) {
+    const uint32_t slot = slots_[i];
+    if (slot == 0) return false;
+    const size_t r = slot - 1;
+    if (hashes_[r] == hash &&
+        std::equal(row_codes, row_codes + stride_, row(r))) {
+      return true;
+    }
+    i = (i + 1) & mask;
+  }
+}
+
+bool Relation::AppendRowHashed(const uint32_t* row_codes, uint64_t hash) {
+  if (slots_.empty() || (rows_ + 1) * 4 > slots_.size() * 3) {
+    GrowIndex(slots_.size());  // double (slots/2 current capacity → ×2)
+  }
+  const size_t mask = slots_.size() - 1;
+  size_t i = hash & mask;
+  while (true) {
+    const uint32_t slot = slots_[i];
+    if (slot == 0) break;
+    const size_t r = slot - 1;
+    if (hashes_[r] == hash &&
+        std::equal(row_codes, row_codes + stride_, row(r))) {
+      return false;  // duplicate
+    }
+    i = (i + 1) & mask;
+  }
+  codes_.insert(codes_.end(), row_codes, row_codes + stride_);
+  hashes_.push_back(hash);
+  slots_[i] = static_cast<uint32_t>(rows_) + 1;
+  ++rows_;
+  InvalidateRowCache();
+  return true;
+}
+
+bool Relation::AppendRow(const uint32_t* row_codes) {
+  TAUJOIN_CHECK_LT(rows_, size_t{0xFFFFFFFE});
+  return AppendRowHashed(row_codes, HashCodes(row_codes, stride_));
+}
+
+bool Relation::ContainsRow(const uint32_t* row_codes) const {
+  return FindRow(row_codes, HashCodes(row_codes, stride_));
+}
+
 bool Relation::Insert(Tuple tuple) {
   TAUJOIN_CHECK_EQ(tuple.size(), schema_.size())
       << "tuple arity " << tuple.size() << " != schema " << schema_.ToString();
-  auto [it, inserted] = index_.insert(tuple);
-  if (inserted) tuples_.push_back(std::move(tuple));
+  uint32_t stack_codes[16];
+  std::vector<uint32_t> heap_codes;
+  uint32_t* buf = stack_codes;
+  if (stride_ > 16) {
+    heap_codes.resize(stride_);
+    buf = heap_codes.data();
+  }
+  for (size_t i = 0; i < stride_; ++i) buf[i] = dict_->Intern(tuple.value(i));
+  // If the Tuple view is current, keep it current by appending the tuple
+  // itself instead of invalidating (Insert is the row-at-a-time path, so
+  // interleaved Insert/tuples() callers never pay a full rebuild).
+  const bool cache_was_valid =
+      row_cache_valid_.load(std::memory_order_acquire);
+  const bool inserted = AppendRow(buf);
+  if (cache_was_valid) {
+    if (inserted) row_cache_.push_back(std::move(tuple));
+    row_cache_valid_.store(true, std::memory_order_release);
+  }
   return inserted;
 }
 
 bool Relation::Contains(const Tuple& tuple) const {
-  return index_.count(tuple) > 0;
+  if (tuple.size() != stride_) return false;
+  uint32_t stack_codes[16];
+  std::vector<uint32_t> heap_codes;
+  uint32_t* buf = stack_codes;
+  if (stride_ > 16) {
+    heap_codes.resize(stride_);
+    buf = heap_codes.data();
+  }
+  for (size_t i = 0; i < stride_; ++i) {
+    const uint32_t code = dict_->Find(tuple.value(i));
+    if (code == ValueDictionary::kInvalidCode) return false;
+    buf[i] = code;
+  }
+  return ContainsRow(buf);
+}
+
+const std::vector<Tuple>& Relation::MaterializedRows() const {
+  if (!row_cache_valid_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(row_cache_mu_);
+    if (!row_cache_valid_.load(std::memory_order_relaxed)) {
+      std::vector<Tuple> rebuilt;
+      rebuilt.reserve(rows_);
+      for (size_t r = 0; r < rows_; ++r) {
+        std::vector<Value> values;
+        values.reserve(stride_);
+        const uint32_t* rc = row(r);
+        for (size_t c = 0; c < stride_; ++c) {
+          values.push_back(dict_->ValueOf(rc[c]));
+        }
+        rebuilt.emplace_back(std::move(values));
+      }
+      row_cache_ = std::move(rebuilt);
+      row_cache_valid_.store(true, std::memory_order_release);
+    }
+  }
+  return row_cache_;
 }
 
 bool operator==(const Relation& a, const Relation& b) {
   if (!(a.schema_ == b.schema_)) return false;
   if (a.size() != b.size()) return false;
-  for (const Tuple& t : a.tuples_) {
+  if (a.dict_ == b.dict_) {
+    for (size_t r = 0; r < a.rows_; ++r) {
+      if (!b.FindRow(a.row(r), a.hashes_[r])) return false;
+    }
+    return true;
+  }
+  for (const Tuple& t : a.tuples()) {
     if (!b.Contains(t)) return false;
   }
   return true;

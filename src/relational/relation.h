@@ -1,12 +1,16 @@
 #ifndef TAUJOIN_RELATIONAL_RELATION_H_
 #define TAUJOIN_RELATIONAL_RELATION_H_
 
+#include <atomic>
+#include <cstdint>
 #include <initializer_list>
+#include <memory>
+#include <mutex>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
+#include "relational/dictionary.h"
 #include "relational/schema.h"
 #include "relational/tuple.h"
 
@@ -16,10 +20,28 @@ namespace taujoin {
 /// (duplicates are eliminated on insert, matching the paper's set
 /// semantics). Iteration order is insertion order, which keeps printing and
 /// tests deterministic.
+///
+/// Storage is columnar-by-code: every value is interned into a
+/// `ValueDictionary` (the process-wide `ValueDictionary::Global()` unless
+/// a dictionary is passed explicitly) and rows live in one flat
+/// `std::vector<uint32_t>` arena with fixed stride = schema size. Each row
+/// also caches its 64-bit hash, and set semantics are enforced by an
+/// open-addressed index over row indices — inserting a row through the
+/// code-level API (`AppendRow`) therefore performs no per-tuple heap
+/// allocation. The classic row API (`tuples()`, range-for over `const
+/// Tuple&`) is a *view*: `Tuple`s are materialized lazily from the code
+/// arena on first use and kept until the relation next changes, so legacy
+/// callers work unchanged while the join/count kernels stay on raw codes.
 class Relation {
  public:
-  Relation() = default;
-  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+  Relation() : dict_(ValueDictionary::Global()) {}
+  explicit Relation(Schema schema,
+                    std::shared_ptr<ValueDictionary> dictionary = nullptr);
+
+  Relation(const Relation& other);
+  Relation(Relation&& other) noexcept;
+  Relation& operator=(const Relation& other);
+  Relation& operator=(Relation&& other) noexcept;
 
   /// Builds a relation from rows whose values are listed in the order of
   /// `attribute_order` (which may differ from the schema's sorted order);
@@ -35,8 +57,8 @@ class Relation {
       const std::vector<std::vector<Value>>& rows);
 
   const Schema& schema() const { return schema_; }
-  size_t size() const { return tuples_.size(); }
-  bool empty() const { return tuples_.empty(); }
+  size_t size() const { return rows_; }
+  bool empty() const { return rows_ == 0; }
 
   /// Inserts a tuple (values in schema order). Returns true if new.
   /// The tuple's arity must equal the schema size.
@@ -44,22 +66,79 @@ class Relation {
 
   bool Contains(const Tuple& tuple) const;
 
-  const std::vector<Tuple>& tuples() const { return tuples_; }
-  auto begin() const { return tuples_.begin(); }
-  auto end() const { return tuples_.end(); }
+  /// The rows as materialized Tuples (built lazily from the code arena;
+  /// safe to call concurrently on a const relation).
+  const std::vector<Tuple>& tuples() const { return MaterializedRows(); }
+  auto begin() const { return tuples().begin(); }
+  auto end() const { return tuples().end(); }
 
   /// Set equality: same scheme and same tuple set (order-insensitive).
   friend bool operator==(const Relation& a, const Relation& b);
 
   /// The number of tuples; the paper's `τ(R)`.
-  uint64_t Tau() const { return tuples_.size(); }
+  uint64_t Tau() const { return rows_; }
 
   std::string ToString() const;
 
+  // --- Columnar storage (the kernels' API) ------------------------------
+
+  /// The dictionary this relation's codes refer to. Two relations joined
+  /// by the columnar kernels must share a dictionary (the default); the
+  /// kernels fall back to row-at-a-time reference implementations
+  /// otherwise.
+  const std::shared_ptr<ValueDictionary>& dictionary() const { return dict_; }
+
+  /// Codes per row (= schema().size()).
+  size_t stride() const { return stride_; }
+
+  /// The flat row-major code arena (size() * stride() codes).
+  const std::vector<uint32_t>& codes() const { return codes_; }
+
+  /// Pointer to row `i`'s `stride()` codes.
+  const uint32_t* row(size_t i) const { return codes_.data() + i * stride_; }
+
+  /// Cached hash of row `i` (HashCodes over its span).
+  uint64_t row_hash(size_t i) const { return hashes_[i]; }
+
+  /// Inserts a row given as `stride()` codes of `dictionary()`. Returns
+  /// true if new. No per-tuple heap allocation (vector growth amortized).
+  bool AppendRow(const uint32_t* row_codes);
+
+  /// Membership test for a row of `stride()` codes of `dictionary()`.
+  bool ContainsRow(const uint32_t* row_codes) const;
+
+  /// Pre-sizes the arena and dedup index for `expected_rows` rows.
+  void Reserve(size_t expected_rows);
+
+  /// Exact heap bytes of the columnar state: code arena + per-row hashes +
+  /// dedup index slots. (Dictionary footprint is shared across relations
+  /// and reported separately; see ValueDictionary::FootprintBytes.)
+  size_t StorageBytes() const {
+    return codes_.size() * sizeof(uint32_t) + hashes_.size() * sizeof(uint64_t) +
+           slots_.size() * sizeof(uint32_t);
+  }
+
  private:
+  bool AppendRowHashed(const uint32_t* row_codes, uint64_t hash);
+  bool FindRow(const uint32_t* row_codes, uint64_t hash) const;
+  void GrowIndex(size_t min_rows);
+  const std::vector<Tuple>& MaterializedRows() const;
+  void InvalidateRowCache() {
+    row_cache_valid_.store(false, std::memory_order_release);
+  }
+
   Schema schema_;
-  std::vector<Tuple> tuples_;
-  std::unordered_set<Tuple, TupleHash> index_;
+  std::shared_ptr<ValueDictionary> dict_;
+  size_t stride_ = 0;
+  size_t rows_ = 0;
+  std::vector<uint32_t> codes_;   // rows_ * stride_, row-major
+  std::vector<uint64_t> hashes_;  // one per row
+  std::vector<uint32_t> slots_;   // open addressing; row index + 1; 0 empty
+
+  // Lazy Tuple view of the rows for the legacy iteration API.
+  mutable std::vector<Tuple> row_cache_;
+  mutable std::atomic<bool> row_cache_valid_{true};
+  mutable std::mutex row_cache_mu_;
 };
 
 }  // namespace taujoin

@@ -30,6 +30,7 @@ DecomposedDatabase MakeDecomposedDatabase(const DecomposedOptions& options,
   std::vector<std::map<int64_t, int64_t>> functions(
       static_cast<size_t>(options.attribute_count - 1));
   Relation universal(universe);
+  universal.Reserve(static_cast<size_t>(options.universal_rows));
   for (int r = 0; r < options.universal_rows; ++r) {
     std::vector<Value> row;
     int64_t current = rng.UniformInt(0, options.key_domain - 1);

@@ -28,6 +28,7 @@ Database RandomDatabaseOverScheme(const DatabaseScheme& scheme,
   for (int i = 0; i < scheme.size(); ++i) {
     const Schema& rs = scheme.scheme(i);
     Relation state(rs);
+    state.Reserve(static_cast<size_t>(options.rows_per_relation));
     int attempts = 0;
     while (static_cast<int>(state.size()) < options.rows_per_relation) {
       std::vector<Value> values;

@@ -42,6 +42,7 @@ Database KeyedDatabase(const KeyedGeneratorOptions& options, Rng& rng) {
       columns[a] = std::move(column);
     }
     Relation state(rs);
+    state.Reserve(static_cast<size_t>(options.rows_per_relation));
     for (int r = 0; r < options.rows_per_relation; ++r) {
       std::vector<Value> values;
       values.reserve(rs.size());

@@ -16,10 +16,12 @@ MiniTpch MakeMiniTpch(const MiniTpchOptions& options, Rng& rng) {
 
   // Tuples are inserted in schema (sorted-attribute) order directly.
   Relation customer{scheme.scheme(0)};  // {C, N}
+  customer.Reserve(static_cast<size_t>(options.customers));
   for (int c = 0; c < options.customers; ++c) {
     customer.Insert(Tuple{c, static_cast<int>(rng.Uniform(4))});
   }
   Relation orders{scheme.scheme(1)};
+  orders.Reserve(static_cast<size_t>(options.orders));
   for (int o = 0; o < options.orders; ++o) {
     int c = static_cast<int>(
         rng.Zipf(static_cast<uint64_t>(options.customers), options.skew));
@@ -27,6 +29,7 @@ MiniTpch MakeMiniTpch(const MiniTpchOptions& options, Rng& rng) {
     orders.Insert(Tuple{c, static_cast<int>(rng.Uniform(6)), o});
   }
   Relation lineitem{scheme.scheme(2)};
+  lineitem.Reserve(static_cast<size_t>(options.lineitems));
   for (int l = 0; l < options.lineitems; ++l) {
     int o = static_cast<int>(
         rng.Zipf(static_cast<uint64_t>(options.orders), options.skew));
@@ -38,10 +41,12 @@ MiniTpch MakeMiniTpch(const MiniTpchOptions& options, Rng& rng) {
     lineitem.Insert(Tuple{o, p, static_cast<int>(rng.Uniform(50)), s});
   }
   Relation part{scheme.scheme(3)};
+  part.Reserve(static_cast<size_t>(options.parts));
   for (int p = 0; p < options.parts; ++p) {
     part.Insert(Tuple{p, static_cast<int>(rng.Uniform(5))});
   }
   Relation supplier{scheme.scheme(4)};
+  supplier.Reserve(static_cast<size_t>(options.suppliers));
   for (int s = 0; s < options.suppliers; ++s) {
     // Schema order {M, S}.
     supplier.Insert(Tuple{static_cast<int>(rng.Uniform(4)), s});

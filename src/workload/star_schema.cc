@@ -24,6 +24,7 @@ StarSchemaDatabase MakeStarSchema(const StarSchemaOptions& options, Rng& rng) {
 
   // Fact rows: unique row id P0, random foreign keys (possibly dangling).
   Relation fact(scheme.scheme(0));
+  fact.Reserve(static_cast<size_t>(options.fact_rows));
   for (int r = 0; r < options.fact_rows; ++r) {
     std::vector<std::string> order = {"P0"};
     std::vector<Value> row = {Value(r)};
@@ -43,6 +44,7 @@ StarSchemaDatabase MakeStarSchema(const StarSchemaOptions& options, Rng& rng) {
     std::string k = "K" + std::to_string(i);
     std::string p = "P" + std::to_string(i);
     Relation dim(scheme.scheme(i));
+    dim.Reserve(static_cast<size_t>(options.dimension_rows));
     // Unique key values 0..dimension_rows-1 (an injective shuffle of the
     // low part of the domain keeps it deterministic and keyed).
     for (int r = 0; r < options.dimension_rows; ++r) {

@@ -1,0 +1,96 @@
+#include "relational/dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace taujoin {
+namespace {
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  ValueDictionary dict;
+  uint32_t a = dict.Intern(Value(42));
+  uint32_t b = dict.Intern(Value("x"));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.Intern(Value(42)), a);
+  EXPECT_EQ(dict.Intern(Value("x")), b);
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(DictionaryTest, ValueOfRoundTrips) {
+  ValueDictionary dict;
+  std::vector<Value> values = {Value(0), Value(-7), Value("alpha"),
+                               Value(int64_t{1} << 40), Value("")};
+  std::vector<uint32_t> codes;
+  for (const Value& v : values) codes.push_back(dict.Intern(v));
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(dict.ValueOf(codes[i]), values[i]);
+  }
+}
+
+TEST(DictionaryTest, FindNeverGrows) {
+  ValueDictionary dict;
+  uint32_t a = dict.Intern(Value(1));
+  EXPECT_EQ(dict.Find(Value(1)), a);
+  EXPECT_EQ(dict.Find(Value(2)), ValueDictionary::kInvalidCode);
+  EXPECT_EQ(dict.size(), 1u);  // the failed Find did not intern
+}
+
+TEST(DictionaryTest, CompareMatchesValueOrder) {
+  // Codes are arrival-ordered, so Compare must tie back to the underlying
+  // values: ints before strings, ints by magnitude, strings lexicographic —
+  // regardless of interning order.
+  ValueDictionary dict;
+  uint32_t s_b = dict.Intern(Value("b"));
+  uint32_t i_9 = dict.Intern(Value(9));
+  uint32_t s_a = dict.Intern(Value("a"));
+  uint32_t i_3 = dict.Intern(Value(3));
+  EXPECT_TRUE(dict.Less(i_3, i_9));
+  EXPECT_TRUE(dict.Less(i_9, s_a));  // int < string, always
+  EXPECT_TRUE(dict.Less(s_a, s_b));
+  EXPECT_FALSE(dict.Less(s_b, i_3));
+  EXPECT_EQ(dict.Compare(i_9, i_9), std::strong_ordering::equal);
+}
+
+TEST(DictionaryTest, GlobalIsShared) {
+  const auto& g1 = ValueDictionary::Global();
+  const auto& g2 = ValueDictionary::Global();
+  EXPECT_EQ(g1.get(), g2.get());
+  uint32_t code = g1->Intern(Value("dictionary_test_global_probe"));
+  EXPECT_EQ(g2->Find(Value("dictionary_test_global_probe")), code);
+}
+
+TEST(DictionaryTest, ConcurrentInternAgreesOnCodes) {
+  ValueDictionary dict;
+  constexpr int kThreads = 4;
+  constexpr int kValues = 500;
+  std::vector<std::vector<uint32_t>> codes(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&dict, &codes, t] {
+      codes[static_cast<size_t>(t)].reserve(kValues);
+      for (int i = 0; i < kValues; ++i) {
+        codes[static_cast<size_t>(t)].push_back(dict.Intern(Value(i)));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(dict.size(), static_cast<size_t>(kValues));
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(codes[static_cast<size_t>(t)], codes[0]);
+  }
+  for (int i = 0; i < kValues; ++i) {
+    EXPECT_EQ(dict.ValueOf(codes[0][static_cast<size_t>(i)]), Value(i));
+  }
+}
+
+TEST(DictionaryTest, FootprintGrowsWithStrings) {
+  ValueDictionary dict;
+  size_t empty = dict.FootprintBytes();
+  dict.Intern(Value(std::string(1000, 'x')));
+  EXPECT_GE(dict.FootprintBytes(), empty + 1000);
+}
+
+}  // namespace
+}  // namespace taujoin
