@@ -15,6 +15,7 @@
 
 #include "bench_main.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/conditions.h"
 #include "enumerate/strategy_enumerator.h"
 #include "enumerate/subsets.h"
@@ -32,6 +33,16 @@ Database MakeDb(int n, uint64_t seed) {
   Rng rng(seed);
   GeneratorOptions options;
   options.shape = QueryShape::kChain;
+  options.relation_count = n;
+  options.rows_per_relation = 8;
+  options.join_domain = 4;
+  return RandomDatabase(options, rng);
+}
+
+Database MakeCliqueDb(int n, uint64_t seed) {
+  Rng rng(seed);
+  GeneratorOptions options;
+  options.shape = QueryShape::kClique;
   options.relation_count = n;
   options.rows_per_relation = 8;
   options.join_domain = 4;
@@ -161,6 +172,102 @@ void BM_ExhaustiveTauMaterializing(benchmark::State& state) {
   state.counters["subsets"] = static_cast<double>(subsets.size());
 }
 BENCHMARK(BM_ExhaustiveTauMaterializing)->Arg(8)->Arg(10);
+
+// ---- Parallel-vs-serial sweeps ---------------------------------------
+//
+// Second benchmark argument is the thread count; each benchmark owns a
+// private pool sized threads-1 (the caller participates in ParallelFor),
+// so /N/1 is the serial baseline the parallel rows are judged against.
+// Clique schemes give the DP levels and csg-cmp layers enough width for
+// parallelism to bite; chains stay too narrow past the τ memoization.
+
+void BM_DpBushyParallel(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(1));
+  Database db = MakeCliqueDb(static_cast<int>(state.range(0)), 1);
+  CostEngine engine(&db);
+  ExactSizeModel model(&engine);
+  engine.Tau(db.scheme().full_mask());
+  ThreadPool pool(threads - 1);
+  for (auto _ : state) {
+    auto plan =
+        OptimizeDp(db.scheme(), db.scheme().full_mask(), model,
+                   {SearchSpace::kBushy, true, ParallelOptions{threads, &pool}});
+    benchmark::DoNotOptimize(plan->cost);
+  }
+}
+BENCHMARK(BM_DpBushyParallel)
+    ->Args({12, 1})
+    ->Args({12, 2})
+    ->Args({12, 4})
+    ->ArgNames({"n", "threads"});
+
+void BM_DpCcpParallel(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(1));
+  Database db = MakeCliqueDb(static_cast<int>(state.range(0)), 1);
+  CostEngine engine(&db);
+  ExactSizeModel model(&engine);
+  engine.Tau(db.scheme().full_mask());
+  ThreadPool pool(threads - 1);
+  for (auto _ : state) {
+    auto plan = OptimizeDpCcp(db.scheme(), db.scheme().full_mask(), model,
+                              ParallelOptions{threads, &pool});
+    benchmark::DoNotOptimize(plan->cost);
+  }
+}
+BENCHMARK(BM_DpCcpParallel)
+    ->Args({11, 1})
+    ->Args({11, 2})
+    ->Args({11, 4})
+    ->ArgNames({"n", "threads"});
+
+void BM_ExhaustiveParallel(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(1));
+  Database db = MakeDb(static_cast<int>(state.range(0)), 1);
+  CostEngine engine(&db);
+  engine.Tau(db.scheme().full_mask());
+  ThreadPool pool(threads - 1);
+  for (auto _ : state) {
+    auto plan = OptimizeExhaustive(engine, db.scheme().full_mask(),
+                                   StrategySpace::kAll,
+                                   ParallelOptions{threads, &pool});
+    benchmark::DoNotOptimize(plan->cost);
+  }
+}
+BENCHMARK(BM_ExhaustiveParallel)
+    ->Args({8, 1})
+    ->Args({8, 2})
+    ->Args({8, 4})
+    ->ArgNames({"n", "threads"});
+
+// τ-costing every connected subset of a chain with a cold engine per
+// iteration, subsets dispatched over the pool: the CostEngine's sharded
+// memo tables are the contended resource this benchmark stresses.
+void BM_ExhaustiveTauCountingParallel(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(1));
+  Database db = MakeDb(static_cast<int>(state.range(0)), 1);
+  std::vector<RelMask> subsets =
+      ConnectedSubsets(db.scheme(), db.scheme().full_mask());
+  ThreadPool pool(threads - 1);
+  for (auto _ : state) {
+    CostEngine engine(&db);
+    std::vector<uint64_t> taus(subsets.size());
+    pool.ParallelFor(
+        static_cast<int64_t>(subsets.size()),
+        [&](int64_t i) {
+          taus[static_cast<size_t>(i)] = engine.Tau(subsets[static_cast<size_t>(i)]);
+        },
+        threads);
+    uint64_t total = 0;
+    for (uint64_t t : taus) total += t;
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["subsets"] = static_cast<double>(subsets.size());
+}
+BENCHMARK(BM_ExhaustiveTauCountingParallel)
+    ->Args({10, 1})
+    ->Args({10, 2})
+    ->Args({10, 4})
+    ->ArgNames({"n", "threads"});
 
 void BM_IndependenceEstimator(benchmark::State& state) {
   Database db = MakeDb(static_cast<int>(state.range(0)), 1);

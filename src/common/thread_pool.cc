@@ -1,0 +1,192 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+#include "common/logging.h"
+
+namespace taujoin {
+
+namespace {
+
+/// Strict positive-integer parse; nullptr/garbage/non-positive → 0.
+int ParseThreadCount(const char* text) {
+  if (text == nullptr) return 0;
+  const int parsed = std::atoi(text);
+  return parsed > 0 ? parsed : 0;
+}
+
+}  // namespace
+
+int ResolveThreads(int requested) {
+  if (requested > 0) return requested;
+  if (int threads = ParseThreadCount(std::getenv("TAUJOIN_THREADS"))) {
+    return threads;
+  }
+  if (int threads = ParseThreadCount(std::getenv("TAUJOIN_SWEEP_THREADS"))) {
+    static std::once_flag warned;
+    std::call_once(warned, [] {
+      std::fprintf(stderr,
+                   "taujoin: TAUJOIN_SWEEP_THREADS is deprecated; "
+                   "use TAUJOIN_THREADS\n");
+    });
+    return threads;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+/// One worker's deque. Pushes, pops and steals all happen under the pool
+/// mutex (tasks are coarse — a whole DP level's worth of work each — so a
+/// shared lock on the queues themselves is never the bottleneck); the
+/// deque-per-worker structure is what gives submission spread and lets an
+/// idle worker steal from the opposite end of a busy one's backlog.
+struct ThreadPool::WorkerQueue {
+  std::deque<std::function<void()>> tasks;
+};
+
+ThreadPool::ThreadPool(int workers) {
+  const size_t count = workers > 0 ? static_cast<size_t>(workers) : 0;
+  queues_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+ThreadPool& ThreadPool::Global() {
+  // One fewer worker than the resolved parallelism: the caller of every
+  // ParallelFor is an executor too, so TAUJOIN_THREADS=k yields exactly k
+  // concurrent strands and k=1 creates no threads at all.
+  static ThreadPool pool(ResolveThreads(0) - 1);
+  return pool;
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  TAUJOIN_CHECK(task != nullptr);
+  if (queues_.empty()) {  // no workers: degrade to synchronous execution
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queues_[next_queue_]->tasks.push_back(std::move(task));
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+  }
+  cv_.notify_one();
+}
+
+std::function<void()> ThreadPool::NextTask(size_t self) {
+  // Caller holds mu_. Own deque from the front (submission order), then
+  // steal from the back of the other workers' deques.
+  for (size_t offset = 0; offset < queues_.size(); ++offset) {
+    WorkerQueue& queue = *queues_[(self + offset) % queues_.size()];
+    if (queue.tasks.empty()) continue;
+    std::function<void()> task;
+    if (offset == 0) {
+      task = std::move(queue.tasks.front());
+      queue.tasks.pop_front();
+    } else {
+      task = std::move(queue.tasks.back());
+      queue.tasks.pop_back();
+    }
+    return task;
+  }
+  return nullptr;
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      while (!(task = NextTask(self))) {
+        // Drain-then-stop: queued tasks still run after stop_ is raised,
+        // so the destructor never strands a ParallelFor helper.
+        if (stop_) return;
+        cv_.wait(lock);
+      }
+    }
+    task();  // outside the lock; an escaped exception std::terminates
+  }
+}
+
+namespace {
+
+/// Shared state of one ParallelFor: an atomic index dispenser plus a
+/// completion counter. Helpers hold a shared_ptr so a helper that starts
+/// after the caller has already returned finds valid (exhausted) state.
+struct LoopState {
+  LoopState(int64_t count, const std::function<void(int64_t)>* fn)
+      : count(count), fn(fn) {}
+
+  const int64_t count;
+  const std::function<void(int64_t)>* const fn;  ///< valid until done==count
+  std::atomic<int64_t> next{0};
+  std::atomic<int64_t> done{0};
+  std::mutex mu;
+  std::condition_variable all_done;
+  std::exception_ptr error;  ///< first captured exception, guarded by mu
+
+  void Run() {
+    while (true) {
+      const int64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
+        std::lock_guard<std::mutex> lock(mu);  // pairs with the caller's wait
+        all_done.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::ParallelFor(int64_t count,
+                             const std::function<void(int64_t)>& fn,
+                             int parallelism) {
+  if (count <= 0) return;
+  const int total = parallelism > 0 ? parallelism : worker_count() + 1;
+  const int64_t helpers =
+      std::min<int64_t>({static_cast<int64_t>(total) - 1,
+                         static_cast<int64_t>(worker_count()), count - 1});
+  if (helpers <= 0) {  // strictly serial: no shared state, no locking
+    for (int64_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  auto state = std::make_shared<LoopState>(count, &fn);
+  for (int64_t h = 0; h < helpers; ++h) {
+    Submit([state] { state->Run(); });
+  }
+  state->Run();  // the caller is always an executor; guarantees progress
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->all_done.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == count;
+  });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace taujoin

@@ -1,0 +1,115 @@
+#ifndef TAUJOIN_COMMON_THREAD_POOL_H_
+#define TAUJOIN_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace taujoin {
+
+/// Resolves a parallelism request to a concrete thread count.
+///
+///   * `requested > 0` wins unconditionally;
+///   * otherwise the environment variable TAUJOIN_THREADS, when set to a
+///     positive integer;
+///   * otherwise TAUJOIN_SWEEP_THREADS — the pre-ThreadPool name, kept as
+///     a deprecated alias that logs a one-time warning to stderr;
+///   * otherwise std::thread::hardware_concurrency() (at least 1).
+///
+/// Every parallel surface of the library (ThreadPool::Global(),
+/// ParallelSweep, the optimizer `ParallelOptions`) resolves through this
+/// one helper, so one environment variable pins them all.
+int ResolveThreads(int requested);
+
+/// A work-stealing pool of worker threads shared by every parallel
+/// algorithm in the library (subset DP levels, csg-cmp layers, exhaustive
+/// root partitions, experiment sweeps).
+///
+/// Each worker owns a deque: submissions are distributed round-robin,
+/// workers pop their own deque from the front and steal from the back of
+/// the others when idle. Tasks must not block on other pool tasks —
+/// ParallelFor is the safe way to wait, because the calling thread always
+/// participates in the loop instead of parking.
+///
+/// A lazily constructed process-wide instance is available as `Global()`;
+/// its size is `ResolveThreads(0) - 1` workers (the caller of every
+/// ParallelFor acts as the remaining executor, so TAUJOIN_THREADS=1 means
+/// strictly serial execution with zero pool threads).
+class ThreadPool {
+ public:
+  /// `workers` may be 0: every ParallelFor then runs inline on the caller
+  /// and Submit executes tasks synchronously.
+  explicit ThreadPool(int workers);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  /// Drains already-submitted tasks, then joins the workers.
+  ~ThreadPool();
+
+  int worker_count() const { return static_cast<int>(workers_.size()); }
+
+  /// The shared process-wide pool (lazy; sized by TAUJOIN_THREADS).
+  static ThreadPool& Global();
+
+  /// Fire-and-forget task. A task that throws aborts the process (the
+  /// library's invariant machinery never throws; an escaped exception in a
+  /// detached task is a programming error). Runs inline when the pool has
+  /// no workers.
+  void Submit(std::function<void()> task);
+
+  /// Runs `fn(i)` for every i in [0, count), distributing indices over an
+  /// atomic counter. The calling thread always participates; up to
+  /// `parallelism - 1` pool workers help (`parallelism <= 0` means "the
+  /// whole pool"). Blocks until every index has completed and rethrows the
+  /// first exception any iteration raised.
+  ///
+  /// Safe to nest: an inner ParallelFor issued from a pool task is driven
+  /// to completion by its own caller even if every worker is busy, so the
+  /// pool cannot deadlock on itself.
+  ///
+  /// Determinism contract: the assignment of indices to threads is
+  /// scheduling-dependent, so `fn` must write only to per-index state
+  /// (e.g. `results[i]`) and read only state that is constant for the
+  /// duration of the loop (thread-safe components such as CostEngine
+  /// included). Every parallel consumer in the library layers a
+  /// deterministic reduction on top; see DESIGN.md §8.
+  void ParallelFor(int64_t count, const std::function<void(int64_t)>& fn,
+                   int parallelism = 0);
+
+ private:
+  struct WorkerQueue;
+
+  /// Pops a task for worker `self`: own deque first, then steals. Returns
+  /// an empty function when no work is available.
+  std::function<void()> NextTask(size_t self);
+  void WorkerLoop(size_t self);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;                ///< guards sleeping workers and stop_
+  std::condition_variable cv_;   ///< signalled on submit and stop
+  bool stop_ = false;
+  std::size_t next_queue_ = 0;   ///< round-robin submission cursor
+};
+
+/// Per-call parallelism knobs shared by the parallel optimizers.
+/// `threads` is the *total* parallelism (caller included), resolved via
+/// ResolveThreads; `pool` overrides the shared global pool (tests and
+/// benchmarks use private pools to pin real concurrency).
+struct ParallelOptions {
+  int threads = 0;
+  ThreadPool* pool = nullptr;
+
+  ThreadPool& pool_or_global() const {
+    return pool != nullptr ? *pool : ThreadPool::Global();
+  }
+  int resolved_threads() const { return ResolveThreads(threads); }
+};
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_COMMON_THREAD_POOL_H_

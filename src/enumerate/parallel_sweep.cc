@@ -1,17 +1,13 @@
 #include "enumerate/parallel_sweep.h"
 
-#include <cstdlib>
+#include "common/thread_pool.h"
 
 namespace taujoin {
 
 int ResolveSweepThreads(int requested) {
-  if (requested > 0) return requested;
-  if (const char* env = std::getenv("TAUJOIN_SWEEP_THREADS")) {
-    const int parsed = std::atoi(env);
-    if (parsed > 0) return parsed;
-  }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? static_cast<int>(hw) : 1;
+  // One resolution helper for the whole library: TAUJOIN_THREADS, with
+  // TAUJOIN_SWEEP_THREADS as a warned deprecated alias.
+  return ResolveThreads(requested);
 }
 
 uint64_t SweepSeed(uint64_t base_seed, int trial) {

@@ -1,26 +1,27 @@
 #ifndef TAUJOIN_ENUMERATE_PARALLEL_SWEEP_H_
 #define TAUJOIN_ENUMERATE_PARALLEL_SWEEP_H_
 
-#include <algorithm>
-#include <atomic>
 #include <cstdint>
-#include <thread>
 #include <type_traits>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace taujoin {
 
-/// Options for ParallelSweep. `threads == 0` means "one per hardware
-/// thread". The environment variable TAUJOIN_SWEEP_THREADS, when set,
-/// overrides the default (useful for pinning experiments or forcing
-/// single-threaded runs in CI).
+/// Options for ParallelSweep. `threads == 0` means "resolve from the
+/// environment": TAUJOIN_THREADS when set, the deprecated
+/// TAUJOIN_SWEEP_THREADS alias otherwise, hardware concurrency as the
+/// fallback (see ResolveThreads in common/thread_pool.h). `pool` overrides
+/// the shared global ThreadPool (tests pin private pools).
 struct ParallelSweepOptions {
   int threads = 0;
+  ThreadPool* pool = nullptr;
 };
 
-/// Number of worker threads a sweep will actually use.
+/// Number of worker threads a sweep will actually use. Deprecated spelling
+/// of ResolveThreads (common/thread_pool.h), kept for existing callers.
 int ResolveSweepThreads(int requested);
 
 /// Deterministic per-trial seed: a SplitMix64-style mix of (base_seed,
@@ -28,8 +29,8 @@ int ResolveSweepThreads(int requested);
 /// of how trials are scheduled across threads.
 uint64_t SweepSeed(uint64_t base_seed, int trial);
 
-/// Runs `fn(trial)` for every trial in [0, count) across a pool of
-/// std::threads and returns the results in trial order.
+/// Runs `fn(trial)` for every trial in [0, count) on the shared ThreadPool
+/// and returns the results in trial order.
 ///
 /// Determinism contract: `fn` must derive all randomness from its trial
 /// index (e.g. `Rng rng(SweepSeed(seed, trial))` or any fixed per-trial
@@ -38,9 +39,9 @@ uint64_t SweepSeed(uint64_t base_seed, int trial);
 /// bit-for-bit identical for every thread count, including 1 — the tests
 /// assert this.
 ///
-/// Work is distributed by an atomic trial counter, so uneven trials load-
-/// balance automatically; results are written into a pre-sized vector slot
-/// per trial, so no ordering is imposed by the scheduler.
+/// Work is distributed by the pool's atomic trial counter, so uneven
+/// trials load-balance automatically; results are written into a pre-sized
+/// vector slot per trial, so no ordering is imposed by the scheduler.
 template <typename Fn>
 auto ParallelSweep(int count, Fn&& fn, const ParallelSweepOptions& options = {})
     -> std::vector<std::invoke_result_t<Fn&, int>> {
@@ -51,26 +52,15 @@ auto ParallelSweep(int count, Fn&& fn, const ParallelSweepOptions& options = {})
   std::vector<Result> results(static_cast<size_t>(count > 0 ? count : 0));
   if (count <= 0) return results;
 
-  const int threads = std::min(ResolveSweepThreads(options.threads), count);
-  if (threads <= 1) {
-    for (int trial = 0; trial < count; ++trial) {
-      results[static_cast<size_t>(trial)] = fn(trial);
-    }
-    return results;
-  }
-
-  std::atomic<int> next{0};
-  auto worker = [&]() {
-    while (true) {
-      const int trial = next.fetch_add(1, std::memory_order_relaxed);
-      if (trial >= count) return;
-      results[static_cast<size_t>(trial)] = fn(trial);
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<size_t>(threads));
-  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
+  const int threads = ResolveThreads(options.threads);
+  ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : ThreadPool::Global();
+  pool.ParallelFor(
+      count,
+      [&](int64_t trial) {
+        results[static_cast<size_t>(trial)] = fn(static_cast<int>(trial));
+      },
+      threads);
   return results;
 }
 

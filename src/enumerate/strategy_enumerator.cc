@@ -1,5 +1,6 @@
 #include "enumerate/strategy_enumerator.h"
 
+#include <memory>
 #include <unordered_map>
 
 #include "common/logging.h"
@@ -34,30 +35,38 @@ using Sink = std::function<bool(const Strategy&)>;
 ///   kNoCartesian:  Linked(L, R)
 /// (combined for kLinearNoCartesian). The left half always contains the
 /// subset's lowest relation so each unordered tree appears once.
+///
+/// Stateless after construction: Emit is re-entrant, so one instance may
+/// serve many root tasks concurrently.
 class Enumerator {
  public:
   Enumerator(const DatabaseScheme& scheme, StrategySpace space)
       : scheme_(scheme), space_(space) {}
 
   /// Returns false if the sink stopped enumeration.
-  bool Emit(RelMask mask, const Sink& sink) {
+  bool Emit(RelMask mask, const Sink& sink) const {
     if (PopCount(mask) == 1) {
       return sink(Strategy::MakeLeaf(LowestBitIndex(mask)));
     }
     for (const auto& [left, right] : Bipartitions(mask)) {
       if (!PartitionAllowed(left, right)) continue;
-      Sink right_then_sink = [&](const Strategy& ls) {
-        Sink join_sink = [&](const Strategy& rs) {
-          return sink(Strategy::MakeJoin(ls, rs));
-        };
-        return Emit(right, join_sink);
-      };
-      if (!Emit(left, right_then_sink)) return false;
+      if (!EmitSplit(left, right, sink)) return false;
     }
     return true;
   }
 
- private:
+  /// Enumerates exactly the strategies whose root joins a tree over `left`
+  /// with a tree over `right`, in Emit's nested order.
+  bool EmitSplit(RelMask left, RelMask right, const Sink& sink) const {
+    Sink right_then_sink = [&](const Strategy& ls) {
+      Sink join_sink = [&](const Strategy& rs) {
+        return sink(Strategy::MakeJoin(ls, rs));
+      };
+      return Emit(right, join_sink);
+    };
+    return Emit(left, right_then_sink);
+  }
+
   bool PartitionAllowed(RelMask left, RelMask right) const {
     switch (space_) {
       case StrategySpace::kAll:
@@ -75,28 +84,27 @@ class Enumerator {
     return false;
   }
 
+ private:
   const DatabaseScheme& scheme_;
   StrategySpace space_;
 };
 
 /// kAvoidsCartesian: per-component no-CP strategies combined by arbitrary
-/// binary trees over whole components.
+/// binary trees over whole components. Like Enumerator, re-entrant once
+/// constructed (the component list is fixed at construction).
 class AvoidsCpEnumerator {
  public:
-  explicit AvoidsCpEnumerator(const DatabaseScheme& scheme)
-      : scheme_(scheme), inner_(scheme, StrategySpace::kNoCartesian) {}
-
-  bool Run(RelMask mask, const Sink& sink) {
-    components_ = scheme_.Components(mask);
-    const uint32_t full =
-        (components_.size() >= 32) ? ~0u : (1u << components_.size()) - 1;
+  AvoidsCpEnumerator(const DatabaseScheme& scheme,
+                     std::vector<RelMask> components)
+      : inner_(scheme, StrategySpace::kNoCartesian),
+        components_(std::move(components)) {
     TAUJOIN_CHECK_LT(components_.size(), 32u);
-    return EmitOverComponents(full, sink);
   }
 
- private:
+  const std::vector<RelMask>& components() const { return components_; }
+
   /// `cmask` is a bitmask over component indices.
-  bool EmitOverComponents(uint32_t cmask, const Sink& sink) {
+  bool EmitOverComponents(uint32_t cmask, const Sink& sink) const {
     if (__builtin_popcount(cmask) == 1) {
       const RelMask component =
           components_[static_cast<size_t>(__builtin_ctz(cmask))];
@@ -108,14 +116,7 @@ class AvoidsCpEnumerator {
     while (true) {
       uint32_t left = low | sub;
       if (left != cmask) {
-        uint32_t right = cmask & ~left;
-        Sink right_then_sink = [&](const Strategy& ls) {
-          Sink join_sink = [&](const Strategy& rs) {
-            return sink(Strategy::MakeJoin(ls, rs));
-          };
-          return EmitOverComponents(right, join_sink);
-        };
-        if (!EmitOverComponents(left, right_then_sink)) return false;
+        if (!EmitSplit(left, cmask & ~left, sink)) return false;
       }
       if (sub == rest) break;
       sub = (sub - rest) & rest;
@@ -123,23 +124,87 @@ class AvoidsCpEnumerator {
     return true;
   }
 
-  const DatabaseScheme& scheme_;
+  /// Strategies whose root joins a tree over the `left` components with a
+  /// tree over the `right` components, in EmitOverComponents' order.
+  bool EmitSplit(uint32_t left, uint32_t right, const Sink& sink) const {
+    Sink right_then_sink = [&](const Strategy& ls) {
+      Sink join_sink = [&](const Strategy& rs) {
+        return sink(Strategy::MakeJoin(ls, rs));
+      };
+      return EmitOverComponents(right, join_sink);
+    };
+    return EmitOverComponents(left, right_then_sink);
+  }
+
+ private:
   Enumerator inner_;
   std::vector<RelMask> components_;
 };
 
 }  // namespace
 
+std::vector<StrategyRootTask> StrategyRootTasks(const DatabaseScheme& scheme,
+                                                RelMask mask,
+                                                StrategySpace space) {
+  TAUJOIN_CHECK_NE(mask, RelMask{0});
+  std::vector<StrategyRootTask> tasks;
+  if (PopCount(mask) == 1) {
+    const int leaf = LowestBitIndex(mask);
+    tasks.push_back([leaf](const StrategySink& sink) {
+      return sink(Strategy::MakeLeaf(leaf));
+    });
+    return tasks;
+  }
+
+  if (space == StrategySpace::kAvoidsCartesian) {
+    std::vector<RelMask> components = scheme.Components(mask);
+    if (components.size() > 1) {
+      // Root split over whole components, in EmitOverComponents' order.
+      auto enumerator = std::make_shared<const AvoidsCpEnumerator>(
+          scheme, std::move(components));
+      const uint32_t full =
+          (1u << enumerator->components().size()) - 1;
+      const uint32_t rest = full & ~1u;
+      uint32_t sub = 0;
+      while (true) {
+        const uint32_t left = 1u | sub;  // component 0 anchors the left
+        if (left != full) {
+          const uint32_t right = full & ~left;
+          tasks.push_back([enumerator, left, right](const StrategySink& sink) {
+            return enumerator->EmitSplit(left, right, sink);
+          });
+        }
+        if (sub == rest) break;
+        sub = (sub - rest) & rest;
+      }
+      return tasks;
+    }
+    // Single component: the root split lives inside the component's no-CP
+    // tree; fall through to the bipartition tasks of that space.
+    space = StrategySpace::kNoCartesian;
+  }
+
+  auto enumerator = std::make_shared<const Enumerator>(scheme, space);
+  for (const auto& [left, right] : Bipartitions(mask)) {
+    if (!enumerator->PartitionAllowed(left, right)) continue;
+    const RelMask l = left;
+    const RelMask r = right;
+    tasks.push_back([enumerator, l, r](const StrategySink& sink) {
+      return enumerator->EmitSplit(l, r, sink);
+    });
+  }
+  return tasks;
+}
+
 bool ForEachStrategy(const DatabaseScheme& scheme, RelMask mask,
                      StrategySpace space,
                      const std::function<bool(const Strategy&)>& visit) {
-  TAUJOIN_CHECK_NE(mask, RelMask{0});
-  if (space == StrategySpace::kAvoidsCartesian) {
-    AvoidsCpEnumerator enumerator(scheme);
-    return enumerator.Run(mask, visit);
+  // Root tasks in order reproduce the canonical enumeration order; this
+  // keeps ForEachStrategy and the parallel optimizers on one code path.
+  for (const StrategyRootTask& task : StrategyRootTasks(scheme, mask, space)) {
+    if (!task(visit)) return false;
   }
-  Enumerator enumerator(scheme, space);
-  return enumerator.Emit(mask, visit);
+  return true;
 }
 
 std::vector<Strategy> EnumerateStrategies(const DatabaseScheme& scheme,

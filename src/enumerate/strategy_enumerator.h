@@ -30,6 +30,25 @@ bool ForEachStrategy(const DatabaseScheme& scheme, RelMask mask,
                      StrategySpace space,
                      const std::function<bool(const Strategy&)>& visit);
 
+/// A strategy consumer; returning false stops the enumeration.
+using StrategySink = std::function<bool(const Strategy&)>;
+
+/// One root-level slice of a strategy space: invoking it with a sink
+/// enumerates exactly the strategies whose top-level split is this task's,
+/// and returns false iff the sink stopped it.
+using StrategyRootTask = std::function<bool(const StrategySink&)>;
+
+/// Splits the space at the root: one task per allowed root partition (a
+/// bipartition of `mask`, or of the component set for kAvoidsCartesian; a
+/// single leaf-emitting task for singleton masks). Tasks are independent —
+/// the parallel exhaustive optimizers fan them out to the ThreadPool — and
+/// running them in order against one sink reproduces ForEachStrategy's
+/// output exactly (ForEachStrategy is implemented that way). `scheme` must
+/// outlive the returned tasks.
+std::vector<StrategyRootTask> StrategyRootTasks(const DatabaseScheme& scheme,
+                                                RelMask mask,
+                                                StrategySpace space);
+
 /// Materializes the whole subspace. CHECK-fails if it exceeds `limit`
 /// strategies (spaces grow as (2n−3)!!).
 std::vector<Strategy> EnumerateStrategies(const DatabaseScheme& scheme,

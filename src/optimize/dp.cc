@@ -1,12 +1,13 @@
 #include "optimize/dp.h"
 
+#include <bit>
 #include <functional>
 #include <limits>
-#include <unordered_map>
+#include <vector>
 
 #include "common/checked_math.h"
 #include "common/logging.h"
-#include "enumerate/subsets.h"
+#include "common/thread_pool.h"
 
 namespace taujoin {
 
@@ -14,69 +15,142 @@ namespace {
 
 constexpr uint64_t kInfeasible = std::numeric_limits<uint64_t>::max();
 
-struct Entry {
-  uint64_t cost = kInfeasible;  ///< cost of the sub-plan *below* this subset
-  RelMask best_left = 0;        ///< winning partition (0 for leaves)
-};
-
-/// Generic subset DP. `cost(mask)` excludes the τ of `mask` itself so that
-/// leaves cost 0 and each step's output is charged exactly once, at its
-/// parent... — more precisely we define:
-///   plan_cost(mask) = Σ_{internal nodes of the subtree} model.Tau(node)
-/// which charges Tau(mask) at the root of the subtree. Leaves: 0.
+/// Bottom-up, level-synchronous subset DP. The subset lattice over `mask`
+/// is relabeled onto local bits 0..n−1 and solved one popcount level at a
+/// time against a flat table indexed by local mask: level k only reads
+/// levels < k, so all of level k's subsets can be solved concurrently with
+/// no locking on the table, and the level boundary is the barrier that
+/// publishes their results to level k+1 (ThreadPool::ParallelFor provides
+/// the synchronization). The plan is identical at every thread count
+/// because each subset's split scan is a fixed serial loop.
+///
+/// Costing convention (unchanged from the original recursive solver):
+///   plan_cost(subset) = Σ_{internal nodes of the subtree} model.Tau(node)
+/// which charges Tau(subset) at the root of the subtree. Leaves: 0.
 class DpSolver {
  public:
   DpSolver(const DatabaseScheme& scheme, SizeModel& model,
            const DpOptions& options)
       : scheme_(scheme), model_(model), options_(options) {}
 
-  uint64_t Solve(RelMask mask) {
-    auto it = memo_.find(mask);
-    if (it != memo_.end()) return it->second.cost;
-    Entry entry;
-    if (PopCount(mask) == 1) {
-      entry.cost = 0;
-      memo_[mask] = entry;
-      return 0;
+  /// Fills the table for every submask of `mask`; returns the cost of
+  /// `mask` itself (kInfeasible when no strategy exists in the space).
+  uint64_t Run(RelMask mask) {
+    bits_ = MaskToIndices(mask);
+    const int n = static_cast<int>(bits_.size());
+    // The flat table is 2^n entries; 20 local relations ≈ 20 MB of table
+    // and ~3.5e9 split probes — beyond that the DP is unrunnable anyway.
+    TAUJOIN_CHECK_LE(n, 20) << "subset DP supports at most 20 relations";
+    const uint32_t full = (1u << n) - 1;
+    globals_.assign(size_t{full} + 1, 0);
+    costs_.assign(size_t{full} + 1, kInfeasible);
+    best_left_.assign(size_t{full} + 1, 0);
+    for (int i = 0; i < n; ++i) {
+      globals_[size_t{1} << i] = SingletonMask(bits_[static_cast<size_t>(i)]);
+      costs_[size_t{1} << i] = 0;
     }
-    for (const auto& [left, right] : Bipartitions(mask)) {
-      if (options_.space == SearchSpace::kLinear && PopCount(left) != 1 &&
-          PopCount(right) != 1) {
-        continue;
+    if (n == 1) return 0;
+
+    const int threads = options_.parallel.resolved_threads();
+    const bool parallel = threads > 1 && model_.thread_safe();
+    std::vector<uint32_t> level;
+    for (int k = 2; k <= n; ++k) {
+      // Gosper's hack walks the popcount-k submasks in ascending order.
+      level.clear();
+      for (uint32_t lm = (1u << k) - 1; lm <= full;) {
+        // The k−1 prefix of lm is already solved, so its global mask can
+        // be extended by one bit — filled serially here, read in parallel
+        // below and by later levels.
+        globals_[lm] =
+            globals_[lm & (lm - 1)] | globals_[LowestBit32(lm)];
+        level.push_back(lm);
+        const uint32_t carry = LowestBit32(lm);
+        const uint32_t ripple = lm + carry;
+        lm = (((ripple ^ lm) >> 2) / carry) | ripple;
       }
-      if (!options_.allow_cartesian && !scheme_.Linked(left, right)) continue;
-      uint64_t lc = Solve(left);
-      if (lc == kInfeasible) continue;
-      uint64_t rc = Solve(right);
-      if (rc == kInfeasible) continue;
-      uint64_t total = CheckedAddSat(lc, rc);
-      if (total < entry.cost) {
-        entry.cost = total;
-        entry.best_left = left;
+      if (parallel && level.size() > 1) {
+        options_.parallel.pool_or_global().ParallelFor(
+            static_cast<int64_t>(level.size()),
+            [&](int64_t i) { SolveOne(level[static_cast<size_t>(i)]); },
+            threads);
+      } else {
+        for (uint32_t lm : level) SolveOne(lm);
       }
     }
-    if (entry.cost != kInfeasible) {
-      // Charge this subtree's own output (saturating: a plan past 2^64
-      // tuples must stay ordered above every representable cost).
-      entry.cost = CheckedAddSat(entry.cost, model_.Tau(mask));
-    }
-    memo_[mask] = entry;
-    return entry.cost;
+    return costs_[full];
   }
 
   Strategy Extract(RelMask mask) const {
-    if (PopCount(mask) == 1) return Strategy::MakeLeaf(LowestBitIndex(mask));
-    auto it = memo_.find(mask);
-    TAUJOIN_CHECK(it != memo_.end() && it->second.cost != kInfeasible);
-    RelMask left = it->second.best_left;
-    return Strategy::MakeJoin(Extract(left), Extract(mask & ~left));
+    uint32_t full = 0;
+    for (size_t i = 0; i < bits_.size(); ++i) {
+      if (mask & SingletonMask(bits_[i])) full |= 1u << i;
+    }
+    return ExtractLocal(full);
   }
 
  private:
+  static uint32_t LowestBit32(uint32_t m) { return m & (~m + 1); }
+
+  /// Solves one popcount-k subset: scans its bipartitions (the half with
+  /// the lowest local bit is canonical) against levels < k. Writes only
+  /// this subset's slots, so a whole level is safe to solve in parallel.
+  void SolveOne(uint32_t lm) {
+    const bool linear_only = options_.space == SearchSpace::kLinear;
+    uint64_t best = kInfeasible;
+    uint32_t best_left = 0;
+    const uint32_t low = LowestBit32(lm);
+    const uint32_t rest = lm & ~low;
+    uint32_t sub = 0;
+    while (true) {
+      const uint32_t left = low | sub;
+      if (left != lm) {
+        const uint32_t right = lm & ~left;
+        const bool allowed =
+            (!linear_only || std::popcount(left) == 1 ||
+             std::popcount(right) == 1) &&
+            (options_.allow_cartesian ||
+             scheme_.Linked(globals_[left], globals_[right]));
+        if (allowed) {
+          const uint64_t lc = costs_[left];
+          const uint64_t rc = costs_[right];
+          if (lc != kInfeasible && rc != kInfeasible) {
+            const uint64_t total = CheckedAddSat(lc, rc);
+            if (total < best) {
+              best = total;
+              best_left = left;
+            }
+          }
+        }
+      }
+      if (sub == rest) break;
+      sub = (sub - rest) & rest;
+    }
+    if (best != kInfeasible) {
+      // Charge this subtree's own output (saturating: a plan past 2^64
+      // tuples must stay ordered above every representable cost).
+      costs_[lm] = CheckedAddSat(best, model_.Tau(globals_[lm]));
+      best_left_[lm] = best_left;
+    }
+  }
+
+  Strategy ExtractLocal(uint32_t lm) const {
+    if (std::popcount(lm) == 1) {
+      return Strategy::MakeLeaf(bits_[static_cast<size_t>(
+          std::countr_zero(lm))]);
+    }
+    TAUJOIN_CHECK(costs_[lm] != kInfeasible);
+    const uint32_t left = best_left_[lm];
+    return Strategy::MakeJoin(ExtractLocal(left), ExtractLocal(lm & ~left));
+  }
+
   const DatabaseScheme& scheme_;
   SizeModel& model_;
   DpOptions options_;
-  std::unordered_map<RelMask, Entry> memo_;
+
+  std::vector<int> bits_;         ///< local bit → relation index
+  std::vector<RelMask> globals_;  ///< local mask → global mask
+  std::vector<uint64_t> costs_;   ///< local mask → best subtree cost
+  std::vector<uint32_t> best_left_;  ///< local mask → winning partition
 };
 
 }  // namespace
@@ -97,7 +171,7 @@ std::optional<PlanResult> OptimizeDp(const DatabaseScheme& scheme,
                                      const DpOptions& options) {
   TAUJOIN_CHECK_NE(mask, RelMask{0});
   DpSolver solver(scheme, model, options);
-  uint64_t cost = solver.Solve(mask);
+  uint64_t cost = solver.Run(mask);
   if (cost == kInfeasible) return std::nullopt;
   return PlanResult{solver.Extract(mask), cost};
 }

@@ -3,6 +3,7 @@
 
 #include <optional>
 
+#include "common/thread_pool.h"
 #include "core/strategy.h"
 #include "optimize/size_model.h"
 #include "scheme/database_scheme.h"
@@ -23,17 +24,33 @@ enum class SearchSpace {
 };
 
 struct DpOptions {
+  DpOptions() = default;
+  DpOptions(SearchSpace space, bool allow_cartesian,
+            ParallelOptions parallel = {})
+      : space(space), allow_cartesian(allow_cartesian), parallel(parallel) {}
+
   SearchSpace space = SearchSpace::kBushy;
   /// When false, every step must join linked subsets (no Cartesian
   /// products anywhere) — for unconnected subsets this makes the problem
   /// infeasible and OptimizeDp returns nullopt.
   bool allow_cartesian = true;
+  /// Parallelism of the level-synchronous solve (see dp.cc). Thread count
+  /// never changes the returned plan; non-thread-safe models degrade to a
+  /// serial sweep of the same level order.
+  ParallelOptions parallel;
 };
 
 /// Subset dynamic programming (DPsub) over `mask`, minimizing the sum of
 /// the model's intermediate sizes — the τ measure when the model is exact.
 /// Optimal within the requested space. Exponential in |mask| (3^n subset
-/// pairs); intended for n ≤ ~16.
+/// pairs); the flat DP table caps |mask| at 20 relations (CHECK-enforced),
+/// past which the 3^n work is unrunnable anyway.
+///
+/// The solve is bottom-up and level-synchronous: all subsets of popcount k
+/// are solved (in parallel, on the shared ThreadPool) before any subset of
+/// popcount k+1 is touched, so each level only reads finished levels and
+/// the table needs no locking. Results are bit-identical at every thread
+/// count.
 std::optional<PlanResult> OptimizeDp(const DatabaseScheme& scheme, RelMask mask,
                                      SizeModel& model, const DpOptions& options);
 

@@ -1,6 +1,5 @@
 #include "optimize/dpccp.h"
 
-#include <algorithm>
 #include <limits>
 #include <unordered_map>
 #include <vector>
@@ -78,25 +77,28 @@ void EnumerateCmp(const DatabaseScheme& scheme, RelMask universe, RelMask s1,
 
 }  // namespace
 
-void ForEachCsgCmpPair(const DatabaseScheme& scheme, RelMask mask,
-                       const std::function<void(RelMask, RelMask)>& emit) {
+std::vector<std::vector<std::pair<RelMask, RelMask>>> CsgCmpPairsByLayer(
+    const DatabaseScheme& scheme, RelMask mask) {
   TAUJOIN_CHECK_NE(mask, RelMask{0});
-  // Collect then sort by combined size so DP consumers can fold directly.
-  std::vector<std::pair<RelMask, RelMask>> pairs;
+  // Bucket by |S1 ∪ S2| while preserving discovery order within a bucket:
+  // the layering is what makes the consumption order (and therefore the
+  // DP's tie-breaks) independent of how a layer is later parallelized.
+  std::vector<std::vector<std::pair<RelMask, RelMask>>> layers;
   EnumerateCsg(scheme, mask, [&](RelMask s1) {
     EnumerateCmp(scheme, mask, s1, [&](RelMask s2) {
-      pairs.emplace_back(s1, s2);
+      const size_t layer = static_cast<size_t>(PopCount(s1 | s2)) - 2;
+      if (layers.size() <= layer) layers.resize(layer + 1);
+      layers[layer].emplace_back(s1, s2);
     });
   });
-  std::sort(pairs.begin(), pairs.end(),
-            [](const std::pair<RelMask, RelMask>& a,
-               const std::pair<RelMask, RelMask>& b) {
-              int pa = PopCount(a.first | a.second);
-              int pb = PopCount(b.first | b.second);
-              if (pa != pb) return pa < pb;
-              return (a.first | a.second) < (b.first | b.second);
-            });
-  for (const auto& [s1, s2] : pairs) emit(s1, s2);
+  return layers;
+}
+
+void ForEachCsgCmpPair(const DatabaseScheme& scheme, RelMask mask,
+                       const std::function<void(RelMask, RelMask)>& emit) {
+  for (const auto& layer : CsgCmpPairsByLayer(scheme, mask)) {
+    for (const auto& [s1, s2] : layer) emit(s1, s2);
+  }
 }
 
 uint64_t CountCsgCmpPairs(const DatabaseScheme& scheme, RelMask mask) {
@@ -108,7 +110,8 @@ uint64_t CountCsgCmpPairs(const DatabaseScheme& scheme, RelMask mask) {
 }
 
 std::optional<PlanResult> OptimizeDpCcp(const DatabaseScheme& scheme,
-                                        RelMask mask, SizeModel& model) {
+                                        RelMask mask, SizeModel& model,
+                                        const ParallelOptions& parallel) {
   if (PopCount(mask) == 1) {
     return PlanResult{Strategy::MakeLeaf(LowestBitIndex(mask)), 0};
   }
@@ -123,21 +126,47 @@ std::optional<PlanResult> OptimizeDpCcp(const DatabaseScheme& scheme,
   for (int i : MaskToIndices(mask)) {
     best[SingletonMask(i)] = Entry{0, 0};
   }
-  ForEachCsgCmpPair(scheme, mask, [&](RelMask s1, RelMask s2) {
-    auto it1 = best.find(s1);
-    auto it2 = best.find(s2);
-    TAUJOIN_CHECK(it1 != best.end() && it2 != best.end())
-        << "csg-cmp pair emitted before its halves were solved";
-    if (it1->second.cost == kInfinity || it2->second.cost == kInfinity) return;
-    RelMask joined = s1 | s2;
-    uint64_t cost = CheckedAddSat(
-        CheckedAddSat(it1->second.cost, it2->second.cost), model.Tau(joined));
-    Entry& slot = best[joined];
-    if (cost < slot.cost) {
-      slot.cost = cost;
-      slot.left = s1;
+
+  // Level-synchronous consumption: a layer's pairs read only entries of
+  // strictly smaller unions, so the expensive part of each pair — the
+  // model.Tau call — is scored in parallel into a per-pair slot while the
+  // table is read-only, and the layer is folded into the table serially in
+  // discovery order (deterministic tie-breaks at every thread count).
+  const auto layers = CsgCmpPairsByLayer(scheme, mask);
+  const int threads = parallel.resolved_threads();
+  const bool concurrent = threads > 1 && model.thread_safe();
+  std::vector<uint64_t> scores;
+  for (const auto& layer : layers) {
+    scores.assign(layer.size(), kInfinity);
+    auto score = [&](size_t i) {
+      const auto& [s1, s2] = layer[i];
+      auto it1 = best.find(s1);
+      auto it2 = best.find(s2);
+      TAUJOIN_CHECK(it1 != best.end() && it2 != best.end())
+          << "csg-cmp pair emitted before its halves were solved";
+      if (it1->second.cost == kInfinity || it2->second.cost == kInfinity) {
+        return;
+      }
+      scores[i] = CheckedAddSat(
+          CheckedAddSat(it1->second.cost, it2->second.cost),
+          model.Tau(s1 | s2));
+    };
+    if (concurrent && layer.size() > 1) {
+      parallel.pool_or_global().ParallelFor(
+          static_cast<int64_t>(layer.size()),
+          [&](int64_t i) { score(static_cast<size_t>(i)); }, threads);
+    } else {
+      for (size_t i = 0; i < layer.size(); ++i) score(i);
     }
-  });
+    for (size_t i = 0; i < layer.size(); ++i) {
+      if (scores[i] == kInfinity) continue;
+      Entry& slot = best[layer[i].first | layer[i].second];
+      if (scores[i] < slot.cost) {
+        slot.cost = scores[i];
+        slot.left = layer[i].first;
+      }
+    }
+  }
   auto it = best.find(mask);
   if (it == best.end() || it->second.cost == kInfinity) return std::nullopt;
   std::function<Strategy(RelMask)> extract = [&](RelMask m) -> Strategy {
@@ -148,9 +177,10 @@ std::optional<PlanResult> OptimizeDpCcp(const DatabaseScheme& scheme,
   return PlanResult{extract(mask), it->second.cost};
 }
 
-std::optional<PlanResult> OptimizeDpCcp(CostEngine& engine, RelMask mask) {
+std::optional<PlanResult> OptimizeDpCcp(CostEngine& engine, RelMask mask,
+                                        const ParallelOptions& parallel) {
   ExactSizeModel model(&engine);
-  return OptimizeDpCcp(engine.db().scheme(), mask, model);
+  return OptimizeDpCcp(engine.db().scheme(), mask, model, parallel);
 }
 
 }  // namespace taujoin

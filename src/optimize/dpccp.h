@@ -3,7 +3,10 @@
 
 #include <functional>
 #include <optional>
+#include <utility>
+#include <vector>
 
+#include "common/thread_pool.h"
 #include "optimize/dp.h"
 
 namespace taujoin {
@@ -20,6 +23,16 @@ namespace taujoin {
 void ForEachCsgCmpPair(const DatabaseScheme& scheme, RelMask mask,
                        const std::function<void(RelMask, RelMask)>& emit);
 
+/// The same pairs partitioned by |S1 ∪ S2|: element k−2 of the result
+/// holds every pair whose union has popcount k (k = 2..n; layers are never
+/// empty-padded at the tail beyond the largest realized union). Within a
+/// layer, pairs keep their discovery order, which is fixed for a given
+/// (scheme, mask). A layer's pairs only depend on strictly smaller unions,
+/// so a DP may score each layer in parallel and fold it in order — this is
+/// the parallel decomposition OptimizeDpCcp uses.
+std::vector<std::vector<std::pair<RelMask, RelMask>>> CsgCmpPairsByLayer(
+    const DatabaseScheme& scheme, RelMask mask);
+
 /// Number of csg-cmp pairs for `mask` — the paper-facing complexity
 /// measure of product-free DP (chains: Θ(n³); cliques: Θ(3^n)).
 uint64_t CountCsgCmpPairs(const DatabaseScheme& scheme, RelMask mask);
@@ -28,11 +41,18 @@ uint64_t CountCsgCmpPairs(const DatabaseScheme& scheme, RelMask mask);
 /// results to OptimizeDp(..., {kBushy, allow_cartesian=false}) — the tests
 /// assert it — but visits only realizable pairs. Returns nullopt for
 /// unconnected `mask` (no product-free strategy exists).
+///
+/// Each |S1 ∪ S2| layer's pairs are scored (the model.Tau calls — the
+/// expensive part) in parallel on the shared ThreadPool and folded into
+/// the table serially in discovery order, so the chosen plan is
+/// bit-identical at every thread count.
 std::optional<PlanResult> OptimizeDpCcp(const DatabaseScheme& scheme,
-                                        RelMask mask, SizeModel& model);
+                                        RelMask mask, SizeModel& model,
+                                        const ParallelOptions& parallel = {});
 
 /// Exact-τ convenience overload over a shared CostEngine.
-std::optional<PlanResult> OptimizeDpCcp(CostEngine& engine, RelMask mask);
+std::optional<PlanResult> OptimizeDpCcp(CostEngine& engine, RelMask mask,
+                                        const ParallelOptions& parallel = {});
 
 }  // namespace taujoin
 

@@ -1,35 +1,108 @@
 #include "optimize/exhaustive.h"
 
+#include <vector>
+
 namespace taujoin {
 
+namespace {
+
+/// Runs every root task, in parallel when asked, invoking `fold(i)` with a
+/// per-slice sink produced by `make_sink(i)`. The reduction over slice
+/// results happens in the caller, in slice order, so the overall outcome
+/// is independent of the thread count.
+void RunRootTasks(const std::vector<StrategyRootTask>& tasks,
+                  const std::function<void(size_t)>& run_slice,
+                  const ParallelOptions& parallel) {
+  const int threads = parallel.resolved_threads();
+  if (threads > 1 && tasks.size() > 1) {
+    parallel.pool_or_global().ParallelFor(
+        static_cast<int64_t>(tasks.size()),
+        [&](int64_t i) { run_slice(static_cast<size_t>(i)); }, threads);
+  } else {
+    for (size_t i = 0; i < tasks.size(); ++i) run_slice(i);
+  }
+}
+
+}  // namespace
+
 std::optional<PlanResult> OptimizeExhaustive(CostEngine& engine, RelMask mask,
-                                             StrategySpace space) {
+                                             StrategySpace space,
+                                             const ParallelOptions& parallel) {
+  const std::vector<StrategyRootTask> tasks =
+      StrategyRootTasks(engine.db().scheme(), mask, space);
+
+  // Per-slice first-minimum; slices share nothing but the (thread-safe)
+  // engine, so each slice's winner is the one a serial scan of that slice
+  // would pick.
+  std::vector<std::optional<PlanResult>> slice_best(tasks.size());
+  RunRootTasks(
+      tasks,
+      [&](size_t i) {
+        std::optional<PlanResult>& best = slice_best[i];
+        tasks[i]([&](const Strategy& s) {
+          uint64_t cost = TauCost(s, engine);
+          if (!best.has_value() || cost < best->cost) {
+            best = PlanResult{s, cost};
+          }
+          return true;
+        });
+      },
+      parallel);
+
+  // Reduce in slice order: ties keep the earliest slice, i.e. the first
+  // minimum of the canonical enumeration order.
   std::optional<PlanResult> best;
-  ForEachStrategy(engine.db().scheme(), mask, space, [&](const Strategy& s) {
-    uint64_t cost = TauCost(s, engine);
-    if (!best.has_value() || cost < best->cost) {
-      best = PlanResult{s, cost};
+  for (std::optional<PlanResult>& candidate : slice_best) {
+    if (!candidate.has_value()) continue;
+    if (!best.has_value() || candidate->cost < best->cost) {
+      best = std::move(candidate);
     }
-    return true;
-  });
+  }
   return best;
 }
 
 std::vector<Strategy> AllOptima(CostEngine& engine, RelMask mask,
-                                StrategySpace space) {
+                                StrategySpace space,
+                                const ParallelOptions& parallel) {
+  const std::vector<StrategyRootTask> tasks =
+      StrategyRootTasks(engine.db().scheme(), mask, space);
+
+  struct SliceOptima {
+    std::optional<uint64_t> best;
+    std::vector<Strategy> optima;  ///< slice-enumeration order
+  };
+  std::vector<SliceOptima> slices(tasks.size());
+  RunRootTasks(
+      tasks,
+      [&](size_t i) {
+        SliceOptima& slice = slices[i];
+        tasks[i]([&](const Strategy& s) {
+          uint64_t cost = TauCost(s, engine);
+          if (!slice.best.has_value() || cost < *slice.best) {
+            slice.best = cost;
+            slice.optima.clear();
+            slice.optima.push_back(s);
+          } else if (cost == *slice.best) {
+            slice.optima.push_back(s);
+          }
+          return true;
+        });
+      },
+      parallel);
+
   std::optional<uint64_t> best;
-  std::vector<Strategy> optima;
-  ForEachStrategy(engine.db().scheme(), mask, space, [&](const Strategy& s) {
-    uint64_t cost = TauCost(s, engine);
-    if (!best.has_value() || cost < *best) {
-      best = cost;
-      optima.clear();
-      optima.push_back(s);
-    } else if (cost == *best) {
-      optima.push_back(s);
+  for (const SliceOptima& slice : slices) {
+    if (slice.best.has_value() && (!best.has_value() || *slice.best < *best)) {
+      best = slice.best;
     }
-    return true;
-  });
+  }
+  // Concatenating the argmin slices in slice order reproduces the serial
+  // (canonical) ordering of the full argmin set.
+  std::vector<Strategy> optima;
+  for (SliceOptima& slice : slices) {
+    if (slice.best != best) continue;
+    for (Strategy& s : slice.optima) optima.push_back(std::move(s));
+  }
   return optima;
 }
 

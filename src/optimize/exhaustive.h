@@ -3,6 +3,7 @@
 
 #include <optional>
 
+#include "common/thread_pool.h"
 #include "core/cost.h"
 #include "enumerate/strategy_enumerator.h"
 #include "optimize/dp.h"
@@ -14,14 +15,23 @@ namespace taujoin {
 /// ((2n−3)!! trees); exists as ground truth for tests and small reports.
 /// Returns nullopt when the subspace is empty (e.g. no-CP over an
 /// unconnected subset).
+///
+/// The space is split at the root partition (StrategyRootTasks) and the
+/// slices are costed concurrently on the shared ThreadPool; per-slice
+/// winners are reduced in slice order, so the returned plan is the first
+/// minimum of the canonical enumeration order — bit-identical to a serial
+/// run at every thread count.
 std::optional<PlanResult> OptimizeExhaustive(CostEngine& engine, RelMask mask,
-                                             StrategySpace space);
+                                             StrategySpace space,
+                                             const ParallelOptions& parallel = {});
 
 /// All τ-optimum strategies within the subspace (the full argmin set);
 /// useful for checking "some optimum is linear"-style claims. Empty when
-/// the subspace is empty.
+/// the subspace is empty. Parallelized like OptimizeExhaustive; the result
+/// keeps the canonical enumeration order at every thread count.
 std::vector<Strategy> AllOptima(CostEngine& engine, RelMask mask,
-                                StrategySpace space);
+                                StrategySpace space,
+                                const ParallelOptions& parallel = {});
 
 }  // namespace taujoin
 

@@ -22,6 +22,11 @@ class SizeModel {
   /// Estimated (or exact) τ(R_{D'}) for the subset `mask`.
   virtual uint64_t Tau(RelMask mask) = 0;
 
+  /// Whether Tau may be called concurrently from many threads. The
+  /// parallel optimizers consult this and fall back to serial (but
+  /// result-identical) evaluation when it is false.
+  virtual bool thread_safe() const { return false; }
+
   virtual std::string name() const = 0;
 };
 
@@ -30,6 +35,7 @@ class ExactSizeModel : public SizeModel {
  public:
   explicit ExactSizeModel(CostEngine* engine) : engine_(engine) {}
   uint64_t Tau(RelMask mask) override { return engine_->Tau(mask); }
+  bool thread_safe() const override { return true; }  // CostEngine is
   std::string name() const override { return "exact"; }
 
  private:

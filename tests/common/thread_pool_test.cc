@@ -1,0 +1,149 @@
+// ThreadPool semantics: every ParallelFor index runs exactly once at any
+// pool size and parallelism cap, nesting cannot deadlock, exceptions
+// propagate to the caller, and ResolveThreads honors the environment
+// (TAUJOIN_THREADS first, the deprecated TAUJOIN_SWEEP_THREADS alias
+// second, hardware concurrency last).
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace taujoin {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  for (int workers : {0, 1, 3}) {
+    ThreadPool pool(workers);
+    constexpr int64_t kCount = 1000;
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.ParallelFor(kCount, [&](int64_t i) {
+      hits[static_cast<size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (int64_t i = 0; i < kCount; ++i) {
+      EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1)
+          << "workers=" << workers << " index=" << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelismCapRespectsSerialRequest) {
+  ThreadPool pool(3);
+  // parallelism=1 must not touch the pool at all: strictly serial and in
+  // index order on the calling thread.
+  std::vector<int64_t> order;
+  pool.ParallelFor(
+      64, [&](int64_t i) { order.push_back(i); }, /*parallelism=*/1);
+  std::vector<int64_t> expected(64);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, EmptyAndSingleIterationLoops) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(0, [&](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, [&](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, NestedParallelForCompletes) {
+  // An inner loop issued from a pool task is driven by its own caller, so
+  // even a pool whose workers are all busy with outer iterations finishes.
+  ThreadPool pool(2);
+  constexpr int64_t kOuter = 8;
+  constexpr int64_t kInner = 16;
+  std::atomic<int64_t> total{0};
+  pool.ParallelFor(kOuter, [&](int64_t) {
+    pool.ParallelFor(kInner, [&](int64_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), kOuter * kInner);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTasks) {
+  constexpr int kTasks = 32;
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.Submit([&] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // The destructor drains queued tasks before joining.
+  }
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, SubmitWithZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  int done = 0;
+  pool.Submit([&] { ++done; });
+  EXPECT_EQ(done, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsFirstException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [&](int64_t i) {
+                         if (i == 37) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsUsable) {
+  std::atomic<int64_t> sum{0};
+  ThreadPool::Global().ParallelFor(
+      10, [&](int64_t i) { sum.fetch_add(i, std::memory_order_relaxed); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+class ResolveThreadsEnv : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    unsetenv("TAUJOIN_THREADS");
+    unsetenv("TAUJOIN_SWEEP_THREADS");
+  }
+  void TearDown() override {
+    unsetenv("TAUJOIN_THREADS");
+    unsetenv("TAUJOIN_SWEEP_THREADS");
+  }
+};
+
+TEST_F(ResolveThreadsEnv, ExplicitRequestWins) {
+  setenv("TAUJOIN_THREADS", "7", 1);
+  EXPECT_EQ(ResolveThreads(3), 3);
+}
+
+TEST_F(ResolveThreadsEnv, HonorsTaujoinThreads) {
+  setenv("TAUJOIN_THREADS", "5", 1);
+  EXPECT_EQ(ResolveThreads(0), 5);
+}
+
+TEST_F(ResolveThreadsEnv, TaujoinThreadsBeatsDeprecatedAlias) {
+  setenv("TAUJOIN_THREADS", "5", 1);
+  setenv("TAUJOIN_SWEEP_THREADS", "9", 1);
+  EXPECT_EQ(ResolveThreads(0), 5);
+}
+
+TEST_F(ResolveThreadsEnv, DeprecatedAliasStillWorks) {
+  setenv("TAUJOIN_SWEEP_THREADS", "4", 1);
+  EXPECT_EQ(ResolveThreads(0), 4);
+}
+
+TEST_F(ResolveThreadsEnv, GarbageFallsBackToHardware) {
+  setenv("TAUJOIN_THREADS", "garbage", 1);
+  EXPECT_GE(ResolveThreads(0), 1);
+  setenv("TAUJOIN_THREADS", "-2", 1);
+  EXPECT_GE(ResolveThreads(0), 1);
+}
+
+}  // namespace
+}  // namespace taujoin

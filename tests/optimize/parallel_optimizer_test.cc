@@ -1,0 +1,213 @@
+// Determinism contract of the parallel optimizers: OptimizeDp,
+// OptimizeDpCcp, OptimizeExhaustive, and AllOptima must return
+// bit-identical plans (and, for AllOptima, identically ordered optimum
+// sets) at every thread count. Each test runs the same problem at 1, 2,
+// and 4 threads over a private ThreadPool and compares rendered plans
+// against the single-thread baseline.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "optimize/dp.h"
+#include "optimize/dpccp.h"
+#include "optimize/exhaustive.h"
+#include "workload/generator.h"
+
+namespace taujoin {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 2, 4};
+
+Database MakeDb(QueryShape shape, int n, uint64_t seed) {
+  Rng rng(seed);
+  GeneratorOptions options;
+  options.shape = shape;
+  options.relation_count = n;
+  options.rows_per_relation = 8;
+  options.join_domain = 4;  // small domain: collisions, skew, cost ties
+  Database db = RandomDatabase(options, rng);
+  return db;
+}
+
+std::string Render(const DatabaseScheme& scheme,
+                   const std::optional<PlanResult>& plan) {
+  if (!plan.has_value()) return "<infeasible>";
+  return plan->strategy.ToStringWithScheme(scheme) + " @" +
+         std::to_string(plan->cost);
+}
+
+const QueryShape kShapes[] = {QueryShape::kChain, QueryShape::kStar,
+                              QueryShape::kCycle, QueryShape::kClique};
+
+TEST(ParallelOptimizerTest, DpBitIdenticalAcrossThreadCounts) {
+  ThreadPool pool(3);
+  for (QueryShape shape : kShapes) {
+    for (int n : {6, 10}) {
+      Database db = MakeDb(shape, n, 0x5eedULL + n);
+      JoinCache cache(&db);
+      ExactSizeModel model(&cache);
+      const RelMask full = db.scheme().full_mask();
+      for (auto [space, cartesian] :
+           {std::pair{SearchSpace::kBushy, true},
+            std::pair{SearchSpace::kBushy, false},
+            std::pair{SearchSpace::kLinear, true}}) {
+        const auto baseline = OptimizeDp(
+            db.scheme(), full, model,
+            {space, cartesian, ParallelOptions{1, &pool}});
+        for (int threads : kThreadCounts) {
+          const auto got = OptimizeDp(
+              db.scheme(), full, model,
+              {space, cartesian, ParallelOptions{threads, &pool}});
+          EXPECT_EQ(Render(db.scheme(), got), Render(db.scheme(), baseline))
+              << QueryShapeToString(shape) << " n=" << n
+              << " threads=" << threads;
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelOptimizerTest, DpCcpBitIdenticalAcrossThreadCounts) {
+  ThreadPool pool(3);
+  for (QueryShape shape : kShapes) {
+    Database db = MakeDb(shape, 10, 0xccb);
+    JoinCache cache(&db);
+    ExactSizeModel model(&cache);
+    const RelMask full = db.scheme().full_mask();
+    const auto baseline =
+        OptimizeDpCcp(db.scheme(), full, model, ParallelOptions{1, &pool});
+    for (int threads : kThreadCounts) {
+      const auto got = OptimizeDpCcp(db.scheme(), full, model,
+                                     ParallelOptions{threads, &pool});
+      EXPECT_EQ(Render(db.scheme(), got), Render(db.scheme(), baseline))
+          << QueryShapeToString(shape) << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelOptimizerTest, DpCcpAgreesWithDpNoCartesian) {
+  // Cross-check the two parallel DP engines against each other on a
+  // connected shape where both spaces coincide.
+  ThreadPool pool(3);
+  Database db = MakeDb(QueryShape::kCycle, 9, 0xace);
+  JoinCache cache(&db);
+  ExactSizeModel model(&cache);
+  const RelMask full = db.scheme().full_mask();
+  const auto ccp =
+      OptimizeDpCcp(db.scheme(), full, model, ParallelOptions{4, &pool});
+  const auto dp =
+      OptimizeDp(db.scheme(), full, model,
+                 {SearchSpace::kBushy, false, ParallelOptions{4, &pool}});
+  ASSERT_TRUE(ccp.has_value());
+  ASSERT_TRUE(dp.has_value());
+  EXPECT_EQ(ccp->cost, dp->cost);
+}
+
+TEST(ParallelOptimizerTest, ExhaustiveBitIdenticalAcrossThreadCounts) {
+  ThreadPool pool(3);
+  struct Case {
+    QueryShape shape;
+    int n;
+    StrategySpace space;
+  };
+  const Case cases[] = {
+      {QueryShape::kChain, 10, StrategySpace::kNoCartesian},
+      {QueryShape::kChain, 8, StrategySpace::kLinearNoCartesian},
+      {QueryShape::kStar, 7, StrategySpace::kAvoidsCartesian},
+      {QueryShape::kCycle, 8, StrategySpace::kNoCartesian},
+      {QueryShape::kClique, 6, StrategySpace::kAll},
+      {QueryShape::kClique, 6, StrategySpace::kLinear},
+  };
+  for (const Case& c : cases) {
+    Database db = MakeDb(c.shape, c.n, 0xe1);
+    JoinCache cache(&db);
+    const RelMask full = db.scheme().full_mask();
+    const auto baseline =
+        OptimizeExhaustive(cache, full, c.space, ParallelOptions{1, &pool});
+    for (int threads : kThreadCounts) {
+      const auto got =
+          OptimizeExhaustive(cache, full, c.space, ParallelOptions{threads, &pool});
+      EXPECT_EQ(Render(db.scheme(), got), Render(db.scheme(), baseline))
+          << QueryShapeToString(c.shape) << " n=" << c.n
+          << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelOptimizerTest, ExhaustiveDefaultCallUnchangedByParallelPath) {
+  // The parallel overload with explicit threads must match the plain call
+  // existing callers make (default ParallelOptions).
+  ThreadPool pool(3);
+  Database db = MakeDb(QueryShape::kClique, 6, 0xdef);
+  JoinCache cache(&db);
+  const RelMask full = db.scheme().full_mask();
+  const auto plain = OptimizeExhaustive(cache, full, StrategySpace::kAll);
+  const auto parallel = OptimizeExhaustive(cache, full, StrategySpace::kAll,
+                                           ParallelOptions{4, &pool});
+  EXPECT_EQ(Render(db.scheme(), plain), Render(db.scheme(), parallel));
+}
+
+TEST(ParallelOptimizerTest, AllOptimaIdenticalOrderingAcrossThreadCounts) {
+  ThreadPool pool(3);
+  struct Case {
+    QueryShape shape;
+    int n;
+    StrategySpace space;
+  };
+  // join_domain=4 with 8-row relations produces repeated intermediate
+  // sizes, so the argmin sets routinely hold several strategies — the
+  // interesting case for ordering stability.
+  const Case cases[] = {
+      {QueryShape::kChain, 9, StrategySpace::kNoCartesian},
+      {QueryShape::kStar, 7, StrategySpace::kAvoidsCartesian},
+      {QueryShape::kClique, 6, StrategySpace::kAll},
+  };
+  for (const Case& c : cases) {
+    Database db = MakeDb(c.shape, c.n, 0xa11);
+    JoinCache cache(&db);
+    const RelMask full = db.scheme().full_mask();
+    const std::vector<Strategy> baseline =
+        AllOptima(cache, full, c.space, ParallelOptions{1, &pool});
+    ASSERT_FALSE(baseline.empty());
+    std::vector<std::string> expected;
+    for (const Strategy& s : baseline) {
+      expected.push_back(s.ToStringWithScheme(db.scheme()));
+    }
+    for (int threads : kThreadCounts) {
+      const std::vector<Strategy> got =
+          AllOptima(cache, full, c.space, ParallelOptions{threads, &pool});
+      std::vector<std::string> rendered;
+      for (const Strategy& s : got) {
+        rendered.push_back(s.ToStringWithScheme(db.scheme()));
+      }
+      EXPECT_EQ(rendered, expected)
+          << QueryShapeToString(c.shape) << " n=" << c.n
+          << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelOptimizerTest, SingletonAndTinyMasks) {
+  ThreadPool pool(3);
+  Database db = MakeDb(QueryShape::kChain, 4, 0x7);
+  JoinCache cache(&db);
+  ExactSizeModel model(&cache);
+  for (int threads : kThreadCounts) {
+    const ParallelOptions par{threads, &pool};
+    auto dp = OptimizeDp(db.scheme(), SingletonMask(2), model,
+                         {SearchSpace::kBushy, true, par});
+    ASSERT_TRUE(dp.has_value()) << "threads=" << threads;
+    EXPECT_EQ(dp->cost, 0u);
+    EXPECT_TRUE(dp->strategy.IsTrivial());
+    auto ex = OptimizeExhaustive(cache, SingletonMask(2), StrategySpace::kAll,
+                                 par);
+    ASSERT_TRUE(ex.has_value());
+    EXPECT_EQ(ex->cost, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace taujoin
