@@ -17,8 +17,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
+
+#include "common/metrics.h"
 
 namespace taujoin {
 namespace bench {
@@ -31,19 +35,53 @@ inline constexpr bool kReleaseBuild = false;
 inline constexpr const char* kBuildType = "debug";
 #endif
 
+/// Splices the process-wide metrics snapshot into an already-written
+/// benchmark JSON artifact as a top-level `taujoin_metrics` object, so
+/// every BENCH_*.json records the memo hit rate, pool steal counts and
+/// phase timings of the run that produced it. The google-benchmark JSON
+/// reporter writes its context before benchmarks run, which is too early
+/// for run metrics — hence the post-run splice before the final `}`.
+inline void EmbedMetricsSnapshot(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return;  // artifact intentionally not written (non-Release gate)
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  in.close();
+  std::string content = buffer.str();
+  const size_t brace = content.find_last_of('}');
+  if (brace == std::string::npos) {
+    std::fprintf(stderr, "taujoin: %s is not a JSON object; metrics snapshot "
+                 "not embedded\n", path.c_str());
+    return;
+  }
+  const std::string snapshot =
+      ",\n  \"taujoin_metrics\": " + MetricsRegistry::Global().Snapshot().ToJson() +
+      "\n";
+  content.insert(brace, snapshot);
+  std::ofstream out(path, std::ios::trunc);
+  out << content;
+}
+
 /// Runs all registered benchmarks with shared provenance handling:
 ///  * stamps `taujoin_build_type` into the benchmark context (and thus
 ///    into every JSON artifact);
 ///  * appends `--benchmark_out=<default_out>` (JSON) unless the caller
 ///    passed an explicit --benchmark_out;
 ///  * in a non-Release build, refuses to write the default artifact and
-///    prints a loud warning instead of silently recording debug numbers.
+///    prints a loud warning instead of silently recording debug numbers;
+///  * embeds the MetricsRegistry snapshot into whichever JSON artifact
+///    the run produced (see EmbedMetricsSnapshot).
 inline int RunBenchmarks(int argc, char** argv, const char* default_out) {
   benchmark::AddCustomContext("taujoin_build_type", kBuildType);
 
   bool has_out = false;
+  std::string artifact_path;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+    const std::string arg(argv[i]);
+    if (arg.rfind("--benchmark_out=", 0) == 0) {
+      has_out = true;
+      artifact_path = arg.substr(std::string("--benchmark_out=").size());
+    }
   }
 
   const char* allow = std::getenv("TAUJOIN_ALLOW_NONRELEASE_JSON");
@@ -57,6 +95,7 @@ inline int RunBenchmarks(int argc, char** argv, const char* default_out) {
     if (kReleaseBuild || allow_nonrelease) {
       args.push_back(out.data());
       args.push_back(format.data());
+      artifact_path = default_out;
     } else {
       std::fprintf(stderr,
                    "\n*** TAUJOIN WARNING ***\n"
@@ -80,6 +119,8 @@ inline int RunBenchmarks(int argc, char** argv, const char* default_out) {
   if (benchmark::ReportUnrecognizedArguments(arg_count, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!artifact_path.empty()) EmbedMetricsSnapshot(artifact_path);
+  MaybeReportProcessMetrics();
   return 0;
 }
 

@@ -22,6 +22,8 @@
 #include "workload/generator.h"
 #include "workload/star_schema.h"
 
+#include "common/metrics.h"
+
 using namespace taujoin;  // NOLINT
 
 int main() {
@@ -211,5 +213,6 @@ int main() {
         "question is genuinely open, and these are concrete near-miss\n"
         "instances.\n");
   }
+  taujoin::MaybeReportProcessMetrics();
   return 0;
 }

@@ -20,6 +20,8 @@
 #include "workload/generator.h"
 #include "workload/keyed_generator.h"
 
+#include "common/metrics.h"
+
 using namespace taujoin;  // NOLINT
 
 namespace {
@@ -188,5 +190,6 @@ int main() {
         "when they fail the restriction can cost real factors — the risk\n"
         "the paper quantifies via its counterexamples.\n");
   }
+  taujoin::MaybeReportProcessMetrics();
   return 0;
 }

@@ -19,6 +19,8 @@
 #include "report/table.h"
 #include "workload/generator.h"
 
+#include "common/metrics.h"
+
 using namespace taujoin;  // NOLINT
 
 int main() {
@@ -90,5 +92,6 @@ int main() {
       "opening sentence measured. A 'typical' (median) strategy is already\n"
       "far from optimal, which is why optimizers search at all; the rest\n"
       "of the paper asks when the *cheap* searches are safe.\n");
+  taujoin::MaybeReportProcessMetrics();
   return 0;
 }

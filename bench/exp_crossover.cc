@@ -19,6 +19,8 @@
 #include "report/table.h"
 #include "workload/example_families.h"
 
+#include "common/metrics.h"
+
 using namespace taujoin;  // NOLINT
 
 int main() {
@@ -84,5 +86,6 @@ int main() {
         "the largest s at which C2 still holds, so the published instance\n"
         "is extremal in two directions at once.\n");
   }
+  taujoin::MaybeReportProcessMetrics();
   return 0;
 }

@@ -14,6 +14,8 @@
 #include "workload/generator.h"
 #include "workload/mini_tpch.h"
 
+#include "common/metrics.h"
+
 using namespace taujoin;  // NOLINT
 
 int main() {
@@ -135,5 +137,6 @@ int main() {
         "tuple counts and replacing statistical assumptions with semantic\n"
         "conditions (C1-C4) — these tables measure the gap it sidesteps.\n");
   }
+  taujoin::MaybeReportProcessMetrics();
   return 0;
 }

@@ -12,6 +12,8 @@
 #include "report/table.h"
 #include "workload/paper_data.h"
 
+#include "common/metrics.h"
+
 using namespace taujoin;  // NOLINT
 
 int main() {
@@ -80,5 +82,6 @@ int main() {
     std::printf("\noptimum strategy: %s\n",
                 optimum->strategy.ToString(db).c_str());
   }
+  taujoin::MaybeReportProcessMetrics();
   return 0;
 }

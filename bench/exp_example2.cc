@@ -7,6 +7,8 @@
 #include "report/table.h"
 #include "workload/paper_data.h"
 
+#include "common/metrics.h"
+
 using namespace taujoin;  // NOLINT
 
 int main() {
@@ -47,5 +49,6 @@ int main() {
     }
     std::printf("\nConclusion (paper): C1 and C2 are independent.\n");
   }
+  taujoin::MaybeReportProcessMetrics();
   return 0;
 }

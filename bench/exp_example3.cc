@@ -11,6 +11,8 @@
 #include "report/table.h"
 #include "workload/paper_data.h"
 
+#include "common/metrics.h"
+
 using namespace taujoin;  // NOLINT
 
 int main() {
@@ -69,5 +71,6 @@ int main() {
         "to C1 — with only C1, an optimal linear strategy may use Cartesian\n"
         "products.\n");
   }
+  taujoin::MaybeReportProcessMetrics();
   return 0;
 }

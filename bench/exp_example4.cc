@@ -11,6 +11,8 @@
 #include "report/table.h"
 #include "workload/paper_data.h"
 
+#include "common/metrics.h"
+
 using namespace taujoin;  // NOLINT
 
 int main() {
@@ -72,5 +74,6 @@ int main() {
         "products can miss the tau-optimum when C1 fails — C1 is necessary\n"
         "in Theorem 2.\n");
   }
+  taujoin::MaybeReportProcessMetrics();
   return 0;
 }

@@ -12,6 +12,8 @@
 #include "report/table.h"
 #include "workload/paper_data.h"
 
+#include "common/metrics.h"
+
 using namespace taujoin;  // NOLINT
 
 int main() {
@@ -79,5 +81,6 @@ int main() {
         static_cast<unsigned long long>(linear_nocp->cost),
         static_cast<unsigned long long>(TauCost(optima[0], cache)));
   }
+  taujoin::MaybeReportProcessMetrics();
   return 0;
 }

@@ -14,6 +14,8 @@
 #include "report/table.h"
 #include "workload/generator.h"
 
+#include "common/metrics.h"
+
 using namespace taujoin;  // NOLINT
 
 int main() {
@@ -68,5 +70,6 @@ int main() {
       "absent on cliques where every linear order can follow selectivity.\n"
       "Exact ratios differ from GAMMA's 1990 hardware numbers; the\n"
       "*ordering* is what the reproduction targets.\n");
+  taujoin::MaybeReportProcessMetrics();
   return 0;
 }

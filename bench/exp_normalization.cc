@@ -16,6 +16,8 @@
 #include "report/table.h"
 #include "workload/decomposed.h"
 
+#include "common/metrics.h"
+
 using namespace taujoin;  // NOLINT
 
 int main() {
@@ -76,5 +78,6 @@ int main() {
         "FD-based design ⇒ C2 ⇒ (with C1) optimizers may safely skip\n"
         "Cartesian products.\n");
   }
+  taujoin::MaybeReportProcessMetrics();
   return 0;
 }

@@ -20,6 +20,8 @@
 #include "workload/keyed_generator.h"
 #include "workload/mini_tpch.h"
 
+#include "common/metrics.h"
+
 using namespace taujoin;  // NOLINT
 
 int main() {
@@ -226,5 +228,6 @@ int main() {
         "us when such restricted searches are safe in principle, and IKKBZ\n"
         "shows what provable optimality under a *model* buys at scale.\n");
   }
+  taujoin::MaybeReportProcessMetrics();
   return 0;
 }

@@ -13,6 +13,8 @@
 #include "report/table.h"
 #include "scheme/query_graph.h"
 
+#include "common/metrics.h"
+
 using namespace taujoin;  // NOLINT
 
 int main() {
@@ -102,5 +104,6 @@ int main() {
         "versus the exponential subset-split count — the engineering payoff\n"
         "of knowing (via the paper) that skipping products is safe.\n");
   }
+  taujoin::MaybeReportProcessMetrics();
   return 0;
 }

@@ -17,6 +17,8 @@
 #include "report/stats.h"
 #include "report/table.h"
 
+#include "common/metrics.h"
+
 using namespace taujoin;  // NOLINT
 
 namespace {
@@ -184,5 +186,6 @@ int main() {
         "question — the measured ratios show linear orders remain close\n"
         "but are not always exactly optimal.\n");
   }
+  taujoin::MaybeReportProcessMetrics();
   return 0;
 }

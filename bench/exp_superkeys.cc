@@ -16,6 +16,8 @@
 #include "workload/keyed_generator.h"
 #include "workload/star_schema.h"
 
+#include "common/metrics.h"
+
 using namespace taujoin;  // NOLINT
 
 int main() {
@@ -123,5 +125,6 @@ int main() {
                   : "no");
     t.Print();
   }
+  taujoin::MaybeReportProcessMetrics();
   return 0;
 }

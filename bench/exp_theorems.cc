@@ -20,6 +20,8 @@
 #include "workload/keyed_generator.h"
 #include "workload/star_schema.h"
 
+#include "common/metrics.h"
+
 using namespace taujoin;  // NOLINT
 
 namespace {
@@ -293,5 +295,6 @@ int main() {
     }
     table.Print();
   }
+  taujoin::MaybeReportProcessMetrics();
   return 0;
 }

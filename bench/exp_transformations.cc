@@ -23,6 +23,8 @@
 #include "workload/generator.h"
 #include "workload/keyed_generator.h"
 
+#include "common/metrics.h"
+
 using namespace taujoin;  // NOLINT
 
 namespace {
@@ -227,5 +229,6 @@ int main() {
       "\nEach row replays one of the paper's proof transformations\n"
       "(Figures 1-6) on randomized condition-satisfying databases and\n"
       "verifies the cost identity the proof depends on.\n");
+  taujoin::MaybeReportProcessMetrics();
   return 0;
 }

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "common/metrics.h"
 #include "core/builder.h"
 #include "core/conditions.h"
 #include "core/cost.h"
@@ -57,6 +58,23 @@ int main() {
   PrintSection("EXPLAIN ANALYZE");
   EvaluationTrace trace = ExecuteStrategy(db, chosen.plan.strategy);
   std::printf("%s", trace.ToString(db).c_str());
+
+  // The trace above shows the plan's own joins; the registry shows what
+  // the machinery did to find the plan — memo hit rate, kernel timings,
+  // pool activity. Together they are the full EXPLAIN ANALYZE story.
+  PrintSection("Observability registry (process-wide)");
+  MetricsSnapshot metrics = MetricsRegistry::Global().Snapshot();
+  std::printf("%s", metrics.ToString().c_str());
+  uint64_t memo_hits = 0, memo_misses = 0;
+  for (const auto& [name, value] : metrics.counters) {
+    if (name == "cost_engine.memo_hits") memo_hits = value;
+    if (name == "cost_engine.memo_misses") memo_misses = value;
+  }
+  if (memo_hits + memo_misses > 0) {
+    std::printf("memo hit rate: %.1f%%\n",
+                100.0 * static_cast<double>(memo_hits) /
+                    static_cast<double>(memo_hits + memo_misses));
+  }
 
   PrintSection("Semijoin pre-pass (Bernstein-Chiu full reducer)");
   StatusOr<SemijoinProgram> program =

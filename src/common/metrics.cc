@@ -1,0 +1,288 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+namespace taujoin {
+
+namespace metrics_internal {
+
+namespace {
+
+bool EnabledFromEnv() {
+  const char* value = std::getenv("TAUJOIN_METRICS");
+  if (value == nullptr) return true;
+  std::string text(value);
+  for (char& c : text) c = static_cast<char>(std::tolower(c));
+  return !(text == "off" || text == "0" || text == "false" || text == "no");
+}
+
+}  // namespace
+
+std::atomic<bool> g_metrics_enabled{EnabledFromEnv()};
+
+}  // namespace metrics_internal
+
+void SetMetricsEnabledForTest(bool enabled) {
+  metrics_internal::g_metrics_enabled.store(enabled,
+                                            std::memory_order_relaxed);
+}
+
+void Timer::Record(uint64_t nanos) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+  uint64_t seen = min_nanos_.load(std::memory_order_relaxed);
+  while (nanos < seen &&
+         !min_nanos_.compare_exchange_weak(seen, nanos,
+                                           std::memory_order_relaxed)) {
+  }
+  seen = max_nanos_.load(std::memory_order_relaxed);
+  while (nanos > seen &&
+         !max_nanos_.compare_exchange_weak(seen, nanos,
+                                           std::memory_order_relaxed)) {
+  }
+  // Bucket b holds durations in [2^(b-1), 2^b) ns; bucket 0 holds 0-1 ns.
+  const int bucket = nanos == 0 ? 0 : 64 - std::countl_zero(nanos);
+  buckets_[std::min(bucket, kBuckets - 1)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+TimerSnapshot Timer::Snapshot(const std::string& name) const {
+  TimerSnapshot snap;
+  snap.name = name;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.total_nanos = total_nanos_.load(std::memory_order_relaxed);
+  const uint64_t min = min_nanos_.load(std::memory_order_relaxed);
+  snap.min_nanos = min == UINT64_MAX ? 0 : min;
+  snap.max_nanos = max_nanos_.load(std::memory_order_relaxed);
+
+  // Quantiles from the log2 histogram: report the upper bound of the
+  // bucket the quantile lands in (an at-most-2x overestimate).
+  uint64_t counts[kBuckets];
+  uint64_t total = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+    total += counts[b];
+  }
+  auto quantile = [&](double q) -> uint64_t {
+    if (total == 0) return 0;
+    const uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total));
+    uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      seen += counts[b];
+      if (seen > rank) {
+        const uint64_t upper =
+            b >= 63 ? UINT64_MAX : (uint64_t{1} << b);
+        return std::min(upper, snap.max_nanos);
+      }
+    }
+    return snap.max_nanos;
+  };
+  snap.p50_nanos = quantile(0.50);
+  snap.p99_nanos = quantile(0.99);
+  return snap;
+}
+
+void Timer::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  total_nanos_.store(0, std::memory_order_relaxed);
+  min_nanos_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_nanos_.store(0, std::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Intentionally leaked: pool workers may still bump counters while
+  // static destructors run; a leaked registry can never dangle under them.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Timer* MetricsRegistry::GetTimer(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = timers_[name];
+  if (slot == nullptr) slot = std::make_unique<Timer>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->value());
+  }
+  snap.timers.reserve(timers_.size());
+  for (const auto& [name, timer] : timers_) {
+    snap.timers.push_back(timer->Snapshot(name));
+  }
+  return snap;  // std::map iteration: already sorted by name
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, timer] : timers_) timer->Reset();
+}
+
+namespace {
+
+void AppendJsonString(std::string& out, const std::string& text) {
+  out += '"';
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+}
+
+std::string FormatNanos(uint64_t nanos) {
+  char buffer[64];
+  if (nanos >= 1'000'000'000ULL) {
+    std::snprintf(buffer, sizeof(buffer), "%.3fs",
+                  static_cast<double>(nanos) / 1e9);
+  } else if (nanos >= 1'000'000ULL) {
+    std::snprintf(buffer, sizeof(buffer), "%.3fms",
+                  static_cast<double>(nanos) / 1e6);
+  } else if (nanos >= 1'000ULL) {
+    std::snprintf(buffer, sizeof(buffer), "%.3fus",
+                  static_cast<double>(nanos) / 1e3);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%" PRIu64 "ns", nanos);
+  }
+  return buffer;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n    \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += first ? "\n      " : ",\n      ";
+    first = false;
+    AppendJsonString(out, name);
+    out += ": " + std::to_string(value);
+  }
+  out += first ? "},\n" : "\n    },\n";
+  out += "    \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out += first ? "\n      " : ",\n      ";
+    first = false;
+    AppendJsonString(out, name);
+    out += ": " + std::to_string(value);
+  }
+  out += first ? "},\n" : "\n    },\n";
+  out += "    \"timers\": {";
+  first = true;
+  for (const TimerSnapshot& timer : timers) {
+    out += first ? "\n      " : ",\n      ";
+    first = false;
+    AppendJsonString(out, timer.name);
+    out += ": {\"count\": " + std::to_string(timer.count);
+    out += ", \"total_ns\": " + std::to_string(timer.total_nanos);
+    out += ", \"min_ns\": " + std::to_string(timer.min_nanos);
+    out += ", \"max_ns\": " + std::to_string(timer.max_nanos);
+    out += ", \"p50_ns\": " + std::to_string(timer.p50_nanos);
+    out += ", \"p99_ns\": " + std::to_string(timer.p99_nanos);
+    out += "}";
+  }
+  out += first ? "}\n  }" : "\n    }\n  }";
+  return out;
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::string out;
+  size_t width = 0;
+  for (const auto& [name, value] : counters) width = std::max(width, name.size());
+  for (const auto& [name, value] : gauges) width = std::max(width, name.size());
+  for (const TimerSnapshot& timer : timers) {
+    width = std::max(width, timer.name.size());
+  }
+  char line[256];
+  for (const auto& [name, value] : counters) {
+    std::snprintf(line, sizeof(line), "%-*s  %" PRIu64 "\n",
+                  static_cast<int>(width), name.c_str(), value);
+    out += line;
+  }
+  for (const auto& [name, value] : gauges) {
+    std::snprintf(line, sizeof(line), "%-*s  %" PRId64 " (gauge)\n",
+                  static_cast<int>(width), name.c_str(), value);
+    out += line;
+  }
+  for (const TimerSnapshot& timer : timers) {
+    std::snprintf(line, sizeof(line),
+                  "%-*s  n=%-8" PRIu64 " total=%-10s p50=%-10s p99=%-10s "
+                  "max=%s\n",
+                  static_cast<int>(width), timer.name.c_str(), timer.count,
+                  FormatNanos(timer.total_nanos).c_str(),
+                  FormatNanos(timer.p50_nanos).c_str(),
+                  FormatNanos(timer.p99_nanos).c_str(),
+                  FormatNanos(timer.max_nanos).c_str());
+    out += line;
+  }
+  if (out.empty()) out = "(no metrics recorded)\n";
+  return out;
+}
+
+void MaybeReportProcessMetrics() {
+  const char* json_path = std::getenv("TAUJOIN_METRICS_JSON");
+  const char* report = std::getenv("TAUJOIN_METRICS_REPORT");
+  const bool want_report =
+      report != nullptr && report[0] != '\0' && std::strcmp(report, "0") != 0;
+  if (json_path == nullptr && !want_report) return;
+
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  if (json_path != nullptr && json_path[0] != '\0') {
+    std::ofstream out(json_path);
+    if (out) {
+      out << "{\n  \"taujoin_metrics\": " << snap.ToJson() << "\n}\n";
+    } else {
+      std::fprintf(stderr, "taujoin: cannot write metrics JSON to %s\n",
+                   json_path);
+    }
+  }
+  if (want_report) {
+    std::fprintf(stderr, "---- taujoin metrics ----\n%s",
+                 snap.ToString().c_str());
+  }
+}
+
+}  // namespace taujoin

@@ -1,0 +1,231 @@
+#ifndef TAUJOIN_COMMON_METRICS_H_
+#define TAUJOIN_COMMON_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace taujoin {
+
+/// Lightweight process observability: a registry of named counters, gauges
+/// and histogram-backed timers, plus RAII Span scopes that record phase
+/// timings. Everything the parallel search touches — the CostEngine memo,
+/// the ThreadPool queues, the optimizer level/layer loops — reports here,
+/// and MetricsSnapshot renders one consistent view (ToJson for bench
+/// artifacts, ToString for EXPLAIN ANALYZE reports).
+///
+/// Design constraint: zero overhead when idle. Counter bumps are relaxed
+/// atomic adds behind one relaxed bool load; Spans are stack objects that
+/// skip both clock reads when collection is off; instrument lookups are
+/// amortized through function-local statics in the TAUJOIN_METRIC_* macros.
+/// TAUJOIN_METRICS=off (or 0/false/no) is the runtime kill-switch, and
+/// defining TAUJOIN_DISABLE_METRICS at compile time removes the macro
+/// bodies entirely.
+
+namespace metrics_internal {
+/// Runtime collection switch, initialized from TAUJOIN_METRICS before main.
+extern std::atomic<bool> g_metrics_enabled;
+}  // namespace metrics_internal
+
+/// True when metric collection is live (one relaxed load — hot-path safe).
+inline bool MetricsEnabled() {
+  return metrics_internal::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+/// Test hook: overrides the TAUJOIN_METRICS environment decision.
+void SetMetricsEnabledForTest(bool enabled);
+
+/// Monotonically increasing event count (relaxed atomic).
+class Counter {
+ public:
+  void Add(uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (queue depth, live workers).
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Aggregated view of one Timer at snapshot time. Percentiles are the
+/// upper bounds of the log2 histogram buckets the quantile falls in, so
+/// they are ≤2x overestimates — good enough to rank phases.
+struct TimerSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t total_nanos = 0;
+  uint64_t min_nanos = 0;
+  uint64_t max_nanos = 0;
+  uint64_t p50_nanos = 0;
+  uint64_t p99_nanos = 0;
+};
+
+/// Duration accumulator: count/sum/min/max plus a 64-bucket log2 histogram
+/// of nanoseconds. All state is atomic; Record is wait-free except for the
+/// min/max CAS loops (rarely contended — they only loop on new extremes).
+class Timer {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Record(uint64_t nanos);
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t total_nanos() const {
+    return total_nanos_.load(std::memory_order_relaxed);
+  }
+  TimerSnapshot Snapshot(const std::string& name) const;
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> total_nanos_{0};
+  std::atomic<uint64_t> min_nanos_{UINT64_MAX};
+  std::atomic<uint64_t> max_nanos_{0};
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+};
+
+/// RAII phase scope: measures from construction to destruction and records
+/// into `timer`. When collection is off (or `timer` is null) neither clock
+/// is read. Stack-only by design.
+class Span {
+ public:
+  explicit Span(Timer* timer) : timer_(MetricsEnabled() ? timer : nullptr) {
+    if (timer_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() {
+    if (timer_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    timer_->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+  }
+
+ private:
+  Timer* timer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Point-in-time copy of every registered instrument, sorted by name.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<TimerSnapshot> timers;
+
+  /// Machine-readable rendering:
+  /// {"counters":{...},"gauges":{...},"timers":{name:{count,...},...}}.
+  std::string ToJson() const;
+  /// Aligned human-readable report (EXPLAIN ANALYZE section).
+  std::string ToString() const;
+};
+
+/// Named instrument registry. Instruments are created on first use, never
+/// destroyed, and their addresses are stable for the registry's lifetime,
+/// so call sites cache the pointer once (the TAUJOIN_METRIC_* macros do
+/// this with a function-local static). `Global()` is the process-wide
+/// instance every library component reports to; it is intentionally leaked
+/// so worker threads draining at exit never race its destruction. Local
+/// instances are for tests.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Timer* GetTimer(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered instrument (identities and addresses keep).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Timer>> timers_;
+};
+
+/// Experiment-binary hook: honors TAUJOIN_METRICS_JSON=<path> (write the
+/// global snapshot as JSON to <path>) and TAUJOIN_METRICS_REPORT=1 (print
+/// the human-readable report to stderr). No-op when neither is set.
+void MaybeReportProcessMetrics();
+
+// ---- Instrumentation macros -------------------------------------------
+//
+// Each macro resolves its instrument once (function-local static: the
+// registry map is consulted a single time per call site) and then costs
+// one relaxed bool load plus, when enabled, one relaxed atomic op. With
+// TAUJOIN_DISABLE_METRICS defined the macros expand to nothing.
+
+#ifndef TAUJOIN_DISABLE_METRICS
+
+#define TAUJOIN_METRIC_COUNT(name, delta)                             \
+  do {                                                                \
+    if (::taujoin::MetricsEnabled()) {                                \
+      static ::taujoin::Counter* taujoin_metric_counter_ =            \
+          ::taujoin::MetricsRegistry::Global().GetCounter(name);      \
+      taujoin_metric_counter_->Add(delta);                            \
+    }                                                                 \
+  } while (false)
+
+#define TAUJOIN_METRIC_INCR(name) TAUJOIN_METRIC_COUNT(name, 1)
+
+#define TAUJOIN_METRIC_GAUGE_ADD(name, delta)                         \
+  do {                                                                \
+    if (::taujoin::MetricsEnabled()) {                                \
+      static ::taujoin::Gauge* taujoin_metric_gauge_ =                \
+          ::taujoin::MetricsRegistry::Global().GetGauge(name);        \
+      taujoin_metric_gauge_->Add(delta);                              \
+    }                                                                 \
+  } while (false)
+
+// Declares a named RAII span variable covering the rest of the scope.
+#define TAUJOIN_METRIC_SPAN(var, name)                                \
+  static ::taujoin::Timer* var##_taujoin_timer_ =                     \
+      ::taujoin::MetricsRegistry::Global().GetTimer(name);            \
+  ::taujoin::Span var(var##_taujoin_timer_)
+
+#else  // TAUJOIN_DISABLE_METRICS
+
+#define TAUJOIN_METRIC_COUNT(name, delta) \
+  do {                                    \
+  } while (false)
+#define TAUJOIN_METRIC_INCR(name) \
+  do {                            \
+  } while (false)
+#define TAUJOIN_METRIC_GAUGE_ADD(name, delta) \
+  do {                                        \
+  } while (false)
+#define TAUJOIN_METRIC_SPAN(var, name) \
+  do {                                 \
+  } while (false)
+
+#endif  // TAUJOIN_DISABLE_METRICS
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_COMMON_METRICS_H_

@@ -1,5 +1,6 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -7,6 +8,7 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace taujoin {
 
@@ -58,6 +60,7 @@ ThreadPool::ThreadPool(int workers) {
   for (size_t i = 0; i < count; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
+  TAUJOIN_METRIC_GAUGE_ADD("pool.workers", static_cast<int64_t>(count));
 }
 
 ThreadPool::~ThreadPool() {
@@ -67,19 +70,26 @@ ThreadPool::~ThreadPool() {
   }
   cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  TAUJOIN_METRIC_GAUGE_ADD("pool.workers",
+                           -static_cast<int64_t>(workers_.size()));
 }
 
 ThreadPool& ThreadPool::Global() {
   // One fewer worker than the resolved parallelism: the caller of every
   // ParallelFor is an executor too, so TAUJOIN_THREADS=k yields exactly k
-  // concurrent strands and k=1 creates no threads at all.
-  static ThreadPool pool(ResolveThreads(0) - 1);
+  // concurrent strands and k=1 creates no threads at all. The clamp keeps
+  // the single-core / TAUJOIN_THREADS=1 case at exactly zero workers
+  // (ParallelFor then runs inline on the caller and Submit degrades to
+  // synchronous execution — progress never depends on a worker existing).
+  static ThreadPool pool(std::max(0, ResolveThreads(0) - 1));
   return pool;
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   TAUJOIN_CHECK(task != nullptr);
+  TAUJOIN_METRIC_INCR("pool.tasks_submitted");
   if (queues_.empty()) {  // no workers: degrade to synchronous execution
+    TAUJOIN_METRIC_INCR("pool.tasks_inline");
     task();
     return;
   }
@@ -87,6 +97,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mu_);
     queues_[next_queue_]->tasks.push_back(std::move(task));
     next_queue_ = (next_queue_ + 1) % queues_.size();
+    TAUJOIN_METRIC_GAUGE_ADD("pool.queue_depth", 1);
   }
   cv_.notify_one();
 }
@@ -104,7 +115,9 @@ std::function<void()> ThreadPool::NextTask(size_t self) {
     } else {
       task = std::move(queue.tasks.back());
       queue.tasks.pop_back();
+      TAUJOIN_METRIC_INCR("pool.steals");
     }
+    TAUJOIN_METRIC_GAUGE_ADD("pool.queue_depth", -1);
     return task;
   }
   return nullptr;
@@ -119,9 +132,13 @@ void ThreadPool::WorkerLoop(size_t self) {
         // Drain-then-stop: queued tasks still run after stop_ is raised,
         // so the destructor never strands a ParallelFor helper.
         if (stop_) return;
+        // The wait releases mu_, so the idle span measures genuine worker
+        // starvation, not lock contention.
+        TAUJOIN_METRIC_SPAN(idle, "pool.worker_idle");
         cv_.wait(lock);
       }
     }
+    TAUJOIN_METRIC_INCR("pool.tasks_executed");
     task();  // outside the lock; an escaped exception std::terminates
   }
 }
@@ -167,6 +184,8 @@ void ThreadPool::ParallelFor(int64_t count,
                              const std::function<void(int64_t)>& fn,
                              int parallelism) {
   if (count <= 0) return;
+  TAUJOIN_METRIC_INCR("pool.parallel_fors");
+  TAUJOIN_METRIC_SPAN(loop_span, "pool.parallel_for");
   const int total = parallelism > 0 ? parallelism : worker_count() + 1;
   const int64_t helpers =
       std::min<int64_t>({static_cast<int64_t>(total) - 1,

@@ -2,6 +2,7 @@
 
 #include "common/checked_math.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "relational/count_join.h"
 #include "relational/join.h"
 
@@ -38,10 +39,12 @@ const Relation& CostEngine::ConnectedState(RelMask mask) {
     auto it = shard.states.find(mask);
     if (it != shard.states.end()) {
       stats_.hits.fetch_add(1, std::memory_order_relaxed);
+      TAUJOIN_METRIC_INCR("cost_engine.memo_hits");
       return it->second;
     }
   }
   stats_.misses.fetch_add(1, std::memory_order_relaxed);
+  TAUJOIN_METRIC_INCR("cost_engine.memo_misses");
   TAUJOIN_CHECK(db_->scheme().Connected(mask))
       << "ConnectedState on unconnected subset "
       << db_->scheme().MaskToString(mask);
@@ -51,7 +54,12 @@ const Relation& CostEngine::ConnectedState(RelMask mask) {
   // recursion takes other shard locks, and the join may be expensive.
   const int split = SpanningTreeLeaf(mask);
   const Relation& rest_state = ConnectedState(mask & ~SingletonMask(split));
-  Relation state = NaturalJoin(rest_state, db_->state(split));
+  Relation state = [&] {
+    // Exclusive kernel time: the recursive materialization above times its
+    // own joins, so memo-compute totals add up instead of nesting.
+    TAUJOIN_METRIC_SPAN(compute, "cost_engine.memo_compute.materialize");
+    return NaturalJoin(rest_state, db_->state(split));
+  }();
 
   std::lock_guard<std::mutex> lock(shard.mu);
   auto [it, inserted] = shard.states.emplace(mask, std::move(state));
@@ -61,6 +69,9 @@ const Relation& CostEngine::ConnectedState(RelMask mask) {
     // index); the shared dictionary is reported separately in stats().
     stats_.materialized_bytes.fetch_add(it->second.StorageBytes(),
                                         std::memory_order_relaxed);
+    TAUJOIN_METRIC_INCR("cost_engine.states_materialized");
+    TAUJOIN_METRIC_COUNT("cost_engine.materialized_bytes",
+                         it->second.StorageBytes());
     // The state's cardinality is its τ — record it for free.
     shard.taus.emplace(mask, it->second.Tau());
   }
@@ -76,10 +87,12 @@ uint64_t CostEngine::ConnectedTau(RelMask mask) {
     auto it = shard.taus.find(mask);
     if (it != shard.taus.end()) {
       stats_.hits.fetch_add(1, std::memory_order_relaxed);
+      TAUJOIN_METRIC_INCR("cost_engine.memo_hits");
       return it->second;
     }
   }
   stats_.misses.fetch_add(1, std::memory_order_relaxed);
+  TAUJOIN_METRIC_INCR("cost_engine.memo_misses");
   TAUJOIN_CHECK(db_->scheme().Connected(mask))
       << "Tau on unconnected component " << db_->scheme().MaskToString(mask);
 
@@ -88,8 +101,12 @@ uint64_t CostEngine::ConnectedTau(RelMask mask) {
   // join — the subset's own output is never built.
   const int split = SpanningTreeLeaf(mask);
   const Relation& rest_state = ConnectedState(mask & ~SingletonMask(split));
-  const uint64_t tau = CountNaturalJoin(rest_state, db_->state(split));
+  const uint64_t tau = [&] {
+    TAUJOIN_METRIC_SPAN(compute, "cost_engine.memo_compute.count");
+    return CountNaturalJoin(rest_state, db_->state(split));
+  }();
   stats_.counted.fetch_add(1, std::memory_order_relaxed);
+  TAUJOIN_METRIC_INCR("cost_engine.tau_counted");
 
   std::lock_guard<std::mutex> lock(shard.mu);
   shard.taus.emplace(mask, tau);

@@ -13,6 +13,14 @@
 namespace taujoin {
 
 /// Aggregate counters of one CostEngine (for reporting / experiments).
+///
+/// Every field is also mirrored, process-wide, into the MetricsRegistry
+/// (common/metrics.h) under the `cost_engine.*` names — memo_hits,
+/// memo_misses, tau_counted, states_materialized, materialized_bytes —
+/// plus exclusive kernel timers `cost_engine.memo_compute.count` /
+/// `.materialize` for the miss paths. stats() stays the exact per-engine
+/// view (benchmarks build many engines); the registry is the across-all-
+/// engines view a snapshot or EXPLAIN ANALYZE report shows.
 struct CostEngineStats {
   uint64_t hits = 0;                ///< memo lookups answered from cache
   uint64_t misses = 0;              ///< memo lookups that had to compute

@@ -42,6 +42,12 @@ std::vector<Token> Tokenize(std::string_view text) {
 
 class Parser {
  public:
+  /// ParseExpr recurses once per '(', so adversarial input like
+  /// "((((((..." would otherwise run the thread out of stack. 256 levels
+  /// is far deeper than any real strategy (a 64-relation database needs
+  /// at most 63) while keeping worst-case stack usage trivially bounded.
+  static constexpr int kMaxNestingDepth = 256;
+
   Parser(const Database& db, std::vector<Token> tokens)
       : db_(db), tokens_(std::move(tokens)) {}
 
@@ -75,6 +81,12 @@ class Parser {
     if (token.kind != Token::kOpen) {
       return InvalidArgumentError("expected '(' or relation name");
     }
+    if (depth_ >= kMaxNestingDepth) {
+      return InvalidArgumentError(
+          "strategy nesting exceeds the depth limit (" +
+          std::to_string(kMaxNestingDepth) + " levels of parentheses)");
+    }
+    ++depth_;
     ++pos_;  // consume '('
     StatusOr<Strategy> left = ParseExpr();
     if (!left.ok()) return left;
@@ -84,6 +96,7 @@ class Parser {
       return InvalidArgumentError("expected ')'");
     }
     ++pos_;
+    --depth_;
     return Strategy::MakeJoin(*left, *right);
   }
 
@@ -100,6 +113,7 @@ class Parser {
   const Database& db_;
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int depth_ = 0;
   RelMask used_ = 0;
 };
 

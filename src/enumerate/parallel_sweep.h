@@ -5,6 +5,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 
@@ -51,6 +52,8 @@ auto ParallelSweep(int count, Fn&& fn, const ParallelSweepOptions& options = {})
                 "of per-trial measurements and aggregate after the sweep");
   std::vector<Result> results(static_cast<size_t>(count > 0 ? count : 0));
   if (count <= 0) return results;
+  TAUJOIN_METRIC_SPAN(sweep_span, "sweep.total");
+  TAUJOIN_METRIC_COUNT("sweep.trials", static_cast<uint64_t>(count));
 
   const int threads = ResolveThreads(options.threads);
   ThreadPool& pool =

@@ -1,5 +1,6 @@
 #include "enumerate/sampling.h"
 
+#include "common/checked_math.h"
 #include "common/logging.h"
 #include "enumerate/subsets.h"
 
@@ -35,25 +36,43 @@ uint64_t StrategySampler::Count(RelMask mask) {
   if (PopCount(mask) == 1) return 1;
   auto it = counts_.find(mask);
   if (it != counts_.end()) return it->second;
+  // Saturating combination: (2n-3)!! trees for kAll overflow uint64 past
+  // n=19, and a wrapped total would both skew the sampling weights and
+  // break the `pick -= weight` walk below. kTauSaturated marks the space
+  // as "too large to count" and Sample refuses it.
   uint64_t total = 0;
   for (const auto& [left, right] : Bipartitions(mask)) {
     if (!PartitionAllowed(left, right)) continue;
-    total += Count(left) * Count(right);
+    total = CheckedAddSat(total, CheckedMulSat(Count(left), Count(right)));
   }
   counts_[mask] = total;
   return total;
 }
 
-Strategy StrategySampler::Sample(RelMask mask, Rng& rng) {
+StatusOr<Strategy> StrategySampler::Sample(RelMask mask, Rng& rng) {
   if (PopCount(mask) == 1) return Strategy::MakeLeaf(LowestBitIndex(mask));
   uint64_t total = Count(mask);
-  TAUJOIN_CHECK_GT(total, 0u) << "empty strategy subspace";
+  if (total == 0) {
+    return InvalidArgumentError("empty strategy subspace for " +
+                                scheme_->MaskToString(mask));
+  }
+  if (total == kTauSaturated) {
+    return OutOfRangeError(
+        "strategy count saturates uint64 for " + scheme_->MaskToString(mask) +
+        "; cannot sample uniformly from a wrapped distribution");
+  }
   uint64_t pick = rng.Uniform(total);
   for (const auto& [left, right] : Bipartitions(mask)) {
     if (!PartitionAllowed(left, right)) continue;
-    uint64_t weight = Count(left) * Count(right);
+    // The weights sum to `total` < kTauSaturated, so no individual
+    // product saturated and the subtraction walk below is exact.
+    uint64_t weight = CheckedMulSat(Count(left), Count(right));
     if (pick < weight) {
-      return Strategy::MakeJoin(Sample(left, rng), Sample(right, rng));
+      StatusOr<Strategy> left_tree = Sample(left, rng);
+      if (!left_tree.ok()) return left_tree;
+      StatusOr<Strategy> right_tree = Sample(right, rng);
+      if (!right_tree.ok()) return right_tree;
+      return Strategy::MakeJoin(*left_tree, *right_tree);
     }
     pick -= weight;
   }
@@ -64,7 +83,9 @@ Strategy StrategySampler::Sample(RelMask mask, Rng& rng) {
 Strategy SampleStrategy(const DatabaseScheme& scheme, RelMask mask,
                         StrategySpace space, Rng& rng) {
   StrategySampler sampler(&scheme, space);
-  return sampler.Sample(mask, rng);
+  StatusOr<Strategy> result = sampler.Sample(mask, rng);
+  TAUJOIN_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
 }
 
 }  // namespace taujoin

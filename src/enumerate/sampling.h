@@ -2,6 +2,7 @@
 #define TAUJOIN_ENUMERATE_SAMPLING_H_
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "core/strategy.h"
 #include "enumerate/strategy_enumerator.h"
 
@@ -10,7 +11,8 @@ namespace taujoin {
 /// Draws a strategy uniformly at random from the given subspace for
 /// `mask`: every tree of the subspace has probability 1/|subspace|. Uses
 /// the counting DP to weight partition choices, so sampling is exact (no
-/// rejection). CHECK-fails if the subspace is empty.
+/// rejection). CHECK-fails if the subspace is empty or its size saturates
+/// uint64 (use StrategySampler::Sample for the recoverable Status).
 Strategy SampleStrategy(const DatabaseScheme& scheme, RelMask mask,
                         StrategySpace space, Rng& rng);
 
@@ -20,10 +22,23 @@ class StrategySampler {
  public:
   StrategySampler(const DatabaseScheme* scheme, StrategySpace space);
 
-  /// Number of strategies in the subspace for `mask`.
+  /// Number of strategies in the subspace for `mask`. Saturates at
+  /// kTauSaturated: strategy-space sizes grow as (2n-3)!! and overflow
+  /// uint64 well before n reaches the 20-relation DP ceiling, so counts
+  /// combine through CheckedMulSat/CheckedAddSat instead of wrapping.
   uint64_t Count(RelMask mask);
 
-  Strategy Sample(RelMask mask, Rng& rng);
+  /// Uniform draw from the subspace. Fails with kInvalidArgument when the
+  /// subspace is empty and kOutOfRange when Count(mask) saturates — a
+  /// wrapped count would silently skew the partition weights, so sampling
+  /// refuses rather than drawing from the wrong distribution.
+  StatusOr<Strategy> Sample(RelMask mask, Rng& rng);
+
+  /// Test hook: plants a memoized count so saturation handling can be
+  /// exercised without enumerating an astronomically large space.
+  void SeedCountForTest(RelMask mask, uint64_t count) {
+    counts_[mask] = count;
+  }
 
  private:
   bool PartitionAllowed(RelMask left, RelMask right) const;

@@ -7,6 +7,7 @@
 
 #include "common/checked_math.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 
 namespace taujoin {
@@ -36,6 +37,7 @@ class DpSolver {
   /// Fills the table for every submask of `mask`; returns the cost of
   /// `mask` itself (kInfeasible when no strategy exists in the space).
   uint64_t Run(RelMask mask) {
+    TAUJOIN_METRIC_SPAN(total, "optimizer.dp.total");
     bits_ = MaskToIndices(mask);
     const int n = static_cast<int>(bits_.size());
     // The flat table is 2^n entries; 20 local relations ≈ 20 MB of table
@@ -68,6 +70,8 @@ class DpSolver {
         const uint32_t ripple = lm + carry;
         lm = (((ripple ^ lm) >> 2) / carry) | ripple;
       }
+      TAUJOIN_METRIC_SPAN(level_span, "optimizer.dp.level");
+      TAUJOIN_METRIC_COUNT("optimizer.dp.subsets_solved", level.size());
       if (parallel && level.size() > 1) {
         options_.parallel.pool_or_global().ParallelFor(
             static_cast<int64_t>(level.size()),

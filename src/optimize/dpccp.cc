@@ -6,6 +6,7 @@
 
 #include "common/checked_math.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "scheme/mask.h"
 
 namespace taujoin {
@@ -116,6 +117,7 @@ std::optional<PlanResult> OptimizeDpCcp(const DatabaseScheme& scheme,
     return PlanResult{Strategy::MakeLeaf(LowestBitIndex(mask)), 0};
   }
   if (!scheme.Connected(mask)) return std::nullopt;
+  TAUJOIN_METRIC_SPAN(total, "optimizer.dpccp.total");
 
   constexpr uint64_t kInfinity = std::numeric_limits<uint64_t>::max();
   struct Entry {
@@ -137,6 +139,8 @@ std::optional<PlanResult> OptimizeDpCcp(const DatabaseScheme& scheme,
   const bool concurrent = threads > 1 && model.thread_safe();
   std::vector<uint64_t> scores;
   for (const auto& layer : layers) {
+    TAUJOIN_METRIC_SPAN(layer_span, "optimizer.dpccp.layer");
+    TAUJOIN_METRIC_COUNT("optimizer.dpccp.pairs_scored", layer.size());
     scores.assign(layer.size(), kInfinity);
     auto score = [&](size_t i) {
       const auto& [s1, s2] = layer[i];

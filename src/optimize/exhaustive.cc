@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "common/metrics.h"
+
 namespace taujoin {
 
 namespace {
@@ -14,12 +16,19 @@ void RunRootTasks(const std::vector<StrategyRootTask>& tasks,
                   const std::function<void(size_t)>& run_slice,
                   const ParallelOptions& parallel) {
   const int threads = parallel.resolved_threads();
+  auto timed_slice = [&](size_t i) {
+    // One span per root-bipartition slice: the EXPLAIN ANALYZE histogram
+    // of these is what shows whether the slices are balanced enough for
+    // the parallel reduction to pay off.
+    TAUJOIN_METRIC_SPAN(slice_span, "optimizer.exhaustive.slice");
+    run_slice(i);
+  };
   if (threads > 1 && tasks.size() > 1) {
     parallel.pool_or_global().ParallelFor(
         static_cast<int64_t>(tasks.size()),
-        [&](int64_t i) { run_slice(static_cast<size_t>(i)); }, threads);
+        [&](int64_t i) { timed_slice(static_cast<size_t>(i)); }, threads);
   } else {
-    for (size_t i = 0; i < tasks.size(); ++i) run_slice(i);
+    for (size_t i = 0; i < tasks.size(); ++i) timed_slice(i);
   }
 }
 
@@ -28,6 +37,7 @@ void RunRootTasks(const std::vector<StrategyRootTask>& tasks,
 std::optional<PlanResult> OptimizeExhaustive(CostEngine& engine, RelMask mask,
                                              StrategySpace space,
                                              const ParallelOptions& parallel) {
+  TAUJOIN_METRIC_SPAN(total, "optimizer.exhaustive.total");
   const std::vector<StrategyRootTask> tasks =
       StrategyRootTasks(engine.db().scheme(), mask, space);
 
@@ -40,6 +50,7 @@ std::optional<PlanResult> OptimizeExhaustive(CostEngine& engine, RelMask mask,
       [&](size_t i) {
         std::optional<PlanResult>& best = slice_best[i];
         tasks[i]([&](const Strategy& s) {
+          TAUJOIN_METRIC_INCR("optimizer.exhaustive.strategies_costed");
           uint64_t cost = TauCost(s, engine);
           if (!best.has_value() || cost < best->cost) {
             best = PlanResult{s, cost};
@@ -64,6 +75,7 @@ std::optional<PlanResult> OptimizeExhaustive(CostEngine& engine, RelMask mask,
 std::vector<Strategy> AllOptima(CostEngine& engine, RelMask mask,
                                 StrategySpace space,
                                 const ParallelOptions& parallel) {
+  TAUJOIN_METRIC_SPAN(total, "optimizer.exhaustive.total");
   const std::vector<StrategyRootTask> tasks =
       StrategyRootTasks(engine.db().scheme(), mask, space);
 
@@ -77,6 +89,7 @@ std::vector<Strategy> AllOptima(CostEngine& engine, RelMask mask,
       [&](size_t i) {
         SliceOptima& slice = slices[i];
         tasks[i]([&](const Strategy& s) {
+          TAUJOIN_METRIC_INCR("optimizer.exhaustive.strategies_costed");
           uint64_t cost = TauCost(s, engine);
           if (!slice.best.has_value() || cost < *slice.best) {
             slice.best = cost;

@@ -4,6 +4,7 @@
 
 #include "common/checked_math.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "relational/kernel_util.h"
 #include "relational/reference_kernels.h"
 
@@ -63,6 +64,7 @@ uint64_t CountJoinFromHistograms(const JoinKeyHistogram& a,
 }
 
 uint64_t CountNaturalJoin(const Relation& left, const Relation& right) {
+  TAUJOIN_METRIC_INCR("kernel.count_natural_join.calls");
   const Schema common = left.schema().Intersect(right.schema());
   if (common.size() == 0) {
     // Cartesian product: every pair matches.

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "relational/kernel_util.h"
 #include "relational/reference_kernels.h"
 
@@ -194,15 +195,22 @@ Relation NestedLoopJoin(const Relation& left, const Relation& right) {
 
 Relation NaturalJoin(const Relation& left, const Relation& right,
                      JoinAlgorithm algorithm) {
-  switch (algorithm) {
-    case JoinAlgorithm::kHash:
-      return HashJoin(left, right);
-    case JoinAlgorithm::kSortMerge:
-      return SortMergeJoin(left, right);
-    case JoinAlgorithm::kNestedLoop:
-      return NestedLoopJoin(left, right);
-  }
-  TAUJOIN_UNREACHABLE();
+  // Per-call instrumentation only (one relaxed atomic each, never
+  // per-tuple): these are what give BENCH_join.json its metrics signal.
+  TAUJOIN_METRIC_INCR("kernel.natural_join.calls");
+  Relation result = [&] {
+    switch (algorithm) {
+      case JoinAlgorithm::kHash:
+        return HashJoin(left, right);
+      case JoinAlgorithm::kSortMerge:
+        return SortMergeJoin(left, right);
+      case JoinAlgorithm::kNestedLoop:
+        return NestedLoopJoin(left, right);
+    }
+    TAUJOIN_UNREACHABLE();
+  }();
+  TAUJOIN_METRIC_COUNT("kernel.natural_join.rows_out", result.size());
+  return result;
 }
 
 Relation CartesianProduct(const Relation& left, const Relation& right) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "relational/kernel_util.h"
 #include "relational/reference_kernels.h"
 
@@ -30,6 +31,7 @@ Relation GatherRows(const Relation& r, const Schema& out,
 }  // namespace
 
 Relation Project(const Relation& r, const Schema& attrs) {
+  TAUJOIN_METRIC_INCR("kernel.project.calls");
   TAUJOIN_CHECK(attrs.IsSubsetOf(r.schema()))
       << "projection attributes " << attrs.ToString() << " not a subset of "
       << r.schema().ToString();
@@ -98,10 +100,12 @@ Relation SemiAntiJoin(const Relation& r, const Relation& s, bool keep) {
 }  // namespace
 
 Relation Semijoin(const Relation& r, const Relation& s) {
+  TAUJOIN_METRIC_INCR("kernel.semijoin.calls");
   return SemiAntiJoin(r, s, /*keep=*/true);
 }
 
 Relation Antijoin(const Relation& r, const Relation& s) {
+  TAUJOIN_METRIC_INCR("kernel.antijoin.calls");
   return SemiAntiJoin(r, s, /*keep=*/false);
 }
 

@@ -1,0 +1,213 @@
+// Metrics subsystem semantics: counter/gauge/timer correctness, span
+// timing, concurrent increments under the ThreadPool, snapshot rendering
+// (ToJson golden), and the TAUJOIN_METRICS=off no-op behavior.
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/thread_pool.h"
+
+namespace taujoin {
+namespace {
+
+TEST(MetricsTest, CounterAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Increment();
+  counter.Add(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(MetricsTest, GaugeTracksLevel) {
+  Gauge gauge;
+  gauge.Set(10);
+  gauge.Add(-3);
+  EXPECT_EQ(gauge.value(), 7);
+  gauge.Add(3);
+  EXPECT_EQ(gauge.value(), 10);
+  gauge.Reset();
+  EXPECT_EQ(gauge.value(), 0);
+}
+
+TEST(MetricsTest, TimerRecordsExtremaAndTotals) {
+  Timer timer;
+  timer.Record(100);
+  timer.Record(1000);
+  timer.Record(10);
+  TimerSnapshot snap = timer.Snapshot("t");
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.total_nanos, 1110u);
+  EXPECT_EQ(snap.min_nanos, 10u);
+  EXPECT_EQ(snap.max_nanos, 1000u);
+  // log2-bucket quantiles are upper bounds, clamped to the observed max.
+  EXPECT_GE(snap.p50_nanos, 100u);
+  EXPECT_LE(snap.p50_nanos, 1000u);
+  EXPECT_LE(snap.p99_nanos, 1000u);
+}
+
+TEST(MetricsTest, EmptyTimerSnapshotIsZero) {
+  Timer timer;
+  TimerSnapshot snap = timer.Snapshot("t");
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.min_nanos, 0u);
+  EXPECT_EQ(snap.max_nanos, 0u);
+  EXPECT_EQ(snap.p50_nanos, 0u);
+}
+
+TEST(MetricsTest, RegistryReturnsStableInstrumentIdentity) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x");
+  Counter* b = registry.GetCounter("x");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, registry.GetCounter("y"));
+  // Distinct namespaces: a timer named "x" is a different instrument.
+  EXPECT_NE(static_cast<void*>(a), static_cast<void*>(registry.GetTimer("x")));
+}
+
+TEST(MetricsTest, SpanRecordsIntoTimer) {
+  Timer timer;
+  {
+    Span span(&timer);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(timer.count(), 1u);
+  EXPECT_GE(timer.total_nanos(), 1'000'000u);  // at least 1ms elapsed
+}
+
+TEST(MetricsTest, ConcurrentIncrementsAreExact) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("concurrent");
+  Timer* timer = registry.GetTimer("concurrent_timer");
+  ThreadPool pool(3);
+  constexpr int64_t kIters = 20000;
+  pool.ParallelFor(kIters, [&](int64_t) {
+    counter->Increment();
+    timer->Record(7);
+  });
+  EXPECT_EQ(counter->value(), static_cast<uint64_t>(kIters));
+  EXPECT_EQ(timer->count(), static_cast<uint64_t>(kIters));
+  EXPECT_EQ(timer->total_nanos(), static_cast<uint64_t>(kIters) * 7);
+}
+
+TEST(MetricsTest, SnapshotIsSortedByName) {
+  MetricsRegistry registry;
+  registry.GetCounter("zebra")->Add(1);
+  registry.GetCounter("alpha")->Add(2);
+  registry.GetCounter("mid")->Add(3);
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].first, "alpha");
+  EXPECT_EQ(snap.counters[1].first, "mid");
+  EXPECT_EQ(snap.counters[2].first, "zebra");
+}
+
+TEST(MetricsTest, ToJsonGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("hits")->Add(5);
+  registry.GetGauge("depth")->Set(-2);
+  registry.GetTimer("phase")->Record(8);  // bucket [4,8): p50/p99 == max == 8
+  const std::string json = registry.Snapshot().ToJson();
+  EXPECT_EQ(json,
+            "{\n"
+            "    \"counters\": {\n"
+            "      \"hits\": 5\n"
+            "    },\n"
+            "    \"gauges\": {\n"
+            "      \"depth\": -2\n"
+            "    },\n"
+            "    \"timers\": {\n"
+            "      \"phase\": {\"count\": 1, \"total_ns\": 8, \"min_ns\": 8, "
+            "\"max_ns\": 8, \"p50_ns\": 8, \"p99_ns\": 8}\n"
+            "    }\n"
+            "  }");
+}
+
+TEST(MetricsTest, ToJsonEmptyRegistry) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.Snapshot().ToJson(),
+            "{\n    \"counters\": {},\n    \"gauges\": {},\n"
+            "    \"timers\": {}\n  }");
+}
+
+TEST(MetricsTest, ToStringMentionsEveryInstrument) {
+  MetricsRegistry registry;
+  registry.GetCounter("cost_engine.memo_hits")->Add(12);
+  registry.GetTimer("optimizer.dp.total")->Record(1500);
+  const std::string report = registry.Snapshot().ToString();
+  EXPECT_NE(report.find("cost_engine.memo_hits"), std::string::npos);
+  EXPECT_NE(report.find("12"), std::string::npos);
+  EXPECT_NE(report.find("optimizer.dp.total"), std::string::npos);
+}
+
+TEST(MetricsTest, ResetZeroesButKeepsIdentity) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("c");
+  counter->Add(9);
+  registry.GetTimer("t")->Record(3);
+  registry.Reset();
+  EXPECT_EQ(counter, registry.GetCounter("c"));
+  EXPECT_EQ(counter->value(), 0u);
+  EXPECT_EQ(registry.GetTimer("t")->count(), 0u);
+}
+
+TEST(MetricsTest, KillSwitchMakesMacrosNoOps) {
+  // The macros consult MetricsEnabled() before touching the registry, so
+  // flipping the switch mid-process freezes every instrument in place.
+  SetMetricsEnabledForTest(true);
+  TAUJOIN_METRIC_INCR("metrics_test.kill_switch");
+  Counter* counter =
+      MetricsRegistry::Global().GetCounter("metrics_test.kill_switch");
+  const uint64_t before = counter->value();
+  EXPECT_GE(before, 1u);
+
+  SetMetricsEnabledForTest(false);
+  TAUJOIN_METRIC_INCR("metrics_test.kill_switch");
+  TAUJOIN_METRIC_COUNT("metrics_test.kill_switch", 100);
+  EXPECT_EQ(counter->value(), before);
+
+  SetMetricsEnabledForTest(true);
+  TAUJOIN_METRIC_INCR("metrics_test.kill_switch");
+  EXPECT_EQ(counter->value(), before + 1);
+}
+
+TEST(MetricsTest, DisabledSpanRecordsNothing) {
+  Timer timer;
+  SetMetricsEnabledForTest(false);
+  {
+    Span span(&timer);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  SetMetricsEnabledForTest(true);
+  EXPECT_EQ(timer.count(), 0u);
+  EXPECT_EQ(timer.total_nanos(), 0u);
+}
+
+TEST(MetricsTest, GlobalRegistryAggregatesPoolActivity) {
+  Counter* executed =
+      MetricsRegistry::Global().GetCounter("pool.tasks_executed");
+  Counter* submitted =
+      MetricsRegistry::Global().GetCounter("pool.tasks_submitted");
+  const uint64_t executed_before = executed->value();
+  const uint64_t submitted_before = submitted->value();
+  {
+    ThreadPool pool(2);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 16; ++i) {
+      pool.Submit([&] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // destructor drains
+  EXPECT_GE(submitted->value(), submitted_before + 16);
+  EXPECT_GE(executed->value(), executed_before + 16);
+  // Every queued task was drained, so the depth gauge is back to level.
+  EXPECT_EQ(MetricsRegistry::Global().GetGauge("pool.queue_depth")->value(),
+            0);
+}
+
+}  // namespace
+}  // namespace taujoin

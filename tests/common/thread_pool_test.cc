@@ -88,6 +88,56 @@ TEST(ThreadPoolTest, SubmitWithZeroWorkersRunsInline) {
   EXPECT_EQ(done, 1);
 }
 
+// Regression: the global pool is sized ResolveThreads(0) - 1, which is 0
+// on a single-core machine and under TAUJOIN_THREADS=1. Every ParallelFor
+// must then make progress through caller participation alone — these pin
+// the 0-worker path explicitly so a scheduling change can't strand it.
+TEST(ThreadPoolTest, ZeroWorkerPoolCompletesParallelFor) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 0);
+  constexpr int64_t kCount = 512;
+  std::vector<int> hits(kCount, 0);
+  // parallelism > worker_count + 1: the helper budget clamps to zero and
+  // the caller drives every index, in order.
+  pool.ParallelFor(
+      kCount, [&](int64_t i) { ++hits[static_cast<size_t>(i)]; },
+      /*parallelism=*/8);
+  for (int64_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)], 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolNestedLoopsAndSubmitsComplete) {
+  ThreadPool pool(0);
+  std::atomic<int> total{0};
+  pool.ParallelFor(4, [&](int64_t) {
+    pool.Submit([&] { total.fetch_add(1, std::memory_order_relaxed); });
+    pool.ParallelFor(8, [&](int64_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(total.load(), 4 + 4 * 8);
+}
+
+TEST(ThreadPoolTest, NegativeWorkerRequestClampsToZero) {
+  // Defensive: ThreadPool(ResolveThreads(0) - 1) must never go negative,
+  // and a negative request behaves exactly like an empty pool.
+  ThreadPool pool(-3);
+  EXPECT_EQ(pool.worker_count(), 0);
+  int done = 0;
+  pool.ParallelFor(10, [&](int64_t) { ++done; });
+  EXPECT_EQ(done, 10);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsWithZeroWorkers) {
+  ThreadPool pool(0);
+  EXPECT_THROW(
+      pool.ParallelFor(
+          10, [&](int64_t i) { if (i == 3) throw std::runtime_error("boom"); },
+          /*parallelism=*/4),
+      std::runtime_error);
+}
+
 TEST(ThreadPoolTest, ParallelForRethrowsFirstException) {
   ThreadPool pool(3);
   EXPECT_THROW(

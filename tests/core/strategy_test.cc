@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "core/strategy_parser.h"
 #include "workload/paper_data.h"
 
@@ -106,6 +108,25 @@ TEST(StrategyParserTest, RejectsMalformedInput) {
   EXPECT_FALSE(ParseStrategy(db, "(R1 R1)").ok());        // reused relation
   EXPECT_FALSE(ParseStrategy(db, "").ok());               // empty
   EXPECT_FALSE(ParseStrategy(db, "(R1 R2 R3)").ok());     // ternary
+}
+
+TEST(StrategyParserTest, RejectsPathologicalNestingDepth) {
+  // Regression: the parser recurses once per '(', so a megabyte of open
+  // parens used to smash the stack before any semantic check fired. The
+  // depth limit must turn this into a recoverable InvalidArgument.
+  Database db = Example1Database();
+  const std::string bomb(1'000'000, '(');
+  StatusOr<Strategy> result = ParseStrategy(db, bomb);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("depth limit"), std::string::npos);
+}
+
+TEST(StrategyParserTest, DepthLimitLeavesRealStrategiesUntouched) {
+  // Real strategies stay far below the limit: a fully left-deep tree over
+  // n relations nests only n-1 deep, and the DP ceiling is 20 relations.
+  Database db = Example1Database();
+  EXPECT_TRUE(ParseStrategy(db, "(((R1 R2) R3) R4)").ok());
 }
 
 TEST(StrategyParserTest, RoundTripsToString) {

@@ -4,6 +4,7 @@
 
 #include <map>
 
+#include "common/checked_math.h"
 #include "core/properties.h"
 #include "scheme/query_graph.h"
 
@@ -47,8 +48,9 @@ TEST(SamplingTest, UniformOverSmallSpace) {
   std::map<std::string, int> histogram;
   const int kDraws = 3000;
   for (int i = 0; i < kDraws; ++i) {
-    Strategy s = sampler.Sample(scheme.full_mask(), rng);
-    ++histogram[s.ToStringWithScheme(scheme)];
+    StatusOr<Strategy> s = sampler.Sample(scheme.full_mask(), rng);
+    ASSERT_TRUE(s.ok());
+    ++histogram[s->ToStringWithScheme(scheme)];
   }
   ASSERT_EQ(histogram.size(), 3u);
   for (const auto& [repr, count] : histogram) {
@@ -95,6 +97,50 @@ TEST(SamplingTest, EmptySubspaceDies) {
   EXPECT_DEATH(
       SampleStrategy(scheme, 0b11, StrategySpace::kNoCartesian, rng),
       "empty");
+}
+
+TEST(SamplingTest, EmptySubspaceIsRecoverableThroughSampler) {
+  DatabaseScheme scheme = DatabaseScheme::Parse({"AB", "CD"});
+  StrategySampler sampler(&scheme, StrategySpace::kNoCartesian);
+  Rng rng(1);
+  StatusOr<Strategy> result = sampler.Sample(0b11, rng);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+// Regression: subtree counts used to combine with raw uint64 arithmetic,
+// so strategy-space sizes (which grow as (2n-3)!! for kAll) wrapped well
+// before the 20-relation DP ceiling and Sample silently drew from the
+// wrapped — wrong — distribution. Counts must saturate and Sample must
+// refuse a saturated space. Enumerating a space that actually overflows
+// takes 3^19 bipartition probes, so the regression test plants the
+// saturated subtree count directly.
+TEST(SamplingTest, SaturatedCountPropagatesWithoutWrapping) {
+  DatabaseScheme scheme = MakeShapedScheme(QueryShape::kClique, 4);
+  StrategySampler sampler(&scheme, StrategySpace::kAll);
+  sampler.SeedCountForTest(0b0011, kTauSaturated);
+  // total = sat * Count({2}) + ... — a wrap here would produce a small
+  // bogus total; saturation must absorb the additions instead.
+  EXPECT_EQ(sampler.Count(0b0111), kTauSaturated);
+  EXPECT_EQ(sampler.Count(scheme.full_mask()), kTauSaturated);
+}
+
+TEST(SamplingTest, SampleRefusesSaturatedSpace) {
+  DatabaseScheme scheme = MakeShapedScheme(QueryShape::kClique, 3);
+  StrategySampler sampler(&scheme, StrategySpace::kAll);
+  sampler.SeedCountForTest(0b011, kTauSaturated);
+  Rng rng(5);
+  StatusOr<Strategy> result = sampler.Sample(scheme.full_mask(), rng);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(result.status().message().find("saturates"), std::string::npos);
+}
+
+TEST(SamplingTest, UnsaturatedCountsStillMatchFactorialGrowth) {
+  // (2n-3)!! labeled binary trees for a clique in kAll: n=6 → 9!! = 945.
+  DatabaseScheme scheme = MakeShapedScheme(QueryShape::kClique, 6);
+  StrategySampler sampler(&scheme, StrategySpace::kAll);
+  EXPECT_EQ(sampler.Count(scheme.full_mask()), 945u);
 }
 
 }  // namespace

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Validates the taujoin_metrics snapshot embedded in a BENCH_*.json artifact.
+
+The bench runner splices a process-wide metrics snapshot into the
+google-benchmark JSON after the run finishes (see bench/bench_main.h).
+CI runs this script against both artifacts so a refactor that silently
+drops the instrumentation — or breaks the splice and corrupts the JSON —
+fails the perf-smoke job instead of shipping blind benchmarks.
+
+Usage: check_bench_metrics.py BENCH_foo.json [BENCH_bar.json ...]
+"""
+
+import json
+import sys
+
+# Every bench run must carry at least one of these signal groups: the
+# optimizer benches drive the CostEngine memo, the join benches drive the
+# relational kernels directly. An artifact with neither means the
+# instrumentation got compiled out or disconnected.
+SIGNAL_GROUPS = {
+    "cost_engine": ["cost_engine.memo_hits", "cost_engine.memo_misses"],
+    "kernel": [
+        "kernel.natural_join.calls",
+        "kernel.count_natural_join.calls",
+        "kernel.semijoin.calls",
+        "kernel.project.calls",
+    ],
+}
+
+TIMER_FIELDS = ["count", "total_ns", "min_ns", "max_ns", "p50_ns", "p99_ns"]
+
+
+def check(path: str) -> list[str]:
+    errors = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: cannot parse as JSON: {e}"]
+
+    metrics = doc.get("taujoin_metrics")
+    if metrics is None:
+        return [f"{path}: missing top-level 'taujoin_metrics' key"]
+    if not isinstance(metrics, dict):
+        return [f"{path}: 'taujoin_metrics' is not an object"]
+
+    for section in ("counters", "gauges", "timers"):
+        if not isinstance(metrics.get(section), dict):
+            errors.append(f"{path}: taujoin_metrics.{section} missing or not "
+                          "an object")
+    if errors:
+        return errors
+
+    counters = metrics["counters"]
+    for name, value in counters.items():
+        if not isinstance(value, int) or value < 0:
+            errors.append(f"{path}: counter '{name}' is not a non-negative "
+                          f"integer: {value!r}")
+    for name, value in metrics["gauges"].items():
+        if not isinstance(value, int):
+            errors.append(f"{path}: gauge '{name}' is not an integer")
+
+    for name, timer in metrics["timers"].items():
+        if not isinstance(timer, dict):
+            errors.append(f"{path}: timer '{name}' is not an object")
+            continue
+        for field in TIMER_FIELDS:
+            if not isinstance(timer.get(field), int):
+                errors.append(f"{path}: timer '{name}' missing integer "
+                              f"field '{field}'")
+        if all(isinstance(timer.get(f), int) for f in TIMER_FIELDS):
+            if timer["count"] > 0 and timer["min_ns"] > timer["max_ns"]:
+                errors.append(f"{path}: timer '{name}' has min > max")
+            if timer["max_ns"] > timer["total_ns"]:
+                errors.append(f"{path}: timer '{name}' has max > total")
+
+    # The snapshot must carry real signal, not an empty shell.
+    if not errors:
+        live = [group for group, names in SIGNAL_GROUPS.items()
+                if sum(counters.get(n, 0) for n in names) > 0]
+        if not live:
+            errors.append(
+                f"{path}: no signal — neither memo traffic nor kernel calls "
+                "recorded; instrumentation is disconnected")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    all_errors = []
+    for path in argv[1:]:
+        errors = check(path)
+        if errors:
+            all_errors.extend(errors)
+        else:
+            with open(path, "r", encoding="utf-8") as f:
+                metrics = json.load(f)["taujoin_metrics"]
+            counters = metrics["counters"]
+            hits = counters.get("cost_engine.memo_hits", 0)
+            misses = counters.get("cost_engine.memo_misses", 0)
+            memo = (f"memo hit rate {hits / (hits + misses):.1%}"
+                    if hits + misses else "no memo traffic")
+            joins = counters.get("kernel.natural_join.calls", 0) + \
+                counters.get("kernel.count_natural_join.calls", 0)
+            print(f"{path}: OK — {len(counters)} counters, "
+                  f"{len(metrics['timers'])} timers, {memo}, "
+                  f"{joins} join-kernel calls")
+    for err in all_errors:
+        print(f"ERROR: {err}", file=sys.stderr)
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
