@@ -1,0 +1,273 @@
+// Workload-serving benchmark: drives a Zipf-skewed stream of shaped join
+// queries through the WorkloadDriver, cold (no plan cache) vs. warm
+// (shared PlanCache), at 1 / 2 / hardware thread counts, and writes
+// BENCH_serve.json (schema taujoin-serve-bench/v1) with per-run latency
+// summaries plus the process metrics snapshot.
+//
+// The artifact carries the same Release gate as the google-benchmark
+// binaries (see bench_main.h): a non-NDEBUG build refuses to write JSON
+// unless TAUJOIN_ALLOW_NONRELEASE_JSON=1, so debug numbers cannot
+// masquerade as checked-in artifacts.
+//
+// Usage:
+//   taujoin_serve [--queries=1000] [--zipf=1.1] [--seed=42]
+//                 [--workload=stream.txt] [--out=BENCH_serve.json]
+//                 [--execute]
+//
+// Without --workload the built-in class pool is used: a chain/star/cycle/
+// clique mix (n = 4..9) whose repeat frequencies follow a Zipf law —
+// exactly what tools/gen_workload.py emits, kept in sync by
+// tests and tools/check_bench_metrics.py.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "serve/plan_cache.h"
+#include "serve/workload_driver.h"
+
+namespace taujoin {
+namespace {
+
+#ifdef NDEBUG
+constexpr bool kReleaseBuild = true;
+constexpr const char* kBuildType = "release";
+#else
+constexpr bool kReleaseBuild = false;
+constexpr const char* kBuildType = "debug";
+#endif
+
+struct BenchConfig {
+  int queries = 1000;
+  double zipf = 1.1;
+  uint64_t seed = 42;
+  std::string workload_path;
+  std::string out_path = "BENCH_serve.json";
+  bool execute = false;
+};
+
+/// The built-in class pool: one class per (shape, n) point, sizes kept
+/// small enough that the exhaustive/DPccp tiers are all exercised.
+std::vector<QueryClassSpec> BuiltinClassPool(uint64_t seed) {
+  std::vector<QueryClassSpec> pool;
+  const auto add = [&](QueryShape shape, int lo, int hi) {
+    for (int n = lo; n <= hi; ++n) {
+      QueryClassSpec spec;
+      spec.shape = shape;
+      spec.relation_count = n;
+      spec.rows_per_relation = 48;
+      spec.join_domain = 8;
+      spec.join_skew = 0.0;
+      spec.seed = seed + static_cast<uint64_t>(pool.size());
+      pool.push_back(spec);
+    }
+  };
+  add(QueryShape::kChain, 4, 9);
+  add(QueryShape::kStar, 4, 8);
+  add(QueryShape::kCycle, 4, 7);
+  add(QueryShape::kClique, 4, 6);
+  return pool;
+}
+
+/// Zipf-skewed query stream over a class pool: class ranks are a random
+/// permutation of the pool (so popularity is uncorrelated with size) and
+/// each query draws its rank from Zipf(pool, s).
+std::vector<QueryClassSpec> SkewedStream(std::vector<QueryClassSpec> pool,
+                                         int queries, double zipf,
+                                         uint64_t seed) {
+  Rng rng(seed);
+  rng.Shuffle(pool);
+  std::vector<QueryClassSpec> stream;
+  stream.reserve(static_cast<size_t>(queries));
+  for (int q = 0; q < queries; ++q) {
+    stream.push_back(pool[rng.Zipf(pool.size(), zipf)]);
+  }
+  return stream;
+}
+
+struct RunResult {
+  int threads = 0;
+  bool cached = false;
+  WorkloadReport report;
+};
+
+RunResult RunOnce(const std::vector<QueryClassSpec>& stream, int threads,
+                  bool cached, bool execute) {
+  RunResult result;
+  result.threads = threads;
+  result.cached = cached;
+
+  ThreadPool pool(threads - 1);
+  PlanCache cache;
+  WorkloadDriverOptions options;
+  options.cache = cached ? &cache : nullptr;
+  options.execute = execute;
+  options.parallel.threads = threads;
+  options.parallel.pool = &pool;
+  WorkloadDriver driver(options);
+  result.report = driver.Run(stream);
+  return result;
+}
+
+int Main(int argc, char** argv) {
+  BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    const auto value = [&](const char* prefix) {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg.rfind("--queries=", 0) == 0) {
+      config.queries = std::atoi(value("--queries=").c_str());
+    } else if (arg.rfind("--zipf=", 0) == 0) {
+      config.zipf = std::atof(value("--zipf=").c_str());
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      config.seed = static_cast<uint64_t>(
+          std::atoll(value("--seed=").c_str()));
+    } else if (arg.rfind("--workload=", 0) == 0) {
+      config.workload_path = value("--workload=");
+    } else if (arg.rfind("--out=", 0) == 0) {
+      config.out_path = value("--out=");
+    } else if (arg == "--execute") {
+      config.execute = true;
+    } else {
+      std::fprintf(stderr, "taujoin_serve: unknown argument %s\n",
+                   arg.c_str());
+      return 1;
+    }
+  }
+  if (config.queries <= 0) {
+    std::fprintf(stderr, "taujoin_serve: --queries must be positive\n");
+    return 1;
+  }
+
+  std::vector<QueryClassSpec> pool;
+  if (!config.workload_path.empty()) {
+    std::ifstream in(config.workload_path);
+    if (!in) {
+      std::fprintf(stderr, "taujoin_serve: cannot open %s\n",
+                   config.workload_path.c_str());
+      return 1;
+    }
+    StatusOr<std::vector<QueryClassSpec>> loaded = LoadWorkload(in);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "taujoin_serve: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    pool = std::move(*loaded);
+    if (pool.empty()) {
+      std::fprintf(stderr, "taujoin_serve: workload file is empty\n");
+      return 1;
+    }
+  } else {
+    pool = BuiltinClassPool(config.seed);
+  }
+
+  // A --workload file IS the stream, verbatim (gen_workload.py already
+  // applied the skew); only the built-in pool gets Zipf repeats here.
+  std::vector<QueryClassSpec> stream;
+  if (!config.workload_path.empty()) {
+    stream = std::move(pool);
+  } else {
+    stream = SkewedStream(std::move(pool), config.queries, config.zipf,
+                          config.seed);
+  }
+
+  const int hw = std::max(1, static_cast<int>(
+                                 std::thread::hardware_concurrency()));
+  std::vector<int> thread_counts{1};
+  if (hw >= 2) thread_counts.push_back(2);
+  if (hw > 2) thread_counts.push_back(hw);
+
+  std::fprintf(stderr, "taujoin_serve: %zu queries, build=%s, threads:",
+               stream.size(), kBuildType);
+  for (const int t : thread_counts) std::fprintf(stderr, " %d", t);
+  std::fprintf(stderr, "\n");
+
+  std::vector<RunResult> runs;
+  for (const int threads : thread_counts) {
+    for (const bool cached : {false, true}) {
+      RunResult run = RunOnce(stream, threads, cached, config.execute);
+      std::fprintf(stderr, "--- threads=%d cache=%s ---\n%s", threads,
+                   cached ? "on" : "off", run.report.ToString().c_str());
+      runs.push_back(std::move(run));
+    }
+  }
+
+  // Headline: warm-vs-cold p50 optimize latency at 1 thread (the cached
+  // run's own hit population vs. its miss population — the ≥10x
+  // acceptance criterion of the serving layer).
+  for (const RunResult& run : runs) {
+    if (!run.cached) continue;
+    const LatencySummary& warm = run.report.optimize_warm;
+    const LatencySummary& cold = run.report.optimize_cold;
+    if (warm.count == 0 || cold.count == 0 || warm.p50_ns == 0) continue;
+    std::fprintf(stderr,
+                 "threads=%d warm p50 %.1fus vs cold p50 %.1fus: %.1fx\n",
+                 run.threads, static_cast<double>(warm.p50_ns) / 1e3,
+                 static_cast<double>(cold.p50_ns) / 1e3,
+                 static_cast<double>(cold.p50_ns) /
+                     static_cast<double>(warm.p50_ns));
+  }
+
+  const char* allow = std::getenv("TAUJOIN_ALLOW_NONRELEASE_JSON");
+  const bool allow_nonrelease =
+      allow != nullptr && allow[0] != '\0' && std::string(allow) != "0";
+  if (!kReleaseBuild && !allow_nonrelease) {
+    std::fprintf(stderr,
+                 "\n*** TAUJOIN WARNING ***\n"
+                 "Non-Release build: refusing to write %s (set "
+                 "TAUJOIN_ALLOW_NONRELEASE_JSON=1 to override).\n",
+                 config.out_path.c_str());
+    MaybeReportProcessMetrics();
+    return 0;
+  }
+
+  std::string json = "{\n";
+  json += "  \"schema\": \"taujoin-serve-bench/v1\",\n";
+  json += "  \"context\": {\n";
+  json += std::string("    \"taujoin_build_type\": \"") + kBuildType +
+          "\",\n";
+  json += "    \"queries\": " + std::to_string(stream.size()) + ",\n";
+  json += "    \"zipf\": " + std::to_string(config.zipf) + ",\n";
+  json += "    \"seed\": " + std::to_string(config.seed) + ",\n";
+  json += std::string("    \"execute\": ") +
+          (config.execute ? "true" : "false") + "\n";
+  json += "  },\n";
+  json += "  \"runs\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& run = runs[i];
+    json += "    {\"threads\": " + std::to_string(run.threads) +
+            ", \"cache\": " + (run.cached ? "\"on\"" : "\"off\"") +
+            ", \"report\": " + run.report.ToJson() + "}";
+    json += (i + 1 < runs.size()) ? ",\n" : "\n";
+  }
+  json += "  ],\n";
+  json += "  \"taujoin_metrics\": " +
+          MetricsRegistry::Global().Snapshot().ToJson() + "\n";
+  json += "}\n";
+
+  std::ofstream out(config.out_path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "taujoin_serve: cannot write %s\n",
+                 config.out_path.c_str());
+    return 1;
+  }
+  out << json;
+  std::fprintf(stderr, "taujoin_serve: wrote %s\n", config.out_path.c_str());
+  MaybeReportProcessMetrics();
+  return 0;
+}
+
+}  // namespace
+}  // namespace taujoin
+
+int main(int argc, char** argv) { return taujoin::Main(argc, argv); }

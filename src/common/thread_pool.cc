@@ -21,7 +21,17 @@ int ParseThreadCount(const char* text) {
   return parsed > 0 ? parsed : 0;
 }
 
+/// Warn-once latch for the TAUJOIN_SWEEP_THREADS deprecation. An atomic
+/// rather than std::once_flag so the regression test can re-arm it and
+/// assert both the routing (stderr, never stdout — stdout is reserved for
+/// machine-readable experiment output) and the once-only behavior.
+std::atomic<bool> sweep_threads_warned{false};
+
 }  // namespace
+
+void ResetSweepThreadsWarningForTest() {
+  sweep_threads_warned.store(false, std::memory_order_relaxed);
+}
 
 int ResolveThreads(int requested) {
   if (requested > 0) return requested;
@@ -29,12 +39,11 @@ int ResolveThreads(int requested) {
     return threads;
   }
   if (int threads = ParseThreadCount(std::getenv("TAUJOIN_SWEEP_THREADS"))) {
-    static std::once_flag warned;
-    std::call_once(warned, [] {
+    if (!sweep_threads_warned.exchange(true, std::memory_order_relaxed)) {
       std::fprintf(stderr,
                    "taujoin: TAUJOIN_SWEEP_THREADS is deprecated; "
                    "use TAUJOIN_THREADS\n");
-    });
+    }
     return threads;
   }
   const unsigned hw = std::thread::hardware_concurrency();

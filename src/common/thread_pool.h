@@ -25,6 +25,10 @@ namespace taujoin {
 /// one helper, so one environment variable pins them all.
 int ResolveThreads(int requested);
 
+/// Re-arms the one-time TAUJOIN_SWEEP_THREADS deprecation warning so the
+/// regression test can observe it being emitted (to stderr) again.
+void ResetSweepThreadsWarningForTest();
+
 /// A work-stealing pool of worker threads shared by every parallel
 /// algorithm in the library (subset DP levels, csg-cmp layers, exhaustive
 /// root partitions, experiment sweeps).

@@ -169,4 +169,37 @@ bool Strategy::EquivalentTo(const Strategy& other) const {
   return Equivalent(*this, root_, other, other.root_);
 }
 
+bool Strategy::IdenticalTo(const Strategy& other) const {
+  if (root_ != other.root_ || nodes_.size() != other.nodes_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& a = nodes_[i];
+    const Node& b = other.nodes_[i];
+    if (a.mask != b.mask || a.left != b.left || a.right != b.right ||
+        a.parent != b.parent) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Strategy Strategy::RelabelLeaves(const std::vector<int>& relation_map) const {
+  Strategy relabeled = *this;
+  for (Node& node : relabeled.nodes_) {
+    RelMask mapped = 0;
+    for (RelMask rest = node.mask; rest != 0; rest &= rest - 1) {
+      const size_t from = static_cast<size_t>(LowestBitIndex(rest));
+      TAUJOIN_CHECK_LT(from, relation_map.size());
+      const int to = relation_map[from];
+      TAUJOIN_CHECK(to >= 0 && to < 64);
+      const RelMask bit = SingletonMask(to);
+      TAUJOIN_CHECK((mapped & bit) == 0) << "relation_map is not injective";
+      mapped |= bit;
+    }
+    node.mask = mapped;
+  }
+  return relabeled;
+}
+
 }  // namespace taujoin

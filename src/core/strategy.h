@@ -82,6 +82,20 @@ class Strategy {
   /// matching the paper's view that a step joins a *set* of two children).
   bool EquivalentTo(const Strategy& other) const;
 
+  /// Exact representational equality: same arena layout, same node fields.
+  /// Stronger than EquivalentTo — two strategies that print identically may
+  /// still differ here if their arenas were built in different orders. The
+  /// plan cache's hit path promises this level of fidelity.
+  bool IdenticalTo(const Strategy& other) const;
+
+  /// The same tree over renamed relations: every leaf relation i becomes
+  /// `relation_map[i]` (which must be a partial injection defined on every
+  /// member of mask(), with targets < 64). The arena layout is preserved
+  /// verbatim — only node masks change — so relabeling by a permutation and
+  /// then by its inverse reproduces an IdenticalTo copy. This is how the
+  /// serve-layer plan cache stores plans in canonical index space.
+  Strategy RelabelLeaves(const std::vector<int>& relation_map) const;
+
  private:
   friend class StrategyRewriter;
 

@@ -1,0 +1,131 @@
+#include "optimize/adaptive.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "optimize/dpccp.h"
+#include "optimize/exhaustive.h"
+#include "optimize/greedy.h"
+#include "optimize/ikkbz.h"
+
+namespace taujoin {
+
+const char* OptimizerTierToString(OptimizerTier tier) {
+  switch (tier) {
+    case OptimizerTier::kGreedy:
+      return "greedy";
+    case OptimizerTier::kIkkbz:
+      return "ikkbz";
+    case OptimizerTier::kDpCcp:
+      return "dpccp";
+    case OptimizerTier::kExhaustive:
+      return "exhaustive";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Is the intersection graph restricted to `mask` a connected tree? (The
+/// precondition for IKKBZ.) One adjacency sweep: connected + |E| = n − 1.
+bool IsConnectedTree(const DatabaseScheme& scheme, RelMask mask) {
+  if (!scheme.Connected(mask)) return false;
+  const std::vector<int> members = MaskToIndices(mask);
+  size_t edges = 0;
+  for (size_t a = 0; a < members.size(); ++a) {
+    for (size_t b = a + 1; b < members.size(); ++b) {
+      if (scheme.Adjacent(members[a], members[b])) ++edges;
+    }
+  }
+  return edges + 1 == members.size();
+}
+
+void CountTier(OptimizerTier tier) {
+  switch (tier) {
+    case OptimizerTier::kGreedy:
+      TAUJOIN_METRIC_INCR("optimizer.adaptive.tier.greedy");
+      break;
+    case OptimizerTier::kIkkbz:
+      TAUJOIN_METRIC_INCR("optimizer.adaptive.tier.ikkbz");
+      break;
+    case OptimizerTier::kDpCcp:
+      TAUJOIN_METRIC_INCR("optimizer.adaptive.tier.dpccp");
+      break;
+    case OptimizerTier::kExhaustive:
+      TAUJOIN_METRIC_INCR("optimizer.adaptive.tier.exhaustive");
+      break;
+  }
+}
+
+}  // namespace
+
+AdaptiveResult OptimizeAdaptive(CostEngine& engine, RelMask mask,
+                                const AdaptiveOptions& options) {
+  TAUJOIN_CHECK_NE(mask, 0u);
+  TAUJOIN_METRIC_SPAN(total, "optimizer.adaptive.total");
+  const auto start = std::chrono::steady_clock::now();
+  const auto within_budget = [&]() {
+    if (options.budget_micros == 0) return true;
+    const auto spent = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - start);
+    return static_cast<uint64_t>(spent.count()) < options.budget_micros;
+  };
+  const DatabaseScheme& scheme = engine.db().scheme();
+  const int n = PopCount(mask);
+
+  AdaptiveResult result;
+  // Base tier: greedy always produces a plan.
+  result.plan = OptimizeGreedy(engine, mask);
+  result.tier = OptimizerTier::kGreedy;
+  result.tiers_run = 1;
+  CountTier(OptimizerTier::kGreedy);
+
+  // Tree queries also get IKKBZ's optimal left-deep ASI order — a second
+  // polynomial baseline that often beats greedy on chains and stars. Its
+  // ASI objective is not τ, so the winner is decided by exact τ.
+  if (n >= 2 && IsConnectedTree(scheme, mask)) {
+    const AsiCostModel asi = AsiCostModel::FromEngine(engine);
+    StatusOr<IkkbzResult> ikkbz = OptimizeIkkbz(scheme, mask, asi);
+    if (ikkbz.ok()) {
+      PlanResult candidate;
+      candidate.strategy = Strategy::LeftDeep(ikkbz->order);
+      candidate.cost = TauCost(candidate.strategy, engine);
+      ++result.tiers_run;
+      CountTier(OptimizerTier::kIkkbz);
+      if (candidate.cost < result.plan.cost) {
+        result.plan = std::move(candidate);
+        result.tier = OptimizerTier::kIkkbz;
+      }
+    }
+  }
+
+  // Escalate to the strongest exact tier the size allows, budget willing.
+  if (n <= options.exhaustive_max && within_budget()) {
+    std::optional<PlanResult> exact = OptimizeExhaustive(
+        engine, mask, StrategySpace::kAll, options.parallel);
+    if (exact.has_value()) {
+      ++result.tiers_run;
+      CountTier(OptimizerTier::kExhaustive);
+      if (exact->cost <= result.plan.cost) {
+        result.plan = std::move(*exact);
+        result.tier = OptimizerTier::kExhaustive;
+      }
+    }
+  } else if (n <= options.dp_max && scheme.Connected(mask) &&
+             within_budget()) {
+    std::optional<PlanResult> dp =
+        OptimizeDpCcp(engine, mask, options.parallel);
+    if (dp.has_value()) {
+      ++result.tiers_run;
+      CountTier(OptimizerTier::kDpCcp);
+      if (dp->cost <= result.plan.cost) {
+        result.plan = std::move(*dp);
+        result.tier = OptimizerTier::kDpCcp;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace taujoin

@@ -1,0 +1,74 @@
+#ifndef TAUJOIN_OPTIMIZE_ADAPTIVE_H_
+#define TAUJOIN_OPTIMIZE_ADAPTIVE_H_
+
+#include <cstdint>
+
+#include "common/thread_pool.h"
+#include "core/cost.h"
+#include "optimize/dp.h"
+
+namespace taujoin {
+
+/// The escalation ladder the adaptive optimizer climbs, cheapest first.
+/// kGreedy/kIkkbz are polynomial; kDpCcp is exact within the product-free
+/// bushy space; kExhaustive is exact over *all* strategies (Cartesian
+/// products included) and is ground truth for small n.
+enum class OptimizerTier {
+  kGreedy,
+  kIkkbz,
+  kDpCcp,
+  kExhaustive,
+};
+
+const char* OptimizerTierToString(OptimizerTier tier);
+
+struct AdaptiveOptions {
+  /// n ≤ exhaustive_max → the exhaustive tier is reachable ((2n−3)!!
+  /// strategies; 10 395 at n = 7 with every τ memoized is milliseconds).
+  int exhaustive_max = 7;
+  /// n ≤ dp_max → the DPccp tier is reachable (product-free csg-cmp DP;
+  /// 3^n pairs on cliques caps practical n well below the DP's own n ≤ 20).
+  int dp_max = 14;
+  /// Optimization-time budget in microseconds; 0 means unlimited. The
+  /// ladder always produces a plan (the base tier runs unconditionally),
+  /// then escalates only while spent time stays under budget — a budgeted
+  /// anytime policy: more budget buys a provably better plan, less budget
+  /// degrades to the heuristic, never to a failure.
+  uint64_t budget_micros = 0;
+  ParallelOptions parallel;
+};
+
+struct AdaptiveResult {
+  PlanResult plan;
+  /// The tier whose plan won (ties go to the strongest tier that ran).
+  OptimizerTier tier = OptimizerTier::kGreedy;
+  /// How many tiers actually ran (≥ 1).
+  int tiers_run = 0;
+};
+
+/// Per-query optimizer policy for the workload-serving layer: picks the
+/// strongest optimizer the query size and the time budget allow, under
+/// exact τ from the shared engine.
+///
+///  * base tier: GOO-style greedy bushy — always runs, so a plan always
+///    exists; when the query graph restricted to `mask` is a connected
+///    tree, IKKBZ (optimal left-deep under the ASI model) also runs and
+///    the cheaper of the two (by exact τ) becomes the baseline;
+///  * n ≤ exhaustive_max: escalate to exhaustive search over all
+///    strategies (the only tier that can exploit Example-1-style
+///    Cartesian-product optima);
+///  * else n ≤ dp_max and `mask` connected: escalate to DPccp;
+///  * a tier only runs while the per-query budget is unspent.
+///
+/// The plan returned for a given (engine state, mask, options with
+/// budget_micros == 0) is deterministic at every thread count — each tier
+/// is individually deterministic and the comparison is by (cost, tier).
+/// With a finite budget the escalation decision is time-dependent by
+/// design; the WorkloadDriver's cache contract is unaffected (any plan it
+/// caches was produced by some deterministic tier).
+AdaptiveResult OptimizeAdaptive(CostEngine& engine, RelMask mask,
+                                const AdaptiveOptions& options = {});
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_OPTIMIZE_ADAPTIVE_H_

@@ -1,0 +1,217 @@
+#include "serve/fingerprint.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace taujoin {
+
+namespace {
+
+/// 64-bit FNV-1a over a byte string — the fingerprint digest. Stability
+/// matters only within a process (the cache is in-memory), but FNV is
+/// stable across platforms anyway, which keeps bench artifacts comparable.
+uint64_t HashBytes(std::string_view bytes) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x00000100000001B3ULL;
+  }
+  return h;
+}
+
+/// splitmix64-style mixing for the refinement colors.
+uint64_t Mix(uint64_t a, uint64_t b) {
+  uint64_t z = a + 0x9E3779B97F4A7C15ULL + (b << 6) + (b >> 2);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::vector<int> QueryFingerprint::PositionToRelation() const {
+  int members = 0;
+  for (const int pos : canonical_position) {
+    if (pos >= 0) ++members;
+  }
+  std::vector<int> inverse(static_cast<size_t>(members), -1);
+  for (size_t rel = 0; rel < canonical_position.size(); ++rel) {
+    const int pos = canonical_position[rel];
+    if (pos < 0) continue;
+    TAUJOIN_CHECK_LT(static_cast<size_t>(pos), inverse.size());
+    inverse[static_cast<size_t>(pos)] = static_cast<int>(rel);
+  }
+  return inverse;
+}
+
+QueryFingerprint FingerprintQuery(const DatabaseScheme& scheme, RelMask mask,
+                                  std::string_view size_model_id) {
+  TAUJOIN_CHECK_NE(mask, 0u) << "cannot fingerprint an empty query";
+  const std::vector<int> members = MaskToIndices(mask);
+  const size_t k = members.size();
+
+  // Attribute occurrence lists over the member relations (member order for
+  // now; canonical positions are substituted once the order is fixed).
+  // Schema keeps attributes sorted, so iteration order is deterministic.
+  std::map<std::string, std::vector<size_t>> occurrences;
+  for (size_t m = 0; m < k; ++m) {
+    for (const std::string& attr :
+         scheme.scheme(members[m]).attributes()) {
+      occurrences[attr].push_back(m);
+    }
+  }
+
+  // Initial structural color of each member: arity plus the sorted list of
+  // its attributes' degrees (how many members mention each attribute).
+  // Renaming attributes or permuting relations cannot change these.
+  std::vector<uint64_t> color(k);
+  for (size_t m = 0; m < k; ++m) {
+    const Schema& schema = scheme.scheme(members[m]);
+    std::vector<uint64_t> degrees;
+    degrees.reserve(schema.size());
+    for (const std::string& attr : schema.attributes()) {
+      degrees.push_back(occurrences[attr].size());
+    }
+    std::sort(degrees.begin(), degrees.end());
+    uint64_t c = Mix(0x5EED, degrees.size());
+    for (const uint64_t d : degrees) c = Mix(c, d);
+    color[m] = c;
+  }
+
+  // 1-WL refinement over the intersection graph: fold in the sorted
+  // multiset of (shared-attribute count, neighbor color). k rounds suffice
+  // for the partition to stabilize on ≤ k nodes. Correctness does not
+  // depend on the refinement separating everything — the full canonical
+  // key below is what guarantees soundness — refinement only improves how
+  // often isomorphic schemes actually meet in the cache.
+  std::vector<std::vector<std::pair<size_t, size_t>>> neighbor(k);
+  for (size_t a = 0; a < k; ++a) {
+    for (size_t b = 0; b < k; ++b) {
+      if (a == b) continue;
+      const size_t shared = scheme.scheme(members[a])
+                                .Intersect(scheme.scheme(members[b]))
+                                .size();
+      if (shared > 0) neighbor[a].push_back({b, shared});
+    }
+  }
+  for (size_t round = 0; round < k; ++round) {
+    std::vector<uint64_t> next(k);
+    for (size_t m = 0; m < k; ++m) {
+      std::vector<uint64_t> folds;
+      folds.reserve(neighbor[m].size());
+      for (const auto& [n, shared] : neighbor[m]) {
+        folds.push_back(Mix(shared, color[n]));
+      }
+      std::sort(folds.begin(), folds.end());
+      uint64_t c = Mix(color[m], 0xC0FFEE);
+      for (const uint64_t f : folds) c = Mix(c, f);
+      next[m] = c;
+    }
+    if (next == color) break;
+    color = std::move(next);
+  }
+
+  // Canonical order: by final color, then by the raw rendered signature,
+  // then by member order. Ties that survive refinement are structurally
+  // interchangeable for every shape the generators emit, so any
+  // deterministic tie-break yields the same key for genuinely isomorphic
+  // inputs; when it does not, the only cost is a missed cache meeting.
+  std::vector<size_t> order(k);
+  for (size_t m = 0; m < k; ++m) order[m] = m;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (color[a] != color[b]) return color[a] < color[b];
+    const std::string sa = scheme.scheme(members[a]).ToString();
+    const std::string sb = scheme.scheme(members[b]).ToString();
+    if (sa != sb) return sa < sb;
+    return a < b;
+  });
+  std::vector<size_t> position(k);  // member slot → canonical position
+  for (size_t pos = 0; pos < k; ++pos) position[order[pos]] = pos;
+
+  // Intern attributes to dense ids. Within a relation, attributes are
+  // ordered by their occurrence pattern over canonical positions (then by
+  // name — attributes with identical patterns are interchangeable, so the
+  // name tie-break cannot change the key under renaming).
+  std::map<std::string, int> attribute_id;
+  struct AttrSortKey {
+    std::vector<size_t> positions;
+    const std::string* name;
+  };
+  for (size_t pos = 0; pos < k; ++pos) {
+    const Schema& schema = scheme.scheme(members[order[pos]]);
+    std::vector<AttrSortKey> attrs;
+    attrs.reserve(schema.size());
+    for (const std::string& attr : schema.attributes()) {
+      AttrSortKey key;
+      for (const size_t slot : occurrences[attr]) {
+        key.positions.push_back(position[slot]);
+      }
+      std::sort(key.positions.begin(), key.positions.end());
+      key.name = &attr;
+      attrs.push_back(std::move(key));
+    }
+    std::sort(attrs.begin(), attrs.end(),
+              [](const AttrSortKey& a, const AttrSortKey& b) {
+                if (a.positions != b.positions) return a.positions < b.positions;
+                return *a.name < *b.name;
+              });
+    for (const AttrSortKey& attr : attrs) {
+      attribute_id.emplace(*attr.name,
+                           static_cast<int>(attribute_id.size()));
+    }
+  }
+
+  // Render the canonical key: relation signatures over interned attribute
+  // ids, the canonical edge list, and the size-model identity.
+  std::string key = "taujoin-fp-v1|k=" + std::to_string(k);
+  for (size_t pos = 0; pos < k; ++pos) {
+    const Schema& schema = scheme.scheme(members[order[pos]]);
+    std::vector<int> ids;
+    ids.reserve(schema.size());
+    for (const std::string& attr : schema.attributes()) {
+      ids.push_back(attribute_id.at(attr));
+    }
+    std::sort(ids.begin(), ids.end());
+    key += "|R";
+    key += std::to_string(pos);
+    key += ":";
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (i > 0) key += ",";
+      key += "a";
+      key += std::to_string(ids[i]);
+    }
+  }
+  key += "|E:";
+  for (size_t pa = 0; pa < k; ++pa) {
+    for (size_t pb = pa + 1; pb < k; ++pb) {
+      const size_t shared = scheme.scheme(members[order[pa]])
+                                .Intersect(scheme.scheme(members[order[pb]]))
+                                .size();
+      if (shared == 0) continue;
+      key += "(";
+      key += std::to_string(pa);
+      key += ",";
+      key += std::to_string(pb);
+      key += ",";
+      key += std::to_string(shared);
+      key += ")";
+    }
+  }
+  key += "|model=";
+  key += size_model_id;
+
+  QueryFingerprint fp;
+  fp.key = std::move(key);
+  fp.hash = HashBytes(fp.key);
+  fp.canonical_position.assign(static_cast<size_t>(scheme.size()), -1);
+  for (size_t m = 0; m < k; ++m) {
+    fp.canonical_position[static_cast<size_t>(members[m])] =
+        static_cast<int>(position[m]);
+  }
+  return fp;
+}
+
+}  // namespace taujoin

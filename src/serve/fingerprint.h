@@ -1,0 +1,66 @@
+#ifndef TAUJOIN_SERVE_FINGERPRINT_H_
+#define TAUJOIN_SERVE_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scheme/database_scheme.h"
+
+namespace taujoin {
+
+/// Canonical identity of one optimization request, the plan cache's key.
+///
+/// Tay's framework makes the τ-optimal plan a pure function of (a) the
+/// query's scheme structure and (b) the size model the optimizer consults —
+/// nothing else. So two requests may share a plan exactly when their
+/// schemes are isomorphic *and* the caller vouches that their size models
+/// agree in canonical space. The fingerprint captures both halves:
+///
+///  * **Scheme canonicalization.** The member relations of `mask` are
+///    relabeled to canonical positions 0..k−1 by an iterated signature
+///    refinement (sorted interned-attribute signatures, refined by the
+///    multiset of neighbor signatures — a 1-WL style pass over the
+///    intersection graph). Attribute names are then interned to dense ids
+///    in order of first appearance in the canonical relation order, so the
+///    key is invariant under both relation reordering and consistent
+///    attribute renaming. The canonical join-graph edge list rides along in
+///    the key, which makes key equality *sufficient* for a scheme
+///    isomorphism: equal keys ⟹ the two canonical relabelings compose to
+///    an isomorphism between the original schemes.
+///  * **Size-model identity.** An opaque caller-supplied string appended to
+///    the key. The contract: two requests may carry the same identity only
+///    if their models assign equal sizes to corresponding subsets under the
+///    canonical relabeling. Data-dependent models (ExactSizeModel,
+///    IndependenceSizeModel) must scope the identity to the underlying
+///    data — the WorkloadDriver uses one identity per workload class —
+///    while purely structural models may share one process-wide identity
+///    and thereby unlock cross-query plan reuse.
+///
+/// `hash` is a 64-bit digest of `key` used for sharding and the fast-path
+/// compare; the full `key` disambiguates hash collisions (the cache always
+/// compares keys before declaring a hit).
+struct QueryFingerprint {
+  uint64_t hash = 0;
+  std::string key;
+  /// relation index (in the original scheme) → canonical position; −1 for
+  /// relations outside `mask`. Size = scheme.size().
+  std::vector<int> canonical_position;
+
+  /// Inverse view: canonical position → original relation index.
+  std::vector<int> PositionToRelation() const;
+};
+
+/// Fingerprints the query "join the members of `mask`" over `scheme` under
+/// the given size-model identity. `mask` must be non-empty. Deterministic:
+/// the same (scheme, mask, id) always yields the same fingerprint, and
+/// permuting the scheme's relation order (or consistently renaming its
+/// attributes) yields the same `hash`/`key` with a correspondingly permuted
+/// `canonical_position`.
+QueryFingerprint FingerprintQuery(const DatabaseScheme& scheme, RelMask mask,
+                                  std::string_view size_model_id);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_SERVE_FINGERPRINT_H_

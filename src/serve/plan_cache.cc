@@ -1,0 +1,153 @@
+#include "serve/plan_cache.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+
+namespace taujoin {
+
+namespace {
+
+/// Fixed per-entry bookkeeping charge: list/map nodes, iterators, padding.
+constexpr size_t kEntryOverhead = 128;
+
+size_t RoundUpToPowerOfTwo(int value) {
+  return std::bit_ceil(static_cast<size_t>(std::max(value, 1)));
+}
+
+}  // namespace
+
+PlanCache::PlanCache(PlanCacheOptions options) : options_(options) {
+  const size_t shard_count = RoundUpToPowerOfTwo(options_.shard_count);
+  shards_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  shard_budget_ = std::max<size_t>(options_.max_bytes / shard_count, 1);
+}
+
+uint64_t PlanCache::EffectiveHash(const QueryFingerprint& fp) const {
+  return options_.collide_all_hashes_for_test ? 0 : fp.hash;
+}
+
+PlanCache::Shard& PlanCache::ShardOf(uint64_t hash) {
+  // High bits: FNV's low bits are dominated by the keys' shared
+  // "|model=..." suffix; the high half spreads better across shards.
+  return *shards_[(hash >> 32) & (shards_.size() - 1)];
+}
+
+size_t PlanCache::EntryBytes(const Entry& entry) {
+  return entry.key.size() +
+         static_cast<size_t>(entry.canonical_plan.size()) *
+             sizeof(Strategy::Node) +
+         kEntryOverhead;
+}
+
+PlanCacheStats PlanCache::stats() const {
+  PlanCacheStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.hits += shard->hits;
+    total.misses += shard->misses;
+    total.inserts += shard->inserts;
+    total.evictions += shard->evictions;
+    total.bytes += shard->bytes;
+    total.entries += shard->lru.size();
+  }
+  return total;
+}
+
+size_t PlanCache::bytes() const { return stats().bytes; }
+size_t PlanCache::entries() const { return stats().entries; }
+
+std::optional<CachedPlan> PlanCache::Lookup(const QueryFingerprint& fp) {
+  const uint64_t hash = EffectiveHash(fp);
+  Shard& shard = ShardOf(hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [begin, end] = shard.index.equal_range(hash);
+  for (auto it = begin; it != end; ++it) {
+    if (it->second->key != fp.key) continue;  // hash collision: keep looking
+    // Refresh the LRU position (splice keeps the list iterator valid).
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    ++shard.hits;
+    TAUJOIN_METRIC_INCR("serve.plan_cache.hits");
+    CachedPlan out;
+    out.cost = it->second->cost;
+    out.strategy =
+        it->second->canonical_plan.RelabelLeaves(fp.PositionToRelation());
+    return out;
+  }
+  ++shard.misses;
+  TAUJOIN_METRIC_INCR("serve.plan_cache.misses");
+  return std::nullopt;
+}
+
+void PlanCache::RemoveFromIndex(Shard& shard, uint64_t hash,
+                                std::list<Entry>::iterator victim) {
+  auto [begin, end] = shard.index.equal_range(hash);
+  for (auto it = begin; it != end; ++it) {
+    if (it->second == victim) {
+      shard.index.erase(it);
+      return;
+    }
+  }
+  TAUJOIN_CHECK(false) << "plan cache index out of sync";
+}
+
+void PlanCache::Insert(const QueryFingerprint& fp, const Strategy& plan,
+                       uint64_t cost) {
+  const uint64_t hash = EffectiveHash(fp);
+  Entry entry;
+  entry.hash = hash;
+  entry.key = fp.key;
+  entry.canonical_plan = plan.RelabelLeaves(fp.canonical_position);
+  entry.cost = cost;
+  entry.bytes = EntryBytes(entry);
+
+  Shard& shard = ShardOf(hash);
+  int64_t bytes_delta = 0;
+  int64_t entries_delta = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+
+    // Replace an existing entry for this key (racing inserts, or a caller
+    // refreshing a plan): remove it first so accounting stays exact.
+    auto [begin, end] = shard.index.equal_range(hash);
+    for (auto it = begin; it != end; ++it) {
+      if (it->second->key != entry.key) continue;
+      shard.bytes -= it->second->bytes;
+      bytes_delta -= static_cast<int64_t>(it->second->bytes);
+      --entries_delta;
+      shard.lru.erase(it->second);
+      shard.index.erase(it);
+      break;
+    }
+
+    shard.lru.push_front(std::move(entry));
+    shard.index.emplace(hash, shard.lru.begin());
+    shard.bytes += shard.lru.front().bytes;
+    bytes_delta += static_cast<int64_t>(shard.lru.front().bytes);
+    ++entries_delta;
+    ++shard.inserts;
+    TAUJOIN_METRIC_INCR("serve.plan_cache.inserts");
+
+    // LRU eviction until the shard fits its budget. The fresh entry sits
+    // at the front; `size() > 1` keeps it even when it alone overflows.
+    while (shard.bytes > shard_budget_ && shard.lru.size() > 1) {
+      auto victim = std::prev(shard.lru.end());
+      RemoveFromIndex(shard, victim->hash, victim);
+      shard.bytes -= victim->bytes;
+      bytes_delta -= static_cast<int64_t>(victim->bytes);
+      --entries_delta;
+      shard.lru.erase(victim);
+      ++shard.evictions;
+      TAUJOIN_METRIC_INCR("serve.plan_cache.evictions");
+    }
+  }
+  TAUJOIN_METRIC_GAUGE_ADD("serve.plan_cache.bytes", bytes_delta);
+  TAUJOIN_METRIC_GAUGE_ADD("serve.plan_cache.entries", entries_delta);
+}
+
+}  // namespace taujoin

@@ -1,0 +1,119 @@
+#ifndef TAUJOIN_SERVE_PLAN_CACHE_H_
+#define TAUJOIN_SERVE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/strategy.h"
+#include "serve/fingerprint.h"
+
+namespace taujoin {
+
+/// A cached optimization result, returned in the *caller's* relation index
+/// space (the cache stores plans canonically and relabels on the way out).
+struct CachedPlan {
+  Strategy strategy;
+  uint64_t cost = 0;
+};
+
+struct PlanCacheOptions {
+  /// Byte budget across all shards; entries are evicted LRU (per shard)
+  /// once the shard's share is exceeded. Accounted bytes are the canonical
+  /// key plus the plan's node arena plus a fixed bookkeeping constant.
+  size_t max_bytes = size_t{8} << 20;
+  /// Shards (rounded up to a power of two, ≥ 1). Lookups lock one shard.
+  int shard_count = 8;
+  /// Test hook: collapses every fingerprint hash to one bucket so the
+  /// collision chain (full-key compare) is exercised deterministically.
+  bool collide_all_hashes_for_test = false;
+};
+
+/// Aggregate counters of one PlanCache (mirrored process-wide under the
+/// `serve.plan_cache.*` metric names).
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t inserts = 0;
+  uint64_t evictions = 0;
+  uint64_t bytes = 0;
+  uint64_t entries = 0;
+};
+
+/// Sharded, thread-safe LRU cache of optimized plans keyed by canonical
+/// query fingerprint (see fingerprint.h for what key equality guarantees).
+///
+/// Plans are stored in canonical index space: Insert relabels the plan via
+/// the fingerprint's canonical_position, Lookup relabels it back through
+/// the *inquiring* fingerprint. For a repeat of the same query the two
+/// relabelings are exact inverses, so a hit returns a Strategy that is
+/// IdenticalTo the one inserted — bit-identical to a cold optimize, which
+/// the differential test (plan_cache_test.cc) pins. For an isomorphic
+/// query with a different relation order, the hit returns the cached plan
+/// transported along the isomorphism.
+///
+/// Thread-safety: all methods may be called concurrently. Each shard has
+/// its own mutex; a lookup/insert locks exactly one shard. Two threads
+/// racing to insert the same fingerprint both succeed (last write renews
+/// the entry; the plans are identical by the fingerprint contract).
+class PlanCache {
+ public:
+  explicit PlanCache(PlanCacheOptions options = {});
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// The cached plan for `fp`, relabeled into the caller's index space, or
+  /// nullopt. Counts a hit or a miss.
+  std::optional<CachedPlan> Lookup(const QueryFingerprint& fp);
+
+  /// Caches `plan` (with model cost `cost`) under `fp`, evicting LRU
+  /// entries if the byte budget overflows. An entry larger than a whole
+  /// shard's budget is accepted and evicts everything else in its shard —
+  /// the cache never refuses the newest plan.
+  void Insert(const QueryFingerprint& fp, const Strategy& plan, uint64_t cost);
+
+  PlanCacheStats stats() const;
+  size_t bytes() const;
+  size_t entries() const;
+
+ private:
+  struct Entry {
+    uint64_t hash = 0;        ///< effective fingerprint hash (index key)
+    std::string key;          ///< full canonical key (collision arbiter)
+    Strategy canonical_plan;  ///< leaves = canonical positions
+    uint64_t cost = 0;
+    size_t bytes = 0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    /// LRU list, most-recent first; the map indexes it by key hash, with
+    /// chains disambiguated by Entry::key.
+    std::list<Entry> lru;
+    std::unordered_multimap<uint64_t, std::list<Entry>::iterator> index;
+    size_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;
+  };
+
+  uint64_t EffectiveHash(const QueryFingerprint& fp) const;
+  Shard& ShardOf(uint64_t hash);
+  static size_t EntryBytes(const Entry& entry);
+  /// Erases the index entry pointing at `victim`. Caller holds the lock.
+  static void RemoveFromIndex(Shard& shard, uint64_t hash,
+                              std::list<Entry>::iterator victim);
+
+  const PlanCacheOptions options_;
+  size_t shard_budget_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_SERVE_PLAN_CACHE_H_

@@ -1,0 +1,345 @@
+#include "serve/workload_driver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/trace.h"
+#include "workload/generator.h"
+
+namespace taujoin {
+
+namespace {
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+StatusOr<QueryShape> ParseQueryShape(std::string_view text) {
+  if (text == "chain") return QueryShape::kChain;
+  if (text == "star") return QueryShape::kStar;
+  if (text == "cycle") return QueryShape::kCycle;
+  if (text == "clique") return QueryShape::kClique;
+  return InvalidArgumentError("unknown query shape: " + std::string(text));
+}
+
+std::string FormatDouble(double value, const char* format = "%.2f") {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), format, value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string QueryClassSpec::Key() const {
+  return std::string(QueryShapeToString(shape)) + "/n" +
+         std::to_string(relation_count) + "/r" +
+         std::to_string(rows_per_relation) + "/d" +
+         std::to_string(join_domain) + "/z" + FormatDouble(join_skew) + "/s" +
+         std::to_string(seed);
+}
+
+StatusOr<QueryClassSpec> QueryClassSpec::Parse(std::string_view line) {
+  const std::vector<std::string> fields =
+      StrSplit(StripWhitespace(line), ',');
+  if (fields.size() != 6) {
+    return InvalidArgumentError(
+        "expected `shape,n,rows,domain,skew,seed`, got: " + std::string(line));
+  }
+  QueryClassSpec spec;
+  StatusOr<QueryShape> shape =
+      ParseQueryShape(StripWhitespace(fields[0]));
+  if (!shape.ok()) return shape.status();
+  spec.shape = *shape;
+  // std::atoi-style parsing would silently accept garbage; use strtoll and
+  // demand full consumption.
+  const auto parse_int = [](std::string_view text, int lo,
+                            const char* what) -> StatusOr<int64_t> {
+    const std::string field(StripWhitespace(text));
+    char* rest = nullptr;
+    const long long value = std::strtoll(field.c_str(), &rest, 10);
+    if (field.empty() || rest == nullptr || *rest != '\0' || value < lo) {
+      return InvalidArgumentError(std::string("bad ") + what + ": " + field);
+    }
+    return static_cast<int64_t>(value);
+  };
+  StatusOr<int64_t> n = parse_int(fields[1], 2, "relation count");
+  if (!n.ok()) return n.status();
+  spec.relation_count = static_cast<int>(*n);
+  if (spec.shape == QueryShape::kCycle && spec.relation_count < 3) {
+    return InvalidArgumentError("cycle workloads need n >= 3");
+  }
+  if (spec.relation_count > 20) {
+    return InvalidArgumentError("relation count capped at 20 per query");
+  }
+  StatusOr<int64_t> rows = parse_int(fields[2], 1, "row count");
+  if (!rows.ok()) return rows.status();
+  spec.rows_per_relation = static_cast<int>(*rows);
+  StatusOr<int64_t> domain = parse_int(fields[3], 1, "join domain");
+  if (!domain.ok()) return domain.status();
+  spec.join_domain = static_cast<int>(*domain);
+  {
+    const std::string field(StripWhitespace(fields[4]));
+    char* rest = nullptr;
+    spec.join_skew = std::strtod(field.c_str(), &rest);
+    if (field.empty() || rest == nullptr || *rest != '\0' ||
+        spec.join_skew < 0) {
+      return InvalidArgumentError("bad join skew: " + field);
+    }
+  }
+  StatusOr<int64_t> seed = parse_int(fields[5], 0, "seed");
+  if (!seed.ok()) return seed.status();
+  spec.seed = static_cast<uint64_t>(*seed);
+  return spec;
+}
+
+StatusOr<std::vector<QueryClassSpec>> LoadWorkload(std::istream& in) {
+  std::vector<QueryClassSpec> stream;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    StatusOr<QueryClassSpec> spec = QueryClassSpec::Parse(stripped);
+    if (!spec.ok()) {
+      return InvalidArgumentError("workload line " +
+                                  std::to_string(line_number) + ": " +
+                                  spec.status().message());
+    }
+    stream.push_back(*spec);
+  }
+  return stream;
+}
+
+LatencySummary LatencySummary::FromSamples(std::vector<uint64_t> samples) {
+  LatencySummary summary;
+  summary.count = samples.size();
+  if (samples.empty()) return summary;
+  std::sort(samples.begin(), samples.end());
+  const auto nearest_rank = [&](double quantile) {
+    const size_t rank = static_cast<size_t>(
+        std::max<int64_t>(0, static_cast<int64_t>(
+                                 quantile * static_cast<double>(
+                                                samples.size()) +
+                                 0.999999) -
+                                 1));
+    return samples[std::min(rank, samples.size() - 1)];
+  };
+  summary.p50_ns = nearest_rank(0.50);
+  summary.p95_ns = nearest_rank(0.95);
+  summary.max_ns = samples.back();
+  uint64_t sum = 0;
+  for (const uint64_t s : samples) sum += s;
+  summary.mean_ns = sum / samples.size();
+  return summary;
+}
+
+std::string LatencySummary::ToJson() const {
+  return "{\"count\": " + std::to_string(count) +
+         ", \"p50_ns\": " + std::to_string(p50_ns) +
+         ", \"p95_ns\": " + std::to_string(p95_ns) +
+         ", \"max_ns\": " + std::to_string(max_ns) +
+         ", \"mean_ns\": " + std::to_string(mean_ns) + "}";
+}
+
+std::string WorkloadReport::ToString() const {
+  const auto line = [](const char* label, const LatencySummary& s) {
+    return std::string("  ") + label + ": n=" + std::to_string(s.count) +
+           " p50=" + FormatDouble(static_cast<double>(s.p50_ns) / 1e3,
+                                  "%.1f") +
+           "us p95=" +
+           FormatDouble(static_cast<double>(s.p95_ns) / 1e3, "%.1f") +
+           "us max=" +
+           FormatDouble(static_cast<double>(s.max_ns) / 1e6, "%.2f") + "ms\n";
+  };
+  std::string out = "workload: " + std::to_string(queries) + " queries over " +
+                    std::to_string(classes) + " classes, " +
+                    FormatDouble(queries_per_second, "%.0f") + " q/s (" +
+                    FormatDouble(wall_seconds, "%.3f") + " s)\n";
+  out += "  cache: " + std::to_string(cache_hits) + " hits / " +
+         std::to_string(cache_misses) + " misses / " +
+         std::to_string(cache_evictions) + " evictions\n";
+  out += line("optimize(all) ", optimize);
+  out += line("optimize(cold)", optimize_cold);
+  out += line("optimize(warm)", optimize_warm);
+  if (execute.count > 0) out += line("execute       ", execute);
+  out += line("total         ", total);
+  out += "  tiers:";
+  for (const auto& [tier, count] : tier_counts) {
+    out += " " + tier + "=" + std::to_string(count);
+  }
+  out += "\n";
+  return out;
+}
+
+std::string WorkloadReport::ToJson() const {
+  std::string json = "{\n";
+  json += "      \"queries\": " + std::to_string(queries) + ",\n";
+  json += "      \"classes\": " + std::to_string(classes) + ",\n";
+  json += "      \"cache_hits\": " + std::to_string(cache_hits) + ",\n";
+  json += "      \"cache_misses\": " + std::to_string(cache_misses) + ",\n";
+  json +=
+      "      \"cache_evictions\": " + std::to_string(cache_evictions) + ",\n";
+  json += "      \"optimize\": " + optimize.ToJson() + ",\n";
+  json += "      \"optimize_cold\": " + optimize_cold.ToJson() + ",\n";
+  json += "      \"optimize_warm\": " + optimize_warm.ToJson() + ",\n";
+  json += "      \"execute\": " + execute.ToJson() + ",\n";
+  json += "      \"total\": " + total.ToJson() + ",\n";
+  json += "      \"wall_seconds\": " + FormatDouble(wall_seconds, "%.6f") +
+          ",\n";
+  json += "      \"queries_per_second\": " +
+          FormatDouble(queries_per_second, "%.1f") + ",\n";
+  json += "      \"tiers\": {";
+  bool first = true;
+  for (const auto& [tier, count] : tier_counts) {
+    if (!first) json += ", ";
+    first = false;
+    json += "\"" + tier + "\": " + std::to_string(count);
+  }
+  json += "}\n    }";
+  return json;
+}
+
+WorkloadDriver::WorkloadDriver(WorkloadDriverOptions options)
+    : options_(std::move(options)) {
+  TAUJOIN_CHECK_GT(options_.batch_size, 0);
+}
+
+WorkloadDriver::ClassState& WorkloadDriver::GetOrBuildClass(
+    const QueryClassSpec& spec) {
+  const std::string key = spec.Key();
+  std::lock_guard<std::mutex> lock(classes_mu_);
+  auto it = classes_.find(key);
+  if (it != classes_.end()) return *it->second;
+
+  TAUJOIN_METRIC_SPAN(build, "serve.driver.class_build");
+  auto state = std::make_unique<ClassState>();
+  GeneratorOptions gen;
+  gen.shape = spec.shape;
+  gen.relation_count = spec.relation_count;
+  gen.rows_per_relation = spec.rows_per_relation;
+  gen.join_domain = spec.join_domain;
+  gen.join_skew = spec.join_skew;
+  Rng rng(spec.seed);
+  state->db = RandomDatabase(gen, rng);
+  state->engine = std::make_unique<CostEngine>(&state->db);
+  // The exact model's τ values are a function of this class's data, so the
+  // size-model identity is scoped to the class key: repeats of the class
+  // share plans, different classes never do (even when isomorphic).
+  state->fingerprint = FingerprintQuery(
+      state->db.scheme(), state->db.scheme().full_mask(), "exact/" + key);
+  it = classes_.emplace(key, std::move(state)).first;
+  TAUJOIN_METRIC_INCR("serve.driver.classes_built");
+  return *it->second;
+}
+
+QueryOutcome WorkloadDriver::RunOne(const QueryClassSpec& spec) {
+  QueryOutcome outcome;
+  const uint64_t query_start = NowNanos();
+  ClassState& cls = GetOrBuildClass(spec);
+  const RelMask mask = cls.db.scheme().full_mask();
+
+  const uint64_t optimize_start = NowNanos();
+  Strategy plan;
+  if (options_.cache != nullptr) {
+    std::optional<CachedPlan> cached = options_.cache->Lookup(cls.fingerprint);
+    if (cached.has_value()) {
+      outcome.cache_hit = true;
+      outcome.cost = cached->cost;
+      plan = std::move(cached->strategy);
+    }
+  }
+  if (!outcome.cache_hit) {
+    AdaptiveResult result =
+        OptimizeAdaptive(*cls.engine, mask, options_.adaptive);
+    outcome.tier = result.tier;
+    outcome.cost = result.plan.cost;
+    plan = std::move(result.plan.strategy);
+    if (options_.cache != nullptr) {
+      options_.cache->Insert(cls.fingerprint, plan, outcome.cost);
+    }
+  }
+  outcome.optimize_ns = NowNanos() - optimize_start;
+
+  if (options_.execute) {
+    const uint64_t execute_start = NowNanos();
+    TAUJOIN_METRIC_SPAN(exec, "serve.driver.execute");
+    const EvaluationTrace trace = ExecuteStrategy(cls.db, plan);
+    (void)trace;
+    outcome.execute_ns = NowNanos() - execute_start;
+  }
+  outcome.total_ns = NowNanos() - query_start;
+  return outcome;
+}
+
+WorkloadReport WorkloadDriver::Run(const std::vector<QueryClassSpec>& stream) {
+  TAUJOIN_METRIC_SPAN(run, "serve.driver.run");
+  outcomes_.assign(stream.size(), QueryOutcome{});
+  const PlanCacheStats cache_before =
+      options_.cache != nullptr ? options_.cache->stats() : PlanCacheStats{};
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  ThreadPool& pool = options_.parallel.pool_or_global();
+  const int parallelism = options_.parallel.resolved_threads();
+  const size_t batch = static_cast<size_t>(options_.batch_size);
+  for (size_t start = 0; start < stream.size(); start += batch) {
+    const size_t count = std::min(batch, stream.size() - start);
+    pool.ParallelFor(
+        static_cast<int64_t>(count),
+        [&](int64_t i) {
+          const size_t q = start + static_cast<size_t>(i);
+          outcomes_[q] = RunOne(stream[q]);
+          TAUJOIN_METRIC_INCR("serve.driver.queries");
+        },
+        parallelism);
+  }
+  const double wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
+
+  WorkloadReport report;
+  report.queries = stream.size();
+  report.classes = classes_.size();
+  report.wall_seconds = wall_seconds;
+  report.queries_per_second =
+      wall_seconds > 0 ? static_cast<double>(stream.size()) / wall_seconds : 0;
+  std::vector<uint64_t> all_opt, cold_opt, warm_opt, exec_ns, total_ns;
+  for (const QueryOutcome& outcome : outcomes_) {
+    all_opt.push_back(outcome.optimize_ns);
+    if (outcome.cache_hit) {
+      ++report.cache_hits;
+      warm_opt.push_back(outcome.optimize_ns);
+    } else {
+      ++report.cache_misses;
+      cold_opt.push_back(outcome.optimize_ns);
+      ++report.tier_counts[OptimizerTierToString(outcome.tier)];
+    }
+    if (options_.execute) exec_ns.push_back(outcome.execute_ns);
+    total_ns.push_back(outcome.total_ns);
+  }
+  report.optimize = LatencySummary::FromSamples(std::move(all_opt));
+  report.optimize_cold = LatencySummary::FromSamples(std::move(cold_opt));
+  report.optimize_warm = LatencySummary::FromSamples(std::move(warm_opt));
+  report.execute = LatencySummary::FromSamples(std::move(exec_ns));
+  report.total = LatencySummary::FromSamples(std::move(total_ns));
+  if (options_.cache != nullptr) {
+    report.cache_evictions =
+        options_.cache->stats().evictions - cache_before.evictions;
+  }
+  return report;
+}
+
+}  // namespace taujoin

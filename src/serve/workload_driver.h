@@ -1,0 +1,141 @@
+#ifndef TAUJOIN_SERVE_WORKLOAD_DRIVER_H_
+#define TAUJOIN_SERVE_WORKLOAD_DRIVER_H_
+
+#include <cstdint>
+#include <istream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/database.h"
+#include "optimize/adaptive.h"
+#include "scheme/query_graph.h"
+#include "serve/plan_cache.h"
+
+namespace taujoin {
+
+/// One workload query class: a shaped scheme with a deterministic random
+/// state. Structurally identical repeats of a class are the unit of plan
+/// reuse — the driver builds each class's database once and gives all its
+/// queries one fingerprint, so every repeat after the first is a cache hit.
+struct QueryClassSpec {
+  QueryShape shape = QueryShape::kChain;
+  int relation_count = 4;
+  int rows_per_relation = 32;
+  int join_domain = 8;
+  double join_skew = 0.0;
+  uint64_t seed = 1;
+
+  /// Stable identity, e.g. "chain/n6/r64/d8/z0.50/s42" — doubles as the
+  /// size-model identity scope for the fingerprint (exact τ depends on the
+  /// class's data, so two classes never share plans, while repeats of one
+  /// class always do).
+  std::string Key() const;
+
+  /// Parses the gen_workload.py line format
+  /// `shape,n,rows,domain,skew,seed`, e.g. `star,7,64,8,1.1,42`.
+  static StatusOr<QueryClassSpec> Parse(std::string_view line);
+};
+
+/// Parses a workload stream: one query per line in the QueryClassSpec
+/// format, blank lines and `#` comments ignored. The returned vector is
+/// the query *stream* (classes repeat as often as they appear).
+StatusOr<std::vector<QueryClassSpec>> LoadWorkload(std::istream& in);
+
+/// Nearest-rank latency summary over one population, in nanoseconds.
+struct LatencySummary {
+  uint64_t count = 0;
+  uint64_t p50_ns = 0;
+  uint64_t p95_ns = 0;
+  uint64_t max_ns = 0;
+  uint64_t mean_ns = 0;
+
+  static LatencySummary FromSamples(std::vector<uint64_t> samples);
+  std::string ToJson() const;
+};
+
+struct WorkloadDriverOptions {
+  /// Plan cache shared across the run; nullptr disables caching (every
+  /// query optimizes cold — the baseline the serve bench compares against).
+  PlanCache* cache = nullptr;
+  AdaptiveOptions adaptive;
+  /// Also physically execute every chosen plan (materializing each step).
+  bool execute = false;
+  /// Queries dispatched per ParallelFor batch.
+  int batch_size = 64;
+  ParallelOptions parallel;
+};
+
+/// Outcome of one driven query (all timings steady_clock nanoseconds).
+struct QueryOutcome {
+  bool cache_hit = false;
+  OptimizerTier tier = OptimizerTier::kGreedy;  ///< winning tier (miss only)
+  uint64_t cost = 0;
+  uint64_t optimize_ns = 0;  ///< fingerprint + lookup + optimize + insert
+  uint64_t execute_ns = 0;
+  uint64_t total_ns = 0;
+};
+
+struct WorkloadReport {
+  uint64_t queries = 0;
+  uint64_t classes = 0;  ///< distinct classes touched
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  LatencySummary optimize;       ///< all queries
+  LatencySummary optimize_cold;  ///< cache misses (or all, without a cache)
+  LatencySummary optimize_warm;  ///< cache hits (empty without a cache)
+  LatencySummary execute;        ///< only when options.execute
+  LatencySummary total;
+  double wall_seconds = 0;
+  double queries_per_second = 0;
+  /// Winning-tier histogram over cache misses, keyed by tier name.
+  std::map<std::string, uint64_t> tier_counts;
+
+  std::string ToString() const;  ///< aligned human-readable block
+  std::string ToJson() const;
+};
+
+/// Drives a stream of queries through optimize(+execute) with plan-cache
+/// amortization, batching the stream onto the shared ThreadPool.
+///
+/// Per query: resolve the class (building its database and CostEngine on
+/// first touch), fingerprint it, consult the cache; on a miss run the
+/// adaptive optimizer and insert the plan. Per-query outcomes feed the
+/// report's cold/warm latency split. Thread-safety: Run may be called from
+/// one thread at a time per driver; queries within a batch run
+/// concurrently and may share classes (the class map is mutex-guarded, the
+/// engines and the cache are thread-safe).
+class WorkloadDriver {
+ public:
+  explicit WorkloadDriver(WorkloadDriverOptions options = {});
+
+  WorkloadReport Run(const std::vector<QueryClassSpec>& stream);
+
+  /// Per-query outcomes of the last Run, stream-ordered (for tests).
+  const std::vector<QueryOutcome>& outcomes() const { return outcomes_; }
+
+ private:
+  struct ClassState {
+    Database db;
+    std::unique_ptr<CostEngine> engine;
+    QueryFingerprint fingerprint;
+  };
+
+  ClassState& GetOrBuildClass(const QueryClassSpec& spec);
+  QueryOutcome RunOne(const QueryClassSpec& spec);
+
+  WorkloadDriverOptions options_;
+  std::mutex classes_mu_;
+  std::unordered_map<std::string, std::unique_ptr<ClassState>> classes_;
+  std::vector<QueryOutcome> outcomes_;
+};
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_SERVE_WORKLOAD_DRIVER_H_

@@ -6,11 +6,14 @@
 #include "common/thread_pool.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -193,6 +196,66 @@ TEST_F(ResolveThreadsEnv, GarbageFallsBackToHardware) {
   EXPECT_GE(ResolveThreads(0), 1);
   setenv("TAUJOIN_THREADS", "-2", 1);
   EXPECT_GE(ResolveThreads(0), 1);
+}
+
+/// Redirects a stdio stream into a temp file for the lifetime of the
+/// object; Contents() flushes and returns everything captured so far.
+class CaptureStream {
+ public:
+  explicit CaptureStream(FILE* stream) : stream_(stream) {
+    std::fflush(stream_);
+    saved_fd_ = dup(fileno(stream_));
+    char path[] = "/tmp/taujoin_capture_XXXXXX";
+    capture_fd_ = mkstemp(path);
+    path_ = path;
+    dup2(capture_fd_, fileno(stream_));
+  }
+  ~CaptureStream() {
+    std::fflush(stream_);
+    dup2(saved_fd_, fileno(stream_));
+    close(saved_fd_);
+    close(capture_fd_);
+    unlink(path_.c_str());
+  }
+  std::string Contents() {
+    std::fflush(stream_);
+    std::string text;
+    char buffer[4096];
+    lseek(capture_fd_, 0, SEEK_SET);
+    ssize_t n;
+    while ((n = read(capture_fd_, buffer, sizeof(buffer))) > 0) {
+      text.append(buffer, static_cast<size_t>(n));
+    }
+    return text;
+  }
+
+ private:
+  FILE* stream_;
+  int saved_fd_ = -1;
+  int capture_fd_ = -1;
+  std::string path_;
+};
+
+// Regression: the TAUJOIN_SWEEP_THREADS deprecation warning must reach
+// stderr, never stdout (stdout is reserved for machine-readable experiment
+// output that gets piped into files and parsers), and must fire only once
+// per process no matter how many times the alias is resolved.
+TEST_F(ResolveThreadsEnv, SweepThreadsWarningOnStderrOnlyAndOnce) {
+  setenv("TAUJOIN_SWEEP_THREADS", "3", 1);
+  ResetSweepThreadsWarningForTest();
+  CaptureStream out(stdout);
+  CaptureStream err(stderr);
+  EXPECT_EQ(ResolveThreads(0), 3);
+  EXPECT_EQ(ResolveThreads(0), 3);  // second resolve must stay silent
+  const std::string captured_out = out.Contents();
+  const std::string captured_err = err.Contents();
+  EXPECT_EQ(captured_out, "") << "deprecation warning leaked to stdout";
+  EXPECT_NE(captured_err.find("TAUJOIN_SWEEP_THREADS is deprecated"),
+            std::string::npos)
+      << "stderr: " << captured_err;
+  EXPECT_EQ(captured_err.find("deprecated"),
+            captured_err.rfind("deprecated"))
+      << "warning emitted more than once: " << captured_err;
 }
 
 }  // namespace

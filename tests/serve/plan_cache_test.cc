@@ -1,0 +1,302 @@
+// PlanCache + fingerprint contracts: canonicalization is invariant under
+// relation permutation and attribute renaming, a cache hit returns a plan
+// bit-identical (Strategy::IdenticalTo) to a cold optimize at every thread
+// count, LRU eviction respects the byte budget without ever dropping the
+// newest plan, and hash collisions resolve through the full canonical key.
+#include "serve/plan_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/cost.h"
+#include "optimize/adaptive.h"
+#include "scheme/query_graph.h"
+#include "serve/fingerprint.h"
+#include "workload/generator.h"
+
+namespace taujoin {
+namespace {
+
+Database ShapedDatabase(QueryShape shape, int n, uint64_t seed) {
+  GeneratorOptions options;
+  options.shape = shape;
+  options.relation_count = n;
+  options.rows_per_relation = 16;
+  options.join_domain = 4;
+  Rng rng(seed);
+  return RandomDatabase(options, rng);
+}
+
+TEST(FingerprintTest, DeterministicAndModelScoped) {
+  const Database db = ShapedDatabase(QueryShape::kChain, 5, 1);
+  const RelMask mask = db.scheme().full_mask();
+  const QueryFingerprint a = FingerprintQuery(db.scheme(), mask, "m");
+  const QueryFingerprint b = FingerprintQuery(db.scheme(), mask, "m");
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(a.hash, b.hash);
+  EXPECT_EQ(a.canonical_position, b.canonical_position);
+
+  const QueryFingerprint other = FingerprintQuery(db.scheme(), mask, "m2");
+  EXPECT_NE(a.key, other.key);
+}
+
+TEST(FingerprintTest, InvariantUnderAttributeRenaming) {
+  const DatabaseScheme named = DatabaseScheme::Parse({"AB", "BC", "CD"});
+  const DatabaseScheme renamed = DatabaseScheme::Parse({"XY", "YZ", "ZW"});
+  const QueryFingerprint a =
+      FingerprintQuery(named, named.full_mask(), "m");
+  const QueryFingerprint b =
+      FingerprintQuery(renamed, renamed.full_mask(), "m");
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(a.hash, b.hash);
+}
+
+TEST(FingerprintTest, InvariantUnderRelationPermutation) {
+  for (const QueryShape shape :
+       {QueryShape::kChain, QueryShape::kStar, QueryShape::kCycle,
+        QueryShape::kClique}) {
+    const DatabaseScheme scheme = MakeShapedScheme(shape, 6);
+    std::vector<Schema> shuffled(scheme.schemes());
+    Rng rng(7);
+    rng.Shuffle(shuffled);
+    const DatabaseScheme permuted(shuffled);
+    const QueryFingerprint a =
+        FingerprintQuery(scheme, scheme.full_mask(), "m");
+    const QueryFingerprint b =
+        FingerprintQuery(permuted, permuted.full_mask(), "m");
+    EXPECT_EQ(a.key, b.key) << QueryShapeToString(shape);
+  }
+}
+
+TEST(FingerprintTest, DistinguishesShapeAndSize) {
+  const auto fp = [](QueryShape shape, int n) {
+    const DatabaseScheme scheme = MakeShapedScheme(shape, n);
+    return FingerprintQuery(scheme, scheme.full_mask(), "m").key;
+  };
+  EXPECT_NE(fp(QueryShape::kChain, 4), fp(QueryShape::kStar, 4));
+  EXPECT_NE(fp(QueryShape::kChain, 4), fp(QueryShape::kChain, 5));
+  EXPECT_NE(fp(QueryShape::kCycle, 4), fp(QueryShape::kClique, 4));
+}
+
+TEST(FingerprintTest, PositionMapsAreInverse) {
+  const DatabaseScheme scheme = MakeShapedScheme(QueryShape::kStar, 5);
+  const QueryFingerprint fp =
+      FingerprintQuery(scheme, scheme.full_mask(), "m");
+  const std::vector<int> inverse = fp.PositionToRelation();
+  ASSERT_EQ(inverse.size(), 5u);
+  for (size_t rel = 0; rel < fp.canonical_position.size(); ++rel) {
+    const int pos = fp.canonical_position[rel];
+    ASSERT_GE(pos, 0);
+    EXPECT_EQ(inverse[static_cast<size_t>(pos)], static_cast<int>(rel));
+  }
+}
+
+// The differential contract the serving layer rests on: for random shaped
+// schemes up to n = 10, a cache hit returns a Strategy bit-identical to
+// what a cold optimize produces, with the same cost, at 1 / 2 / hardware
+// thread counts (the optimizers are deterministic at any parallelism, so
+// cold plans are comparable across thread counts too).
+TEST(PlanCacheDifferentialTest, HitsAreBitIdenticalToColdOptimize) {
+  const int hw = std::max(
+      1, static_cast<int>(std::thread::hardware_concurrency()));
+  std::vector<int> thread_counts{1, 2};
+  if (hw > 2) thread_counts.push_back(hw);
+
+  struct Case {
+    QueryShape shape;
+    int n;
+  };
+  const std::vector<Case> cases = {
+      {QueryShape::kChain, 3},  {QueryShape::kChain, 10},
+      {QueryShape::kStar, 6},   {QueryShape::kCycle, 5},
+      {QueryShape::kClique, 4}, {QueryShape::kStar, 9},
+  };
+  uint64_t seed = 100;
+  for (const Case& c : cases) {
+    const Database db = ShapedDatabase(c.shape, c.n, ++seed);
+    CostEngine engine(&db);
+    const RelMask mask = db.scheme().full_mask();
+    const QueryFingerprint fp = FingerprintQuery(
+        db.scheme(), mask, std::string("case/") + std::to_string(seed));
+
+    for (const int threads : thread_counts) {
+      ThreadPool pool(threads - 1);
+      AdaptiveOptions options;
+      options.parallel.threads = threads;
+      options.parallel.pool = &pool;
+
+      const AdaptiveResult cold = OptimizeAdaptive(engine, mask, options);
+      ASSERT_TRUE(cold.plan.strategy.IsValid());
+      EXPECT_EQ(cold.plan.strategy.mask(), mask);
+
+      PlanCache cache;
+      EXPECT_FALSE(cache.Lookup(fp).has_value());
+      cache.Insert(fp, cold.plan.strategy, cold.plan.cost);
+
+      const std::optional<CachedPlan> hit = cache.Lookup(fp);
+      ASSERT_TRUE(hit.has_value())
+          << QueryShapeToString(c.shape) << " n=" << c.n;
+      EXPECT_TRUE(hit->strategy.IdenticalTo(cold.plan.strategy))
+          << QueryShapeToString(c.shape) << " n=" << c.n
+          << " threads=" << threads;
+      EXPECT_EQ(hit->cost, cold.plan.cost);
+
+      // And the cold optimize itself is reproducible (determinism at any
+      // thread count), so "bit-identical to the cached plan" means
+      // "bit-identical to any cold optimize".
+      const AdaptiveResult again = OptimizeAdaptive(engine, mask, options);
+      EXPECT_TRUE(again.plan.strategy.IdenticalTo(cold.plan.strategy));
+    }
+  }
+}
+
+// A plan cached under one relation order serves the isomorphic query with
+// a different order: the hit comes back relabeled into the inquirer's
+// index space and costs exactly the same there.
+TEST(PlanCacheDifferentialTest, TransfersPlansAcrossIsomorphicSchemes) {
+  const Database db = ShapedDatabase(QueryShape::kChain, 6, 3);
+  CostEngine engine(&db);
+  const RelMask mask = db.scheme().full_mask();
+
+  // The permuted twin: same schemes and states, relation order reversed.
+  std::vector<Schema> rev_schemes(db.scheme().schemes());
+  std::reverse(rev_schemes.begin(), rev_schemes.end());
+  std::vector<Relation> rev_states;
+  for (int i = db.size() - 1; i >= 0; --i) rev_states.push_back(db.state(i));
+  const Database permuted = Database::CreateOrDie(
+      DatabaseScheme(std::move(rev_schemes)), std::move(rev_states));
+  CostEngine permuted_engine(&permuted);
+
+  // A shared model id forces the two to alias (the WorkloadDriver scopes
+  // model ids per class precisely so that only intentional sharing holds).
+  const QueryFingerprint fp_a = FingerprintQuery(db.scheme(), mask, "shared");
+  const QueryFingerprint fp_b =
+      FingerprintQuery(permuted.scheme(), permuted.scheme().full_mask(),
+                       "shared");
+  ASSERT_EQ(fp_a.key, fp_b.key);
+
+  const AdaptiveResult cold = OptimizeAdaptive(engine, mask);
+  PlanCache cache;
+  cache.Insert(fp_a, cold.plan.strategy, cold.plan.cost);
+
+  const std::optional<CachedPlan> hit = cache.Lookup(fp_b);
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_TRUE(hit->strategy.IsValid());
+  EXPECT_EQ(hit->strategy.mask(), permuted.scheme().full_mask());
+  // Same data, so the transported plan costs the same in the twin's space.
+  EXPECT_EQ(TauCost(hit->strategy, permuted_engine), cold.plan.cost);
+}
+
+TEST(PlanCacheTest, EvictsLruUnderByteBudgetButKeepsNewest) {
+  PlanCacheOptions options;
+  options.max_bytes = 2048;  // a handful of entries
+  options.shard_count = 1;   // deterministic LRU order
+  PlanCache cache(options);
+
+  const DatabaseScheme scheme = MakeShapedScheme(QueryShape::kChain, 4);
+  const Strategy plan = Strategy::LeftDeep({0, 1, 2, 3});
+  std::vector<QueryFingerprint> fps;
+  for (int i = 0; i < 64; ++i) {
+    fps.push_back(FingerprintQuery(scheme, scheme.full_mask(),
+                                   "model-" + std::to_string(i)));
+    cache.Insert(fps.back(), plan, static_cast<uint64_t>(i));
+  }
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.inserts, 64u);
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_EQ(stats.entries + stats.evictions, 64u);
+  EXPECT_LE(cache.bytes(), options.max_bytes);
+
+  // The newest insert must never have been the eviction victim.
+  const std::optional<CachedPlan> newest = cache.Lookup(fps.back());
+  ASSERT_TRUE(newest.has_value());
+  EXPECT_EQ(newest->cost, 63u);
+  // The oldest is long gone.
+  EXPECT_FALSE(cache.Lookup(fps.front()).has_value());
+}
+
+TEST(PlanCacheTest, OversizedEntryIsStillAccepted) {
+  PlanCacheOptions options;
+  options.max_bytes = 1;  // smaller than any entry
+  options.shard_count = 1;
+  PlanCache cache(options);
+  const DatabaseScheme scheme = MakeShapedScheme(QueryShape::kChain, 3);
+  const QueryFingerprint fp =
+      FingerprintQuery(scheme, scheme.full_mask(), "m");
+  cache.Insert(fp, Strategy::LeftDeep({0, 1, 2}), 5);
+  const std::optional<CachedPlan> hit = cache.Lookup(fp);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->cost, 5u);
+}
+
+TEST(PlanCacheTest, CollidingHashesResolveByFullKey) {
+  PlanCacheOptions options;
+  options.collide_all_hashes_for_test = true;
+  options.shard_count = 4;  // all entries still land in one shard
+  PlanCache cache(options);
+
+  const DatabaseScheme scheme = MakeShapedScheme(QueryShape::kChain, 3);
+  const Strategy plan = Strategy::LeftDeep({0, 1, 2});
+  std::vector<QueryFingerprint> fps;
+  for (int i = 0; i < 8; ++i) {
+    fps.push_back(FingerprintQuery(scheme, scheme.full_mask(),
+                                   "collide-" + std::to_string(i)));
+    cache.Insert(fps.back(), plan, static_cast<uint64_t>(100 + i));
+  }
+  for (int i = 0; i < 8; ++i) {
+    const std::optional<CachedPlan> hit = cache.Lookup(fps[i]);
+    ASSERT_TRUE(hit.has_value()) << i;
+    EXPECT_EQ(hit->cost, static_cast<uint64_t>(100 + i)) << i;
+  }
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 8u);
+  EXPECT_EQ(stats.entries, 8u);
+}
+
+TEST(PlanCacheTest, ReinsertReplacesInsteadOfDuplicating) {
+  PlanCache cache;
+  const DatabaseScheme scheme = MakeShapedScheme(QueryShape::kChain, 3);
+  const QueryFingerprint fp =
+      FingerprintQuery(scheme, scheme.full_mask(), "m");
+  cache.Insert(fp, Strategy::LeftDeep({0, 1, 2}), 1);
+  cache.Insert(fp, Strategy::LeftDeep({2, 1, 0}), 2);
+  EXPECT_EQ(cache.entries(), 1u);
+  const std::optional<CachedPlan> hit = cache.Lookup(fp);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->cost, 2u);
+}
+
+TEST(PlanCacheTest, ConcurrentMixedTrafficIsSafe) {
+  PlanCache cache;
+  const DatabaseScheme scheme = MakeShapedScheme(QueryShape::kStar, 5);
+  std::vector<QueryFingerprint> fps;
+  for (int i = 0; i < 16; ++i) {
+    fps.push_back(FingerprintQuery(scheme, scheme.full_mask(),
+                                   "c-" + std::to_string(i)));
+  }
+  const Strategy plan = Strategy::LeftDeep({0, 1, 2, 3, 4});
+  ThreadPool pool(3);
+  pool.ParallelFor(512, [&](int64_t i) {
+    const QueryFingerprint& fp = fps[static_cast<size_t>(i) % fps.size()];
+    if (i % 3 == 0) {
+      cache.Insert(fp, plan, static_cast<uint64_t>(i));
+    } else {
+      const std::optional<CachedPlan> hit = cache.Lookup(fp);
+      if (hit.has_value()) {
+        EXPECT_TRUE(hit->strategy.IsValid());
+      }
+    }
+  });
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 512u - 512u / 3 - 1);
+  EXPECT_LE(stats.entries, 16u);
+}
+
+}  // namespace
+}  // namespace taujoin

@@ -1,0 +1,231 @@
+// WorkloadDriver contracts: the workload line format parses (and rejects)
+// correctly, cached runs hit for every class repeat with costs equal to
+// the cold optimize, the adaptive optimizer escalates by query size, and
+// the report's populations add up.
+#include "serve/workload_driver.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "optimize/adaptive.h"
+#include "serve/plan_cache.h"
+
+namespace taujoin {
+namespace {
+
+TEST(QueryClassSpecTest, ParsesWellFormedLines) {
+  const StatusOr<QueryClassSpec> spec =
+      QueryClassSpec::Parse("star,7,64,8,1.5,42");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->shape, QueryShape::kStar);
+  EXPECT_EQ(spec->relation_count, 7);
+  EXPECT_EQ(spec->rows_per_relation, 64);
+  EXPECT_EQ(spec->join_domain, 8);
+  EXPECT_DOUBLE_EQ(spec->join_skew, 1.5);
+  EXPECT_EQ(spec->seed, 42u);
+  EXPECT_EQ(spec->Key(), "star/n7/r64/d8/z1.50/s42");
+
+  // Whitespace-tolerant.
+  EXPECT_TRUE(QueryClassSpec::Parse("  chain , 4 , 32 , 4 , 0 , 1 ").ok());
+}
+
+TEST(QueryClassSpecTest, RejectsMalformedLines) {
+  const std::vector<std::string> bad = {
+      "",                        // empty
+      "star,7,64,8,1.5",         // too few fields
+      "star,7,64,8,1.5,42,9",    // too many fields
+      "blob,7,64,8,1.5,42",      // unknown shape
+      "star,1,64,8,1.5,42",      // n < 2
+      "cycle,2,64,8,0,42",       // cycle needs n >= 3
+      "star,7,0,8,1.5,42",       // zero rows
+      "star,7,64,0,1.5,42",      // zero domain
+      "star,7,64,8,-1,42",       // negative skew
+      "star,7x,64,8,0,42",       // trailing garbage in a number
+      "star,7,64,8,0,-3",        // negative seed
+      "star,99,64,8,0,42",       // n over the per-query cap
+  };
+  for (const std::string& line : bad) {
+    EXPECT_FALSE(QueryClassSpec::Parse(line).ok()) << line;
+  }
+}
+
+TEST(LoadWorkloadTest, SkipsCommentsAndReportsLineNumbers) {
+  std::istringstream good(
+      "# header\n"
+      "\n"
+      "chain,4,32,4,0,1\n"
+      "  # indented comment\n"
+      "star,5,32,4,0,2\n");
+  const StatusOr<std::vector<QueryClassSpec>> stream = LoadWorkload(good);
+  ASSERT_TRUE(stream.ok());
+  ASSERT_EQ(stream->size(), 2u);
+  EXPECT_EQ((*stream)[0].shape, QueryShape::kChain);
+  EXPECT_EQ((*stream)[1].shape, QueryShape::kStar);
+
+  std::istringstream bad("chain,4,32,4,0,1\nbogus line\n");
+  const StatusOr<std::vector<QueryClassSpec>> err = LoadWorkload(bad);
+  ASSERT_FALSE(err.ok());
+  EXPECT_NE(err.status().message().find("line 2"), std::string::npos)
+      << err.status().ToString();
+}
+
+TEST(LatencySummaryTest, NearestRankPercentiles) {
+  LatencySummary summary =
+      LatencySummary::FromSamples({50, 10, 40, 20, 30});
+  EXPECT_EQ(summary.count, 5u);
+  EXPECT_EQ(summary.p50_ns, 30u);
+  EXPECT_EQ(summary.p95_ns, 50u);
+  EXPECT_EQ(summary.max_ns, 50u);
+  EXPECT_EQ(summary.mean_ns, 30u);
+
+  const LatencySummary empty = LatencySummary::FromSamples({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(empty.p50_ns, 0u);
+}
+
+std::vector<QueryClassSpec> RepeatedStream() {
+  QueryClassSpec chain;
+  chain.shape = QueryShape::kChain;
+  chain.relation_count = 5;
+  chain.rows_per_relation = 16;
+  chain.join_domain = 4;
+  chain.seed = 11;
+  QueryClassSpec star = chain;
+  star.shape = QueryShape::kStar;
+  star.seed = 12;
+  std::vector<QueryClassSpec> stream;
+  for (int i = 0; i < 10; ++i) {
+    stream.push_back(chain);
+    stream.push_back(star);
+  }
+  return stream;
+}
+
+TEST(WorkloadDriverTest, UncachedRunIsAllMisses) {
+  WorkloadDriver driver;  // no cache
+  const WorkloadReport report = driver.Run(RepeatedStream());
+  EXPECT_EQ(report.queries, 20u);
+  EXPECT_EQ(report.classes, 2u);
+  EXPECT_EQ(report.cache_hits, 0u);
+  EXPECT_EQ(report.cache_misses, 20u);
+  EXPECT_EQ(report.optimize_warm.count, 0u);
+  EXPECT_EQ(report.optimize_cold.count, 20u);
+  for (const QueryOutcome& outcome : driver.outcomes()) {
+    EXPECT_FALSE(outcome.cache_hit);
+    EXPECT_GT(outcome.cost, 0u);
+  }
+}
+
+TEST(WorkloadDriverTest, CachedRunHitsEveryRepeatWithEqualCost) {
+  const std::vector<QueryClassSpec> stream = RepeatedStream();
+
+  WorkloadDriver cold_driver;
+  const WorkloadReport cold = cold_driver.Run(stream);
+
+  PlanCache cache;
+  WorkloadDriverOptions options;
+  options.cache = &cache;
+  WorkloadDriver driver(options);
+  const WorkloadReport warm = driver.Run(stream);
+
+  EXPECT_EQ(warm.cache_misses, 2u);  // one per class
+  EXPECT_EQ(warm.cache_hits, 18u);
+  EXPECT_EQ(warm.optimize_warm.count, 18u);
+  EXPECT_EQ(warm.cache_hits + warm.cache_misses, warm.queries);
+
+  // Hit or miss, every outcome of one class carries the same cost, and it
+  // matches the uncached run's cost for that class.
+  ASSERT_EQ(driver.outcomes().size(), cold_driver.outcomes().size());
+  for (size_t i = 0; i < driver.outcomes().size(); ++i) {
+    EXPECT_EQ(driver.outcomes()[i].cost, cold_driver.outcomes()[i].cost)
+        << "query " << i;
+  }
+}
+
+TEST(WorkloadDriverTest, CachedCostsStableAcrossThreadCounts) {
+  const std::vector<QueryClassSpec> stream = RepeatedStream();
+  std::vector<uint64_t> baseline;
+  for (const int threads : {1, 2, 4}) {
+    ThreadPool pool(threads - 1);
+    PlanCache cache;
+    WorkloadDriverOptions options;
+    options.cache = &cache;
+    options.parallel.threads = threads;
+    options.parallel.pool = &pool;
+    WorkloadDriver driver(options);
+    driver.Run(stream);
+    std::vector<uint64_t> costs;
+    for (const QueryOutcome& outcome : driver.outcomes()) {
+      costs.push_back(outcome.cost);
+    }
+    if (baseline.empty()) {
+      baseline = costs;
+    } else {
+      EXPECT_EQ(costs, baseline) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(WorkloadDriverTest, AdaptiveTierMatchesQuerySize) {
+  QueryClassSpec small;  // n = 5 ≤ exhaustive_max
+  small.shape = QueryShape::kChain;
+  small.relation_count = 5;
+  small.rows_per_relation = 8;
+  small.join_domain = 4;
+  small.seed = 21;
+  QueryClassSpec mid = small;  // n = 10: DPccp territory
+  mid.relation_count = 10;
+  mid.seed = 22;
+  QueryClassSpec large = mid;  // n = 16 > dp_max: heuristic tiers only
+  large.relation_count = 16;
+  large.seed = 23;
+
+  WorkloadDriver driver;
+  driver.Run({small, mid, large});
+  ASSERT_EQ(driver.outcomes().size(), 3u);
+  EXPECT_EQ(driver.outcomes()[0].tier, OptimizerTier::kExhaustive);
+  EXPECT_EQ(driver.outcomes()[1].tier, OptimizerTier::kDpCcp);
+  EXPECT_TRUE(driver.outcomes()[2].tier == OptimizerTier::kGreedy ||
+              driver.outcomes()[2].tier == OptimizerTier::kIkkbz);
+
+  const WorkloadReport report = driver.Run({small, mid, large});
+  EXPECT_EQ(report.tier_counts.at("exhaustive"), 1u);
+  EXPECT_EQ(report.tier_counts.at("dpccp"), 1u);
+}
+
+TEST(WorkloadDriverTest, ExecuteRecordsExecutionLatencies) {
+  PlanCache cache;
+  WorkloadDriverOptions options;
+  options.cache = &cache;
+  options.execute = true;
+  WorkloadDriver driver(options);
+  QueryClassSpec spec;
+  spec.relation_count = 4;
+  spec.rows_per_relation = 8;
+  spec.join_domain = 4;
+  spec.seed = 31;
+  const WorkloadReport report = driver.Run({spec, spec, spec});
+  EXPECT_EQ(report.execute.count, 3u);
+  EXPECT_GT(report.execute.max_ns, 0u);
+}
+
+TEST(WorkloadDriverTest, ReportSerializesToJson) {
+  PlanCache cache;
+  WorkloadDriverOptions options;
+  options.cache = &cache;
+  WorkloadDriver driver(options);
+  const WorkloadReport report = driver.Run(RepeatedStream());
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"queries\": 20"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"optimize_warm\""), std::string::npos);
+  EXPECT_NE(json.find("\"tiers\""), std::string::npos);
+  const std::string text = report.ToString();
+  EXPECT_NE(text.find("cache: 18 hits"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace taujoin

@@ -29,6 +29,67 @@ SIGNAL_GROUPS = {
 
 TIMER_FIELDS = ["count", "total_ns", "min_ns", "max_ns", "p50_ns", "p99_ns"]
 
+# BENCH_serve.json (schema taujoin-serve-bench/v1) report fields.
+SERVE_SUMMARY_FIELDS = ["count", "p50_ns", "p95_ns", "max_ns", "mean_ns"]
+SERVE_SUMMARIES = ["optimize", "optimize_cold", "optimize_warm", "execute",
+                   "total"]
+SERVE_REPORT_INTS = ["queries", "classes", "cache_hits", "cache_misses",
+                     "cache_evictions"]
+
+
+def check_serve_schema(path: str, doc: dict) -> list[str]:
+    """Validates the hand-rolled taujoin-serve-bench/v1 artifact layout."""
+    errors = []
+    context = doc.get("context")
+    if not isinstance(context, dict):
+        return [f"{path}: serve artifact missing 'context' object"]
+    if context.get("taujoin_build_type") not in ("release", "debug"):
+        errors.append(f"{path}: context.taujoin_build_type missing/invalid")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return errors + [f"{path}: serve artifact has no runs"]
+    saw_warm_hits = False
+    for i, run in enumerate(runs):
+        where = f"{path}: runs[{i}]"
+        if not isinstance(run, dict):
+            errors.append(f"{where} is not an object")
+            continue
+        if not isinstance(run.get("threads"), int) or run["threads"] < 1:
+            errors.append(f"{where}.threads missing or < 1")
+        if run.get("cache") not in ("on", "off"):
+            errors.append(f"{where}.cache must be 'on' or 'off'")
+        report = run.get("report")
+        if not isinstance(report, dict):
+            errors.append(f"{where}.report missing")
+            continue
+        for field in SERVE_REPORT_INTS:
+            if not isinstance(report.get(field), int):
+                errors.append(f"{where}.report.{field} missing integer")
+        for summary_name in SERVE_SUMMARIES:
+            summary = report.get(summary_name)
+            if not isinstance(summary, dict):
+                errors.append(f"{where}.report.{summary_name} missing")
+                continue
+            for field in SERVE_SUMMARY_FIELDS:
+                if not isinstance(summary.get(field), int):
+                    errors.append(f"{where}.report.{summary_name}.{field} "
+                                  "missing integer")
+        if not isinstance(report.get("tiers"), dict):
+            errors.append(f"{where}.report.tiers missing")
+        if run.get("cache") == "on" and report.get("cache_hits", 0) > 0:
+            saw_warm_hits = True
+    if not saw_warm_hits:
+        errors.append(f"{path}: no cached run recorded any cache hits — the "
+                      "plan cache is disconnected")
+    counters = doc.get("taujoin_metrics", {}).get("counters", {})
+    if isinstance(counters, dict):
+        traffic = counters.get("serve.plan_cache.hits", 0) + \
+            counters.get("serve.plan_cache.misses", 0)
+        if traffic == 0:
+            errors.append(f"{path}: no serve.plan_cache.* counter traffic in "
+                          "taujoin_metrics")
+    return errors
+
 
 def check(path: str) -> list[str]:
     errors = []
@@ -82,6 +143,10 @@ def check(path: str) -> list[str]:
             errors.append(
                 f"{path}: no signal — neither memo traffic nor kernel calls "
                 "recorded; instrumentation is disconnected")
+
+    # The serve bench artifact carries its own layout on top.
+    if doc.get("schema") == "taujoin-serve-bench/v1":
+        errors.extend(check_serve_schema(path, doc))
     return errors
 
 

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Checks that relative links in markdown files resolve.
+
+For every inline link/image `[text](target)` in the given files:
+
+  * external schemes (http/https/mailto) are skipped — CI must not flake
+    on the network;
+  * a relative target must exist on disk, resolved against the file's
+    directory;
+  * a `#fragment` on a markdown target (or a bare `#fragment`) must match
+    a heading in the target file, using GitHub's slugification.
+
+Exits nonzero listing every broken link. Usage:
+
+  tools/check_markdown_links.py README.md DESIGN.md docs/*.md
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images. Deliberately simple: no nested parens in targets
+# (none of our docs use them), angle-bracket targets unwrapped below.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^()\s]+(?:\s+\"[^\"]*\")?)\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str, seen: dict) -> str:
+    """GitHub-style anchor for a heading text."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[^\w\s-]", "", slug, flags=re.UNICODE)
+    slug = re.sub(r"\s", "-", slug)
+    if slug in seen:
+        seen[slug] += 1
+        return f"{slug}-{seen[slug]}"
+    seen[slug] = 0
+    return slug
+
+
+def anchors_of(path: Path, cache: dict) -> set:
+    if path in cache:
+        return cache[path]
+    anchors, seen = set(), {}
+    in_fence = False
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        cache[path] = anchors
+        return anchors
+    for line in text.splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = HEADING_RE.match(line)
+        if m:
+            anchors.add(github_slug(m.group(2), seen))
+    cache[path] = anchors
+    return anchors
+
+
+def check_file(path: Path, anchor_cache: dict) -> list:
+    errors = []
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as e:
+        return [f"{path}: unreadable: {e}"]
+
+    # Strip fenced code blocks: links inside them are examples, not links.
+    lines, in_fence = [], False
+    for line in text.splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        lines.append("" if in_fence else line)
+
+    for lineno, line in enumerate(lines, start=1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1).split(' "')[0].strip("<>")
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # URL scheme
+                continue
+            where = f"{path}:{lineno}"
+            if target.startswith("#"):
+                if target[1:] not in anchors_of(path, anchor_cache):
+                    errors.append(f"{where}: no heading for anchor "
+                                  f"'{target}'")
+                continue
+            file_part, _, fragment = target.partition("#")
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                errors.append(f"{where}: broken link '{target}' "
+                              f"({resolved} does not exist)")
+                continue
+            if fragment and resolved.suffix.lower() in (".md", ".markdown"):
+                if fragment not in anchors_of(resolved, anchor_cache):
+                    errors.append(f"{where}: '{target}' — no heading for "
+                                  f"anchor '#{fragment}' in {file_part}")
+    return errors
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    anchor_cache = {}
+    all_errors = []
+    for name in argv[1:]:
+        path = Path(name)
+        errors = check_file(path, anchor_cache)
+        if errors:
+            all_errors.extend(errors)
+        else:
+            print(f"{path}: OK")
+    for err in all_errors:
+        print(f"ERROR: {err}", file=sys.stderr)
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

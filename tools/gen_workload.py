@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Emits a query-workload stream for bench/taujoin_serve / WorkloadDriver.
+
+One query per line in the format `shape,n,rows,domain,skew,seed`
+(see serve/workload_driver.h QueryClassSpec::Parse); lines starting with
+`#` are comments. The stream mixes chain/star/cycle/clique classes and
+repeats them with Zipf-skewed frequencies — the access pattern under
+which a plan cache pays off: a few hot query classes dominate, a long
+tail of cold ones keeps missing.
+
+The generator is deterministic in --seed (Python's random.Random), so a
+workload file can be reproduced from its header comment.
+
+Usage:
+  tools/gen_workload.py --queries 1000 --zipf 1.1 --seed 42 > stream.txt
+  build/bench/taujoin_serve --workload=stream.txt
+"""
+
+import argparse
+import random
+import sys
+
+SHAPES = {
+    "chain": (4, 9),
+    "star": (4, 8),
+    "cycle": (4, 7),
+    "clique": (4, 6),
+}
+
+
+def class_pool(args, rng):
+    """One class per (shape, n) point, with per-class data seeds."""
+    pool = []
+    for shape, (lo, hi) in SHAPES.items():
+        if args.shapes and shape not in args.shapes:
+            continue
+        for n in range(lo, min(hi, args.max_relations) + 1):
+            seed = rng.randrange(1, 2**31)
+            pool.append((shape, n, args.rows, args.domain, args.skew, seed))
+    if not pool:
+        sys.exit("gen_workload.py: no classes selected")
+    # Popularity rank must not correlate with query size, or the "hot"
+    # classes would all be the cheap ones and the cache win would be
+    # understated. Shuffle before assigning Zipf ranks.
+    rng.shuffle(pool)
+    return pool
+
+
+def zipf_cdf(n, s):
+    weights = [1.0 / (rank + 1) ** s for rank in range(n)]
+    total = sum(weights)
+    cdf, acc = [], 0.0
+    for w in weights:
+        acc += w / total
+        cdf.append(acc)
+    return cdf
+
+
+def sample(cdf, rng):
+    u = rng.random()
+    for i, bound in enumerate(cdf):
+        if u < bound:
+            return i
+    return len(cdf) - 1
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Generate a Zipf-skewed join-query workload stream.")
+    parser.add_argument("--queries", type=int, default=1000,
+                        help="stream length (default 1000)")
+    parser.add_argument("--zipf", type=float, default=1.1,
+                        help="Zipf exponent for class repeats; 0 = uniform")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--rows", type=int, default=48,
+                        help="tuples per relation")
+    parser.add_argument("--domain", type=int, default=8,
+                        help="join-attribute domain size")
+    parser.add_argument("--skew", type=float, default=0.0,
+                        help="data skew inside each relation (join_skew)")
+    parser.add_argument("--max-relations", type=int, default=9,
+                        help="cap on relations per query")
+    parser.add_argument("--shapes", nargs="*", choices=sorted(SHAPES),
+                        help="restrict to these shapes (default: all)")
+    args = parser.parse_args()
+    if args.queries <= 0:
+        sys.exit("gen_workload.py: --queries must be positive")
+
+    rng = random.Random(args.seed)
+    pool = class_pool(args, rng)
+    cdf = zipf_cdf(len(pool), args.zipf)
+
+    print(f"# gen_workload.py --queries {args.queries} --zipf {args.zipf} "
+          f"--seed {args.seed} --rows {args.rows} --domain {args.domain} "
+          f"--skew {args.skew}")
+    print(f"# {len(pool)} classes; format: shape,n,rows,domain,skew,seed")
+    for _ in range(args.queries):
+        shape, n, rows, domain, skew, seed = pool[sample(cdf, rng)]
+        print(f"{shape},{n},{rows},{domain},{skew},{seed}")
+
+
+if __name__ == "__main__":
+    main()
