@@ -1,0 +1,106 @@
+// Experiment I7 — planning regret of estimate-driven optimization. Each
+// size model (exact τ, independence, sketch+histogram, Simpli-Squared)
+// drives the same bushy DP over the same strategy space; the chosen plans
+// are then scored with *exact* τ. Regret = true τ of the model's plan /
+// true τ of the optimal plan (≥ 1 by construction, = 1 for the exact
+// model). This is the experiment behind the statistics subsystem: how much
+// plan quality does never-touch-the-data planning actually give up, per
+// query family, and does the sketch model close the gap the paper blames
+// on uniformity + independence?
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "core/cost.h"
+#include "optimize/dp.h"
+#include "optimize/size_model.h"
+#include "report/stats.h"
+#include "report/table.h"
+#include "workload/generator.h"
+
+using namespace taujoin;  // NOLINT
+
+namespace {
+
+struct ModelRun {
+  std::string name;
+  SampleStats regret;  ///< true τ of model plan / optimal true τ
+  int plans_differ = 0;
+};
+
+}  // namespace
+
+int main() {
+  const int kTrials = 16;
+  const QueryShape kShapes[] = {QueryShape::kChain, QueryShape::kStar,
+                                QueryShape::kCycle, QueryShape::kClique};
+
+  PrintSection(
+      "I7: regret of estimate-driven plans (true tau vs optimal), by family");
+  ReportTable t({"family", "model", "trials", "median regret", "p90 regret",
+                 "max regret", "plans differ (%)"});
+  for (const QueryShape shape : kShapes) {
+    std::vector<ModelRun> runs;
+    for (const char* name : {"exact", "independence", "sketch", "simpli2"}) {
+      runs.push_back({name, SampleStats{}, 0});
+    }
+    int sampled = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      Rng rng(static_cast<uint64_t>(trial) * 5167 +
+              static_cast<uint64_t>(shape) * 29 + 3);
+      GeneratorOptions options;
+      options.shape = shape;
+      options.relation_count = 6;
+      options.rows_per_relation = 24;
+      options.join_domain = 6;
+      options.join_skew = 1.0;
+      Database db = RandomDatabase(options, rng);
+      CostEngine engine(&db);
+      const DatabaseStats stats = BuildDatabaseStats(db);
+
+      ExactSizeModel exact(&engine);
+      IndependenceSizeModel independence(&db);
+      SketchSizeModel sketch(&stats);
+      SimpliSquaredModel simpli = SimpliSquaredModel::FromStats(stats);
+      SizeModel* models[] = {&exact, &independence, &sketch, &simpli};
+
+      const RelMask mask = db.scheme().full_mask();
+      const DpOptions space(SearchSpace::kBushy, /*allow_cartesian=*/true);
+      auto optimal = OptimizeDp(db.scheme(), mask, exact, space);
+      if (!optimal || optimal->cost == 0) continue;
+      ++sampled;
+      for (size_t m = 0; m < runs.size(); ++m) {
+        auto plan = OptimizeDp(db.scheme(), mask, *models[m], space);
+        if (!plan) continue;
+        const uint64_t true_tau = TauCost(plan->strategy, engine);
+        runs[m].regret.Add(static_cast<double>(true_tau) /
+                           static_cast<double>(optimal->cost));
+        if (!plan->strategy.EquivalentTo(optimal->strategy)) {
+          ++runs[m].plans_differ;
+        }
+      }
+    }
+    for (const ModelRun& run : runs) {
+      t.Row()
+          .Cell(std::string(QueryShapeToString(shape)))
+          .Cell(run.name)
+          .Cell(sampled)
+          .Cell(run.regret.Median(), 3)
+          .Cell(run.regret.Percentile(90), 3)
+          .Cell(run.regret.Max(), 3)
+          .Cell(100.0 * run.plans_differ / std::max(1, sampled), 0);
+    }
+  }
+  t.Print();
+  std::printf(
+      "\nExact regret is 1 by construction (same DP, same space). The gap\n"
+      "between independence and sketch is what the ingest statistics buy;\n"
+      "the gap between simpli2 and 1 is the price of planning with no\n"
+      "estimates at all.\n");
+  MaybeReportProcessMetrics();
+  return 0;
+}

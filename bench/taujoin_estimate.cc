@@ -1,0 +1,233 @@
+// Estimation-regret benchmark: runs the exp_regret protocol (every size
+// model drives the same bushy DP; plans are scored with exact τ) across
+// the chain/star/cycle/clique families and writes BENCH_estimate.json
+// (schema taujoin-estimate-bench/v1) with per-family, per-model regret
+// summaries plus the process metrics snapshot. Regret ratios are reported
+// ×1000 as integers so the checker can compare them exactly.
+//
+// The artifact carries the same Release gate as the other JSON emitters
+// (see bench_main.h): a non-NDEBUG build refuses to write unless
+// TAUJOIN_ALLOW_NONRELEASE_JSON=1.
+//
+// Usage:
+//   taujoin_estimate [--trials=16] [--n=6] [--rows=24] [--domain=6]
+//                    [--skew=1.0] [--seed=3] [--out=BENCH_estimate.json]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "core/cost.h"
+#include "optimize/dp.h"
+#include "optimize/size_model.h"
+#include "report/stats.h"
+#include "workload/generator.h"
+
+namespace taujoin {
+namespace {
+
+#ifdef NDEBUG
+constexpr bool kReleaseBuild = true;
+constexpr const char* kBuildType = "release";
+#else
+constexpr bool kReleaseBuild = false;
+constexpr const char* kBuildType = "debug";
+#endif
+
+struct BenchConfig {
+  int trials = 16;
+  int relation_count = 6;
+  int rows_per_relation = 24;
+  int join_domain = 6;
+  double join_skew = 1.0;
+  uint64_t seed = 3;
+  std::string out_path = "BENCH_estimate.json";
+};
+
+struct ModelSummary {
+  std::string model;
+  SampleStats regret;
+  int plans_differ = 0;
+};
+
+struct FamilySummary {
+  std::string family;
+  int trials = 0;  ///< trials with τ_opt > 0 (the scored population)
+  std::vector<ModelSummary> models;
+};
+
+uint64_t RatioX1000(double ratio) {
+  return static_cast<uint64_t>(ratio * 1000.0 + 0.5);
+}
+
+FamilySummary RunFamily(QueryShape shape, const BenchConfig& config) {
+  FamilySummary family;
+  family.family = QueryShapeToString(shape);
+  for (const char* name : {"exact", "independence", "sketch", "simpli2"}) {
+    family.models.push_back({name, SampleStats{}, 0});
+  }
+  for (int trial = 0; trial < config.trials; ++trial) {
+    Rng rng(config.seed + static_cast<uint64_t>(trial) * 5167 +
+            static_cast<uint64_t>(shape) * 29);
+    GeneratorOptions options;
+    options.shape = shape;
+    options.relation_count = config.relation_count;
+    options.rows_per_relation = config.rows_per_relation;
+    options.join_domain = config.join_domain;
+    options.join_skew = config.join_skew;
+    Database db = RandomDatabase(options, rng);
+    CostEngine engine(&db);
+    const DatabaseStats stats = BuildDatabaseStats(db);
+
+    ExactSizeModel exact(&engine);
+    IndependenceSizeModel independence(&db);
+    SketchSizeModel sketch(&stats);
+    SimpliSquaredModel simpli = SimpliSquaredModel::FromStats(stats);
+    SizeModel* models[] = {&exact, &independence, &sketch, &simpli};
+
+    const RelMask mask = db.scheme().full_mask();
+    const DpOptions space(SearchSpace::kBushy, /*allow_cartesian=*/true);
+    auto optimal = OptimizeDp(db.scheme(), mask, exact, space);
+    if (!optimal || optimal->cost == 0) continue;  // nothing to score
+    ++family.trials;
+    for (size_t m = 0; m < family.models.size(); ++m) {
+      auto plan = OptimizeDp(db.scheme(), mask, *models[m], space);
+      if (!plan) continue;
+      const uint64_t true_tau = TauCost(plan->strategy, engine);
+      family.models[m].regret.Add(static_cast<double>(true_tau) /
+                                  static_cast<double>(optimal->cost));
+      if (!plan->strategy.EquivalentTo(optimal->strategy)) {
+        ++family.models[m].plans_differ;
+      }
+    }
+  }
+  return family;
+}
+
+int Main(int argc, char** argv) {
+  BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    const auto value = [&](const char* prefix) {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg.rfind("--trials=", 0) == 0) {
+      config.trials = std::atoi(value("--trials=").c_str());
+    } else if (arg.rfind("--n=", 0) == 0) {
+      config.relation_count = std::atoi(value("--n=").c_str());
+    } else if (arg.rfind("--rows=", 0) == 0) {
+      config.rows_per_relation = std::atoi(value("--rows=").c_str());
+    } else if (arg.rfind("--domain=", 0) == 0) {
+      config.join_domain = std::atoi(value("--domain=").c_str());
+    } else if (arg.rfind("--skew=", 0) == 0) {
+      config.join_skew = std::atof(value("--skew=").c_str());
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      config.seed = static_cast<uint64_t>(std::atoll(value("--seed=").c_str()));
+    } else if (arg.rfind("--out=", 0) == 0) {
+      config.out_path = value("--out=");
+    } else {
+      std::fprintf(stderr, "taujoin_estimate: unknown argument %s\n",
+                   arg.c_str());
+      return 1;
+    }
+  }
+  if (config.trials <= 0 || config.relation_count < 2 ||
+      config.relation_count > 14) {
+    std::fprintf(stderr,
+                 "taujoin_estimate: need --trials > 0 and 2 <= --n <= 14\n");
+    return 1;
+  }
+
+  std::fprintf(stderr, "taujoin_estimate: %d trials/family, n=%d, build=%s\n",
+               config.trials, config.relation_count, kBuildType);
+
+  std::vector<FamilySummary> families;
+  for (const QueryShape shape : {QueryShape::kChain, QueryShape::kStar,
+                                 QueryShape::kCycle, QueryShape::kClique}) {
+    FamilySummary family = RunFamily(shape, config);
+    for (const ModelSummary& model : family.models) {
+      std::fprintf(stderr,
+                   "  %-6s %-12s regret p50=%.3f p90=%.3f max=%.3f "
+                   "differ=%d/%d\n",
+                   family.family.c_str(), model.model.c_str(),
+                   model.regret.Median(), model.regret.Percentile(90),
+                   model.regret.Max(), model.plans_differ, family.trials);
+    }
+    families.push_back(std::move(family));
+  }
+
+  const char* allow = std::getenv("TAUJOIN_ALLOW_NONRELEASE_JSON");
+  const bool allow_nonrelease =
+      allow != nullptr && allow[0] != '\0' && std::string(allow) != "0";
+  if (!kReleaseBuild && !allow_nonrelease) {
+    std::fprintf(stderr,
+                 "\n*** TAUJOIN WARNING ***\n"
+                 "Non-Release build: refusing to write %s (set "
+                 "TAUJOIN_ALLOW_NONRELEASE_JSON=1 to override).\n",
+                 config.out_path.c_str());
+    MaybeReportProcessMetrics();
+    return 0;
+  }
+
+  std::string json = "{\n";
+  json += "  \"schema\": \"taujoin-estimate-bench/v1\",\n";
+  json += "  \"context\": {\n";
+  json += std::string("    \"taujoin_build_type\": \"") + kBuildType + "\",\n";
+  json += "    \"trials\": " + std::to_string(config.trials) + ",\n";
+  json +=
+      "    \"relation_count\": " + std::to_string(config.relation_count) +
+      ",\n";
+  json += "    \"rows_per_relation\": " +
+          std::to_string(config.rows_per_relation) + ",\n";
+  json += "    \"join_domain\": " + std::to_string(config.join_domain) + ",\n";
+  json += "    \"join_skew\": " + std::to_string(config.join_skew) + ",\n";
+  json += "    \"seed\": " + std::to_string(config.seed) + "\n";
+  json += "  },\n";
+  json += "  \"families\": [\n";
+  for (size_t f = 0; f < families.size(); ++f) {
+    const FamilySummary& family = families[f];
+    json += "    {\"family\": \"" + family.family + "\", \"trials\": " +
+            std::to_string(family.trials) + ", \"models\": [\n";
+    for (size_t m = 0; m < family.models.size(); ++m) {
+      const ModelSummary& model = family.models[m];
+      json += "      {\"model\": \"" + model.model + "\"";
+      json += ", \"regret_p50_x1000\": " +
+              std::to_string(RatioX1000(model.regret.Median()));
+      json += ", \"regret_p90_x1000\": " +
+              std::to_string(RatioX1000(model.regret.Percentile(90)));
+      json += ", \"regret_max_x1000\": " +
+              std::to_string(RatioX1000(model.regret.Max()));
+      json += ", \"plans_differ\": " + std::to_string(model.plans_differ);
+      json += "}";
+      json += (m + 1 < family.models.size()) ? ",\n" : "\n";
+    }
+    json += "    ]}";
+    json += (f + 1 < families.size()) ? ",\n" : "\n";
+  }
+  json += "  ],\n";
+  json += "  \"taujoin_metrics\": " +
+          MetricsRegistry::Global().Snapshot().ToJson() + "\n";
+  json += "}\n";
+
+  std::ofstream out(config.out_path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "taujoin_estimate: cannot write %s\n",
+                 config.out_path.c_str());
+    return 1;
+  }
+  out << json;
+  std::fprintf(stderr, "taujoin_estimate: wrote %s\n", config.out_path.c_str());
+  MaybeReportProcessMetrics();
+  return 0;
+}
+
+}  // namespace
+}  // namespace taujoin
+
+int main(int argc, char** argv) { return taujoin::Main(argc, argv); }

@@ -12,7 +12,11 @@
 // Usage:
 //   taujoin_serve [--queries=1000] [--zipf=1.1] [--seed=42]
 //                 [--workload=stream.txt] [--out=BENCH_serve.json]
-//                 [--execute]
+//                 [--execute] [--cold-model=sketch]
+//
+// --cold-model selects the size oracle cache misses plan under
+// (exact | independence | sketch | simpli2; default sketch — the
+// estimate-driven cold path that never touches the data while planning).
 //
 // Without --workload the built-in class pool is used: a chain/star/cycle/
 // clique mix (n = 4..9) whose repeat frequencies follow a Zipf law —
@@ -52,6 +56,7 @@ struct BenchConfig {
   std::string workload_path;
   std::string out_path = "BENCH_serve.json";
   bool execute = false;
+  ServeSizeModel size_model = ServeSizeModel::kSketch;
 };
 
 /// The built-in class pool: one class per (shape, n) point, sizes kept
@@ -100,7 +105,7 @@ struct RunResult {
 };
 
 RunResult RunOnce(const std::vector<QueryClassSpec>& stream, int threads,
-                  bool cached, bool execute) {
+                  bool cached, bool execute, ServeSizeModel size_model) {
   RunResult result;
   result.threads = threads;
   result.cached = cached;
@@ -110,6 +115,7 @@ RunResult RunOnce(const std::vector<QueryClassSpec>& stream, int threads,
   WorkloadDriverOptions options;
   options.cache = cached ? &cache : nullptr;
   options.execute = execute;
+  options.size_model = size_model;
   options.parallel.threads = threads;
   options.parallel.pool = &pool;
   WorkloadDriver driver(options);
@@ -137,6 +143,15 @@ int Main(int argc, char** argv) {
       config.out_path = value("--out=");
     } else if (arg == "--execute") {
       config.execute = true;
+    } else if (arg.rfind("--cold-model=", 0) == 0) {
+      StatusOr<ServeSizeModel> model =
+          ParseServeSizeModel(value("--cold-model="));
+      if (!model.ok()) {
+        std::fprintf(stderr, "taujoin_serve: %s\n",
+                     model.status().ToString().c_str());
+        return 1;
+      }
+      config.size_model = *model;
     } else {
       std::fprintf(stderr, "taujoin_serve: unknown argument %s\n",
                    arg.c_str());
@@ -195,11 +210,33 @@ int Main(int argc, char** argv) {
   std::vector<RunResult> runs;
   for (const int threads : thread_counts) {
     for (const bool cached : {false, true}) {
-      RunResult run = RunOnce(stream, threads, cached, config.execute);
+      RunResult run =
+          RunOnce(stream, threads, cached, config.execute, config.size_model);
       std::fprintf(stderr, "--- threads=%d cache=%s ---\n%s", threads,
                    cached ? "on" : "off", run.report.ToString().c_str());
       runs.push_back(std::move(run));
     }
+  }
+
+  // Exact-model contrast at 1 thread: shows what the estimate-driven cold
+  // path saves in plan time, and (because exact costing drives the
+  // counting kernels) keeps engine signal in the artifact for the metrics
+  // checker even when the configured cold model never touches the data.
+  if (config.size_model != ServeSizeModel::kExact) {
+    RunResult exact = RunOnce(stream, /*threads=*/1, /*cached=*/true,
+                              config.execute, ServeSizeModel::kExact);
+    const LatencySummary& est_cold = runs.front().report.optimize_cold;
+    const LatencySummary& exact_cold = exact.report.optimize_cold;
+    if (est_cold.count > 0 && exact_cold.count > 0 && est_cold.p50_ns > 0) {
+      std::fprintf(stderr,
+                   "cold plan p50: %s %.1fus vs exact %.1fus: %.1fx\n",
+                   ServeSizeModelToString(config.size_model),
+                   static_cast<double>(est_cold.p50_ns) / 1e3,
+                   static_cast<double>(exact_cold.p50_ns) / 1e3,
+                   static_cast<double>(exact_cold.p50_ns) /
+                       static_cast<double>(est_cold.p50_ns));
+    }
+    runs.push_back(std::move(exact));
   }
 
   // Headline: warm-vs-cold p50 optimize latency at 1 thread (the cached
@@ -239,6 +276,8 @@ int Main(int argc, char** argv) {
   json += "    \"queries\": " + std::to_string(stream.size()) + ",\n";
   json += "    \"zipf\": " + std::to_string(config.zipf) + ",\n";
   json += "    \"seed\": " + std::to_string(config.seed) + ",\n";
+  json += std::string("    \"cold_model\": \"") +
+          ServeSizeModelToString(config.size_model) + "\",\n";
   json += std::string("    \"execute\": ") +
           (config.execute ? "true" : "false") + "\n";
   json += "  },\n";

@@ -1,6 +1,7 @@
 #ifndef TAUJOIN_COMMON_CHECKED_MATH_H_
 #define TAUJOIN_COMMON_CHECKED_MATH_H_
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
 
@@ -28,6 +29,21 @@ inline uint64_t CheckedAddSat(uint64_t a, uint64_t b) {
   uint64_t result;
   if (__builtin_add_overflow(a, b, &result)) return kTauSaturated;
   return result;
+}
+
+/// Converts an estimated (double) τ to the engine's uint64_t domain with
+/// the same saturation discipline: negatives clamp to 0, anything at or
+/// above 2^64 (including +inf) saturates, and NaN — an estimator that
+/// divided zero by zero — saturates too, so a garbage estimate reads as
+/// "arbitrarily expensive" instead of as a bargain. A plain
+/// static_cast<uint64_t> of an out-of-range double is undefined behavior;
+/// every double→τ conversion in the library must route through here.
+inline uint64_t SaturatingTauFromDouble(double value) {
+  if (std::isnan(value)) return kTauSaturated;
+  if (value <= 0.0) return 0;
+  // 2^64 as a double; doubles this large are integers, so >= is exact.
+  if (value >= 18446744073709551616.0) return kTauSaturated;
+  return static_cast<uint64_t>(value + 0.5);
 }
 
 }  // namespace taujoin

@@ -88,4 +88,12 @@ Relation Database::JoinAll(RelMask mask) const {
   return acc;
 }
 
+DatabaseStats BuildDatabaseStats(const Database& db,
+                                 const StatsOptions& options) {
+  std::vector<const Relation*> states;
+  states.reserve(static_cast<size_t>(db.size()));
+  for (int i = 0; i < db.size(); ++i) states.push_back(&db.state(i));
+  return DatabaseStats::FromRelations(states, options);
+}
+
 }  // namespace taujoin

@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "relational/join.h"
 #include "relational/relation.h"
+#include "relational/stats.h"
 #include "scheme/database_scheme.h"
 
 namespace taujoin {
@@ -58,6 +59,12 @@ class Database {
   std::vector<Relation> states_;
   std::vector<std::string> names_;
 };
+
+/// Ingest-time statistics for every state of `db` (see relational/stats.h):
+/// the one data pass that lets SketchSizeModel price plans without ever
+/// running a join or counting kernel afterwards.
+DatabaseStats BuildDatabaseStats(const Database& db,
+                                 const StatsOptions& options = {});
 
 }  // namespace taujoin
 

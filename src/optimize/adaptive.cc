@@ -60,19 +60,135 @@ void CountTier(OptimizerTier tier) {
 
 }  // namespace
 
+namespace {
+
+/// Microseconds elapsed since `since`.
+uint64_t MicrosSince(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+/// The estimate-first ladder: same tier structure as the exact one, but
+/// every tier optimizes under `model` and no data is touched. Costs in the
+/// result are ModelCost values.
+AdaptiveResult EstimateLadder(const DatabaseScheme& scheme, RelMask mask,
+                              SizeModel& model,
+                              const AdaptiveOptions& options,
+                              std::chrono::steady_clock::time_point start) {
+  const auto within_budget = [&]() {
+    return options.budget_micros == 0 ||
+           MicrosSince(start) < options.budget_micros;
+  };
+  const int n = PopCount(mask);
+
+  AdaptiveResult result;
+  result.estimated = true;
+  result.plan = OptimizeGreedy(scheme, mask, model);
+  result.tier = OptimizerTier::kGreedy;
+  result.tiers_run = 1;
+  CountTier(OptimizerTier::kGreedy);
+
+  if (n >= 2 && IsConnectedTree(scheme, mask)) {
+    const AsiCostModel asi = AsiCostModel::FromSizeModel(scheme, model);
+    StatusOr<IkkbzResult> ikkbz = OptimizeIkkbz(scheme, mask, asi);
+    if (ikkbz.ok()) {
+      PlanResult candidate;
+      candidate.strategy = Strategy::LeftDeep(ikkbz->order);
+      candidate.cost = ModelCost(candidate.strategy, model);
+      ++result.tiers_run;
+      CountTier(OptimizerTier::kIkkbz);
+      if (candidate.cost < result.plan.cost) {
+        result.plan = std::move(candidate);
+        result.tier = OptimizerTier::kIkkbz;
+      }
+    }
+  }
+
+  if (n <= options.exhaustive_max && within_budget()) {
+    std::optional<PlanResult> best = OptimizeExhaustive(
+        scheme, mask, StrategySpace::kAll, model, options.parallel);
+    if (best.has_value()) {
+      ++result.tiers_run;
+      CountTier(OptimizerTier::kExhaustive);
+      if (best->cost <= result.plan.cost) {
+        result.plan = std::move(*best);
+        result.tier = OptimizerTier::kExhaustive;
+      }
+    }
+  } else if (n <= options.dp_max && scheme.Connected(mask) &&
+             within_budget()) {
+    std::optional<PlanResult> dp =
+        OptimizeDpCcp(scheme, mask, model, options.parallel);
+    if (dp.has_value()) {
+      ++result.tiers_run;
+      CountTier(OptimizerTier::kDpCcp);
+      if (dp->cost <= result.plan.cost) {
+        result.plan = std::move(*dp);
+        result.tier = OptimizerTier::kDpCcp;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
 AdaptiveResult OptimizeAdaptive(CostEngine& engine, RelMask mask,
                                 const AdaptiveOptions& options) {
   TAUJOIN_CHECK_NE(mask, 0u);
   TAUJOIN_METRIC_SPAN(total, "optimizer.adaptive.total");
   const auto start = std::chrono::steady_clock::now();
   const auto within_budget = [&]() {
-    if (options.budget_micros == 0) return true;
-    const auto spent = std::chrono::duration_cast<std::chrono::microseconds>(
-        std::chrono::steady_clock::now() - start);
-    return static_cast<uint64_t>(spent.count()) < options.budget_micros;
+    return options.budget_micros == 0 ||
+           MicrosSince(start) < options.budget_micros;
   };
   const DatabaseScheme& scheme = engine.db().scheme();
   const int n = PopCount(mask);
+
+  if (options.size_model != nullptr) {
+    TAUJOIN_METRIC_INCR("optimizer.adaptive.estimate_first");
+    AdaptiveResult result =
+        EstimateLadder(scheme, mask, *options.size_model, options, start);
+    if (options.exact_budget_micros == 0) return result;
+
+    // Exact escalation, under its own budget: re-score the estimated
+    // winner with exact τ (the engine's first touch), then climb the
+    // exact tiers while time remains. From here on plan.cost is exact.
+    TAUJOIN_METRIC_SPAN(escalate, "optimizer.adaptive.exact_escalation");
+    const auto exact_start = std::chrono::steady_clock::now();
+    const auto exact_within = [&]() {
+      return MicrosSince(exact_start) < options.exact_budget_micros;
+    };
+    result.plan.cost = TauCost(result.plan.strategy, engine);
+    result.estimated = false;
+    if (n <= options.exhaustive_max && exact_within()) {
+      std::optional<PlanResult> exact = OptimizeExhaustive(
+          engine, mask, StrategySpace::kAll, options.parallel);
+      if (exact.has_value()) {
+        ++result.tiers_run;
+        CountTier(OptimizerTier::kExhaustive);
+        if (exact->cost <= result.plan.cost) {
+          result.plan = std::move(*exact);
+          result.tier = OptimizerTier::kExhaustive;
+        }
+      }
+    } else if (n <= options.dp_max && scheme.Connected(mask) &&
+               exact_within()) {
+      std::optional<PlanResult> dp =
+          OptimizeDpCcp(engine, mask, options.parallel);
+      if (dp.has_value()) {
+        ++result.tiers_run;
+        CountTier(OptimizerTier::kDpCcp);
+        if (dp->cost <= result.plan.cost) {
+          result.plan = std::move(*dp);
+          result.tier = OptimizerTier::kDpCcp;
+        }
+      }
+    }
+    return result;
+  }
 
   AdaptiveResult result;
   // Base tier: greedy always produces a plan.

@@ -35,6 +35,19 @@ struct AdaptiveOptions {
   /// anytime policy: more budget buys a provably better plan, less budget
   /// degrades to the heuristic, never to a failure.
   uint64_t budget_micros = 0;
+  /// When set, the whole ladder runs **estimate-first**: every tier is
+  /// driven by this model instead of the exact engine, so planning touches
+  /// no data at all — no joins, no counting kernels, just arithmetic over
+  /// the model. The model must outlive the call; `thread_safe() == false`
+  /// models degrade the parallel tiers to serial (same plan).
+  SizeModel* size_model = nullptr;
+  /// Estimate-first runs only: budget (µs) for escalating to *exact*
+  /// costing afterwards. 0 — the default — means never: the plan ships as
+  /// estimated and the engine is untouched. > 0 re-scores the estimated
+  /// winner with exact τ and climbs the exact ladder while time remains,
+  /// so callers can buy back optimality when the data is already hot.
+  /// Ignored when size_model == nullptr (the ladder is exact throughout).
+  uint64_t exact_budget_micros = 0;
   ParallelOptions parallel;
 };
 
@@ -44,6 +57,9 @@ struct AdaptiveResult {
   OptimizerTier tier = OptimizerTier::kGreedy;
   /// How many tiers actually ran (≥ 1).
   int tiers_run = 0;
+  /// True when plan.cost is a model estimate (estimate-first run that
+  /// never escalated to exact costing); false when plan.cost is exact τ.
+  bool estimated = false;
 };
 
 /// Per-query optimizer policy for the workload-serving layer: picks the
@@ -60,9 +76,17 @@ struct AdaptiveResult {
 ///  * else n ≤ dp_max and `mask` connected: escalate to DPccp;
 ///  * a tier only runs while the per-query budget is unspent.
 ///
-/// The plan returned for a given (engine state, mask, options with
-/// budget_micros == 0) is deterministic at every thread count — each tier
-/// is individually deterministic and the comparison is by (cost, tier).
+/// With `options.size_model` set the same ladder runs estimate-first: the
+/// tiers optimize under the model (greedy → IKKBZ over
+/// AsiCostModel::FromSizeModel → model-driven exhaustive / DPccp), the
+/// engine is never consulted, and the result is flagged `estimated`. A
+/// nonzero exact_budget_micros then buys exact escalation on top: the
+/// estimated winner is re-scored with exact τ and the exact tiers climb
+/// while that budget lasts.
+///
+/// The plan returned for a given (engine state, mask, options with zero
+/// budgets) is deterministic at every thread count — each tier is
+/// individually deterministic and the comparison is by (cost, tier).
 /// With a finite budget the escalation decision is time-dependent by
 /// design; the WorkloadDriver's cache contract is unaffected (any plan it
 /// caches was produced by some deterministic tier).

@@ -32,18 +32,20 @@ void RunRootTasks(const std::vector<StrategyRootTask>& tasks,
   }
 }
 
-}  // namespace
-
-std::optional<PlanResult> OptimizeExhaustive(CostEngine& engine, RelMask mask,
-                                             StrategySpace space,
-                                             const ParallelOptions& parallel) {
+/// The shared search body: enumerate every slice, price each strategy with
+/// `cost_of`, reduce per-slice winners in slice order (first minimum of
+/// the canonical enumeration). `parallel` must already be degraded to one
+/// thread when the cost oracle is not thread-safe.
+std::optional<PlanResult> ExhaustiveMinimum(
+    const DatabaseScheme& scheme, RelMask mask, StrategySpace space,
+    const std::function<uint64_t(const Strategy&)>& cost_of,
+    const ParallelOptions& parallel) {
   TAUJOIN_METRIC_SPAN(total, "optimizer.exhaustive.total");
   const std::vector<StrategyRootTask> tasks =
-      StrategyRootTasks(engine.db().scheme(), mask, space);
+      StrategyRootTasks(scheme, mask, space);
 
-  // Per-slice first-minimum; slices share nothing but the (thread-safe)
-  // engine, so each slice's winner is the one a serial scan of that slice
-  // would pick.
+  // Per-slice first-minimum; slices share nothing but the cost oracle, so
+  // each slice's winner is the one a serial scan of that slice would pick.
   std::vector<std::optional<PlanResult>> slice_best(tasks.size());
   RunRootTasks(
       tasks,
@@ -51,7 +53,7 @@ std::optional<PlanResult> OptimizeExhaustive(CostEngine& engine, RelMask mask,
         std::optional<PlanResult>& best = slice_best[i];
         tasks[i]([&](const Strategy& s) {
           TAUJOIN_METRIC_INCR("optimizer.exhaustive.strategies_costed");
-          uint64_t cost = TauCost(s, engine);
+          uint64_t cost = cost_of(s);
           if (!best.has_value() || cost < best->cost) {
             best = PlanResult{s, cost};
           }
@@ -70,6 +72,27 @@ std::optional<PlanResult> OptimizeExhaustive(CostEngine& engine, RelMask mask,
     }
   }
   return best;
+}
+
+}  // namespace
+
+std::optional<PlanResult> OptimizeExhaustive(CostEngine& engine, RelMask mask,
+                                             StrategySpace space,
+                                             const ParallelOptions& parallel) {
+  return ExhaustiveMinimum(
+      engine.db().scheme(), mask, space,
+      [&](const Strategy& s) { return TauCost(s, engine); }, parallel);
+}
+
+std::optional<PlanResult> OptimizeExhaustive(const DatabaseScheme& scheme,
+                                             RelMask mask, StrategySpace space,
+                                             SizeModel& model,
+                                             const ParallelOptions& parallel) {
+  ParallelOptions effective = parallel;
+  if (!model.thread_safe()) effective.threads = 1;
+  return ExhaustiveMinimum(
+      scheme, mask, space,
+      [&](const Strategy& s) { return ModelCost(s, model); }, effective);
 }
 
 std::vector<Strategy> AllOptima(CostEngine& engine, RelMask mask,

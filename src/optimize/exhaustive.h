@@ -25,6 +25,16 @@ std::optional<PlanResult> OptimizeExhaustive(CostEngine& engine, RelMask mask,
                                              StrategySpace space,
                                              const ParallelOptions& parallel = {});
 
+/// Model-based overload: the same first-minimum-of-canonical-order search,
+/// but each strategy is priced by `model` (ModelCost) instead of exact τ —
+/// so an estimator can drive ground-truth-in-its-own-model search without
+/// one kernel call. Non-thread-safe models degrade to a serial sweep of
+/// the same slice order; the returned plan is identical either way.
+std::optional<PlanResult> OptimizeExhaustive(const DatabaseScheme& scheme,
+                                             RelMask mask, StrategySpace space,
+                                             SizeModel& model,
+                                             const ParallelOptions& parallel = {});
+
 /// All τ-optimum strategies within the subspace (the full argmin set);
 /// useful for checking "some optimum is linear"-style claims. Empty when
 /// the subspace is empty. Parallelized like OptimizeExhaustive; the result

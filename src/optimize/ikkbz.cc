@@ -49,6 +49,27 @@ AsiCostModel AsiCostModel::FromEngine(CostEngine& engine) {
   return model;
 }
 
+AsiCostModel AsiCostModel::FromSizeModel(const DatabaseScheme& scheme,
+                                         SizeModel& model) {
+  AsiCostModel result;
+  result.cardinality.resize(static_cast<size_t>(scheme.size()));
+  for (int i = 0; i < scheme.size(); ++i) {
+    result.cardinality[static_cast<size_t>(i)] = std::max<double>(
+        1.0, static_cast<double>(model.Tau(SingletonMask(i))));
+  }
+  for (int i = 0; i < scheme.size(); ++i) {
+    for (int j = i + 1; j < scheme.size(); ++j) {
+      if (!scheme.Adjacent(i, j)) continue;
+      double joined = static_cast<double>(
+          model.Tau(SingletonMask(i) | SingletonMask(j)));
+      double denom = result.cardinality[static_cast<size_t>(i)] *
+                     result.cardinality[static_cast<size_t>(j)];
+      result.selectivity[{i, j}] = denom > 0 ? joined / denom : 0.0;
+    }
+  }
+  return result;
+}
+
 double AsiCostModel::SelectivityBetween(int a, int b) const {
   if (a > b) std::swap(a, b);
   auto it = selectivity.find({a, b});

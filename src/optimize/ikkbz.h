@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "core/cost.h"
 #include "core/database.h"
+#include "optimize/size_model.h"
 
 namespace taujoin {
 
@@ -28,6 +29,13 @@ struct AsiCostModel {
   /// CostEngine (counting path, memoized), so the measurement is free when
   /// the engine has already costed the pairs — and warms the memo when not.
   static AsiCostModel FromEngine(CostEngine& engine);
+
+  /// As FromEngine, but cardinalities and pairwise sizes come from a
+  /// SizeModel (optimize/size_model.h) instead of the exact engine — with
+  /// an estimator this builds the ASI inputs without touching any data,
+  /// which is what the cold serving path and the regret experiments need.
+  static AsiCostModel FromSizeModel(const DatabaseScheme& scheme,
+                                    SizeModel& model);
 
   double SelectivityBetween(int a, int b) const;
 

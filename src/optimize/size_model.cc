@@ -3,15 +3,18 @@
 #include <algorithm>
 #include <cmath>
 #include <unordered_set>
+#include <utility>
 
+#include "common/checked_math.h"
 #include "common/logging.h"
 
 namespace taujoin {
 
-IndependenceSizeModel::IndependenceSizeModel(const Database* db) : db_(db) {
-  for (int i = 0; i < db_->size(); ++i) {
-    Profile profile;
-    const Relation& r = db_->state(i);
+IndependenceSizeModel::IndependenceSizeModel(const Database* db) {
+  base_.resize(static_cast<size_t>(db->size()));
+  for (int i = 0; i < db->size(); ++i) {
+    Profile& profile = base_[static_cast<size_t>(i)];
+    const Relation& r = db->state(i);
     profile.size = static_cast<double>(r.size());
     for (size_t c = 0; c < r.schema().size(); ++c) {
       std::unordered_set<Value, ValueHash> values;
@@ -19,53 +22,223 @@ IndependenceSizeModel::IndependenceSizeModel(const Database* db) : db_(db) {
       profile.distinct[r.schema().attribute(c)] =
           std::max<double>(1.0, static_cast<double>(values.size()));
     }
-    profiles_[SingletonMask(i)] = std::move(profile);
   }
 }
 
-const IndependenceSizeModel::Profile& IndependenceSizeModel::ProfileOf(
-    RelMask mask) {
-  auto it = profiles_.find(mask);
-  if (it != profiles_.end()) return it->second;
-  TAUJOIN_CHECK_GT(PopCount(mask), 1);
-  // Fold in the lowest relation; the estimate is order-dependent in
-  // general, but keying the memo on the mask with a fixed fold order makes
-  // it deterministic and consistent across the DP.
-  const int low = LowestBitIndex(mask);
-  const Profile& rest = ProfileOf(mask & ~SingletonMask(low));
-  const Profile& base = ProfileOf(SingletonMask(low));
+IndependenceSizeModel::Profile IndependenceSizeModel::Fold(
+    RelMask mask) const {
+  // Fold relations in ascending index order; the estimate is
+  // order-dependent in general, but the fixed order makes every call —
+  // from any thread, in any interleaving — return the same value.
+  TAUJOIN_CHECK_NE(mask, RelMask{0});
+  const int first = LowestBitIndex(mask);
+  TAUJOIN_CHECK_LT(static_cast<size_t>(first), base_.size());
+  Profile merged = base_[static_cast<size_t>(first)];
+  for (RelMask rest = mask & ~SingletonMask(first); rest != 0;
+       rest &= rest - 1) {
+    const int next = LowestBitIndex(rest);
+    TAUJOIN_CHECK_LT(static_cast<size_t>(next), base_.size());
+    const Profile& base = base_[static_cast<size_t>(next)];
 
-  Profile merged;
-  double selectivity_denominator = 1.0;
-  for (const auto& [attr, d] : base.distinct) {
-    auto shared = rest.distinct.find(attr);
-    if (shared != rest.distinct.end()) {
-      selectivity_denominator *= std::max(d, shared->second);
+    double selectivity_denominator = 1.0;
+    for (const auto& [attr, d] : base.distinct) {
+      auto shared = merged.distinct.find(attr);
+      if (shared != merged.distinct.end()) {
+        selectivity_denominator *= std::max(d, shared->second);
+      }
+    }
+    merged.size = merged.size * base.size / selectivity_denominator;
+    for (const auto& [attr, d] : base.distinct) {
+      auto slot = merged.distinct.find(attr);
+      if (slot == merged.distinct.end()) {
+        merged.distinct[attr] = d;
+      } else {
+        slot->second = std::min(slot->second, d);
+      }
+    }
+    // Distinct counts can never exceed the (estimated) relation size.
+    for (auto& [attr, d] : merged.distinct) {
+      d = std::max(1.0, std::min(d, std::max(1.0, merged.size)));
     }
   }
-  merged.size = rest.size * base.size / selectivity_denominator;
-  merged.distinct = rest.distinct;
-  for (const auto& [attr, d] : base.distinct) {
-    auto slot = merged.distinct.find(attr);
-    if (slot == merged.distinct.end()) {
-      merged.distinct[attr] = d;
-    } else {
-      slot->second = std::min(slot->second, d);
-    }
-  }
-  // Distinct counts can never exceed the (estimated) relation size.
-  for (auto& [attr, d] : merged.distinct) {
-    d = std::max(1.0, std::min(d, std::max(1.0, merged.size)));
-  }
-  auto [inserted, unused] = profiles_.emplace(mask, std::move(merged));
-  return inserted->second;
+  return merged;
 }
 
 uint64_t IndependenceSizeModel::Tau(RelMask mask) {
-  double size = ProfileOf(mask).size;
-  if (size < 0) size = 0;
-  if (size > 9e18) size = 9e18;
-  return static_cast<uint64_t>(std::llround(size));
+  return SaturatingTauFromDouble(Fold(mask).size);
+}
+
+SketchSizeModel::Profile SketchSizeModel::BaseProfile(int relation) const {
+  const RelationStats& rs = stats_->relation(relation);
+  Profile p;
+  p.size = static_cast<double>(rs.rows);
+  for (const AttributeStats& a : rs.attributes) {
+    AttrProfile ap;
+    ap.sketch = a.sketch;
+    ap.distinct = std::max(1.0, a.sketch.DistinctEstimate());
+    ap.histogram.assign(a.histogram.begin(), a.histogram.end());
+    p.attrs.emplace(a.attribute, std::move(ap));
+  }
+  return p;
+}
+
+namespace {
+
+double NonemptyBuckets(const std::vector<double>& histogram) {
+  double n = 0;
+  for (double h : histogram) {
+    if (h > 0) ++n;
+  }
+  return std::max(1.0, n);
+}
+
+}  // namespace
+
+SketchSizeModel::Profile SketchSizeModel::JoinProfiles(const Profile& a,
+                                                       const Profile& b) {
+  Profile out;
+  out.size = a.size * b.size;
+
+  struct SharedAttr {
+    const std::string* attr;
+    double matches = 0;  // Σ per-bucket match estimates, overlap-scaled
+    std::vector<double> match_histogram;
+    DistinctSketch intersection;
+    double distinct = 1.0;
+  };
+  std::vector<SharedAttr> shared;
+
+  for (const auto& [attr, pa] : a.attrs) {
+    auto it = b.attrs.find(attr);
+    if (it == b.attrs.end()) continue;
+    const AttrProfile& pb = it->second;
+
+    SharedAttr s;
+    s.attr = &attr;
+    // Per-bucket independence: bucket b of the result holds
+    // h_a(b)·h_b(b) / max(d_a(b), d_b(b)) matches, with per-bucket
+    // distinct counts approximated as evenly spread over the attribute's
+    // nonempty buckets (but never above the bucket's own row count).
+    const size_t buckets = std::min(pa.histogram.size(), pb.histogram.size());
+    const double da_spread = pa.distinct / NonemptyBuckets(pa.histogram);
+    const double db_spread = pb.distinct / NonemptyBuckets(pb.histogram);
+    s.match_histogram.assign(buckets, 0.0);
+    for (size_t i = 0; i < buckets; ++i) {
+      const double ha = pa.histogram[i];
+      const double hb = pb.histogram[i];
+      if (ha <= 0 || hb <= 0) continue;
+      const double da = std::clamp(da_spread, 1.0, ha);
+      const double db = std::clamp(db_spread, 1.0, hb);
+      s.match_histogram[i] = ha * hb / std::max(da, db);
+    }
+
+    // The max(d,d) denominator assumes the smaller value set is contained
+    // in the larger; the sketch intersection measures how true that is.
+    s.intersection = DistinctSketch::Intersect(pa.sketch, pb.sketch);
+    const double overlap = s.intersection.DistinctEstimate();
+    const double smaller = std::max(1.0, std::min(pa.distinct, pb.distinct));
+    const double containment = std::clamp(overlap / smaller, 0.0, 1.0);
+    for (double& m : s.match_histogram) m *= containment;
+    for (double m : s.match_histogram) s.matches += m;
+    s.distinct = std::max(1.0, std::min(overlap, smaller));
+
+    const double pairs = a.size * b.size;
+    const double selectivity =
+        pairs > 0 ? std::clamp(s.matches / pairs, 0.0, 1.0) : 0.0;
+    out.size *= selectivity;
+    shared.push_back(std::move(s));
+  }
+
+  // Result attribute profiles. Shared attributes keep the intersected
+  // sketch and the (rescaled) match histogram; one-sided attributes keep
+  // their sketch and a histogram scaled to the result size, since under
+  // independence every bucket shrinks by the same overall selectivity.
+  for (SharedAttr& s : shared) {
+    AttrProfile ap;
+    ap.sketch = std::move(s.intersection);
+    double total = 0;
+    for (double m : s.match_histogram) total += m;
+    const double scale = total > 0 ? out.size / total : 0.0;
+    ap.histogram = std::move(s.match_histogram);
+    for (double& h : ap.histogram) h *= scale;
+    ap.distinct =
+        std::max(1.0, std::min(s.distinct, std::max(1.0, out.size)));
+    out.attrs.emplace(*s.attr, std::move(ap));
+  }
+  for (const Profile* side : {&a, &b}) {
+    const Profile& other = side == &a ? b : a;
+    for (const auto& [attr, p] : side->attrs) {
+      if (other.attrs.count(attr) != 0) continue;  // handled above
+      AttrProfile ap;
+      ap.sketch = p.sketch;
+      const double scale = side->size > 0 ? out.size / side->size : 0.0;
+      ap.histogram = p.histogram;
+      for (double& h : ap.histogram) h *= scale;
+      ap.distinct =
+          std::max(1.0, std::min(p.distinct, std::max(1.0, out.size)));
+      out.attrs.emplace(attr, std::move(ap));
+    }
+  }
+  return out;
+}
+
+double SketchSizeModel::EstimateSize(RelMask mask) const {
+  TAUJOIN_CHECK_NE(mask, RelMask{0});
+  const int first = LowestBitIndex(mask);
+  TAUJOIN_CHECK_LT(first, stats_->size());
+  Profile acc = BaseProfile(first);
+  // Ascending-index fold, like IndependenceSizeModel: deterministic for a
+  // mask no matter which optimizer (or thread) asks.
+  for (RelMask rest = mask & ~SingletonMask(first); rest != 0;
+       rest &= rest - 1) {
+    const int next = LowestBitIndex(rest);
+    TAUJOIN_CHECK_LT(next, stats_->size());
+    acc = JoinProfiles(acc, BaseProfile(next));
+  }
+  return acc.size;
+}
+
+uint64_t SketchSizeModel::Tau(RelMask mask) {
+  // Clamp to ≥ 1 tuple: sub-tuple estimates are noise, and keeping every
+  // step cost positive preserves the "plan cost > 0" invariant consumers
+  // (serving reports, regret ratios) rely on.
+  return SaturatingTauFromDouble(std::max(1.0, EstimateSize(mask)));
+}
+
+SimpliSquaredModel SimpliSquaredModel::FromStats(const DatabaseStats& stats) {
+  std::vector<uint64_t> rows;
+  rows.reserve(static_cast<size_t>(stats.size()));
+  for (int i = 0; i < stats.size(); ++i) rows.push_back(stats.relation(i).rows);
+  return SimpliSquaredModel(std::move(rows));
+}
+
+SimpliSquaredModel SimpliSquaredModel::FromDatabase(const Database& db) {
+  std::vector<uint64_t> rows;
+  rows.reserve(static_cast<size_t>(db.size()));
+  for (int i = 0; i < db.size(); ++i) {
+    rows.push_back(static_cast<uint64_t>(db.state(i).size()));
+  }
+  return SimpliSquaredModel(std::move(rows));
+}
+
+uint64_t SimpliSquaredModel::Tau(RelMask mask) {
+  uint64_t total = 0;
+  for (RelMask rest = mask; rest != 0; rest &= rest - 1) {
+    const int i = LowestBitIndex(rest);
+    TAUJOIN_CHECK_LT(static_cast<size_t>(i), rows_.size());
+    // Every subset costs at least one tuple per member, so larger subsets
+    // never look free and step costs stay positive.
+    total = CheckedAddSat(total, std::max<uint64_t>(1, rows_[i]));
+  }
+  return total;
+}
+
+uint64_t ModelCost(const Strategy& strategy, SizeModel& model) {
+  uint64_t total = 0;
+  for (int step : strategy.Steps()) {
+    total = CheckedAddSat(total, model.Tau(strategy.node(step).mask));
+  }
+  return total;
 }
 
 }  // namespace taujoin

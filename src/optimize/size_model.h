@@ -3,18 +3,31 @@
 
 #include <map>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
 #include "core/cost.h"
 #include "core/database.h"
+#include "relational/stats.h"
 
 namespace taujoin {
 
 /// Pluggable intermediate-size oracle for the optimizers. The paper's cost
 /// measure is the *exact* tuple count, which ExactSizeModel provides (via
-/// CostEngine); IndependenceSizeModel is the classic System-R-style
-/// estimator (uniformity + independence) that the paper explicitly
-/// criticizes — included so experiments can quantify how misleading it is.
+/// CostEngine). The estimators below never touch the data at plan time:
+///
+///  * IndependenceSizeModel — the classic System-R estimator (uniformity +
+///    independence) the paper explicitly criticizes, measured from exact
+///    per-attribute distinct counts taken at construction.
+///  * SketchSizeModel — the same independence frame, but fed by the ingest
+///    statistics of relational/stats.h: KMV sketch intersections bound how
+///    much of two attributes' value sets actually overlap, and the shared
+///    equi-width histograms catch skew the flat estimator misses.
+///  * SimpliSquaredModel — the estimation-free baseline of the
+///    Simpli-Squared line of work: a subset "costs" the sum of its member
+///    base-relation sizes, so optimizers order joins by base size only.
+///
+/// Every model here is deterministic for a given mask regardless of call
+/// order or thread count, so parallel and serial optimizer runs agree.
 class SizeModel {
  public:
   virtual ~SizeModel() = default;
@@ -44,11 +57,15 @@ class ExactSizeModel : public SizeModel {
 
 /// Textbook estimator: |R ⋈ S| ≈ |R|·|S| / Π_{A shared} max(d_R(A), d_S(A)),
 /// with d(A) of the result min'ed across the inputs. Per-attribute distinct
-/// counts of the base relations are measured from the actual states.
+/// counts of the base relations are measured exactly at construction; after
+/// that every Tau call folds the base profiles on the stack (lowest
+/// relation index first, so the estimate is deterministic), touching no
+/// shared state — which is what makes the model thread-safe.
 class IndependenceSizeModel : public SizeModel {
  public:
   explicit IndependenceSizeModel(const Database* db);
   uint64_t Tau(RelMask mask) override;
+  bool thread_safe() const override { return true; }
   std::string name() const override { return "independence"; }
 
  private:
@@ -56,11 +73,83 @@ class IndependenceSizeModel : public SizeModel {
     double size = 0;
     std::map<std::string, double> distinct;  // per attribute
   };
-  const Profile& ProfileOf(RelMask mask);
+  Profile Fold(RelMask mask) const;
 
-  const Database* db_;
-  std::unordered_map<RelMask, Profile> profiles_;
+  std::vector<Profile> base_;  // immutable after construction
 };
+
+/// Estimator over the ingest statistics of relational/stats.h — the model
+/// that lets a cold-path planner price every subset without one kernel
+/// call. Two refinements over IndependenceSizeModel:
+///
+///  * **Histogram join.** All relations bucket the shared code domain the
+///    same way, so matches on attribute A are estimated per bucket:
+///    Σ_b h_R(b)·h_S(b) / max(d_R(b), d_S(b)), which sees skew (a hot
+///    bucket on both sides) and disjoint ranges (h·h = 0) that a single
+///    max(d_R, d_S) denominator averages away.
+///  * **Sketch overlap.** The flat estimator silently assumes the smaller
+///    value set is contained in the larger. Intersecting the KMV sketches
+///    measures the actual overlap; the bucket estimate is scaled by
+///    |V_R ∩ V_S| / min(d_R, d_S) ∈ [0, 1].
+///
+/// Join results inherit intersected sketches and rescaled histograms, so
+/// the refinements compound up the fold. Estimates are clamped to ≥ 1
+/// tuple: below that the signal is noise, and strategy costs stay nonzero.
+/// Stateless after construction (no memo), hence trivially thread-safe.
+class SketchSizeModel : public SizeModel {
+ public:
+  /// `stats` must outlive the model. Relation indices are the stats'
+  /// relation order (= the database's when built by BuildDatabaseStats).
+  explicit SketchSizeModel(const DatabaseStats* stats) : stats_(stats) {}
+  uint64_t Tau(RelMask mask) override;
+  bool thread_safe() const override { return true; }
+  std::string name() const override { return "sketch"; }
+
+  /// The raw (unclamped, fractional) size estimate for `mask`; exposed for
+  /// accuracy tests and experiment reporting.
+  double EstimateSize(RelMask mask) const;
+
+ private:
+  struct AttrProfile {
+    double distinct = 1.0;
+    DistinctSketch sketch;
+    std::vector<double> histogram;  // estimated per-bucket row counts
+  };
+  struct Profile {
+    double size = 0;
+    std::map<std::string, AttrProfile> attrs;
+  };
+  Profile BaseProfile(int relation) const;
+  static Profile JoinProfiles(const Profile& a, const Profile& b);
+
+  const DatabaseStats* stats_;
+};
+
+/// The Simpli-Squared baseline: no cardinality estimation at all. A subset
+/// "costs" the (saturating) sum of its member base-relation sizes, so any
+/// optimizer run under this model greedily prefers small base relations —
+/// the strategy the Simpli-Squared line shows is surprisingly competitive.
+/// The numbers are ordering surrogates, not size estimates; regret against
+/// exact τ is what exp_regret measures.
+class SimpliSquaredModel : public SizeModel {
+ public:
+  explicit SimpliSquaredModel(std::vector<uint64_t> base_rows)
+      : rows_(std::move(base_rows)) {}
+  static SimpliSquaredModel FromStats(const DatabaseStats& stats);
+  static SimpliSquaredModel FromDatabase(const Database& db);
+  uint64_t Tau(RelMask mask) override;
+  bool thread_safe() const override { return true; }
+  std::string name() const override { return "simpli2"; }
+
+ private:
+  std::vector<uint64_t> rows_;
+};
+
+/// τ(S) under `model`: Σ over steps of the model's size for the step's
+/// subset (saturating) — TauCost's shape, with the oracle swapped out.
+/// This is the number an estimate-driven optimizer actually minimized;
+/// compare against TauCost of the same strategy to measure regret.
+uint64_t ModelCost(const Strategy& strategy, SizeModel& model);
 
 }  // namespace taujoin
 

@@ -1,0 +1,311 @@
+#include "relational/stats.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <iterator>
+#include <set>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+
+namespace taujoin {
+
+namespace {
+
+/// Normalizes a 64-bit hash into (0, 1]: the KMV estimator works on the
+/// fraction of the hash space the k minima span.
+double NormalizedHash(uint64_t hash) {
+  // +1 keeps the value strictly positive so the division below is safe.
+  return (static_cast<double>(hash) + 1.0) / 18446744073709551616.0;  // 2^64
+}
+
+}  // namespace
+
+uint64_t DistinctSketch::HashCode(uint32_t code) {
+  // SplitMix64 finalizer: full-avalanche, fixed — every sketch in the
+  // process hashes a given code to the same point, which is what makes
+  // sketch intersection meaningful.
+  uint64_t z = static_cast<uint64_t>(code) + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double DistinctSketch::DistinctEstimate() const {
+  if (exact || minima.empty()) return static_cast<double>(minima.size());
+  // Classic KMV: E[D] = (k − 1) / h_(k), h_(k) the normalized kth minimum.
+  const double kth = NormalizedHash(minima.back());
+  return std::max<double>(static_cast<double>(minima.size()),
+                          (static_cast<double>(minima.size()) - 1.0) / kth);
+}
+
+DistinctSketch DistinctSketch::Intersect(const DistinctSketch& a,
+                                         const DistinctSketch& b) {
+  DistinctSketch out;
+  out.capacity = std::min(a.capacity, b.capacity);
+  // Below the smaller of the two kth-minimum thresholds both sketches saw
+  // *every* value hash, so the shared minima there are an exact KMV sample
+  // of the intersection.
+  uint64_t threshold = UINT64_MAX;
+  if (!a.exact && !a.minima.empty()) {
+    threshold = std::min(threshold, a.minima.back());
+  }
+  if (!b.exact && !b.minima.empty()) {
+    threshold = std::min(threshold, b.minima.back());
+  }
+  std::set_intersection(a.minima.begin(), a.minima.end(), b.minima.begin(),
+                        b.minima.end(), std::back_inserter(out.minima));
+  while (!out.minima.empty() && out.minima.back() > threshold) {
+    out.minima.pop_back();
+  }
+  // The result is exact when both inputs were (every distinct value of
+  // both sides is present); otherwise it is a truncated KMV sample whose
+  // estimator must use the *threshold* as its kth minimum — the shared
+  // minima span exactly the hash range [0, threshold].
+  out.exact = a.exact && b.exact;
+  if (!out.exact && !out.minima.empty()) {
+    // Re-anchor: treat the last shared minimum as the kth of a sketch of
+    // size |minima|; this is the standard KMV intersection estimate.
+    out.capacity = static_cast<int>(out.minima.size());
+  }
+  return out;
+}
+
+const AttributeStats* RelationStats::Find(std::string_view attribute) const {
+  for (const AttributeStats& a : attributes) {
+    if (a.attribute == attribute) return &a;
+  }
+  return nullptr;
+}
+
+size_t RelationStats::StorageBytes() const {
+  size_t bytes = 0;
+  for (const AttributeStats& a : attributes) {
+    bytes += a.sketch.minima.size() * sizeof(uint64_t) +
+             a.histogram.size() * sizeof(uint64_t) + a.attribute.size();
+  }
+  return bytes;
+}
+
+RelationStats DatabaseStats::FromRelation(const Relation& relation,
+                                          const StatsOptions& options,
+                                          uint64_t code_limit) {
+  TAUJOIN_CHECK_GT(options.sketch_size, 0);
+  TAUJOIN_CHECK_GT(options.histogram_buckets, 0);
+  RelationStats stats;
+  stats.rows = relation.size();
+  const size_t stride = relation.stride();
+  const size_t buckets = static_cast<size_t>(options.histogram_buckets);
+  const uint64_t domain = std::max<uint64_t>(1, code_limit);
+  for (size_t c = 0; c < stride; ++c) {
+    AttributeStats attr;
+    attr.attribute = relation.schema().attribute(c);
+    attr.histogram.assign(buckets, 0);
+    // One column pass: histogram over codes, sketch over distinct codes.
+    // The distinct set per column is collected exactly (codes are dense
+    // u32s; a column rarely exceeds the row count) and then reduced to the
+    // k smallest hashes — ingest-time cost, paid once per relation.
+    std::set<uint32_t> distinct;
+    for (size_t r = 0; r < relation.size(); ++r) {
+      const uint32_t code = relation.row(r)[c];
+      // Codes interned after the stats build would fall past the domain;
+      // clamp into the last bucket so the histogram stays total.
+      const uint64_t slot =
+          std::min<uint64_t>(buckets - 1,
+                             static_cast<uint64_t>(code) * buckets / domain);
+      ++attr.histogram[static_cast<size_t>(slot)];
+      distinct.insert(code);
+    }
+    DistinctSketch& sketch = attr.sketch;
+    sketch.capacity = options.sketch_size;
+    for (const uint32_t code : distinct) {
+      sketch.minima.push_back(DistinctSketch::HashCode(code));
+    }
+    std::sort(sketch.minima.begin(), sketch.minima.end());
+    if (sketch.minima.size() > static_cast<size_t>(sketch.capacity)) {
+      sketch.minima.resize(static_cast<size_t>(sketch.capacity));
+      sketch.exact = false;
+    }
+    stats.attributes.push_back(std::move(attr));
+  }
+  return stats;
+}
+
+DatabaseStats DatabaseStats::FromRelations(
+    const std::vector<const Relation*>& states, const StatsOptions& options) {
+  TAUJOIN_METRIC_SPAN(build, "stats.build");
+  DatabaseStats stats;
+  stats.options_ = options;
+  uint64_t code_limit = 1;
+  for (const Relation* state : states) {
+    TAUJOIN_CHECK(state != nullptr);
+    code_limit = std::max<uint64_t>(code_limit, state->dictionary()->size());
+  }
+  stats.code_limit_ = code_limit;
+  for (const Relation* state : states) {
+    stats.relations_.push_back(FromRelation(*state, options, code_limit));
+  }
+  TAUJOIN_METRIC_COUNT("stats.relations_built", states.size());
+  TAUJOIN_METRIC_COUNT("stats.bytes", stats.StorageBytes());
+  return stats;
+}
+
+size_t DatabaseStats::StorageBytes() const {
+  size_t bytes = 0;
+  for (const RelationStats& r : relations_) bytes += r.StorageBytes();
+  return bytes;
+}
+
+// --- Serialization ------------------------------------------------------
+//
+// Line-oriented text, versioned:
+//   taujoin-stats/v1 <sketch_size> <histogram_buckets> <code_limit> <nrel>
+//   R <rows> <nattrs>                     (once per relation)
+//   A <name> <exact> <capacity> <nminima> <m1> ... <nbuckets> <h1> ...
+// Attribute names cannot contain whitespace (schema names never do — they
+// come from Schema::Parse); everything else is unsigned decimal.
+
+std::string DatabaseStats::Serialize() const {
+  std::string out = "taujoin-stats/v1 " + std::to_string(options_.sketch_size) +
+                    " " + std::to_string(options_.histogram_buckets) + " " +
+                    std::to_string(code_limit_) + " " +
+                    std::to_string(relations_.size()) + "\n";
+  for (const RelationStats& rel : relations_) {
+    out += "R " + std::to_string(rel.rows) + " " +
+           std::to_string(rel.attributes.size()) + "\n";
+    for (const AttributeStats& attr : rel.attributes) {
+      out += "A " + attr.attribute + " " + (attr.sketch.exact ? "1" : "0") +
+             " " + std::to_string(attr.sketch.capacity) + " " +
+             std::to_string(attr.sketch.minima.size());
+      for (const uint64_t m : attr.sketch.minima) {
+        out += " " + std::to_string(m);
+      }
+      out += " " + std::to_string(attr.histogram.size());
+      for (const uint64_t h : attr.histogram) {
+        out += " " + std::to_string(h);
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Whitespace-delimited token cursor over the serialized text.
+class TokenReader {
+ public:
+  explicit TokenReader(std::string_view text) : text_(text) {}
+
+  StatusOr<std::string> Next() {
+    while (pos_ < text_.size() && std::isspace(
+               static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) {
+      return InvalidArgumentError("stats: unexpected end of input");
+    }
+    const size_t start = pos_;
+    while (pos_ < text_.size() && !std::isspace(
+               static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  StatusOr<uint64_t> NextU64() {
+    StatusOr<std::string> token = Next();
+    if (!token.ok()) return token.status();
+    char* rest = nullptr;
+    const unsigned long long value = std::strtoull(token->c_str(), &rest, 10);
+    if (token->empty() || rest == nullptr || *rest != '\0') {
+      return InvalidArgumentError("stats: bad number: " + *token);
+    }
+    return static_cast<uint64_t>(value);
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<DatabaseStats> DatabaseStats::Deserialize(std::string_view text) {
+  TokenReader reader(text);
+  StatusOr<std::string> magic = reader.Next();
+  if (!magic.ok()) return magic.status();
+  if (*magic != "taujoin-stats/v1") {
+    return InvalidArgumentError("stats: unknown format: " + *magic);
+  }
+  DatabaseStats stats;
+  const auto read_count = [&](const char* what,
+                              uint64_t limit) -> StatusOr<uint64_t> {
+    StatusOr<uint64_t> value = reader.NextU64();
+    if (!value.ok()) return value.status();
+    if (*value > limit) {
+      return InvalidArgumentError(std::string("stats: implausible ") + what +
+                                  ": " + std::to_string(*value));
+    }
+    return value;
+  };
+  StatusOr<uint64_t> sketch_size = read_count("sketch size", 1u << 20);
+  if (!sketch_size.ok()) return sketch_size.status();
+  StatusOr<uint64_t> buckets = read_count("bucket count", 1u << 20);
+  if (!buckets.ok()) return buckets.status();
+  StatusOr<uint64_t> code_limit = reader.NextU64();
+  if (!code_limit.ok()) return code_limit.status();
+  StatusOr<uint64_t> nrel = read_count("relation count", 1u << 16);
+  if (!nrel.ok()) return nrel.status();
+  stats.options_.sketch_size = static_cast<int>(*sketch_size);
+  stats.options_.histogram_buckets = static_cast<int>(*buckets);
+  stats.code_limit_ = *code_limit;
+  for (uint64_t r = 0; r < *nrel; ++r) {
+    StatusOr<std::string> tag = reader.Next();
+    if (!tag.ok()) return tag.status();
+    if (*tag != "R") return InvalidArgumentError("stats: expected R record");
+    RelationStats rel;
+    StatusOr<uint64_t> rows = reader.NextU64();
+    if (!rows.ok()) return rows.status();
+    rel.rows = *rows;
+    StatusOr<uint64_t> nattrs = read_count("attribute count", 1u << 16);
+    if (!nattrs.ok()) return nattrs.status();
+    for (uint64_t a = 0; a < *nattrs; ++a) {
+      StatusOr<std::string> atag = reader.Next();
+      if (!atag.ok()) return atag.status();
+      if (*atag != "A") return InvalidArgumentError("stats: expected A record");
+      AttributeStats attr;
+      StatusOr<std::string> name = reader.Next();
+      if (!name.ok()) return name.status();
+      attr.attribute = *name;
+      StatusOr<uint64_t> exact = reader.NextU64();
+      if (!exact.ok()) return exact.status();
+      attr.sketch.exact = *exact != 0;
+      StatusOr<uint64_t> capacity = read_count("sketch capacity", 1u << 20);
+      if (!capacity.ok()) return capacity.status();
+      attr.sketch.capacity = static_cast<int>(*capacity);
+      StatusOr<uint64_t> nminima = read_count("minima count", 1u << 20);
+      if (!nminima.ok()) return nminima.status();
+      attr.sketch.minima.reserve(static_cast<size_t>(*nminima));
+      for (uint64_t m = 0; m < *nminima; ++m) {
+        StatusOr<uint64_t> value = reader.NextU64();
+        if (!value.ok()) return value.status();
+        attr.sketch.minima.push_back(*value);
+      }
+      StatusOr<uint64_t> nbuckets = read_count("histogram buckets", 1u << 20);
+      if (!nbuckets.ok()) return nbuckets.status();
+      attr.histogram.reserve(static_cast<size_t>(*nbuckets));
+      for (uint64_t b = 0; b < *nbuckets; ++b) {
+        StatusOr<uint64_t> value = reader.NextU64();
+        if (!value.ok()) return value.status();
+        attr.histogram.push_back(*value);
+      }
+      rel.attributes.push_back(std::move(attr));
+    }
+    stats.relations_.push_back(std::move(rel));
+  }
+  return stats;
+}
+
+}  // namespace taujoin

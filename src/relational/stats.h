@@ -1,0 +1,133 @@
+#ifndef TAUJOIN_RELATIONAL_STATS_H_
+#define TAUJOIN_RELATIONAL_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/relation.h"
+
+namespace taujoin {
+
+/// Ingest-time statistics over the interned u32 code arenas: per-attribute
+/// KMV distinct-value sketches and equi-width join-key histograms. Built in
+/// one pass over a relation's columnar storage (no joins, no counting
+/// kernels), these are what lets an optimizer price a plan without ever
+/// touching the data again — the statistics layer the estimated-cost
+/// SizeModels (optimize/size_model.h) consume.
+///
+/// Everything here is immutable after construction and freely shareable
+/// across threads.
+
+struct StatsOptions {
+  /// KMV sketch size: the k smallest 64-bit code hashes are kept per
+  /// attribute. Distinct-count relative error concentrates around
+  /// 1/sqrt(k−2) ≈ 6% at the default.
+  int sketch_size = 256;
+  /// Equi-width histogram buckets over the code domain [0, code_limit).
+  /// All relations of one DatabaseStats share one code_limit (the shared
+  /// dictionary's size at build time), so bucket b means the same value
+  /// range in every relation — the property the histogram join exploits.
+  int histogram_buckets = 64;
+};
+
+/// KMV ("k minimum values") sketch of one attribute's distinct code set.
+/// All sketches hash codes through the same fixed mixer, so two sketches
+/// over the same dictionary are directly comparable: the intersection of
+/// their minima below the common threshold is itself a KMV sample of the
+/// value intersection — that is how join results inherit sketches.
+struct DistinctSketch {
+  /// The k (or fewer) smallest hashes of the distinct codes, ascending.
+  std::vector<uint64_t> minima;
+  /// True while every distinct code's hash fit in `minima` — the sketch is
+  /// then exact and DistinctEstimate returns minima.size().
+  bool exact = true;
+  int capacity = 0;  ///< the configured k
+
+  /// Estimated number of distinct values: exact when `exact`, else the
+  /// KMV estimator (k−1) / normalized kth-minimum.
+  double DistinctEstimate() const;
+
+  /// KMV sample of the value intersection of `a` and `b`: the shared
+  /// minima below the smaller of the two kth-minimum thresholds. The
+  /// result's capacity is the smaller input capacity.
+  static DistinctSketch Intersect(const DistinctSketch& a,
+                                  const DistinctSketch& b);
+
+  /// The 64-bit mixer every sketch runs codes through (SplitMix64 final
+  /// avalanche) — exposed so tests and builders agree on the hash.
+  static uint64_t HashCode(uint32_t code);
+};
+
+/// Statistics of one attribute of one relation.
+struct AttributeStats {
+  std::string attribute;
+  DistinctSketch sketch;
+  /// Equi-width bucket counts over the code domain; Σ = relation rows.
+  std::vector<uint64_t> histogram;
+};
+
+/// Statistics of one relation: row count plus per-attribute sketches and
+/// histograms, in schema (sorted-attribute) order.
+struct RelationStats {
+  uint64_t rows = 0;
+  std::vector<AttributeStats> attributes;
+
+  const AttributeStats* Find(std::string_view attribute) const;
+
+  /// Heap footprint of the sketch minima and histogram buckets (the
+  /// StorageBytes-style accounting metrics report as stats.bytes).
+  size_t StorageBytes() const;
+};
+
+/// Statistics for every relation of one database, built over the states'
+/// shared dictionary. This is the object that travels with a Database into
+/// the serving layer: build it once at ingest, plan against it forever.
+/// (core/database.h provides BuildDatabaseStats(const Database&), the
+/// convenience wrapper around FromRelations — the relational layer itself
+/// never depends on core.)
+class DatabaseStats {
+ public:
+  DatabaseStats() = default;
+
+  /// One pass over every state's code arena. The histogram domain
+  /// (`code_limit`) is the states' shared dictionary's size at build time,
+  /// so bucket b covers the same codes in every relation. Records the
+  /// build under the `stats.build` timer and its footprint under the
+  /// `stats.bytes` counter.
+  static DatabaseStats FromRelations(const std::vector<const Relation*>& states,
+                                     const StatsOptions& options = {});
+
+  /// Stats for one standalone relation (tests, incremental ingest) over an
+  /// explicit code domain.
+  static RelationStats FromRelation(const Relation& relation,
+                                    const StatsOptions& options,
+                                    uint64_t code_limit);
+
+  int size() const { return static_cast<int>(relations_.size()); }
+  const RelationStats& relation(int i) const {
+    return relations_[static_cast<size_t>(i)];
+  }
+  const StatsOptions& options() const { return options_; }
+  uint64_t code_limit() const { return code_limit_; }
+
+  /// Total heap footprint across relations.
+  size_t StorageBytes() const;
+
+  /// Compact line-oriented text serialization (`taujoin-stats/v1`), so
+  /// stats can travel with a database snapshot instead of being rebuilt.
+  /// Deserialize(Serialize()) reproduces every estimate bit-for-bit.
+  std::string Serialize() const;
+  static StatusOr<DatabaseStats> Deserialize(std::string_view text);
+
+ private:
+  StatsOptions options_;
+  uint64_t code_limit_ = 0;
+  std::vector<RelationStats> relations_;
+};
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_RELATIONAL_STATS_H_

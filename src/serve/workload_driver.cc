@@ -42,6 +42,28 @@ std::string FormatDouble(double value, const char* format = "%.2f") {
 
 }  // namespace
 
+const char* ServeSizeModelToString(ServeSizeModel model) {
+  switch (model) {
+    case ServeSizeModel::kExact:
+      return "exact";
+    case ServeSizeModel::kIndependence:
+      return "independence";
+    case ServeSizeModel::kSketch:
+      return "sketch";
+    case ServeSizeModel::kSimpliSquared:
+      return "simpli2";
+  }
+  return "unknown";
+}
+
+StatusOr<ServeSizeModel> ParseServeSizeModel(std::string_view text) {
+  if (text == "exact") return ServeSizeModel::kExact;
+  if (text == "independence") return ServeSizeModel::kIndependence;
+  if (text == "sketch") return ServeSizeModel::kSketch;
+  if (text == "simpli2") return ServeSizeModel::kSimpliSquared;
+  return InvalidArgumentError("unknown size model: " + std::string(text));
+}
+
 std::string QueryClassSpec::Key() const {
   return std::string(QueryShapeToString(shape)) + "/n" +
          std::to_string(relation_count) + "/r" +
@@ -171,11 +193,14 @@ std::string WorkloadReport::ToString() const {
   out += "  cache: " + std::to_string(cache_hits) + " hits / " +
          std::to_string(cache_misses) + " misses / " +
          std::to_string(cache_evictions) + " evictions\n";
+  out += "  size model: " + size_model + "\n";
   out += line("optimize(all) ", optimize);
   out += line("optimize(cold)", optimize_cold);
   out += line("optimize(warm)", optimize_warm);
   if (execute.count > 0) out += line("execute       ", execute);
   out += line("total         ", total);
+  out += line("plan time     ", plan);
+  out += line("data time     ", data);
   out += "  tiers:";
   for (const auto& [tier, count] : tier_counts) {
     out += " " + tier + "=" + std::to_string(count);
@@ -192,11 +217,14 @@ std::string WorkloadReport::ToJson() const {
   json += "      \"cache_misses\": " + std::to_string(cache_misses) + ",\n";
   json +=
       "      \"cache_evictions\": " + std::to_string(cache_evictions) + ",\n";
+  json += "      \"size_model\": \"" + size_model + "\",\n";
   json += "      \"optimize\": " + optimize.ToJson() + ",\n";
   json += "      \"optimize_cold\": " + optimize_cold.ToJson() + ",\n";
   json += "      \"optimize_warm\": " + optimize_warm.ToJson() + ",\n";
   json += "      \"execute\": " + execute.ToJson() + ",\n";
   json += "      \"total\": " + total.ToJson() + ",\n";
+  json += "      \"plan\": " + plan.ToJson() + ",\n";
+  json += "      \"data\": " + data.ToJson() + ",\n";
   json += "      \"wall_seconds\": " + FormatDouble(wall_seconds, "%.6f") +
           ",\n";
   json += "      \"queries_per_second\": " +
@@ -218,13 +246,15 @@ WorkloadDriver::WorkloadDriver(WorkloadDriverOptions options)
 }
 
 WorkloadDriver::ClassState& WorkloadDriver::GetOrBuildClass(
-    const QueryClassSpec& spec) {
+    const QueryClassSpec& spec, uint64_t* charged_build_ns) {
+  *charged_build_ns = 0;
   const std::string key = spec.Key();
   std::lock_guard<std::mutex> lock(classes_mu_);
   auto it = classes_.find(key);
   if (it != classes_.end()) return *it->second;
 
   TAUJOIN_METRIC_SPAN(build, "serve.driver.class_build");
+  const uint64_t build_start = NowNanos();
   auto state = std::make_unique<ClassState>();
   GeneratorOptions gen;
   gen.shape = spec.shape;
@@ -235,20 +265,41 @@ WorkloadDriver::ClassState& WorkloadDriver::GetOrBuildClass(
   Rng rng(spec.seed);
   state->db = RandomDatabase(gen, rng);
   state->engine = std::make_unique<CostEngine>(&state->db);
-  // The exact model's τ values are a function of this class's data, so the
-  // size-model identity is scoped to the class key: repeats of the class
-  // share plans, different classes never do (even when isomorphic).
+  // Ingest statistics are part of class build: one data pass here buys
+  // estimate-driven planning that never touches the data again.
+  state->stats = BuildDatabaseStats(state->db);
+  switch (options_.size_model) {
+    case ServeSizeModel::kExact:
+      break;  // adaptive plans against the engine directly
+    case ServeSizeModel::kIndependence:
+      state->model = std::make_unique<IndependenceSizeModel>(&state->db);
+      break;
+    case ServeSizeModel::kSketch:
+      state->model = std::make_unique<SketchSizeModel>(&state->stats);
+      break;
+    case ServeSizeModel::kSimpliSquared:
+      state->model = std::make_unique<SimpliSquaredModel>(
+          SimpliSquaredModel::FromStats(state->stats));
+      break;
+  }
+  // A model's sizes are a function of this class's data, so the size-model
+  // identity is scoped to (model name, class key): repeats of the class
+  // under one model share plans, different classes — or the same class
+  // under a different model — never do (even when isomorphic).
   state->fingerprint = FingerprintQuery(
-      state->db.scheme(), state->db.scheme().full_mask(), "exact/" + key);
+      state->db.scheme(), state->db.scheme().full_mask(),
+      std::string(ServeSizeModelToString(options_.size_model)) + "/" + key);
   it = classes_.emplace(key, std::move(state)).first;
   TAUJOIN_METRIC_INCR("serve.driver.classes_built");
+  *charged_build_ns = NowNanos() - build_start;
   return *it->second;
 }
 
 QueryOutcome WorkloadDriver::RunOne(const QueryClassSpec& spec) {
   QueryOutcome outcome;
   const uint64_t query_start = NowNanos();
-  ClassState& cls = GetOrBuildClass(spec);
+  uint64_t charged_build_ns = 0;
+  ClassState& cls = GetOrBuildClass(spec, &charged_build_ns);
   const RelMask mask = cls.db.scheme().full_mask();
 
   const uint64_t optimize_start = NowNanos();
@@ -262,8 +313,9 @@ QueryOutcome WorkloadDriver::RunOne(const QueryClassSpec& spec) {
     }
   }
   if (!outcome.cache_hit) {
-    AdaptiveResult result =
-        OptimizeAdaptive(*cls.engine, mask, options_.adaptive);
+    AdaptiveOptions adaptive = options_.adaptive;
+    adaptive.size_model = cls.model.get();  // nullptr under kExact
+    AdaptiveResult result = OptimizeAdaptive(*cls.engine, mask, adaptive);
     outcome.tier = result.tier;
     outcome.cost = result.plan.cost;
     plan = std::move(result.plan.strategy);
@@ -272,6 +324,7 @@ QueryOutcome WorkloadDriver::RunOne(const QueryClassSpec& spec) {
     }
   }
   outcome.optimize_ns = NowNanos() - optimize_start;
+  outcome.plan_ns = outcome.optimize_ns;
 
   if (options_.execute) {
     const uint64_t execute_start = NowNanos();
@@ -280,6 +333,7 @@ QueryOutcome WorkloadDriver::RunOne(const QueryClassSpec& spec) {
     (void)trace;
     outcome.execute_ns = NowNanos() - execute_start;
   }
+  outcome.data_ns = charged_build_ns + outcome.execute_ns;
   outcome.total_ns = NowNanos() - query_start;
   return outcome;
 }
@@ -313,10 +367,12 @@ WorkloadReport WorkloadDriver::Run(const std::vector<QueryClassSpec>& stream) {
   WorkloadReport report;
   report.queries = stream.size();
   report.classes = classes_.size();
+  report.size_model = ServeSizeModelToString(options_.size_model);
   report.wall_seconds = wall_seconds;
   report.queries_per_second =
       wall_seconds > 0 ? static_cast<double>(stream.size()) / wall_seconds : 0;
   std::vector<uint64_t> all_opt, cold_opt, warm_opt, exec_ns, total_ns;
+  std::vector<uint64_t> plan_ns, data_ns;
   for (const QueryOutcome& outcome : outcomes_) {
     all_opt.push_back(outcome.optimize_ns);
     if (outcome.cache_hit) {
@@ -329,12 +385,16 @@ WorkloadReport WorkloadDriver::Run(const std::vector<QueryClassSpec>& stream) {
     }
     if (options_.execute) exec_ns.push_back(outcome.execute_ns);
     total_ns.push_back(outcome.total_ns);
+    plan_ns.push_back(outcome.plan_ns);
+    data_ns.push_back(outcome.data_ns);
   }
   report.optimize = LatencySummary::FromSamples(std::move(all_opt));
   report.optimize_cold = LatencySummary::FromSamples(std::move(cold_opt));
   report.optimize_warm = LatencySummary::FromSamples(std::move(warm_opt));
   report.execute = LatencySummary::FromSamples(std::move(exec_ns));
   report.total = LatencySummary::FromSamples(std::move(total_ns));
+  report.plan = LatencySummary::FromSamples(std::move(plan_ns));
+  report.data = LatencySummary::FromSamples(std::move(data_ns));
   if (options_.cache != nullptr) {
     report.cache_evictions =
         options_.cache->stats().evictions - cache_before.evictions;

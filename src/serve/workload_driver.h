@@ -59,11 +59,34 @@ struct LatencySummary {
   std::string ToJson() const;
 };
 
+/// The size oracle the driver's cold path plans under. Estimating models
+/// (everything but kExact) plan from the class's ingest-time statistics
+/// alone: a cache miss runs zero joins and zero counting kernels — the
+/// refactor that decouples choosing a plan from touching the data.
+enum class ServeSizeModel {
+  kExact,          ///< exact τ via the class's CostEngine (data-touching)
+  kIndependence,   ///< System-R uniformity+independence estimator
+  kSketch,         ///< KMV sketches + shared histograms (the default)
+  kSimpliSquared,  ///< estimate-free: base-relation sizes only
+};
+
+/// Stable lowercase names ("exact", "independence", "sketch", "simpli2") —
+/// also the size-model identity prefix in plan-cache fingerprints.
+const char* ServeSizeModelToString(ServeSizeModel model);
+StatusOr<ServeSizeModel> ParseServeSizeModel(std::string_view text);
+
 struct WorkloadDriverOptions {
   /// Plan cache shared across the run; nullptr disables caching (every
   /// query optimizes cold — the baseline the serve bench compares against).
   PlanCache* cache = nullptr;
   AdaptiveOptions adaptive;
+  /// Cold-path size oracle. The default (kSketch) plans cache misses from
+  /// ingest statistics without touching the data; kExact restores the
+  /// previous engine-driven behavior. The choice scopes the fingerprint,
+  /// so plans cached under one model are never served under another.
+  /// (adaptive.size_model is overwritten per class from this setting;
+  /// adaptive.exact_budget_micros still applies on top.)
+  ServeSizeModel size_model = ServeSizeModel::kSketch;
   /// Also physically execute every chosen plan (materializing each step).
   bool execute = false;
   /// Queries dispatched per ParallelFor batch.
@@ -79,6 +102,13 @@ struct QueryOutcome {
   uint64_t optimize_ns = 0;  ///< fingerprint + lookup + optimize + insert
   uint64_t execute_ns = 0;
   uint64_t total_ns = 0;
+  /// Plan-time: the optimize phase. Under an estimating model this phase
+  /// touches no data at all; under kExact the optimizer's kernel work
+  /// still lands here (the split is by phase, not by instruction).
+  uint64_t plan_ns = 0;
+  /// Data-time: class ingest (generation + stats build, charged to the
+  /// query that first touched the class) plus plan execution.
+  uint64_t data_ns = 0;
 };
 
 struct WorkloadReport {
@@ -92,6 +122,10 @@ struct WorkloadReport {
   LatencySummary optimize_warm;  ///< cache hits (empty without a cache)
   LatencySummary execute;        ///< only when options.execute
   LatencySummary total;
+  LatencySummary plan;  ///< plan-time across all queries (QueryOutcome)
+  LatencySummary data;  ///< data-time across all queries (ingest + execute)
+  /// Name of the cold-path size model the run planned under.
+  std::string size_model;
   double wall_seconds = 0;
   double queries_per_second = 0;
   /// Winning-tier histogram over cache misses, keyed by tier name.
@@ -124,10 +158,18 @@ class WorkloadDriver {
   struct ClassState {
     Database db;
     std::unique_ptr<CostEngine> engine;
+    /// Ingest statistics + the estimating model over them (nullptr when
+    /// the driver plans under kExact).
+    DatabaseStats stats;
+    std::unique_ptr<SizeModel> model;
     QueryFingerprint fingerprint;
   };
 
-  ClassState& GetOrBuildClass(const QueryClassSpec& spec);
+  /// Resolves (building on first touch) the class. `*charged_build_ns`
+  /// receives the ingest time when this call did the build, else 0 — the
+  /// builder's query is the one whose data_ns pays for ingest.
+  ClassState& GetOrBuildClass(const QueryClassSpec& spec,
+                              uint64_t* charged_build_ns);
   QueryOutcome RunOne(const QueryClassSpec& spec);
 
   WorkloadDriverOptions options_;

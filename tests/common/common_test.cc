@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 
 #include "common/checked_math.h"
@@ -43,6 +44,32 @@ TEST(CheckedMathTest, SaturationIsSticky) {
   for (int i = 0; i < 8; ++i) tau = CheckedMulSat(tau, 1u << 20);
   EXPECT_EQ(tau, kTauSaturated);
   EXPECT_EQ(CheckedAddSat(tau, 5), kTauSaturated);
+}
+
+TEST(CheckedMathTest, SaturatingTauFromDoubleClampsAndRounds) {
+  EXPECT_EQ(SaturatingTauFromDouble(0.0), 0u);
+  EXPECT_EQ(SaturatingTauFromDouble(-7.5), 0u);
+  EXPECT_EQ(SaturatingTauFromDouble(0.4), 0u);
+  EXPECT_EQ(SaturatingTauFromDouble(0.6), 1u);
+  EXPECT_EQ(SaturatingTauFromDouble(42.0), 42u);
+  EXPECT_EQ(SaturatingTauFromDouble(41.5), 42u);
+  EXPECT_EQ(SaturatingTauFromDouble(1e18), uint64_t{1000000000000000000});
+}
+
+TEST(CheckedMathTest, SaturatingTauFromDoubleHandlesNonFinite) {
+  // Estimator products can overflow double range or go 0·inf — both must
+  // land at the ceiling rather than wrap to garbage via the cast's UB.
+  EXPECT_EQ(SaturatingTauFromDouble(std::numeric_limits<double>::quiet_NaN()),
+            kTauSaturated);
+  EXPECT_EQ(SaturatingTauFromDouble(std::numeric_limits<double>::infinity()),
+            kTauSaturated);
+  EXPECT_EQ(SaturatingTauFromDouble(-std::numeric_limits<double>::infinity()),
+            0u);
+  // Exactly 2^64 and anything above saturates; just below converts.
+  EXPECT_EQ(SaturatingTauFromDouble(18446744073709551616.0), kTauSaturated);
+  EXPECT_EQ(SaturatingTauFromDouble(1e30), kTauSaturated);
+  EXPECT_LT(SaturatingTauFromDouble(18446744073709551616.0 * 0.99),
+            kTauSaturated);
 }
 
 TEST(RngTest, DeterministicInSeed) {

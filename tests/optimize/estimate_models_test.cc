@@ -1,0 +1,289 @@
+// Contracts of the estimating size models: every optimizer accepts every
+// model with bit-identical plans at every thread count, the sketch model
+// tracks exact τ where the statistics can see the data, estimate-first
+// adaptive planning never touches the cost engine, and the (previously
+// memoized, racy) IndependenceSizeModel is deterministic under concurrent
+// use and saturates instead of overflowing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/checked_math.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/cost.h"
+#include "optimize/adaptive.h"
+#include "optimize/dp.h"
+#include "optimize/dpccp.h"
+#include "optimize/exhaustive.h"
+#include "optimize/greedy.h"
+#include "optimize/ikkbz.h"
+#include "optimize/size_model.h"
+#include "workload/generator.h"
+
+namespace taujoin {
+namespace {
+
+Database MakeDb(QueryShape shape, int n, uint64_t seed, int rows = 16,
+                int domain = 5, double skew = 1.0) {
+  Rng rng(seed);
+  GeneratorOptions options;
+  options.shape = shape;
+  options.relation_count = n;
+  options.rows_per_relation = rows;
+  options.join_domain = domain;
+  options.join_skew = skew;
+  return RandomDatabase(options, rng);
+}
+
+std::string Render(const DatabaseScheme& scheme,
+                   const std::optional<PlanResult>& plan) {
+  if (!plan.has_value()) return "<infeasible>";
+  return plan->strategy.ToStringWithScheme(scheme) + " @" +
+         std::to_string(plan->cost);
+}
+
+// ---------------------------------------------------------------------------
+// Differential: all five optimizers × all models × 1 / 2 / hw threads.
+
+TEST(EstimateModelsTest, AllOptimizersAcceptAllModelsAtEveryThreadCount) {
+  const int hw = std::max(4, ResolveThreads(0));
+  ThreadPool pool(hw - 1);
+  const int thread_counts[] = {1, 2, hw};
+
+  for (const QueryShape shape : {QueryShape::kChain, QueryShape::kStar,
+                                 QueryShape::kCycle, QueryShape::kClique}) {
+    Database db = MakeDb(shape, 6, 0xe571 + static_cast<uint64_t>(shape));
+    CostEngine engine(&db);
+    const DatabaseStats stats = BuildDatabaseStats(db);
+    const RelMask full = db.scheme().full_mask();
+
+    ExactSizeModel exact(&engine);
+    IndependenceSizeModel independence(&db);
+    SketchSizeModel sketch(&stats);
+    SimpliSquaredModel simpli = SimpliSquaredModel::FromStats(stats);
+    SizeModel* models[] = {&exact, &independence, &sketch, &simpli};
+
+    for (SizeModel* model : models) {
+      // Serial baselines.
+      const PlanResult greedy = OptimizeGreedy(db.scheme(), full, *model);
+      EXPECT_TRUE(greedy.strategy.IsValid());
+      EXPECT_EQ(greedy.strategy.mask(), full);
+      const AsiCostModel asi =
+          AsiCostModel::FromSizeModel(db.scheme(), *model);
+      const StatusOr<IkkbzResult> ikkbz =
+          OptimizeIkkbz(db.scheme(), full, asi);
+      if (shape == QueryShape::kChain || shape == QueryShape::kStar) {
+        ASSERT_TRUE(ikkbz.ok()) << ikkbz.status().ToString();
+        EXPECT_EQ(ikkbz->order.size(), 6u);
+      }
+      const std::string dp_base = Render(
+          db.scheme(),
+          OptimizeDp(db.scheme(), full, *model,
+                     {SearchSpace::kBushy, true, ParallelOptions{1, &pool}}));
+      const std::string dpccp_base =
+          Render(db.scheme(), OptimizeDpCcp(db.scheme(), full, *model,
+                                            ParallelOptions{1, &pool}));
+      const std::string exhaustive_base = Render(
+          db.scheme(), OptimizeExhaustive(db.scheme(), full,
+                                          StrategySpace::kAll, *model,
+                                          ParallelOptions{1, &pool}));
+      for (const int threads : thread_counts) {
+        const ParallelOptions parallel{threads, &pool};
+        EXPECT_EQ(Render(db.scheme(),
+                         OptimizeDp(db.scheme(), full, *model,
+                                    {SearchSpace::kBushy, true, parallel})),
+                  dp_base)
+            << model->name() << " threads=" << threads;
+        EXPECT_EQ(Render(db.scheme(),
+                         OptimizeDpCcp(db.scheme(), full, *model, parallel)),
+                  dpccp_base)
+            << model->name() << " threads=" << threads;
+        EXPECT_EQ(Render(db.scheme(),
+                         OptimizeExhaustive(db.scheme(), full,
+                                            StrategySpace::kAll, *model,
+                                            parallel)),
+                  exhaustive_base)
+            << model->name() << " threads=" << threads;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: IndependenceSizeModel is deterministic under concurrency.
+
+TEST(EstimateModelsTest, IndependenceModelDeterministicUnderConcurrency) {
+  Database db = MakeDb(QueryShape::kClique, 8, 0xc0ffee, /*rows=*/12);
+  IndependenceSizeModel model(&db);
+  EXPECT_TRUE(model.thread_safe());
+
+  const RelMask full = db.scheme().full_mask();
+  std::vector<uint64_t> serial(static_cast<size_t>(full) + 1, 0);
+  for (RelMask mask = 1; mask <= full; ++mask) serial[mask] = model.Tau(mask);
+
+  // Hammer the shared instance from many threads in a scrambled order;
+  // before the fix the mask-keyed memo raced and could tear.
+  ThreadPool pool(7);
+  for (int round = 0; round < 4; ++round) {
+    std::atomic<int> mismatches{0};
+    pool.ParallelFor(
+        static_cast<int64_t>(full),
+        [&](int64_t i) {
+          const RelMask mask =
+              (static_cast<RelMask>(i) * 0x9E3779B9u) % full + 1;
+          if (model.Tau(mask) != serial[mask]) mismatches.fetch_add(1);
+        },
+        8);
+    EXPECT_EQ(mismatches.load(), 0) << "round " << round;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: estimates saturate instead of overflowing to garbage.
+
+TEST(EstimateModelsTest, IndependenceModelSaturatesOnHugeProducts) {
+  // Ten attribute-disjoint relations of 100 rows each: the independence
+  // estimate of the full Cartesian product is 100^10 = 1e20 > 2^64.
+  std::vector<std::string> schemes;
+  std::vector<Relation> states;
+  const std::string alphabet = "ABCDEFGHIJKLMNOPQRST";
+  for (int i = 0; i < 10; ++i) {
+    const std::string scheme = alphabet.substr(static_cast<size_t>(2 * i), 2);
+    schemes.push_back(scheme);
+    std::vector<std::vector<Value>> rows;
+    for (int r = 0; r < 100; ++r) rows.push_back({1000 * i + r, r});
+    states.push_back(Relation::FromRowsOrDie(
+        {std::string(1, scheme[0]), std::string(1, scheme[1])}, rows));
+  }
+  Database db =
+      Database::CreateOrDie(DatabaseScheme::Parse(schemes), std::move(states));
+  IndependenceSizeModel model(&db);
+  EXPECT_EQ(model.Tau(db.scheme().full_mask()), kTauSaturated);
+  // Small subsets still estimate exactly: no shared attributes, so the
+  // estimate of a pair is the plain product.
+  EXPECT_EQ(model.Tau(SingletonMask(0) | SingletonMask(1)), 100u * 100u);
+}
+
+// ---------------------------------------------------------------------------
+// Sketch model accuracy: the statistics see value overlap and skew.
+
+TEST(EstimateModelsTest, SketchEstimateTracksExactTauOnJoins) {
+  // R(A,B) ⋈ S(B,C) with fully overlapping B values.
+  std::vector<std::vector<Value>> r_rows, s_rows;
+  for (int i = 0; i < 64; ++i) {
+    r_rows.push_back({i, i % 8});
+    s_rows.push_back({i % 8, i});
+  }
+  Database db = Database::CreateOrDie(
+      DatabaseScheme::Parse({"AB", "BC"}),
+      {Relation::FromRowsOrDie({"A", "B"}, r_rows),
+       Relation::FromRowsOrDie({"B", "C"}, s_rows)});
+  CostEngine engine(&db);
+  const DatabaseStats stats = BuildDatabaseStats(db);
+  SketchSizeModel sketch(&stats);
+  const RelMask pair = SingletonMask(0) | SingletonMask(1);
+
+  const uint64_t truth = engine.Tau(pair);  // 64 · 64 / 8 = 512
+  const uint64_t estimate = sketch.Tau(pair);
+  EXPECT_GT(estimate, truth / 3);
+  EXPECT_LT(estimate, truth * 3);
+
+  // Disjoint join keys: the sketches see zero overlap where the flat
+  // independence estimator assumes containment.
+  std::vector<std::vector<Value>> t_rows;
+  for (int i = 0; i < 64; ++i) t_rows.push_back({100 + i % 8, i});
+  Database disjoint = Database::CreateOrDie(
+      DatabaseScheme::Parse({"AB", "BC"}),
+      {Relation::FromRowsOrDie({"A", "B"}, r_rows),
+       Relation::FromRowsOrDie({"B", "C"}, t_rows)});
+  CostEngine disjoint_engine(&disjoint);
+  const DatabaseStats disjoint_stats = BuildDatabaseStats(disjoint);
+  SketchSizeModel disjoint_sketch(&disjoint_stats);
+  EXPECT_EQ(disjoint_engine.Tau(pair), 0u);
+  EXPECT_LE(disjoint_sketch.Tau(pair), 8u);  // ≈ 0, clamped to ≥ 1
+}
+
+TEST(EstimateModelsTest, ModelCostSumsStepSizes) {
+  Database db = MakeDb(QueryShape::kChain, 4, 0xabc);
+  const DatabaseStats stats = BuildDatabaseStats(db);
+  SketchSizeModel sketch(&stats);
+  const Strategy plan = Strategy::LeftDeep({0, 1, 2, 3});
+  uint64_t expected = 0;
+  for (const int step : plan.Steps()) {
+    expected = CheckedAddSat(expected, sketch.Tau(plan.node(step).mask));
+  }
+  EXPECT_EQ(ModelCost(plan, sketch), expected);
+  EXPECT_GT(expected, 0u);
+}
+
+TEST(EstimateModelsTest, SimpliSquaredSumsBaseSizes) {
+  Database db = MakeDb(QueryShape::kStar, 5, 0xdef, /*rows=*/20);
+  SimpliSquaredModel model = SimpliSquaredModel::FromDatabase(db);
+  EXPECT_TRUE(model.thread_safe());
+  uint64_t sum = 0;
+  for (int i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(model.Tau(SingletonMask(i)),
+              static_cast<uint64_t>(db.state(i).size()));
+    sum += static_cast<uint64_t>(db.state(i).size());
+  }
+  EXPECT_EQ(model.Tau(db.scheme().full_mask()), sum);
+}
+
+// ---------------------------------------------------------------------------
+// Estimate-first adaptive planning never touches the engine.
+
+TEST(EstimateModelsTest, AdaptiveEstimateFirstNeverTouchesEngine) {
+  for (const QueryShape shape : {QueryShape::kChain, QueryShape::kClique}) {
+    Database db = MakeDb(shape, 6, 0xfeed + static_cast<uint64_t>(shape));
+    CostEngine engine(&db);
+    const DatabaseStats stats = BuildDatabaseStats(db);
+    SketchSizeModel sketch(&stats);
+
+    AdaptiveOptions options;
+    options.size_model = &sketch;
+    const AdaptiveResult result =
+        OptimizeAdaptive(engine, db.scheme().full_mask(), options);
+    EXPECT_TRUE(result.estimated);
+    EXPECT_TRUE(result.plan.strategy.IsValid());
+    EXPECT_EQ(result.plan.strategy.mask(), db.scheme().full_mask());
+    EXPECT_GT(result.plan.cost, 0u);
+    EXPECT_GE(result.tiers_run, 1);
+
+    const CostEngineStats engine_stats = engine.stats();
+    EXPECT_EQ(engine_stats.hits, 0u);
+    EXPECT_EQ(engine_stats.misses, 0u);
+    EXPECT_EQ(engine_stats.counted, 0u);
+    EXPECT_EQ(engine_stats.materialized_count, 0u);
+  }
+}
+
+TEST(EstimateModelsTest, AdaptiveExactBudgetBuysExactCosting) {
+  Database db = MakeDb(QueryShape::kChain, 6, 0xbead);
+  CostEngine engine(&db);
+  const DatabaseStats stats = BuildDatabaseStats(db);
+  SketchSizeModel sketch(&stats);
+
+  AdaptiveOptions options;
+  options.size_model = &sketch;
+  options.exact_budget_micros = 10'000'000;  // ample
+  const AdaptiveResult result =
+      OptimizeAdaptive(engine, db.scheme().full_mask(), options);
+  EXPECT_FALSE(result.estimated);
+  EXPECT_GT(engine.stats().counted, 0u);
+  EXPECT_EQ(result.plan.cost, TauCost(result.plan.strategy, engine));
+
+  // With an ample budget the escalation reaches the exact exhaustive tier,
+  // so the plan is τ-optimal — identical to a purely exact adaptive run.
+  CostEngine fresh(&db);
+  const AdaptiveResult exact_run =
+      OptimizeAdaptive(fresh, db.scheme().full_mask(), AdaptiveOptions{});
+  EXPECT_EQ(result.plan.cost, exact_run.plan.cost);
+}
+
+}  // namespace
+}  // namespace taujoin

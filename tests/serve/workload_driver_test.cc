@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "optimize/adaptive.h"
 #include "serve/plan_cache.h"
@@ -211,6 +212,115 @@ TEST(WorkloadDriverTest, ExecuteRecordsExecutionLatencies) {
   const WorkloadReport report = driver.Run({spec, spec, spec});
   EXPECT_EQ(report.execute.count, 3u);
   EXPECT_GT(report.execute.max_ns, 0u);
+}
+
+TEST(ServeSizeModelTest, NamesRoundTrip) {
+  for (const ServeSizeModel model :
+       {ServeSizeModel::kExact, ServeSizeModel::kIndependence,
+        ServeSizeModel::kSketch, ServeSizeModel::kSimpliSquared}) {
+    const StatusOr<ServeSizeModel> parsed =
+        ParseServeSizeModel(ServeSizeModelToString(model));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, model);
+  }
+  EXPECT_FALSE(ParseServeSizeModel("psychic").ok());
+}
+
+uint64_t CounterValue(const MetricsSnapshot& snap, const std::string& name) {
+  for (const auto& [counter, value] : snap.counters) {
+    if (counter == name) return value;
+  }
+  return 0;
+}
+
+// The acceptance criterion of the estimate-driven cold path: a cache-miss
+// query plans end to end without invoking a single counting kernel — the
+// data pass happened once, at ingest.
+TEST(WorkloadDriverTest, SketchColdPathPlansWithoutCountingKernels) {
+  WorkloadDriver driver;  // default: kSketch, no cache — every query cold
+  const std::vector<QueryClassSpec> stream = RepeatedStream();
+
+  SetMetricsEnabledForTest(true);
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  const MetricsSnapshot before = registry.Snapshot();
+  const WorkloadReport report = driver.Run(stream);
+  const MetricsSnapshot after = registry.Snapshot();
+  SetMetricsEnabledForTest(false);
+
+  EXPECT_EQ(report.cache_misses, stream.size());
+  EXPECT_EQ(report.size_model, "sketch");
+  // Every query planned...
+  EXPECT_EQ(CounterValue(after, "serve.driver.queries") -
+                CounterValue(before, "serve.driver.queries"),
+            stream.size());
+  // ...and ingest built statistics...
+  EXPECT_GT(CounterValue(after, "stats.relations_built"),
+            CounterValue(before, "stats.relations_built"));
+  // ...but no plan ever touched the data: zero counting kernels, zero
+  // cost-engine τ computations, zero materializing joins.
+  EXPECT_EQ(CounterValue(after, "kernel.count_natural_join.calls"),
+            CounterValue(before, "kernel.count_natural_join.calls"));
+  EXPECT_EQ(CounterValue(after, "kernel.natural_join.calls"),
+            CounterValue(before, "kernel.natural_join.calls"));
+  EXPECT_EQ(CounterValue(after, "cost_engine.tau_counted"),
+            CounterValue(before, "cost_engine.tau_counted"));
+  for (const QueryOutcome& outcome : driver.outcomes()) {
+    EXPECT_GT(outcome.cost, 0u);
+    EXPECT_EQ(outcome.plan_ns, outcome.optimize_ns);
+  }
+}
+
+TEST(WorkloadDriverTest, ExactModelRestoresEngineDrivenPlanning) {
+  WorkloadDriverOptions options;
+  options.size_model = ServeSizeModel::kExact;
+  WorkloadDriver driver(options);
+
+  SetMetricsEnabledForTest(true);
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  const MetricsSnapshot before = registry.Snapshot();
+  const WorkloadReport report = driver.Run(RepeatedStream());
+  const MetricsSnapshot after = registry.Snapshot();
+  SetMetricsEnabledForTest(false);
+
+  EXPECT_EQ(report.size_model, "exact");
+  EXPECT_GT(CounterValue(after, "cost_engine.tau_counted"),
+            CounterValue(before, "cost_engine.tau_counted"));
+}
+
+TEST(WorkloadDriverTest, FingerprintsScopePlansToTheSizeModel) {
+  // One shared cache, two drivers differing only in size model: the
+  // second driver must not be served the first driver's plans.
+  const std::vector<QueryClassSpec> stream = RepeatedStream();
+  PlanCache cache;
+
+  WorkloadDriverOptions sketch_options;
+  sketch_options.cache = &cache;
+  sketch_options.size_model = ServeSizeModel::kSketch;
+  WorkloadDriver sketch_driver(sketch_options);
+  const WorkloadReport sketch_report = sketch_driver.Run(stream);
+  EXPECT_EQ(sketch_report.cache_misses, 2u);
+
+  WorkloadDriverOptions exact_options;
+  exact_options.cache = &cache;
+  exact_options.size_model = ServeSizeModel::kExact;
+  WorkloadDriver exact_driver(exact_options);
+  const WorkloadReport exact_report = exact_driver.Run(stream);
+  EXPECT_EQ(exact_report.cache_misses, 2u);  // no cross-model hits
+  EXPECT_EQ(exact_report.cache_hits, 18u);
+}
+
+TEST(WorkloadDriverTest, DataTimeChargesIngestToTheBuildingQuery) {
+  WorkloadDriver driver;
+  const WorkloadReport report = driver.Run(RepeatedStream());
+  // Exactly one query per class paid the ingest (generation + stats).
+  uint64_t charged = 0;
+  for (const QueryOutcome& outcome : driver.outcomes()) {
+    if (outcome.data_ns > 0) ++charged;
+  }
+  EXPECT_EQ(charged, report.classes);
+  EXPECT_EQ(report.data.count, report.queries);
+  EXPECT_GT(report.data.max_ns, 0u);
+  EXPECT_EQ(report.plan.count, report.queries);
 }
 
 TEST(WorkloadDriverTest, ReportSerializesToJson) {

@@ -32,9 +32,15 @@ TIMER_FIELDS = ["count", "total_ns", "min_ns", "max_ns", "p50_ns", "p99_ns"]
 # BENCH_serve.json (schema taujoin-serve-bench/v1) report fields.
 SERVE_SUMMARY_FIELDS = ["count", "p50_ns", "p95_ns", "max_ns", "mean_ns"]
 SERVE_SUMMARIES = ["optimize", "optimize_cold", "optimize_warm", "execute",
-                   "total"]
+                   "total", "plan", "data"]
 SERVE_REPORT_INTS = ["queries", "classes", "cache_hits", "cache_misses",
                      "cache_evictions"]
+SERVE_SIZE_MODELS = ("exact", "independence", "sketch", "simpli2")
+
+# BENCH_estimate.json (schema taujoin-estimate-bench/v1) layout.
+ESTIMATE_FAMILIES = ("chain", "star", "cycle", "clique")
+ESTIMATE_REGRET_FIELDS = ["regret_p50_x1000", "regret_p90_x1000",
+                          "regret_max_x1000"]
 
 
 def check_serve_schema(path: str, doc: dict) -> list[str]:
@@ -76,6 +82,9 @@ def check_serve_schema(path: str, doc: dict) -> list[str]:
                                   "missing integer")
         if not isinstance(report.get("tiers"), dict):
             errors.append(f"{where}.report.tiers missing")
+        if report.get("size_model") not in SERVE_SIZE_MODELS:
+            errors.append(f"{where}.report.size_model missing or not one of "
+                          f"{SERVE_SIZE_MODELS}")
         if run.get("cache") == "on" and report.get("cache_hits", 0) > 0:
             saw_warm_hits = True
     if not saw_warm_hits:
@@ -88,6 +97,81 @@ def check_serve_schema(path: str, doc: dict) -> list[str]:
         if traffic == 0:
             errors.append(f"{path}: no serve.plan_cache.* counter traffic in "
                           "taujoin_metrics")
+    return errors
+
+
+def check_estimate_schema(path: str, doc: dict) -> list[str]:
+    """Validates the taujoin-estimate-bench/v1 regret artifact layout.
+
+    Regret = τ(plan picked by the model) / τ(exact-optimal plan), reported
+    ×1000 as integers. It is ≥ 1 by construction (every model optimizes
+    the same space, scored with exact τ), and the exact model's regret is
+    exactly 1 — both invariants are enforced here so a broken estimator
+    wiring (or a scoring bug) fails CI instead of shipping flattering
+    numbers.
+    """
+    errors = []
+    context = doc.get("context")
+    if not isinstance(context, dict):
+        return [f"{path}: estimate artifact missing 'context' object"]
+    if context.get("taujoin_build_type") not in ("release", "debug"):
+        errors.append(f"{path}: context.taujoin_build_type missing/invalid")
+    families = doc.get("families")
+    if not isinstance(families, list) or not families:
+        return errors + [f"{path}: estimate artifact has no families"]
+    seen_families = []
+    for i, family in enumerate(families):
+        where = f"{path}: families[{i}]"
+        if not isinstance(family, dict):
+            errors.append(f"{where} is not an object")
+            continue
+        name = family.get("family")
+        seen_families.append(name)
+        if name not in ESTIMATE_FAMILIES:
+            errors.append(f"{where}.family {name!r} not one of "
+                          f"{ESTIMATE_FAMILIES}")
+        if not isinstance(family.get("trials"), int) or family["trials"] < 1:
+            errors.append(f"{where}.trials missing or < 1")
+        models = family.get("models")
+        if not isinstance(models, list):
+            errors.append(f"{where}.models missing")
+            continue
+        seen_models = []
+        for model in models:
+            if not isinstance(model, dict):
+                errors.append(f"{where} has a non-object model entry")
+                continue
+            model_name = model.get("model")
+            seen_models.append(model_name)
+            mwhere = f"{where}.models[{model_name}]"
+            regrets = {}
+            for field in ESTIMATE_REGRET_FIELDS:
+                value = model.get(field)
+                if not isinstance(value, int):
+                    errors.append(f"{mwhere}.{field} missing integer")
+                    continue
+                regrets[field] = value
+                if value < 1000:
+                    errors.append(f"{mwhere}.{field} = {value} < 1000 — "
+                                  "regret below 1 is impossible")
+            if len(regrets) == len(ESTIMATE_REGRET_FIELDS):
+                p50, p90, mx = (regrets[f] for f in ESTIMATE_REGRET_FIELDS)
+                if not p50 <= p90 <= mx:
+                    errors.append(f"{mwhere}: regret p50 <= p90 <= max "
+                                  f"violated ({p50}, {p90}, {mx})")
+                if model_name == "exact" and (p50, p90, mx) != (1000,) * 3:
+                    errors.append(f"{mwhere}: exact model regret must be "
+                                  "exactly 1000 everywhere")
+            if not isinstance(model.get("plans_differ"), int) or \
+                    model["plans_differ"] < 0:
+                errors.append(f"{mwhere}.plans_differ missing non-negative "
+                              "integer")
+        missing = [m for m in SERVE_SIZE_MODELS if m not in seen_models]
+        if missing:
+            errors.append(f"{where}: missing models {missing}")
+    missing = [f for f in ESTIMATE_FAMILIES if f not in seen_families]
+    if missing:
+        errors.append(f"{path}: missing families {missing}")
     return errors
 
 
@@ -144,9 +228,11 @@ def check(path: str) -> list[str]:
                 f"{path}: no signal — neither memo traffic nor kernel calls "
                 "recorded; instrumentation is disconnected")
 
-    # The serve bench artifact carries its own layout on top.
+    # Artifacts with a declared schema carry their own layout on top.
     if doc.get("schema") == "taujoin-serve-bench/v1":
         errors.extend(check_serve_schema(path, doc))
+    elif doc.get("schema") == "taujoin-estimate-bench/v1":
+        errors.extend(check_estimate_schema(path, doc))
     return errors
 
 
