@@ -1,0 +1,338 @@
+// Join-kernel microbenchmark: times the morsel-driven parallel
+// NaturalJoin / CountNaturalJoin (DESIGN.md §12) against the serial
+// kernels across thread counts on three key families — uniform 1-attr
+// keys, Zipf-skewed 1-attr keys (one heavy-hitter partition), and a
+// 2-attr packed-u64 "clique" key — and writes BENCH_kernels.json
+// (schema taujoin-kernel-bench/v1): tuples/s per run, partition
+// fan-out, and speedups vs. the 1-thread baseline (×1000 integers).
+//
+// Every parallel run is sanity-checked against the serial output (row
+// count and τ must match exactly — the bit-identity contract has its
+// own test; here a mismatch aborts the artifact) before any timing is
+// trusted. The context block records hardware_concurrency because
+// speedups are only meaningful where the cores exist:
+// tools/check_bench_metrics.py enforces the clique ≥3x-at-8-threads
+// criterion only when the recording machine had ≥ 8 hardware threads.
+//
+// The artifact carries the same Release gate as the other bench
+// binaries: a non-NDEBUG build refuses to write JSON unless
+// TAUJOIN_ALLOW_NONRELEASE_JSON=1.
+//
+// Usage:
+//   micro_kernel_bench [--rows=120000] [--reps=3] [--seed=42]
+//                      [--out=BENCH_kernels.json]
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "relational/count_join.h"
+#include "relational/join.h"
+#include "relational/morsel.h"
+#include "relational/relation.h"
+
+namespace taujoin {
+namespace {
+
+#ifdef NDEBUG
+constexpr bool kReleaseBuild = true;
+constexpr const char* kBuildType = "release";
+#else
+constexpr bool kReleaseBuild = false;
+constexpr const char* kBuildType = "debug";
+#endif
+
+struct BenchConfig {
+  size_t rows = 120000;
+  int reps = 3;
+  uint64_t seed = 42;
+  std::string out_path = "BENCH_kernels.json";
+};
+
+/// One relation of `rows` distinct tuples: `key_width` join-key columns
+/// drawn by `draw`, plus a serial payload column that makes every row
+/// unique (relations are sets — without it skewed keys would collapse).
+template <typename DrawKey>
+Relation KeyedRelation(const std::vector<std::string>& attrs, size_t rows,
+                       size_t key_width, DrawKey&& draw) {
+  Relation r{Schema{std::vector<std::string>(attrs.begin(), attrs.end())}};
+  r.Reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    std::vector<Value> values;
+    values.reserve(attrs.size());
+    for (size_t c = 0; c < key_width; ++c) {
+      values.push_back(Value(draw(c)));
+    }
+    values.push_back(Value(static_cast<int64_t>(i)));
+    // Schema sorts attributes; FromRows-style reordering is avoided by
+    // choosing key attribute names that sort before the payload name.
+    r.Insert(Tuple(std::move(values)));
+  }
+  return r;
+}
+
+struct Family {
+  std::string name;
+  Relation left;
+  Relation right;
+};
+
+std::vector<Family> MakeFamilies(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Family> families;
+
+  // uniform: 1-attr key, ~2 matches per key per side.
+  const int64_t domain = std::max<int64_t>(1, static_cast<int64_t>(rows) / 2);
+  const auto uniform = [&](size_t) {
+    return static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(domain)));
+  };
+  families.push_back({"uniform",
+                      KeyedRelation({"K", "L"}, rows, 1, uniform),
+                      KeyedRelation({"K", "R"}, rows, 1, uniform)});
+
+  // skewed: uniform build keys, Zipf probe keys — most probe rows hammer
+  // one radix partition's table while the output stays ≈ linear (a
+  // Zipf×Zipf self-join would square the heavy hitter instead and
+  // benchmark output materialization, not the probe loop).
+  const auto zipf = [&](size_t) {
+    return static_cast<int64_t>(
+        rng.Zipf(static_cast<uint64_t>(domain), 1.2));
+  };
+  families.push_back({"skewed",
+                      KeyedRelation({"K", "L"}, rows, 1, uniform),
+                      KeyedRelation({"K", "R"}, rows, 1, zipf)});
+
+  // clique: 2-attr key (the packed-u64 fast path), as produced by the
+  // later steps of a clique-query fold where intermediates share several
+  // attributes with the next relation.
+  const int64_t half = std::max<int64_t>(
+      2, static_cast<int64_t>(std::sqrt(static_cast<double>(rows) / 2.0)));
+  const auto pair_key = [&](size_t) {
+    return static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(half)));
+  };
+  families.push_back({"clique",
+                      KeyedRelation({"J", "K", "L"}, rows, 2, pair_key),
+                      KeyedRelation({"J", "K", "R"}, rows, 2, pair_key)});
+  return families;
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct RunRecord {
+  std::string family;
+  std::string kernel;
+  int threads = 0;
+  size_t partition_fanout = 0;
+  uint64_t best_ns = 0;
+  uint64_t tuples_per_sec = 0;
+  uint64_t output_rows = 0;
+  uint64_t speedup_x1000 = 0;
+};
+
+int Main(int argc, char** argv) {
+  BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    const auto value = [&](const char* prefix) {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg.rfind("--rows=", 0) == 0) {
+      config.rows = static_cast<size_t>(std::atoll(value("--rows=").c_str()));
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      config.reps = std::atoi(value("--reps=").c_str());
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      config.seed =
+          static_cast<uint64_t>(std::atoll(value("--seed=").c_str()));
+    } else if (arg.rfind("--out=", 0) == 0) {
+      config.out_path = value("--out=");
+    } else {
+      std::fprintf(stderr, "micro_kernel_bench: unknown argument %s\n",
+                   arg.c_str());
+      return 1;
+    }
+  }
+  if (config.rows == 0 || config.reps <= 0) {
+    std::fprintf(stderr,
+                 "micro_kernel_bench: --rows and --reps must be positive\n");
+    return 1;
+  }
+
+  const int hw =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  const size_t morsel_rows = ResolveMorselRows(0);
+  std::fprintf(stderr,
+               "micro_kernel_bench: rows=%zu reps=%d build=%s hw=%d "
+               "morsel=%zu\n",
+               config.rows, config.reps, kBuildType, hw, morsel_rows);
+
+  std::vector<Family> families = MakeFamilies(config.rows, config.seed);
+  const int kThreadCounts[] = {1, 2, 4, 8};
+  std::vector<RunRecord> runs;
+
+  for (const Family& family : families) {
+    const size_t input_rows = family.left.size() + family.right.size();
+    // Serial ground truth for the sanity check and the speedup baseline.
+    const Relation serial_join = NaturalJoin(
+        family.left, family.right, JoinAlgorithm::kHash,
+        KernelParallelism{/*threads=*/1});
+    const uint64_t serial_count = CountNaturalJoin(
+        family.left, family.right, KernelParallelism{/*threads=*/1});
+    if (serial_join.Tau() != serial_count) {
+      std::fprintf(stderr, "micro_kernel_bench: %s: count %llu != join %llu\n",
+                   family.name.c_str(),
+                   static_cast<unsigned long long>(serial_count),
+                   static_cast<unsigned long long>(serial_join.Tau()));
+      return 1;
+    }
+
+    uint64_t base_join_ns = 0;
+    uint64_t base_count_ns = 0;
+    for (const int threads : kThreadCounts) {
+      ThreadPool pool(threads - 1);
+      KernelParallelism par;
+      par.threads = threads;
+      par.pool = &pool;
+      const size_t fanout =
+          threads > 1 ? size_t{1} << RadixBits(threads) : 1;
+
+      uint64_t join_ns = UINT64_MAX;
+      uint64_t join_rows = 0;
+      for (int rep = 0; rep < config.reps; ++rep) {
+        const uint64_t start = NowNs();
+        const Relation joined = NaturalJoin(family.left, family.right,
+                                            JoinAlgorithm::kHash, par);
+        join_ns = std::min(join_ns, NowNs() - start);
+        join_rows = joined.size();
+        if (joined.size() != serial_join.size()) {
+          std::fprintf(stderr,
+                       "micro_kernel_bench: %s threads=%d: %zu rows, serial "
+                       "%zu — parallel kernel diverged\n",
+                       family.name.c_str(), threads, joined.size(),
+                       serial_join.size());
+          return 1;
+        }
+      }
+
+      uint64_t count_ns = UINT64_MAX;
+      for (int rep = 0; rep < config.reps; ++rep) {
+        const uint64_t start = NowNs();
+        const uint64_t count =
+            CountNaturalJoin(family.left, family.right, par);
+        count_ns = std::min(count_ns, NowNs() - start);
+        if (count != serial_count) {
+          std::fprintf(stderr,
+                       "micro_kernel_bench: %s threads=%d: count diverged\n",
+                       family.name.c_str(), threads);
+          return 1;
+        }
+      }
+
+      if (threads == 1) {
+        base_join_ns = join_ns;
+        base_count_ns = count_ns;
+      }
+      const auto record = [&](const char* kernel, uint64_t ns,
+                              uint64_t base_ns, uint64_t out_rows) {
+        RunRecord run;
+        run.family = family.name;
+        run.kernel = kernel;
+        run.threads = threads;
+        run.partition_fanout = fanout;
+        run.best_ns = ns;
+        run.tuples_per_sec =
+            ns == 0 ? 0
+                    : static_cast<uint64_t>(
+                          static_cast<double>(input_rows) * 1e9 /
+                          static_cast<double>(ns));
+        run.output_rows = out_rows;
+        run.speedup_x1000 =
+            ns == 0 ? 0 : base_ns * 1000 / ns;
+        std::fprintf(stderr,
+                     "  %-7s %-5s threads=%d fanout=%zu best=%.2fms "
+                     "(%.2fM tuples/s, %.2fx)\n",
+                     family.name.c_str(), kernel, threads, fanout,
+                     static_cast<double>(ns) / 1e6,
+                     static_cast<double>(run.tuples_per_sec) / 1e6,
+                     static_cast<double>(run.speedup_x1000) / 1e3);
+        runs.push_back(std::move(run));
+      };
+      record("join", join_ns, base_join_ns, join_rows);
+      record("count", count_ns, base_count_ns, serial_count);
+    }
+  }
+
+  const char* allow = std::getenv("TAUJOIN_ALLOW_NONRELEASE_JSON");
+  const bool allow_nonrelease =
+      allow != nullptr && allow[0] != '\0' && std::string(allow) != "0";
+  if (!kReleaseBuild && !allow_nonrelease) {
+    std::fprintf(stderr,
+                 "\n*** TAUJOIN WARNING ***\n"
+                 "Non-Release build: refusing to write %s (set "
+                 "TAUJOIN_ALLOW_NONRELEASE_JSON=1 to override).\n",
+                 config.out_path.c_str());
+    MaybeReportProcessMetrics();
+    return 0;
+  }
+
+  std::string json = "{\n";
+  json += "  \"schema\": \"taujoin-kernel-bench/v1\",\n";
+  json += "  \"context\": {\n";
+  json += std::string("    \"taujoin_build_type\": \"") + kBuildType +
+          "\",\n";
+  json += "    \"rows_per_side\": " + std::to_string(config.rows) + ",\n";
+  json += "    \"reps\": " + std::to_string(config.reps) + ",\n";
+  json += "    \"seed\": " + std::to_string(config.seed) + ",\n";
+  json += "    \"hardware_concurrency\": " + std::to_string(hw) + ",\n";
+  json += "    \"morsel_rows\": " + std::to_string(morsel_rows) + "\n";
+  json += "  },\n";
+  json += "  \"runs\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunRecord& run = runs[i];
+    json += "    {\"family\": \"" + run.family + "\", \"kernel\": \"" +
+            run.kernel + "\", \"threads\": " + std::to_string(run.threads) +
+            ", \"partition_fanout\": " +
+            std::to_string(run.partition_fanout) +
+            ", \"best_ns\": " + std::to_string(run.best_ns) +
+            ", \"tuples_per_sec\": " + std::to_string(run.tuples_per_sec) +
+            ", \"output_rows\": " + std::to_string(run.output_rows) +
+            ", \"speedup_x1000\": " + std::to_string(run.speedup_x1000) +
+            "}";
+    json += (i + 1 < runs.size()) ? ",\n" : "\n";
+  }
+  json += "  ],\n";
+  json += "  \"taujoin_metrics\": " +
+          MetricsRegistry::Global().Snapshot().ToJson() + "\n";
+  json += "}\n";
+
+  std::ofstream out(config.out_path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "micro_kernel_bench: cannot write %s\n",
+                 config.out_path.c_str());
+    return 1;
+  }
+  out << json;
+  std::fprintf(stderr, "micro_kernel_bench: wrote %s\n",
+               config.out_path.c_str());
+  MaybeReportProcessMetrics();
+  return 0;
+}
+
+}  // namespace
+}  // namespace taujoin
+
+int main(int argc, char** argv) { return taujoin::Main(argc, argv); }

@@ -217,4 +217,20 @@ void ThreadPool::ParallelFor(int64_t count,
   if (state->error) std::rethrow_exception(state->error);
 }
 
+void ThreadPool::ParallelChunks(
+    int64_t total, int64_t chunk,
+    const std::function<void(int64_t, int64_t, int64_t)>& fn,
+    int parallelism) {
+  TAUJOIN_CHECK_GT(chunk, 0);
+  if (total <= 0) return;
+  const int64_t chunks = (total + chunk - 1) / chunk;
+  ParallelFor(
+      chunks,
+      [&](int64_t c) {
+        const int64_t begin = c * chunk;
+        fn(c, begin, std::min(begin + chunk, total));
+      },
+      parallelism);
+}
+
 }  // namespace taujoin

@@ -83,6 +83,19 @@ class ThreadPool {
   void ParallelFor(int64_t count, const std::function<void(int64_t)>& fn,
                    int parallelism = 0);
 
+  /// Morsel scheduler: splits [0, total) into fixed-size chunks of `chunk`
+  /// and runs `fn(chunk_index, begin, end)` for each, distributed exactly
+  /// like ParallelFor (caller participates, nest-safe, first exception
+  /// rethrown). Chunking is deterministic — chunk i always covers
+  /// [i*chunk, min((i+1)*chunk, total)) regardless of thread count — so
+  /// per-chunk outputs can be reduced in chunk order for bit-identical
+  /// results at any parallelism. This is the scheduling primitive of the
+  /// morsel-driven relational kernels (DESIGN.md §12).
+  void ParallelChunks(
+      int64_t total, int64_t chunk,
+      const std::function<void(int64_t, int64_t, int64_t)>& fn,
+      int parallelism = 0);
+
  private:
   struct WorkerQueue;
 

@@ -8,7 +8,8 @@
 namespace taujoin {
 
 EvaluationTrace ExecuteStrategy(const Database& db, const Strategy& strategy,
-                                JoinAlgorithm algorithm) {
+                                JoinAlgorithm algorithm,
+                                const KernelParallelism& kernel_par) {
   TAUJOIN_CHECK(strategy.IsValid());
   EvaluationTrace trace;
   std::unordered_map<int, Relation> node_results;
@@ -21,7 +22,7 @@ EvaluationTrace ExecuteStrategy(const Database& db, const Strategy& strategy,
     const Relation& left = node_results.at(n.left);
     const Relation& right = node_results.at(n.right);
     auto start = std::chrono::steady_clock::now();
-    Relation output = NaturalJoin(left, right, algorithm);
+    Relation output = NaturalJoin(left, right, algorithm, kernel_par);
     auto end = std::chrono::steady_clock::now();
 
     TraceStep step;

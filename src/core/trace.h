@@ -37,9 +37,13 @@ struct EvaluationTrace {
 /// Executes `strategy` against `db` step by step, physically materializing
 /// every intermediate with the chosen algorithm. Unlike CostEngine this
 /// really evaluates the tree as written (useful to demonstrate that the
-/// result is strategy-independent while the work is not).
+/// result is strategy-independent while the work is not). `kernel_par`
+/// flows into every join kernel; the default follows the environment
+/// (TAUJOIN_THREADS, TAUJOIN_MORSEL_ROWS) and the traced results are
+/// bit-identical at every setting.
 EvaluationTrace ExecuteStrategy(const Database& db, const Strategy& strategy,
-                                JoinAlgorithm algorithm = JoinAlgorithm::kHash);
+                                JoinAlgorithm algorithm = JoinAlgorithm::kHash,
+                                const KernelParallelism& kernel_par = {});
 
 }  // namespace taujoin
 

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "relational/kernel_util.h"
+#include "relational/morsel.h"
 #include "relational/reference_kernels.h"
 
 namespace taujoin {
@@ -25,6 +26,88 @@ CodeKeyMap CodeGroupSizes(const Relation& r,
     ++counts.FindOrInsert(key_buf.data());
   }
   return counts;
+}
+
+/// Morsel-driven counting join (DESIGN.md §12): radix-partition the build
+/// side into private per-partition count tables, then stream probe
+/// morsels against them, reducing per-morsel saturating partial sums in
+/// morsel order. Saturating addition of non-negative values is
+/// order-insensitive (the result is min(true sum, UINT64_MAX) either
+/// way), so the count matches the serial kernel exactly.
+uint64_t ParallelCountJoin(const Relation& build, const Relation& probe,
+                           const std::vector<int>& build_key,
+                           const std::vector<int>& probe_key,
+                           const KernelParallelism& par) {
+  const size_t k = build_key.size();
+  const int threads = par.resolved_threads();
+  const size_t morsel = par.resolved_morsel_rows();
+  ThreadPool& pool = par.pool_or_global();
+  const int bits = RadixBits(threads);
+  const size_t fanout = size_t{1} << bits;
+  const int shift = 64 - bits;
+
+  std::vector<CodeKeyMap> tables;
+  {
+    TAUJOIN_METRIC_SPAN(build_span, "kernel.build_phase");
+    const RadixPartitions parts = PartitionByKey(build, build_key, bits, par);
+    tables.reserve(fanout);
+    for (size_t p = 0; p < fanout; ++p) tables.emplace_back(k, 0);
+    pool.ParallelFor(
+        static_cast<int64_t>(fanout),
+        [&](int64_t p) {
+          CodeKeyMap& counts = tables[static_cast<size_t>(p)];
+          counts.ReserveExact(parts.partition_size(static_cast<size_t>(p)));
+          std::vector<uint32_t> key_buf(std::max<size_t>(k, 1));
+          const size_t end = parts.begin[static_cast<size_t>(p) + 1];
+          for (size_t i = parts.begin[static_cast<size_t>(p)]; i < end; ++i) {
+            const uint32_t r = parts.rows[i];
+            const uint32_t* row = build.row(r);
+            for (size_t c = 0; c < k; ++c) {
+              key_buf[c] = row[static_cast<size_t>(build_key[c])];
+            }
+            ++counts.FindOrInsertHashed(key_buf.data(), parts.hashes[r]);
+          }
+        },
+        threads);
+    TAUJOIN_METRIC_COUNT("kernel.partitions_built", fanout);
+  }
+
+  const size_t probe_morsels =
+      probe.size() == 0 ? 0 : (probe.size() + morsel - 1) / morsel;
+  std::vector<uint64_t> partials(probe_morsels, 0);
+  {
+    TAUJOIN_METRIC_SPAN(probe_span, "kernel.probe_phase");
+    TAUJOIN_METRIC_COUNT("kernel.probe_rows", probe.size());
+    pool.ParallelChunks(
+        static_cast<int64_t>(probe.size()), static_cast<int64_t>(morsel),
+        [&](int64_t m, int64_t begin, int64_t end) {
+          std::vector<uint64_t> hashes(static_cast<size_t>(end - begin));
+          HashKeyRange(probe, probe_key, static_cast<size_t>(begin),
+                       static_cast<size_t>(end), hashes.data());
+          std::vector<uint32_t> key_buf(std::max<size_t>(k, 1));
+          uint64_t partial = 0;
+          for (int64_t i = begin; i < end; ++i) {
+            const uint64_t h = hashes[static_cast<size_t>(i - begin)];
+            const uint32_t* row = probe.row(static_cast<size_t>(i));
+            for (size_t c = 0; c < k; ++c) {
+              key_buf[c] = row[static_cast<size_t>(probe_key[c])];
+            }
+            const uint64_t* group =
+                tables[h >> shift].FindHashed(key_buf.data(), h);
+            if (group == nullptr) continue;
+            partial = CheckedAddSat(partial, *group);
+          }
+          partials[static_cast<size_t>(m)] = partial;
+          TAUJOIN_METRIC_INCR("kernel.morsels_executed");
+        },
+        threads);
+  }
+
+  uint64_t count = 0;
+  for (const uint64_t partial : partials) {
+    count = CheckedAddSat(count, partial);
+  }
+  return count;
 }
 
 }  // namespace
@@ -63,7 +146,8 @@ uint64_t CountJoinFromHistograms(const JoinKeyHistogram& a,
   return count;
 }
 
-uint64_t CountNaturalJoin(const Relation& left, const Relation& right) {
+uint64_t CountNaturalJoin(const Relation& left, const Relation& right,
+                          const KernelParallelism& par) {
   TAUJOIN_METRIC_INCR("kernel.count_natural_join.calls");
   const Schema common = left.schema().Intersect(right.schema());
   if (common.size() == 0) {
@@ -80,11 +164,18 @@ uint64_t CountNaturalJoin(const Relation& left, const Relation& right) {
   // side against it — the larger input never needs its own histogram, and
   // the probe loop touches only code spans (no Tuple, no std::vector).
   const bool build_left = left.size() <= right.size();
-  const CodeKeyMap table = CodeGroupSizes(
-      build_left ? left : right, build_left ? left_key : right_key);
+  const Relation& build = build_left ? left : right;
   const Relation& probe = build_left ? right : left;
+  const std::vector<int>& build_key = build_left ? left_key : right_key;
   const std::vector<int>& probe_key = build_left ? right_key : left_key;
 
+  if (UseParallelKernel(left.size() + right.size(), par)) {
+    TAUJOIN_METRIC_INCR("kernel.count_natural_join.parallel");
+    return ParallelCountJoin(build, probe, build_key, probe_key, par);
+  }
+  TAUJOIN_METRIC_INCR("kernel.count_natural_join.serial");
+
+  const CodeKeyMap table = CodeGroupSizes(build, build_key);
   const size_t k = probe_key.size();
   std::vector<uint32_t> key_buf(k);
   uint64_t count = 0;
@@ -96,6 +187,10 @@ uint64_t CountNaturalJoin(const Relation& left, const Relation& right) {
     count = CheckedAddSat(count, *group);
   }
   return count;
+}
+
+uint64_t CountNaturalJoin(const Relation& left, const Relation& right) {
+  return CountNaturalJoin(left, right, KernelParallelism{});
 }
 
 }  // namespace taujoin

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "relational/morsel.h"
 #include "relational/relation.h"
 
 namespace taujoin {
@@ -45,6 +46,15 @@ uint64_t CountJoinFromHistograms(const JoinKeyHistogram& a,
 /// when the schemes are disjoint. Agrees exactly with
 /// NaturalJoin(left, right).Tau() — the differential tests sweep this.
 uint64_t CountNaturalJoin(const Relation& left, const Relation& right);
+
+/// CountNaturalJoin with explicit kernel-level parallelism. Inputs past
+/// the parallel threshold (or `par.force_parallel`) radix-partition the
+/// build side into private per-partition count tables and stream probe
+/// morsels against them; saturating addition is order-insensitive, so
+/// the count always equals the serial kernel's. The defaulted overload
+/// above follows TAUJOIN_THREADS / TAUJOIN_MORSEL_ROWS.
+uint64_t CountNaturalJoin(const Relation& left, const Relation& right,
+                          const KernelParallelism& par);
 
 }  // namespace taujoin
 

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "relational/kernel_util.h"
+#include "relational/morsel.h"
 #include "relational/reference_kernels.h"
 
 namespace taujoin {
@@ -39,11 +40,22 @@ JoinPlan MakeJoinPlan(const Relation& left, const Relation& right) {
   return plan;
 }
 
-Relation HashJoin(const Relation& left, const Relation& right) {
+Relation ParallelHashJoin(const Relation& left, const Relation& right,
+                          const JoinPlan& plan, const KernelParallelism& par);
+
+Relation HashJoin(const Relation& left, const Relation& right,
+                  const KernelParallelism& par) {
   if (left.dictionary() != right.dictionary()) {
     return ReferenceNaturalJoin(left, right);
   }
   const JoinPlan plan = MakeJoinPlan(left, right);
+  // The parallel path needs a nonzero output stride for its flat morsel
+  // buffers; the 0-ary join (≤1 output row) is not worth parallelizing.
+  if (plan.out.size() > 0 && UseParallelKernel(left.size() + right.size(), par)) {
+    TAUJOIN_METRIC_INCR("kernel.natural_join.parallel");
+    return ParallelHashJoin(left, right, plan, par);
+  }
+  TAUJOIN_METRIC_INCR("kernel.natural_join.serial");
   Relation result(plan.out, left.dictionary());
 
   // Build on the smaller input; chain rows per key through `next` so the
@@ -79,6 +91,129 @@ Relation HashJoin(const Relation& left, const Relation& right) {
       const uint32_t* rrow = build_left ? prow : brow;
       MergeCodes(lrow, rrow, plan.merge, out_row.data());
       result.AppendRow(out_row.data());
+    }
+  }
+  return result;
+}
+
+/// Morsel-driven radix-partitioned hash join (DESIGN.md §12). Produces a
+/// result bit-identical to HashJoin above at any thread count and morsel
+/// size:
+///
+///  * build side = the smaller input (same tie-break as serial);
+///  * the build side is radix-partitioned by the top RadixBits() bits of
+///    the key hash, and each partition builds a private CodeKeyMap whose
+///    per-key chains prepend rows in ascending row order — exactly the
+///    chain state the serial build reaches, split by partition (a key
+///    lives entirely inside one partition, so chains never cross);
+///  * probe morsels run independently, each writing matches into a
+///    private buffer; buffers are concatenated in morsel order, which is
+///    the serial probe order.
+///
+/// No mutable state is shared between tasks: a heavy-hitter key
+/// serializes at most its own partition's build, never the probe.
+Relation ParallelHashJoin(const Relation& left, const Relation& right,
+                          const JoinPlan& plan,
+                          const KernelParallelism& par) {
+  const bool build_left = left.size() <= right.size();
+  const Relation& build = build_left ? left : right;
+  const Relation& probe = build_left ? right : left;
+  const std::vector<int>& build_key =
+      build_left ? plan.left_key : plan.right_key;
+  const std::vector<int>& probe_key =
+      build_left ? plan.right_key : plan.left_key;
+  const size_t k = plan.common.size();
+  const size_t out_width = plan.out.size();
+  const int threads = par.resolved_threads();
+  const size_t morsel = par.resolved_morsel_rows();
+  ThreadPool& pool = par.pool_or_global();
+  const int bits = RadixBits(threads);
+  const size_t fanout = size_t{1} << bits;
+  const int shift = 64 - bits;
+
+  // ---- Build phase: partition, then one private table per partition.
+  RadixPartitions parts;
+  std::vector<CodeKeyMap> heads;
+  std::vector<uint32_t> next(build.size(), 0);  // row index + 1, 0 ends
+  {
+    TAUJOIN_METRIC_SPAN(build_span, "kernel.build_phase");
+    parts = PartitionByKey(build, build_key, bits, par);
+    heads.reserve(fanout);
+    for (size_t p = 0; p < fanout; ++p) heads.emplace_back(k, 0);
+    pool.ParallelFor(
+        static_cast<int64_t>(fanout),
+        [&](int64_t p) {
+          CodeKeyMap& map = heads[static_cast<size_t>(p)];
+          map.ReserveExact(parts.partition_size(static_cast<size_t>(p)));
+          const uint64_t generation = map.generation();
+          std::vector<uint32_t> key_buf(std::max<size_t>(k, 1));
+          const size_t end = parts.begin[static_cast<size_t>(p) + 1];
+          for (size_t i = parts.begin[static_cast<size_t>(p)]; i < end; ++i) {
+            const uint32_t r = parts.rows[i];
+            GatherKey(build.row(r), build_key, key_buf.data());
+            uint64_t& head =
+                map.FindOrInsertHashed(key_buf.data(), parts.hashes[r]);
+            next[r] = static_cast<uint32_t>(head);
+            head = r + 1;
+          }
+          // ReserveExact promised no Grow() for this batch; a bump here
+          // means the chain-head references above dangled mid-build.
+          TAUJOIN_DCHECK(map.generation() == generation);
+        },
+        threads);
+    TAUJOIN_METRIC_COUNT("kernel.partitions_built", fanout);
+  }
+
+  // ---- Probe phase: independent morsels, private output buffers.
+  const size_t probe_morsels =
+      probe.size() == 0 ? 0 : (probe.size() + morsel - 1) / morsel;
+  std::vector<std::vector<uint32_t>> out_bufs(probe_morsels);
+  {
+    TAUJOIN_METRIC_SPAN(probe_span, "kernel.probe_phase");
+    TAUJOIN_METRIC_COUNT("kernel.probe_rows", probe.size());
+    pool.ParallelChunks(
+        static_cast<int64_t>(probe.size()), static_cast<int64_t>(morsel),
+        [&](int64_t m, int64_t begin, int64_t end) {
+          // Batched hash pass first, then a tight probe loop that only
+          // chases table slots and chains.
+          std::vector<uint64_t> hashes(static_cast<size_t>(end - begin));
+          HashKeyRange(probe, probe_key, static_cast<size_t>(begin),
+                       static_cast<size_t>(end), hashes.data());
+          std::vector<uint32_t> key_buf(std::max<size_t>(k, 1));
+          std::vector<uint32_t>& buf = out_bufs[static_cast<size_t>(m)];
+          for (int64_t i = begin; i < end; ++i) {
+            const uint64_t h = hashes[static_cast<size_t>(i - begin)];
+            const uint32_t* prow = probe.row(static_cast<size_t>(i));
+            GatherKey(prow, probe_key, key_buf.data());
+            const uint64_t* head =
+                heads[h >> shift].FindHashed(key_buf.data(), h);
+            if (head == nullptr) continue;
+            for (uint32_t chain = static_cast<uint32_t>(*head); chain != 0;
+                 chain = next[chain - 1]) {
+              const uint32_t* brow = build.row(chain - 1);
+              const uint32_t* lrow = build_left ? brow : prow;
+              const uint32_t* rrow = build_left ? prow : brow;
+              buf.resize(buf.size() + out_width);
+              MergeCodes(lrow, rrow, plan.merge,
+                         buf.data() + buf.size() - out_width);
+            }
+          }
+          TAUJOIN_METRIC_INCR("kernel.morsels_executed");
+        },
+        threads);
+  }
+
+  // ---- Assembly: concatenate morsel buffers in morsel order (= serial
+  // probe order; the result arena comes out byte-identical to serial).
+  Relation result(plan.out, left.dictionary());
+  size_t total_rows = 0;
+  for (const std::vector<uint32_t>& buf : out_bufs) {
+    total_rows += buf.size() / out_width;
+  }
+  result.Reserve(total_rows);
+  for (const std::vector<uint32_t>& buf : out_bufs) {
+    for (size_t r = 0; r * out_width < buf.size(); ++r) {
+      result.AppendRow(buf.data() + r * out_width);
     }
   }
   return result;
@@ -194,14 +329,14 @@ Relation NestedLoopJoin(const Relation& left, const Relation& right) {
 }  // namespace
 
 Relation NaturalJoin(const Relation& left, const Relation& right,
-                     JoinAlgorithm algorithm) {
+                     JoinAlgorithm algorithm, const KernelParallelism& par) {
   // Per-call instrumentation only (one relaxed atomic each, never
   // per-tuple): these are what give BENCH_join.json its metrics signal.
   TAUJOIN_METRIC_INCR("kernel.natural_join.calls");
   Relation result = [&] {
     switch (algorithm) {
       case JoinAlgorithm::kHash:
-        return HashJoin(left, right);
+        return HashJoin(left, right, par);
       case JoinAlgorithm::kSortMerge:
         return SortMergeJoin(left, right);
       case JoinAlgorithm::kNestedLoop:
@@ -211,6 +346,11 @@ Relation NaturalJoin(const Relation& left, const Relation& right,
   }();
   TAUJOIN_METRIC_COUNT("kernel.natural_join.rows_out", result.size());
   return result;
+}
+
+Relation NaturalJoin(const Relation& left, const Relation& right,
+                     JoinAlgorithm algorithm) {
+  return NaturalJoin(left, right, algorithm, KernelParallelism{});
 }
 
 Relation CartesianProduct(const Relation& left, const Relation& right) {

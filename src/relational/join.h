@@ -1,6 +1,7 @@
 #ifndef TAUJOIN_RELATIONAL_JOIN_H_
 #define TAUJOIN_RELATIONAL_JOIN_H_
 
+#include "relational/morsel.h"
 #include "relational/relation.h"
 
 namespace taujoin {
@@ -20,6 +21,15 @@ enum class JoinAlgorithm {
 /// to set intersection when they are identical.
 Relation NaturalJoin(const Relation& left, const Relation& right,
                      JoinAlgorithm algorithm = JoinAlgorithm::kHash);
+
+/// NaturalJoin with explicit kernel-level parallelism. The hash join goes
+/// morsel-driven and radix-partitioned for inputs past the parallel
+/// threshold (or when `par.force_parallel` is set) and is bit-identical
+/// to the serial kernel at every thread count and morsel size; sort-merge
+/// and nested-loop stay serial. The defaulted overload above follows the
+/// environment knobs (TAUJOIN_THREADS, TAUJOIN_MORSEL_ROWS).
+Relation NaturalJoin(const Relation& left, const Relation& right,
+                     JoinAlgorithm algorithm, const KernelParallelism& par);
 
 /// The Cartesian product; CHECK-fails unless the schemes are disjoint.
 Relation CartesianProduct(const Relation& left, const Relation& right);

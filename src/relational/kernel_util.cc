@@ -51,10 +51,11 @@ CodeKeyMap::CodeKeyMap(size_t key_width, size_t expected_keys)
   if (!packed_) arena_.reserve(expected_keys * width_);
 }
 
-void CodeKeyMap::Grow() {
+void CodeKeyMap::RehashTo(size_t slot_count) {
   std::vector<Slot> old = std::move(slots_);
-  slots_.assign(old.size() * 2, Slot{});
+  slots_.assign(slot_count, Slot{});
   growth_limit_ = slots_.size() - slots_.size() / 3;
+  ++generation_;  // every payload reference into the old table is dead
   const size_t mask = slots_.size() - 1;
   for (const Slot& s : old) {
     if (s.hash == 0) continue;
@@ -64,24 +65,34 @@ void CodeKeyMap::Grow() {
   }
 }
 
-uint64_t& CodeKeyMap::FindOrInsert(const uint32_t* key) {
-  const uint64_t h = KeyHash(key);
+void CodeKeyMap::Grow() { RehashTo(slots_.size() * 2); }
+
+void CodeKeyMap::ReserveExact(size_t total_keys) {
+  // The same ~2/3-load sizing as the constructor: slots ≥ 1.5n + 1 keeps
+  // growth_limit ≥ n + 1, so n total inserts can never trigger Grow().
+  const size_t needed = NextPow2(total_keys + total_keys / 2 + 1);
+  if (needed > slots_.size()) RehashTo(needed);
+  if (!packed_) arena_.reserve(total_keys * width_);
+}
+
+uint64_t& CodeKeyMap::FindOrInsertHashed(const uint32_t* key, uint64_t hash) {
+  TAUJOIN_DCHECK(hash == HashKey(key, width_));
   const size_t mask = slots_.size() - 1;
-  size_t i = h & mask;
+  size_t i = hash & mask;
   while (true) {
     Slot& slot = slots_[i];
     if (slot.hash == 0) break;
-    if (slot.hash == h && KeyEquals(slot, key)) return slot.payload;
+    if (slot.hash == hash && KeyEquals(slot, key)) return slot.payload;
     i = (i + 1) & mask;
   }
   if (count_ + 1 > growth_limit_) {
     Grow();
     const size_t mask2 = slots_.size() - 1;
-    i = h & mask2;
+    i = hash & mask2;
     while (slots_[i].hash != 0) i = (i + 1) & mask2;
   }
   Slot& slot = slots_[i];
-  slot.hash = h;
+  slot.hash = hash;
   if (packed_) {
     slot.key = PackKey2(key, width_);
   } else {
@@ -92,14 +103,15 @@ uint64_t& CodeKeyMap::FindOrInsert(const uint32_t* key) {
   return slot.payload;
 }
 
-const uint64_t* CodeKeyMap::Find(const uint32_t* key) const {
-  const uint64_t h = KeyHash(key);
+const uint64_t* CodeKeyMap::FindHashed(const uint32_t* key,
+                                       uint64_t hash) const {
+  TAUJOIN_DCHECK(hash == HashKey(key, width_));
   const size_t mask = slots_.size() - 1;
-  size_t i = h & mask;
+  size_t i = hash & mask;
   while (true) {
     const Slot& slot = slots_[i];
     if (slot.hash == 0) return nullptr;
-    if (slot.hash == h && KeyEquals(slot, key)) return &slot.payload;
+    if (slot.hash == hash && KeyEquals(slot, key)) return &slot.payload;
     i = (i + 1) & mask;
   }
 }

@@ -59,12 +59,49 @@ class CodeKeyMap {
   /// `key_width` codes per key; `expected_keys` pre-sizes the table.
   CodeKeyMap(size_t key_width, size_t expected_keys);
 
+  /// The hash a `width`-code key gets inside the map: packed keys
+  /// (width ≤ 2) avalanche their u64 packing, wider keys take one
+  /// HashCodes pass; 0 remaps to 1 (the empty-slot marker). Batch loops
+  /// precompute this per row and pass it to the *Hashed entry points so
+  /// the hash is never recomputed inside the table.
+  static uint64_t HashKey(const uint32_t* key, size_t width) {
+    const uint64_t h =
+        width <= 2 ? MixU64(PackKey2(key, width)) : HashCodes(key, width);
+    return h == 0 ? 1 : h;
+  }
+
   /// Payload slot for `key` (zero-initialized on first touch). The
-  /// reference is valid until the next FindOrInsert call.
-  uint64_t& FindOrInsert(const uint32_t* key);
+  /// reference is valid only until the next FindOrInsert that triggers a
+  /// table Grow() — observable as a generation() bump. Batch builders
+  /// that hold references across many inserts must call ReserveExact
+  /// first; see below.
+  uint64_t& FindOrInsert(const uint32_t* key) {
+    return FindOrInsertHashed(key, HashKey(key, width_));
+  }
+
+  /// FindOrInsert with the key's HashKey precomputed by the caller.
+  uint64_t& FindOrInsertHashed(const uint32_t* key, uint64_t hash);
 
   /// Payload slot for `key`, or nullptr if absent. Never allocates.
-  const uint64_t* Find(const uint32_t* key) const;
+  const uint64_t* Find(const uint32_t* key) const {
+    return FindHashed(key, HashKey(key, width_));
+  }
+
+  /// Find with the key's HashKey precomputed by the caller.
+  const uint64_t* FindHashed(const uint32_t* key, uint64_t hash) const;
+
+  /// Batch-build API: pre-sizes the table so `total_keys` *total* distinct
+  /// keys fit without any Grow(). After ReserveExact(n), inserting up to n
+  /// keys is guaranteed to keep generation() stable, so every payload
+  /// reference FindOrInsert hands out stays valid for the whole batch —
+  /// this is what makes multi-morsel table builds safe.
+  void ReserveExact(size_t total_keys);
+
+  /// Table reallocation epoch: bumped by every internal Grow() and by a
+  /// ReserveExact that actually resizes. A payload reference obtained from
+  /// FindOrInsert is valid only while generation() is unchanged; the
+  /// morsel-driven kernels assert this in debug builds.
+  uint64_t generation() const { return generation_; }
 
   size_t size() const { return count_; }
 
@@ -95,12 +132,6 @@ class CodeKeyMap {
     uint64_t payload = 0;
   };
 
-  uint64_t KeyHash(const uint32_t* key) const {
-    uint64_t h = packed_ ? MixU64(PackKey2(key, width_))
-                         : HashCodes(key, width_);
-    return h == 0 ? 1 : h;  // reserve 0 as the empty marker
-  }
-
   bool KeyEquals(const Slot& slot, const uint32_t* key) const {
     if (packed_) return slot.key == PackKey2(key, width_);
     return std::memcmp(arena_.data() + slot.key, key,
@@ -108,11 +139,13 @@ class CodeKeyMap {
   }
 
   void Grow();
+  void RehashTo(size_t slot_count);
 
   size_t width_;
   bool packed_;
   size_t count_ = 0;
   size_t growth_limit_;
+  uint64_t generation_ = 0;
   std::vector<Slot> slots_;    // power-of-two size
   std::vector<uint32_t> arena_;  // wide keys, width_ codes each
 };

@@ -1,0 +1,139 @@
+#include "relational/morsel.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "relational/kernel_util.h"
+
+namespace taujoin {
+
+size_t ResolveMorselRows(size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("TAUJOIN_MORSEL_ROWS")) {
+    const long long parsed = std::atoll(env);
+    if (parsed > 0) return static_cast<size_t>(parsed);
+  }
+  return kDefaultMorselRows;
+}
+
+bool UseParallelKernel(size_t total_rows, const KernelParallelism& par) {
+  if (par.force_parallel) return true;
+  if (par.resolved_threads() <= 1) return false;
+  return total_rows >= kKernelParallelMinRows;
+}
+
+int RadixBits(int threads) {
+  int bits = 3;
+  while ((1 << bits) < 4 * threads && bits < 6) ++bits;
+  return bits;
+}
+
+void HashKeyRange(const Relation& rel, const std::vector<int>& key_positions,
+                  size_t begin, size_t end, uint64_t* out) {
+  const size_t k = key_positions.size();
+  const size_t stride = rel.stride();
+  const uint32_t* codes = rel.codes().data();
+  // The ≤2-attribute paths below must produce exactly
+  // CodeKeyMap::HashKey(key, k): MixU64 over the packed u64, 0 → 1.
+  if (k == 1) {
+    const uint32_t* c0 = codes + begin * stride + key_positions[0];
+    for (size_t i = begin; i < end; ++i, c0 += stride) {
+      const uint64_t h = MixU64(*c0);
+      out[i - begin] = h == 0 ? 1 : h;
+    }
+    return;
+  }
+  if (k == 2) {
+    const uint32_t* c0 = codes + begin * stride + key_positions[0];
+    const uint32_t* c1 = codes + begin * stride + key_positions[1];
+    for (size_t i = begin; i < end; ++i, c0 += stride, c1 += stride) {
+      const uint64_t h = MixU64((static_cast<uint64_t>(*c0) << 32) | *c1);
+      out[i - begin] = h == 0 ? 1 : h;
+    }
+    return;
+  }
+  if (k == 0) {
+    // Cartesian key: every row hashes alike (one partition, one slot).
+    const uint64_t h = CodeKeyMap::HashKey(nullptr, 0);
+    std::fill(out, out + (end - begin), h);
+    return;
+  }
+  // Wide keys: gather once, hash in one HashCodes pass per row.
+  std::vector<uint32_t> key_buf(k);
+  for (size_t i = begin; i < end; ++i) {
+    const uint32_t* row = codes + i * stride;
+    for (size_t c = 0; c < k; ++c) {
+      key_buf[c] = row[static_cast<size_t>(key_positions[c])];
+    }
+    out[i - begin] = CodeKeyMap::HashKey(key_buf.data(), k);
+  }
+}
+
+RadixPartitions PartitionByKey(const Relation& rel,
+                               const std::vector<int>& key_positions,
+                               int bits, const KernelParallelism& par) {
+  TAUJOIN_CHECK_GE(bits, 1);
+  TAUJOIN_CHECK_LE(bits, 16);
+  const size_t rows = rel.size();
+  const size_t fanout = size_t{1} << bits;
+  const int shift = 64 - bits;
+  const size_t morsel = par.resolved_morsel_rows();
+  const size_t morsels = (rows + morsel - 1) / morsel;
+  const int threads = par.resolved_threads();
+  ThreadPool& pool = par.pool_or_global();
+
+  RadixPartitions parts;
+  parts.bits = bits;
+  parts.hashes.resize(rows);
+  parts.rows.resize(rows);
+  parts.begin.assign(fanout + 1, 0);
+  if (rows == 0) return parts;
+
+  // Sweep 1: hash every key, count partition populations per morsel.
+  std::vector<size_t> counts(morsels * fanout, 0);
+  pool.ParallelChunks(
+      static_cast<int64_t>(rows), static_cast<int64_t>(morsel),
+      [&](int64_t m, int64_t begin, int64_t end) {
+        HashKeyRange(rel, key_positions, static_cast<size_t>(begin),
+                     static_cast<size_t>(end), parts.hashes.data() + begin);
+        size_t* bucket = counts.data() + static_cast<size_t>(m) * fanout;
+        for (int64_t i = begin; i < end; ++i) {
+          ++bucket[parts.hashes[static_cast<size_t>(i)] >> shift];
+        }
+        TAUJOIN_METRIC_INCR("kernel.morsels_executed");
+      },
+      threads);
+
+  // Partition-major prefix sum over (partition, morsel): within one
+  // partition, morsel 0's rows land first, then morsel 1's, … — so row
+  // ids come out ascending per partition for any morsel size.
+  std::vector<size_t> offsets(morsels * fanout);
+  size_t run = 0;
+  for (size_t p = 0; p < fanout; ++p) {
+    parts.begin[p] = run;
+    for (size_t m = 0; m < morsels; ++m) {
+      offsets[m * fanout + p] = run;
+      run += counts[m * fanout + p];
+    }
+  }
+  parts.begin[fanout] = run;
+  TAUJOIN_CHECK_EQ(run, rows);
+
+  // Sweep 2: scatter row ids to their partition slices. Each morsel owns
+  // its offset cursors, so writes are disjoint across tasks.
+  pool.ParallelChunks(
+      static_cast<int64_t>(rows), static_cast<int64_t>(morsel),
+      [&](int64_t m, int64_t begin, int64_t end) {
+        size_t* cursor = offsets.data() + static_cast<size_t>(m) * fanout;
+        for (int64_t i = begin; i < end; ++i) {
+          const size_t p = parts.hashes[static_cast<size_t>(i)] >> shift;
+          parts.rows[cursor[p]++] = static_cast<uint32_t>(i);
+        }
+      },
+      threads);
+  return parts;
+}
+
+}  // namespace taujoin

@@ -1,0 +1,101 @@
+#ifndef TAUJOIN_RELATIONAL_MORSEL_H_
+#define TAUJOIN_RELATIONAL_MORSEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "relational/relation.h"
+
+namespace taujoin {
+
+/// Morsel-driven parallelism for the relational kernels (DESIGN.md §12):
+/// inputs are split into fixed-row morsels scheduled over the shared
+/// work-stealing ThreadPool, the build side of a join is radix-partitioned
+/// by join-key hash into independent per-partition hash tables, and probe
+/// morsels write into private output buffers that are concatenated in
+/// morsel order — so the output is bit-identical to the serial kernels at
+/// every thread count and morsel size.
+
+/// Rows per morsel when neither the call site nor TAUJOIN_MORSEL_ROWS
+/// says otherwise. Large enough that per-morsel bookkeeping (one hash
+/// array, one output buffer) amortizes; small enough that a few morsels
+/// exist even for mid-sized inputs.
+inline constexpr size_t kDefaultMorselRows = 2048;
+
+/// Inputs below this many total rows (build + probe) stay on the serial
+/// kernels unless `force_parallel` asks otherwise: at small sizes the
+/// partition pass costs more than the whole serial join.
+inline constexpr size_t kKernelParallelMinRows = 8192;
+
+/// Resolves the rows-per-morsel knob: `requested > 0` wins, then a
+/// positive integer TAUJOIN_MORSEL_ROWS, then kDefaultMorselRows.
+size_t ResolveMorselRows(size_t requested);
+
+/// Per-call parallelism knobs for the relational kernels — the data-level
+/// analogue of the optimizers' ParallelOptions. Default-constructed it
+/// follows the global environment (TAUJOIN_THREADS, TAUJOIN_MORSEL_ROWS,
+/// the shared pool), which is how CostEngine and the WorkloadDriver
+/// inherit the parallel kernels without touching their call sites.
+struct KernelParallelism {
+  int threads = 0;             ///< 0 = ResolveThreads(0)
+  size_t morsel_rows = 0;      ///< 0 = ResolveMorselRows(0)
+  ThreadPool* pool = nullptr;  ///< null = ThreadPool::Global()
+  /// Tests set this to exercise the partitioned path on inputs below
+  /// kKernelParallelMinRows (and at thread count 1, where the morsel
+  /// machinery runs inline on the caller).
+  bool force_parallel = false;
+
+  int resolved_threads() const { return ResolveThreads(threads); }
+  size_t resolved_morsel_rows() const {
+    return ResolveMorselRows(morsel_rows);
+  }
+  ThreadPool& pool_or_global() const {
+    return pool != nullptr ? *pool : ThreadPool::Global();
+  }
+};
+
+/// Whether a kernel over `total_rows` input rows should take the
+/// partitioned parallel path under `par`.
+bool UseParallelKernel(size_t total_rows, const KernelParallelism& par);
+
+/// Radix fan-out (log2 partition count) for `threads`-way execution:
+/// enough partitions that one heavy-hitter key serializes at most its own
+/// partition's build (≥4x over-decomposition), clamped to [3, 6]
+/// (8..64 partitions) so per-partition tables stay cache-resident.
+int RadixBits(int threads);
+
+/// Batched per-row join-key hashes: out[i - begin] = CodeKeyMap::HashKey
+/// of row i's key codes, for i in [begin, end). The ≤2-attribute packed
+/// path is a tight gather-pack-mix loop with no per-row branching; wider
+/// keys take one batched HashCodes pass over a gathered scratch row.
+void HashKeyRange(const Relation& rel, const std::vector<int>& key_positions,
+                  size_t begin, size_t end, uint64_t* out);
+
+/// A radix partitioning of one relation's rows by join-key hash: row ids
+/// grouped by the top `bits` hash bits, in ascending row order within
+/// each partition (morsel-major stable scatter), plus the per-row hashes
+/// for reuse by the build/probe loops. Deterministic for any thread
+/// count and morsel size.
+struct RadixPartitions {
+  int bits = 0;
+  std::vector<uint64_t> hashes;  ///< per input row, CodeKeyMap::HashKey
+  std::vector<uint32_t> rows;    ///< row ids grouped by partition
+  std::vector<size_t> begin;     ///< partition p = rows[begin[p], begin[p+1])
+
+  size_t partitions() const { return begin.empty() ? 0 : begin.size() - 1; }
+  size_t partition_size(size_t p) const { return begin[p + 1] - begin[p]; }
+};
+
+/// Morsel-driven partition pass: one parallel sweep hashes keys and
+/// builds per-morsel partition histograms, a serial prefix sum lays out
+/// the partition-major offsets, and a second parallel sweep scatters row
+/// ids. `bits` must be ≥ 1.
+RadixPartitions PartitionByKey(const Relation& rel,
+                               const std::vector<int>& key_positions,
+                               int bits, const KernelParallelism& par);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_RELATIONAL_MORSEL_H_

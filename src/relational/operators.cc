@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "relational/kernel_util.h"
+#include "relational/morsel.h"
 #include "relational/reference_kernels.h"
 
 namespace taujoin {
@@ -14,13 +15,48 @@ namespace {
 /// Gathers `positions` of every row of `r` into a fresh relation over
 /// `out` (shared dictionary), deduplicating as it goes. Shared by
 /// Project and Rename, which differ only in how `positions` is computed.
+/// Past the parallel threshold the gather runs morsel-driven into
+/// private code buffers (DESIGN.md §12); the dedup append stays serial
+/// (AppendRow keeps first occurrences), so buffers concatenate in morsel
+/// order and the result matches the serial gather exactly.
 Relation GatherRows(const Relation& r, const Schema& out,
-                    const std::vector<int>& positions) {
+                    const std::vector<int>& positions,
+                    const KernelParallelism& par = {}) {
   Relation result(out, r.dictionary());
-  std::vector<uint32_t> out_row(std::max<size_t>(positions.size(), 1));
+  const size_t w = positions.size();
+  if (w > 0 && UseParallelKernel(r.size(), par)) {
+    TAUJOIN_METRIC_INCR("kernel.project.parallel");
+    const int threads = par.resolved_threads();
+    const size_t morsel = par.resolved_morsel_rows();
+    const size_t morsels = r.size() == 0 ? 0 : (r.size() + morsel - 1) / morsel;
+    std::vector<std::vector<uint32_t>> bufs(morsels);
+    par.pool_or_global().ParallelChunks(
+        static_cast<int64_t>(r.size()), static_cast<int64_t>(morsel),
+        [&](int64_t m, int64_t begin, int64_t end) {
+          std::vector<uint32_t>& buf = bufs[static_cast<size_t>(m)];
+          buf.resize(static_cast<size_t>(end - begin) * w);
+          size_t t = 0;
+          for (int64_t i = begin; i < end; ++i) {
+            const uint32_t* row = r.row(static_cast<size_t>(i));
+            for (size_t c = 0; c < w; ++c) {
+              buf[t++] = row[static_cast<size_t>(positions[c])];
+            }
+          }
+          TAUJOIN_METRIC_INCR("kernel.morsels_executed");
+        },
+        threads);
+    result.Reserve(r.size());
+    for (const std::vector<uint32_t>& buf : bufs) {
+      for (size_t i = 0; i < buf.size(); i += w) {
+        result.AppendRow(buf.data() + i);
+      }
+    }
+    return result;
+  }
+  std::vector<uint32_t> out_row(std::max<size_t>(w, 1));
   for (size_t i = 0; i < r.size(); ++i) {
     const uint32_t* row = r.row(i);
-    for (size_t c = 0; c < positions.size(); ++c) {
+    for (size_t c = 0; c < w; ++c) {
       out_row[c] = row[positions[c]];
     }
     result.AppendRow(out_row.data());
@@ -30,12 +66,17 @@ Relation GatherRows(const Relation& r, const Schema& out,
 
 }  // namespace
 
-Relation Project(const Relation& r, const Schema& attrs) {
+Relation Project(const Relation& r, const Schema& attrs,
+                 const KernelParallelism& par) {
   TAUJOIN_METRIC_INCR("kernel.project.calls");
   TAUJOIN_CHECK(attrs.IsSubsetOf(r.schema()))
       << "projection attributes " << attrs.ToString() << " not a subset of "
       << r.schema().ToString();
-  return GatherRows(r, attrs, PositionsOf(attrs, r.schema()));
+  return GatherRows(r, attrs, PositionsOf(attrs, r.schema()), par);
+}
+
+Relation Project(const Relation& r, const Schema& attrs) {
+  return Project(r, attrs, KernelParallelism{});
 }
 
 Relation Select(
@@ -68,8 +109,90 @@ Relation SelectEquals(const Relation& r, const std::string& attribute,
 
 namespace {
 
+/// Morsel-driven semi/antijoin (DESIGN.md §12): radix-partition s's keys
+/// into private per-partition key sets, then filter r's morsels against
+/// them, collecting surviving row ids per morsel and appending them in
+/// morsel order — the same row order the serial filter emits.
+Relation ParallelSemiAntiJoin(const Relation& r, const Relation& s,
+                              const std::vector<int>& r_key,
+                              const std::vector<int>& s_key, bool keep,
+                              const KernelParallelism& par) {
+  const size_t k = r_key.size();
+  const int threads = par.resolved_threads();
+  const size_t morsel = par.resolved_morsel_rows();
+  ThreadPool& pool = par.pool_or_global();
+  const int bits = RadixBits(threads);
+  const size_t fanout = size_t{1} << bits;
+  const int shift = 64 - bits;
+
+  std::vector<CodeKeyMap> keys;
+  {
+    TAUJOIN_METRIC_SPAN(build_span, "kernel.build_phase");
+    const RadixPartitions parts = PartitionByKey(s, s_key, bits, par);
+    keys.reserve(fanout);
+    for (size_t p = 0; p < fanout; ++p) keys.emplace_back(k, 0);
+    pool.ParallelFor(
+        static_cast<int64_t>(fanout),
+        [&](int64_t p) {
+          CodeKeyMap& set = keys[static_cast<size_t>(p)];
+          set.ReserveExact(parts.partition_size(static_cast<size_t>(p)));
+          std::vector<uint32_t> key_buf(std::max<size_t>(k, 1));
+          const size_t end = parts.begin[static_cast<size_t>(p) + 1];
+          for (size_t i = parts.begin[static_cast<size_t>(p)]; i < end; ++i) {
+            const uint32_t row_id = parts.rows[i];
+            const uint32_t* row = s.row(row_id);
+            for (size_t c = 0; c < k; ++c) {
+              key_buf[c] = row[static_cast<size_t>(s_key[c])];
+            }
+            set.FindOrInsertHashed(key_buf.data(), parts.hashes[row_id]);
+          }
+        },
+        threads);
+    TAUJOIN_METRIC_COUNT("kernel.partitions_built", fanout);
+  }
+
+  const size_t probe_morsels =
+      r.size() == 0 ? 0 : (r.size() + morsel - 1) / morsel;
+  std::vector<std::vector<uint32_t>> kept(probe_morsels);
+  {
+    TAUJOIN_METRIC_SPAN(probe_span, "kernel.probe_phase");
+    TAUJOIN_METRIC_COUNT("kernel.probe_rows", r.size());
+    pool.ParallelChunks(
+        static_cast<int64_t>(r.size()), static_cast<int64_t>(morsel),
+        [&](int64_t m, int64_t begin, int64_t end) {
+          std::vector<uint64_t> hashes(static_cast<size_t>(end - begin));
+          HashKeyRange(r, r_key, static_cast<size_t>(begin),
+                       static_cast<size_t>(end), hashes.data());
+          std::vector<uint32_t> key_buf(std::max<size_t>(k, 1));
+          std::vector<uint32_t>& rows = kept[static_cast<size_t>(m)];
+          for (int64_t i = begin; i < end; ++i) {
+            const uint64_t h = hashes[static_cast<size_t>(i - begin)];
+            const uint32_t* row = r.row(static_cast<size_t>(i));
+            for (size_t c = 0; c < k; ++c) {
+              key_buf[c] = row[static_cast<size_t>(r_key[c])];
+            }
+            const bool match =
+                keys[h >> shift].FindHashed(key_buf.data(), h) != nullptr;
+            if (match == keep) rows.push_back(static_cast<uint32_t>(i));
+          }
+          TAUJOIN_METRIC_INCR("kernel.morsels_executed");
+        },
+        threads);
+  }
+
+  Relation result(r.schema(), r.dictionary());
+  size_t total = 0;
+  for (const std::vector<uint32_t>& rows : kept) total += rows.size();
+  result.Reserve(total);
+  for (const std::vector<uint32_t>& rows : kept) {
+    for (const uint32_t row_id : rows) result.AppendRow(r.row(row_id));
+  }
+  return result;
+}
+
 /// r ⋉ s (keep = true) or r ▷ s (keep = false) over packed code keys.
-Relation SemiAntiJoin(const Relation& r, const Relation& s, bool keep) {
+Relation SemiAntiJoin(const Relation& r, const Relation& s, bool keep,
+                      const KernelParallelism& par) {
   if (r.dictionary() != s.dictionary()) {
     return keep ? ReferenceSemijoin(r, s) : ReferenceAntijoin(r, s);
   }
@@ -77,6 +200,12 @@ Relation SemiAntiJoin(const Relation& r, const Relation& s, bool keep) {
   const std::vector<int> r_key = PositionsOf(common, r.schema());
   const std::vector<int> s_key = PositionsOf(common, s.schema());
   const size_t k = common.size();
+
+  if (UseParallelKernel(r.size() + s.size(), par)) {
+    TAUJOIN_METRIC_INCR(keep ? "kernel.semijoin.parallel"
+                             : "kernel.antijoin.parallel");
+    return ParallelSemiAntiJoin(r, s, r_key, s_key, keep, par);
+  }
 
   CodeKeyMap keys(k, s.size());
   std::vector<uint32_t> key_buf(std::max<size_t>(k, 1));
@@ -99,14 +228,24 @@ Relation SemiAntiJoin(const Relation& r, const Relation& s, bool keep) {
 
 }  // namespace
 
-Relation Semijoin(const Relation& r, const Relation& s) {
+Relation Semijoin(const Relation& r, const Relation& s,
+                  const KernelParallelism& par) {
   TAUJOIN_METRIC_INCR("kernel.semijoin.calls");
-  return SemiAntiJoin(r, s, /*keep=*/true);
+  return SemiAntiJoin(r, s, /*keep=*/true, par);
+}
+
+Relation Semijoin(const Relation& r, const Relation& s) {
+  return Semijoin(r, s, KernelParallelism{});
+}
+
+Relation Antijoin(const Relation& r, const Relation& s,
+                  const KernelParallelism& par) {
+  TAUJOIN_METRIC_INCR("kernel.antijoin.calls");
+  return SemiAntiJoin(r, s, /*keep=*/false, par);
 }
 
 Relation Antijoin(const Relation& r, const Relation& s) {
-  TAUJOIN_METRIC_INCR("kernel.antijoin.calls");
-  return SemiAntiJoin(r, s, /*keep=*/false);
+  return Antijoin(r, s, KernelParallelism{});
 }
 
 StatusOr<Relation> Union(const Relation& a, const Relation& b) {

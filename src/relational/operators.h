@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "relational/morsel.h"
 #include "relational/relation.h"
 
 namespace taujoin {
@@ -12,6 +13,13 @@ namespace taujoin {
 /// π_attrs(r): projection onto `attrs`, which must be a subset of r's
 /// scheme; duplicates are eliminated (set semantics).
 Relation Project(const Relation& r, const Schema& attrs);
+
+/// Project with explicit kernel-level parallelism: inputs past the
+/// parallel threshold gather morsels into private code buffers in
+/// parallel, then append them in morsel order through the (serial)
+/// dedup — identical output to the serial kernel.
+Relation Project(const Relation& r, const Schema& attrs,
+                 const KernelParallelism& par);
 
 /// σ_pred(r): the tuples of `r` satisfying `predicate` (called with the
 /// tuple and the relation's schema for attribute lookup).
@@ -25,8 +33,20 @@ Relation SelectEquals(const Relation& r, const std::string& attribute,
 /// r ⋉ s: the tuples of r that join with at least one tuple of s.
 Relation Semijoin(const Relation& r, const Relation& s);
 
+/// Semijoin with explicit kernel-level parallelism: past the parallel
+/// threshold (or under `par.force_parallel`) s's keys radix-partition
+/// into private per-partition key sets and r's morsels filter against
+/// them, emitting survivors in morsel order — bit-identical to the
+/// serial kernel at every thread count and morsel size.
+Relation Semijoin(const Relation& r, const Relation& s,
+                  const KernelParallelism& par);
+
 /// r ▷ s: the tuples of r that join with no tuple of s.
 Relation Antijoin(const Relation& r, const Relation& s);
+
+/// Antijoin with explicit kernel-level parallelism (see Semijoin).
+Relation Antijoin(const Relation& r, const Relation& s,
+                  const KernelParallelism& par);
 
 /// Set union; fails unless the schemes are equal.
 StatusOr<Relation> Union(const Relation& a, const Relation& b);

@@ -329,7 +329,13 @@ QueryOutcome WorkloadDriver::RunOne(const QueryClassSpec& spec) {
   if (options_.execute) {
     const uint64_t execute_start = NowNanos();
     TAUJOIN_METRIC_SPAN(exec, "serve.driver.execute");
-    const EvaluationTrace trace = ExecuteStrategy(cls.db, plan);
+    // Intra-query morsel parallelism shares the batch pool; ParallelFor
+    // is nest-safe, so query-level and kernel-level tasks interleave.
+    KernelParallelism kernel_par;
+    kernel_par.threads = options_.parallel.threads;
+    kernel_par.pool = options_.parallel.pool;
+    const EvaluationTrace trace =
+        ExecuteStrategy(cls.db, plan, JoinAlgorithm::kHash, kernel_par);
     (void)trace;
     outcome.execute_ns = NowNanos() - execute_start;
   }

@@ -1,0 +1,138 @@
+// CodeKeyMap batch-build contract: ReserveExact must make a known number
+// of inserts Grow()-free (stable generation(), durable payload
+// references), growth without it must be observable as a generation()
+// bump, and the precomputed-hash entry points must agree with the plain
+// ones for packed and wide keys alike. The morsel-driven kernels
+// (DESIGN.md §12) lean on exactly these guarantees when they build
+// per-partition tables one reference at a time.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "relational/kernel_util.h"
+
+namespace taujoin {
+namespace {
+
+TEST(CodeKeyMapTest, ReserveExactKeepsReferencesValidAcrossBatch) {
+  const int n = 10000;
+  CodeKeyMap map(2, /*expected_keys=*/0);
+  map.ReserveExact(n);
+  const uint64_t generation = map.generation();
+
+  // Hold every payload reference across the whole batch; with the table
+  // pre-sized, none may be invalidated.
+  std::vector<uint64_t*> payloads;
+  payloads.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const uint32_t key[2] = {static_cast<uint32_t>(i),
+                             static_cast<uint32_t>(i * 7)};
+    uint64_t& slot = map.FindOrInsert(key);
+    slot = static_cast<uint64_t>(i) + 1;
+    payloads.push_back(&slot);
+  }
+  EXPECT_EQ(map.generation(), generation)
+      << "a reserved batch must never Grow()";
+  EXPECT_EQ(map.size(), static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(*payloads[i], static_cast<uint64_t>(i) + 1) << "key " << i;
+  }
+}
+
+TEST(CodeKeyMapTest, GrowthBumpsGenerationWithoutReserve) {
+  CodeKeyMap map(1, /*expected_keys=*/0);
+  const uint64_t generation = map.generation();
+  uint32_t key[2] = {0, 0};  // width 1; slot 1 pacifies -Warray-bounds
+  for (uint32_t i = 0; i < 10000; ++i) {
+    key[0] = i;
+    map.FindOrInsert(key) = i;
+  }
+  EXPECT_GT(map.generation(), generation)
+      << "10000 unreserved inserts must reallocate at least once";
+  // The data survives every rehash.
+  for (uint32_t i = 0; i < 10000; ++i) {
+    key[0] = i;
+    const uint64_t* found = map.Find(key);
+    ASSERT_NE(found, nullptr) << "key " << i;
+    EXPECT_EQ(*found, i);
+  }
+}
+
+TEST(CodeKeyMapTest, ReserveExactOnExistingEntriesPreservesThem) {
+  CodeKeyMap map(2, /*expected_keys=*/0);
+  for (uint32_t i = 0; i < 100; ++i) {
+    const uint32_t key[2] = {i, i + 1};
+    map.FindOrInsert(key) = i;
+  }
+  map.ReserveExact(50000);  // resizes: generation bumps, data survives
+  EXPECT_EQ(map.size(), 100u);
+  for (uint32_t i = 0; i < 100; ++i) {
+    const uint32_t key[2] = {i, i + 1};
+    const uint64_t* found = map.Find(key);
+    ASSERT_NE(found, nullptr) << "key " << i;
+    EXPECT_EQ(*found, i);
+  }
+}
+
+TEST(CodeKeyMapTest, HashedEntryPointsAgreeWithPlainOnes) {
+  for (const size_t width : {size_t{0}, size_t{1}, size_t{2}, size_t{3},
+                             size_t{5}}) {
+    CodeKeyMap map(width, 64);
+    std::vector<uint32_t> key(width > 0 ? width : 1);
+    for (uint32_t i = 0; i < 64; ++i) {
+      for (size_t c = 0; c < width; ++c) key[c] = i * 31 + c;
+      map.FindOrInsertHashed(key.data(),
+                             CodeKeyMap::HashKey(key.data(), width)) = i;
+    }
+    for (uint32_t i = 0; i < 64; ++i) {
+      for (size_t c = 0; c < width; ++c) key[c] = i * 31 + c;
+      const uint64_t* plain = map.Find(key.data());
+      const uint64_t* hashed =
+          map.FindHashed(key.data(), CodeKeyMap::HashKey(key.data(), width));
+      ASSERT_NE(plain, nullptr) << "width " << width << " key " << i;
+      ASSERT_EQ(plain, hashed) << "width " << width << " key " << i;
+      if (width > 0) {
+        EXPECT_EQ(*plain, i) << "width " << width;
+        // A perturbed key must miss.
+        key[0] ^= 0x80000000u;
+        EXPECT_EQ(map.Find(key.data()), nullptr) << "width " << width;
+      }
+    }
+    // Width 0 packs every row into the single empty key.
+    if (width == 0) {
+      EXPECT_EQ(map.size(), 1u);
+    }
+  }
+}
+
+TEST(CodeKeyMapTest, WideKeyReserveKeepsArenaReferencesValid) {
+  const int n = 5000;
+  const size_t width = 4;  // arena path (width > 2)
+  CodeKeyMap map(width, /*expected_keys=*/0);
+  map.ReserveExact(n);
+  const uint64_t generation = map.generation();
+  std::vector<uint64_t*> payloads;
+  for (int i = 0; i < n; ++i) {
+    const uint32_t key[width] = {static_cast<uint32_t>(i), 1u, 2u,
+                                 static_cast<uint32_t>(i ^ 0x55)};
+    uint64_t& slot = map.FindOrInsert(key);
+    slot = static_cast<uint64_t>(i);
+    payloads.push_back(&slot);
+  }
+  EXPECT_EQ(map.generation(), generation);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(*payloads[i], static_cast<uint64_t>(i)) << "key " << i;
+  }
+}
+
+TEST(CodeKeyMapTest, HashKeyNormalizesAwayFromEmptyMarker) {
+  // 0 is the empty-slot marker: HashKey must never return it. The packed
+  // preimage of MixU64 == 0 is key 0 of width 0 (PackKey2 -> 0).
+  EXPECT_EQ(MixU64(0), 0u);
+  EXPECT_EQ(CodeKeyMap::HashKey(nullptr, 0), 1u);
+}
+
+}  // namespace
+}  // namespace taujoin

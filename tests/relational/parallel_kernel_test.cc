@@ -1,0 +1,254 @@
+// Randomized differential tests for the morsel-driven parallel kernels
+// (DESIGN.md §12): at every thread count and morsel size — including
+// morsels of a single row — the parallel NaturalJoin, CountNaturalJoin,
+// Semijoin, Antijoin, and Project must produce output *byte-identical*
+// (same code arena, same row order) to the serial columnar kernels, and
+// set-equal to the row-at-a-time reference implementations. Sweeps the
+// paper's four query shapes, left-deep folds (which widen the join keys
+// past the packed-u64 path), heavy-hitter skew, and the
+// TAUJOIN_MORSEL_ROWS resolution rules.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "relational/count_join.h"
+#include "relational/join.h"
+#include "relational/morsel.h"
+#include "relational/operators.h"
+#include "relational/reference_kernels.h"
+#include "workload/generator.h"
+
+namespace taujoin {
+namespace {
+
+/// The serial baseline: one thread, no forcing — UseParallelKernel is
+/// always false, so every kernel takes its classic single-threaded path.
+KernelParallelism SerialPar() {
+  KernelParallelism par;
+  par.threads = 1;
+  return par;
+}
+
+struct ParConfig {
+  int threads;
+  size_t morsel_rows;
+};
+
+/// Thread counts × morsel sizes the sweeps run under. Morsel size 1 is
+/// the adversarial case (every row its own chunk); 7 leaves a ragged
+/// tail; 4096 exceeds most test inputs (one morsel total).
+const ParConfig kConfigs[] = {
+    {2, 1}, {2, 7}, {4, 7}, {4, 4096},
+};
+
+KernelParallelism MakePar(const ParConfig& config, ThreadPool* pool) {
+  KernelParallelism par;
+  par.threads = config.threads;
+  par.morsel_rows = config.morsel_rows;
+  par.pool = pool;
+  par.force_parallel = true;  // exercise the partitioned path at any size
+  return par;
+}
+
+std::string ConfigLabel(const ParConfig& config) {
+  return "threads=" + std::to_string(config.threads) +
+         " morsel=" + std::to_string(config.morsel_rows);
+}
+
+/// Byte-identity: same schema, same row count, same code arena — i.e.
+/// the same rows in the same order, not merely the same set.
+void ExpectBitIdentical(const Relation& got, const Relation& want,
+                        const std::string& label) {
+  ASSERT_EQ(got.schema(), want.schema()) << label;
+  ASSERT_EQ(got.size(), want.size()) << label;
+  EXPECT_TRUE(got.codes() == want.codes())
+      << label << ": parallel output reordered or altered rows";
+}
+
+Database ShapedDatabase(QueryShape shape, int rows, double skew,
+                        uint64_t seed) {
+  Rng rng(seed);
+  GeneratorOptions options;
+  options.shape = shape;
+  options.relation_count = 4;
+  options.rows_per_relation = rows;
+  options.join_domain = 4;
+  options.join_skew = skew;
+  return RandomDatabase(options, rng);
+}
+
+const QueryShape kShapes[] = {QueryShape::kChain, QueryShape::kStar,
+                              QueryShape::kCycle, QueryShape::kClique};
+
+TEST(ParallelKernelTest, JoinBitIdenticalToSerialAcrossShapes) {
+  uint64_t seed = 101;
+  for (const ParConfig& config : kConfigs) {
+    ThreadPool pool(config.threads - 1);
+    const KernelParallelism par = MakePar(config, &pool);
+    for (QueryShape shape : kShapes) {
+      const Database db = ShapedDatabase(shape, 48, 0.0, seed++);
+      const std::string label = ConfigLabel(config) + " shape " +
+                                std::to_string(static_cast<int>(shape));
+
+      // Left-deep fold: later steps join wide intermediates, pushing the
+      // key width past the packed-u64 fast path (notably on the clique).
+      Relation serial = db.state(0);
+      Relation parallel = db.state(0);
+      for (int i = 1; i < db.scheme().size(); ++i) {
+        const Relation reference = ReferenceNaturalJoin(serial, db.state(i));
+        serial = NaturalJoin(serial, db.state(i), JoinAlgorithm::kHash,
+                             SerialPar());
+        parallel = NaturalJoin(parallel, db.state(i), JoinAlgorithm::kHash,
+                               par);
+        const std::string step = label + " step " + std::to_string(i);
+        ExpectBitIdentical(parallel, serial, step);
+        EXPECT_TRUE(parallel == reference) << step << ": not set-equal to "
+                                           << "the reference join";
+      }
+    }
+  }
+}
+
+TEST(ParallelKernelTest, CountMatchesSerialAndReference) {
+  uint64_t seed = 211;
+  for (const ParConfig& config : kConfigs) {
+    ThreadPool pool(config.threads - 1);
+    const KernelParallelism par = MakePar(config, &pool);
+    for (QueryShape shape : kShapes) {
+      const Database db = ShapedDatabase(shape, 40, 0.0, seed++);
+      for (int i = 0; i < db.scheme().size(); ++i) {
+        for (int j = i + 1; j < db.scheme().size(); ++j) {
+          const Relation& a = db.state(i);
+          const Relation& b = db.state(j);
+          const uint64_t want = ReferenceCountNaturalJoin(a, b);
+          EXPECT_EQ(CountNaturalJoin(a, b, par), want)
+              << ConfigLabel(config) << " shape "
+              << static_cast<int>(shape) << " pair " << i << "," << j;
+          EXPECT_EQ(CountNaturalJoin(a, b, SerialPar()), want);
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelKernelTest, OperatorsBitIdenticalToSerial) {
+  uint64_t seed = 307;
+  for (const ParConfig& config : kConfigs) {
+    ThreadPool pool(config.threads - 1);
+    const KernelParallelism par = MakePar(config, &pool);
+    for (QueryShape shape : {QueryShape::kChain, QueryShape::kClique}) {
+      const Database db = ShapedDatabase(shape, 52, 0.0, seed++);
+      const Relation& r = db.state(0);
+      const Relation& s = db.state(1);
+      const std::string label = ConfigLabel(config) + " shape " +
+                                std::to_string(static_cast<int>(shape));
+
+      ExpectBitIdentical(Semijoin(r, s, par), Semijoin(r, s, SerialPar()),
+                         label + " semijoin");
+      EXPECT_TRUE(Semijoin(r, s, par) == ReferenceSemijoin(r, s)) << label;
+      ExpectBitIdentical(Antijoin(r, s, par), Antijoin(r, s, SerialPar()),
+                         label + " antijoin");
+      EXPECT_TRUE(Antijoin(r, s, par) == ReferenceAntijoin(r, s)) << label;
+
+      // Project onto a strict subset (dedup does real work) and onto the
+      // full scheme (pure gather).
+      const Schema sub{{r.schema().attribute(0)}};
+      ExpectBitIdentical(Project(r, sub, par), Project(r, sub, SerialPar()),
+                         label + " project subset");
+      EXPECT_TRUE(Project(r, sub, par) == ReferenceProject(r, sub)) << label;
+      ExpectBitIdentical(Project(r, r.schema(), par),
+                         Project(r, r.schema(), SerialPar()),
+                         label + " project full");
+    }
+  }
+}
+
+TEST(ParallelKernelTest, HeavyHitterSkewStaysIdentical) {
+  // Zipf-skewed join keys concentrate most rows on one key, so one radix
+  // partition carries nearly the whole build — the case the ≥4x
+  // over-decomposition in RadixBits exists for. Output must not care.
+  uint64_t seed = 401;
+  for (const ParConfig& config : kConfigs) {
+    ThreadPool pool(config.threads - 1);
+    const KernelParallelism par = MakePar(config, &pool);
+    const Database db = ShapedDatabase(QueryShape::kChain, 300, 1.4, seed++);
+    const Relation& a = db.state(0);
+    const Relation& b = db.state(1);
+    const std::string label = ConfigLabel(config) + " skewed";
+    const Relation serial =
+        NaturalJoin(a, b, JoinAlgorithm::kHash, SerialPar());
+    ExpectBitIdentical(NaturalJoin(a, b, JoinAlgorithm::kHash, par), serial,
+                       label);
+    EXPECT_EQ(CountNaturalJoin(a, b, par), serial.Tau()) << label;
+  }
+}
+
+TEST(ParallelKernelTest, TinyAndEmptyInputsUnderForcedParallelism) {
+  ThreadPool pool(1);
+  KernelParallelism par = MakePar({2, 1}, &pool);
+
+  const Relation left = Relation::FromRowsOrDie(
+      {"A", "B"}, {{1, 7}, {2, 7}, {3, 8}});
+  const Relation right = Relation::FromRowsOrDie(
+      {"B", "C"}, {{7, 10}, {7, 11}, {9, 12}});
+  ExpectBitIdentical(
+      NaturalJoin(left, right, JoinAlgorithm::kHash, par),
+      NaturalJoin(left, right, JoinAlgorithm::kHash, SerialPar()),
+      "tiny forced join");
+  EXPECT_EQ(CountNaturalJoin(left, right, par), 4u);
+
+  const Relation empty(Schema::Parse("BC"), left.dictionary());
+  EXPECT_EQ(NaturalJoin(left, empty, JoinAlgorithm::kHash, par).size(), 0u);
+  EXPECT_EQ(NaturalJoin(empty, left, JoinAlgorithm::kHash, par).size(), 0u);
+  EXPECT_EQ(CountNaturalJoin(left, empty, par), 0u);
+  EXPECT_EQ(Semijoin(left, empty, par).size(), 0u);
+  ExpectBitIdentical(Antijoin(left, empty, par), left, "antijoin vs empty");
+}
+
+TEST(ParallelKernelTest, MorselRowsResolution) {
+  // An explicit request always wins.
+  EXPECT_EQ(ResolveMorselRows(5), 5u);
+  // Then a positive TAUJOIN_MORSEL_ROWS.
+  ASSERT_EQ(setenv("TAUJOIN_MORSEL_ROWS", "123", 1), 0);
+  EXPECT_EQ(ResolveMorselRows(0), 123u);
+  EXPECT_EQ(ResolveMorselRows(9), 9u);
+  // Non-positive and non-numeric settings fall through to the default.
+  ASSERT_EQ(setenv("TAUJOIN_MORSEL_ROWS", "0", 1), 0);
+  EXPECT_EQ(ResolveMorselRows(0), kDefaultMorselRows);
+  ASSERT_EQ(setenv("TAUJOIN_MORSEL_ROWS", "banana", 1), 0);
+  EXPECT_EQ(ResolveMorselRows(0), kDefaultMorselRows);
+  ASSERT_EQ(unsetenv("TAUJOIN_MORSEL_ROWS"), 0);
+  EXPECT_EQ(ResolveMorselRows(0), kDefaultMorselRows);
+
+  KernelParallelism par;
+  par.morsel_rows = 64;
+  EXPECT_EQ(par.resolved_morsel_rows(), 64u);
+}
+
+TEST(ParallelKernelTest, UseParallelKernelThresholds) {
+  KernelParallelism serial = SerialPar();
+  EXPECT_FALSE(UseParallelKernel(1u << 20, serial))
+      << "one thread must never pay the partition pass";
+  serial.force_parallel = true;
+  EXPECT_TRUE(UseParallelKernel(0, serial));
+
+  KernelParallelism par;
+  par.threads = 4;
+  EXPECT_FALSE(UseParallelKernel(kKernelParallelMinRows - 1, par));
+  EXPECT_TRUE(UseParallelKernel(kKernelParallelMinRows, par));
+
+  EXPECT_GE(RadixBits(1), 3);
+  EXPECT_LE(RadixBits(64), 6);
+  for (int t = 1; t <= 8; ++t) {
+    EXPECT_GE(1 << RadixBits(t), std::min(4 * t, 64)) << t;
+  }
+}
+
+}  // namespace
+}  // namespace taujoin

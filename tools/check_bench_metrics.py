@@ -42,6 +42,16 @@ ESTIMATE_FAMILIES = ("chain", "star", "cycle", "clique")
 ESTIMATE_REGRET_FIELDS = ["regret_p50_x1000", "regret_p90_x1000",
                           "regret_max_x1000"]
 
+# BENCH_kernels.json (schema taujoin-kernel-bench/v1) layout.
+KERNEL_FAMILIES = ("uniform", "skewed", "clique")
+KERNEL_KERNELS = ("join", "count")
+KERNEL_RUN_INTS = ["threads", "partition_fanout", "best_ns",
+                   "tuples_per_sec", "output_rows", "speedup_x1000"]
+# The morsel-driven kernels' acceptance bar: ≥3x on the clique join at 8
+# threads vs 1 — only enforceable where 8 hardware threads exist.
+KERNEL_SPEEDUP_THREADS = 8
+KERNEL_SPEEDUP_MIN_X1000 = 3000
+
 
 def check_serve_schema(path: str, doc: dict) -> list[str]:
     """Validates the hand-rolled taujoin-serve-bench/v1 artifact layout."""
@@ -175,6 +185,95 @@ def check_estimate_schema(path: str, doc: dict) -> list[str]:
     return errors
 
 
+def check_kernel_schema(path: str, doc: dict) -> list[str]:
+    """Validates the taujoin-kernel-bench/v1 morsel-kernel artifact.
+
+    Layout checks run everywhere. The ≥3x clique-join speedup criterion
+    is enforced only when the recording machine reported ≥ 8 hardware
+    threads — a 1-core container can produce bit-identical output but
+    not parallel speedup, and a silently-skipped gate is recorded in the
+    artifact's own context for provenance.
+    """
+    errors = []
+    context = doc.get("context")
+    if not isinstance(context, dict):
+        return [f"{path}: kernel artifact missing 'context' object"]
+    if context.get("taujoin_build_type") not in ("release", "debug"):
+        errors.append(f"{path}: context.taujoin_build_type missing/invalid")
+    for field in ("rows_per_side", "reps", "seed", "hardware_concurrency",
+                  "morsel_rows"):
+        if not isinstance(context.get(field), int):
+            errors.append(f"{path}: context.{field} missing integer")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return errors + [f"{path}: kernel artifact has no runs"]
+
+    baselines = set()  # (family, kernel) with a threads=1 run
+    seen_families = set()
+    clique_join_speedup = None
+    for i, run in enumerate(runs):
+        where = f"{path}: runs[{i}]"
+        if not isinstance(run, dict):
+            errors.append(f"{where} is not an object")
+            continue
+        family = run.get("family")
+        if family not in KERNEL_FAMILIES:
+            errors.append(f"{where}.family {family!r} not one of "
+                          f"{KERNEL_FAMILIES}")
+        seen_families.add(family)
+        kernel = run.get("kernel")
+        if kernel not in KERNEL_KERNELS:
+            errors.append(f"{where}.kernel {kernel!r} not one of "
+                          f"{KERNEL_KERNELS}")
+        bad_int = False
+        for field in KERNEL_RUN_INTS:
+            if not isinstance(run.get(field), int) or run[field] < 0:
+                errors.append(f"{where}.{field} missing non-negative integer")
+                bad_int = True
+        if bad_int:
+            continue
+        if run["threads"] < 1 or run["partition_fanout"] < 1:
+            errors.append(f"{where}: threads and partition_fanout must be "
+                          "positive")
+        if run["threads"] == 1:
+            baselines.add((family, kernel))
+            if run["speedup_x1000"] != 1000:
+                errors.append(f"{where}: 1-thread speedup must be exactly "
+                              f"1000, got {run['speedup_x1000']}")
+        if (family, kernel, run["threads"]) == \
+                ("clique", "join", KERNEL_SPEEDUP_THREADS):
+            clique_join_speedup = run["speedup_x1000"]
+
+    missing = [f for f in KERNEL_FAMILIES if f not in seen_families]
+    if missing:
+        errors.append(f"{path}: missing kernel families {missing}")
+    for family in KERNEL_FAMILIES:
+        for kernel in KERNEL_KERNELS:
+            if family in seen_families and (family, kernel) not in baselines:
+                errors.append(f"{path}: family {family!r} kernel {kernel!r} "
+                              "has no 1-thread baseline run")
+
+    hw = context.get("hardware_concurrency")
+    if isinstance(hw, int) and hw >= KERNEL_SPEEDUP_THREADS:
+        if clique_join_speedup is None:
+            errors.append(f"{path}: no clique join run at "
+                          f"{KERNEL_SPEEDUP_THREADS} threads")
+        elif clique_join_speedup < KERNEL_SPEEDUP_MIN_X1000:
+            errors.append(
+                f"{path}: clique join speedup at {KERNEL_SPEEDUP_THREADS} "
+                f"threads is {clique_join_speedup}/1000, below the "
+                f"{KERNEL_SPEEDUP_MIN_X1000}/1000 acceptance bar")
+
+    counters = doc.get("taujoin_metrics", {}).get("counters", {})
+    if isinstance(counters, dict):
+        for name in ("kernel.morsels_executed", "kernel.partitions_built",
+                     "kernel.probe_rows"):
+            if counters.get(name, 0) <= 0:
+                errors.append(f"{path}: counter '{name}' recorded no traffic "
+                              "— the morsel kernels are disconnected")
+    return errors
+
+
 def check(path: str) -> list[str]:
     errors = []
     try:
@@ -233,6 +332,8 @@ def check(path: str) -> list[str]:
         errors.extend(check_serve_schema(path, doc))
     elif doc.get("schema") == "taujoin-estimate-bench/v1":
         errors.extend(check_estimate_schema(path, doc))
+    elif doc.get("schema") == "taujoin-kernel-bench/v1":
+        errors.extend(check_kernel_schema(path, doc))
     return errors
 
 
