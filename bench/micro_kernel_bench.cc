@@ -136,7 +136,14 @@ uint64_t NowNs() {
 struct RunRecord {
   std::string family;
   std::string kernel;
+  /// The requested thread count (the sweep point). Oversubscribed points
+  /// (threads > hardware_concurrency) still run — the pool spawns the
+  /// workers regardless — but their speedups measure scheduling, not
+  /// parallelism; the checker flags them against the recorded
+  /// hardware_concurrency.
   int threads = 0;
+  /// What actually executed: pool workers + the participating caller.
+  int effective_threads = 0;
   size_t partition_fanout = 0;
   uint64_t best_ns = 0;
   uint64_t tuples_per_sec = 0;
@@ -207,6 +214,7 @@ int Main(int argc, char** argv) {
       KernelParallelism par;
       par.threads = threads;
       par.pool = &pool;
+      const int effective_threads = pool.worker_count() + 1;
       const size_t fanout =
           threads > 1 ? size_t{1} << RadixBits(threads) : 1;
 
@@ -252,6 +260,7 @@ int Main(int argc, char** argv) {
         run.family = family.name;
         run.kernel = kernel;
         run.threads = threads;
+        run.effective_threads = effective_threads;
         run.partition_fanout = fanout;
         run.best_ns = ns;
         run.tuples_per_sec =
@@ -263,9 +272,10 @@ int Main(int argc, char** argv) {
         run.speedup_x1000 =
             ns == 0 ? 0 : base_ns * 1000 / ns;
         std::fprintf(stderr,
-                     "  %-7s %-5s threads=%d fanout=%zu best=%.2fms "
-                     "(%.2fM tuples/s, %.2fx)\n",
-                     family.name.c_str(), kernel, threads, fanout,
+                     "  %-7s %-5s threads=%d (effective %d) fanout=%zu "
+                     "best=%.2fms (%.2fM tuples/s, %.2fx)\n",
+                     family.name.c_str(), kernel, threads, effective_threads,
+                     fanout,
                      static_cast<double>(ns) / 1e6,
                      static_cast<double>(run.tuples_per_sec) / 1e6,
                      static_cast<double>(run.speedup_x1000) / 1e3);
@@ -305,6 +315,8 @@ int Main(int argc, char** argv) {
     const RunRecord& run = runs[i];
     json += "    {\"family\": \"" + run.family + "\", \"kernel\": \"" +
             run.kernel + "\", \"threads\": " + std::to_string(run.threads) +
+            ", \"effective_threads\": " +
+            std::to_string(run.effective_threads) +
             ", \"partition_fanout\": " +
             std::to_string(run.partition_fanout) +
             ", \"best_ns\": " + std::to_string(run.best_ns) +

@@ -1,0 +1,297 @@
+// Acyclic-tier benchmark: Yannakakis full-reducer pipeline vs. the tier
+// ladder's best binary strategy, head to head on growing chain / star /
+// random-acyclic families, writing BENCH_acyclic.json (schema
+// taujoin-acyclic-bench/v1) with the latency split of both paths plus
+// intermediate-tuple counts — the quantitative "optimizer-free at scale"
+// claim of the ROADMAP.
+//
+// Per (family, n) point, over the same random database:
+//  * binary path: cold exact tier ladder (OptimizeAdaptive with the
+//    acyclic tier disabled — greedy/IKKBZ floor, exhaustive n ≤ 7, DPccp
+//    above) + ExecuteStrategy of the winning plan;
+//  * acyclic path: AnalyzeAcyclicity (GYO + join tree) + YannakakisExecute
+//    (two semijoin passes + joins along the tree) on the same morsel-
+//    parallel kernels.
+// Both paths must produce identical output cardinality (checked here; the
+// differential test pins full equality). The acceptance bar — acyclic
+// beats binary end-to-end at n ≥ 8 on chains and stars — is enforced by
+// tools/check_bench_metrics.py over the emitted artifact.
+//
+// The artifact carries the usual Release gate: a non-NDEBUG build refuses
+// to write JSON unless TAUJOIN_ALLOW_NONRELEASE_JSON=1.
+//
+// Usage:
+//   taujoin_acyclic [--rows=2048] [--seed=42] [--skew=0.3]
+//                   [--out=BENCH_acyclic.json]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/cost.h"
+#include "core/trace.h"
+#include "optimize/adaptive.h"
+#include "relational/morsel.h"
+#include "scheme/hypergraph.h"
+#include "semijoin/yannakakis.h"
+#include "workload/generator.h"
+
+namespace taujoin {
+namespace {
+
+#ifdef NDEBUG
+constexpr bool kReleaseBuild = true;
+constexpr const char* kBuildType = "release";
+#else
+constexpr bool kReleaseBuild = false;
+constexpr const char* kBuildType = "debug";
+#endif
+
+struct BenchConfig {
+  int rows = 2048;
+  uint64_t seed = 42;
+  double skew = 0.3;
+  std::string out_path = "BENCH_acyclic.json";
+};
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct RunRecord {
+  std::string family;
+  int n = 0;
+  int rows = 0;
+  int domain = 0;
+  // Binary path: cold exact ladder + strategy execution.
+  std::string binary_tier;
+  uint64_t binary_plan_ns = 0;
+  uint64_t binary_exec_ns = 0;
+  uint64_t binary_total_ns = 0;
+  uint64_t binary_intermediate_rows = 0;
+  // Acyclic path: detection + reduction + tree joins.
+  uint64_t acyclic_detect_ns = 0;
+  uint64_t acyclic_reduce_ns = 0;
+  uint64_t acyclic_join_ns = 0;
+  uint64_t acyclic_total_ns = 0;
+  uint64_t acyclic_intermediate_rows = 0;
+  uint64_t rows_dropped = 0;
+  uint64_t output_rows = 0;
+  /// binary_total / acyclic_total, fixed-point ×1000.
+  uint64_t speedup_x1000 = 0;
+};
+
+RunRecord RunOne(QueryShape family, int n, const BenchConfig& config) {
+  RunRecord rec;
+  rec.family = QueryShapeToString(family);
+  rec.n = n;
+  rec.rows = config.rows;
+  rec.domain = config.rows;  // ~63% of rows match per edge; the rest dangle
+
+  GeneratorOptions gen;
+  gen.shape = family;
+  gen.relation_count = n;
+  gen.rows_per_relation = config.rows;
+  gen.join_domain = rec.domain;
+  gen.join_skew = config.skew;
+  Rng rng(config.seed + static_cast<uint64_t>(n));
+  const Database db = RandomDatabase(gen, rng);
+  const RelMask mask = db.scheme().full_mask();
+
+  // Binary path: the serving tier's exact ladder with the acyclic tier
+  // switched off — what every one of these queries paid before this PR.
+  {
+    const uint64_t plan_start = NowNanos();
+    CostEngine engine(&db);
+    AdaptiveOptions options;
+    options.enable_acyclic = false;
+    const AdaptiveResult result = OptimizeAdaptive(engine, mask, options);
+    rec.binary_plan_ns = NowNanos() - plan_start;
+    rec.binary_tier = OptimizerTierToString(result.tier);
+
+    const uint64_t exec_start = NowNanos();
+    const EvaluationTrace trace = ExecuteStrategy(db, result.plan.strategy);
+    rec.binary_exec_ns = NowNanos() - exec_start;
+    rec.binary_total_ns = rec.binary_plan_ns + rec.binary_exec_ns;
+    for (size_t s = 0; s + 1 < trace.steps.size(); ++s) {
+      rec.binary_intermediate_rows += trace.steps[s].output_size;
+    }
+    rec.output_rows = trace.result.size();
+  }
+
+  // Acyclic path: detection (once per fingerprint in the serving layer,
+  // paid here to keep the comparison end-to-end honest), then the
+  // Yannakakis pipeline on the same kernels.
+  {
+    const uint64_t detect_start = NowNanos();
+    const AcyclicAnalysis analysis = AnalyzeAcyclicity(db.scheme(), mask);
+    rec.acyclic_detect_ns = NowNanos() - detect_start;
+    if (!analysis.acyclic) {
+      std::fprintf(stderr, "taujoin_acyclic: %s/n%d unexpectedly cyclic\n",
+                   rec.family.c_str(), n);
+      std::exit(1);
+    }
+    const YannakakisResult yr = YannakakisExecute(db, analysis);
+    rec.acyclic_reduce_ns = yr.reduce_ns;
+    rec.acyclic_join_ns = yr.join_ns;
+    rec.acyclic_total_ns =
+        rec.acyclic_detect_ns + yr.reduce_ns + yr.join_ns;
+    for (size_t s = 0; s + 1 < yr.step_sizes.size(); ++s) {
+      rec.acyclic_intermediate_rows += yr.step_sizes[s];
+    }
+    rec.rows_dropped = yr.reducer.rows_dropped;
+    if (yr.result.size() != rec.output_rows) {
+      std::fprintf(stderr,
+                   "taujoin_acyclic: %s/n%d output mismatch (%zu vs %llu)\n",
+                   rec.family.c_str(), n, yr.result.size(),
+                   static_cast<unsigned long long>(rec.output_rows));
+      std::exit(1);
+    }
+  }
+  rec.speedup_x1000 = rec.acyclic_total_ns > 0
+                          ? rec.binary_total_ns * 1000 / rec.acyclic_total_ns
+                          : 0;
+  return rec;
+}
+
+int Main(int argc, char** argv) {
+  BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    const auto value = [&](const char* prefix) {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg.rfind("--rows=", 0) == 0) {
+      config.rows = std::atoi(value("--rows=").c_str());
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      config.seed = static_cast<uint64_t>(std::atoll(value("--seed=").c_str()));
+    } else if (arg.rfind("--skew=", 0) == 0) {
+      config.skew = std::atof(value("--skew=").c_str());
+    } else if (arg.rfind("--out=", 0) == 0) {
+      config.out_path = value("--out=");
+    } else {
+      std::fprintf(stderr, "taujoin_acyclic: unknown argument %s\n",
+                   arg.c_str());
+      return 1;
+    }
+  }
+  if (config.rows <= 0) {
+    std::fprintf(stderr, "taujoin_acyclic: --rows must be positive\n");
+    return 1;
+  }
+
+  const int hw =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  std::fprintf(stderr, "taujoin_acyclic: rows=%d build=%s threads=%d hw=%d\n",
+               config.rows, kBuildType, ResolveThreads(0), hw);
+
+  const std::vector<QueryShape> families{QueryShape::kChain, QueryShape::kStar,
+                                         QueryShape::kAcyclic};
+  const std::vector<int> sizes{4, 6, 8, 10};
+  std::vector<RunRecord> runs;
+  for (const QueryShape family : families) {
+    for (const int n : sizes) {
+      RunRecord rec = RunOne(family, n, config);
+      std::fprintf(
+          stderr,
+          "%-8s n=%-2d binary %8.2fms (plan %8.2f, tier %-10s) "
+          "yannakakis %8.2fms (reduce %6.2f) speedup %5.1fx "
+          "intermediates %llu vs %llu, dropped %llu, out %llu\n",
+          rec.family.c_str(), rec.n,
+          static_cast<double>(rec.binary_total_ns) / 1e6,
+          static_cast<double>(rec.binary_plan_ns) / 1e6,
+          rec.binary_tier.c_str(),
+          static_cast<double>(rec.acyclic_total_ns) / 1e6,
+          static_cast<double>(rec.acyclic_reduce_ns) / 1e6,
+          static_cast<double>(rec.speedup_x1000) / 1e3,
+          static_cast<unsigned long long>(rec.binary_intermediate_rows),
+          static_cast<unsigned long long>(rec.acyclic_intermediate_rows),
+          static_cast<unsigned long long>(rec.rows_dropped),
+          static_cast<unsigned long long>(rec.output_rows));
+      runs.push_back(std::move(rec));
+    }
+  }
+
+  const char* allow = std::getenv("TAUJOIN_ALLOW_NONRELEASE_JSON");
+  const bool allow_nonrelease =
+      allow != nullptr && allow[0] != '\0' && std::string(allow) != "0";
+  if (!kReleaseBuild && !allow_nonrelease) {
+    std::fprintf(stderr,
+                 "\n*** TAUJOIN WARNING ***\n"
+                 "Non-Release build: refusing to write %s (set "
+                 "TAUJOIN_ALLOW_NONRELEASE_JSON=1 to override).\n",
+                 config.out_path.c_str());
+    MaybeReportProcessMetrics();
+    return 0;
+  }
+
+  std::string json = "{\n";
+  json += "  \"schema\": \"taujoin-acyclic-bench/v1\",\n";
+  json += "  \"context\": {\n";
+  json += std::string("    \"taujoin_build_type\": \"") + kBuildType + "\",\n";
+  json += "    \"rows\": " + std::to_string(config.rows) + ",\n";
+  json += "    \"seed\": " + std::to_string(config.seed) + ",\n";
+  json += "    \"skew\": " + std::to_string(config.skew) + ",\n";
+  json += "    \"threads\": " + std::to_string(ResolveThreads(0)) + ",\n";
+  json += "    \"morsel_rows\": " + std::to_string(ResolveMorselRows(0)) +
+          ",\n";
+  json += "    \"hardware_concurrency\": " + std::to_string(hw) + "\n";
+  json += "  },\n";
+  json += "  \"runs\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunRecord& r = runs[i];
+    json += "    {\"family\": \"" + r.family + "\"";
+    json += ", \"n\": " + std::to_string(r.n);
+    json += ", \"rows\": " + std::to_string(r.rows);
+    json += ", \"domain\": " + std::to_string(r.domain);
+    json += ", \"binary_tier\": \"" + r.binary_tier + "\"";
+    json += ", \"binary_plan_ns\": " + std::to_string(r.binary_plan_ns);
+    json += ", \"binary_exec_ns\": " + std::to_string(r.binary_exec_ns);
+    json += ", \"binary_total_ns\": " + std::to_string(r.binary_total_ns);
+    json += ", \"binary_intermediate_rows\": " +
+            std::to_string(r.binary_intermediate_rows);
+    json += ", \"acyclic_detect_ns\": " + std::to_string(r.acyclic_detect_ns);
+    json += ", \"acyclic_reduce_ns\": " + std::to_string(r.acyclic_reduce_ns);
+    json += ", \"acyclic_join_ns\": " + std::to_string(r.acyclic_join_ns);
+    json += ", \"acyclic_total_ns\": " + std::to_string(r.acyclic_total_ns);
+    json += ", \"acyclic_intermediate_rows\": " +
+            std::to_string(r.acyclic_intermediate_rows);
+    json += ", \"rows_dropped\": " + std::to_string(r.rows_dropped);
+    json += ", \"output_rows\": " + std::to_string(r.output_rows);
+    json += ", \"speedup_x1000\": " + std::to_string(r.speedup_x1000);
+    json += "}";
+    json += (i + 1 < runs.size()) ? ",\n" : "\n";
+  }
+  json += "  ],\n";
+  json += "  \"taujoin_metrics\": " +
+          MetricsRegistry::Global().Snapshot().ToJson() + "\n";
+  json += "}\n";
+
+  std::ofstream out(config.out_path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "taujoin_acyclic: cannot write %s\n",
+                 config.out_path.c_str());
+    return 1;
+  }
+  out << json;
+  std::fprintf(stderr, "taujoin_acyclic: wrote %s\n", config.out_path.c_str());
+  MaybeReportProcessMetrics();
+  return 0;
+}
+
+}  // namespace
+}  // namespace taujoin
+
+int main(int argc, char** argv) { return taujoin::Main(argc, argv); }

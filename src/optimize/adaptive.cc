@@ -21,6 +21,8 @@ const char* OptimizerTierToString(OptimizerTier tier) {
       return "dpccp";
     case OptimizerTier::kExhaustive:
       return "exhaustive";
+    case OptimizerTier::kAcyclic:
+      return "acyclic";
   }
   return "unknown";
 }
@@ -55,6 +57,9 @@ void CountTier(OptimizerTier tier) {
     case OptimizerTier::kExhaustive:
       TAUJOIN_METRIC_INCR("optimizer.adaptive.tier.exhaustive");
       break;
+    case OptimizerTier::kAcyclic:
+      TAUJOIN_METRIC_INCR("optimizer.adaptive.tier.acyclic");
+      break;
   }
 }
 
@@ -68,6 +73,56 @@ uint64_t MicrosSince(std::chrono::steady_clock::time_point since) {
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - since)
           .count());
+}
+
+/// The acyclic fast path, checked before any search tier in both the
+/// exact and the estimate-first ladders. Returns a complete result when
+/// the tier takes the query; nullopt hands the query to the search
+/// ladder. Deterministic and budget-independent: the decision is a pure
+/// function of (scheme, mask, Σ singleton sizes) — see DESIGN.md §13.
+std::optional<AdaptiveResult> TryAcyclicTier(CostEngine& engine, RelMask mask,
+                                             const AdaptiveOptions& options) {
+  if (!options.enable_acyclic || PopCount(mask) < 2) return std::nullopt;
+  if (options.acyclic_analysis != nullptr &&
+      !options.acyclic_analysis->acyclic) {
+    return std::nullopt;
+  }
+  // Crossover guard: Σ base sizes (model-estimated when planning
+  // estimate-first, else exact — singleton τ is a base cardinality either
+  // way, no kernels run). Tiny inputs keep the cheap binary path.
+  uint64_t total_input = 0;
+  for (const int member : MaskToIndices(mask)) {
+    total_input += options.size_model != nullptr
+                       ? options.size_model->Tau(SingletonMask(member))
+                       : engine.Tau(SingletonMask(member));
+  }
+  if (options.acyclic_min_input_rows > 0 &&
+      total_input < options.acyclic_min_input_rows) {
+    return std::nullopt;
+  }
+  AcyclicAnalysis local;
+  const AcyclicAnalysis* analysis = options.acyclic_analysis;
+  if (analysis != nullptr) {
+    TAUJOIN_CHECK_EQ(analysis->mask, mask);
+  } else {
+    local = AnalyzeAcyclicity(engine.db().scheme(), mask);
+    analysis = &local;
+  }
+  if (!analysis->acyclic) return std::nullopt;
+
+  AdaptiveResult result;
+  // The combine order of the Yannakakis pipeline, as a strategy: the join
+  // tree's pre-order, left-deep. cost documents the tier's O(input +
+  // output) promise as the total input size; it never competes with a
+  // search tier's τ because the tier short-circuits the ladder.
+  result.plan.strategy = Strategy::LeftDeep(analysis->MemberPreOrder());
+  result.plan.cost = total_input;
+  result.tier = OptimizerTier::kAcyclic;
+  result.tiers_run = 1;
+  result.estimated = options.size_model != nullptr;
+  result.acyclic = *analysis;
+  CountTier(OptimizerTier::kAcyclic);
+  return result;
 }
 
 /// The estimate-first ladder: same tier structure as the exact one, but
@@ -146,6 +201,12 @@ AdaptiveResult OptimizeAdaptive(CostEngine& engine, RelMask mask,
   };
   const DatabaseScheme& scheme = engine.db().scheme();
   const int n = PopCount(mask);
+
+  // Acyclic fast path: qualifies → no strategy search at all.
+  if (std::optional<AdaptiveResult> acyclic =
+          TryAcyclicTier(engine, mask, options)) {
+    return *std::move(acyclic);
+  }
 
   if (options.size_model != nullptr) {
     TAUJOIN_METRIC_INCR("optimizer.adaptive.estimate_first");

@@ -2,22 +2,30 @@
 #define TAUJOIN_OPTIMIZE_ADAPTIVE_H_
 
 #include <cstdint>
+#include <optional>
 
 #include "common/thread_pool.h"
 #include "core/cost.h"
 #include "optimize/dp.h"
+#include "scheme/hypergraph.h"
 
 namespace taujoin {
 
 /// The escalation ladder the adaptive optimizer climbs, cheapest first.
-/// kGreedy/kIkkbz are polynomial; kDpCcp is exact within the product-free
-/// bushy space; kExhaustive is exact over *all* strategies (Cartesian
-/// products included) and is ground truth for small n.
+/// kAcyclic is checked before any search tier: when the scheme restricted
+/// to the mask is α-acyclic (and the input is large enough to clear the
+/// crossover guard) the query needs no strategy search at all — it ships a
+/// Yannakakis full-reducer pipeline along the GYO join tree, O(input +
+/// output) by §5's C4 argument. kGreedy/kIkkbz are polynomial; kDpCcp is
+/// exact within the product-free bushy space; kExhaustive is exact over
+/// *all* strategies (Cartesian products included) and is ground truth for
+/// small n.
 enum class OptimizerTier {
   kGreedy,
   kIkkbz,
   kDpCcp,
   kExhaustive,
+  kAcyclic,
 };
 
 const char* OptimizerTierToString(OptimizerTier tier);
@@ -48,6 +56,22 @@ struct AdaptiveOptions {
   /// so callers can buy back optimality when the data is already hot.
   /// Ignored when size_model == nullptr (the ladder is exact throughout).
   uint64_t exact_budget_micros = 0;
+  /// Acyclic fast path: when the scheme restricted to the mask is
+  /// α-acyclic, short-circuit the whole search ladder and return a
+  /// Yannakakis pipeline plan (the join tree rides along in the result).
+  /// The check runs before any search tier and before the budget clock
+  /// matters — detection is a pure structural function of (scheme, mask).
+  bool enable_acyclic = true;
+  /// Crossover guard for the acyclic tier: total input rows (Σ singleton
+  /// sizes, via the size model when set, else exact) must reach this bound
+  /// or the tier stands down — on tiny inputs the two semijoin passes cost
+  /// more than just running the best binary plan, so small queries keep
+  /// the cheap path. 0 disables the guard.
+  uint64_t acyclic_min_input_rows = 256;
+  /// Caller-precomputed acyclicity verdict for exactly this (scheme, mask)
+  /// — the serving layer computes it once at fingerprint time and passes
+  /// it here so the ladder never re-runs GYO. nullptr = analyze inline.
+  const AcyclicAnalysis* acyclic_analysis = nullptr;
   ParallelOptions parallel;
 };
 
@@ -60,12 +84,22 @@ struct AdaptiveResult {
   /// True when plan.cost is a model estimate (estimate-first run that
   /// never escalated to exact costing); false when plan.cost is exact τ.
   bool estimated = false;
+  /// Set exactly when tier == kAcyclic: the verdict + validated join tree
+  /// the executor (YannakakisExecute) runs along. plan.strategy is the
+  /// tree's pre-order as a left-deep strategy — the combine order — and
+  /// plan.cost is the total input size (the O(input + output) tier has no
+  /// τ-comparable search cost; it never competes with another tier).
+  std::optional<AcyclicAnalysis> acyclic;
 };
 
 /// Per-query optimizer policy for the workload-serving layer: picks the
 /// strongest optimizer the query size and the time budget allow, under
 /// exact τ from the shared engine.
 ///
+///  * acyclic tier (first, both exact and estimate-first runs): when
+///    enabled, the mask's members form an α-acyclic scheme, and the input
+///    clears acyclic_min_input_rows, the ladder short-circuits with a
+///    Yannakakis plan — no search tier runs at all;
 ///  * base tier: GOO-style greedy bushy — always runs, so a plan always
 ///    exists; when the query graph restricted to `mask` is a connected
 ///    tree, IKKBZ (optimal left-deep under the ASI model) also runs and
@@ -89,7 +123,10 @@ struct AdaptiveResult {
 /// individually deterministic and the comparison is by (cost, tier).
 /// With a finite budget the escalation decision is time-dependent by
 /// design; the WorkloadDriver's cache contract is unaffected (any plan it
-/// caches was produced by some deterministic tier).
+/// caches was produced by some deterministic tier). The acyclic tier is
+/// deterministic even under a budget: its decision depends only on
+/// (scheme, mask, Σ singleton sizes), never on elapsed time (DESIGN.md
+/// §13).
 AdaptiveResult OptimizeAdaptive(CostEngine& engine, RelMask mask,
                                 const AdaptiveOptions& options = {});
 

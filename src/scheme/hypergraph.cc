@@ -178,4 +178,43 @@ std::optional<JoinTree> BuildJoinTree(const DatabaseScheme& scheme) {
   return tree;
 }
 
+std::vector<int> AcyclicAnalysis::MemberPreOrder() const {
+  std::vector<int> order = tree.PreOrder();
+  for (int& node : order) node = members[static_cast<size_t>(node)];
+  return order;
+}
+
+AcyclicAnalysis AnalyzeAcyclicity(const DatabaseScheme& scheme, RelMask mask) {
+  TAUJOIN_CHECK_NE(mask, 0u);
+  AcyclicAnalysis analysis;
+  analysis.mask = mask;
+  analysis.members = MaskToIndices(mask);
+  std::vector<Schema> restricted;
+  restricted.reserve(analysis.members.size());
+  for (int member : analysis.members) restricted.push_back(scheme.scheme(member));
+  std::optional<JoinTree> tree =
+      BuildJoinTree(DatabaseScheme(std::move(restricted)));
+  if (tree.has_value()) {
+    analysis.acyclic = true;
+    analysis.tree = *std::move(tree);
+  }
+  return analysis;
+}
+
+JoinTree RelabelJoinTree(const JoinTree& tree,
+                         const std::vector<int>& node_map) {
+  TAUJOIN_CHECK_EQ(tree.parent.size(), node_map.size());
+  JoinTree out;
+  out.parent.assign(tree.parent.size(), -1);
+  for (size_t i = 0; i < tree.parent.size(); ++i) {
+    const int mapped = node_map[i];
+    TAUJOIN_CHECK_GE(mapped, 0);
+    TAUJOIN_CHECK_LT(static_cast<size_t>(mapped), tree.parent.size());
+    out.parent[static_cast<size_t>(mapped)] =
+        tree.parent[i] < 0 ? -1 : node_map[static_cast<size_t>(tree.parent[i])];
+  }
+  if (tree.root >= 0) out.root = node_map[static_cast<size_t>(tree.root)];
+  return out;
+}
+
 }  // namespace taujoin

@@ -40,6 +40,36 @@ bool GyoReducesToEmpty(const DatabaseScheme& scheme);
 /// zero-weight edges and validates it the same way).
 std::optional<JoinTree> BuildJoinTree(const DatabaseScheme& scheme);
 
+/// The acyclicity verdict for one sub-query, with everything the acyclic
+/// execution tier needs: the member relations of the analyzed mask
+/// (ascending original indices) and — when α-acyclic — a validated join
+/// tree over *member indices* 0..k−1 (tree node m stands for relation
+/// `members[m]`). Computed once per fingerprint by the serving layer and
+/// cached alongside the plan.
+struct AcyclicAnalysis {
+  bool acyclic = false;
+  RelMask mask = 0;
+  std::vector<int> members;
+  JoinTree tree;  ///< meaningful only when `acyclic`
+
+  /// `tree`'s pre-order mapped back to original relation indices — the
+  /// left-deep combine order Yannakakis evaluation uses.
+  std::vector<int> MemberPreOrder() const;
+};
+
+/// Analyzes α-acyclicity of `scheme` restricted to the members of `mask`
+/// (the scheme induced by dropping every non-member relation, attributes
+/// untouched). Deterministic: a pure function of (scheme, mask), safe to
+/// compute once at fingerprint time and reuse for every repeat. `mask`
+/// must be non-empty.
+AcyclicAnalysis AnalyzeAcyclicity(const DatabaseScheme& scheme, RelMask mask);
+
+/// Relabels a join tree's node ids through `node_map` (old id → new id, a
+/// bijection of 0..k−1 onto itself). Used by the plan cache to store join
+/// trees in canonical fingerprint space and transport them back out, the
+/// exact analogue of Strategy::RelabelLeaves.
+JoinTree RelabelJoinTree(const JoinTree& tree, const std::vector<int>& node_map);
+
 }  // namespace taujoin
 
 #endif  // TAUJOIN_SCHEME_HYPERGRAPH_H_

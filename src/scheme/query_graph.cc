@@ -1,5 +1,8 @@
 #include "scheme/query_graph.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/logging.h"
 #include "common/strings.h"
 
@@ -15,6 +18,8 @@ const char* QueryShapeToString(QueryShape shape) {
       return "cycle";
     case QueryShape::kClique:
       return "clique";
+    case QueryShape::kAcyclic:
+      return "acyclic";
   }
   return "unknown";
 }
@@ -55,11 +60,50 @@ DatabaseScheme MakeShapedScheme(QueryShape shape, int n) {
         for (int j = i + 1; j < n; ++j) add_edge(i, j);
       }
       break;
+    case QueryShape::kAcyclic:
+      // Deterministic per n: shape sweeps that iterate MakeShapedScheme get
+      // one fixed representative of the random family.
+      return MakeRandomAcyclicScheme(n, uint64_t{0x9e3779b97f4a7c15} ^
+                                            static_cast<uint64_t>(n));
   }
   std::vector<Schema> schemes;
   schemes.reserve(static_cast<size_t>(n));
   for (auto& a : attrs) schemes.push_back(Schema(std::move(a)));
   return DatabaseScheme(std::move(schemes));
+}
+
+DatabaseScheme MakeRandomAcyclicScheme(int n, Rng& rng) {
+  TAUJOIN_CHECK_GE(n, 1);
+  std::vector<std::vector<std::string>> attrs(static_cast<size_t>(n));
+  // Edge 0 seeds the ear sequence with two attributes so the first ears
+  // have proper subsets to attach by.
+  attrs[0] = {"A0_0", "A0_1"};
+  for (int i = 1; i < n; ++i) {
+    const int parent = static_cast<int>(rng.UniformInt(0, i - 1));
+    std::vector<std::string> pool = attrs[static_cast<size_t>(parent)];
+    // Random non-empty attachment subset, at most 3 attributes so arities
+    // stay small enough for dense random data.
+    const int64_t max_share = std::min<int64_t>(static_cast<int64_t>(pool.size()), 3);
+    const int64_t share = rng.UniformInt(1, max_share);
+    // Partial Fisher-Yates: the first `share` slots become the subset.
+    for (int64_t k = 0; k < share; ++k) {
+      const int64_t pick =
+          rng.UniformInt(k, static_cast<int64_t>(pool.size()) - 1);
+      std::swap(pool[static_cast<size_t>(k)], pool[static_cast<size_t>(pick)]);
+    }
+    pool.resize(static_cast<size_t>(share));
+    pool.push_back("A" + std::to_string(i) + "_0");
+    attrs[static_cast<size_t>(i)] = std::move(pool);
+  }
+  std::vector<Schema> schemes;
+  schemes.reserve(static_cast<size_t>(n));
+  for (auto& a : attrs) schemes.push_back(Schema(std::move(a)));
+  return DatabaseScheme(std::move(schemes));
+}
+
+DatabaseScheme MakeRandomAcyclicScheme(int n, uint64_t seed) {
+  Rng rng(seed);
+  return MakeRandomAcyclicScheme(n, rng);
 }
 
 QueryGraph QueryGraph::Of(const DatabaseScheme& scheme) {

@@ -4,17 +4,22 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "scheme/database_scheme.h"
 
 namespace taujoin {
 
 /// Standard query-graph shapes used by the workload generators and the
 /// search-space experiments (the shapes query-optimizer papers sweep).
+/// kAcyclic is the odd one out: not a fixed graph but a *family* — random
+/// α-acyclic hypergraphs built by reverse GYO ear additions — so acyclic
+/// workloads exercise more than the chain/star special cases.
 enum class QueryShape {
   kChain,
   kStar,
   kCycle,
   kClique,
+  kAcyclic,
 };
 
 const char* QueryShapeToString(QueryShape shape);
@@ -24,7 +29,22 @@ const char* QueryShapeToString(QueryShape shape);
 /// graph edge corresponds to exactly one shared attribute, so the shapes
 /// are "pure". Attribute names are J<i>_<j> for the edge {i, j} and P<i>
 /// for relation i's private attribute. Requires n >= 1 (n >= 3 for cycles).
+/// kAcyclic delegates to MakeRandomAcyclicScheme with a seed derived from
+/// n (deterministic per n).
 DatabaseScheme MakeShapedScheme(QueryShape shape, int n);
+
+/// A random α-acyclic hypergraph with `n` hyperedges, grown by reverse GYO
+/// ear additions: every new edge attaches to a random existing edge by
+/// sharing a random non-empty subset of its attributes, plus one fresh
+/// attribute of its own. By construction the attachment forest is a valid
+/// join tree (an attribute's edges are closed toward the root, hence a
+/// subtree), so the scheme is α-acyclic and connected for every draw, and
+/// the GYO ear-removal order is the reverse of construction. Deterministic
+/// in the rng state; arities stay in [2, 4]. Requires n >= 1.
+DatabaseScheme MakeRandomAcyclicScheme(int n, Rng& rng);
+
+/// Convenience overload seeding its own rng.
+DatabaseScheme MakeRandomAcyclicScheme(int n, uint64_t seed);
 
 /// The intersection graph of a database scheme, as explicit edges
 /// (i < j, with the shared attributes). Used for reporting and for shape

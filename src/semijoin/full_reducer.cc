@@ -1,11 +1,55 @@
 #include "semijoin/full_reducer.h"
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "relational/operators.h"
 
 namespace taujoin {
 
-Database FullReduceWithTree(const Database& db, const JoinTree& tree) {
+ReducerStats ReduceStatesAlongTree(std::vector<Relation>& states,
+                                   const JoinTree& tree,
+                                   const KernelParallelism& par) {
+  TAUJOIN_CHECK_EQ(states.size(), tree.parent.size());
+  ReducerStats stats;
+  const std::vector<int> pre_order = tree.PreOrder();
+  const auto reduce = [&](int target, int filter) {
+    Relation& state = states[static_cast<size_t>(target)];
+    const uint64_t before = state.size();
+    state = Semijoin(state, states[static_cast<size_t>(filter)], par);
+    ++stats.semijoins;
+    stats.rows_dropped += before - state.size();
+  };
+  {
+    // Leaf-to-root pass: in reverse pre-order, reduce each parent by its
+    // child.
+    TAUJOIN_METRIC_SPAN(up, "serve.acyclic.pass_up");
+    for (auto it = pre_order.rbegin(); it != pre_order.rend(); ++it) {
+      const int parent = tree.parent[static_cast<size_t>(*it)];
+      if (parent >= 0) reduce(parent, *it);
+    }
+    ++stats.passes;
+  }
+  {
+    // Root-to-leaf pass: reduce each child by its parent.
+    TAUJOIN_METRIC_SPAN(down, "serve.acyclic.pass_down");
+    for (int node : pre_order) {
+      const int parent = tree.parent[static_cast<size_t>(node)];
+      if (parent >= 0) reduce(node, parent);
+    }
+    ++stats.passes;
+  }
+  TAUJOIN_METRIC_COUNT("serve.acyclic.reducer_passes",
+                     static_cast<int64_t>(stats.passes));
+  TAUJOIN_METRIC_COUNT("serve.acyclic.semijoins",
+                     static_cast<int64_t>(stats.semijoins));
+  TAUJOIN_METRIC_COUNT("serve.acyclic.rows_dropped",
+                     static_cast<int64_t>(stats.rows_dropped));
+  return stats;
+}
+
+Database FullReduceWithTree(const Database& db, const JoinTree& tree,
+                            const KernelParallelism& par,
+                            ReducerStats* stats) {
   TAUJOIN_CHECK(tree.IsValidFor(db.scheme()));
   std::vector<Relation> states;
   std::vector<std::string> names;
@@ -13,27 +57,16 @@ Database FullReduceWithTree(const Database& db, const JoinTree& tree) {
     states.push_back(db.state(i));
     names.push_back(db.name(i));
   }
-  const std::vector<int> pre_order = tree.PreOrder();
-  // Leaf-to-root pass: in reverse pre-order, reduce each parent by its
-  // child.
-  for (auto it = pre_order.rbegin(); it != pre_order.rend(); ++it) {
-    int node = *it;
-    int parent = tree.parent[static_cast<size_t>(node)];
-    if (parent < 0) continue;
-    states[static_cast<size_t>(parent)] =
-        Semijoin(states[static_cast<size_t>(parent)],
-                 states[static_cast<size_t>(node)]);
-  }
-  // Root-to-leaf pass: reduce each child by its parent.
-  for (int node : pre_order) {
-    int parent = tree.parent[static_cast<size_t>(node)];
-    if (parent < 0) continue;
-    states[static_cast<size_t>(node)] =
-        Semijoin(states[static_cast<size_t>(node)],
-                 states[static_cast<size_t>(parent)]);
-  }
+  ReducerStats run = ReduceStatesAlongTree(states, tree, par);
+  if (stats != nullptr) *stats = run;
   return Database::CreateOrDie(db.scheme(), std::move(states),
                                std::move(names));
+}
+
+Database FullReduceWithTree(const Database& db, const JoinTree& tree) {
+  // Environment-following parallelism, like every two-argument operator;
+  // the overloads produce bit-identical reductions at any thread count.
+  return FullReduceWithTree(db, tree, KernelParallelism{});
 }
 
 StatusOr<Database> FullReduce(const Database& db) {

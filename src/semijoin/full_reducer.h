@@ -1,11 +1,29 @@
 #ifndef TAUJOIN_SEMIJOIN_FULL_REDUCER_H_
 #define TAUJOIN_SEMIJOIN_FULL_REDUCER_H_
 
+#include <cstdint>
+
 #include "common/status.h"
 #include "core/database.h"
+#include "relational/morsel.h"
 #include "scheme/hypergraph.h"
 
 namespace taujoin {
+
+/// Aggregate counters of one full-reduction run, mirrored process-wide
+/// under the `serve.acyclic.*` metric names by the callers that serve
+/// queries through the acyclic tier.
+struct ReducerStats {
+  /// Semijoin passes executed: 2 for the Bernstein–Chiu reducer
+  /// (leaf-to-root + root-to-leaf).
+  uint64_t passes = 0;
+  /// Individual semijoin operator applications across both passes
+  /// (2·(k−1) for a k-node join tree).
+  uint64_t semijoins = 0;
+  /// Input rows eliminated by reduction (dangling tuples that cannot
+  /// contribute to the full join).
+  uint64_t rows_dropped = 0;
+};
 
 /// Bernstein–Chiu full reducer for α-acyclic databases: one leaf-to-root
 /// semijoin pass followed by one root-to-leaf pass along a join tree.
@@ -15,6 +33,26 @@ StatusOr<Database> FullReduce(const Database& db);
 
 /// Same, with a caller-provided join tree (must be valid for the scheme).
 Database FullReduceWithTree(const Database& db, const JoinTree& tree);
+
+/// Same, on the morsel-driven parallel semijoin kernels: every semijoin
+/// runs under `par` (bit-identical to the serial kernels at any thread
+/// count and morsel size, so this overload's output is bit-identical to
+/// the serial one's). When `stats` is non-null it receives the run's
+/// reducer counters; the same numbers are emitted as `serve.acyclic.*`
+/// metrics either way.
+Database FullReduceWithTree(const Database& db, const JoinTree& tree,
+                            const KernelParallelism& par,
+                            ReducerStats* stats = nullptr);
+
+/// The reduction core both overloads and the Yannakakis executor share:
+/// reduces `states` in place along `tree` (states[m] belongs to tree node
+/// m; tree.parent.size() must equal states.size()), every semijoin on the
+/// parallel kernels under `par`. Returns the run's counters and emits them
+/// as `serve.acyclic.*` metrics, with the two passes under the
+/// `serve.acyclic.pass_up` / `serve.acyclic.pass_down` spans.
+ReducerStats ReduceStatesAlongTree(std::vector<Relation>& states,
+                                   const JoinTree& tree,
+                                   const KernelParallelism& par);
 
 }  // namespace taujoin
 

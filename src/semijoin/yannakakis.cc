@@ -1,36 +1,73 @@
 #include "semijoin/yannakakis.h"
 
-#include <algorithm>
+#include <chrono>
+#include <utility>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "relational/join.h"
-#include "scheme/hypergraph.h"
-#include "semijoin/full_reducer.h"
 
 namespace taujoin {
 
-StatusOr<YannakakisResult> YannakakisEvaluate(const Database& db) {
-  std::optional<JoinTree> tree = BuildJoinTree(db.scheme());
-  if (!tree.has_value()) {
+namespace {
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+YannakakisResult YannakakisExecute(const Database& db,
+                                   const AcyclicAnalysis& analysis,
+                                   const KernelParallelism& par) {
+  TAUJOIN_CHECK(analysis.acyclic);
+  TAUJOIN_CHECK_EQ(analysis.members.size(), analysis.tree.parent.size());
+  YannakakisResult out;
+
+  // Phase 1: full reduction over the members' states (member index space).
+  const uint64_t reduce_start = NowNanos();
+  std::vector<Relation> states;
+  states.reserve(analysis.members.size());
+  for (int member : analysis.members) states.push_back(db.state(member));
+  {
+    TAUJOIN_METRIC_SPAN(reduce, "serve.acyclic.reduce");
+    out.reducer = ReduceStatesAlongTree(states, analysis.tree, par);
+  }
+  out.reduce_ns = NowNanos() - reduce_start;
+
+  // Phase 2: combine bottom-up — process nodes in pre-order, joining each
+  // node into the accumulated result after its parent. Every join is a
+  // join-tree edge, so on the reduced states no intermediate can exceed
+  // the final output (the §5 monotone-increasing property).
+  const uint64_t join_start = NowNanos();
+  const std::vector<int> order = analysis.tree.PreOrder();
+  out.strategy = Strategy::LeftDeep(analysis.MemberPreOrder());
+  {
+    TAUJOIN_METRIC_SPAN(join, "serve.acyclic.join");
+    Relation acc = states[static_cast<size_t>(order[0])];
+    for (size_t i = 1; i < order.size(); ++i) {
+      acc = NaturalJoin(acc, states[static_cast<size_t>(order[i])],
+                        JoinAlgorithm::kHash, par);
+      out.step_sizes.push_back(acc.Tau());
+    }
+    out.result = std::move(acc);
+  }
+  out.join_ns = NowNanos() - join_start;
+  return out;
+}
+
+StatusOr<YannakakisResult> YannakakisEvaluate(const Database& db,
+                                              const KernelParallelism& par) {
+  const AcyclicAnalysis analysis =
+      AnalyzeAcyclicity(db.scheme(), db.scheme().full_mask());
+  if (!analysis.acyclic) {
     return FailedPreconditionError(
         "Yannakakis evaluation requires an alpha-acyclic scheme");
   }
-  Database reduced = FullReduceWithTree(db, *tree);
-
-  // Combine bottom-up: process nodes in reverse pre-order, joining each
-  // node's accumulated result into its parent's. Equivalently, evaluate in
-  // pre-order reversed as a left-deep strategy: join nodes in an order
-  // where every node (except the first) is joined after its parent.
-  std::vector<int> order = tree->PreOrder();
-  YannakakisResult out;
-  out.strategy = Strategy::LeftDeep(order);
-  Relation acc = reduced.state(order[0]);
-  for (size_t i = 1; i < order.size(); ++i) {
-    acc = NaturalJoin(acc, reduced.state(order[i]));
-    out.step_sizes.push_back(acc.Tau());
-  }
-  out.result = std::move(acc);
-  return out;
+  return YannakakisExecute(db, analysis, par);
 }
 
 }  // namespace taujoin

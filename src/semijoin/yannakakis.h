@@ -1,9 +1,14 @@
 #ifndef TAUJOIN_SEMIJOIN_YANNAKAKIS_H_
 #define TAUJOIN_SEMIJOIN_YANNAKAKIS_H_
 
+#include <cstdint>
+#include <vector>
+
 #include "common/status.h"
 #include "core/database.h"
 #include "core/strategy.h"
+#include "scheme/hypergraph.h"
+#include "semijoin/full_reducer.h"
 
 namespace taujoin {
 
@@ -16,16 +21,39 @@ struct YannakakisResult {
   /// in evaluation order (the final entry is τ(R_D)).
   std::vector<uint64_t> step_sizes;
   /// The linear strategy the combine phase corresponds to (a join-tree
-  /// traversal order).
+  /// traversal order), leaves in the database's relation index space.
   Strategy strategy;
+  /// Counters of the full-reduction phase (semijoins run, dangling rows
+  /// dropped).
+  ReducerStats reducer;
+  /// Wall-time split: the semijoin reduction passes vs. the combine joins
+  /// along the tree (steady_clock nanoseconds).
+  uint64_t reduce_ns = 0;
+  uint64_t join_ns = 0;
 };
+
+/// The executor behind the serving layer's acyclic tier: full semijoin
+/// reduction followed by joins along a known join tree, every kernel
+/// morsel-parallel under `par`. `analysis` must be an acyclic verdict for
+/// `db`'s scheme (tree node m stands for relation analysis.members[m]);
+/// the caller obtains it from AnalyzeAcyclicity — typically once per
+/// fingerprint, cached in the PlanCache — so execution never re-runs GYO.
+///
+/// Determinism contract: the result is bit-identical at every thread
+/// count and morsel size (the kernels' guarantee composed over a fixed
+/// semijoin/join order), and equals ⋈ of the member relations as a set.
+YannakakisResult YannakakisExecute(const Database& db,
+                                   const AcyclicAnalysis& analysis,
+                                   const KernelParallelism& par = {});
 
 /// Yannakakis' algorithm for α-acyclic databases: full semijoin reduction,
 /// then joins along the join tree. On pairwise-consistent inputs every
 /// intermediate is a projection-superset of the inputs, making the
 /// corresponding strategy monotone increasing (§5). Fails when the scheme
-/// is not α-acyclic.
-StatusOr<YannakakisResult> YannakakisEvaluate(const Database& db);
+/// is not α-acyclic. Builds the join tree itself, then delegates to
+/// YannakakisExecute over the full scheme.
+StatusOr<YannakakisResult> YannakakisEvaluate(const Database& db,
+                                              const KernelParallelism& par = {});
 
 }  // namespace taujoin
 

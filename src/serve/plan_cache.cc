@@ -42,8 +42,38 @@ size_t PlanCache::EntryBytes(const Entry& entry) {
   return entry.key.size() +
          static_cast<size_t>(entry.canonical_plan.size()) *
              sizeof(Strategy::Node) +
-         kEntryOverhead;
+         entry.canonical_tree.parent.size() * sizeof(int) + kEntryOverhead;
 }
+
+namespace {
+
+/// member index (ascending relation order, the AcyclicAnalysis node
+/// convention) → canonical position, from the fingerprint's relabeling.
+std::vector<int> MemberToCanonical(const QueryFingerprint& fp) {
+  std::vector<int> map;
+  for (const int position : fp.canonical_position) {
+    if (position >= 0) map.push_back(position);
+  }
+  return map;  // ascending relation order by construction
+}
+
+/// canonical position → member index of the *inquiring* fingerprint: the
+/// inverse of MemberToCanonical computed through PositionToRelation.
+std::vector<int> CanonicalToMember(const QueryFingerprint& fp) {
+  const std::vector<int> pos_to_rel = fp.PositionToRelation();
+  std::vector<int> sorted_rels = pos_to_rel;
+  std::sort(sorted_rels.begin(), sorted_rels.end());
+  std::vector<int> map(pos_to_rel.size(), -1);
+  for (size_t c = 0; c < pos_to_rel.size(); ++c) {
+    map[c] = static_cast<int>(
+        std::lower_bound(sorted_rels.begin(), sorted_rels.end(),
+                         pos_to_rel[c]) -
+        sorted_rels.begin());
+  }
+  return map;
+}
+
+}  // namespace
 
 PlanCacheStats PlanCache::stats() const {
   PlanCacheStats total;
@@ -77,6 +107,11 @@ std::optional<CachedPlan> PlanCache::Lookup(const QueryFingerprint& fp) {
     out.cost = it->second->cost;
     out.strategy =
         it->second->canonical_plan.RelabelLeaves(fp.PositionToRelation());
+    out.acyclic = it->second->acyclic;
+    if (out.acyclic) {
+      out.join_tree =
+          RelabelJoinTree(it->second->canonical_tree, CanonicalToMember(fp));
+    }
     return out;
   }
   ++shard.misses;
@@ -97,13 +132,17 @@ void PlanCache::RemoveFromIndex(Shard& shard, uint64_t hash,
 }
 
 void PlanCache::Insert(const QueryFingerprint& fp, const Strategy& plan,
-                       uint64_t cost) {
+                       uint64_t cost, const JoinTree* join_tree) {
   const uint64_t hash = EffectiveHash(fp);
   Entry entry;
   entry.hash = hash;
   entry.key = fp.key;
   entry.canonical_plan = plan.RelabelLeaves(fp.canonical_position);
   entry.cost = cost;
+  if (join_tree != nullptr) {
+    entry.acyclic = true;
+    entry.canonical_tree = RelabelJoinTree(*join_tree, MemberToCanonical(fp));
+  }
   entry.bytes = EntryBytes(entry);
 
   Shard& shard = ShardOf(hash);

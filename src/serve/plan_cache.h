@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/strategy.h"
+#include "scheme/hypergraph.h"
 #include "serve/fingerprint.h"
 
 namespace taujoin {
@@ -20,6 +21,14 @@ namespace taujoin {
 struct CachedPlan {
   Strategy strategy;
   uint64_t cost = 0;
+  /// The fingerprint-time acyclicity verdict. When true, `join_tree` is
+  /// the validated GYO join tree for the fingerprinted mask, with node m
+  /// standing for the m-th mask member in ascending caller relation order
+  /// (the AcyclicAnalysis convention) — everything the driver needs to
+  /// route the hit through the Yannakakis executor instead of the binary
+  /// pipeline.
+  bool acyclic = false;
+  JoinTree join_tree;
 };
 
 struct PlanCacheOptions {
@@ -74,8 +83,14 @@ class PlanCache {
   /// Caches `plan` (with model cost `cost`) under `fp`, evicting LRU
   /// entries if the byte budget overflows. An entry larger than a whole
   /// shard's budget is accepted and evicts everything else in its shard —
-  /// the cache never refuses the newest plan.
-  void Insert(const QueryFingerprint& fp, const Strategy& plan, uint64_t cost);
+  /// the cache never refuses the newest plan. A non-null `join_tree`
+  /// records the fingerprint's acyclic verdict alongside the plan: the
+  /// tree (in the AcyclicAnalysis member-index convention) is stored in
+  /// canonical fingerprint space — relabeled exactly like the strategy's
+  /// leaves — and transported back out on every hit, so isomorphic queries
+  /// share the Yannakakis route too.
+  void Insert(const QueryFingerprint& fp, const Strategy& plan, uint64_t cost,
+              const JoinTree* join_tree = nullptr);
 
   PlanCacheStats stats() const;
   size_t bytes() const;
@@ -87,6 +102,8 @@ class PlanCache {
     std::string key;          ///< full canonical key (collision arbiter)
     Strategy canonical_plan;  ///< leaves = canonical positions
     uint64_t cost = 0;
+    bool acyclic = false;     ///< fingerprint-time acyclicity verdict
+    JoinTree canonical_tree;  ///< nodes = canonical positions (acyclic only)
     size_t bytes = 0;
   };
   struct Shard {

@@ -98,9 +98,16 @@ struct WorkloadDriverOptions {
 struct QueryOutcome {
   bool cache_hit = false;
   OptimizerTier tier = OptimizerTier::kGreedy;  ///< winning tier (miss only)
+  /// True when the query rode the acyclic tier (hit or miss): the plan is
+  /// a Yannakakis pipeline and execution ran the full reducer + join
+  /// along the cached join tree instead of the binary strategy.
+  bool acyclic = false;
   uint64_t cost = 0;
   uint64_t optimize_ns = 0;  ///< fingerprint + lookup + optimize + insert
   uint64_t execute_ns = 0;
+  /// Semijoin-reduction share of execute_ns (acyclic route only) — the
+  /// new latency split the serving report surfaces as `reduce`.
+  uint64_t reduce_ns = 0;
   uint64_t total_ns = 0;
   /// Plan-time: the optimize phase. Under an estimating model this phase
   /// touches no data at all; under kExact the optimizer's kernel work
@@ -124,6 +131,12 @@ struct WorkloadReport {
   LatencySummary total;
   LatencySummary plan;  ///< plan-time across all queries (QueryOutcome)
   LatencySummary data;  ///< data-time across all queries (ingest + execute)
+  /// Semijoin-reduction time across acyclic-routed executed queries (empty
+  /// unless options.execute and some class qualified for the tier).
+  LatencySummary reduce;
+  /// Queries routed through the acyclic tier (cache hits included; the
+  /// tier_counts histogram only sees misses).
+  uint64_t acyclic_queries = 0;
   /// Name of the cold-path size model the run planned under.
   std::string size_model;
   double wall_seconds = 0;
@@ -163,6 +176,10 @@ class WorkloadDriver {
     DatabaseStats stats;
     std::unique_ptr<SizeModel> model;
     QueryFingerprint fingerprint;
+    /// α-acyclicity verdict + GYO join tree, computed once at fingerprint
+    /// time (class build) and handed to every optimize call — the ladder
+    /// never re-runs GYO for this class.
+    AcyclicAnalysis acyclic;
   };
 
   /// Resolves (building on first touch) the class. `*charged_build_ns`

@@ -55,8 +55,13 @@ Database RandomDatabaseOverScheme(const DatabaseScheme& scheme,
 }
 
 Database RandomDatabase(const GeneratorOptions& options, Rng& rng) {
+  // kAcyclic draws its hypergraph from the same rng stream the data uses,
+  // so one seed pins both the scheme shape and its contents; different
+  // seeds explore different random acyclic hypergraphs.
   DatabaseScheme scheme =
-      MakeShapedScheme(options.shape, options.relation_count);
+      options.shape == QueryShape::kAcyclic
+          ? MakeRandomAcyclicScheme(options.relation_count, rng)
+          : MakeShapedScheme(options.shape, options.relation_count);
   return RandomDatabaseOverScheme(scheme, options, rng);
 }
 

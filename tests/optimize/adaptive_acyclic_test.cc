@@ -1,0 +1,158 @@
+// The acyclic tier of the adaptive ladder: selection, the crossover
+// guard, the enable switch, precomputed-analysis plumbing, and the
+// determinism contract (DESIGN.md §13).
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "optimize/adaptive.h"
+#include "scheme/hypergraph.h"
+#include "scheme/query_graph.h"
+#include "workload/generator.h"
+
+namespace taujoin {
+namespace {
+
+Database MakeDb(QueryShape shape, int n, int rows, uint64_t seed = 5) {
+  GeneratorOptions options;
+  options.shape = shape;
+  options.relation_count = n;
+  options.rows_per_relation = rows;
+  options.join_domain = rows > 16 ? rows / 2 : 8;
+  Rng rng(seed);
+  return RandomDatabase(options, rng);
+}
+
+TEST(AdaptiveAcyclicTest, AcyclicSchemeAboveGuardTakesTheTier) {
+  const Database db = MakeDb(QueryShape::kChain, 6, 128);
+  CostEngine engine(&db);
+  const AdaptiveResult result = OptimizeAdaptive(engine, db.scheme().full_mask());
+  EXPECT_EQ(result.tier, OptimizerTier::kAcyclic);
+  ASSERT_TRUE(result.acyclic.has_value());
+  EXPECT_TRUE(result.acyclic->acyclic);
+  EXPECT_EQ(result.acyclic->members.size(), 6u);
+  EXPECT_EQ(result.acyclic->tree.parent.size(), 6u);
+  // The plan covers every relation exactly once, in tree pre-order.
+  EXPECT_EQ(result.plan.strategy.mask(), db.scheme().full_mask());
+  EXPECT_FALSE(result.estimated);
+}
+
+TEST(AdaptiveAcyclicTest, GuardKeepsTinyInputsOnTheBinaryLadder) {
+  const Database db = MakeDb(QueryShape::kChain, 5, 8);
+  CostEngine engine(&db);
+  // 5 relations x 8 rows = 40 input rows, below the default guard of 256.
+  const AdaptiveResult guarded =
+      OptimizeAdaptive(engine, db.scheme().full_mask());
+  EXPECT_NE(guarded.tier, OptimizerTier::kAcyclic);
+  EXPECT_FALSE(guarded.acyclic.has_value());
+
+  // Guard disabled: the same query takes the tier.
+  AdaptiveOptions no_guard;
+  no_guard.acyclic_min_input_rows = 0;
+  const AdaptiveResult unguarded =
+      OptimizeAdaptive(engine, db.scheme().full_mask(), no_guard);
+  EXPECT_EQ(unguarded.tier, OptimizerTier::kAcyclic);
+
+  // Guard raised above the input: stands down again.
+  AdaptiveOptions high_guard;
+  high_guard.acyclic_min_input_rows = 1u << 20;
+  const Database big = MakeDb(QueryShape::kChain, 6, 128);
+  CostEngine big_engine(&big);
+  const AdaptiveResult held =
+      OptimizeAdaptive(big_engine, big.scheme().full_mask(), high_guard);
+  EXPECT_NE(held.tier, OptimizerTier::kAcyclic);
+}
+
+TEST(AdaptiveAcyclicTest, DisableFlagRestoresTheBinaryLadder) {
+  const Database db = MakeDb(QueryShape::kStar, 6, 128);
+  CostEngine engine(&db);
+  AdaptiveOptions options;
+  options.enable_acyclic = false;
+  const AdaptiveResult result =
+      OptimizeAdaptive(engine, db.scheme().full_mask(), options);
+  EXPECT_NE(result.tier, OptimizerTier::kAcyclic);
+  EXPECT_FALSE(result.acyclic.has_value());
+}
+
+TEST(AdaptiveAcyclicTest, CyclicSchemeNeverTakesTheTier) {
+  for (const QueryShape shape : {QueryShape::kCycle, QueryShape::kClique}) {
+    const Database db = MakeDb(shape, 5, 128);
+    CostEngine engine(&db);
+    AdaptiveOptions options;
+    options.acyclic_min_input_rows = 0;  // guard out of the way
+    const AdaptiveResult result =
+        OptimizeAdaptive(engine, db.scheme().full_mask(), options);
+    EXPECT_NE(result.tier, OptimizerTier::kAcyclic)
+        << QueryShapeToString(shape);
+  }
+}
+
+TEST(AdaptiveAcyclicTest, PrecomputedAnalysisIsHonored) {
+  const Database db = MakeDb(QueryShape::kChain, 6, 128);
+  CostEngine engine(&db);
+  const RelMask mask = db.scheme().full_mask();
+  const AcyclicAnalysis analysis = AnalyzeAcyclicity(db.scheme(), mask);
+  ASSERT_TRUE(analysis.acyclic);
+
+  AdaptiveOptions options;
+  options.acyclic_analysis = &analysis;
+  const AdaptiveResult precomputed = OptimizeAdaptive(engine, mask, options);
+  const AdaptiveResult inline_analyzed = OptimizeAdaptive(engine, mask);
+  EXPECT_EQ(precomputed.tier, OptimizerTier::kAcyclic);
+  ASSERT_TRUE(precomputed.acyclic.has_value());
+  ASSERT_TRUE(inline_analyzed.acyclic.has_value());
+  EXPECT_EQ(precomputed.acyclic->tree.parent,
+            inline_analyzed.acyclic->tree.parent);
+  EXPECT_TRUE(precomputed.plan.strategy.IdenticalTo(inline_analyzed.plan.strategy));
+}
+
+TEST(AdaptiveAcyclicTest, SubqueryMasksAreAnalyzedRestricted) {
+  // A cycle minus one relation is a chain: the tier must fire on the
+  // acyclic sub-mask even though the full scheme is cyclic.
+  const Database db = MakeDb(QueryShape::kCycle, 5, 128);
+  CostEngine engine(&db);
+  const RelMask sub = db.scheme().full_mask() & ~RelMask{1};
+  AdaptiveOptions options;
+  options.acyclic_min_input_rows = 0;
+  const AdaptiveResult result = OptimizeAdaptive(engine, sub, options);
+  EXPECT_EQ(result.tier, OptimizerTier::kAcyclic);
+  ASSERT_TRUE(result.acyclic.has_value());
+  EXPECT_EQ(result.acyclic->mask, sub);
+  EXPECT_EQ(result.plan.strategy.mask(), sub);
+}
+
+TEST(AdaptiveAcyclicTest, DeterministicAcrossBudgetsAndRepeats) {
+  // §13: the acyclic decision is a pure function of (scheme, mask, input
+  // size) — the budget clock must not affect it.
+  const Database db = MakeDb(QueryShape::kAcyclic, 7, 128);
+  CostEngine engine(&db);
+  const RelMask mask = db.scheme().full_mask();
+  AdaptiveOptions tight;
+  tight.budget_micros = 1;
+  const AdaptiveResult a = OptimizeAdaptive(engine, mask);
+  const AdaptiveResult b = OptimizeAdaptive(engine, mask, tight);
+  const AdaptiveResult c = OptimizeAdaptive(engine, mask);
+  EXPECT_EQ(a.tier, OptimizerTier::kAcyclic);
+  EXPECT_EQ(b.tier, OptimizerTier::kAcyclic);
+  EXPECT_TRUE(a.plan.strategy.IdenticalTo(b.plan.strategy));
+  EXPECT_TRUE(a.plan.strategy.IdenticalTo(c.plan.strategy));
+  EXPECT_EQ(a.plan.cost, b.plan.cost);
+  ASSERT_TRUE(a.acyclic.has_value());
+  ASSERT_TRUE(b.acyclic.has_value());
+  EXPECT_EQ(a.acyclic->tree.parent, b.acyclic->tree.parent);
+}
+
+TEST(AdaptiveAcyclicTest, EstimateFirstRunsFlagTheResultEstimated) {
+  const Database db = MakeDb(QueryShape::kChain, 6, 128);
+  IndependenceSizeModel model(&db);
+  CostEngine engine(&db);
+  AdaptiveOptions options;
+  options.size_model = &model;
+  const AdaptiveResult result =
+      OptimizeAdaptive(engine, db.scheme().full_mask(), options);
+  EXPECT_EQ(result.tier, OptimizerTier::kAcyclic);
+  EXPECT_TRUE(result.estimated);
+}
+
+}  // namespace
+}  // namespace taujoin

@@ -120,10 +120,60 @@ TEST(QueryGraphTest, StarDegrees) {
 
 TEST(QueryGraphTest, ShapedSchemesAreConnected) {
   for (QueryShape shape : {QueryShape::kChain, QueryShape::kStar,
-                           QueryShape::kCycle, QueryShape::kClique}) {
+                           QueryShape::kCycle, QueryShape::kClique,
+                           QueryShape::kAcyclic}) {
     DatabaseScheme d = MakeShapedScheme(shape, 5);
     EXPECT_TRUE(d.Connected(d.full_mask())) << QueryShapeToString(shape);
   }
+}
+
+TEST(RandomAcyclicSchemeTest, AlwaysAlphaAcyclicConnectedAndTreeable) {
+  // Reverse GYO ear additions must produce α-acyclic hypergraphs by
+  // construction, for every size and seed: GYO reduces them to empty and
+  // Maier's maximum-weight spanning tree yields a valid join tree.
+  for (int n = 2; n <= 12; ++n) {
+    for (uint64_t seed = 1; seed <= 10; ++seed) {
+      const DatabaseScheme d = MakeRandomAcyclicScheme(n, seed);
+      SCOPED_TRACE(testing::Message() << "n=" << n << " seed=" << seed);
+      ASSERT_EQ(d.size(), n);
+      EXPECT_TRUE(d.Connected(d.full_mask()));
+      EXPECT_TRUE(GyoReducesToEmpty(d));
+      EXPECT_TRUE(IsAlphaAcyclic(d));
+      const std::optional<JoinTree> tree = BuildJoinTree(d);
+      ASSERT_TRUE(tree.has_value());
+      EXPECT_TRUE(tree->IsValidFor(d));
+    }
+  }
+}
+
+TEST(RandomAcyclicSchemeTest, DeterministicPerSeed) {
+  const DatabaseScheme a = MakeRandomAcyclicScheme(8, 99);
+  const DatabaseScheme b = MakeRandomAcyclicScheme(8, 99);
+  ASSERT_EQ(a.size(), b.size());
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.scheme(i), b.scheme(i)) << "relation " << i;
+  }
+}
+
+TEST(AnalyzeAcyclicityTest, VerdictAndTreeMatchTheMask) {
+  const DatabaseScheme chain = MakeShapedScheme(QueryShape::kChain, 6);
+  const AcyclicAnalysis yes = AnalyzeAcyclicity(chain, chain.full_mask());
+  ASSERT_TRUE(yes.acyclic);
+  EXPECT_EQ(yes.mask, chain.full_mask());
+  EXPECT_EQ(yes.members.size(), 6u);
+  EXPECT_EQ(yes.tree.parent.size(), 6u);
+  EXPECT_EQ(yes.MemberPreOrder().size(), 6u);
+
+  const DatabaseScheme cycle = MakeShapedScheme(QueryShape::kCycle, 5);
+  EXPECT_FALSE(AnalyzeAcyclicity(cycle, cycle.full_mask()).acyclic);
+  // Dropping one relation of the cycle leaves a chain: the restricted
+  // analysis must see the sub-scheme, not the full one.
+  const RelMask sub = cycle.full_mask() & ~RelMask{1};
+  const AcyclicAnalysis restricted = AnalyzeAcyclicity(cycle, sub);
+  EXPECT_TRUE(restricted.acyclic);
+  EXPECT_EQ(restricted.members.size(), 4u);
+  // Members are actual relation indices of the *original* scheme.
+  for (int member : restricted.members) EXPECT_NE(member, 0);
 }
 
 }  // namespace

@@ -1,0 +1,134 @@
+// Randomized differential test for the acyclic serving tier: the
+// Yannakakis pipeline must be *bit-identical* to itself at every thread
+// count / morsel size (the DESIGN.md §13 determinism contract — the
+// parallel kernels preserve row order exactly), and *set-identical* to
+// the binary ExecuteStrategy route on every acyclic scheme (the two
+// paths may emit rows in different orders because hash-join build-side
+// selection depends on intermediate sizes, but they must agree as sets).
+//
+// Runs under the TSan and ASan/UBSan CI matrices, so a data race or
+// out-of-bounds morsel in the reducer fails loudly here.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/trace.h"
+#include "optimize/adaptive.h"
+#include "relational/morsel.h"
+#include "semijoin/yannakakis.h"
+#include "workload/generator.h"
+
+namespace taujoin {
+namespace {
+
+Database MakeDb(QueryShape shape, int n, uint64_t seed, double skew) {
+  GeneratorOptions options;
+  options.shape = shape;
+  options.relation_count = n;
+  options.rows_per_relation = 64;
+  // domain ≈ rows keeps the expected per-edge growth factor near 1, so
+  // outputs stay input-sized even at n = 10 (a star with growth g emits
+  // ~rows·g^(n−1) tuples — the test materializes the output six times,
+  // so g must not exceed ~1) while ~1/e of each domain still dangles
+  // and gives the reducer real rows to drop.
+  options.join_domain = 64;
+  options.join_skew = skew;
+  Rng rng(seed);
+  return RandomDatabase(options, rng);
+}
+
+/// Bit-identity: same schema, same row order, same codes. Relation's
+/// operator== is deliberately set-based, so byte comparison goes through
+/// the code arena directly.
+void ExpectBitIdentical(const Relation& expected, const Relation& actual) {
+  ASSERT_EQ(expected.schema(), actual.schema());
+  ASSERT_EQ(expected.size(), actual.size());
+  EXPECT_EQ(expected.codes(), actual.codes());
+}
+
+struct ParallelConfig {
+  int threads;
+  size_t morsel_rows;
+};
+
+std::vector<ParallelConfig> Configs() {
+  const int hw = std::max(
+      2, static_cast<int>(std::thread::hardware_concurrency()));
+  // Morsel sizes straddle the inputs: 16 splits every 64-row state into
+  // several morsels, 8192 (the default) keeps most states in one.
+  return {{1, 0}, {2, 16}, {2, 0}, {hw, 16}, {hw, 4096}};
+}
+
+void RunDifferential(QueryShape shape, int n, uint64_t seed,
+                     double skew = 0.0) {
+  SCOPED_TRACE(testing::Message() << QueryShapeToString(shape) << " n=" << n
+                                  << " seed=" << seed);
+  const Database db = MakeDb(shape, n, seed, skew);
+
+  // Serial ground truth (threads=1 runs the serial kernels exactly).
+  const StatusOr<YannakakisResult> serial_or =
+      YannakakisEvaluate(db, KernelParallelism{/*threads=*/1});
+  ASSERT_TRUE(serial_or.ok()) << serial_or.status().message();
+  const YannakakisResult& serial = *serial_or;
+
+  for (const ParallelConfig& config : Configs()) {
+    SCOPED_TRACE(testing::Message() << "threads=" << config.threads
+                                    << " morsel_rows=" << config.morsel_rows);
+    ThreadPool pool(config.threads - 1);
+    KernelParallelism par;
+    par.threads = config.threads;
+    par.morsel_rows = config.morsel_rows;
+    par.pool = &pool;
+    // 64-row states sit far below kKernelParallelMinRows; without the
+    // override every config would silently take the serial path and the
+    // test would prove nothing.
+    par.force_parallel = true;
+
+    const StatusOr<YannakakisResult> parallel_or = YannakakisEvaluate(db, par);
+    ASSERT_TRUE(parallel_or.ok()) << parallel_or.status().message();
+    ExpectBitIdentical(serial.result, parallel_or->result);
+    EXPECT_EQ(serial.reducer.rows_dropped, parallel_or->reducer.rows_dropped);
+    EXPECT_EQ(serial.step_sizes, parallel_or->step_sizes);
+  }
+
+  // Cross-path agreement: the binary tier ladder's plan, physically
+  // executed, must produce the same *set* of rows (order may differ).
+  CostEngine engine(&db);
+  AdaptiveOptions options;
+  options.enable_acyclic = false;
+  const AdaptiveResult binary =
+      OptimizeAdaptive(engine, db.scheme().full_mask(), options);
+  const EvaluationTrace trace = ExecuteStrategy(db, binary.plan.strategy);
+  EXPECT_TRUE(serial.result == trace.result)
+      << "Yannakakis result diverges from ExecuteStrategy of "
+      << binary.plan.strategy.ToStringWithScheme(db.scheme());
+}
+
+TEST(YannakakisDifferentialTest, Chains) {
+  // Chains tolerate skew (per-step growth stays quadratic in one heavy
+  // value, not exponential in n), so they carry the skewed coverage.
+  for (int n = 3; n <= 10; ++n) {
+    RunDifferential(QueryShape::kChain, n, 7, /*skew=*/0.4);
+  }
+}
+
+TEST(YannakakisDifferentialTest, Stars) {
+  // Uniform only: on a star every leaf multiplies the center's heavy
+  // value, so even mild skew is exponential in n.
+  for (int n = 3; n <= 10; ++n) RunDifferential(QueryShape::kStar, n, 11);
+}
+
+TEST(YannakakisDifferentialTest, RandomAcyclic) {
+  for (int n = 3; n <= 10; ++n) {
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+      RunDifferential(QueryShape::kAcyclic, n, seed, /*skew=*/0.2);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace taujoin

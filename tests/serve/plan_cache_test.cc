@@ -193,6 +193,72 @@ TEST(PlanCacheDifferentialTest, TransfersPlansAcrossIsomorphicSchemes) {
   EXPECT_EQ(TauCost(hit->strategy, permuted_engine), cold.plan.cost);
 }
 
+// Acyclic entries carry the GYO join tree through the cache: the tree
+// comes back in the inquirer's index space and still validates against
+// the inquirer's scheme.
+TEST(PlanCacheDifferentialTest, JoinTreeRoundTripsThroughTheCache) {
+  const Database db = ShapedDatabase(QueryShape::kStar, 6, 17);
+  CostEngine engine(&db);
+  const RelMask mask = db.scheme().full_mask();
+  const QueryFingerprint fp = FingerprintQuery(db.scheme(), mask, "tree");
+
+  AdaptiveOptions options;
+  options.acyclic_min_input_rows = 0;
+  const AdaptiveResult cold = OptimizeAdaptive(engine, mask, options);
+  ASSERT_EQ(cold.tier, OptimizerTier::kAcyclic);
+  ASSERT_TRUE(cold.acyclic.has_value());
+
+  PlanCache cache;
+  cache.Insert(fp, cold.plan.strategy, cold.plan.cost,
+               &cold.acyclic->tree);
+  const std::optional<CachedPlan> hit = cache.Lookup(fp);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->acyclic);
+  EXPECT_EQ(hit->join_tree.parent, cold.acyclic->tree.parent);
+  EXPECT_TRUE(hit->join_tree.IsValidFor(db.scheme()));
+
+  // Entries inserted without a tree stay non-acyclic on the way out.
+  const QueryFingerprint fp_plain =
+      FingerprintQuery(db.scheme(), mask, "plain");
+  cache.Insert(fp_plain, cold.plan.strategy, cold.plan.cost);
+  const std::optional<CachedPlan> plain = cache.Lookup(fp_plain);
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_FALSE(plain->acyclic);
+  EXPECT_TRUE(plain->join_tree.parent.empty());
+}
+
+// The join tree transports across isomorphic schemes like the strategy
+// does: cached under one relation order, served under the reverse order,
+// it must still be a valid join tree for the inquirer's scheme.
+TEST(PlanCacheDifferentialTest, JoinTreeTransfersAcrossIsomorphicSchemes) {
+  const Database db = ShapedDatabase(QueryShape::kChain, 7, 23);
+  CostEngine engine(&db);
+  const RelMask mask = db.scheme().full_mask();
+
+  std::vector<Schema> rev_schemes(db.scheme().schemes());
+  std::reverse(rev_schemes.begin(), rev_schemes.end());
+  const DatabaseScheme permuted(std::move(rev_schemes));
+
+  const QueryFingerprint fp_a = FingerprintQuery(db.scheme(), mask, "iso");
+  const QueryFingerprint fp_b =
+      FingerprintQuery(permuted, permuted.full_mask(), "iso");
+  ASSERT_EQ(fp_a.key, fp_b.key);
+
+  AdaptiveOptions options;
+  options.acyclic_min_input_rows = 0;
+  const AdaptiveResult cold = OptimizeAdaptive(engine, mask, options);
+  ASSERT_EQ(cold.tier, OptimizerTier::kAcyclic);
+
+  PlanCache cache;
+  cache.Insert(fp_a, cold.plan.strategy, cold.plan.cost,
+               &cold.acyclic->tree);
+  const std::optional<CachedPlan> hit = cache.Lookup(fp_b);
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_TRUE(hit->acyclic);
+  ASSERT_EQ(hit->join_tree.parent.size(), 7u);
+  EXPECT_TRUE(hit->join_tree.IsValidFor(permuted));
+}
+
 TEST(PlanCacheTest, EvictsLruUnderByteBudgetButKeepsNewest) {
   PlanCacheOptions options;
   options.max_bytes = 2048;  // a handful of entries

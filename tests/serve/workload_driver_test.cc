@@ -337,5 +337,73 @@ TEST(WorkloadDriverTest, ReportSerializesToJson) {
   EXPECT_NE(text.find("cache: 18 hits"), std::string::npos) << text;
 }
 
+TEST(WorkloadDriverTest, AcyclicClassesRideTheAcyclicTier) {
+  // Rows large enough to clear the default acyclic_min_input_rows guard
+  // (6 relations x 64 rows = 384 > 256).
+  QueryClassSpec chain;
+  chain.shape = QueryShape::kChain;
+  chain.relation_count = 6;
+  chain.rows_per_relation = 64;
+  chain.join_domain = 16;
+  chain.seed = 41;
+  QueryClassSpec cycle = chain;  // cyclic control
+  cycle.shape = QueryShape::kCycle;
+  cycle.seed = 42;
+
+  PlanCache cache;
+  WorkloadDriverOptions options;
+  options.cache = &cache;
+  options.execute = true;
+  WorkloadDriver driver(options);
+  const WorkloadReport report =
+      driver.Run({chain, cycle, chain, cycle, chain});
+
+  ASSERT_EQ(driver.outcomes().size(), 5u);
+  // Chain queries (0, 2, 4) ride the tier — the miss and both cache hits.
+  for (const size_t i : {size_t{0}, size_t{2}, size_t{4}}) {
+    EXPECT_TRUE(driver.outcomes()[i].acyclic) << "query " << i;
+  }
+  EXPECT_EQ(driver.outcomes()[0].tier, OptimizerTier::kAcyclic);
+  for (const size_t i : {size_t{1}, size_t{3}}) {
+    EXPECT_FALSE(driver.outcomes()[i].acyclic) << "query " << i;
+    EXPECT_EQ(driver.outcomes()[i].reduce_ns, 0u);
+  }
+  EXPECT_EQ(report.acyclic_queries, 3u);
+  EXPECT_EQ(report.tier_counts.at("acyclic"), 1u);  // the one cold miss
+  // The reduce split covers exactly the executed acyclic queries.
+  EXPECT_EQ(report.reduce.count, 3u);
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"acyclic_queries\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"reduce\""), std::string::npos) << json;
+}
+
+TEST(WorkloadDriverTest, AcyclicRouteMatchesBinaryExecutionCardinality) {
+  // The same class driven with the tier on and off must agree on what it
+  // computes; outcomes can't expose row sets, so compare via the acyclic
+  // flag and the workload stream format's `acyclic` shape round-trip.
+  const StatusOr<QueryClassSpec> parsed =
+      QueryClassSpec::Parse("acyclic,6,64,16,0.0,43");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed->shape, QueryShape::kAcyclic);
+
+  WorkloadDriverOptions on;
+  on.execute = true;
+  WorkloadDriver with_tier(on);
+  with_tier.Run({*parsed});
+  ASSERT_EQ(with_tier.outcomes().size(), 1u);
+  EXPECT_TRUE(with_tier.outcomes()[0].acyclic);
+
+  WorkloadDriverOptions off = on;
+  off.adaptive.enable_acyclic = false;
+  WorkloadDriver without_tier(off);
+  without_tier.Run({*parsed});
+  ASSERT_EQ(without_tier.outcomes().size(), 1u);
+  EXPECT_FALSE(without_tier.outcomes()[0].acyclic);
+  // Identical class data → identical exact plan costs regardless of route
+  // (the acyclic plan's cost is total input size, so compare only that the
+  // binary route produced a real plan).
+  EXPECT_GT(without_tier.outcomes()[0].cost, 0u);
+}
+
 }  // namespace
 }  // namespace taujoin

@@ -32,9 +32,9 @@ TIMER_FIELDS = ["count", "total_ns", "min_ns", "max_ns", "p50_ns", "p99_ns"]
 # BENCH_serve.json (schema taujoin-serve-bench/v1) report fields.
 SERVE_SUMMARY_FIELDS = ["count", "p50_ns", "p95_ns", "max_ns", "mean_ns"]
 SERVE_SUMMARIES = ["optimize", "optimize_cold", "optimize_warm", "execute",
-                   "total", "plan", "data"]
+                   "total", "plan", "data", "reduce"]
 SERVE_REPORT_INTS = ["queries", "classes", "cache_hits", "cache_misses",
-                     "cache_evictions"]
+                     "cache_evictions", "acyclic_queries"]
 SERVE_SIZE_MODELS = ("exact", "independence", "sketch", "simpli2")
 
 # BENCH_estimate.json (schema taujoin-estimate-bench/v1) layout.
@@ -45,12 +45,29 @@ ESTIMATE_REGRET_FIELDS = ["regret_p50_x1000", "regret_p90_x1000",
 # BENCH_kernels.json (schema taujoin-kernel-bench/v1) layout.
 KERNEL_FAMILIES = ("uniform", "skewed", "clique")
 KERNEL_KERNELS = ("join", "count")
-KERNEL_RUN_INTS = ["threads", "partition_fanout", "best_ns",
-                   "tuples_per_sec", "output_rows", "speedup_x1000"]
+KERNEL_RUN_INTS = ["threads", "effective_threads", "partition_fanout",
+                   "best_ns", "tuples_per_sec", "output_rows",
+                   "speedup_x1000"]
 # The morsel-driven kernels' acceptance bar: ≥3x on the clique join at 8
 # threads vs 1 — only enforceable where 8 hardware threads exist.
 KERNEL_SPEEDUP_THREADS = 8
 KERNEL_SPEEDUP_MIN_X1000 = 3000
+
+# BENCH_acyclic.json (schema taujoin-acyclic-bench/v1) layout.
+ACYCLIC_FAMILIES = ("chain", "star", "acyclic")
+ACYCLIC_RUN_INTS = ["n", "rows", "domain", "binary_plan_ns",
+                    "binary_exec_ns", "binary_total_ns",
+                    "binary_intermediate_rows", "acyclic_detect_ns",
+                    "acyclic_reduce_ns", "acyclic_join_ns",
+                    "acyclic_total_ns", "acyclic_intermediate_rows",
+                    "rows_dropped", "output_rows", "speedup_x1000"]
+# The serving-tier acceptance bar: on chains and stars at n >= 8 the
+# Yannakakis pipeline (detect + reduce + join) must beat the exact tier
+# ladder's best binary plan end to end (plan + execute). Unlike the kernel
+# speedup bar, this holds on any machine — the win comes from skipping
+# plan search and from semijoin reduction, not from core count.
+ACYCLIC_BAR_FAMILIES = ("chain", "star")
+ACYCLIC_BAR_MIN_N = 8
 
 
 def check_serve_schema(path: str, doc: dict) -> list[str]:
@@ -235,6 +252,16 @@ def check_kernel_schema(path: str, doc: dict) -> list[str]:
         if run["threads"] < 1 or run["partition_fanout"] < 1:
             errors.append(f"{where}: threads and partition_fanout must be "
                           "positive")
+        if run["effective_threads"] < 1:
+            errors.append(f"{where}: effective_threads must be positive")
+        hw = context.get("hardware_concurrency")
+        if isinstance(hw, int) and run["threads"] > hw:
+            # Oversubscription is allowed (the sweep deliberately includes
+            # it) but its speedups measure the scheduler, not the kernels —
+            # surface it rather than fail.
+            print(f"WARNING: {where}: threads={run['threads']} exceeds "
+                  f"hardware_concurrency={hw} — speedup for this run is "
+                  "not a parallelism measurement", file=sys.stderr)
         if run["threads"] == 1:
             baselines.add((family, kernel))
             if run["speedup_x1000"] != 1000:
@@ -271,6 +298,90 @@ def check_kernel_schema(path: str, doc: dict) -> list[str]:
             if counters.get(name, 0) <= 0:
                 errors.append(f"{path}: counter '{name}' recorded no traffic "
                               "— the morsel kernels are disconnected")
+    return errors
+
+
+def check_acyclic_schema(path: str, doc: dict) -> list[str]:
+    """Validates the taujoin-acyclic-bench/v1 serving-tier artifact.
+
+    Beyond layout, enforces the tier's acceptance bar: for every chain and
+    star run at n >= ACYCLIC_BAR_MIN_N, the Yannakakis path's end-to-end
+    latency must be strictly below the exact binary ladder's, and the two
+    paths must agree on output cardinality (the differential test pins
+    full set equality; here a cardinality mismatch means the artifact
+    benchmarked two different queries).
+    """
+    errors = []
+    context = doc.get("context")
+    if not isinstance(context, dict):
+        return [f"{path}: acyclic artifact missing 'context' object"]
+    if context.get("taujoin_build_type") not in ("release", "debug"):
+        errors.append(f"{path}: context.taujoin_build_type missing/invalid")
+    for field in ("rows", "seed", "threads", "morsel_rows",
+                  "hardware_concurrency"):
+        if not isinstance(context.get(field), int):
+            errors.append(f"{path}: context.{field} missing integer")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return errors + [f"{path}: acyclic artifact has no runs"]
+
+    seen = {family: [] for family in ACYCLIC_FAMILIES}
+    for i, run in enumerate(runs):
+        where = f"{path}: runs[{i}]"
+        if not isinstance(run, dict):
+            errors.append(f"{where} is not an object")
+            continue
+        family = run.get("family")
+        if family not in ACYCLIC_FAMILIES:
+            errors.append(f"{where}.family {family!r} not one of "
+                          f"{ACYCLIC_FAMILIES}")
+        if not isinstance(run.get("binary_tier"), str):
+            errors.append(f"{where}.binary_tier missing string")
+        elif run["binary_tier"] == "acyclic":
+            errors.append(f"{where}: the binary path rode the acyclic tier "
+                          "— the comparison is against itself")
+        bad_int = False
+        for field in ACYCLIC_RUN_INTS:
+            if not isinstance(run.get(field), int) or run[field] < 0:
+                errors.append(f"{where}.{field} missing non-negative integer")
+                bad_int = True
+        if bad_int:
+            continue
+        if family in seen:
+            seen[family].append(run["n"])
+        if run["binary_total_ns"] != \
+                run["binary_plan_ns"] + run["binary_exec_ns"]:
+            errors.append(f"{where}: binary_total_ns != plan + exec")
+        acyclic_sum = run["acyclic_detect_ns"] + run["acyclic_reduce_ns"] + \
+            run["acyclic_join_ns"]
+        if run["acyclic_total_ns"] != acyclic_sum:
+            errors.append(f"{where}: acyclic_total_ns != detect + reduce "
+                          "+ join")
+        if family in ACYCLIC_BAR_FAMILIES and \
+                run["n"] >= ACYCLIC_BAR_MIN_N and \
+                run["acyclic_total_ns"] >= run["binary_total_ns"]:
+            errors.append(
+                f"{where}: {family} n={run['n']}: acyclic path "
+                f"{run['acyclic_total_ns']}ns did not beat the binary "
+                f"ladder's {run['binary_total_ns']}ns — the serving-tier "
+                "acceptance bar")
+
+    for family, ns in seen.items():
+        if not ns:
+            errors.append(f"{path}: missing acyclic-bench family {family!r}")
+        elif family in ACYCLIC_BAR_FAMILIES and \
+                max(ns) < ACYCLIC_BAR_MIN_N:
+            errors.append(f"{path}: family {family!r} has no run at "
+                          f"n >= {ACYCLIC_BAR_MIN_N} — the acceptance bar "
+                          "was never exercised")
+
+    counters = doc.get("taujoin_metrics", {}).get("counters", {})
+    if isinstance(counters, dict):
+        for name in ("serve.acyclic.reducer_passes",
+                     "serve.acyclic.semijoins"):
+            if counters.get(name, 0) <= 0:
+                errors.append(f"{path}: counter '{name}' recorded no "
+                              "traffic — the full reducer is disconnected")
     return errors
 
 
@@ -334,6 +445,8 @@ def check(path: str) -> list[str]:
         errors.extend(check_estimate_schema(path, doc))
     elif doc.get("schema") == "taujoin-kernel-bench/v1":
         errors.extend(check_kernel_schema(path, doc))
+    elif doc.get("schema") == "taujoin-acyclic-bench/v1":
+        errors.extend(check_acyclic_schema(path, doc))
     return errors
 
 

@@ -20,18 +20,28 @@ import argparse
 import random
 import sys
 
+# shape -> ((min_n, max_n), alpha_acyclic). Acyclicity is structural per
+# shape: chains and stars are trivially alpha-acyclic, `acyclic` is a
+# random alpha-acyclic hypergraph grown by reverse GYO ear additions
+# (scheme/query_graph.cc MakeRandomAcyclicScheme — every edge attaches by
+# sharing a subset of one existing edge plus a fresh attribute, so GYO
+# always reduces it to empty), while cycles (n >= 4) and cliques (n >= 3)
+# are cyclic. The serving tier routes acyclic classes through the
+# Yannakakis pipeline; the header stamps each class family's verdict so a
+# workload file documents which of its classes qualify.
 SHAPES = {
-    "chain": (4, 9),
-    "star": (4, 8),
-    "cycle": (4, 7),
-    "clique": (4, 6),
+    "chain": ((4, 9), True),
+    "star": ((4, 8), True),
+    "cycle": ((4, 7), False),
+    "clique": ((4, 6), False),
+    "acyclic": ((4, 10), True),
 }
 
 
 def class_pool(args, rng):
     """One class per (shape, n) point, with per-class data seeds."""
     pool = []
-    for shape, (lo, hi) in SHAPES.items():
+    for shape, ((lo, hi), _) in SHAPES.items():
         if args.shapes and shape not in args.shapes:
             continue
         for n in range(lo, min(hi, args.max_relations) + 1):
@@ -94,6 +104,11 @@ def main():
           f"--seed {args.seed} --rows {args.rows} --domain {args.domain} "
           f"--skew {args.skew}")
     print(f"# {len(pool)} classes; format: shape,n,rows,domain,skew,seed")
+    used = sorted({shape for shape, *_ in pool})
+    stamps = ", ".join(
+        f"{shape}={'acyclic' if SHAPES[shape][1] else 'cyclic'}"
+        for shape in used)
+    print(f"# acyclicity: {stamps}")
     for _ in range(args.queries):
         shape, n, rows, domain, skew, seed = pool[sample(cdf, rng)]
         print(f"{shape},{n},{rows},{domain},{skew},{seed}")
