@@ -1,0 +1,296 @@
+// Worst-case-optimal-tier benchmark: attribute-order Generic Join vs. the
+// tier ladder's best binary strategy, head to head on growing cycle and
+// clique families, writing BENCH_wcoj.json (schema taujoin-wcoj-bench/v1)
+// with both paths' latency split and intermediate-tuple counts — the
+// quantitative AGM-gap claim of the ROADMAP.
+//
+// Per (family, n) point, over the same random database:
+//  * binary path: cold exact tier ladder (OptimizeAdaptive with the
+//    acyclic tier disabled — greedy/IKKBZ floor, exhaustive n ≤ 7, DPccp
+//    above) + ExecuteStrategy of the winning plan; intermediates = the sum
+//    of every non-final step's output, the τ the paper's strategies pay;
+//  * wcoj path: GenericJoinExecute (trie/rank build + leapfrog search);
+//    intermediates = partial_tuples, the successful bindings at non-final
+//    attribute levels — the attribute-order analogue of a step output.
+// Both paths must produce identical output cardinality (checked here; the
+// differential test pins full set equality). The acceptance bar — Generic
+// Join's intermediates strictly below τ(best binary strategy) on cycles at
+// n ≥ 6 — is enforced by tools/check_bench_metrics.py over the artifact.
+//
+// The artifact carries the usual Release gate: a non-NDEBUG build refuses
+// to write JSON unless TAUJOIN_ALLOW_NONRELEASE_JSON=1.
+//
+// Usage:
+//   taujoin_wcoj [--rows=1024] [--seed=42] [--skew=0.4]
+//                [--out=BENCH_wcoj.json]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/cost.h"
+#include "core/trace.h"
+#include "optimize/adaptive.h"
+#include "relational/morsel.h"
+#include "wcoj/generic_join.h"
+#include "workload/generator.h"
+
+namespace taujoin {
+namespace {
+
+#ifdef NDEBUG
+constexpr bool kReleaseBuild = true;
+constexpr const char* kBuildType = "release";
+#else
+constexpr bool kReleaseBuild = false;
+constexpr const char* kBuildType = "debug";
+#endif
+
+struct BenchConfig {
+  int rows = 1024;
+  uint64_t seed = 42;
+  double skew = 0.4;
+  std::string out_path = "BENCH_wcoj.json";
+};
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct RunRecord {
+  std::string family;
+  int n = 0;
+  int rows = 0;
+  int domain = 0;
+  // Binary path: cold exact ladder + strategy execution.
+  std::string binary_tier;
+  uint64_t binary_plan_ns = 0;
+  uint64_t binary_exec_ns = 0;
+  uint64_t binary_total_ns = 0;
+  uint64_t binary_intermediate_rows = 0;
+  // WCOJ path: trie/rank index build + attribute-order search.
+  uint64_t wcoj_build_ns = 0;
+  uint64_t wcoj_search_ns = 0;
+  uint64_t wcoj_total_ns = 0;
+  uint64_t wcoj_partial_tuples = 0;
+  uint64_t wcoj_seeks = 0;
+  uint64_t output_rows = 0;
+  /// binary_total / wcoj_total, fixed-point ×1000.
+  uint64_t speedup_x1000 = 0;
+  /// binary_intermediate_rows / max(wcoj_partial_tuples, 1), ×1000 — the
+  /// AGM gap the checker's growth bar reads.
+  uint64_t intermediate_ratio_x1000 = 0;
+};
+
+RunRecord RunOne(QueryShape family, int n, const BenchConfig& config) {
+  RunRecord rec;
+  rec.family = QueryShapeToString(family);
+  rec.n = n;
+  rec.rows = config.rows;
+  rec.domain = config.rows;  // growth ≈ 1 per edge; skew supplies the gap
+
+  GeneratorOptions gen;
+  gen.shape = family;
+  gen.relation_count = n;
+  gen.rows_per_relation = config.rows;
+  gen.join_domain = rec.domain;
+  gen.join_skew = config.skew;
+  Rng rng(config.seed + static_cast<uint64_t>(n));
+  const Database db = RandomDatabase(gen, rng);
+  const RelMask mask = db.scheme().full_mask();
+
+  // Binary path: the serving tier's exact ladder with the structural
+  // tiers switched off — what every one of these queries paid before.
+  {
+    const uint64_t plan_start = NowNanos();
+    CostEngine engine(&db);
+    AdaptiveOptions options;
+    options.enable_acyclic = false;
+    const AdaptiveResult result = OptimizeAdaptive(engine, mask, options);
+    rec.binary_plan_ns = NowNanos() - plan_start;
+    rec.binary_tier = OptimizerTierToString(result.tier);
+
+    const uint64_t exec_start = NowNanos();
+    const EvaluationTrace trace = ExecuteStrategy(db, result.plan.strategy);
+    rec.binary_exec_ns = NowNanos() - exec_start;
+    rec.binary_total_ns = rec.binary_plan_ns + rec.binary_exec_ns;
+    for (size_t s = 0; s + 1 < trace.steps.size(); ++s) {
+      rec.binary_intermediate_rows += trace.steps[s].output_size;
+    }
+    rec.output_rows = trace.result.size();
+  }
+
+  // WCOJ path: one GenericJoinExecute call; the result splits its own
+  // time into index build vs. search.
+  {
+    const WcojResult wr = GenericJoinExecute(db, mask);
+    rec.wcoj_build_ns = wr.build_ns;
+    rec.wcoj_search_ns = wr.search_ns;
+    rec.wcoj_total_ns = wr.build_ns + wr.search_ns;
+    rec.wcoj_partial_tuples = wr.partial_tuples;
+    rec.wcoj_seeks = wr.seeks;
+    if (wr.result.size() != rec.output_rows) {
+      std::fprintf(stderr,
+                   "taujoin_wcoj: %s/n%d output mismatch (%zu vs %llu)\n",
+                   rec.family.c_str(), n, wr.result.size(),
+                   static_cast<unsigned long long>(rec.output_rows));
+      std::exit(1);
+    }
+  }
+  rec.speedup_x1000 = rec.wcoj_total_ns > 0
+                          ? rec.binary_total_ns * 1000 / rec.wcoj_total_ns
+                          : 0;
+  rec.intermediate_ratio_x1000 =
+      rec.binary_intermediate_rows * 1000 /
+      std::max<uint64_t>(rec.wcoj_partial_tuples, 1);
+  return rec;
+}
+
+int Main(int argc, char** argv) {
+  BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    const auto value = [&](const char* prefix) {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg.rfind("--rows=", 0) == 0) {
+      config.rows = std::atoi(value("--rows=").c_str());
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      config.seed = static_cast<uint64_t>(std::atoll(value("--seed=").c_str()));
+    } else if (arg.rfind("--skew=", 0) == 0) {
+      config.skew = std::atof(value("--skew=").c_str());
+    } else if (arg.rfind("--out=", 0) == 0) {
+      config.out_path = value("--out=");
+    } else {
+      std::fprintf(stderr, "taujoin_wcoj: unknown argument %s\n", arg.c_str());
+      return 1;
+    }
+  }
+  if (config.rows <= 0) {
+    std::fprintf(stderr, "taujoin_wcoj: --rows must be positive\n");
+    return 1;
+  }
+
+  const int hw =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  std::fprintf(stderr, "taujoin_wcoj: rows=%d build=%s threads=%d hw=%d\n",
+               config.rows, kBuildType, ResolveThreads(0), hw);
+
+  struct FamilyPlan {
+    QueryShape shape;
+    std::vector<int> sizes;
+  };
+  // Cliques stay small: arity grows with n (n−1 join attributes + 1
+  // private per relation), so n = 5 already means depth-5 tries.
+  const std::vector<FamilyPlan> families{
+      {QueryShape::kCycle, {3, 4, 5, 6, 7, 8}},
+      {QueryShape::kClique, {3, 4, 5}},
+  };
+  std::vector<RunRecord> runs;
+  for (const FamilyPlan& family : families) {
+    for (const int n : family.sizes) {
+      RunRecord rec = RunOne(family.shape, n, config);
+      std::fprintf(
+          stderr,
+          "%-7s n=%-2d binary %8.2fms (plan %8.2f, tier %-10s) "
+          "wcoj %8.2fms (build %6.2f) speedup %6.1fx "
+          "intermediates %llu vs %llu (ratio %.1fx), out %llu\n",
+          rec.family.c_str(), rec.n,
+          static_cast<double>(rec.binary_total_ns) / 1e6,
+          static_cast<double>(rec.binary_plan_ns) / 1e6,
+          rec.binary_tier.c_str(),
+          static_cast<double>(rec.wcoj_total_ns) / 1e6,
+          static_cast<double>(rec.wcoj_build_ns) / 1e6,
+          static_cast<double>(rec.speedup_x1000) / 1e3,
+          static_cast<unsigned long long>(rec.binary_intermediate_rows),
+          static_cast<unsigned long long>(rec.wcoj_partial_tuples),
+          static_cast<double>(rec.intermediate_ratio_x1000) / 1e3,
+          static_cast<unsigned long long>(rec.output_rows));
+      runs.push_back(std::move(rec));
+    }
+  }
+
+  const char* allow = std::getenv("TAUJOIN_ALLOW_NONRELEASE_JSON");
+  const bool allow_nonrelease =
+      allow != nullptr && allow[0] != '\0' && std::string(allow) != "0";
+  if (!kReleaseBuild && !allow_nonrelease) {
+    std::fprintf(stderr,
+                 "\n*** TAUJOIN WARNING ***\n"
+                 "Non-Release build: refusing to write %s (set "
+                 "TAUJOIN_ALLOW_NONRELEASE_JSON=1 to override).\n",
+                 config.out_path.c_str());
+    MaybeReportProcessMetrics();
+    return 0;
+  }
+
+  std::string json = "{\n";
+  json += "  \"schema\": \"taujoin-wcoj-bench/v1\",\n";
+  json += "  \"context\": {\n";
+  json += std::string("    \"taujoin_build_type\": \"") + kBuildType + "\",\n";
+  json += "    \"rows\": " + std::to_string(config.rows) + ",\n";
+  json += "    \"seed\": " + std::to_string(config.seed) + ",\n";
+  json += "    \"skew\": " + std::to_string(config.skew) + ",\n";
+  json += "    \"threads\": " + std::to_string(ResolveThreads(0)) + ",\n";
+  json += "    \"morsel_rows\": " + std::to_string(ResolveMorselRows(0)) +
+          ",\n";
+  json += "    \"hardware_concurrency\": " + std::to_string(hw) + "\n";
+  json += "  },\n";
+  json += "  \"runs\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const RunRecord& r = runs[i];
+    json += "    {\"family\": \"" + r.family + "\"";
+    json += ", \"n\": " + std::to_string(r.n);
+    json += ", \"rows\": " + std::to_string(r.rows);
+    json += ", \"domain\": " + std::to_string(r.domain);
+    json += ", \"binary_tier\": \"" + r.binary_tier + "\"";
+    json += ", \"binary_plan_ns\": " + std::to_string(r.binary_plan_ns);
+    json += ", \"binary_exec_ns\": " + std::to_string(r.binary_exec_ns);
+    json += ", \"binary_total_ns\": " + std::to_string(r.binary_total_ns);
+    json += ", \"binary_intermediate_rows\": " +
+            std::to_string(r.binary_intermediate_rows);
+    json += ", \"wcoj_build_ns\": " + std::to_string(r.wcoj_build_ns);
+    json += ", \"wcoj_search_ns\": " + std::to_string(r.wcoj_search_ns);
+    json += ", \"wcoj_total_ns\": " + std::to_string(r.wcoj_total_ns);
+    json += ", \"wcoj_partial_tuples\": " +
+            std::to_string(r.wcoj_partial_tuples);
+    json += ", \"wcoj_seeks\": " + std::to_string(r.wcoj_seeks);
+    json += ", \"output_rows\": " + std::to_string(r.output_rows);
+    json += ", \"speedup_x1000\": " + std::to_string(r.speedup_x1000);
+    json += ", \"intermediate_ratio_x1000\": " +
+            std::to_string(r.intermediate_ratio_x1000);
+    json += "}";
+    json += (i + 1 < runs.size()) ? ",\n" : "\n";
+  }
+  json += "  ],\n";
+  json += "  \"taujoin_metrics\": " +
+          MetricsRegistry::Global().Snapshot().ToJson() + "\n";
+  json += "}\n";
+
+  std::ofstream out(config.out_path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "taujoin_wcoj: cannot write %s\n",
+                 config.out_path.c_str());
+    return 1;
+  }
+  out << json;
+  std::fprintf(stderr, "taujoin_wcoj: wrote %s\n", config.out_path.c_str());
+  MaybeReportProcessMetrics();
+  return 0;
+}
+
+}  // namespace
+}  // namespace taujoin
+
+int main(int argc, char** argv) { return taujoin::Main(argc, argv); }

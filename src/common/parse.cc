@@ -1,0 +1,23 @@
+#include "common/parse.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace taujoin {
+
+int64_t ParsePositiveInt(const char* text, int64_t max) {
+  if (text == nullptr) return 0;
+  // strtoll skips whitespace and accepts signs; an env knob should be a
+  // bare digit string, so demand one up front (this also rejects "-4"
+  // before strtoll can wrap it and "+4" before it can half-pass).
+  if (!std::isdigit(static_cast<unsigned char>(text[0]))) return 0;
+  errno = 0;
+  char* rest = nullptr;
+  const long long value = std::strtoll(text, &rest, 10);
+  if (errno == ERANGE || rest == nullptr || *rest != '\0') return 0;
+  if (value <= 0 || value > max) return 0;
+  return static_cast<int64_t>(value);
+}
+
+}  // namespace taujoin

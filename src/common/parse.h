@@ -1,0 +1,20 @@
+#ifndef TAUJOIN_COMMON_PARSE_H_
+#define TAUJOIN_COMMON_PARSE_H_
+
+#include <cstdint>
+
+namespace taujoin {
+
+/// Strict bounded parse of a positive decimal integer, shared by every
+/// environment-knob reader (TAUJOIN_THREADS, TAUJOIN_MORSEL_ROWS, ...).
+/// Accepts exactly the strings strtoll would consume *completely* with no
+/// sign and no leading whitespace, and only values in [1, max]. Returns 0
+/// for nullptr, empty input, garbage ("banana"), trailing garbage
+/// ("4096abc"), signs ("+4", "-4"), zero, overflow, and anything past
+/// `max` — the atoi/atoll parsers this replaces silently accepted trailing
+/// garbage and had undefined behavior on overflow.
+int64_t ParsePositiveInt(const char* text, int64_t max = INT64_MAX);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_COMMON_PARSE_H_

@@ -9,16 +9,22 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/parse.h"
 
 namespace taujoin {
 
 namespace {
 
-/// Strict positive-integer parse; nullptr/garbage/non-positive → 0.
+/// Upper bound for an environment-requested thread count: far above any
+/// real machine, far below anything that could wrap arithmetic or drown
+/// the pool in worker allocations.
+constexpr int64_t kMaxEnvThreads = int64_t{1} << 20;
+
+/// Strict positive-integer parse; nullptr/garbage/trailing garbage/
+/// non-positive/overflow → 0 (std::atoi accepted "4abc" as 4 and had UB
+/// on overflow).
 int ParseThreadCount(const char* text) {
-  if (text == nullptr) return 0;
-  const int parsed = std::atoi(text);
-  return parsed > 0 ? parsed : 0;
+  return static_cast<int>(ParsePositiveInt(text, kMaxEnvThreads));
 }
 
 /// Warn-once latch for the TAUJOIN_SWEEP_THREADS deprecation. An atomic

@@ -23,6 +23,8 @@ const char* OptimizerTierToString(OptimizerTier tier) {
       return "exhaustive";
     case OptimizerTier::kAcyclic:
       return "acyclic";
+    case OptimizerTier::kWcoj:
+      return "wcoj";
   }
   return "unknown";
 }
@@ -59,6 +61,9 @@ void CountTier(OptimizerTier tier) {
       break;
     case OptimizerTier::kAcyclic:
       TAUJOIN_METRIC_INCR("optimizer.adaptive.tier.acyclic");
+      break;
+    case OptimizerTier::kWcoj:
+      TAUJOIN_METRIC_INCR("optimizer.adaptive.tier.wcoj");
       break;
   }
 }
@@ -122,6 +127,50 @@ std::optional<AdaptiveResult> TryAcyclicTier(CostEngine& engine, RelMask mask,
   result.estimated = options.size_model != nullptr;
   result.acyclic = *analysis;
   CountTier(OptimizerTier::kAcyclic);
+  return result;
+}
+
+/// The worst-case-optimal tier, checked after the acyclic fast path (the
+/// guards are complementary: kAcyclic takes α-acyclic schemes, kWcoj takes
+/// cyclic ones). Qualifying queries ship a Generic Join plan — executed by
+/// GenericJoinExecute, never ExecuteStrategy — whose intermediate growth
+/// follows the AGM bound instead of any binary strategy's τ. Deterministic
+/// and budget-independent, like the acyclic tier: the decision is a pure
+/// structural function of (scheme, mask).
+std::optional<AdaptiveResult> TryWcojTier(CostEngine& engine, RelMask mask,
+                                          const AdaptiveOptions& options) {
+  if (!options.enable_wcoj || PopCount(mask) < 3) return std::nullopt;
+  // Cyclicity guard: α-acyclic schemes keep the Yannakakis route (or the
+  // binary ladder when that tier is off or stood down) — Generic Join's
+  // advantage only materializes on cyclic schemes.
+  AcyclicAnalysis local;
+  const AcyclicAnalysis* analysis = options.acyclic_analysis;
+  if (analysis != nullptr) {
+    TAUJOIN_CHECK_EQ(analysis->mask, mask);
+  } else {
+    local = AnalyzeAcyclicity(engine.db().scheme(), mask);
+    analysis = &local;
+  }
+  if (analysis->acyclic) return std::nullopt;
+
+  AdaptiveResult result;
+  // The members as a left-deep order, for printing and cache transport;
+  // the executor binds attributes, not relations, so the order carries no
+  // execution semantics. cost mirrors the acyclic tier's convention:
+  // total input size (model-estimated when planning estimate-first).
+  uint64_t total_input = 0;
+  for (const int member : MaskToIndices(mask)) {
+    total_input += options.size_model != nullptr
+                       ? options.size_model->Tau(SingletonMask(member))
+                       : engine.Tau(SingletonMask(member));
+  }
+  result.plan.strategy = Strategy::LeftDeep(MaskToIndices(mask));
+  result.plan.cost = total_input;
+  result.tier = OptimizerTier::kWcoj;
+  result.tiers_run = 1;
+  result.estimated = options.size_model != nullptr;
+  result.wcoj = true;
+  CountTier(OptimizerTier::kWcoj);
   return result;
 }
 
@@ -206,6 +255,12 @@ AdaptiveResult OptimizeAdaptive(CostEngine& engine, RelMask mask,
   if (std::optional<AdaptiveResult> acyclic =
           TryAcyclicTier(engine, mask, options)) {
     return *std::move(acyclic);
+  }
+
+  // Worst-case-optimal tier: cyclic schemes, when opted in, also skip the
+  // strategy search — the plan is an attribute order, not a join order.
+  if (std::optional<AdaptiveResult> wcoj = TryWcojTier(engine, mask, options)) {
+    return *std::move(wcoj);
   }
 
   if (options.size_model != nullptr) {

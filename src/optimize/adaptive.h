@@ -26,6 +26,7 @@ enum class OptimizerTier {
   kDpCcp,
   kExhaustive,
   kAcyclic,
+  kWcoj,
 };
 
 const char* OptimizerTierToString(OptimizerTier tier);
@@ -72,6 +73,16 @@ struct AdaptiveOptions {
   /// — the serving layer computes it once at fingerprint time and passes
   /// it here so the ladder never re-runs GYO. nullptr = analyze inline.
   const AcyclicAnalysis* acyclic_analysis = nullptr;
+  /// Worst-case-optimal tier (DESIGN.md §14): when enabled and the scheme
+  /// restricted to the mask is *cyclic* with ≥ 3 members, ship a Generic
+  /// Join plan (attribute-order leapfrog over sorted trie views) instead
+  /// of any binary strategy — its intermediate growth follows the AGM
+  /// bound, which on cycles and cliques is asymptotically below every
+  /// binary plan's τ. Off by default: the binary ladder stays the default
+  /// route, acyclic schemes keep the Yannakakis fast path, and opting in
+  /// is the serving layer's call. Checked after the acyclic tier (the two
+  /// guards are disjoint: one wants acyclic, the other cyclic).
+  bool enable_wcoj = false;
   ParallelOptions parallel;
 };
 
@@ -90,6 +101,11 @@ struct AdaptiveResult {
   /// plan.cost is the total input size (the O(input + output) tier has no
   /// τ-comparable search cost; it never competes with another tier).
   std::optional<AcyclicAnalysis> acyclic;
+  /// True exactly when tier == kWcoj: execute with GenericJoinExecute, not
+  /// ExecuteStrategy. plan.strategy is the members as a left-deep order
+  /// (documentation only — the executor binds attributes, not relations)
+  /// and plan.cost is the total input size, as for the acyclic tier.
+  bool wcoj = false;
 };
 
 /// Per-query optimizer policy for the workload-serving layer: picks the

@@ -1,19 +1,49 @@
 #include "relational/morsel.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
 #include <cstdlib>
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/parse.h"
 #include "relational/kernel_util.h"
 
 namespace taujoin {
 
+namespace {
+
+/// Upper bound for an environment-requested morsel size: a morsel is an
+/// in-memory row chunk, so anything past 2^32 rows is a typo, not a knob.
+constexpr int64_t kMaxEnvMorselRows = int64_t{1} << 32;
+
+/// Warn-once latch for rejected TAUJOIN_MORSEL_ROWS values. An atomic
+/// rather than std::once_flag so the regression test can re-arm it and
+/// assert both the routing (stderr, never stdout) and the once-only
+/// behavior — the same contract as the thread-pool deprecation warning.
+std::atomic<bool> morsel_rows_warned{false};
+
+}  // namespace
+
+void ResetMorselRowsWarningForTest() {
+  morsel_rows_warned.store(false, std::memory_order_relaxed);
+}
+
 size_t ResolveMorselRows(size_t requested) {
   if (requested > 0) return requested;
   if (const char* env = std::getenv("TAUJOIN_MORSEL_ROWS")) {
-    const long long parsed = std::atoll(env);
+    // Strict parse: std::atoll accepted trailing garbage ("4096abc" ran
+    // with 4096) and silently ignored invalid or negative settings; a
+    // mistyped knob now warns once and falls back to the default.
+    const int64_t parsed = ParsePositiveInt(env, kMaxEnvMorselRows);
     if (parsed > 0) return static_cast<size_t>(parsed);
+    if (!morsel_rows_warned.exchange(true, std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "taujoin: ignoring invalid TAUJOIN_MORSEL_ROWS=\"%s\" "
+                   "(want a positive integer); using %zu\n",
+                   env, kDefaultMorselRows);
+    }
   }
   return kDefaultMorselRows;
 }

@@ -30,8 +30,14 @@ inline constexpr size_t kDefaultMorselRows = 2048;
 inline constexpr size_t kKernelParallelMinRows = 8192;
 
 /// Resolves the rows-per-morsel knob: `requested > 0` wins, then a
-/// positive integer TAUJOIN_MORSEL_ROWS, then kDefaultMorselRows.
+/// positive integer TAUJOIN_MORSEL_ROWS, then kDefaultMorselRows. A set
+/// but invalid TAUJOIN_MORSEL_ROWS (garbage, trailing garbage, zero,
+/// negative, overflow) warns once on stderr and uses the default.
 size_t ResolveMorselRows(size_t requested);
+
+/// Re-arms the invalid-TAUJOIN_MORSEL_ROWS warning so tests can assert
+/// its routing and once-only behavior.
+void ResetMorselRowsWarningForTest();
 
 /// Per-call parallelism knobs for the relational kernels — the data-level
 /// analogue of the optimizers' ParallelOptions. Default-constructed it

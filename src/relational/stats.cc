@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <iterator>
 #include <set>
@@ -217,9 +218,17 @@ class TokenReader {
   StatusOr<uint64_t> NextU64() {
     StatusOr<std::string> token = Next();
     if (!token.ok()) return token.status();
+    // strtoull wraps a leading '-' through modular arithmetic and
+    // saturates at ULLONG_MAX on overflow with only errno to tell — so
+    // demand a pure digit string and check ERANGE, else an out-of-range
+    // sketch count deserializes as UINT64_MAX instead of failing.
+    if (!std::isdigit(static_cast<unsigned char>(token->front()))) {
+      return InvalidArgumentError("stats: bad number: " + *token);
+    }
+    errno = 0;
     char* rest = nullptr;
     const unsigned long long value = std::strtoull(token->c_str(), &rest, 10);
-    if (token->empty() || rest == nullptr || *rest != '\0') {
+    if (errno == ERANGE || rest == nullptr || *rest != '\0') {
       return InvalidArgumentError("stats: bad number: " + *token);
     }
     return static_cast<uint64_t>(value);

@@ -112,6 +112,7 @@ std::optional<CachedPlan> PlanCache::Lookup(const QueryFingerprint& fp) {
       out.join_tree =
           RelabelJoinTree(it->second->canonical_tree, CanonicalToMember(fp));
     }
+    out.wcoj = it->second->wcoj;
     return out;
   }
   ++shard.misses;
@@ -132,7 +133,7 @@ void PlanCache::RemoveFromIndex(Shard& shard, uint64_t hash,
 }
 
 void PlanCache::Insert(const QueryFingerprint& fp, const Strategy& plan,
-                       uint64_t cost, const JoinTree* join_tree) {
+                       uint64_t cost, const JoinTree* join_tree, bool wcoj) {
   const uint64_t hash = EffectiveHash(fp);
   Entry entry;
   entry.hash = hash;
@@ -143,6 +144,7 @@ void PlanCache::Insert(const QueryFingerprint& fp, const Strategy& plan,
     entry.acyclic = true;
     entry.canonical_tree = RelabelJoinTree(*join_tree, MemberToCanonical(fp));
   }
+  entry.wcoj = wcoj;
   entry.bytes = EntryBytes(entry);
 
   Shard& shard = ShardOf(hash);

@@ -29,6 +29,11 @@ struct CachedPlan {
   /// pipeline.
   bool acyclic = false;
   JoinTree join_tree;
+  /// The fingerprint-time worst-case-optimal verdict: route the hit
+  /// through GenericJoinExecute (attribute-order enumeration) instead of
+  /// the binary pipeline. Mutually exclusive with `acyclic` — the kWcoj
+  /// tier only takes cyclic schemes.
+  bool wcoj = false;
 };
 
 struct PlanCacheOptions {
@@ -88,9 +93,11 @@ class PlanCache {
   /// tree (in the AcyclicAnalysis member-index convention) is stored in
   /// canonical fingerprint space — relabeled exactly like the strategy's
   /// leaves — and transported back out on every hit, so isomorphic queries
-  /// share the Yannakakis route too.
+  /// share the Yannakakis route too. `wcoj` records the worst-case-optimal
+  /// verdict the same way (no transport needed — the executor binds
+  /// attributes, so the flag alone routes the hit).
   void Insert(const QueryFingerprint& fp, const Strategy& plan, uint64_t cost,
-              const JoinTree* join_tree = nullptr);
+              const JoinTree* join_tree = nullptr, bool wcoj = false);
 
   PlanCacheStats stats() const;
   size_t bytes() const;
@@ -104,6 +111,7 @@ class PlanCache {
     uint64_t cost = 0;
     bool acyclic = false;     ///< fingerprint-time acyclicity verdict
     JoinTree canonical_tree;  ///< nodes = canonical positions (acyclic only)
+    bool wcoj = false;        ///< fingerprint-time worst-case-optimal verdict
     size_t bytes = 0;
   };
   struct Shard {

@@ -14,6 +14,7 @@
 #include "common/strings.h"
 #include "core/trace.h"
 #include "semijoin/yannakakis.h"
+#include "wcoj/generic_join.h"
 #include "workload/generator.h"
 
 namespace taujoin {
@@ -205,6 +206,7 @@ std::string WorkloadReport::ToString() const {
   out += line("data time     ", data);
   if (reduce.count > 0) out += line("reduce time   ", reduce);
   out += "  acyclic queries: " + std::to_string(acyclic_queries) + "\n";
+  out += "  wcoj queries: " + std::to_string(wcoj_queries) + "\n";
   out += "  tiers:";
   for (const auto& [tier, count] : tier_counts) {
     out += " " + tier + "=" + std::to_string(count);
@@ -232,6 +234,7 @@ std::string WorkloadReport::ToJson() const {
   json += "      \"reduce\": " + reduce.ToJson() + ",\n";
   json += "      \"acyclic_queries\": " + std::to_string(acyclic_queries) +
           ",\n";
+  json += "      \"wcoj_queries\": " + std::to_string(wcoj_queries) + ",\n";
   json += "      \"wall_seconds\": " + FormatDouble(wall_seconds, "%.6f") +
           ",\n";
   json += "      \"queries_per_second\": " +
@@ -328,6 +331,7 @@ QueryOutcome WorkloadDriver::RunOne(const QueryClassSpec& spec) {
       plan = std::move(cached->strategy);
       outcome.acyclic = cached->acyclic;
       if (cached->acyclic) acyclic_tree = std::move(cached->join_tree);
+      outcome.wcoj = cached->wcoj;
     }
   }
   if (!outcome.cache_hit) {
@@ -340,14 +344,17 @@ QueryOutcome WorkloadDriver::RunOne(const QueryClassSpec& spec) {
     plan = std::move(result.plan.strategy);
     outcome.acyclic = result.acyclic.has_value();
     if (outcome.acyclic) acyclic_tree = result.acyclic->tree;
+    outcome.wcoj = result.wcoj;
     if (options_.cache != nullptr) {
       options_.cache->Insert(cls.fingerprint, plan, outcome.cost,
-                             outcome.acyclic ? &acyclic_tree : nullptr);
+                             outcome.acyclic ? &acyclic_tree : nullptr,
+                             outcome.wcoj);
     }
   }
   outcome.optimize_ns = NowNanos() - optimize_start;
   outcome.plan_ns = outcome.optimize_ns;
   if (outcome.acyclic) TAUJOIN_METRIC_INCR("serve.acyclic.tier_taken");
+  if (outcome.wcoj) TAUJOIN_METRIC_INCR("serve.wcoj.tier_taken");
 
   if (options_.execute) {
     const uint64_t execute_start = NowNanos();
@@ -368,6 +375,12 @@ QueryOutcome WorkloadDriver::RunOne(const QueryClassSpec& spec) {
       const YannakakisResult yr =
           YannakakisExecute(cls.db, analysis, kernel_par);
       outcome.reduce_ns = yr.reduce_ns;
+    } else if (outcome.wcoj) {
+      // Worst-case-optimal route: attribute-order Generic Join over the
+      // sorted trie views — no binary strategy replay either.
+      const WcojResult wr = GenericJoinExecute(cls.db, mask, kernel_par);
+      TAUJOIN_METRIC_COUNT("serve.wcoj.partial_tuples",
+                           static_cast<int64_t>(wr.partial_tuples));
     } else {
       const EvaluationTrace trace =
           ExecuteStrategy(cls.db, plan, JoinAlgorithm::kHash, kernel_par);
@@ -429,6 +442,7 @@ WorkloadReport WorkloadDriver::Run(const std::vector<QueryClassSpec>& stream) {
       ++report.acyclic_queries;
       if (options_.execute) reduce_ns.push_back(outcome.reduce_ns);
     }
+    if (outcome.wcoj) ++report.wcoj_queries;
     if (options_.execute) exec_ns.push_back(outcome.execute_ns);
     total_ns.push_back(outcome.total_ns);
     plan_ns.push_back(outcome.plan_ns);

@@ -102,6 +102,12 @@ struct QueryOutcome {
   /// a Yannakakis pipeline and execution ran the full reducer + join
   /// along the cached join tree instead of the binary strategy.
   bool acyclic = false;
+  /// True when the query rode the worst-case-optimal tier (hit or miss):
+  /// execution ran GenericJoinExecute's attribute-order enumeration
+  /// instead of any binary strategy. Enabled via
+  /// WorkloadDriverOptions::adaptive.enable_wcoj; mutually exclusive with
+  /// `acyclic`.
+  bool wcoj = false;
   uint64_t cost = 0;
   uint64_t optimize_ns = 0;  ///< fingerprint + lookup + optimize + insert
   uint64_t execute_ns = 0;
@@ -137,6 +143,9 @@ struct WorkloadReport {
   /// Queries routed through the acyclic tier (cache hits included; the
   /// tier_counts histogram only sees misses).
   uint64_t acyclic_queries = 0;
+  /// Queries routed through the worst-case-optimal tier (cache hits
+  /// included), zero unless adaptive.enable_wcoj.
+  uint64_t wcoj_queries = 0;
   /// Name of the cold-path size model the run planned under.
   std::string size_model;
   double wall_seconds = 0;

@@ -1,0 +1,286 @@
+#include "wcoj/generic_join.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+
+namespace taujoin {
+
+namespace {
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One stream of a level's intersection: member `member` (an index into
+/// TrieIndex::relations) binds this level as its `k`-th trie attribute.
+struct Participant {
+  int member;
+  int k;
+};
+
+/// Immutable search plan shared by every worker: the trie index, the
+/// per-level participant lists (static — which relations contain the
+/// level's attribute), and the output-schema → global-level map.
+struct SearchContext {
+  const TrieIndex* index = nullptr;
+  std::vector<std::vector<Participant>> by_level;
+  std::vector<int> out_level;  ///< output position → global level
+  size_t out_stride = 0;
+};
+
+/// One worker's mutable state: per-member sorted-row ranges, the rank
+/// bound at each level, a private order-preserving output buffer, and
+/// private counters — everything that makes the parallel fan-out
+/// deterministic by construction.
+struct SearchState {
+  std::vector<size_t> lo, hi;   ///< per member of the index
+  std::vector<uint32_t> bound;  ///< per level, the matched rank
+  std::vector<uint32_t> out;    ///< emitted rows, out_stride codes each
+  uint64_t partials = 0;
+  uint64_t seeks = 0;
+};
+
+/// Intersects the participants' current runs at `level` by leapfrog seek:
+/// every matched rank narrows each participant to its run of that rank,
+/// binds `state.bound[level]`, and fires `on_match()`; ranges are restored
+/// before the next candidate and at exit. Linear in the smallest stream's
+/// distinct ranks times log of the others — never in any join size.
+template <typename Fn>
+void ForEachMatch(const SearchContext& ctx, SearchState& state, size_t level,
+                  Fn&& on_match) {
+  const std::vector<Participant>& parts = ctx.by_level[level];
+  const size_t pcount = parts.size();
+  std::vector<size_t> save_lo(pcount), save_hi(pcount), cur(pcount);
+  for (size_t j = 0; j < pcount; ++j) {
+    save_lo[j] = state.lo[static_cast<size_t>(parts[j].member)];
+    save_hi[j] = state.hi[static_cast<size_t>(parts[j].member)];
+    cur[j] = save_lo[j];
+    if (save_lo[j] >= save_hi[j]) return;  // empty stream: no matches
+  }
+  const auto rank_at = [&](size_t j) {
+    const TrieRelation& rel =
+        ctx.index->relations[static_cast<size_t>(parts[j].member)];
+    return rel.rank(cur[j], static_cast<size_t>(parts[j].k));
+  };
+  // Candidate rank = max of the streams' first ranks; `agree` counts the
+  // consecutive distinct streams confirmed at the candidate (the turn
+  // cycles in fixed order, so `agree == pcount` means all of them).
+  uint32_t v = rank_at(0);
+  for (size_t j = 1; j < pcount; ++j) v = std::max(v, rank_at(j));
+  size_t agree = 0;
+  size_t turn = 0;
+  while (true) {
+    if (agree == pcount) {
+      for (size_t j = 0; j < pcount; ++j) {
+        const size_t m = static_cast<size_t>(parts[j].member);
+        const TrieRelation& rel = ctx.index->relations[m];
+        state.lo[m] = cur[j];
+        state.hi[m] = rel.RunEnd(cur[j], save_hi[j],
+                                 static_cast<size_t>(parts[j].k), v);
+      }
+      state.bound[level] = v;
+      on_match();
+      // Restore the ranges, step every cursor past the matched run, and
+      // re-seed the candidate from the new stream fronts.
+      bool exhausted = false;
+      for (size_t j = 0; j < pcount; ++j) {
+        const size_t m = static_cast<size_t>(parts[j].member);
+        cur[j] = state.hi[m];
+        state.lo[m] = save_lo[j];
+        state.hi[m] = save_hi[j];
+        if (cur[j] >= save_hi[j]) exhausted = true;
+      }
+      if (exhausted) return;
+      v = rank_at(0);
+      for (size_t j = 1; j < pcount; ++j) v = std::max(v, rank_at(j));
+      agree = 0;
+      continue;
+    }
+    const size_t m = static_cast<size_t>(parts[turn].member);
+    const TrieRelation& rel = ctx.index->relations[m];
+    const size_t pos = rel.LowerBound(cur[turn], save_hi[turn],
+                                      static_cast<size_t>(parts[turn].k), v);
+    ++state.seeks;
+    cur[turn] = pos;
+    if (pos == save_hi[turn]) return;  // stream exhausted: done
+    const uint32_t w = rank_at(turn);
+    if (w == v) {
+      ++agree;
+    } else {
+      v = w;  // leapfrog: the laggard overshot, everyone re-seeks to w
+      agree = 1;
+    }
+    turn = (turn + 1) % pcount;
+  }
+}
+
+/// Appends the complete assignment as one output row: every level is
+/// bound, so each output attribute reads its level's matched rank back
+/// through the domain's rank→code table.
+void EmitRow(const SearchContext& ctx, SearchState& state) {
+  for (size_t i = 0; i < ctx.out_stride; ++i) {
+    const size_t level = static_cast<size_t>(ctx.out_level[i]);
+    state.out.push_back(
+        ctx.index->domains[level].sorted_codes[state.bound[level]]);
+  }
+}
+
+/// Depth-first attribute binding from `level` down to the last level:
+/// each non-final match is a partial tuple, each final match a row.
+void Search(const SearchContext& ctx, SearchState& state, size_t level) {
+  const size_t last = ctx.index->levels() - 1;
+  ForEachMatch(ctx, state, level, [&] {
+    if (level == last) {
+      EmitRow(ctx, state);
+    } else {
+      ++state.partials;
+      Search(ctx, state, level + 1);
+    }
+  });
+}
+
+/// A level-0 match frozen for the parallel fan-out: the bound rank plus
+/// every level-0 participant's narrowed range.
+struct TopMatch {
+  uint32_t rank = 0;
+  std::vector<std::pair<size_t, size_t>> ranges;  ///< per by_level[0] entry
+};
+
+}  // namespace
+
+WcojResult GenericJoinExecute(const Database& db, RelMask mask,
+                              const KernelParallelism& par) {
+  TAUJOIN_CHECK_NE(mask, 0u);
+  TAUJOIN_METRIC_INCR("wcoj.executions");
+  WcojResult result;
+
+  const uint64_t build_start = NowNanos();
+  const TrieIndex index = BuildTrieIndex(db, mask);
+  result.attribute_order = index.attribute_order;
+  const Schema out_schema = db.scheme().AttributesOf(mask);
+  result.result = Relation(out_schema, db.dictionary());
+  result.build_ns = NowNanos() - build_start;
+  if (index.levels() == 0) return result;  // no attributes: nothing to bind
+
+  SearchContext ctx;
+  ctx.index = &index;
+  ctx.by_level.resize(index.levels());
+  for (size_t m = 0; m < index.relations.size(); ++m) {
+    const TrieRelation& rel = index.relations[m];
+    for (size_t k = 0; k < rel.depth(); ++k) {
+      ctx.by_level[static_cast<size_t>(rel.global_levels[k])].push_back(
+          Participant{static_cast<int>(m), static_cast<int>(k)});
+    }
+  }
+  ctx.out_stride = out_schema.size();
+  ctx.out_level.reserve(ctx.out_stride);
+  for (const std::string& attr : out_schema) {
+    const auto it = std::find(index.attribute_order.begin(),
+                              index.attribute_order.end(), attr);
+    TAUJOIN_CHECK(it != index.attribute_order.end());
+    ctx.out_level.push_back(
+        static_cast<int>(it - index.attribute_order.begin()));
+  }
+
+  const uint64_t search_start = NowNanos();
+  TAUJOIN_METRIC_SPAN(search_span, "wcoj.search");
+  const size_t members = index.relations.size();
+  const auto fresh_state = [&] {
+    SearchState state;
+    state.lo.assign(members, 0);
+    state.hi.resize(members);
+    for (size_t m = 0; m < members; ++m) state.hi[m] = index.relations[m].rows();
+    state.bound.assign(index.levels(), 0);
+    return state;
+  };
+
+  // Level 0 runs once on the caller and records its matches; the recursion
+  // below level 0 then fans out over them. Output buffers are private and
+  // concatenated in match order, so the result is bit-identical at every
+  // thread count (the morsel kernels' discipline).
+  std::vector<TopMatch> top;
+  SearchState seed = fresh_state();
+  ForEachMatch(ctx, seed, 0, [&] {
+    TopMatch match;
+    match.rank = seed.bound[0];
+    match.ranges.reserve(ctx.by_level[0].size());
+    for (const Participant& p : ctx.by_level[0]) {
+      const size_t m = static_cast<size_t>(p.member);
+      match.ranges.emplace_back(seed.lo[m], seed.hi[m]);
+    }
+    top.push_back(std::move(match));
+  });
+  result.seeks += seed.seeks;
+
+  const bool single_level = index.levels() == 1;
+  const int threads = par.resolved_threads();
+  const size_t chunk_count =
+      threads <= 1 ? 1
+                   : std::min(top.size(),
+                              static_cast<size_t>(threads) * 4);
+  std::vector<SearchState> chunks(std::max<size_t>(chunk_count, 1));
+  const auto run_chunk = [&](int64_t c) {
+    SearchState state = fresh_state();
+    const size_t begin = top.size() * static_cast<size_t>(c) / chunk_count;
+    const size_t end = top.size() * (static_cast<size_t>(c) + 1) / chunk_count;
+    for (size_t t = begin; t < end; ++t) {
+      const TopMatch& match = top[t];
+      state.bound[0] = match.rank;
+      for (size_t j = 0; j < ctx.by_level[0].size(); ++j) {
+        const size_t m = static_cast<size_t>(ctx.by_level[0][j].member);
+        state.lo[m] = match.ranges[j].first;
+        state.hi[m] = match.ranges[j].second;
+      }
+      if (single_level) {
+        EmitRow(ctx, state);
+      } else {
+        ++state.partials;
+        Search(ctx, state, 1);
+      }
+      for (size_t j = 0; j < ctx.by_level[0].size(); ++j) {
+        const size_t m = static_cast<size_t>(ctx.by_level[0][j].member);
+        state.lo[m] = 0;
+        state.hi[m] = index.relations[m].rows();
+      }
+    }
+    chunks[static_cast<size_t>(c)] = std::move(state);
+  };
+  if (!top.empty()) {
+    if (chunk_count <= 1) {
+      run_chunk(0);
+    } else {
+      par.pool_or_global().ParallelFor(static_cast<int64_t>(chunk_count),
+                                       run_chunk, threads);
+    }
+  }
+
+  size_t total_rows = 0;
+  for (const SearchState& state : chunks) {
+    result.partial_tuples += state.partials;
+    result.seeks += state.seeks;
+    total_rows += state.out.size() / std::max<size_t>(ctx.out_stride, 1);
+  }
+  result.result.Reserve(total_rows);
+  for (const SearchState& state : chunks) {
+    for (size_t off = 0; off + ctx.out_stride <= state.out.size();
+         off += ctx.out_stride) {
+      result.result.AppendRow(state.out.data() + off);
+    }
+  }
+  result.search_ns = NowNanos() - search_start;
+  TAUJOIN_METRIC_COUNT("wcoj.partial_tuples",
+                       static_cast<int64_t>(result.partial_tuples));
+  TAUJOIN_METRIC_COUNT("wcoj.output_rows",
+                       static_cast<int64_t>(result.result.size()));
+  return result;
+}
+
+}  // namespace taujoin

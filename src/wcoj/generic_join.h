@@ -1,0 +1,53 @@
+#ifndef TAUJOIN_WCOJ_GENERIC_JOIN_H_
+#define TAUJOIN_WCOJ_GENERIC_JOIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "relational/morsel.h"
+#include "wcoj/trie.h"
+
+namespace taujoin {
+
+/// Result of one Generic Join execution (the worst-case-optimal third
+/// execution tier; DESIGN.md §14).
+struct WcojResult {
+  /// ⋈ of the member relations, schema = AttributesOf(mask), rows in the
+  /// deterministic attribute-order enumeration order (bit-identical at
+  /// every thread count).
+  Relation result;
+  /// The global attribute order the search bound, join attributes first.
+  std::vector<std::string> attribute_order;
+  /// Number of *partial* assignments visited: every successful binding at
+  /// a non-final attribute level. The WCOJ analogue of a binary plan's
+  /// intermediate-tuple count — what the AGM-gap experiment compares
+  /// against τ(best binary strategy).
+  uint64_t partial_tuples = 0;
+  /// Leapfrog seeks performed (binary searches over sorted runs).
+  uint64_t seeks = 0;
+  /// Wall-time split: trie/rank index build vs. the attribute-order
+  /// search (steady_clock nanoseconds).
+  uint64_t build_ns = 0;
+  uint64_t search_ns = 0;
+};
+
+/// Attribute-order Generic Join (leapfrog-style sorted-run intersection)
+/// over the members of `mask`: builds the sorted trie views, then binds
+/// one attribute per level by intersecting the participating relations'
+/// current runs, emitting a row per complete assignment. Intermediate
+/// growth follows the AGM fractional-cover bound rather than any binary
+/// strategy's τ — on cyclic schemes (cycles, cliques) this is
+/// asymptotically below the best binary plan.
+///
+/// Determinism contract: the result rows, their order, and every counter
+/// are identical at every thread count (parallelism fans out over
+/// first-level bindings into order-preserving private buffers, the same
+/// discipline as the morsel kernels; DESIGN.md §14).
+WcojResult GenericJoinExecute(const Database& db, RelMask mask,
+                              const KernelParallelism& par = {});
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_WCOJ_GENERIC_JOIN_H_

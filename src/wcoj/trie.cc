@@ -1,0 +1,164 @@
+#include "wcoj/trie.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+
+namespace taujoin {
+
+size_t TrieRelation::LowerBound(size_t lo, size_t hi, size_t k,
+                                uint32_t target) const {
+  const size_t d = depth();
+  // Plain binary search over the level-k column of the run; the run's
+  // rows share their first k ranks, so the column slice is sorted.
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (ranks[mid * d + k] < target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+size_t TrieRelation::RunEnd(size_t lo, size_t hi, size_t k,
+                            uint32_t target) const {
+  const size_t d = depth();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (ranks[mid * d + k] <= target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+TrieIndex BuildTrieIndex(const Database& db, RelMask mask) {
+  TAUJOIN_CHECK_NE(mask, 0u);
+  TAUJOIN_METRIC_SPAN(build, "wcoj.trie_build");
+  const std::vector<int> members = MaskToIndices(mask);
+  const std::shared_ptr<ValueDictionary>& dict = db.dictionary();
+  for (const int m : members) {
+    // Codes are only comparable within one dictionary; every state built
+    // through the default interning path shares the database's.
+    TAUJOIN_CHECK(db.state(m).dictionary() == dict);
+  }
+
+  TrieIndex index;
+
+  // Global attribute order: join attributes (occurring in >= 2 members)
+  // first, by descending occurrence count then name, so the most
+  // constrained levels bind earliest; single-relation attributes last, by
+  // name, so output enumeration happens below every join constraint.
+  std::unordered_map<std::string, int> occurrences;
+  for (const int m : members) {
+    for (const std::string& attr : db.scheme().scheme(m)) {
+      ++occurrences[attr];
+    }
+  }
+  std::vector<std::string> order;
+  order.reserve(occurrences.size());
+  for (const auto& [attr, count] : occurrences) order.push_back(attr);
+  std::sort(order.begin(), order.end(),
+            [&](const std::string& a, const std::string& b) {
+              const int ca = occurrences[a], cb = occurrences[b];
+              const bool join_a = ca >= 2, join_b = cb >= 2;
+              if (join_a != join_b) return join_a;
+              if (ca != cb) return ca > cb;
+              return a < b;
+            });
+  index.attribute_order = std::move(order);
+
+  // Per-attribute rank domains: the distinct codes of every participating
+  // column, sorted by value (ValueDictionary::Compare — codes are
+  // arrival-ordered, so code order means nothing), ranked densely.
+  std::vector<std::unordered_map<uint32_t, uint32_t>> rank_of(
+      index.levels());
+  index.domains.resize(index.levels());
+  for (size_t level = 0; level < index.levels(); ++level) {
+    const std::string& attr = index.attribute_order[level];
+    AttributeDomain& domain = index.domains[level];
+    domain.attribute = attr;
+    std::unordered_set<uint32_t> seen;
+    for (const int m : members) {
+      const Relation& rel = db.state(m);
+      const int pos = rel.schema().IndexOf(attr);
+      if (pos < 0) continue;
+      const size_t stride = rel.stride();
+      const uint32_t* codes = rel.codes().data();
+      for (size_t r = 0; r < rel.size(); ++r) {
+        seen.insert(codes[r * stride + static_cast<size_t>(pos)]);
+      }
+    }
+    domain.sorted_codes.assign(seen.begin(), seen.end());
+    std::sort(domain.sorted_codes.begin(), domain.sorted_codes.end(),
+              [&](uint32_t a, uint32_t b) { return dict->Less(a, b); });
+    rank_of[level].reserve(domain.sorted_codes.size());
+    for (size_t r = 0; r < domain.sorted_codes.size(); ++r) {
+      rank_of[level].emplace(domain.sorted_codes[r],
+                             static_cast<uint32_t>(r));
+    }
+  }
+
+  // Per-relation sorted views: remap each row to its rank tuple (taken in
+  // global attribute order) and sort rows lexicographically by it. Rank
+  // tuples are injective over a relation's rows (relations are sets and
+  // ranks are injective per attribute), so the order is total and the
+  // build is deterministic.
+  index.relations.reserve(members.size());
+  for (const int m : members) {
+    const Relation& rel = db.state(m);
+    TrieRelation trie;
+    trie.relation_index = m;
+    std::vector<int> positions;  // schema position of each trie level
+    for (size_t level = 0; level < index.levels(); ++level) {
+      const int pos = rel.schema().IndexOf(index.attribute_order[level]);
+      if (pos < 0) continue;
+      trie.global_levels.push_back(static_cast<int>(level));
+      positions.push_back(pos);
+    }
+    const size_t depth = trie.global_levels.size();
+    TAUJOIN_CHECK_EQ(depth, rel.schema().size());
+    const size_t rows = rel.size();
+    std::vector<uint32_t> unsorted(rows * depth);
+    const size_t stride = rel.stride();
+    const uint32_t* codes = rel.codes().data();
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t k = 0; k < depth; ++k) {
+        const uint32_t code =
+            codes[r * stride + static_cast<size_t>(positions[k])];
+        const auto it =
+            rank_of[static_cast<size_t>(trie.global_levels[k])].find(code);
+        TAUJOIN_CHECK(it != rank_of[static_cast<size_t>(
+                                trie.global_levels[k])].end());
+        unsorted[r * depth + k] = it->second;
+      }
+    }
+    std::vector<uint32_t> order_ids(rows);
+    for (size_t r = 0; r < rows; ++r) order_ids[r] = static_cast<uint32_t>(r);
+    std::sort(order_ids.begin(), order_ids.end(),
+              [&](uint32_t a, uint32_t b) {
+                const uint32_t* ra = unsorted.data() + a * depth;
+                const uint32_t* rb = unsorted.data() + b * depth;
+                return std::lexicographical_compare(ra, ra + depth, rb,
+                                                    rb + depth);
+              });
+    trie.ranks.resize(rows * depth);
+    trie.row_ids = std::move(order_ids);
+    for (size_t i = 0; i < rows; ++i) {
+      const uint32_t* src = unsorted.data() + trie.row_ids[i] * depth;
+      std::copy(src, src + depth, trie.ranks.data() + i * depth);
+    }
+    index.relations.push_back(std::move(trie));
+  }
+  TAUJOIN_METRIC_INCR("wcoj.trie_builds");
+  return index;
+}
+
+}  // namespace taujoin

@@ -1,0 +1,90 @@
+#ifndef TAUJOIN_WCOJ_TRIE_H_
+#define TAUJOIN_WCOJ_TRIE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "relational/relation.h"
+#include "scheme/mask.h"
+
+namespace taujoin {
+
+/// Sorted trie/index views over the columnar code arenas, the index layer
+/// of the worst-case-optimal join tier (DESIGN.md §14).
+///
+/// The engine's `ValueDictionary` assigns codes in *arrival* order, so code
+/// order does not follow value order and a leapfrog-style seek over raw
+/// codes would intersect garbage. The trie layer therefore builds, per
+/// attribute of the join, a dense code→rank remap (`AttributeDomain`):
+/// every code that occurs in any participating column, sorted once by
+/// `ValueDictionary::Compare` (the engine-wide int < string value order)
+/// and ranked 0..d−1. Ranks are value-ordered and shared across relations
+/// — two columns of the same attribute agree on a value iff they agree on
+/// its rank — which is exactly what sorted intersection needs.
+
+/// The rank domain of one attribute: the distinct codes of every
+/// participating column, in ascending value order.
+struct AttributeDomain {
+  std::string attribute;
+  /// sorted_codes[r] is the dictionary code of rank r (ascending by
+  /// ValueDictionary::Compare).
+  std::vector<uint32_t> sorted_codes;
+
+  size_t size() const { return sorted_codes.size(); }
+};
+
+/// One relation's sorted view: rows reordered lexicographically by the
+/// ranks of its attributes taken in global attribute order. Level ℓ of the
+/// implied trie is the relation's ℓ-th attribute in that order; a node at
+/// depth ℓ is a run of rows sharing the first ℓ ranks, so child
+/// enumeration and seeks are binary searches over a sorted column slice.
+struct TrieRelation {
+  int relation_index = -1;
+  /// Global attribute-order positions of this relation's attributes,
+  /// ascending (the trie's level → global level map).
+  std::vector<int> global_levels;
+  /// Rank matrix, sorted-row major: ranks[i * depth + k] is the rank (in
+  /// AttributeDomain space) of sorted row i's k-th trie attribute.
+  std::vector<uint32_t> ranks;
+  /// sorted row i → original row id in the relation's code arena (for
+  /// output materialization).
+  std::vector<uint32_t> row_ids;
+
+  size_t depth() const { return global_levels.size(); }
+  size_t rows() const { return row_ids.size(); }
+  /// Rank of sorted row `i` at trie level `k`.
+  uint32_t rank(size_t i, size_t k) const { return ranks[i * depth() + k]; }
+
+  /// First sorted row in [lo, hi) whose level-`k` rank is >= `rank`
+  /// (a leapfrog seek; the rows of [lo, hi) share their first k ranks, so
+  /// column k is sorted within the run).
+  size_t LowerBound(size_t lo, size_t hi, size_t k, uint32_t rank) const;
+  /// One past the last sorted row in [lo, hi) whose level-`k` rank is
+  /// exactly `rank`, assuming LowerBound already positioned `lo`.
+  size_t RunEnd(size_t lo, size_t hi, size_t k, uint32_t rank) const;
+};
+
+/// The full index build for one multiway join: the deterministic global
+/// attribute order (join attributes first, by descending occurrence count
+/// then name; single-relation attributes last, by name), the per-attribute
+/// rank domains, and one TrieRelation per member of `mask`.
+struct TrieIndex {
+  /// Attribute names in global order; level ℓ binds attribute_order[ℓ].
+  std::vector<std::string> attribute_order;
+  std::vector<AttributeDomain> domains;  ///< parallel to attribute_order
+  std::vector<TrieRelation> relations;   ///< parallel to MaskToIndices(mask)
+
+  size_t levels() const { return attribute_order.size(); }
+};
+
+/// Builds the trie index for ⋈ of the members of `mask`. All member states
+/// must share `db.dictionary()` (CHECK-enforced; every state built through
+/// the default interning path does). Deterministic: a pure function of
+/// (db, mask).
+TrieIndex BuildTrieIndex(const Database& db, RelMask mask);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_WCOJ_TRIE_H_

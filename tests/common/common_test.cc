@@ -4,12 +4,49 @@
 #include <set>
 
 #include "common/checked_math.h"
+#include "common/parse.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/strings.h"
 
 namespace taujoin {
 namespace {
+
+TEST(ParsePositiveIntTest, AcceptsPlainPositiveIntegers) {
+  EXPECT_EQ(ParsePositiveInt("1"), 1);
+  EXPECT_EQ(ParsePositiveInt("42"), 42);
+  EXPECT_EQ(ParsePositiveInt("2048"), 2048);
+  EXPECT_EQ(ParsePositiveInt("007"), 7);  // leading zeros are fine
+}
+
+TEST(ParsePositiveIntTest, RejectsGarbageAndEmpty) {
+  EXPECT_EQ(ParsePositiveInt(nullptr), 0);
+  EXPECT_EQ(ParsePositiveInt(""), 0);
+  EXPECT_EQ(ParsePositiveInt("banana"), 0);
+  // Trailing garbage: atoi/atoll-style parsing would accept these as 3.
+  EXPECT_EQ(ParsePositiveInt("3abc"), 0);
+  EXPECT_EQ(ParsePositiveInt("3 "), 0);
+  EXPECT_EQ(ParsePositiveInt("3.5"), 0);
+}
+
+TEST(ParsePositiveIntTest, RejectsSignsZeroAndNegatives) {
+  EXPECT_EQ(ParsePositiveInt("0"), 0);
+  EXPECT_EQ(ParsePositiveInt("-2"), 0);
+  // Explicit '+' is rejected too: the knobs these parse want bare digits.
+  EXPECT_EQ(ParsePositiveInt("+5"), 0);
+  EXPECT_EQ(ParsePositiveInt(" 5"), 0);  // no whitespace skipping either
+}
+
+TEST(ParsePositiveIntTest, RejectsOverflowAndRespectsMax) {
+  // > INT64_MAX: strtoll saturates with ERANGE, which must read as invalid
+  // rather than as a huge-but-plausible value.
+  EXPECT_EQ(ParsePositiveInt("99999999999999999999999"), 0);
+  EXPECT_EQ(ParsePositiveInt("9223372036854775807"),
+            std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(ParsePositiveInt("9223372036854775808"), 0);
+  EXPECT_EQ(ParsePositiveInt("100", 100), 100);
+  EXPECT_EQ(ParsePositiveInt("101", 100), 0);
+}
 
 TEST(CheckedMathTest, MulInRange) {
   EXPECT_EQ(CheckedMulSat(0, 12), 0u);

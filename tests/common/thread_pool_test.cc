@@ -198,6 +198,28 @@ TEST_F(ResolveThreadsEnv, GarbageFallsBackToHardware) {
   EXPECT_GE(ResolveThreads(0), 1);
 }
 
+// Regression: atoi-based parsing accepted "3abc" as 3 and had undefined
+// behavior on out-of-range input. Strict parsing must reject both and
+// fall back to the hardware default.
+TEST_F(ResolveThreadsEnv, TrailingGarbageAndOverflowAreRejected) {
+  const int hardware_default = ResolveThreads(0);  // env is unset here
+  setenv("TAUJOIN_THREADS", "3abc", 1);
+  EXPECT_EQ(ResolveThreads(0), hardware_default)
+      << "trailing garbage must not parse as 3";
+  setenv("TAUJOIN_THREADS", "99999999999999999999999", 1);
+  EXPECT_EQ(ResolveThreads(0), hardware_default);
+  // Absurd-but-parseable counts are rejected by the sanity cap too.
+  setenv("TAUJOIN_THREADS", "9999999999", 1);
+  EXPECT_EQ(ResolveThreads(0), hardware_default);
+  setenv("TAUJOIN_THREADS", "+4", 1);
+  EXPECT_EQ(ResolveThreads(0), hardware_default);
+  setenv("TAUJOIN_THREADS", "0", 1);
+  EXPECT_EQ(ResolveThreads(0), hardware_default);
+  // A plain positive count still wins.
+  setenv("TAUJOIN_THREADS", "6", 1);
+  EXPECT_EQ(ResolveThreads(0), 6);
+}
+
 /// Redirects a stdio stream into a temp file for the lifetime of the
 /// object; Contents() flushes and returns everything captured so far.
 class CaptureStream {

@@ -10,7 +10,10 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -229,6 +232,81 @@ TEST(ParallelKernelTest, MorselRowsResolution) {
   KernelParallelism par;
   par.morsel_rows = 64;
   EXPECT_EQ(par.resolved_morsel_rows(), 64u);
+}
+
+// Regression: atoll-based parsing accepted "2048banana" as 2048 and had
+// undefined behavior on out-of-range input. Strict parsing must reject
+// trailing garbage, signs, and overflow, falling back to the default.
+TEST(ParallelKernelTest, MorselRowsStrictParsing) {
+  ASSERT_EQ(setenv("TAUJOIN_MORSEL_ROWS", "2048banana", 1), 0);
+  EXPECT_EQ(ResolveMorselRows(0), kDefaultMorselRows)
+      << "trailing garbage must not parse as 2048";
+  ASSERT_EQ(setenv("TAUJOIN_MORSEL_ROWS", "99999999999999999999999", 1), 0);
+  EXPECT_EQ(ResolveMorselRows(0), kDefaultMorselRows);
+  ASSERT_EQ(setenv("TAUJOIN_MORSEL_ROWS", "-16", 1), 0);
+  EXPECT_EQ(ResolveMorselRows(0), kDefaultMorselRows);
+  ASSERT_EQ(setenv("TAUJOIN_MORSEL_ROWS", "+16", 1), 0);
+  EXPECT_EQ(ResolveMorselRows(0), kDefaultMorselRows);
+  ASSERT_EQ(unsetenv("TAUJOIN_MORSEL_ROWS"), 0);
+}
+
+/// Redirects a stdio stream into a temp file for the lifetime of the
+/// object; Contents() flushes and returns everything captured so far.
+class CaptureStream {
+ public:
+  explicit CaptureStream(FILE* stream) : stream_(stream) {
+    std::fflush(stream_);
+    saved_fd_ = dup(fileno(stream_));
+    char path[] = "/tmp/taujoin_capture_XXXXXX";
+    capture_fd_ = mkstemp(path);
+    path_ = path;
+    dup2(capture_fd_, fileno(stream_));
+  }
+  ~CaptureStream() {
+    std::fflush(stream_);
+    dup2(saved_fd_, fileno(stream_));
+    close(saved_fd_);
+    close(capture_fd_);
+    unlink(path_.c_str());
+  }
+  std::string Contents() {
+    std::fflush(stream_);
+    std::string text;
+    char buffer[4096];
+    lseek(capture_fd_, 0, SEEK_SET);
+    ssize_t n;
+    while ((n = read(capture_fd_, buffer, sizeof(buffer))) > 0) {
+      text.append(buffer, static_cast<size_t>(n));
+    }
+    return text;
+  }
+
+ private:
+  FILE* stream_;
+  int saved_fd_ = -1;
+  int capture_fd_ = -1;
+  std::string path_;
+};
+
+// The invalid-TAUJOIN_MORSEL_ROWS warning must reach stderr, never stdout
+// (stdout is reserved for machine-readable experiment output), and must
+// fire only once per process however often the knob is resolved.
+TEST(ParallelKernelTest, InvalidMorselRowsWarnsOnStderrOnlyAndOnce) {
+  ASSERT_EQ(setenv("TAUJOIN_MORSEL_ROWS", "16oops", 1), 0);
+  ResetMorselRowsWarningForTest();
+  CaptureStream out(stdout);
+  CaptureStream err(stderr);
+  EXPECT_EQ(ResolveMorselRows(0), kDefaultMorselRows);
+  EXPECT_EQ(ResolveMorselRows(0), kDefaultMorselRows);  // second stays silent
+  const std::string captured_out = out.Contents();
+  const std::string captured_err = err.Contents();
+  EXPECT_EQ(captured_out, "") << "warning leaked to stdout";
+  EXPECT_NE(captured_err.find("TAUJOIN_MORSEL_ROWS"), std::string::npos)
+      << "stderr: " << captured_err;
+  EXPECT_EQ(captured_err.find("TAUJOIN_MORSEL_ROWS"),
+            captured_err.rfind("TAUJOIN_MORSEL_ROWS"))
+      << "warning emitted more than once: " << captured_err;
+  ASSERT_EQ(unsetenv("TAUJOIN_MORSEL_ROWS"), 0);
 }
 
 TEST(ParallelKernelTest, UseParallelKernelThresholds) {

@@ -164,6 +164,31 @@ TEST(DatabaseStatsTest, DeserializeRejectsGarbage) {
   EXPECT_FALSE(DatabaseStats::Deserialize(text).ok());
 }
 
+TEST(DatabaseStatsTest, DeserializeRejectsOverflowAndNegativeNumbers) {
+  const Relation r = IntRange("A", 0, 10);
+  const DatabaseStats stats = DatabaseStats::FromRelations({&r});
+  const std::string text = stats.Serialize();
+  const size_t magic_end = text.find(' ');
+  ASSERT_NE(magic_end, std::string::npos);
+  const size_t num_end = text.find(' ', magic_end + 1);
+  ASSERT_NE(num_end, std::string::npos);
+  // Overflow: a saturating strtoull with no ERANGE check would read this
+  // as UINT64_MAX instead of failing.
+  const std::string overflow = text.substr(0, magic_end + 1) +
+                               "99999999999999999999999" +
+                               text.substr(num_end);
+  EXPECT_FALSE(DatabaseStats::Deserialize(overflow).ok());
+  // Leading '-': strtoull wraps negatives through modular arithmetic, so
+  // the reader must reject the sign outright.
+  const std::string negative =
+      text.substr(0, magic_end + 1) + "-3" + text.substr(num_end);
+  EXPECT_FALSE(DatabaseStats::Deserialize(negative).ok());
+  // Trailing garbage on a number token.
+  const std::string garbage =
+      text.substr(0, magic_end + 1) + "1x" + text.substr(num_end);
+  EXPECT_FALSE(DatabaseStats::Deserialize(garbage).ok());
+}
+
 TEST(DatabaseStatsTest, StorageBytesAccountsSketchesAndHistograms) {
   const Relation r = IntRange("A", 0, 1000);
   const DatabaseStats stats = DatabaseStats::FromRelations({&r});

@@ -377,6 +377,43 @@ TEST(WorkloadDriverTest, AcyclicClassesRideTheAcyclicTier) {
   EXPECT_NE(json.find("\"reduce\""), std::string::npos) << json;
 }
 
+TEST(WorkloadDriverTest, CyclicClassesRideTheWcojTierWhenEnabled) {
+  QueryClassSpec cycle;
+  cycle.shape = QueryShape::kCycle;
+  cycle.relation_count = 5;
+  cycle.rows_per_relation = 64;
+  cycle.join_domain = 16;
+  cycle.seed = 44;
+  QueryClassSpec chain = cycle;  // acyclic control: keeps its own tier
+  chain.shape = QueryShape::kChain;
+  chain.seed = 45;
+
+  PlanCache cache;
+  WorkloadDriverOptions options;
+  options.cache = &cache;
+  options.execute = true;
+  options.adaptive.enable_wcoj = true;
+  WorkloadDriver driver(options);
+  const WorkloadReport report =
+      driver.Run({cycle, chain, cycle, chain, cycle});
+
+  ASSERT_EQ(driver.outcomes().size(), 5u);
+  // Cycle queries (0, 2, 4) ride the wcoj tier — the miss and both cache
+  // hits; the acyclic guard keeps chains on the Yannakakis tier.
+  for (const size_t i : {size_t{0}, size_t{2}, size_t{4}}) {
+    EXPECT_TRUE(driver.outcomes()[i].wcoj) << "query " << i;
+    EXPECT_FALSE(driver.outcomes()[i].acyclic) << "query " << i;
+  }
+  EXPECT_EQ(driver.outcomes()[0].tier, OptimizerTier::kWcoj);
+  for (const size_t i : {size_t{1}, size_t{3}}) {
+    EXPECT_FALSE(driver.outcomes()[i].wcoj) << "query " << i;
+  }
+  EXPECT_EQ(report.wcoj_queries, 3u);
+  EXPECT_EQ(report.tier_counts.at("wcoj"), 1u);  // the one cold miss
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"wcoj_queries\": 3"), std::string::npos) << json;
+}
+
 TEST(WorkloadDriverTest, AcyclicRouteMatchesBinaryExecutionCardinality) {
   // The same class driven with the tier on and off must agree on what it
   // computes; outcomes can't expose row sets, so compare via the acyclic

@@ -1,0 +1,171 @@
+#include "wcoj/generic_join.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/database.h"
+#include "wcoj/trie.h"
+#include "workload/generator.h"
+
+namespace taujoin {
+namespace {
+
+/// The canonical cyclic query: a triangle R(A,B) ⋈ S(B,C) ⋈ T(A,C).
+Database TriangleDb() {
+  DatabaseScheme scheme = DatabaseScheme::Parse({"AB", "BC", "AC"});
+  Relation r = Relation::FromRowsOrDie(
+      {"A", "B"}, {{1, 1}, {1, 2}, {2, 2}, {3, 1}});
+  Relation s = Relation::FromRowsOrDie(
+      {"B", "C"}, {{1, 5}, {2, 5}, {2, 6}, {3, 7}});
+  Relation t = Relation::FromRowsOrDie(
+      {"A", "C"}, {{1, 5}, {2, 6}, {2, 5}, {3, 9}});
+  return Database::CreateOrDie(scheme, {r, s, t});
+}
+
+TEST(GenericJoinTest, TriangleMatchesJoinAll) {
+  const Database db = TriangleDb();
+  const RelMask mask = db.scheme().full_mask();
+  const WcojResult wcoj = GenericJoinExecute(db, mask);
+  EXPECT_TRUE(wcoj.result == db.JoinAll(mask))
+      << "GJ:\n" << wcoj.result.ToString()
+      << "JoinAll:\n" << db.JoinAll(mask).ToString();
+  EXPECT_GT(wcoj.seeks, 0u);
+}
+
+TEST(GenericJoinTest, SingletonMaskIsTheRelationItself) {
+  const Database db = TriangleDb();
+  const WcojResult wcoj = GenericJoinExecute(db, SingletonMask(1));
+  EXPECT_TRUE(wcoj.result == db.state(1));
+  // partial_tuples counts successful bindings at every non-final level;
+  // S(B,C) has distinct B values {1, 2, 3}, so exactly three.
+  EXPECT_EQ(wcoj.partial_tuples, 3u);
+}
+
+TEST(GenericJoinTest, EmptyIntersectionYieldsEmptyResult) {
+  DatabaseScheme scheme = DatabaseScheme::Parse({"AB", "BC", "AC"});
+  Relation r = Relation::FromRowsOrDie({"A", "B"}, {{1, 1}});
+  Relation s = Relation::FromRowsOrDie({"B", "C"}, {{2, 5}});  // B disagrees
+  Relation t = Relation::FromRowsOrDie({"A", "C"}, {{1, 5}});
+  const Database db = Database::CreateOrDie(scheme, {r, s, t});
+  const WcojResult wcoj = GenericJoinExecute(db, db.scheme().full_mask());
+  EXPECT_TRUE(wcoj.result.empty());
+}
+
+TEST(GenericJoinTest, EmptyMemberYieldsEmptyResult) {
+  DatabaseScheme scheme = DatabaseScheme::Parse({"AB", "BC", "AC"});
+  Relation r = Relation::FromRowsOrDie({"A", "B"}, {{1, 1}});
+  Relation s(Schema::Parse("BC"));  // no rows at all
+  Relation t = Relation::FromRowsOrDie({"A", "C"}, {{1, 5}});
+  const Database db = Database::CreateOrDie(scheme, {r, s, t});
+  const WcojResult wcoj = GenericJoinExecute(db, db.scheme().full_mask());
+  EXPECT_TRUE(wcoj.result.empty());
+}
+
+// The dictionary assigns codes in arrival order, so feeding values in
+// descending order makes raw code order the *reverse* of value order. The
+// trie layer's code→rank remap must still intersect by value.
+TEST(GenericJoinTest, ArrivalOrderedCodesAreRemappedToValueOrder) {
+  DatabaseScheme scheme = DatabaseScheme::Parse({"AB", "BC", "AC"});
+  // Values arrive 9, 7, 5, 3, 1 — later (larger) codes mean smaller values.
+  Relation r = Relation::FromRowsOrDie(
+      {"A", "B"}, {{9, 9}, {7, 7}, {5, 5}, {3, 3}, {1, 1}});
+  Relation s = Relation::FromRowsOrDie(
+      {"B", "C"}, {{9, 1}, {7, 3}, {5, 5}, {3, 7}, {1, 9}});
+  Relation t = Relation::FromRowsOrDie(
+      {"A", "C"}, {{9, 1}, {5, 5}, {1, 9}});
+  const Database db = Database::CreateOrDie(scheme, {r, s, t});
+  const RelMask mask = db.scheme().full_mask();
+
+  // The per-attribute domains really are value-sorted regardless of code
+  // arrival order.
+  const TrieIndex index = BuildTrieIndex(db, mask);
+  const auto& dict = db.dictionary();
+  for (const AttributeDomain& domain : index.domains) {
+    for (size_t i = 0; i + 1 < domain.sorted_codes.size(); ++i) {
+      EXPECT_TRUE(dict->Less(domain.sorted_codes[i],
+                             domain.sorted_codes[i + 1]))
+          << "domain " << domain.attribute << " not value-sorted at " << i;
+    }
+  }
+
+  const WcojResult wcoj = GenericJoinExecute(db, mask);
+  EXPECT_TRUE(wcoj.result == db.JoinAll(mask));
+  EXPECT_EQ(wcoj.result.size(), 3u);  // (1,1,9), (5,5,5), (9,9,1)
+}
+
+TEST(GenericJoinTest, MixedValueTypesJoinByValueOrder) {
+  DatabaseScheme scheme = DatabaseScheme::Parse({"AB", "BC", "AC"});
+  // Ints and strings share the attribute; ValueDictionary::Compare orders
+  // ints before strings, and the remap must respect that total order.
+  Relation r = Relation::FromRowsOrDie(
+      {"A", "B"}, {{"x", 2}, {1, "y"}, {1, 2}});
+  Relation s = Relation::FromRowsOrDie(
+      {"B", "C"}, {{"y", "z"}, {2, 3}, {2, "z"}});
+  Relation t = Relation::FromRowsOrDie(
+      {"A", "C"}, {{1, "z"}, {"x", 3}, {1, 3}});
+  const Database db = Database::CreateOrDie(scheme, {r, s, t});
+  const RelMask mask = db.scheme().full_mask();
+  const WcojResult wcoj = GenericJoinExecute(db, mask);
+  EXPECT_TRUE(wcoj.result == db.JoinAll(mask));
+}
+
+TEST(GenericJoinTest, AttributeOrderPutsJoinAttributesFirst) {
+  // B appears in all three schemes; A, C, D, E are private. Join
+  // attributes lead (descending occurrence count), privates follow by name.
+  DatabaseScheme scheme = DatabaseScheme::Parse({"ABC", "BD", "BE"});
+  GeneratorOptions gen;
+  Rng rng(3);
+  const Database db = RandomDatabaseOverScheme(scheme, gen, rng);
+  const TrieIndex index = BuildTrieIndex(db, db.scheme().full_mask());
+  ASSERT_EQ(index.attribute_order.size(), 5u);
+  EXPECT_EQ(index.attribute_order[0], "B");
+  EXPECT_EQ(index.attribute_order[1], "A");
+  EXPECT_EQ(index.attribute_order[2], "C");
+  EXPECT_EQ(index.attribute_order[3], "D");
+  EXPECT_EQ(index.attribute_order[4], "E");
+}
+
+TEST(GenericJoinTest, TrieRowsAreLexicographicallySorted) {
+  GeneratorOptions gen;
+  gen.shape = QueryShape::kCycle;
+  gen.relation_count = 4;
+  gen.rows_per_relation = 64;
+  gen.join_domain = 8;
+  Rng rng(17);
+  const Database db = RandomDatabase(gen, rng);
+  const TrieIndex index = BuildTrieIndex(db, db.scheme().full_mask());
+  for (const TrieRelation& rel : index.relations) {
+    const size_t d = rel.depth();
+    for (size_t i = 0; i + 1 < rel.rows(); ++i) {
+      const uint32_t* a = rel.ranks.data() + i * d;
+      const uint32_t* b = rel.ranks.data() + (i + 1) * d;
+      EXPECT_TRUE(std::lexicographical_compare(a, a + d, b, b + d))
+          << "relation " << rel.relation_index << " rows " << i << "," << i + 1;
+    }
+  }
+}
+
+TEST(GenericJoinTest, CountersScaleWithWork) {
+  GeneratorOptions gen;
+  gen.shape = QueryShape::kCycle;
+  gen.relation_count = 5;
+  gen.rows_per_relation = 64;
+  gen.join_domain = 8;
+  Rng rng(5);
+  const Database db = RandomDatabase(gen, rng);
+  const WcojResult wcoj = GenericJoinExecute(db, db.scheme().full_mask());
+  EXPECT_TRUE(wcoj.result == db.JoinAll(db.scheme().full_mask()));
+  // Ten attribute levels (5 join + 5 private): any output row implies at
+  // least nine partial bindings on the way down.
+  if (!wcoj.result.empty()) {
+    EXPECT_GE(wcoj.partial_tuples, 9u);
+    EXPECT_GT(wcoj.seeks, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace taujoin

@@ -1,0 +1,146 @@
+// Randomized differential test for the worst-case-optimal serving tier:
+// Generic Join must be *bit-identical* to itself at every thread count
+// (the DESIGN.md §14 determinism contract — parallelism fans out over
+// first-level bindings into order-preserving private buffers) and
+// *set-identical* to the binary ExecuteStrategy route on every shape,
+// cyclic and acyclic alike (row orders differ by construction: GJ
+// enumerates in attribute order, the binary pipeline in join order).
+//
+// Runs under the TSan and ASan/UBSan CI matrices, so a data race or an
+// out-of-bounds trie seek fails loudly here.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/trace.h"
+#include "optimize/adaptive.h"
+#include "relational/morsel.h"
+#include "wcoj/generic_join.h"
+#include "workload/generator.h"
+
+namespace taujoin {
+namespace {
+
+Database MakeDb(QueryShape shape, int n, uint64_t seed, double skew) {
+  GeneratorOptions options;
+  options.shape = shape;
+  options.relation_count = n;
+  options.rows_per_relation = 64;
+  // domain ≈ rows keeps per-edge growth near 1 so the binary reference
+  // stays input-sized even on the larger shapes; cyclic closure then
+  // prunes most candidates, which is exactly the regime where GJ's seeks
+  // and run bookkeeping get exercised hardest.
+  options.join_domain = 64;
+  options.join_skew = skew;
+  Rng rng(seed);
+  return RandomDatabase(options, rng);
+}
+
+/// Bit-identity: same schema, same row order, same codes. Relation's
+/// operator== is deliberately set-based, so byte comparison goes through
+/// the code arena directly.
+void ExpectBitIdentical(const Relation& expected, const Relation& actual) {
+  ASSERT_EQ(expected.schema(), actual.schema());
+  ASSERT_EQ(expected.size(), actual.size());
+  EXPECT_EQ(expected.codes(), actual.codes());
+}
+
+std::vector<int> ThreadCounts() {
+  const int hw =
+      std::max(2, static_cast<int>(std::thread::hardware_concurrency()));
+  return {1, 2, hw};
+}
+
+void RunDifferential(QueryShape shape, int n, uint64_t seed,
+                     double skew = 0.0) {
+  SCOPED_TRACE(testing::Message() << QueryShapeToString(shape) << " n=" << n
+                                  << " seed=" << seed);
+  const Database db = MakeDb(shape, n, seed, skew);
+  const RelMask mask = db.scheme().full_mask();
+
+  // Serial ground truth (threads=1 keeps the whole search on the caller).
+  KernelParallelism serial_par;
+  serial_par.threads = 1;
+  const WcojResult serial = GenericJoinExecute(db, mask, serial_par);
+
+  for (const int threads : ThreadCounts()) {
+    SCOPED_TRACE(testing::Message() << "threads=" << threads);
+    ThreadPool pool(threads - 1);
+    KernelParallelism par;
+    par.threads = threads;
+    par.pool = &pool;
+    const WcojResult parallel = GenericJoinExecute(db, mask, par);
+    ExpectBitIdentical(serial.result, parallel.result);
+    EXPECT_EQ(serial.partial_tuples, parallel.partial_tuples);
+    EXPECT_EQ(serial.attribute_order, parallel.attribute_order);
+  }
+
+  // Cross-path agreement: the binary tier ladder's plan, physically
+  // executed, must produce the same *set* of rows (order may differ).
+  CostEngine engine(&db);
+  AdaptiveOptions options;
+  options.enable_acyclic = false;
+  const AdaptiveResult binary = OptimizeAdaptive(engine, mask, options);
+  ASSERT_FALSE(binary.wcoj);  // off by default: the ladder stays binary
+  const EvaluationTrace trace = ExecuteStrategy(db, binary.plan.strategy);
+  EXPECT_TRUE(serial.result == trace.result)
+      << "Generic Join diverges from ExecuteStrategy of "
+      << binary.plan.strategy.ToStringWithScheme(db.scheme());
+}
+
+TEST(WcojDifferentialTest, Chains) {
+  for (int n = 3; n <= 8; ++n) {
+    RunDifferential(QueryShape::kChain, n, 7, /*skew=*/0.4);
+  }
+}
+
+TEST(WcojDifferentialTest, Stars) {
+  // Uniform only: on a star every leaf multiplies the center's heavy
+  // value, so even mild skew is exponential in n.
+  for (int n = 3; n <= 8; ++n) RunDifferential(QueryShape::kStar, n, 11);
+}
+
+TEST(WcojDifferentialTest, Cycles) {
+  for (int n = 3; n <= 8; ++n) {
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+      RunDifferential(QueryShape::kCycle, n, seed, /*skew=*/0.2);
+    }
+  }
+}
+
+TEST(WcojDifferentialTest, Cliques) {
+  // Arity grows with n on cliques (n−1 join attributes + 1 private per
+  // relation), so the shapes stay small while still exercising deep tries.
+  for (int n = 3; n <= 5; ++n) {
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+      RunDifferential(QueryShape::kClique, n, seed);
+    }
+  }
+}
+
+// The opt-in tier ladder: cyclic schemes take kWcoj, acyclic ones do not.
+TEST(WcojDifferentialTest, WcojTierGuardsOnCyclicity) {
+  const Database cyclic = MakeDb(QueryShape::kCycle, 4, 3, 0.0);
+  CostEngine cyclic_engine(&cyclic);
+  AdaptiveOptions options;
+  options.enable_wcoj = true;
+  const AdaptiveResult took =
+      OptimizeAdaptive(cyclic_engine, cyclic.scheme().full_mask(), options);
+  EXPECT_TRUE(took.wcoj);
+  EXPECT_EQ(took.tier, OptimizerTier::kWcoj);
+
+  const Database acyclic = MakeDb(QueryShape::kChain, 4, 3, 0.0);
+  CostEngine acyclic_engine(&acyclic);
+  options.enable_acyclic = false;  // force the search ladder, not Yannakakis
+  const AdaptiveResult declined =
+      OptimizeAdaptive(acyclic_engine, acyclic.scheme().full_mask(), options);
+  EXPECT_FALSE(declined.wcoj);
+  EXPECT_NE(declined.tier, OptimizerTier::kWcoj);
+}
+
+}  // namespace
+}  // namespace taujoin

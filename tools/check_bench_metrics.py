@@ -34,7 +34,7 @@ SERVE_SUMMARY_FIELDS = ["count", "p50_ns", "p95_ns", "max_ns", "mean_ns"]
 SERVE_SUMMARIES = ["optimize", "optimize_cold", "optimize_warm", "execute",
                    "total", "plan", "data", "reduce"]
 SERVE_REPORT_INTS = ["queries", "classes", "cache_hits", "cache_misses",
-                     "cache_evictions", "acyclic_queries"]
+                     "cache_evictions", "acyclic_queries", "wcoj_queries"]
 SERVE_SIZE_MODELS = ("exact", "independence", "sketch", "simpli2")
 
 # BENCH_estimate.json (schema taujoin-estimate-bench/v1) layout.
@@ -68,6 +68,21 @@ ACYCLIC_RUN_INTS = ["n", "rows", "domain", "binary_plan_ns",
 # plan search and from semijoin reduction, not from core count.
 ACYCLIC_BAR_FAMILIES = ("chain", "star")
 ACYCLIC_BAR_MIN_N = 8
+
+# BENCH_wcoj.json (schema taujoin-wcoj-bench/v1) layout.
+WCOJ_FAMILIES = ("cycle", "clique")
+WCOJ_RUN_INTS = ["n", "rows", "domain", "binary_plan_ns", "binary_exec_ns",
+                 "binary_total_ns", "binary_intermediate_rows",
+                 "wcoj_build_ns", "wcoj_search_ns", "wcoj_total_ns",
+                 "wcoj_partial_tuples", "wcoj_seeks", "output_rows",
+                 "speedup_x1000", "intermediate_ratio_x1000"]
+# The WCOJ-tier acceptance bar: on cycles at n >= 6, Generic Join's
+# partial tuples (successful non-final-level bindings) must sit strictly
+# below the best binary strategy's summed intermediate rows — the AGM gap
+# the tier exists to exploit. Machine-independent: both sides count
+# tuples, not nanoseconds.
+WCOJ_BAR_FAMILY = "cycle"
+WCOJ_BAR_MIN_N = 6
 
 
 def check_serve_schema(path: str, doc: dict) -> list[str]:
@@ -385,6 +400,86 @@ def check_acyclic_schema(path: str, doc: dict) -> list[str]:
     return errors
 
 
+def check_wcoj_schema(path: str, doc: dict) -> list[str]:
+    """Validates the taujoin-wcoj-bench/v1 worst-case-optimal artifact.
+
+    Beyond layout, enforces the tier's acceptance bar: every cycle run at
+    n >= WCOJ_BAR_MIN_N must show Generic Join's partial tuples strictly
+    below the binary ladder's summed intermediate rows. The bench binary
+    itself aborts on an output-cardinality mismatch between the two
+    paths, so a well-formed artifact already implies agreement.
+    """
+    errors = []
+    context = doc.get("context")
+    if not isinstance(context, dict):
+        return [f"{path}: wcoj artifact missing 'context' object"]
+    if context.get("taujoin_build_type") not in ("release", "debug"):
+        errors.append(f"{path}: context.taujoin_build_type missing/invalid")
+    for field in ("rows", "seed", "threads", "morsel_rows",
+                  "hardware_concurrency"):
+        if not isinstance(context.get(field), int):
+            errors.append(f"{path}: context.{field} missing integer")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return errors + [f"{path}: wcoj artifact has no runs"]
+
+    seen = {family: [] for family in WCOJ_FAMILIES}
+    for i, run in enumerate(runs):
+        where = f"{path}: runs[{i}]"
+        if not isinstance(run, dict):
+            errors.append(f"{where} is not an object")
+            continue
+        family = run.get("family")
+        if family not in WCOJ_FAMILIES:
+            errors.append(f"{where}.family {family!r} not one of "
+                          f"{WCOJ_FAMILIES}")
+        if not isinstance(run.get("binary_tier"), str):
+            errors.append(f"{where}.binary_tier missing string")
+        elif run["binary_tier"] in ("wcoj", "acyclic"):
+            errors.append(f"{where}: the binary path rode the "
+                          f"{run['binary_tier']} tier — the comparison is "
+                          "against itself")
+        bad_int = False
+        for field in WCOJ_RUN_INTS:
+            if not isinstance(run.get(field), int) or run[field] < 0:
+                errors.append(f"{where}.{field} missing non-negative integer")
+                bad_int = True
+        if bad_int:
+            continue
+        if family in seen:
+            seen[family].append(run["n"])
+        if run["binary_total_ns"] != \
+                run["binary_plan_ns"] + run["binary_exec_ns"]:
+            errors.append(f"{where}: binary_total_ns != plan + exec")
+        if run["wcoj_total_ns"] != \
+                run["wcoj_build_ns"] + run["wcoj_search_ns"]:
+            errors.append(f"{where}: wcoj_total_ns != build + search")
+        if family == WCOJ_BAR_FAMILY and run["n"] >= WCOJ_BAR_MIN_N and \
+                run["wcoj_partial_tuples"] >= run["binary_intermediate_rows"]:
+            errors.append(
+                f"{where}: cycle n={run['n']}: wcoj partial tuples "
+                f"{run['wcoj_partial_tuples']} did not stay strictly below "
+                f"the binary ladder's {run['binary_intermediate_rows']} "
+                "intermediate rows — the WCOJ-tier acceptance bar")
+
+    for family, ns in seen.items():
+        if not ns:
+            errors.append(f"{path}: missing wcoj-bench family {family!r}")
+        elif family == WCOJ_BAR_FAMILY and max(ns) < WCOJ_BAR_MIN_N:
+            errors.append(f"{path}: family {family!r} has no run at "
+                          f"n >= {WCOJ_BAR_MIN_N} — the acceptance bar "
+                          "was never exercised")
+
+    counters = doc.get("taujoin_metrics", {}).get("counters", {})
+    if isinstance(counters, dict):
+        for name in ("wcoj.executions", "wcoj.trie_builds",
+                     "wcoj.partial_tuples"):
+            if counters.get(name, 0) <= 0:
+                errors.append(f"{path}: counter '{name}' recorded no "
+                              "traffic — the wcoj executor is disconnected")
+    return errors
+
+
 def check(path: str) -> list[str]:
     errors = []
     try:
@@ -447,6 +542,8 @@ def check(path: str) -> list[str]:
         errors.extend(check_kernel_schema(path, doc))
     elif doc.get("schema") == "taujoin-acyclic-bench/v1":
         errors.extend(check_acyclic_schema(path, doc))
+    elif doc.get("schema") == "taujoin-wcoj-bench/v1":
+        errors.extend(check_wcoj_schema(path, doc))
     return errors
 
 
