@@ -1,0 +1,558 @@
+// Network-serving benchmark + standalone server binary.
+//
+// Default (--bench) mode starts an in-process Server on an ephemeral
+// loopback port and drives it with a C++ client load generator: a warmup
+// pass touching every class once, then a saturation curve of load points
+// with increasing concurrency (connections x pipeline window), splitting
+// --queries across the points. Each load point reports q/s and
+// client-observed latency percentiles; the run ends with a stats scrape, a
+// `metrics` scrape validated against the Prometheus text grammar, and a
+// graceful drain asserting that every admitted query completed (the
+// zero-dropped-queries criterion). Writes BENCH_serve_net.json (schema
+// taujoin-serve-net-bench/v1, validated by tools/check_bench_metrics.py)
+// under the same Release gate as every other bench artifact.
+//
+// --serve mode runs the server standalone for external clients
+// (tools/serve_client.py): prints the bound port, installs the
+// SIGTERM/SIGINT drain handler, and blocks until drained.
+//
+// Usage:
+//   taujoin_server [--bench] [--queries=1000000] [--zipf=1.1] [--seed=42]
+//                  [--shards=N] [--queue-depth=N] [--execute]
+//                  [--cold-model=sketch] [--out=BENCH_serve_net.json]
+//   taujoin_server --serve [--port=7411] [--shards=N] [--execute] ...
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+#include "serve/workload_driver.h"
+
+namespace taujoin {
+namespace {
+
+#ifdef NDEBUG
+constexpr bool kReleaseBuild = true;
+constexpr const char* kBuildType = "release";
+#else
+constexpr bool kReleaseBuild = false;
+constexpr const char* kBuildType = "debug";
+#endif
+
+struct BenchConfig {
+  bool serve_mode = false;
+  int port = 7411;  // --serve default; --bench always binds ephemeral
+  uint64_t queries = 1'000'000;
+  double zipf = 1.1;
+  uint64_t seed = 42;
+  int shards = 0;       // 0 = env/default resolution
+  int queue_depth = 0;  // 0 = env/default resolution
+  bool execute = false;
+  ServeSizeModel size_model = ServeSizeModel::kSketch;
+  std::string out_path = "BENCH_serve_net.json";
+};
+
+/// Same class pool as bench/taujoin_serve.cc: one class per (shape, n)
+/// point, small enough that every optimizer tier gets exercised.
+std::vector<QueryClassSpec> BuiltinClassPool(uint64_t seed) {
+  std::vector<QueryClassSpec> pool;
+  const auto add = [&](QueryShape shape, int lo, int hi) {
+    for (int n = lo; n <= hi; ++n) {
+      QueryClassSpec spec;
+      spec.shape = shape;
+      spec.relation_count = n;
+      spec.rows_per_relation = 48;
+      spec.join_domain = 8;
+      spec.join_skew = 0.0;
+      spec.seed = seed + static_cast<uint64_t>(pool.size());
+      pool.push_back(spec);
+    }
+  };
+  add(QueryShape::kChain, 4, 9);
+  add(QueryShape::kStar, 4, 8);
+  add(QueryShape::kCycle, 4, 7);
+  add(QueryShape::kClique, 4, 6);
+  return pool;
+}
+
+/// The wire form of a class, i.e. the QueryClassSpec::Parse line format.
+std::string FormatClassSpec(const QueryClassSpec& spec) {
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer), "%s,%d,%d,%d,%g,%llu",
+                QueryShapeToString(spec.shape), spec.relation_count,
+                spec.rows_per_relation, spec.join_domain, spec.join_skew,
+                static_cast<unsigned long long>(spec.seed));
+  return buffer;
+}
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Blocking framed loopback client for the load generator.
+class BenchClient {
+ public:
+  bool Connect(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)) == 0;
+  }
+  ~BenchClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool Send(std::string_view payload) {
+    std::string framed;
+    AppendFrame(framed, payload);
+    size_t off = 0;
+    while (off < framed.size()) {
+      ssize_t n = ::write(fd_, framed.data() + off, framed.size() - off);
+      if (n <= 0) return false;
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  bool Recv(std::string* payload) {
+    for (;;) {
+      if (decoder_.Next(payload) == FrameDecoder::Result::kFrame) return true;
+      char buf[64 * 1024];
+      ssize_t n = ::read(fd_, buf, sizeof(buf));
+      if (n <= 0) return false;
+      decoder_.Feed(buf, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+struct LoadPointResult {
+  int connections = 0;
+  int window = 0;
+  uint64_t queries = 0;
+  uint64_t errors = 0;  // non-ok responses (should be 0 under the curve)
+  double wall_seconds = 0;
+  double qps = 0;
+  LatencySummary latency;
+};
+
+/// One load point: `connections` client threads, each pipelining up to
+/// `window` outstanding queries, splitting `queries` evenly. Latency is
+/// client-observed (send to response), correlated by echoed id because
+/// cross-shard completion reorders responses.
+LoadPointResult RunLoadPoint(int port, const std::vector<std::string>& pool,
+                             int connections, int window, uint64_t queries,
+                             double zipf, uint64_t seed) {
+  LoadPointResult result;
+  result.connections = connections;
+  result.window = window;
+  result.queries = queries;
+
+  std::vector<std::vector<uint64_t>> samples(
+      static_cast<size_t>(connections));
+  std::vector<uint64_t> errors(static_cast<size_t>(connections), 0);
+  std::vector<std::thread> threads;
+  const uint64_t start = NowNanos();
+  for (int c = 0; c < connections; ++c) {
+    const uint64_t share =
+        queries / connections + (c < static_cast<int>(queries % connections)
+                                     ? 1
+                                     : 0);
+    threads.emplace_back([&, c, share] {
+      BenchClient client;
+      if (!client.Connect(port)) {
+        errors[static_cast<size_t>(c)] += share;
+        return;
+      }
+      Rng rng(seed + static_cast<uint64_t>(c) * 7919);
+      std::vector<uint64_t>& lat = samples[static_cast<size_t>(c)];
+      lat.reserve(share);
+      // id → send time for the in-flight window.
+      std::vector<uint64_t> sent_at(static_cast<size_t>(window) + 1, 0);
+      uint64_t next_id = 0;
+      uint64_t outstanding = 0;
+      uint64_t done = 0;
+      std::string response;
+      while (done < share) {
+        while (outstanding < static_cast<uint64_t>(window) &&
+               next_id < share) {
+          const std::string& cls = pool[rng.Zipf(pool.size(), zipf)];
+          const uint64_t slot = next_id % sent_at.size();
+          sent_at[slot] = NowNanos();
+          if (!client.Send("{\"op\":\"query\",\"class\":\"" + cls +
+                           "\",\"id\":" + std::to_string(next_id) + "}")) {
+            errors[static_cast<size_t>(c)] += share - done;
+            return;
+          }
+          ++next_id;
+          ++outstanding;
+        }
+        if (!client.Recv(&response)) {
+          errors[static_cast<size_t>(c)] += share - done;
+          return;
+        }
+        --outstanding;
+        ++done;
+        const StatusOr<JsonValue> doc = ParseJson(response);
+        if (!doc.ok() || !doc->GetBool("ok")) {
+          ++errors[static_cast<size_t>(c)];
+          continue;
+        }
+        const JsonValue* id = doc->Find("id");
+        if (id == nullptr) continue;
+        const uint64_t echoed =
+            static_cast<uint64_t>(std::strtoull(id->number_text.c_str(),
+                                                nullptr, 10));
+        const uint64_t slot = echoed % sent_at.size();
+        lat.push_back(NowNanos() - sent_at[slot]);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  result.wall_seconds =
+      static_cast<double>(NowNanos() - start) / 1e9;
+
+  std::vector<uint64_t> all;
+  all.reserve(queries);
+  for (std::vector<uint64_t>& s : samples) {
+    all.insert(all.end(), s.begin(), s.end());
+  }
+  for (const uint64_t e : errors) result.errors += e;
+  result.latency = LatencySummary::FromSamples(std::move(all));
+  if (result.wall_seconds > 0) {
+    result.qps =
+        static_cast<double>(result.latency.count) / result.wall_seconds;
+  }
+  return result;
+}
+
+/// Prometheus text grammar check mirrored from the metrics tests: every
+/// non-comment line is `name{labels}? value` with a taujoin_-prefixed
+/// identifier. Returns the line count through *lines.
+bool PrometheusWellFormed(const std::string& text, int* lines) {
+  *lines = 0;
+  if (text.empty() || text.back() != '\n') return false;
+  size_t start = 0;
+  while (start < text.size()) {
+    const size_t end = text.find('\n', start);
+    if (end == std::string::npos) return false;
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    ++*lines;
+    if (line.rfind("# ", 0) == 0) continue;
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0) return false;
+    std::string name = line.substr(0, space);
+    const size_t brace = name.find('{');
+    if (brace != std::string::npos) {
+      if (name.back() != '}') return false;
+      name = name.substr(0, brace);
+    }
+    if (name.rfind("taujoin_", 0) != 0) return false;
+    for (const char c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_';
+      if (!ok) return false;
+    }
+  }
+  return true;
+}
+
+int ServeMain(const BenchConfig& config) {
+  ServerOptions options;
+  options.port = config.port;
+  options.shard_count = config.shards;
+  options.queue_depth = config.queue_depth;
+  options.execute = config.execute;
+  options.size_model = config.size_model;
+  Server server(options);
+  const Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "taujoin_server: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  InstallDrainSignalHandler(&server);
+  std::printf("taujoin_server: listening on port %d (%d shards)\n",
+              server.port(), server.shard_count());
+  std::fflush(stdout);
+  server.WaitUntilStopped();
+  InstallDrainSignalHandler(nullptr);
+  const ServerStats stats = server.stats();
+  std::fprintf(stderr,
+               "taujoin_server: drained (admitted=%llu completed=%llu)\n",
+               static_cast<unsigned long long>(stats.queries_admitted),
+               static_cast<unsigned long long>(stats.queries_completed));
+  return stats.queries_admitted == stats.queries_completed ? 0 : 1;
+}
+
+int BenchMain(const BenchConfig& config) {
+  ServerOptions options;
+  options.port = 0;  // ephemeral
+  options.shard_count = config.shards;
+  options.queue_depth = config.queue_depth;
+  options.execute = config.execute;
+  options.size_model = config.size_model;
+  Server server(options);
+  const Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "taujoin_server: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "taujoin_server: bench on port %d, %d shards, %llu queries, "
+               "build=%s\n",
+               server.port(), server.shard_count(),
+               static_cast<unsigned long long>(config.queries), kBuildType);
+
+  std::vector<std::string> pool;
+  for (const QueryClassSpec& spec : BuiltinClassPool(config.seed)) {
+    pool.push_back(FormatClassSpec(spec));
+  }
+
+  // Warmup: touch every class once so the sustained points measure the
+  // warm path (class build + cold optimize are paid here, exactly once
+  // per shard-pinned class).
+  {
+    BenchClient warm;
+    if (!warm.Connect(server.port())) {
+      std::fprintf(stderr, "taujoin_server: warmup connect failed\n");
+      return 1;
+    }
+    std::string response;
+    for (size_t i = 0; i < pool.size(); ++i) {
+      if (!warm.Send("{\"op\":\"query\",\"class\":\"" + pool[i] +
+                     "\",\"id\":" + std::to_string(i) + "}") ||
+          !warm.Recv(&response)) {
+        std::fprintf(stderr, "taujoin_server: warmup query failed\n");
+        return 1;
+      }
+    }
+  }
+
+  // Saturation curve: concurrency rises per point; the query budget is
+  // split across points so the whole curve sums to --queries.
+  struct Point {
+    int connections;
+    int window;
+  };
+  const std::vector<Point> points = {{1, 1}, {2, 8}, {4, 16}, {8, 32}};
+  std::vector<LoadPointResult> results;
+  uint64_t remaining = config.queries;
+  for (size_t i = 0; i < points.size(); ++i) {
+    const uint64_t share = i + 1 < points.size()
+                               ? config.queries / points.size()
+                               : remaining;
+    remaining -= share;
+    LoadPointResult r =
+        RunLoadPoint(server.port(), pool, points[i].connections,
+                     points[i].window, share, config.zipf,
+                     config.seed + 1000 * (i + 1));
+    std::fprintf(stderr,
+                 "  conns=%d window=%2d  %9llu q  %8.0f q/s  p50=%6.1fus  "
+                 "p95=%6.1fus  p99=%6.1fus  errors=%llu\n",
+                 r.connections, r.window,
+                 static_cast<unsigned long long>(r.queries), r.qps,
+                 static_cast<double>(r.latency.p50_ns) / 1e3,
+                 static_cast<double>(r.latency.p95_ns) / 1e3,
+                 static_cast<double>(r.latency.p99_ns) / 1e3,
+                 static_cast<unsigned long long>(r.errors));
+    results.push_back(std::move(r));
+  }
+
+  // Final scrapes + graceful drain over the wire.
+  std::string stats_payload;
+  std::string metrics_payload;
+  bool drain_ok = false;
+  {
+    BenchClient tail;
+    if (!tail.Connect(server.port())) {
+      std::fprintf(stderr, "taujoin_server: tail connect failed\n");
+      return 1;
+    }
+    if (!tail.Send("{\"op\":\"stats\"}") || !tail.Recv(&stats_payload)) {
+      std::fprintf(stderr, "taujoin_server: stats scrape failed\n");
+      return 1;
+    }
+    if (!tail.Send("{\"op\":\"metrics\"}") || !tail.Recv(&metrics_payload)) {
+      std::fprintf(stderr, "taujoin_server: metrics scrape failed\n");
+      return 1;
+    }
+    std::string drain_response;
+    if (tail.Send("{\"op\":\"drain\"}") && tail.Recv(&drain_response)) {
+      const StatusOr<JsonValue> doc = ParseJson(drain_response);
+      drain_ok = doc.ok() && doc->GetBool("drained");
+    }
+  }
+  server.WaitUntilStopped();
+
+  int metrics_lines = 0;
+  const bool metrics_ok = PrometheusWellFormed(metrics_payload,
+                                               &metrics_lines);
+  const ServerStats stats = server.stats();
+  const uint64_t dropped = stats.queries_admitted - stats.queries_completed;
+  std::fprintf(stderr,
+               "taujoin_server: drain_ok=%d dropped=%llu admitted=%llu "
+               "metrics: %d lines %s\n",
+               drain_ok ? 1 : 0, static_cast<unsigned long long>(dropped),
+               static_cast<unsigned long long>(stats.queries_admitted),
+               metrics_lines, metrics_ok ? "well-formed" : "MALFORMED");
+  if (!drain_ok || dropped != 0 || !metrics_ok) {
+    std::fprintf(stderr, "taujoin_server: acceptance criteria FAILED\n");
+    return 1;
+  }
+
+  const char* allow = std::getenv("TAUJOIN_ALLOW_NONRELEASE_JSON");
+  const bool allow_nonrelease =
+      allow != nullptr && allow[0] != '\0' && std::string(allow) != "0";
+  if (!kReleaseBuild && !allow_nonrelease) {
+    std::fprintf(stderr,
+                 "\n*** TAUJOIN WARNING ***\n"
+                 "Non-Release build: refusing to write %s (set "
+                 "TAUJOIN_ALLOW_NONRELEASE_JSON=1 to override).\n",
+                 config.out_path.c_str());
+    MaybeReportProcessMetrics();
+    return 0;
+  }
+
+  std::string json = "{\n";
+  json += "  \"schema\": \"taujoin-serve-net-bench/v1\",\n";
+  json += "  \"context\": {\n";
+  json += std::string("    \"taujoin_build_type\": \"") + kBuildType +
+          "\",\n";
+  json += "    \"queries\": " + std::to_string(config.queries) + ",\n";
+  json += "    \"zipf\": " + std::to_string(config.zipf) + ",\n";
+  json += "    \"seed\": " + std::to_string(config.seed) + ",\n";
+  json += "    \"shards\": " + std::to_string(server.shard_count()) + ",\n";
+  json += "    \"queue_depth\": " +
+          std::to_string(ResolveServerQueueDepth(config.queue_depth)) + ",\n";
+  json += std::string("    \"cold_model\": \"") +
+          ServeSizeModelToString(config.size_model) + "\",\n";
+  json += std::string("    \"execute\": ") +
+          (config.execute ? "true" : "false") + ",\n";
+  json += "    \"classes\": " + std::to_string(pool.size()) + "\n";
+  json += "  },\n";
+  json += "  \"load_points\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const LoadPointResult& r = results[i];
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "    {\"connections\": %d, \"window\": %d, "
+                  "\"queries\": %llu, \"errors\": %llu, "
+                  "\"wall_seconds\": %.6f, \"qps\": %.1f, \"latency\": ",
+                  r.connections, r.window,
+                  static_cast<unsigned long long>(r.queries),
+                  static_cast<unsigned long long>(r.errors), r.wall_seconds,
+                  r.qps);
+    json += line;
+    json += r.latency.ToJson() + "}";
+    json += (i + 1 < results.size()) ? ",\n" : "\n";
+  }
+  json += "  ],\n";
+  json += "  \"drain\": {\"drain_ok\": true, \"admitted\": " +
+          std::to_string(stats.queries_admitted) +
+          ", \"completed\": " + std::to_string(stats.queries_completed) +
+          ", \"dropped\": 0, \"rejected_overload\": " +
+          std::to_string(stats.rejected_overload) + "},\n";
+  json += "  \"metrics_scrape\": {\"lines\": " +
+          std::to_string(metrics_lines) + ", \"well_formed\": true},\n";
+  json += "  \"server_stats\": " + stats_payload + ",\n";
+  json += "  \"taujoin_metrics\": " +
+          MetricsRegistry::Global().Snapshot().ToJson() + "\n";
+  json += "}\n";
+
+  std::ofstream out(config.out_path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "taujoin_server: cannot write %s\n",
+                 config.out_path.c_str());
+    return 1;
+  }
+  out << json;
+  std::fprintf(stderr, "taujoin_server: wrote %s\n",
+               config.out_path.c_str());
+  MaybeReportProcessMetrics();
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    const auto value = [&](const char* prefix) {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg == "--bench") {
+      config.serve_mode = false;
+    } else if (arg == "--serve") {
+      config.serve_mode = true;
+    } else if (arg.rfind("--port=", 0) == 0) {
+      config.port = std::atoi(value("--port=").c_str());
+    } else if (arg.rfind("--queries=", 0) == 0) {
+      config.queries = static_cast<uint64_t>(
+          std::atoll(value("--queries=").c_str()));
+    } else if (arg.rfind("--zipf=", 0) == 0) {
+      config.zipf = std::atof(value("--zipf=").c_str());
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      config.seed =
+          static_cast<uint64_t>(std::atoll(value("--seed=").c_str()));
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      config.shards = std::atoi(value("--shards=").c_str());
+    } else if (arg.rfind("--queue-depth=", 0) == 0) {
+      config.queue_depth = std::atoi(value("--queue-depth=").c_str());
+    } else if (arg == "--execute") {
+      config.execute = true;
+    } else if (arg.rfind("--cold-model=", 0) == 0) {
+      StatusOr<ServeSizeModel> model =
+          ParseServeSizeModel(value("--cold-model="));
+      if (!model.ok()) {
+        std::fprintf(stderr, "taujoin_server: %s\n",
+                     model.status().ToString().c_str());
+        return 1;
+      }
+      config.size_model = *model;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      config.out_path = value("--out=");
+    } else {
+      std::fprintf(stderr, "taujoin_server: unknown argument %s\n",
+                   arg.c_str());
+      return 1;
+    }
+  }
+  if (!config.serve_mode && config.queries < 4) {
+    std::fprintf(stderr, "taujoin_server: --queries must be >= 4\n");
+    return 1;
+  }
+  return config.serve_mode ? ServeMain(config) : BenchMain(config);
+}
+
+}  // namespace
+}  // namespace taujoin
+
+int main(int argc, char** argv) { return taujoin::Main(argc, argv); }

@@ -85,6 +85,7 @@ TimerSnapshot Timer::Snapshot(const std::string& name) const {
     return snap.max_nanos;
   };
   snap.p50_nanos = quantile(0.50);
+  snap.p95_nanos = quantile(0.95);
   snap.p99_nanos = quantile(0.99);
   return snap;
 }
@@ -221,6 +222,7 @@ std::string MetricsSnapshot::ToJson() const {
     out += ", \"min_ns\": " + std::to_string(timer.min_nanos);
     out += ", \"max_ns\": " + std::to_string(timer.max_nanos);
     out += ", \"p50_ns\": " + std::to_string(timer.p50_nanos);
+    out += ", \"p95_ns\": " + std::to_string(timer.p95_nanos);
     out += ", \"p99_ns\": " + std::to_string(timer.p99_nanos);
     out += "}";
   }
@@ -259,6 +261,56 @@ std::string MetricsSnapshot::ToString() const {
     out += line;
   }
   if (out.empty()) out = "(no metrics recorded)\n";
+  return out;
+}
+
+namespace {
+
+/// Prometheus metric name: `taujoin_` + name with [^a-zA-Z0-9_] → '_'.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "taujoin_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string PrometheusSeconds(uint64_t nanos) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g",
+                static_cast<double>(nanos) / 1e9);
+  return buffer;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    const std::string metric = PrometheusName(name) + "_total";
+    out += "# TYPE " + metric + " counter\n";
+    out += metric + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string metric = PrometheusName(name);
+    out += "# TYPE " + metric + " gauge\n";
+    out += metric + " " + std::to_string(value) + "\n";
+  }
+  for (const TimerSnapshot& timer : timers) {
+    const std::string metric = PrometheusName(timer.name) + "_seconds";
+    out += "# TYPE " + metric + " summary\n";
+    out += metric + "{quantile=\"0.5\"} " + PrometheusSeconds(timer.p50_nanos) +
+           "\n";
+    out += metric + "{quantile=\"0.95\"} " +
+           PrometheusSeconds(timer.p95_nanos) + "\n";
+    out += metric + "{quantile=\"0.99\"} " +
+           PrometheusSeconds(timer.p99_nanos) + "\n";
+    out += metric + "_sum " + PrometheusSeconds(timer.total_nanos) + "\n";
+    out += metric + "_count " + std::to_string(timer.count) + "\n";
+  }
   return out;
 }
 

@@ -76,6 +76,7 @@ struct TimerSnapshot {
   uint64_t min_nanos = 0;
   uint64_t max_nanos = 0;
   uint64_t p50_nanos = 0;
+  uint64_t p95_nanos = 0;
   uint64_t p99_nanos = 0;
 };
 
@@ -136,6 +137,13 @@ struct MetricsSnapshot {
   std::string ToJson() const;
   /// Aligned human-readable report (EXPLAIN ANALYZE section).
   std::string ToString() const;
+  /// Prometheus text exposition format (version 0.0.4), the payload the
+  /// query server returns for a `metrics` request. Instrument names are
+  /// prefixed `taujoin_` with non-alphanumerics mapped to '_'; counters
+  /// render as `<name>_total`, gauges as-is, and timers as summaries in
+  /// seconds (`<name>_seconds{quantile="0.5|0.95|0.99"}` plus `_sum` and
+  /// `_count`), so dashboards get live p50/p95/p99 per phase for free.
+  std::string ToPrometheusText() const;
 };
 
 /// Named instrument registry. Instruments are created on first use, never

@@ -133,18 +133,19 @@ void PlanCache::RemoveFromIndex(Shard& shard, uint64_t hash,
 }
 
 void PlanCache::Insert(const QueryFingerprint& fp, const Strategy& plan,
-                       uint64_t cost, const JoinTree* join_tree, bool wcoj) {
+                       const PlanCacheEntryInit& init) {
   const uint64_t hash = EffectiveHash(fp);
   Entry entry;
   entry.hash = hash;
   entry.key = fp.key;
   entry.canonical_plan = plan.RelabelLeaves(fp.canonical_position);
-  entry.cost = cost;
-  if (join_tree != nullptr) {
+  entry.cost = init.cost;
+  if (init.join_tree != nullptr) {
     entry.acyclic = true;
-    entry.canonical_tree = RelabelJoinTree(*join_tree, MemberToCanonical(fp));
+    entry.canonical_tree =
+        RelabelJoinTree(*init.join_tree, MemberToCanonical(fp));
   }
-  entry.wcoj = wcoj;
+  entry.wcoj = init.wcoj;
   entry.bytes = EntryBytes(entry);
 
   Shard& shard = ShardOf(hash);

@@ -36,6 +36,27 @@ struct CachedPlan {
   bool wcoj = false;
 };
 
+/// Everything Insert records alongside the strategy itself. The route
+/// verdicts grew one positional parameter per serving tier (PR 8 added the
+/// join tree, PR 9 the wcoj flag); the struct keeps the call sites legible
+/// and gives the next tier a named slot instead of a sixth position.
+/// Entry layout notes live in DESIGN.md ("Plan-cache entry layout").
+struct PlanCacheEntryInit {
+  /// Model cost of the plan (the tier ladder's winning score).
+  uint64_t cost = 0;
+  /// Non-null records the fingerprint-time acyclic verdict: the validated
+  /// GYO join tree for the fingerprinted mask, in the AcyclicAnalysis
+  /// member-index convention. Stored in canonical fingerprint space
+  /// (relabeled exactly like the strategy's leaves) and transported back
+  /// out on every hit, so isomorphic queries share the Yannakakis route.
+  const JoinTree* join_tree = nullptr;
+  /// The fingerprint-time worst-case-optimal verdict: route hits through
+  /// GenericJoinExecute. No transport needed — the executor binds
+  /// attributes, so the flag alone routes the hit. Mutually exclusive
+  /// with a non-null join_tree (the kWcoj tier only takes cyclic schemes).
+  bool wcoj = false;
+};
+
 struct PlanCacheOptions {
   /// Byte budget across all shards; entries are evicted LRU (per shard)
   /// once the shard's share is exceeded. Accounted bytes are the canonical
@@ -85,19 +106,13 @@ class PlanCache {
   /// nullopt. Counts a hit or a miss.
   std::optional<CachedPlan> Lookup(const QueryFingerprint& fp);
 
-  /// Caches `plan` (with model cost `cost`) under `fp`, evicting LRU
+  /// Caches `plan` under `fp` with the metadata in `init`, evicting LRU
   /// entries if the byte budget overflows. An entry larger than a whole
   /// shard's budget is accepted and evicts everything else in its shard —
-  /// the cache never refuses the newest plan. A non-null `join_tree`
-  /// records the fingerprint's acyclic verdict alongside the plan: the
-  /// tree (in the AcyclicAnalysis member-index convention) is stored in
-  /// canonical fingerprint space — relabeled exactly like the strategy's
-  /// leaves — and transported back out on every hit, so isomorphic queries
-  /// share the Yannakakis route too. `wcoj` records the worst-case-optimal
-  /// verdict the same way (no transport needed — the executor binds
-  /// attributes, so the flag alone routes the hit).
-  void Insert(const QueryFingerprint& fp, const Strategy& plan, uint64_t cost,
-              const JoinTree* join_tree = nullptr, bool wcoj = false);
+  /// the cache never refuses the newest plan. See PlanCacheEntryInit for
+  /// the route-verdict semantics.
+  void Insert(const QueryFingerprint& fp, const Strategy& plan,
+              const PlanCacheEntryInit& init);
 
   PlanCacheStats stats() const;
   size_t bytes() const;

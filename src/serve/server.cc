@@ -1,0 +1,790 @@
+#include "serve/server.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <arpa/inet.h>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/parse.h"
+#include "common/thread_pool.h"
+#include "optimize/adaptive.h"
+
+namespace taujoin {
+
+namespace {
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool g_warned_shards = false;
+bool g_warned_queue_depth = false;
+bool g_warned_max_frame = false;
+
+/// One env-knob read with the warn-once contract every TAUJOIN_* knob
+/// follows: set but unparsable (or out of [1, max]) warns to stderr the
+/// first time and falls back to `fallback`.
+int64_t ReadEnvKnob(const char* var, int64_t fallback, int64_t max,
+                    bool* warned) {
+  const char* text = getenv(var);
+  if (text == nullptr || *text == '\0') return fallback;
+  int64_t parsed = ParsePositiveInt(text, max);
+  if (parsed > 0) return parsed;
+  if (!*warned) {
+    *warned = true;
+    std::fprintf(stderr,
+                 "taujoin: ignoring invalid %s=\"%s\" (want integer in "
+                 "[1, %lld]); using %lld\n",
+                 var, text, static_cast<long long>(max),
+                 static_cast<long long>(fallback));
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int ResolveServerShards(int requested) {
+  if (requested > 0) return requested;
+  // Shards own full driver state (dictionary, cache, class map); more of
+  // them than cores buys nothing, and past 16 the per-shard caches get
+  // thin. ResolveThreads already honors TAUJOIN_THREADS.
+  int fallback = std::min(16, std::max(1, ResolveThreads(0)));
+  return static_cast<int>(ReadEnvKnob("TAUJOIN_SERVER_SHARDS", fallback, 256,
+                                      &g_warned_shards));
+}
+
+int ResolveServerQueueDepth(int requested) {
+  if (requested > 0) return requested;
+  return static_cast<int>(ReadEnvKnob("TAUJOIN_SERVER_QUEUE_DEPTH", 256,
+                                      1 << 20, &g_warned_queue_depth));
+}
+
+size_t ResolveServerMaxFrame(size_t requested) {
+  if (requested > 0) return requested;
+  return static_cast<size_t>(ReadEnvKnob("TAUJOIN_SERVER_MAX_FRAME",
+                                         static_cast<int64_t>(kDefaultMaxFrameBytes),
+                                         int64_t{1} << 30,
+                                         &g_warned_max_frame));
+}
+
+void ResetServerEnvWarningsForTest() {
+  g_warned_shards = false;
+  g_warned_queue_depth = false;
+  g_warned_max_frame = false;
+}
+
+void ServerGate::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  open_ = false;
+}
+
+void ServerGate::Open() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = true;
+  }
+  cv_.notify_all();
+}
+
+void ServerGate::WaitWhileClosed() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return open_; });
+}
+
+/// One accepted socket. The I/O thread owns fd lifecycle, the decoder, and
+/// epoll registration; workers only append to the mutex-guarded outbox and
+/// enqueue the connection for flushing.
+struct Server::Connection {
+  int fd = -1;
+  FrameDecoder decoder;
+  /// Encoded (framed) bytes awaiting write, guarded by `mu` — workers
+  /// append completions while the I/O thread drains.
+  std::mutex mu;
+  std::string outbox;
+  size_t outbox_offset = 0;  ///< written prefix of outbox (I/O thread only)
+  bool want_write = false;   ///< EPOLLOUT currently armed (I/O thread only)
+  bool closed = false;       ///< fd closed; late worker responses drop
+};
+
+/// One admitted query waiting for (or being served by) a shard worker.
+struct Server::Job {
+  std::shared_ptr<Connection> conn;
+  QueryClassSpec spec;
+  bool execute = false;
+  bool explain = false;
+  /// Verbatim "id" value from the request (JSON source text) echoed into
+  /// the response, empty when absent. Cross-shard completion reorders
+  /// responses, so clients correlate by id.
+  std::string id_json;
+  uint64_t enqueue_nanos = 0;
+};
+
+/// One shard: a worker thread plus the serving state it exclusively owns.
+struct Server::Shard {
+  std::unique_ptr<PlanCache> cache;
+  std::unique_ptr<WorkloadDriver> driver;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Job> queue;
+  bool stop = false;
+  std::thread worker;
+};
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {
+  options_.shard_count = ResolveServerShards(options_.shard_count);
+  options_.queue_depth = ResolveServerQueueDepth(options_.queue_depth);
+  options_.max_frame_bytes = ResolveServerMaxFrame(options_.max_frame_bytes);
+  shards_.reserve(static_cast<size_t>(options_.shard_count));
+  for (int i = 0; i < options_.shard_count; ++i) {
+    auto shard = std::make_unique<Shard>();
+    PlanCacheOptions cache_options;
+    cache_options.max_bytes = options_.cache_bytes_per_shard;
+    cache_options.shard_count = 1;  // the server shard *is* the shard
+    shard->cache = std::make_unique<PlanCache>(cache_options);
+    WorkloadDriverOptions driver_options;
+    driver_options.cache = shard->cache.get();
+    driver_options.size_model = options_.size_model;
+    driver_options.execute = options_.execute;
+    driver_options.capture_plan = true;
+    // Each shard interns into a private dictionary and serves on its own
+    // thread — intra-query parallelism would let shards steal each other's
+    // cores, so the driver runs strictly single-threaded.
+    driver_options.dictionary = std::make_shared<ValueDictionary>();
+    driver_options.parallel.threads = 1;
+    shard->driver = std::make_unique<WorkloadDriver>(driver_options);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (started_.exchange(true)) {
+    return FailedPreconditionError("server already started");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return InternalError(std::string("socket: ") + strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgumentError("bad host: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return InternalError(std::string("bind: ") + strerror(errno));
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    return InternalError(std::string("listen: ") + strerror(errno));
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    return InternalError(std::string("epoll_create1: ") + strerror(errno));
+  }
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) {
+    return InternalError(std::string("eventfd: ") + strerror(errno));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    s->worker = std::thread([this, s] { WorkerLoop(*s); });
+  }
+  io_thread_ = std::thread([this] { IoLoop(); });
+  return Status::Ok();
+}
+
+void Server::RequestDrain() {
+  // Async-signal-safe on purpose (the SIGTERM handler calls this): one
+  // lock-free exchange and one write(2). The serve.server.drains metric is
+  // bumped by the I/O thread when it observes the flag, never here.
+  draining_.store(true, std::memory_order_release);
+  Wake();
+}
+
+void Server::WaitUntilStopped() {
+  std::unique_lock<std::mutex> lock(stopped_mu_);
+  stopped_cv_.wait(lock, [this] { return stopped_.load(); });
+}
+
+void Server::Stop() {
+  if (!started_.load()) return;
+  RequestDrain();
+  WaitUntilStopped();
+  if (io_thread_.joinable()) io_thread_.join();
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.connections_opened = connections_opened_.load();
+  s.connections_closed = connections_closed_.load();
+  s.frames_received = frames_received_.load();
+  s.requests = requests_.load();
+  s.queries_admitted = queries_admitted_.load();
+  s.queries_completed = queries_completed_.load();
+  s.rejected_overload = rejected_overload_.load();
+  s.rejected_draining = rejected_draining_.load();
+  s.malformed = malformed_.load();
+  s.oversized = oversized_.load();
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    s.queue_depth += shard->queue.size();
+  }
+  return s;
+}
+
+void Server::Wake() {
+  if (wake_fd_ < 0) return;
+  uint64_t one = 1;
+  // Async-signal-safe (the SIGTERM handler lands here via RequestDrain);
+  // EAGAIN just means a wake is already pending.
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+bool Server::DrainComplete() const {
+  if (queries_completed_.load(std::memory_order_acquire) !=
+      queries_admitted_.load(std::memory_order_acquire)) {
+    return false;
+  }
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    if (!shard->queue.empty()) return false;
+  }
+  return true;
+}
+
+void Server::WorkerLoop(Shard& shard) {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(shard.mu);
+      shard.cv.wait(lock,
+                    [&shard] { return shard.stop || !shard.queue.empty(); });
+      if (shard.queue.empty()) {
+        if (shard.stop) return;
+        continue;
+      }
+      job = std::move(shard.queue.front());
+      shard.queue.pop_front();
+    }
+    TAUJOIN_METRIC_GAUGE_ADD("serve.server.queue_depth", -1);
+    if (options_.worker_gate_for_test != nullptr) {
+      options_.worker_gate_for_test->WaitWhileClosed();
+    }
+
+    QueryOutcome outcome = shard.driver->ServeOne(job.spec);
+    uint64_t done_nanos = NowNanos();
+
+    std::string payload = "{\"ok\":true";
+    if (!job.id_json.empty()) payload += ",\"id\":" + job.id_json;
+    payload += ",\"class\":" + JsonQuote(job.spec.Key());
+    payload += std::string(",\"cache_hit\":") +
+               (outcome.cache_hit ? "true" : "false");
+    const char* route = outcome.acyclic ? "acyclic"
+                        : outcome.wcoj  ? "wcoj"
+                                        : "binary";
+    payload += ",\"route\":" + JsonQuote(route);
+    if (!outcome.cache_hit) {
+      payload += ",\"tier\":" + JsonQuote(OptimizerTierToString(outcome.tier));
+    }
+    payload += ",\"cost\":" + std::to_string(outcome.cost);
+    payload += ",\"optimize_ns\":" + std::to_string(outcome.optimize_ns);
+    if (job.execute) {
+      payload += ",\"execute_ns\":" + std::to_string(outcome.execute_ns);
+    }
+    payload += ",\"total_ns\":" + std::to_string(outcome.total_ns);
+    if (job.explain) payload += ",\"plan\":" + JsonQuote(outcome.plan_text);
+    payload += "}";
+
+    SendPayload(job.conn, payload);
+    TAUJOIN_METRIC_INCR("serve.server.queries_completed");
+    if (MetricsEnabled()) {
+      static Timer* request_timer =
+          MetricsRegistry::Global().GetTimer("serve.server.request_ns");
+      request_timer->Record(done_nanos - job.enqueue_nanos);
+    }
+    queries_completed_.fetch_add(1, std::memory_order_release);
+    // The drain barrier watches admitted == completed; completing the last
+    // in-flight query must wake the I/O thread so it can release the
+    // drain waiters and stop.
+    if (draining_.load(std::memory_order_acquire)) Wake();
+  }
+}
+
+void Server::SendPayload(const std::shared_ptr<Connection>& conn,
+                         std::string_view payload) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->closed) return;
+    AppendFrame(conn->outbox, payload);
+  }
+  TAUJOIN_METRIC_COUNT("serve.server.bytes_sent", payload.size() + 4);
+  {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    flush_queue_.push_back(conn);
+  }
+  Wake();
+}
+
+void Server::SendError(const std::shared_ptr<Connection>& conn,
+                       const JsonValue* request, const char* code,
+                       const std::string& message) {
+  std::string payload = "{\"ok\":false";
+  if (request != nullptr) {
+    const JsonValue* id = request->Find("id");
+    if (id != nullptr) payload += ",\"id\":" + id->ToJson();
+  }
+  payload += ",\"error\":{\"code\":" + JsonQuote(code) +
+             ",\"message\":" + JsonQuote(message) + "}}";
+  SendPayload(conn, payload);
+}
+
+void Server::IoLoop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  bool drain_observed = false;
+  while (true) {
+    // Once draining, poll with a timeout so the admitted == completed
+    // barrier is re-checked even if a worker's wake raced the epoll_wait.
+    int timeout_ms = draining_.load(std::memory_order_acquire) ? 10 : -1;
+    int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        AcceptPending();
+        continue;
+      }
+      if (fd == wake_fd_) {
+        uint64_t drainv;
+        while (::read(wake_fd_, &drainv, sizeof(drainv)) > 0) {
+        }
+        continue;
+      }
+      auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;
+      std::shared_ptr<Connection> conn = it->second;
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        CloseConnection(conn);
+        continue;
+      }
+      if ((events[i].events & EPOLLIN) != 0) HandleReadable(conn);
+      if ((events[i].events & EPOLLOUT) != 0) FlushConnection(conn);
+    }
+    // Drain the worker-completion flush queue.
+    for (;;) {
+      std::shared_ptr<Connection> conn;
+      {
+        std::lock_guard<std::mutex> lock(flush_mu_);
+        if (flush_queue_.empty()) break;
+        conn = std::move(flush_queue_.front());
+        flush_queue_.pop_front();
+      }
+      FlushConnection(conn);
+    }
+    if (draining_.load(std::memory_order_acquire)) {
+      if (!drain_observed) {
+        drain_observed = true;
+        TAUJOIN_METRIC_INCR("serve.server.drains");
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+      }
+      if (DrainComplete()) {
+        // Answer every pending `drain` request (once), then keep the loop
+        // alive until every connection's outbox is on the wire — a slow
+        // reader must still get its final responses before teardown.
+        for (auto& [conn, payload] : drain_waiters_) {
+          SendPayload(conn, payload);
+        }
+        drain_waiters_.clear();
+        std::vector<std::shared_ptr<Connection>> open;
+        open.reserve(connections_.size());
+        for (auto& [fd, conn] : connections_) open.push_back(conn);
+        bool pending = false;
+        for (auto& conn : open) {
+          FlushConnection(conn);
+          std::lock_guard<std::mutex> lock(conn->mu);
+          if (!conn->closed && conn->outbox_offset < conn->outbox.size()) {
+            pending = true;
+          }
+        }
+        if (!pending) break;
+      }
+    }
+  }
+  // Teardown: stop workers, close sockets, release waiters.
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->stop = true;
+    }
+    shard->cv.notify_all();
+  }
+  std::vector<std::shared_ptr<Connection>> remaining;
+  remaining.reserve(connections_.size());
+  for (auto& [fd, conn] : connections_) remaining.push_back(conn);
+  for (auto& conn : remaining) CloseConnection(conn);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  listen_fd_ = wake_fd_ = epoll_fd_ = -1;
+  {
+    std::lock_guard<std::mutex> lock(stopped_mu_);
+    stopped_.store(true);
+  }
+  stopped_cv_.notify_all();
+}
+
+void Server::AcceptPending() {
+  for (;;) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    conn->decoder = FrameDecoder(options_.max_frame_bytes);
+    connections_[fd] = conn;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    connections_opened_.fetch_add(1);
+    TAUJOIN_METRIC_INCR("serve.server.connections_opened");
+    TAUJOIN_METRIC_GAUGE_ADD("serve.server.active_connections", 1);
+  }
+}
+
+void Server::HandleReadable(const std::shared_ptr<Connection>& conn) {
+  char buf[64 * 1024];
+  for (;;) {
+    ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+    if (n > 0) {
+      TAUJOIN_METRIC_COUNT("serve.server.bytes_received",
+                           static_cast<uint64_t>(n));
+      conn->decoder.Feed(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {  // peer closed
+      CloseConnection(conn);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConnection(conn);
+    return;
+  }
+  for (;;) {
+    std::string payload;
+    FrameDecoder::Result r = conn->decoder.Next(&payload);
+    if (r == FrameDecoder::Result::kNeedMore) break;
+    if (r == FrameDecoder::Result::kOversized) {
+      // The length prefix alone condemned the frame; the stream has no
+      // recoverable framing past it, so reject and hang up.
+      oversized_.fetch_add(1);
+      TAUJOIN_METRIC_INCR("serve.server.oversized_frames");
+      SendError(conn, nullptr, "OVERSIZED",
+                "frame exceeds max_frame_bytes=" +
+                    std::to_string(options_.max_frame_bytes));
+      FlushConnection(conn);
+      CloseConnection(conn);
+      return;
+    }
+    frames_received_.fetch_add(1);
+    TAUJOIN_METRIC_INCR("serve.server.frames_received");
+    HandleFrame(conn, payload);
+    if (conn->closed) return;
+  }
+}
+
+void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
+                         const std::string& payload) {
+  StatusOr<JsonValue> parsed = ParseJson(payload);
+  if (!parsed.ok()) {
+    malformed_.fetch_add(1);
+    TAUJOIN_METRIC_INCR("serve.server.malformed_frames");
+    SendError(conn, nullptr, "MALFORMED", parsed.status().message());
+    return;
+  }
+  if (parsed->type != JsonValue::Type::kObject) {
+    malformed_.fetch_add(1);
+    TAUJOIN_METRIC_INCR("serve.server.malformed_frames");
+    SendError(conn, nullptr, "MALFORMED", "request must be a JSON object");
+    return;
+  }
+  HandleRequest(conn, *parsed);
+}
+
+void Server::HandleRequest(const std::shared_ptr<Connection>& conn,
+                           const JsonValue& request) {
+  const JsonValue* op = request.Find("op");
+  if (op == nullptr || op->type != JsonValue::Type::kString) {
+    malformed_.fetch_add(1);
+    TAUJOIN_METRIC_INCR("serve.server.malformed_frames");
+    SendError(conn, &request, "MALFORMED", "missing string field \"op\"");
+    return;
+  }
+  requests_.fetch_add(1);
+  TAUJOIN_METRIC_INCR("serve.server.requests");
+
+  if (op->string_value == "ping") {
+    const JsonValue* id = request.Find("id");
+    std::string payload = "{\"ok\":true";
+    if (id != nullptr) payload += ",\"id\":" + id->ToJson();
+    payload += ",\"pong\":true}";
+    SendPayload(conn, payload);
+    return;
+  }
+
+  if (op->string_value == "stats") {
+    SendPayload(conn, StatsJson());
+    return;
+  }
+
+  if (op->string_value == "metrics") {
+    // Prometheus text, not JSON — the one op whose payload is scraped
+    // verbatim by monitoring.
+    UpdateQps();
+    SendPayload(conn, MetricsRegistry::Global().Snapshot().ToPrometheusText());
+    return;
+  }
+
+  if (op->string_value == "drain") {
+    RequestDrain();
+    const JsonValue* id = request.Find("id");
+    std::string payload = "{\"ok\":true";
+    if (id != nullptr) payload += ",\"id\":" + id->ToJson();
+    payload += ",\"drained\":true}";
+    // Deferred: answered only once admitted == completed, so a client that
+    // sees this response knows no query was dropped.
+    drain_waiters_.emplace_back(conn, std::move(payload));
+    return;
+  }
+
+  if (op->string_value == "query") {
+    if (draining_.load(std::memory_order_acquire)) {
+      rejected_draining_.fetch_add(1);
+      TAUJOIN_METRIC_INCR("serve.server.rejected_draining");
+      SendError(conn, &request, "DRAINING", "server is draining");
+      return;
+    }
+    const JsonValue* cls = request.Find("class");
+    if (cls == nullptr || cls->type != JsonValue::Type::kString) {
+      malformed_.fetch_add(1);
+      TAUJOIN_METRIC_INCR("serve.server.malformed_frames");
+      SendError(conn, &request, "MALFORMED",
+                "missing string field \"class\"");
+      return;
+    }
+    StatusOr<QueryClassSpec> spec =
+        QueryClassSpec::Parse(cls->string_value);
+    if (!spec.ok()) {
+      SendError(conn, &request, "BAD_CLASS", spec.status().message());
+      return;
+    }
+    Job job;
+    job.conn = conn;
+    job.spec = *spec;
+    job.execute = options_.execute;
+    if (const JsonValue* ex = request.Find("execute");
+        ex != nullptr && ex->type == JsonValue::Type::kBool) {
+      job.execute = ex->bool_value;
+    }
+    if (const JsonValue* expl = request.Find("explain");
+        expl != nullptr && expl->type == JsonValue::Type::kBool) {
+      job.explain = expl->bool_value;
+    }
+    if (const JsonValue* id = request.Find("id")) job.id_json = id->ToJson();
+    job.enqueue_nanos = NowNanos();
+
+    // Class-key hash pins every repeat of a class to one shard, so its
+    // database, fingerprint, and cached plan live (and stay hot) in
+    // exactly one place.
+    size_t shard_index =
+        std::hash<std::string>{}(job.spec.Key()) % shards_.size();
+    Shard& shard = *shards_[shard_index];
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (static_cast<int>(shard.queue.size()) >= options_.queue_depth) {
+        rejected_overload_.fetch_add(1);
+        TAUJOIN_METRIC_INCR("serve.server.rejected_overload");
+        SendError(conn, &request, "OVERLOADED",
+                  "shard " + std::to_string(shard_index) +
+                      " queue full (depth " +
+                      std::to_string(options_.queue_depth) + ")");
+        return;
+      }
+      // Admission is decided under the shard lock: the admitted counter
+      // must move with the enqueue or the drain barrier could observe
+      // admitted < completed mid-flight.
+      queries_admitted_.fetch_add(1, std::memory_order_release);
+      shard.queue.push_back(std::move(job));
+    }
+    shard.cv.notify_one();
+    TAUJOIN_METRIC_INCR("serve.server.queries_admitted");
+    TAUJOIN_METRIC_GAUGE_ADD("serve.server.queue_depth", 1);
+    return;
+  }
+
+  SendError(conn, &request, "UNKNOWN_OP",
+            "unknown op " + JsonQuote(op->string_value));
+}
+
+void Server::UpdateQps() {
+  if (!MetricsEnabled()) return;
+  uint64_t now = NowNanos();
+  uint64_t completed = queries_completed_.load();
+  static Gauge* qps_gauge = nullptr;
+  if (qps_gauge == nullptr) {
+    qps_gauge = MetricsRegistry::Global().GetGauge("serve.server.qps");
+  }
+  if (qps_last_nanos_ != 0 && now > qps_last_nanos_) {
+    double seconds = static_cast<double>(now - qps_last_nanos_) / 1e9;
+    double qps =
+        static_cast<double>(completed - qps_last_completed_) / seconds;
+    qps_gauge->Set(static_cast<int64_t>(qps));
+  }
+  qps_last_nanos_ = now;
+  qps_last_completed_ = completed;
+}
+
+std::string Server::StatsJson() {
+  UpdateQps();
+  ServerStats s = stats();
+  std::string out = "{\"ok\":true,\"stats\":{";
+  out += "\"connections_opened\":" + std::to_string(s.connections_opened);
+  out += ",\"connections_closed\":" + std::to_string(s.connections_closed);
+  out += ",\"frames_received\":" + std::to_string(s.frames_received);
+  out += ",\"requests\":" + std::to_string(s.requests);
+  out += ",\"queries_admitted\":" + std::to_string(s.queries_admitted);
+  out += ",\"queries_completed\":" + std::to_string(s.queries_completed);
+  out += ",\"rejected_overload\":" + std::to_string(s.rejected_overload);
+  out += ",\"rejected_draining\":" + std::to_string(s.rejected_draining);
+  out += ",\"malformed\":" + std::to_string(s.malformed);
+  out += ",\"oversized\":" + std::to_string(s.oversized);
+  out += ",\"queue_depth\":" + std::to_string(s.queue_depth);
+  out += ",\"shards\":" + std::to_string(shards_.size());
+  out += ",\"queue_depth_limit\":" + std::to_string(options_.queue_depth);
+  out += ",\"draining\":";
+  out += draining_.load() ? "true" : "false";
+  out += "}}";
+  return out;
+}
+
+void Server::FlushConnection(const std::shared_ptr<Connection>& conn) {
+  if (conn->closed) return;
+  // conn->mu is held across write(2): workers appending to the outbox can
+  // reallocate its buffer, so the view handed to write must not outlive
+  // the lock. The socket is nonblocking — the write never parks a worker.
+  std::unique_lock<std::mutex> lock(conn->mu);
+  for (;;) {
+    if (conn->outbox_offset == conn->outbox.size()) {
+      conn->outbox.clear();
+      conn->outbox_offset = 0;
+      if (conn->want_write) {
+        conn->want_write = false;
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.fd = conn->fd;
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+      }
+      return;
+    }
+    ssize_t n = ::write(conn->fd, conn->outbox.data() + conn->outbox_offset,
+                        conn->outbox.size() - conn->outbox_offset);
+    if (n > 0) {
+      conn->outbox_offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!conn->want_write) {
+        conn->want_write = true;
+        epoll_event ev{};
+        ev.events = EPOLLIN | EPOLLOUT;
+        ev.data.fd = conn->fd;
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+      }
+      return;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    lock.unlock();
+    CloseConnection(conn);
+    return;
+  }
+}
+
+void Server::CloseConnection(const std::shared_ptr<Connection>& conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->closed) return;
+    conn->closed = true;
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  connections_.erase(conn->fd);
+  connections_closed_.fetch_add(1);
+  TAUJOIN_METRIC_INCR("serve.server.connections_closed");
+  TAUJOIN_METRIC_GAUGE_ADD("serve.server.active_connections", -1);
+}
+
+namespace {
+std::atomic<Server*> g_signal_server{nullptr};
+
+void DrainSignalHandler(int) {
+  Server* server = g_signal_server.load(std::memory_order_acquire);
+  // RequestDrain is async-signal-safe here: the exchange on an atomic bool
+  // plus one write(2) to the eventfd.
+  if (server != nullptr) server->RequestDrain();
+}
+}  // namespace
+
+void InstallDrainSignalHandler(Server* server) {
+  g_signal_server.store(server, std::memory_order_release);
+  struct sigaction sa{};
+  sa.sa_handler = server != nullptr ? DrainSignalHandler : SIG_DFL;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+}
+
+}  // namespace taujoin

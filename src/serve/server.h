@@ -1,0 +1,212 @@
+#ifndef TAUJOIN_SERVE_SERVER_H_
+#define TAUJOIN_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/plan_cache.h"
+#include "serve/wire.h"
+#include "serve/workload_driver.h"
+
+namespace taujoin {
+
+/// The network query service: a long-running epoll socket front end over
+/// the serving stack (fingerprint → PlanCache → adaptive tier ladder →
+/// execution tiers), promoted from the in-process WorkloadDriver batch
+/// loop. One I/O thread owns every socket and all protocol framing; the
+/// work runs on per-shard worker threads, each of which owns its *own*
+/// PlanCache, ValueDictionary and WorkloadDriver — a query class is
+/// pinned to one shard by its class-key hash, so shard state needs no
+/// cross-core locks at all. Admission control is a bounded FIFO queue per
+/// shard: once a shard's queue is full, new queries for it are rejected
+/// immediately with a typed OVERLOADED error (load shedding, never
+/// unbounded buffering). SIGTERM or a `drain` request stops admission,
+/// completes every in-flight query, flushes responses and exits.
+///
+/// Protocol: length-prefixed frames (see wire.h) carrying JSON requests;
+/// the full message grammar, admission semantics and metrics reference
+/// live in docs/SERVING.md.
+
+/// Environment-knob resolution, shared with the bench binary and tests.
+/// Each resolves `requested` (> 0 wins) against its TAUJOIN_SERVER_* env
+/// var via ParsePositiveInt — invalid env text warns once to stderr and
+/// falls back to the default, mirroring TAUJOIN_THREADS.
+int ResolveServerShards(int requested);       ///< TAUJOIN_SERVER_SHARDS
+int ResolveServerQueueDepth(int requested);   ///< TAUJOIN_SERVER_QUEUE_DEPTH
+size_t ResolveServerMaxFrame(size_t requested);  ///< TAUJOIN_SERVER_MAX_FRAME
+
+/// Test hook: re-arms the warn-once latches of the env resolvers above.
+void ResetServerEnvWarningsForTest();
+
+/// Open/closed latch the tests use to hold shard workers mid-queue, making
+/// backpressure deterministic (fill the bounded queue while the worker is
+/// parked, assert typed rejections, then open).
+class ServerGate {
+ public:
+  void Close();
+  void Open();
+  /// Blocks while the gate is closed; returns immediately when open.
+  void WaitWhileClosed();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = true;
+};
+
+struct ServerOptions {
+  /// Loopback by design: the service speaks a trusted-perimeter protocol.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  int port = 0;
+  /// Worker shards; 0 resolves via ResolveServerShards (env, then the
+  /// machine's thread count capped at 16).
+  int shard_count = 0;
+  /// Bounded per-shard queue depth; 0 resolves via ResolveServerQueueDepth
+  /// (env, then 256). Admission beyond this depth sheds load.
+  int queue_depth = 0;
+  /// Max accepted frame payload; 0 resolves via ResolveServerMaxFrame
+  /// (env, then wire.h's 1 MiB).
+  size_t max_frame_bytes = 0;
+  /// Physically execute every plan (the serving default); false plans only.
+  bool execute = true;
+  /// Cold-path size oracle for every shard driver.
+  ServeSizeModel size_model = ServeSizeModel::kSketch;
+  /// Per-shard plan-cache byte budget.
+  size_t cache_bytes_per_shard = size_t{4} << 20;
+  /// Test hook: every worker waits on this gate before serving each
+  /// admitted query (nullptr = no gate).
+  ServerGate* worker_gate_for_test = nullptr;
+};
+
+/// Monotonic counters of one Server (mirrored process-wide under the
+/// `serve.server.*` metric names; this struct is the test-friendly view).
+struct ServerStats {
+  uint64_t connections_opened = 0;
+  uint64_t connections_closed = 0;
+  uint64_t frames_received = 0;
+  uint64_t requests = 0;           ///< well-formed requests of any op
+  uint64_t queries_admitted = 0;   ///< query ops accepted into a shard queue
+  uint64_t queries_completed = 0;  ///< query ops answered by a worker
+  uint64_t rejected_overload = 0;  ///< typed OVERLOADED rejections
+  uint64_t rejected_draining = 0;  ///< typed DRAINING rejections
+  uint64_t malformed = 0;          ///< unparsable frames / bad requests
+  uint64_t oversized = 0;          ///< frames rejected by length prefix
+  uint64_t queue_depth = 0;        ///< currently queued across shards
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the I/O thread plus one worker per shard.
+  /// Call at most once.
+  Status Start();
+
+  /// The bound TCP port (after Start; resolves ephemeral binds).
+  int port() const { return port_; }
+
+  /// Resolved shard count (after construction).
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+
+  /// Initiates graceful drain from any thread (what SIGTERM and the
+  /// `drain` op call): stop admitting queries, finish in-flight ones,
+  /// flush responses, shut down.
+  void RequestDrain();
+
+  /// Blocks until the server has fully stopped (drain completed).
+  void WaitUntilStopped();
+
+  /// RequestDrain + WaitUntilStopped + join threads. Idempotent.
+  void Stop();
+
+  ServerStats stats() const;
+
+ private:
+  struct Connection;
+  struct Shard;
+  struct Job;
+
+  void IoLoop();
+  void WorkerLoop(Shard& shard);
+  void AcceptPending();
+  void HandleReadable(const std::shared_ptr<Connection>& conn);
+  void HandleFrame(const std::shared_ptr<Connection>& conn,
+                   const std::string& payload);
+  void HandleRequest(const std::shared_ptr<Connection>& conn,
+                     const JsonValue& request);
+  std::string StatsJson();
+  void SendPayload(const std::shared_ptr<Connection>& conn,
+                   std::string_view payload);
+  void SendError(const std::shared_ptr<Connection>& conn,
+                 const JsonValue* request, const char* code,
+                 const std::string& message);
+  void FlushConnection(const std::shared_ptr<Connection>& conn);
+  void CloseConnection(const std::shared_ptr<Connection>& conn);
+  void Wake();
+  void UpdateQps();
+  bool DrainComplete() const;
+
+  ServerOptions options_;
+  int port_ = 0;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd: workers/drain wake the I/O thread
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unordered_map<int, std::shared_ptr<Connection>> connections_;
+
+  /// Connections with freshly queued output (workers push, I/O pops).
+  std::mutex flush_mu_;
+  std::deque<std::shared_ptr<Connection>> flush_queue_;
+
+  /// Connections waiting for the drain barrier before their `drain`
+  /// response goes out (I/O thread only).
+  std::vector<std::pair<std::shared_ptr<Connection>, std::string>>
+      drain_waiters_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopped_{false};
+
+  std::atomic<uint64_t> connections_opened_{0};
+  std::atomic<uint64_t> connections_closed_{0};
+  std::atomic<uint64_t> frames_received_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> queries_admitted_{0};
+  std::atomic<uint64_t> queries_completed_{0};
+  std::atomic<uint64_t> rejected_overload_{0};
+  std::atomic<uint64_t> rejected_draining_{0};
+  std::atomic<uint64_t> malformed_{0};
+  std::atomic<uint64_t> oversized_{0};
+
+  /// q/s gauge state (I/O thread only): completions and clock at the last
+  /// stats/metrics render.
+  uint64_t qps_last_completed_ = 0;
+  uint64_t qps_last_nanos_ = 0;
+
+  std::thread io_thread_;
+  std::mutex stopped_mu_;
+  std::condition_variable stopped_cv_;
+};
+
+/// Installs SIGTERM/SIGINT handlers that drain `server` (async-signal-safe:
+/// the handler only writes the server's wake eventfd). Pass nullptr to
+/// uninstall. One server at a time.
+void InstallDrainSignalHandler(Server* server);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_SERVE_SERVER_H_

@@ -1,0 +1,386 @@
+#include "serve/wire.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace taujoin {
+
+void AppendFrame(std::string& out, std::string_view payload) {
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  out.push_back(static_cast<char>((length >> 24) & 0xff));
+  out.push_back(static_cast<char>((length >> 16) & 0xff));
+  out.push_back(static_cast<char>((length >> 8) & 0xff));
+  out.push_back(static_cast<char>(length & 0xff));
+  out.append(payload.data(), payload.size());
+}
+
+void FrameDecoder::Feed(const char* data, size_t size) {
+  if (poisoned_) return;  // nothing after a bad length is trustworthy
+  // Compact the consumed prefix before it dominates the buffer.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, size);
+}
+
+FrameDecoder::Result FrameDecoder::Next(std::string* frame) {
+  if (poisoned_) return Result::kOversized;
+  const size_t available = buffer_.size() - consumed_;
+  if (available < 4) return Result::kNeedMore;
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(buffer_.data() + consumed_);
+  const uint32_t length = (static_cast<uint32_t>(p[0]) << 24) |
+                          (static_cast<uint32_t>(p[1]) << 16) |
+                          (static_cast<uint32_t>(p[2]) << 8) |
+                          static_cast<uint32_t>(p[3]);
+  if (length > max_frame_bytes_) {
+    // Reject on the announcement alone: the payload is never buffered.
+    poisoned_ = true;
+    buffer_.clear();
+    consumed_ = 0;
+    return Result::kOversized;
+  }
+  if (available - 4 < length) return Result::kNeedMore;
+  frame->assign(buffer_, consumed_ + 4, length);
+  consumed_ += 4 + static_cast<size_t>(length);
+  return Result::kFrame;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+std::string JsonValue::GetString(const std::string& key,
+                                 std::string_view fallback) const {
+  const JsonValue* value = Find(key);
+  if (value == nullptr || value->type != Type::kString) {
+    return std::string(fallback);
+  }
+  return value->string_value;
+}
+
+bool JsonValue::GetBool(const std::string& key, bool fallback) const {
+  const JsonValue* value = Find(key);
+  if (value == nullptr || value->type != Type::kBool) return fallback;
+  return value->bool_value;
+}
+
+std::string JsonValue::ToJson() const {
+  switch (type) {
+    case Type::kNull:
+      return "null";
+    case Type::kBool:
+      return bool_value ? "true" : "false";
+    case Type::kNumber:
+      return number_text;
+    case Type::kString:
+      return JsonQuote(string_value);
+    case Type::kObject: {
+      std::string out = "{";
+      bool first = true;
+      for (const auto& [key, member] : object) {
+        if (!first) out.push_back(',');
+        first = false;
+        out += JsonQuote(key);
+        out.push_back(':');
+        out += member.ToJson();
+      }
+      out.push_back('}');
+      return out;
+    }
+    case Type::kArray: {
+      std::string out = "[";
+      for (size_t i = 0; i < array.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        out += array[i].ToJson();
+      }
+      out.push_back(']');
+      return out;
+    }
+  }
+  return "null";
+}
+
+namespace {
+
+/// Bracket-bomb guard: a hand-written protocol peer has no business
+/// nesting deeper than this, and each level costs parser stack.
+constexpr int kMaxJsonDepth = 32;
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  StatusOr<JsonValue> Parse() {
+    StatusOr<JsonValue> value = ParseValue(0);
+    if (!value.ok()) return value;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return InvalidArgumentError("json: trailing garbage at byte " +
+                                  std::to_string(pos_));
+    }
+    return value;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  StatusOr<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxJsonDepth) {
+      return InvalidArgumentError("json: nesting deeper than " +
+                                  std::to_string(kMaxJsonDepth));
+    }
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return InvalidArgumentError("json: unexpected end of input");
+    }
+    JsonValue value;
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(depth);
+    if (c == '[') return ParseArray(depth);
+    if (c == '"') {
+      StatusOr<std::string> text = ParseString();
+      if (!text.ok()) return text.status();
+      value.type = JsonValue::Type::kString;
+      value.string_value = std::move(*text);
+      return value;
+    }
+    if (ConsumeLiteral("true")) {
+      value.type = JsonValue::Type::kBool;
+      value.bool_value = true;
+      return value;
+    }
+    if (ConsumeLiteral("false")) {
+      value.type = JsonValue::Type::kBool;
+      value.bool_value = false;
+      return value;
+    }
+    if (ConsumeLiteral("null")) return value;
+    return ParseNumber();
+  }
+
+  StatusOr<JsonValue> ParseObject(int depth) {
+    ++pos_;  // '{'
+    JsonValue value;
+    value.type = JsonValue::Type::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return value;
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return InvalidArgumentError("json: expected object key at byte " +
+                                    std::to_string(pos_));
+      }
+      StatusOr<std::string> key = ParseString();
+      if (!key.ok()) return key.status();
+      SkipWhitespace();
+      if (!Consume(':')) {
+        return InvalidArgumentError("json: expected ':' at byte " +
+                                    std::to_string(pos_));
+      }
+      StatusOr<JsonValue> member = ParseValue(depth + 1);
+      if (!member.ok()) return member;
+      value.object[*key] = std::move(*member);  // last duplicate key wins
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return value;
+      return InvalidArgumentError("json: expected ',' or '}' at byte " +
+                                  std::to_string(pos_));
+    }
+  }
+
+  StatusOr<JsonValue> ParseArray(int depth) {
+    ++pos_;  // '['
+    JsonValue value;
+    value.type = JsonValue::Type::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return value;
+    while (true) {
+      StatusOr<JsonValue> element = ParseValue(depth + 1);
+      if (!element.ok()) return element;
+      value.array.push_back(std::move(*element));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return value;
+      return InvalidArgumentError("json: expected ',' or ']' at byte " +
+                                  std::to_string(pos_));
+    }
+  }
+
+  StatusOr<std::string> ParseString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return InvalidArgumentError("json: raw control byte in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return InvalidArgumentError("json: truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return InvalidArgumentError("json: bad \\u escape digit");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are rejected:
+          // the protocol is ASCII-centric and a lone surrogate is invalid
+          // anyway).
+          if (code >= 0xd800 && code <= 0xdfff) {
+            return InvalidArgumentError("json: surrogate \\u escape "
+                                        "unsupported");
+          }
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          } else {
+            out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          }
+          break;
+        }
+        default:
+          return InvalidArgumentError("json: bad escape \\" +
+                                      std::string(1, escape));
+      }
+    }
+    return InvalidArgumentError("json: unterminated string");
+  }
+
+  StatusOr<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    const size_t digits_start = pos_;
+    while (pos_ < text_.size() && std::isdigit(
+               static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == digits_start) {
+      return InvalidArgumentError("json: expected a value at byte " +
+                                  std::to_string(start));
+    }
+    if (text_[digits_start] == '0' && pos_ - digits_start > 1) {
+      return InvalidArgumentError("json: leading zero in number");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      const size_t frac_start = pos_;
+      while (pos_ < text_.size() && std::isdigit(
+                 static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ == frac_start) {
+        return InvalidArgumentError("json: digits required after '.'");
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      const size_t exp_start = pos_;
+      while (pos_ < text_.size() && std::isdigit(
+                 static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ == exp_start) {
+        return InvalidArgumentError("json: digits required in exponent");
+      }
+    }
+    JsonValue value;
+    value.type = JsonValue::Type::kNumber;
+    value.number_text = std::string(text_.substr(start, pos_ - start));
+    value.number_value = std::strtod(value.number_text.c_str(), nullptr);
+    return value;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<JsonValue> ParseJson(std::string_view text) {
+  return JsonParser(text).Parse();
+}
+
+std::string JsonQuote(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace taujoin

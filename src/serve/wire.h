@@ -1,0 +1,105 @@
+#ifndef TAUJOIN_SERVE_WIRE_H_
+#define TAUJOIN_SERVE_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace taujoin {
+
+/// Wire protocol substrate for the network query service (serve/server.h):
+/// length-prefixed frames plus a minimal JSON reader/writer. Kept separate
+/// from the server so the framing and grammar are unit-testable without a
+/// socket (tests/serve/wire_test.cc) and reusable by the C++ load
+/// generator in bench/taujoin_server.cc.
+///
+/// Frame layout: a 4-byte big-endian unsigned payload length, then exactly
+/// that many payload bytes. The payload is UTF-8 text — JSON for every
+/// request and for most responses; the `metrics` response carries
+/// Prometheus text exposition instead (see docs/SERVING.md for the full
+/// message grammar).
+
+/// Default ceiling on one frame's payload. A decoder rejects larger
+/// announcements *before* buffering the payload, so a hostile length
+/// prefix cannot balloon server memory.
+constexpr size_t kDefaultMaxFrameBytes = size_t{1} << 20;
+
+/// Appends the frame (length prefix + payload) for `payload` to `out`.
+void AppendFrame(std::string& out, std::string_view payload);
+
+/// Incremental frame decoder: feed arbitrary byte chunks as they arrive
+/// off a socket, pop complete payloads. One decoder per connection.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Buffers `size` more bytes of the stream.
+  void Feed(const char* data, size_t size);
+
+  enum class Result {
+    kFrame,      ///< *frame received one complete payload
+    kNeedMore,   ///< the buffered bytes do not complete a frame yet
+    kOversized,  ///< announced length exceeds max_frame_bytes (poisoned:
+                 ///< framing is unrecoverable — close the connection)
+  };
+
+  /// Pops the next complete payload into *frame. After kOversized the
+  /// decoder stays poisoned and keeps returning kOversized: a stream with
+  /// a rejected length prefix has no trustworthy resync point.
+  Result Next(std::string* frame);
+
+  /// Bytes buffered but not yet returned (tests / accounting).
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  size_t max_frame_bytes_;
+  std::string buffer_;
+  size_t consumed_ = 0;  ///< prefix of buffer_ already handed out
+  bool poisoned_ = false;
+};
+
+/// Minimal JSON document model, enough for the server's flat request
+/// objects and the client's response parsing. Numbers keep their source
+/// text alongside the double so integer ids round-trip losslessly.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number_value = 0;
+  std::string number_text;  ///< verbatim source spelling (numbers only)
+  std::string string_value;
+  std::map<std::string, JsonValue> object;
+  std::vector<JsonValue> array;
+
+  bool is_object() const { return type == Type::kObject; }
+  /// Member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+  /// String member or `fallback` when absent/mistyped.
+  std::string GetString(const std::string& key,
+                        std::string_view fallback = "") const;
+  /// Bool member or `fallback` when absent/mistyped.
+  bool GetBool(const std::string& key, bool fallback = false) const;
+  /// Renders this value back to JSON text. Numbers re-emit their source
+  /// spelling (number_text), so an echoed request id round-trips
+  /// bit-identically.
+  std::string ToJson() const;
+};
+
+/// Strict parse of one JSON document: the whole input must be consumed
+/// (trailing garbage is an error), nesting is depth-limited against
+/// bracket bombs, and invalid escapes / bad numbers are rejected.
+StatusOr<JsonValue> ParseJson(std::string_view text);
+
+/// `text` quoted and escaped as a JSON string literal (adds the quotes).
+std::string JsonQuote(std::string_view text);
+
+}  // namespace taujoin
+
+#endif  // TAUJOIN_SERVE_WIRE_H_

@@ -164,6 +164,7 @@ LatencySummary LatencySummary::FromSamples(std::vector<uint64_t> samples) {
   };
   summary.p50_ns = nearest_rank(0.50);
   summary.p95_ns = nearest_rank(0.95);
+  summary.p99_ns = nearest_rank(0.99);
   summary.max_ns = samples.back();
   uint64_t sum = 0;
   for (const uint64_t s : samples) sum += s;
@@ -175,6 +176,7 @@ std::string LatencySummary::ToJson() const {
   return "{\"count\": " + std::to_string(count) +
          ", \"p50_ns\": " + std::to_string(p50_ns) +
          ", \"p95_ns\": " + std::to_string(p95_ns) +
+         ", \"p99_ns\": " + std::to_string(p99_ns) +
          ", \"max_ns\": " + std::to_string(max_ns) +
          ", \"mean_ns\": " + std::to_string(mean_ns) + "}";
 }
@@ -272,6 +274,7 @@ WorkloadDriver::ClassState& WorkloadDriver::GetOrBuildClass(
   gen.rows_per_relation = spec.rows_per_relation;
   gen.join_domain = spec.join_domain;
   gen.join_skew = spec.join_skew;
+  gen.dictionary = options_.dictionary;  // nullptr keeps Global()
   Rng rng(spec.seed);
   state->db = RandomDatabase(gen, rng);
   state->engine = std::make_unique<CostEngine>(&state->db);
@@ -310,7 +313,7 @@ WorkloadDriver::ClassState& WorkloadDriver::GetOrBuildClass(
   return *it->second;
 }
 
-QueryOutcome WorkloadDriver::RunOne(const QueryClassSpec& spec) {
+QueryOutcome WorkloadDriver::ServeOne(const QueryClassSpec& spec) {
   QueryOutcome outcome;
   const uint64_t query_start = NowNanos();
   uint64_t charged_build_ns = 0;
@@ -346,13 +349,18 @@ QueryOutcome WorkloadDriver::RunOne(const QueryClassSpec& spec) {
     if (outcome.acyclic) acyclic_tree = result.acyclic->tree;
     outcome.wcoj = result.wcoj;
     if (options_.cache != nullptr) {
-      options_.cache->Insert(cls.fingerprint, plan, outcome.cost,
-                             outcome.acyclic ? &acyclic_tree : nullptr,
-                             outcome.wcoj);
+      PlanCacheEntryInit init;
+      init.cost = outcome.cost;
+      init.join_tree = outcome.acyclic ? &acyclic_tree : nullptr;
+      init.wcoj = outcome.wcoj;
+      options_.cache->Insert(cls.fingerprint, plan, init);
     }
   }
   outcome.optimize_ns = NowNanos() - optimize_start;
   outcome.plan_ns = outcome.optimize_ns;
+  if (options_.capture_plan) {
+    outcome.plan_text = plan.ToStringWithScheme(cls.db.scheme());
+  }
   if (outcome.acyclic) TAUJOIN_METRIC_INCR("serve.acyclic.tier_taken");
   if (outcome.wcoj) TAUJOIN_METRIC_INCR("serve.wcoj.tier_taken");
 
@@ -390,6 +398,7 @@ QueryOutcome WorkloadDriver::RunOne(const QueryClassSpec& spec) {
   }
   outcome.data_ns = charged_build_ns + outcome.execute_ns;
   outcome.total_ns = NowNanos() - query_start;
+  TAUJOIN_METRIC_INCR("serve.driver.queries");
   return outcome;
 }
 
@@ -409,8 +418,7 @@ WorkloadReport WorkloadDriver::Run(const std::vector<QueryClassSpec>& stream) {
         static_cast<int64_t>(count),
         [&](int64_t i) {
           const size_t q = start + static_cast<size_t>(i);
-          outcomes_[q] = RunOne(stream[q]);
-          TAUJOIN_METRIC_INCR("serve.driver.queries");
+          outcomes_[q] = ServeOne(stream[q]);
         },
         parallelism);
   }

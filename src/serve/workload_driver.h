@@ -13,6 +13,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/database.h"
+#include "relational/dictionary.h"
 #include "optimize/adaptive.h"
 #include "scheme/query_graph.h"
 #include "serve/plan_cache.h"
@@ -52,6 +53,7 @@ struct LatencySummary {
   uint64_t count = 0;
   uint64_t p50_ns = 0;
   uint64_t p95_ns = 0;
+  uint64_t p99_ns = 0;
   uint64_t max_ns = 0;
   uint64_t mean_ns = 0;
 
@@ -92,6 +94,14 @@ struct WorkloadDriverOptions {
   /// Queries dispatched per ParallelFor batch.
   int batch_size = 64;
   ParallelOptions parallel;
+  /// Dictionary every class's relations intern into; nullptr keeps the
+  /// process-wide ValueDictionary::Global(). The query server gives each
+  /// shard its own driver *and* its own dictionary so two shards never
+  /// contend on one intern table.
+  std::shared_ptr<ValueDictionary> dictionary;
+  /// Render each chosen plan into QueryOutcome::plan_text (the server's
+  /// `explain` response field and the loopback-equivalence tests).
+  bool capture_plan = false;
 };
 
 /// Outcome of one driven query (all timings steady_clock nanoseconds).
@@ -122,6 +132,9 @@ struct QueryOutcome {
   /// Data-time: class ingest (generation + stats build, charged to the
   /// query that first touched the class) plus plan execution.
   uint64_t data_ns = 0;
+  /// The chosen strategy rendered against the class scheme — only when
+  /// WorkloadDriverOptions::capture_plan; empty otherwise.
+  std::string plan_text;
 };
 
 struct WorkloadReport {
@@ -173,6 +186,15 @@ class WorkloadDriver {
 
   WorkloadReport Run(const std::vector<QueryClassSpec>& stream);
 
+  /// Serves a single query end to end (class build on first touch,
+  /// fingerprint, cache, optimize, optional execute) and returns its
+  /// outcome. This is Run's per-query body, exposed for callers that own
+  /// their own request loop — the network server's shard workers call it
+  /// once per admitted frame. Thread-safe: concurrent ServeOne calls may
+  /// share classes (the class map is mutex-guarded; engines and the cache
+  /// are thread-safe).
+  QueryOutcome ServeOne(const QueryClassSpec& spec);
+
   /// Per-query outcomes of the last Run, stream-ordered (for tests).
   const std::vector<QueryOutcome>& outcomes() const { return outcomes_; }
 
@@ -196,7 +218,6 @@ class WorkloadDriver {
   /// builder's query is the one whose data_ns pays for ingest.
   ClassState& GetOrBuildClass(const QueryClassSpec& spec,
                               uint64_t* charged_build_ns);
-  QueryOutcome RunOne(const QueryClassSpec& spec);
 
   WorkloadDriverOptions options_;
   std::mutex classes_mu_;

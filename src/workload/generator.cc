@@ -27,7 +27,7 @@ Database RandomDatabaseOverScheme(const DatabaseScheme& scheme,
   std::vector<Relation> states;
   for (int i = 0; i < scheme.size(); ++i) {
     const Schema& rs = scheme.scheme(i);
-    Relation state(rs);
+    Relation state(rs, options.dictionary);
     state.Reserve(static_cast<size_t>(options.rows_per_relation));
     int attempts = 0;
     while (static_cast<int>(state.size()) < options.rows_per_relation) {

@@ -21,6 +21,11 @@ struct GeneratorOptions {
   /// Zipf exponent for join-attribute values (0 = uniform). Skew creates
   /// the correlated data under which the independence assumption fails.
   double join_skew = 0.0;
+  /// Dictionary the generated relations intern into; nullptr keeps the
+  /// process-wide ValueDictionary::Global(). Sharded servers pass a
+  /// per-shard dictionary so concurrent ingest never contends on one
+  /// intern table.
+  std::shared_ptr<ValueDictionary> dictionary;
 };
 
 /// A random database over MakeShapedScheme(shape, relation_count):

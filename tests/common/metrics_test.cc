@@ -123,9 +123,65 @@ TEST(MetricsTest, ToJsonGolden) {
             "    },\n"
             "    \"timers\": {\n"
             "      \"phase\": {\"count\": 1, \"total_ns\": 8, \"min_ns\": 8, "
-            "\"max_ns\": 8, \"p50_ns\": 8, \"p99_ns\": 8}\n"
+            "\"max_ns\": 8, \"p50_ns\": 8, \"p95_ns\": 8, \"p99_ns\": 8}\n"
             "    }\n"
             "  }");
+}
+
+TEST(MetricsTest, ToPrometheusTextGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("serve.server.requests")->Add(5);
+  registry.GetGauge("serve.server.qps")->Set(1200);
+  registry.GetTimer("serve.server.request_ns")->Record(8);
+  const std::string text = registry.Snapshot().ToPrometheusText();
+  EXPECT_EQ(text,
+            "# TYPE taujoin_serve_server_requests_total counter\n"
+            "taujoin_serve_server_requests_total 5\n"
+            "# TYPE taujoin_serve_server_qps gauge\n"
+            "taujoin_serve_server_qps 1200\n"
+            "# TYPE taujoin_serve_server_request_ns_seconds summary\n"
+            "taujoin_serve_server_request_ns_seconds{quantile=\"0.5\"} "
+            "8e-09\n"
+            "taujoin_serve_server_request_ns_seconds{quantile=\"0.95\"} "
+            "8e-09\n"
+            "taujoin_serve_server_request_ns_seconds{quantile=\"0.99\"} "
+            "8e-09\n"
+            "taujoin_serve_server_request_ns_seconds_sum 8e-09\n"
+            "taujoin_serve_server_request_ns_seconds_count 1\n");
+}
+
+TEST(MetricsTest, PrometheusTextIsWellFormed) {
+  // Every non-comment line is `name{labels}? value`; names match the
+  // Prometheus identifier grammar and carry the taujoin_ prefix.
+  MetricsRegistry registry;
+  registry.GetCounter("wcoj.generic_join.rounds")->Add(3);
+  registry.GetGauge("pool.queue_depth")->Set(-1);
+  registry.GetTimer("optimizer.dp.total")->Record(1500);
+  const std::string text = registry.Snapshot().ToPrometheusText();
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.rfind("# ", 0) == 0) continue;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string name = line.substr(0, space);
+    const size_t brace = name.find('{');
+    if (brace != std::string::npos) {
+      EXPECT_EQ(name.back(), '}') << line;
+      name = name.substr(0, brace);
+    }
+    EXPECT_EQ(name.rfind("taujoin_", 0), 0u) << line;
+    for (const char c : name) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_')
+          << line;
+    }
+  }
 }
 
 TEST(MetricsTest, ToJsonEmptyRegistry) {

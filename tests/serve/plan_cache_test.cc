@@ -23,6 +23,13 @@
 namespace taujoin {
 namespace {
 
+PlanCacheEntryInit EntryInit(uint64_t cost, const JoinTree* tree = nullptr) {
+  PlanCacheEntryInit init;
+  init.cost = cost;
+  init.join_tree = tree;
+  return init;
+}
+
 Database ShapedDatabase(QueryShape shape, int n, uint64_t seed) {
   GeneratorOptions options;
   options.shape = shape;
@@ -137,7 +144,7 @@ TEST(PlanCacheDifferentialTest, HitsAreBitIdenticalToColdOptimize) {
 
       PlanCache cache;
       EXPECT_FALSE(cache.Lookup(fp).has_value());
-      cache.Insert(fp, cold.plan.strategy, cold.plan.cost);
+      cache.Insert(fp, cold.plan.strategy, EntryInit(cold.plan.cost));
 
       const std::optional<CachedPlan> hit = cache.Lookup(fp);
       ASSERT_TRUE(hit.has_value())
@@ -183,7 +190,7 @@ TEST(PlanCacheDifferentialTest, TransfersPlansAcrossIsomorphicSchemes) {
 
   const AdaptiveResult cold = OptimizeAdaptive(engine, mask);
   PlanCache cache;
-  cache.Insert(fp_a, cold.plan.strategy, cold.plan.cost);
+  cache.Insert(fp_a, cold.plan.strategy, EntryInit(cold.plan.cost));
 
   const std::optional<CachedPlan> hit = cache.Lookup(fp_b);
   ASSERT_TRUE(hit.has_value());
@@ -209,8 +216,8 @@ TEST(PlanCacheDifferentialTest, JoinTreeRoundTripsThroughTheCache) {
   ASSERT_TRUE(cold.acyclic.has_value());
 
   PlanCache cache;
-  cache.Insert(fp, cold.plan.strategy, cold.plan.cost,
-               &cold.acyclic->tree);
+  cache.Insert(fp, cold.plan.strategy,
+               EntryInit(cold.plan.cost, &cold.acyclic->tree));
   const std::optional<CachedPlan> hit = cache.Lookup(fp);
   ASSERT_TRUE(hit.has_value());
   EXPECT_TRUE(hit->acyclic);
@@ -220,7 +227,7 @@ TEST(PlanCacheDifferentialTest, JoinTreeRoundTripsThroughTheCache) {
   // Entries inserted without a tree stay non-acyclic on the way out.
   const QueryFingerprint fp_plain =
       FingerprintQuery(db.scheme(), mask, "plain");
-  cache.Insert(fp_plain, cold.plan.strategy, cold.plan.cost);
+  cache.Insert(fp_plain, cold.plan.strategy, EntryInit(cold.plan.cost));
   const std::optional<CachedPlan> plain = cache.Lookup(fp_plain);
   ASSERT_TRUE(plain.has_value());
   EXPECT_FALSE(plain->acyclic);
@@ -250,8 +257,8 @@ TEST(PlanCacheDifferentialTest, JoinTreeTransfersAcrossIsomorphicSchemes) {
   ASSERT_EQ(cold.tier, OptimizerTier::kAcyclic);
 
   PlanCache cache;
-  cache.Insert(fp_a, cold.plan.strategy, cold.plan.cost,
-               &cold.acyclic->tree);
+  cache.Insert(fp_a, cold.plan.strategy,
+               EntryInit(cold.plan.cost, &cold.acyclic->tree));
   const std::optional<CachedPlan> hit = cache.Lookup(fp_b);
   ASSERT_TRUE(hit.has_value());
   ASSERT_TRUE(hit->acyclic);
@@ -271,7 +278,7 @@ TEST(PlanCacheTest, EvictsLruUnderByteBudgetButKeepsNewest) {
   for (int i = 0; i < 64; ++i) {
     fps.push_back(FingerprintQuery(scheme, scheme.full_mask(),
                                    "model-" + std::to_string(i)));
-    cache.Insert(fps.back(), plan, static_cast<uint64_t>(i));
+    cache.Insert(fps.back(), plan, EntryInit(static_cast<uint64_t>(i)));
   }
   const PlanCacheStats stats = cache.stats();
   EXPECT_EQ(stats.inserts, 64u);
@@ -295,7 +302,7 @@ TEST(PlanCacheTest, OversizedEntryIsStillAccepted) {
   const DatabaseScheme scheme = MakeShapedScheme(QueryShape::kChain, 3);
   const QueryFingerprint fp =
       FingerprintQuery(scheme, scheme.full_mask(), "m");
-  cache.Insert(fp, Strategy::LeftDeep({0, 1, 2}), 5);
+  cache.Insert(fp, Strategy::LeftDeep({0, 1, 2}), EntryInit(5));
   const std::optional<CachedPlan> hit = cache.Lookup(fp);
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(hit->cost, 5u);
@@ -313,7 +320,7 @@ TEST(PlanCacheTest, CollidingHashesResolveByFullKey) {
   for (int i = 0; i < 8; ++i) {
     fps.push_back(FingerprintQuery(scheme, scheme.full_mask(),
                                    "collide-" + std::to_string(i)));
-    cache.Insert(fps.back(), plan, static_cast<uint64_t>(100 + i));
+    cache.Insert(fps.back(), plan, EntryInit(static_cast<uint64_t>(100 + i)));
   }
   for (int i = 0; i < 8; ++i) {
     const std::optional<CachedPlan> hit = cache.Lookup(fps[i]);
@@ -330,8 +337,8 @@ TEST(PlanCacheTest, ReinsertReplacesInsteadOfDuplicating) {
   const DatabaseScheme scheme = MakeShapedScheme(QueryShape::kChain, 3);
   const QueryFingerprint fp =
       FingerprintQuery(scheme, scheme.full_mask(), "m");
-  cache.Insert(fp, Strategy::LeftDeep({0, 1, 2}), 1);
-  cache.Insert(fp, Strategy::LeftDeep({2, 1, 0}), 2);
+  cache.Insert(fp, Strategy::LeftDeep({0, 1, 2}), EntryInit(1));
+  cache.Insert(fp, Strategy::LeftDeep({2, 1, 0}), EntryInit(2));
   EXPECT_EQ(cache.entries(), 1u);
   const std::optional<CachedPlan> hit = cache.Lookup(fp);
   ASSERT_TRUE(hit.has_value());
@@ -351,7 +358,7 @@ TEST(PlanCacheTest, ConcurrentMixedTrafficIsSafe) {
   pool.ParallelFor(512, [&](int64_t i) {
     const QueryFingerprint& fp = fps[static_cast<size_t>(i) % fps.size()];
     if (i % 3 == 0) {
-      cache.Insert(fp, plan, static_cast<uint64_t>(i));
+      cache.Insert(fp, plan, EntryInit(static_cast<uint64_t>(i)));
     } else {
       const std::optional<CachedPlan> hit = cache.Lookup(fp);
       if (hit.has_value()) {

@@ -1,0 +1,434 @@
+// Network service contracts: malformed / truncated / oversized frames are
+// rejected with typed errors and never crash the server, admission control
+// sheds load with OVERLOADED once the bounded shard queue fills (made
+// deterministic by parking workers on a ServerGate), graceful drain
+// answers every in-flight query before the drain response goes out, and a
+// loopback round-trip returns exactly what a direct WorkloadDriver run
+// produces (bit-identical plan text, same cost and route).
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "serve/wire.h"
+#include "serve/workload_driver.h"
+
+namespace taujoin {
+namespace {
+
+/// Minimal blocking loopback client: framed sends, framed receives with a
+/// receive timeout so a server bug fails the test instead of hanging it.
+class TestClient {
+ public:
+  explicit TestClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    timeval tv{};
+    tv.tv_sec = 10;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  }
+  ~TestClient() { Close(); }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  void SendRaw(const std::string& bytes) {
+    size_t off = 0;
+    while (off < bytes.size()) {
+      ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
+      ASSERT_GT(n, 0);
+      off += static_cast<size_t>(n);
+    }
+  }
+
+  void Send(const std::string& payload) {
+    std::string framed;
+    AppendFrame(framed, payload);
+    SendRaw(framed);
+  }
+
+  /// Next response payload; nullopt on timeout or server-side close.
+  std::optional<std::string> Recv() {
+    std::string frame;
+    for (;;) {
+      if (decoder_.Next(&frame) == FrameDecoder::Result::kFrame) return frame;
+      char buf[4096];
+      ssize_t n = ::read(fd_, buf, sizeof(buf));
+      if (n <= 0) return std::nullopt;
+      decoder_.Feed(buf, static_cast<size_t>(n));
+    }
+  }
+
+  /// Recv + strict JSON parse (most responses; not `metrics`).
+  std::optional<JsonValue> RecvJson() {
+    std::optional<std::string> payload = Recv();
+    if (!payload.has_value()) return std::nullopt;
+    StatusOr<JsonValue> doc = ParseJson(*payload);
+    EXPECT_TRUE(doc.ok()) << *payload;
+    if (!doc.ok()) return std::nullopt;
+    return *doc;
+  }
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+std::string ErrorCode(const JsonValue& response) {
+  const JsonValue* error = response.Find("error");
+  return error == nullptr ? "" : error->GetString("code");
+}
+
+TEST(ServerTest, PingStatsAndUnknownOp) {
+  ServerOptions options;
+  options.shard_count = 2;
+  options.execute = false;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  TestClient client(server.port());
+  client.Send("{\"op\":\"ping\",\"id\":7}");
+  std::optional<JsonValue> pong = client.RecvJson();
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_TRUE(pong->GetBool("ok"));
+  EXPECT_TRUE(pong->GetBool("pong"));
+  EXPECT_EQ(pong->Find("id")->number_text, "7");
+
+  client.Send("{\"op\":\"stats\"}");
+  std::optional<JsonValue> stats = client.RecvJson();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_TRUE(stats->GetBool("ok"));
+  const JsonValue* body = stats->Find("stats");
+  ASSERT_NE(body, nullptr);
+  EXPECT_EQ(body->Find("shards")->number_text, "2");
+
+  client.Send("{\"op\":\"frobnicate\"}");
+  std::optional<JsonValue> unknown = client.RecvJson();
+  ASSERT_TRUE(unknown.has_value());
+  EXPECT_FALSE(unknown->GetBool("ok"));
+  EXPECT_EQ(ErrorCode(*unknown), "UNKNOWN_OP");
+}
+
+TEST(ServerTest, MalformedFramesGetTypedErrorsAndServerSurvives) {
+  ServerOptions options;
+  options.shard_count = 1;
+  options.execute = false;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient client(server.port());
+  const char* bad[] = {
+      "not json at all",
+      "{\"op\":}",
+      "[1,2,3]",              // well-formed JSON, but not an object
+      "{\"noop\":true}",      // object without "op"
+      "{\"op\":12}",          // op is not a string
+      "{\"op\":\"query\"}",   // query without class
+      "{\"op\":\"query\",\"class\":42}",
+  };
+  for (const char* payload : bad) {
+    client.Send(payload);
+    std::optional<JsonValue> response = client.RecvJson();
+    ASSERT_TRUE(response.has_value()) << payload;
+    EXPECT_FALSE(response->GetBool("ok")) << payload;
+    EXPECT_EQ(ErrorCode(*response), "MALFORMED") << payload;
+  }
+  client.Send("{\"op\":\"query\",\"class\":\"pretzel,4,8,4,0.0,1\"}");
+  std::optional<JsonValue> bad_class = client.RecvJson();
+  ASSERT_TRUE(bad_class.has_value());
+  EXPECT_EQ(ErrorCode(*bad_class), "BAD_CLASS");
+
+  // The connection and server both survived all of it.
+  client.Send("{\"op\":\"ping\"}");
+  std::optional<JsonValue> pong = client.RecvJson();
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_TRUE(pong->GetBool("ok"));
+  EXPECT_EQ(server.stats().malformed, 7u);
+}
+
+TEST(ServerTest, TruncatedFrameThenDisconnectIsHarmless) {
+  ServerOptions options;
+  options.shard_count = 1;
+  options.execute = false;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+  {
+    TestClient client(server.port());
+    // Announce 100 bytes, deliver 3, hang up mid-frame.
+    const unsigned char prefix[4] = {0, 0, 0, 100};
+    client.SendRaw(std::string(reinterpret_cast<const char*>(prefix), 4));
+    client.SendRaw("abc");
+  }
+  // A fresh connection is served normally.
+  TestClient again(server.port());
+  again.Send("{\"op\":\"ping\"}");
+  std::optional<JsonValue> pong = again.RecvJson();
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_TRUE(pong->GetBool("ok"));
+  EXPECT_EQ(server.stats().frames_received, 1u);  // only the ping
+}
+
+TEST(ServerTest, OversizedFrameIsRejectedAndConnectionClosed) {
+  ServerOptions options;
+  options.shard_count = 1;
+  options.execute = false;
+  options.max_frame_bytes = 64;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient client(server.port());
+  client.Send(std::string(65, 'x'));
+  std::optional<JsonValue> response = client.RecvJson();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_FALSE(response->GetBool("ok"));
+  EXPECT_EQ(ErrorCode(*response), "OVERSIZED");
+  // Framing past a bad prefix is unrecoverable: the server hangs up.
+  EXPECT_FALSE(client.Recv().has_value());
+  EXPECT_EQ(server.stats().oversized, 1u);
+
+  // A frame at exactly the limit is fine (ping padded via a spare field).
+  TestClient ok_client(server.port());
+  std::string payload = "{\"op\":\"ping\",\"pad\":\"";
+  payload += std::string(64 - payload.size() - 2, 'p');
+  payload += "\"}";
+  ASSERT_EQ(payload.size(), 64u);
+  ok_client.Send(payload);
+  std::optional<JsonValue> pong = ok_client.RecvJson();
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_TRUE(pong->GetBool("ok"));
+}
+
+TEST(ServerTest, BackpressureShedsTypedOverloadAndRecovers) {
+  ServerGate gate;
+  gate.Close();
+  ServerOptions options;
+  options.shard_count = 1;
+  options.queue_depth = 2;
+  options.execute = false;
+  options.worker_gate_for_test = &gate;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // With the worker parked, capacity is queue_depth (2) plus at most one
+  // job already popped: of 7 queries at least 4 must be shed. Every query
+  // gets exactly one response; rejections are synchronous from the I/O
+  // thread, so the first 4 responses arrive while the gate is still
+  // closed and must all be OVERLOADED.
+  constexpr int kQueries = 7;
+  TestClient client(server.port());
+  for (int i = 0; i < kQueries; ++i) {
+    client.Send("{\"op\":\"query\",\"class\":\"chain,4,16,4,0.0,9\",\"id\":" +
+                std::to_string(i) + "}");
+  }
+  int rejected = 0;
+  int completed = 0;
+  for (int i = 0; i < kQueries; ++i) {
+    std::optional<JsonValue> response = client.RecvJson();
+    ASSERT_TRUE(response.has_value());
+    if (response->GetBool("ok")) {
+      ++completed;
+    } else {
+      EXPECT_EQ(ErrorCode(*response), "OVERLOADED");
+      ++rejected;
+    }
+    if (i == 3) {
+      EXPECT_EQ(rejected, 4);  // parked worker can't have answered yet
+      gate.Open();
+    }
+  }
+  EXPECT_GE(rejected, 4);
+  EXPECT_LE(rejected, 5);
+  EXPECT_EQ(completed + rejected, kQueries);
+  // The worker writes a query's response before bumping the completed
+  // counter, so the client can observe the last response a moment before
+  // the count catches up — wait it out instead of racing it.
+  ServerStats stats = server.stats();
+  for (int spin = 0;
+       stats.queries_completed != stats.queries_admitted && spin < 1000;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    stats = server.stats();
+  }
+  EXPECT_EQ(stats.rejected_overload, static_cast<uint64_t>(rejected));
+  EXPECT_EQ(stats.queries_admitted, static_cast<uint64_t>(completed));
+  EXPECT_EQ(stats.queries_completed, stats.queries_admitted);
+}
+
+TEST(ServerTest, DrainCompletesInFlightThenRefusesNewWork) {
+  ServerGate gate;
+  gate.Close();
+  ServerOptions options;
+  options.shard_count = 1;
+  options.queue_depth = 16;
+  options.execute = false;
+  options.worker_gate_for_test = &gate;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient client(server.port());
+  constexpr int kInFlight = 5;
+  for (int i = 0; i < kInFlight; ++i) {
+    client.Send("{\"op\":\"query\",\"class\":\"star,4,16,4,0.0,3\",\"id\":" +
+                std::to_string(i) + "}");
+  }
+  client.Send("{\"op\":\"drain\",\"id\":99}");
+  // Admission is now closed: further queries get the typed DRAINING error
+  // even while the in-flight ones are still parked behind the gate.
+  client.Send("{\"op\":\"query\",\"class\":\"star,4,16,4,0.0,3\"}");
+  std::optional<JsonValue> refused = client.RecvJson();
+  ASSERT_TRUE(refused.has_value());
+  EXPECT_EQ(ErrorCode(*refused), "DRAINING");
+
+  gate.Open();
+  // All in-flight queries complete, then (and only then) the drain
+  // response arrives.
+  int ok_queries = 0;
+  bool drained = false;
+  for (int i = 0; i < kInFlight + 1; ++i) {
+    std::optional<JsonValue> response = client.RecvJson();
+    ASSERT_TRUE(response.has_value());
+    if (response->GetBool("drained")) {
+      drained = true;
+      EXPECT_EQ(response->Find("id")->number_text, "99");
+      EXPECT_EQ(ok_queries, kInFlight)
+          << "drain response overtook an in-flight query";
+    } else if (response->GetBool("ok")) {
+      ++ok_queries;
+    }
+  }
+  EXPECT_TRUE(drained);
+  server.WaitUntilStopped();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.queries_admitted, static_cast<uint64_t>(kInFlight));
+  EXPECT_EQ(stats.queries_completed, stats.queries_admitted);
+  EXPECT_EQ(stats.rejected_draining, 1u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+// The loopback equivalence the serving tier is sold on: a query answered
+// over the socket carries exactly the plan, cost, cache-hit flag and route
+// a direct in-process WorkloadDriver run produces for the same class under
+// the same size model.
+TEST(ServerTest, LoopbackRoundTripMatchesDirectDriverBitForBit) {
+  const std::vector<std::string> classes = {
+      "chain,6,32,8,0.0,41", "star,5,32,8,0.5,42", "cycle,5,32,8,0.0,43",
+      "clique,4,32,8,0.0,44"};
+
+  ServerOptions options;
+  options.shard_count = 1;  // all classes share one shard-local cache
+  options.execute = true;
+  options.size_model = ServeSizeModel::kSketch;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  PlanCache direct_cache;
+  WorkloadDriverOptions driver_options;
+  driver_options.cache = &direct_cache;
+  driver_options.size_model = ServeSizeModel::kSketch;
+  driver_options.execute = true;
+  driver_options.capture_plan = true;
+  driver_options.dictionary = std::make_shared<ValueDictionary>();
+  driver_options.parallel.threads = 1;
+  WorkloadDriver direct(driver_options);
+
+  TestClient client(server.port());
+  // Two passes: the first is the cold path (plan + insert), the second must
+  // be a cache hit on both sides with the identical plan.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const std::string& cls : classes) {
+      client.Send("{\"op\":\"query\",\"class\":" + JsonQuote(cls) +
+                  ",\"explain\":true}");
+      std::optional<JsonValue> response = client.RecvJson();
+      ASSERT_TRUE(response.has_value()) << cls;
+      ASSERT_TRUE(response->GetBool("ok")) << cls;
+
+      const StatusOr<QueryClassSpec> spec = QueryClassSpec::Parse(cls);
+      ASSERT_TRUE(spec.ok());
+      const QueryOutcome expected = direct.ServeOne(*spec);
+
+      EXPECT_EQ(response->GetBool("cache_hit"), expected.cache_hit)
+          << cls << " pass=" << pass;
+      EXPECT_EQ(response->GetBool("cache_hit"), pass == 1)
+          << cls << " pass=" << pass;
+      const char* route = expected.acyclic ? "acyclic"
+                          : expected.wcoj  ? "wcoj"
+                                           : "binary";
+      EXPECT_EQ(response->GetString("route"), route) << cls;
+      EXPECT_EQ(response->Find("cost")->number_text,
+                std::to_string(expected.cost))
+          << cls << " pass=" << pass;
+      ASSERT_FALSE(expected.plan_text.empty()) << cls;
+      EXPECT_EQ(response->GetString("plan"), expected.plan_text)
+          << cls << " pass=" << pass;
+      EXPECT_EQ(response->GetString("class"), spec->Key()) << cls;
+    }
+  }
+}
+
+TEST(ServerTest, MetricsOpReturnsPrometheusText) {
+  SetMetricsEnabledForTest(true);
+  ServerOptions options;
+  options.shard_count = 1;
+  options.execute = false;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient client(server.port());
+  client.Send("{\"op\":\"query\",\"class\":\"chain,4,16,4,0.0,5\"}");
+  ASSERT_TRUE(client.RecvJson().has_value());
+  client.Send("{\"op\":\"metrics\"}");
+  std::optional<std::string> text = client.Recv();
+  ASSERT_TRUE(text.has_value());
+  EXPECT_NE(text->find("# TYPE taujoin_serve_server_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text->find("taujoin_serve_server_queries_completed_total"),
+            std::string::npos);
+  EXPECT_NE(text->find("taujoin_serve_server_qps"), std::string::npos);
+  EXPECT_NE(
+      text->find("taujoin_serve_server_request_ns_seconds{quantile=\"0.99\"}"),
+      std::string::npos);
+}
+
+TEST(ServerEnvTest, ResolversPreferExplicitThenEnvThenDefault) {
+  ResetServerEnvWarningsForTest();
+  unsetenv("TAUJOIN_SERVER_SHARDS");
+  unsetenv("TAUJOIN_SERVER_QUEUE_DEPTH");
+  unsetenv("TAUJOIN_SERVER_MAX_FRAME");
+  EXPECT_EQ(ResolveServerShards(3), 3);
+  EXPECT_EQ(ResolveServerQueueDepth(9), 9);
+  EXPECT_EQ(ResolveServerMaxFrame(1024), 1024u);
+  EXPECT_EQ(ResolveServerQueueDepth(0), 256);
+  EXPECT_EQ(ResolveServerMaxFrame(0), kDefaultMaxFrameBytes);
+  EXPECT_GE(ResolveServerShards(0), 1);
+
+  setenv("TAUJOIN_SERVER_QUEUE_DEPTH", "77", 1);
+  EXPECT_EQ(ResolveServerQueueDepth(0), 77);
+  EXPECT_EQ(ResolveServerQueueDepth(5), 5);  // explicit beats env
+
+  // Strict parsing: trailing garbage falls back to the default.
+  setenv("TAUJOIN_SERVER_QUEUE_DEPTH", "77abc", 1);
+  EXPECT_EQ(ResolveServerQueueDepth(0), 256);
+  unsetenv("TAUJOIN_SERVER_QUEUE_DEPTH");
+}
+
+}  // namespace
+}  // namespace taujoin

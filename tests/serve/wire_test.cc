@@ -1,0 +1,186 @@
+// Wire substrate contracts: frame round-trips survive arbitrary chunking,
+// an oversized length prefix poisons the decoder before any payload is
+// buffered, and the JSON reader enforces the strict grammar (full
+// consumption, depth limit, escape validation) the server's admission
+// layer depends on to reject malformed frames without crashing.
+#include "serve/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace taujoin {
+namespace {
+
+TEST(FrameTest, RoundTripsOneFrame) {
+  std::string stream;
+  AppendFrame(stream, "{\"op\":\"ping\"}");
+  ASSERT_EQ(stream.size(), 4u + 13u);
+  // Big-endian length prefix.
+  EXPECT_EQ(static_cast<unsigned char>(stream[0]), 0u);
+  EXPECT_EQ(static_cast<unsigned char>(stream[3]), 13u);
+
+  FrameDecoder decoder;
+  decoder.Feed(stream.data(), stream.size());
+  std::string frame;
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(frame, "{\"op\":\"ping\"}");
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kNeedMore);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(FrameTest, RoundTripsEmptyPayload) {
+  std::string stream;
+  AppendFrame(stream, "");
+  FrameDecoder decoder;
+  decoder.Feed(stream.data(), stream.size());
+  std::string frame = "sentinel";
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(frame, "");
+}
+
+TEST(FrameTest, SurvivesByteAtATimeDelivery) {
+  std::string stream;
+  AppendFrame(stream, "first");
+  AppendFrame(stream, "second payload");
+  AppendFrame(stream, "");
+  FrameDecoder decoder;
+  std::vector<std::string> frames;
+  for (const char c : stream) {
+    decoder.Feed(&c, 1);
+    std::string frame;
+    while (decoder.Next(&frame) == FrameDecoder::Result::kFrame) {
+      frames.push_back(frame);
+    }
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0], "first");
+  EXPECT_EQ(frames[1], "second payload");
+  EXPECT_EQ(frames[2], "");
+}
+
+TEST(FrameTest, TruncatedFrameStaysPending) {
+  std::string stream;
+  AppendFrame(stream, "abcdef");
+  FrameDecoder decoder;
+  decoder.Feed(stream.data(), stream.size() - 2);  // missing last 2 bytes
+  std::string frame;
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kNeedMore);
+  decoder.Feed(stream.data() + stream.size() - 2, 2);
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(frame, "abcdef");
+}
+
+TEST(FrameTest, OversizedAnnouncementPoisonsWithoutBuffering) {
+  FrameDecoder decoder(/*max_frame_bytes=*/16);
+  // Announce a 1 GiB payload; only the 4 prefix bytes are ever fed.
+  const unsigned char prefix[4] = {0x40, 0x00, 0x00, 0x00};
+  decoder.Feed(reinterpret_cast<const char*>(prefix), 4);
+  std::string frame;
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kOversized);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);  // nothing retained
+  // Poisoned: further input is discarded and the verdict sticks.
+  std::string more;
+  AppendFrame(more, "tiny");
+  decoder.Feed(more.data(), more.size());
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kOversized);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(FrameTest, FrameAtExactLimitIsAccepted) {
+  const std::string payload(16, 'x');
+  std::string stream;
+  AppendFrame(stream, payload);
+  FrameDecoder decoder(/*max_frame_bytes=*/16);
+  decoder.Feed(stream.data(), stream.size());
+  std::string frame;
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(frame, payload);
+}
+
+TEST(JsonTest, ParsesFlatRequestObject) {
+  const StatusOr<JsonValue> doc = ParseJson(
+      "{\"op\":\"query\",\"class\":\"chain,6,64,8,0.0,42\","
+      "\"execute\":true,\"id\":17}");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->GetString("op"), "query");
+  EXPECT_EQ(doc->GetString("class"), "chain,6,64,8,0.0,42");
+  EXPECT_TRUE(doc->GetBool("execute"));
+  const JsonValue* id = doc->Find("id");
+  ASSERT_NE(id, nullptr);
+  EXPECT_EQ(id->type, JsonValue::Type::kNumber);
+  EXPECT_EQ(id->number_text, "17");  // source spelling preserved
+}
+
+TEST(JsonTest, ToJsonRoundTripsIdsLosslessly) {
+  // 2^60 is not representable as a double; echoing number_text keeps it.
+  const StatusOr<JsonValue> doc =
+      ParseJson("{\"id\":1152921504606846976}");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Find("id")->ToJson(), "1152921504606846976");
+  EXPECT_EQ(ParseJson("\"a\\\"b\"")->ToJson(), "\"a\\\"b\"");
+  EXPECT_EQ(ParseJson("[1,true,null]")->ToJson(), "[1,true,null]");
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  const char* bad[] = {
+      "",
+      "{",
+      "{\"op\"}",
+      "{\"op\":}",
+      "{\"op\":\"x\",}",
+      "{'op':'x'}",
+      "[1,2",
+      "{\"a\":1} trailing",
+      "nul",
+      "truefalse",
+      "\"unterminated",
+      "\"bad escape \\q\"",
+      "\"trunc \\u12\"",
+      "\"surrogate \\ud800\"",
+      "01",
+      "1.",
+      "1e",
+      "- 1",
+      "+1",
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(ParseJson(text).ok()) << text;
+  }
+}
+
+TEST(JsonTest, RejectsBracketBombs) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "[";
+  for (int i = 0; i < 200; ++i) deep += "]";
+  EXPECT_FALSE(ParseJson(deep).ok());
+  // Modest nesting stays fine.
+  EXPECT_TRUE(ParseJson("[[[[[[[[1]]]]]]]]").ok());
+}
+
+TEST(JsonTest, LastDuplicateKeyWins) {
+  const StatusOr<JsonValue> doc = ParseJson("{\"a\":1,\"a\":2}");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->Find("a")->number_text, "2");
+}
+
+TEST(JsonTest, DecodesEscapes) {
+  const StatusOr<JsonValue> doc =
+      ParseJson("\"tab\\there\\nand \\u0041 plus \\u00e9\"");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->string_value, "tab\there\nand A plus \xc3\xa9");
+}
+
+TEST(JsonTest, QuoteEscapesControlBytes) {
+  EXPECT_EQ(JsonQuote("a\"b\\c\nd\x01"), "\"a\\\"b\\\\c\\nd\\u0001\"");
+  // Quote → parse is the identity on arbitrary ASCII.
+  const std::string original = "mixed \t \"quotes\" and \\slashes\\";
+  const StatusOr<JsonValue> back = ParseJson(JsonQuote(original));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->string_value, original);
+}
+
+}  // namespace
+}  // namespace taujoin

@@ -80,6 +80,7 @@ TEST(LatencySummaryTest, NearestRankPercentiles) {
   EXPECT_EQ(summary.count, 5u);
   EXPECT_EQ(summary.p50_ns, 30u);
   EXPECT_EQ(summary.p95_ns, 50u);
+  EXPECT_EQ(summary.p99_ns, 50u);
   EXPECT_EQ(summary.max_ns, 50u);
   EXPECT_EQ(summary.mean_ns, 30u);
 

@@ -69,6 +69,13 @@ ACYCLIC_RUN_INTS = ["n", "rows", "domain", "binary_plan_ns",
 ACYCLIC_BAR_FAMILIES = ("chain", "star")
 ACYCLIC_BAR_MIN_N = 8
 
+# BENCH_serve_net.json (schema taujoin-serve-net-bench/v1) layout.
+SERVE_NET_CONTEXT_INTS = ["queries", "seed", "shards", "queue_depth",
+                          "classes"]
+SERVE_NET_LATENCY_FIELDS = ["count", "p50_ns", "p95_ns", "p99_ns", "max_ns",
+                            "mean_ns"]
+SERVE_NET_MIN_LOAD_POINTS = 4
+
 # BENCH_wcoj.json (schema taujoin-wcoj-bench/v1) layout.
 WCOJ_FAMILIES = ("cycle", "clique")
 WCOJ_RUN_INTS = ["n", "rows", "domain", "binary_plan_ns", "binary_exec_ns",
@@ -480,6 +487,117 @@ def check_wcoj_schema(path: str, doc: dict) -> list[str]:
     return errors
 
 
+def check_serve_net_schema(path: str, doc: dict) -> list[str]:
+    """Validates the taujoin-serve-net-bench/v1 network-serving artifact.
+
+    Beyond layout, enforces the serving acceptance criteria from
+    docs/SERVING.md: a saturation curve of at least four load points with
+    rising offered concurrency and zero client-visible errors, and a
+    graceful drain that completed every admitted query (dropped == 0).
+    The embedded /metrics scrape must already have passed the bench's own
+    Prometheus grammar check (well_formed == true).
+    """
+    errors = []
+    context = doc.get("context")
+    if not isinstance(context, dict):
+        return [f"{path}: serve-net artifact missing 'context' object"]
+    if context.get("taujoin_build_type") not in ("release", "debug"):
+        errors.append(f"{path}: context.taujoin_build_type missing/invalid")
+    for field in SERVE_NET_CONTEXT_INTS:
+        if not isinstance(context.get(field), int):
+            errors.append(f"{path}: context.{field} missing integer")
+    if context.get("cold_model") not in SERVE_SIZE_MODELS:
+        errors.append(f"{path}: context.cold_model missing or not one of "
+                      f"{SERVE_SIZE_MODELS}")
+
+    points = doc.get("load_points")
+    if not isinstance(points, list) or \
+            len(points) < SERVE_NET_MIN_LOAD_POINTS:
+        return errors + [f"{path}: saturation curve needs >= "
+                         f"{SERVE_NET_MIN_LOAD_POINTS} load_points"]
+    last_concurrency = 0
+    for i, point in enumerate(points):
+        where = f"{path}: load_points[{i}]"
+        if not isinstance(point, dict):
+            errors.append(f"{where} is not an object")
+            continue
+        for field in ("connections", "window", "queries"):
+            if not isinstance(point.get(field), int) or point[field] < 1:
+                errors.append(f"{where}.{field} missing positive integer")
+        if point.get("errors") != 0:
+            errors.append(f"{where}.errors must be 0, got "
+                          f"{point.get('errors')!r}")
+        if not isinstance(point.get("qps"), (int, float)) or \
+                point["qps"] <= 0:
+            errors.append(f"{where}.qps missing positive number")
+        latency = point.get("latency")
+        if not isinstance(latency, dict):
+            errors.append(f"{where}.latency missing")
+            continue
+        for field in SERVE_NET_LATENCY_FIELDS:
+            if not isinstance(latency.get(field), int):
+                errors.append(f"{where}.latency.{field} missing integer")
+        if all(isinstance(latency.get(f), int)
+               for f in SERVE_NET_LATENCY_FIELDS):
+            p50, p95, p99, mx = (latency[f] for f in
+                                 ("p50_ns", "p95_ns", "p99_ns", "max_ns"))
+            if not p50 <= p95 <= p99 <= mx:
+                errors.append(f"{where}.latency: p50 <= p95 <= p99 <= max "
+                              f"violated ({p50}, {p95}, {p99}, {mx})")
+        if isinstance(point.get("connections"), int) and \
+                isinstance(point.get("window"), int):
+            concurrency = point["connections"] * point["window"]
+            if concurrency <= last_concurrency:
+                errors.append(f"{where}: offered concurrency "
+                              f"{concurrency} does not rise along the "
+                              "curve")
+            last_concurrency = concurrency
+
+    drain = doc.get("drain")
+    if not isinstance(drain, dict):
+        errors.append(f"{path}: missing 'drain' object")
+    else:
+        if drain.get("drain_ok") is not True:
+            errors.append(f"{path}: drain.drain_ok is not true")
+        if drain.get("dropped") != 0:
+            errors.append(f"{path}: drain.dropped must be 0 — queries were "
+                          "lost on shutdown")
+        admitted, completed = drain.get("admitted"), drain.get("completed")
+        if not isinstance(admitted, int) or not isinstance(completed, int):
+            errors.append(f"{path}: drain.admitted/completed missing "
+                          "integers")
+        elif admitted != completed:
+            errors.append(f"{path}: drain admitted {admitted} != completed "
+                          f"{completed}")
+
+    scrape = doc.get("metrics_scrape")
+    if not isinstance(scrape, dict):
+        errors.append(f"{path}: missing 'metrics_scrape' object")
+    else:
+        if scrape.get("well_formed") is not True:
+            errors.append(f"{path}: metrics_scrape.well_formed is not true")
+        if not isinstance(scrape.get("lines"), int) or scrape["lines"] < 1:
+            errors.append(f"{path}: metrics_scrape.lines missing positive "
+                          "integer")
+
+    if not isinstance(doc.get("server_stats"), dict):
+        errors.append(f"{path}: missing 'server_stats' object (the stats-op "
+                      "scrape)")
+
+    counters = doc.get("taujoin_metrics", {}).get("counters", {})
+    if isinstance(counters, dict):
+        for name in ("serve.server.requests", "serve.server.queries_admitted",
+                     "serve.server.queries_completed"):
+            if counters.get(name, 0) <= 0:
+                errors.append(f"{path}: counter '{name}' recorded no "
+                              "traffic — the server path is disconnected")
+        if counters.get("serve.plan_cache.hits", 0) + \
+                counters.get("serve.plan_cache.misses", 0) == 0:
+            errors.append(f"{path}: no serve.plan_cache.* counter traffic "
+                          "in taujoin_metrics")
+    return errors
+
+
 def check(path: str) -> list[str]:
     errors = []
     try:
@@ -524,9 +642,17 @@ def check(path: str) -> list[str]:
             if timer["max_ns"] > timer["total_ns"]:
                 errors.append(f"{path}: timer '{name}' has max > total")
 
-    # The snapshot must carry real signal, not an empty shell.
+    # The snapshot must carry real signal, not an empty shell. The
+    # network-serving bench's default configuration (sketch cold model, no
+    # execution) plans from statistics alone, so its signal is the serving
+    # counters rather than memo or kernel traffic.
     if not errors:
-        live = [group for group, names in SIGNAL_GROUPS.items()
+        groups = dict(SIGNAL_GROUPS)
+        if doc.get("schema") == "taujoin-serve-net-bench/v1":
+            groups["serve"] = ["serve.server.requests",
+                               "serve.plan_cache.hits",
+                               "serve.plan_cache.misses"]
+        live = [group for group, names in groups.items()
                 if sum(counters.get(n, 0) for n in names) > 0]
         if not live:
             errors.append(
@@ -544,6 +670,8 @@ def check(path: str) -> list[str]:
         errors.extend(check_acyclic_schema(path, doc))
     elif doc.get("schema") == "taujoin-wcoj-bench/v1":
         errors.extend(check_wcoj_schema(path, doc))
+    elif doc.get("schema") == "taujoin-serve-net-bench/v1":
+        errors.extend(check_serve_net_schema(path, doc))
     return errors
 
 

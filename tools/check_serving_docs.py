@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Checks docs/SERVING.md's metrics reference against the source tree.
+
+The operator's manual promises a table naming every serving-path
+instrument (`serve.*`, `wcoj.*` — the WCOJ executor runs under the
+serving tier ladder). This script extracts the metric names registered in
+C++ — TAUJOIN_METRIC_COUNT/INCR/GAUGE_ADD/SPAN macros plus direct
+GetCounter/GetGauge/GetTimer calls — and the backticked names in
+SERVING.md's metrics section, then fails on any difference in either
+direction, including kind mismatches (a counter documented as a gauge is
+as misleading as an undocumented counter).
+
+Usage: check_serving_docs.py [repo_root]
+"""
+
+import pathlib
+import re
+import sys
+
+PREFIXES = ("serve.", "wcoj.", "acyclic.")
+
+# macro/call → instrument kind
+SOURCE_PATTERNS = [
+    (re.compile(r'TAUJOIN_METRIC_(?:COUNT|INCR)\(\s*"([^"]+)"'), "counter"),
+    (re.compile(r'TAUJOIN_METRIC_GAUGE_ADD\(\s*"([^"]+)"'), "gauge"),
+    (re.compile(r'TAUJOIN_METRIC_SPAN\(\s*\w+\s*,\s*"([^"]+)"'), "timer"),
+    (re.compile(r'GetCounter\(\s*"([^"]+)"'), "counter"),
+    (re.compile(r'GetGauge\(\s*"([^"]+)"'), "gauge"),
+    (re.compile(r'GetTimer\(\s*"([^"]+)"'), "timer"),
+]
+
+# SERVING.md table row: | `name` | kind | ... |
+DOC_ROW = re.compile(r"^\|\s*`([a-z0-9_.]+)`\s*\|\s*(counter|gauge|timer)"
+                     r"\s*\|", re.MULTILINE)
+
+
+def collect_source_metrics(src: pathlib.Path) -> dict[str, str]:
+    metrics = {}
+    conflicts = []
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in (".cc", ".h"):
+            continue
+        text = path.read_text(encoding="utf-8")
+        for pattern, kind in SOURCE_PATTERNS:
+            for name in pattern.findall(text):
+                if not name.startswith(PREFIXES):
+                    continue
+                if metrics.get(name, kind) != kind:
+                    conflicts.append(
+                        f"{name}: registered as both {metrics[name]} and "
+                        f"{kind} in source")
+                metrics[name] = kind
+    if conflicts:
+        raise SystemExit("ERROR: " + "\nERROR: ".join(sorted(set(conflicts))))
+    return metrics
+
+
+def collect_doc_metrics(doc_path: pathlib.Path) -> dict[str, str]:
+    text = doc_path.read_text(encoding="utf-8")
+    return {name: kind for name, kind in DOC_ROW.findall(text)}
+
+
+def main(argv: list[str]) -> int:
+    root = pathlib.Path(argv[1]) if len(argv) > 1 else \
+        pathlib.Path(__file__).resolve().parent.parent
+    doc_path = root / "docs" / "SERVING.md"
+    if not doc_path.is_file():
+        print(f"ERROR: {doc_path} does not exist", file=sys.stderr)
+        return 1
+
+    source = collect_source_metrics(root / "src")
+    documented = collect_doc_metrics(doc_path)
+
+    errors = []
+    for name in sorted(set(source) - set(documented)):
+        errors.append(f"{name} ({source[name]}) is registered in source "
+                      "but missing from docs/SERVING.md")
+    for name in sorted(set(documented) - set(source)):
+        errors.append(f"{name} is documented in docs/SERVING.md but not "
+                      "registered anywhere in src/")
+    for name in sorted(set(source) & set(documented)):
+        if source[name] != documented[name]:
+            errors.append(f"{name} is a {source[name]} in source but "
+                          f"documented as a {documented[name]}")
+
+    for err in errors:
+        print(f"ERROR: {err}", file=sys.stderr)
+    if not errors:
+        print(f"docs/SERVING.md: OK — {len(documented)} instruments "
+              "documented, all match source")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

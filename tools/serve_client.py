@@ -1,0 +1,286 @@
+#!/usr/bin/env python3
+"""Load-generator client for the taujoin network query service.
+
+Speaks the framed protocol from docs/SERVING.md (4-byte big-endian length
+prefix, JSON payload) against a running `taujoin_server --serve` instance.
+Stdlib only — CI uses it to drive a short load from outside the server
+process, scrape and grammar-check the /metrics text, and exercise the
+graceful drain over the wire.
+
+Usage:
+  serve_client.py --port=P [--host=127.0.0.1] [--queries=N] [--threads=T]
+                  [--window=W] [--classes=FILE] [--zipf=S] [--seed=N]
+                  [--scrape-metrics] [--validate] [--drain] [--json]
+
+  --queries         total queries to send across all threads (default 1000)
+  --threads         client connections sending in parallel (default 2)
+  --window          pipelined in-flight queries per connection (default 8)
+  --classes         file of class specs, one `shape,n,rows,domain,skew,seed`
+                    line per class (default: a small builtin pool)
+  --scrape-metrics  fetch the `metrics` op and print the Prometheus text
+  --validate        grammar-check the scrape (implies --scrape-metrics) and
+                    assert all responses were ok
+  --drain           finish with a `drain` op and wait for the barrier
+  --json            print a machine-readable summary line at the end
+
+Exit status is non-zero if any connection failed, any response was an
+error (with --validate), or the metrics scrape was malformed.
+"""
+
+import argparse
+import json
+import random
+import socket
+import struct
+import sys
+import threading
+import time
+
+BUILTIN_CLASSES = [
+    "chain,5,48,8,0,101",
+    "chain,7,48,8,0,102",
+    "star,5,48,8,0,103",
+    "star,6,48,8,0,104",
+    "cycle,5,48,8,0,105",
+    "cycle,6,48,8,0,106",
+    "clique,4,48,8,0,107",
+    "clique,5,48,8,0,108",
+]
+
+
+class FramedClient:
+    """Blocking framed-protocol connection."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.buffer = b""
+
+    def send(self, payload: bytes) -> None:
+        self.sock.sendall(struct.pack(">I", len(payload)) + payload)
+
+    def send_json(self, obj: dict) -> None:
+        self.send(json.dumps(obj, separators=(",", ":")).encode())
+
+    def recv(self) -> bytes:
+        while True:
+            if len(self.buffer) >= 4:
+                (length,) = struct.unpack(">I", self.buffer[:4])
+                if len(self.buffer) >= 4 + length:
+                    payload = self.buffer[4:4 + length]
+                    self.buffer = self.buffer[4 + length:]
+                    return payload
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            self.buffer += chunk
+
+    def recv_json(self) -> dict:
+        return json.loads(self.recv().decode())
+
+    def close(self) -> None:
+        self.sock.close()
+
+
+def check_prometheus(text: str) -> list[str]:
+    """Validates the Prometheus text-format grammar the server renders:
+    `# `-prefixed comment lines, otherwise `name{labels}? value` with a
+    taujoin_-prefixed identifier, trailing newline required."""
+    errors = []
+    if not text.endswith("\n"):
+        return ["metrics text does not end with a newline"]
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if line.startswith("# "):
+            continue
+        if not line:
+            errors.append(f"line {lineno}: empty line")
+            continue
+        head, sep, value = line.rpartition(" ")
+        if not sep or not head:
+            errors.append(f"line {lineno}: no space-separated value")
+            continue
+        name = head.split("{", 1)[0]
+        if not name.startswith("taujoin_"):
+            errors.append(f"line {lineno}: name {name!r} lacks the "
+                          "taujoin_ prefix")
+        if not all(c.isalnum() or c == "_" for c in name):
+            errors.append(f"line {lineno}: name {name!r} has characters "
+                          "outside [a-zA-Z0-9_]")
+        try:
+            float(value)
+        except ValueError:
+            errors.append(f"line {lineno}: value {value!r} is not a number")
+    return errors
+
+
+def run_load(args, classes: list[str]) -> dict:
+    """Sends the query load; returns aggregate stats."""
+    per_thread = [args.queries // args.threads] * args.threads
+    for i in range(args.queries % args.threads):
+        per_thread[i] += 1
+
+    lock = threading.Lock()
+    totals = {"sent": 0, "ok": 0, "errors": 0, "latency_ns": []}
+    failures = []
+
+    def worker(index: int, budget: int) -> None:
+        rng = random.Random(args.seed + index * 7919)
+        try:
+            client = FramedClient(args.host, args.port)
+        except OSError as e:
+            with lock:
+                failures.append(f"connection {index}: connect failed: {e}")
+            return
+        sent_at = {}
+        latencies = []
+        ok = errors = 0
+        next_id = 0
+        outstanding = 0
+        try:
+            while next_id < budget or outstanding > 0:
+                while outstanding < args.window and next_id < budget:
+                    # Zipf-flavored pick: power-law rank over the pool.
+                    rank = int(len(classes) *
+                               rng.random() ** max(args.zipf, 0.01))
+                    cls = classes[min(rank, len(classes) - 1)]
+                    sent_at[next_id] = time.monotonic_ns()
+                    client.send_json(
+                        {"op": "query", "class": cls, "id": next_id})
+                    next_id += 1
+                    outstanding += 1
+                response = client.recv_json()
+                outstanding -= 1
+                rid = response.get("id")
+                if rid in sent_at:
+                    latencies.append(time.monotonic_ns() - sent_at.pop(rid))
+                if response.get("ok"):
+                    ok += 1
+                else:
+                    errors += 1
+        except (OSError, ConnectionError, json.JSONDecodeError) as e:
+            with lock:
+                failures.append(f"connection {index}: {e}")
+        finally:
+            client.close()
+        with lock:
+            totals["sent"] += next_id
+            totals["ok"] += ok
+            totals["errors"] += errors
+            totals["latency_ns"].extend(latencies)
+
+    threads = [threading.Thread(target=worker, args=(i, n))
+               for i, n in enumerate(per_thread)]
+    start = time.monotonic()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.monotonic() - start
+
+    lat = sorted(totals["latency_ns"])
+    quantile = (lambda q: lat[min(len(lat) - 1, int(q * len(lat)))]
+                if lat else 0)
+    return {
+        "sent": totals["sent"],
+        "ok": totals["ok"],
+        "errors": totals["errors"],
+        "wall_seconds": round(wall, 6),
+        "qps": round(totals["ok"] / wall, 1) if wall > 0 else 0,
+        "p50_ns": quantile(0.50),
+        "p95_ns": quantile(0.95),
+        "p99_ns": quantile(0.99),
+        "failures": failures,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--queries", type=int, default=1000)
+    parser.add_argument("--threads", type=int, default=2)
+    parser.add_argument("--window", type=int, default=8)
+    parser.add_argument("--classes")
+    parser.add_argument("--zipf", type=float, default=1.1)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--scrape-metrics", action="store_true")
+    parser.add_argument("--validate", action="store_true")
+    parser.add_argument("--drain", action="store_true")
+    parser.add_argument("--json", action="store_true")
+    args = parser.parse_args()
+
+    classes = BUILTIN_CLASSES
+    if args.classes:
+        with open(args.classes, "r", encoding="utf-8") as f:
+            classes = [line.strip() for line in f
+                       if line.strip() and not line.startswith("#")]
+        if not classes:
+            print(f"ERROR: {args.classes} holds no class specs",
+                  file=sys.stderr)
+            return 2
+
+    exit_code = 0
+    summary = {}
+
+    if args.queries > 0:
+        summary["load"] = run_load(args, classes)
+        for failure in summary["load"]["failures"]:
+            print(f"ERROR: {failure}", file=sys.stderr)
+            exit_code = 1
+        if args.validate and summary["load"]["errors"] > 0:
+            print(f"ERROR: {summary['load']['errors']} responses were "
+                  "errors", file=sys.stderr)
+            exit_code = 1
+
+    try:
+        tail = FramedClient(args.host, args.port)
+    except OSError as e:
+        print(f"ERROR: tail connect failed: {e}", file=sys.stderr)
+        return 1
+
+    try:
+        tail.send_json({"op": "stats"})
+        summary["stats"] = tail.recv_json().get("stats", {})
+
+        if args.scrape_metrics or args.validate:
+            tail.send_json({"op": "metrics"})
+            metrics_text = tail.recv().decode()
+            problems = check_prometheus(metrics_text)
+            summary["metrics"] = {
+                "lines": metrics_text.count("\n"),
+                "well_formed": not problems,
+            }
+            for problem in problems:
+                print(f"ERROR: metrics scrape: {problem}", file=sys.stderr)
+                exit_code = 1
+            if args.scrape_metrics and not args.json:
+                sys.stdout.write(metrics_text)
+
+        if args.drain:
+            tail.send_json({"op": "drain", "id": -1})
+            response = tail.recv_json()
+            summary["drain"] = response
+            if not response.get("drained"):
+                print(f"ERROR: drain did not complete: {response}",
+                      file=sys.stderr)
+                exit_code = 1
+    except (OSError, ConnectionError, json.JSONDecodeError) as e:
+        print(f"ERROR: control connection: {e}", file=sys.stderr)
+        exit_code = 1
+    finally:
+        tail.close()
+
+    if args.json:
+        print(json.dumps(summary, separators=(",", ":")))
+    elif "load" in summary:
+        load = summary["load"]
+        print(f"serve_client: {load['ok']}/{load['sent']} ok, "
+              f"{load['qps']} q/s, p50={load['p50_ns'] / 1e3:.1f}us "
+              f"p99={load['p99_ns'] / 1e3:.1f}us over "
+              f"{load['wall_seconds']}s")
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())
